@@ -1,0 +1,133 @@
+//! Criterion microbenchmarks of the simulator substrate.
+//!
+//! These guard the performance of the components the evaluation campaign
+//! leans on (the full figure regeneration lives in the `ebm-bench`
+//! binaries — `cargo run -p ebm-bench --release --bin experiments`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_mem::cache::Cache;
+use gpu_mem::dram::DramChannel;
+use gpu_mem::req::{AccessKind, MemRequest, ReqId};
+use gpu_mem::xbar::Crossbar;
+use gpu_mem::MemoryController;
+use gpu_sim::harness::{measure_fixed, RunSpec};
+use gpu_sim::machine::Gpu;
+use gpu_types::{Address, AppId, CoreId, GpuConfig, SplitMix64, TlpCombo, TlpLevel};
+use gpu_workloads::Workload;
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = GpuConfig::paper().l1;
+    c.bench_function("cache_hit_lookup", |b| {
+        let mut cache = Cache::new(&cfg);
+        cache.access_load(AppId::new(0), Address::new(0), ReqId(0));
+        cache.fill(Address::new(0));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.access_load(AppId::new(0), Address::new(0), ReqId(i)))
+        })
+    });
+    c.bench_function("cache_miss_fill_cycle", |b| {
+        let mut cache = Cache::new(&cfg);
+        let mut rng = SplitMix64::new(7);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let line = Address::new(rng.next_below(1 << 20) * 128);
+            if cache.access_load(AppId::new(0), line, ReqId(i))
+                == gpu_mem::cache::Lookup::MissToLower
+            {
+                black_box(cache.fill(line));
+            }
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let cfg = GpuConfig::paper().dram;
+    c.bench_function("dram_service_stream", |b| {
+        let mut ch = DramChannel::new(cfg.clone(), 6);
+        let mut addr = 0u64;
+        let mut now = 0u64;
+        b.iter(|| {
+            addr += 256 * 6; // stay in this channel
+            now += 4;
+            black_box(ch.service(Address::new(addr), now))
+        })
+    });
+    c.bench_function("mc_frfcfs_step_loaded", |b| {
+        let mut mc = MemoryController::new(64);
+        let mut ch = DramChannel::new(cfg.clone(), 6);
+        let mut rng = SplitMix64::new(3);
+        let mut now = 0u64;
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            now += 1;
+            let req = MemRequest::new(
+                ReqId(i),
+                AppId::new(0),
+                CoreId(0),
+                0,
+                Address::new(rng.next_below(1 << 18) * 256),
+                AccessKind::Load,
+            );
+            let _ = mc.push_with(req, &ch);
+            black_box(mc.step(now, &mut ch))
+        })
+    });
+}
+
+fn bench_xbar(c: &mut Criterion) {
+    c.bench_function("crossbar_step_16x6", |b| {
+        let mut x: Crossbar<u64> = Crossbar::new(16, 6, 8, 1, 8);
+        let mut now = 0u64;
+        let mut i = 0u64;
+        b.iter(|| {
+            now += 1;
+            for input in 0..16 {
+                i += 1;
+                let _ = x.push(input, (i % 6) as usize, i, now);
+            }
+            black_box(x.step(now))
+        })
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_step");
+    g.sample_size(10);
+    for tlp in [2u32, 8] {
+        g.bench_function(format!("paper_blk_bfs_tlp{tlp}"), |b| {
+            let cfg = GpuConfig::paper();
+            let w = Workload::pair("BLK", "BFS");
+            let mut gpu = Gpu::new(&cfg, w.apps(), 1);
+            gpu.set_combo(&TlpCombo::uniform(TlpLevel::new(tlp).unwrap(), 2));
+            gpu.run(2_000); // warm
+            b.iter(|| {
+                gpu.run(100);
+                black_box(gpu.now())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_measure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("measure_fixed");
+    g.sample_size(10);
+    g.bench_function("small_machine_4k_cycles", |b| {
+        let cfg = GpuConfig::small();
+        let w = Workload::pair("BLK", "BFS");
+        b.iter(|| {
+            let mut gpu = Gpu::new(&cfg, w.apps(), 1);
+            let combo = TlpCombo::uniform(TlpLevel::new(4).unwrap(), 2);
+            black_box(measure_fixed(&mut gpu, &combo, RunSpec::new(500, 3_500)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_dram, bench_xbar, bench_machine, bench_measure);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion benchmarks of the TLP-management policies themselves: the
+//! per-window decision cost of PBS and the baselines, and the offline
+//! searches over a 64-combination table. These correspond to the §V-E
+//! computation-overhead claim — the PBS module does a trivial amount of
+//! work per sampling window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebm_core::metrics::EbObjective;
+use ebm_core::pattern::pbs_offline_search;
+use ebm_core::policy::pbs::PbsScaling;
+use ebm_core::scaling::ScalingFactors;
+use ebm_core::search::best_combo_by_eb;
+use ebm_core::sweep::ComboSweep;
+use ebm_core::{DynCta, ModBypass, Pbs};
+use gpu_sim::control::{AppObservation, Controller, Observation};
+use gpu_sim::harness::RunSpec;
+use gpu_simt::CoreStats;
+use gpu_types::{AppWindow, GpuConfig, MemCounters, TlpLevel};
+use gpu_workloads::Workload;
+use std::hint::black_box;
+
+fn observation(n: usize) -> Observation {
+    let c = MemCounters {
+        l1_accesses: 1_000,
+        l1_misses: 400,
+        l2_accesses: 400,
+        l2_misses: 200,
+        dram_bytes: 200 * 128,
+        warp_insts: 4_000,
+        ..MemCounters::new()
+    };
+    Observation {
+        now: 2_000,
+        window_cycles: 2_000,
+        apps: (0..n)
+            .map(|_| AppObservation {
+                window: AppWindow::new(c, 2_000, 192.0),
+                core: CoreStats {
+                    cycles: 2_000,
+                    insts: 3_000,
+                    warp_mem_wait_cycles: 10_000,
+                    active_warp_cycles: 32_000,
+                    ..CoreStats::default()
+                },
+                tlp: TlpLevel::new(8).unwrap(),
+                bypassed: false,
+            })
+            .collect(),
+    }
+}
+
+fn bench_controllers(c: &mut Criterion) {
+    let obs = observation(2);
+    c.bench_function("pbs_ws_window_decision", |b| {
+        let mut pbs = Pbs::new(EbObjective::Ws, TlpLevel::MAX, PbsScaling::None);
+        b.iter(|| black_box(pbs.on_window(&obs)))
+    });
+    c.bench_function("dyncta_window_decision", |b| {
+        let mut d = DynCta::new(TlpLevel::MAX);
+        b.iter(|| black_box(d.on_window(&obs)))
+    });
+    c.bench_function("modbypass_window_decision", |b| {
+        let mut m = ModBypass::new(TlpLevel::MAX);
+        b.iter(|| black_box(m.on_window(&obs)))
+    });
+}
+
+fn bench_searches(c: &mut Criterion) {
+    // One real (small-machine) sweep shared by both searches.
+    let sweep = ComboSweep::measure(
+        &GpuConfig::small(),
+        &Workload::pair("BLK", "BFS"),
+        3,
+        RunSpec::new(300, 1_500),
+    );
+    let scaling = ScalingFactors::none(2);
+    c.bench_function("pbs_offline_search_table", |b| {
+        b.iter(|| black_box(pbs_offline_search(&sweep, EbObjective::Ws, &scaling)))
+    });
+    c.bench_function("brute_force_search_table", |b| {
+        b.iter(|| black_box(best_combo_by_eb(&sweep, EbObjective::Ws, &scaling)))
+    });
+}
+
+criterion_group!(benches, bench_controllers, bench_searches);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! PBS design-choice ablation study (see DESIGN.md mechanism notes).
+
+use ebm_bench::{figures, run_and_save};
+use ebm_core::eval::{Evaluator, EvaluatorConfig};
+
+fn main() {
+    let mut ev = Evaluator::new(EvaluatorConfig::paper());
+    run_and_save(&figures::ablation(&mut ev));
+}

@@ -1,0 +1,9 @@
+//! The ++CCWS baseline and its alone-run premise.
+
+use ebm_bench::{figures, run_and_save};
+use ebm_core::eval::{Evaluator, EvaluatorConfig};
+
+fn main() {
+    let mut ev = Evaluator::new(EvaluatorConfig::paper());
+    run_and_save(&figures::ccws(&mut ev));
+}

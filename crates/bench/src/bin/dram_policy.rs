@@ -1,0 +1,9 @@
+//! DRAM page-policy ablation (open vs closed page).
+
+use ebm_bench::{figures, run_and_save};
+use ebm_core::eval::{Evaluator, EvaluatorConfig};
+
+fn main() {
+    let mut ev = Evaluator::new(EvaluatorConfig::paper());
+    run_and_save(&figures::dram_policy(&mut ev));
+}

@@ -1,0 +1,40 @@
+//! Runs the full evaluation campaign: every figure and table, sharing one
+//! memoizing evaluator, writing each report to `results/<id>.txt`.
+//!
+//! Expect roughly half an hour on one core; individual artifacts can be
+//! regenerated with their own binaries (`cargo run -p ebm-bench --release
+//! --bin fig09`, …).
+
+use ebm_bench::{figures, run_and_save};
+use ebm_core::eval::{Evaluator, EvaluatorConfig};
+use gpu_workloads::all_workloads;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut ev = Evaluator::new(EvaluatorConfig::paper());
+    let workloads = all_workloads();
+
+    run_and_save(&figures::tab04(&mut ev));
+    run_and_save(&figures::fig01(&mut ev));
+    run_and_save(&figures::fig02(&mut ev));
+    run_and_save(&figures::fig03(&mut ev));
+    run_and_save(&figures::fig04(&mut ev));
+    run_and_save(&figures::fig05(&mut ev));
+    run_and_save(&figures::fig06(&mut ev));
+    run_and_save(&figures::fig07(&mut ev));
+    run_and_save(&figures::fig08());
+    run_and_save(&figures::fig09(&mut ev, &workloads));
+    run_and_save(&figures::fig10(&mut ev, &workloads));
+    run_and_save(&figures::hs_results(&mut ev, &workloads));
+    run_and_save(&figures::fig11(&mut ev));
+    run_and_save(&figures::sens_part(&mut ev));
+    run_and_save(&figures::ablation(&mut ev));
+    run_and_save(&figures::phased(&mut ev));
+    run_and_save(&figures::sampling(&mut ev));
+    run_and_save(&figures::sched(&mut ev));
+    run_and_save(&figures::ccws(&mut ev));
+    run_and_save(&figures::dram_policy(&mut ev));
+    run_and_save(&figures::threeapp(&mut ev));
+
+    eprintln!("campaign completed in {:?}", t0.elapsed());
+}

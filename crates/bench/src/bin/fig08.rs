@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 8 overhead budget. See DESIGN.md.
+
+use ebm_bench::{figures, run_and_save};
+
+fn main() {
+    run_and_save(&figures::fig08());
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig11 artifact. See DESIGN.md's experiment index.
+
+use ebm_bench::{figures, run_and_save};
+use ebm_core::eval::{Evaluator, EvaluatorConfig};
+
+fn main() {
+    let mut ev = Evaluator::new(EvaluatorConfig::paper());
+    run_and_save(&figures::fig11(&mut ev));
+}

@@ -1,0 +1,17 @@
+//! Regenerates the §VI-C harmonic-speedup results over the evaluated
+//! workloads. Pass workload names to restrict the set.
+
+use ebm_bench::{figures, run_and_save};
+use ebm_core::eval::{Evaluator, EvaluatorConfig};
+use gpu_workloads::all_workloads;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workloads: Vec<_> = if args.is_empty() {
+        all_workloads()
+    } else {
+        all_workloads().into_iter().filter(|w| args.contains(&w.name())).collect()
+    };
+    let mut ev = Evaluator::new(EvaluatorConfig::paper());
+    run_and_save(&figures::hs_results(&mut ev, &workloads));
+}

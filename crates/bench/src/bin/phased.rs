@@ -1,0 +1,9 @@
+//! Online-vs-offline PBS on phase-changing workloads (§VI-A).
+
+use ebm_bench::{figures, run_and_save};
+use ebm_core::eval::{Evaluator, EvaluatorConfig};
+
+fn main() {
+    let mut ev = Evaluator::new(EvaluatorConfig::paper());
+    run_and_save(&figures::phased(&mut ev));
+}

@@ -1,0 +1,9 @@
+//! Designated-vs-exact sampling validation (Fig. 8 / §V-E).
+
+use ebm_bench::{figures, run_and_save};
+use ebm_core::eval::{Evaluator, EvaluatorConfig};
+
+fn main() {
+    let mut ev = Evaluator::new(EvaluatorConfig::paper());
+    run_and_save(&figures::sampling(&mut ev));
+}

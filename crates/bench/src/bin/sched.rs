@@ -1,0 +1,9 @@
+//! Warp-scheduler sensitivity study (GTO vs LRR).
+
+use ebm_bench::{figures, run_and_save};
+use ebm_core::eval::{Evaluator, EvaluatorConfig};
+
+fn main() {
+    let mut ev = Evaluator::new(EvaluatorConfig::paper());
+    run_and_save(&figures::sched(&mut ev));
+}

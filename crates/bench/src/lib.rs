@@ -1,0 +1,19 @@
+//! Figure/table regeneration harness for the `gpu-ebm` reproduction.
+//!
+//! Every table and figure of the paper's evaluation has a generator in
+//! [`figures`], driven by a shared memoizing [`ebm_core::Evaluator`] so a
+//! full campaign profiles each application and sweeps each workload only
+//! once. One binary per artifact (`fig01` … `fig11`, `tab04`, `hs`,
+//! `sens_part`, `threeapp`) regenerates a single figure; the `experiments`
+//! binary runs everything and writes each report to `results/<id>.txt`.
+//!
+//! Run an individual artifact with
+//! `cargo run -p ebm-bench --release --bin fig09`, or everything with
+//! `cargo run -p ebm-bench --release --bin experiments`.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod util;
+
+pub use util::{run_and_save, Report};

@@ -1,0 +1,95 @@
+//! Report formatting and saving helpers.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A plain-text report being assembled (one per figure/table).
+#[derive(Debug, Clone)]
+pub struct Report {
+    id: String,
+    title: String,
+    body: String,
+}
+
+impl Report {
+    /// Starts a report for artifact `id` (e.g. "fig09") titled `title`.
+    pub fn new(id: &str, title: &str) -> Self {
+        Report { id: id.to_owned(), title: title.to_owned(), body: String::new() }
+    }
+
+    /// Appends one line.
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        self.body.push_str(text.as_ref());
+        self.body.push('\n');
+    }
+
+    /// Appends a blank line.
+    pub fn blank(&mut self) {
+        self.body.push('\n');
+    }
+
+    /// Appends a formatted numeric row: a left-aligned label plus one
+    /// fixed-width column per value.
+    pub fn row(&mut self, label: &str, values: &[f64]) {
+        let mut s = format!("{label:<22}");
+        for v in values {
+            let _ = write!(s, " {v:>8.3}");
+        }
+        self.line(s);
+    }
+
+    /// Appends a header row matching [`Report::row`]'s layout.
+    pub fn header(&mut self, label: &str, columns: &[&str]) {
+        let mut s = format!("{label:<22}");
+        for c in columns {
+            let _ = write!(s, " {c:>8}");
+        }
+        self.line(s);
+    }
+
+    /// The artifact id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Renders the full report.
+    pub fn render(&self) -> String {
+        format!("== {} — {} ==\n{}", self.id, self.title, self.body)
+    }
+}
+
+/// Prints a report and saves it under `results/<id>.txt` (best-effort: a
+/// read-only filesystem only loses the file copy).
+pub fn run_and_save(report: &Report) {
+    let text = report.render();
+    println!("{text}");
+    let dir = Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(dir.join(format!("{}.txt", report.id())), &text);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_header_and_rows() {
+        let mut r = Report::new("figX", "demo");
+        r.header("workload", &["WS", "FI"]);
+        r.row("BFS_FFT", &[1.25, 0.9]);
+        let text = r.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("BFS_FFT"));
+        assert!(text.contains("1.250"));
+    }
+
+    #[test]
+    fn rows_align_with_headers() {
+        let mut r = Report::new("f", "t");
+        r.header("x", &["col"]);
+        r.row("y", &[2.0]);
+        let text = r.render();
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        assert_eq!(lines[0].len(), lines[1].len());
+    }
+}

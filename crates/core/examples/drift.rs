@@ -1,0 +1,35 @@
+//! Developer utility: per-window IPC evolution at a fixed combo, to see how
+//! long cache/queue equilibria take to settle.
+
+use gpu_sim::machine::Gpu;
+use gpu_types::{AppId, GpuConfig, TlpCombo, TlpLevel};
+use gpu_workloads::Workload;
+
+fn main() {
+    let cfg = GpuConfig::paper();
+    let w = Workload::pair("DS", "TRD");
+    let combo = TlpCombo::pair(TlpLevel::new(2).unwrap(), TlpLevel::new(24).unwrap());
+    let mut gpu = Gpu::new(&cfg, w.apps(), 42);
+    gpu.set_combo(&combo);
+    let mut prev = [0u64; 2];
+    println!("{:>8} {:>8} {:>8} {:>8} {:>8}", "cycle", "ipc-DS", "ipc-TRD", "l2mr-DS", "bw-DS");
+    let mut prev_l2 = (0u64, 0u64, 0u64);
+    for k in 1..=20 {
+        gpu.run(20_000);
+        let c0 = gpu.counters(AppId::new(0));
+        let c1 = gpu.counters(AppId::new(1));
+        let l2a = c0.l2_accesses - prev_l2.0;
+        let l2m = c0.l2_misses - prev_l2.1;
+        let bytes = c0.dram_bytes - prev_l2.2;
+        println!(
+            "{:>8} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            k * 20_000,
+            (c0.warp_insts - prev[0]) as f64 / 20_000.0,
+            (c1.warp_insts - prev[1]) as f64 / 20_000.0,
+            l2m as f64 / l2a.max(1) as f64,
+            bytes as f64 / (20_000.0 * 192.0),
+        );
+        prev = [c0.warp_insts, c1.warp_insts];
+        prev_l2 = (c0.l2_accesses, c0.l2_misses, c0.dram_bytes);
+    }
+}

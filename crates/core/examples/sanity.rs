@@ -1,0 +1,40 @@
+//! Developer utility: quick scheme comparison on three canonical workloads
+//! (`cargo run -p ebm-core --example sanity --release`). The polished
+//! user-facing version is the workspace-root `scheme_shootout` example.
+
+use ebm_core::{EbObjective, Evaluator, EvaluatorConfig, Scheme};
+use gpu_workloads::Workload;
+
+fn main() {
+    let mut e = Evaluator::new(EvaluatorConfig::paper());
+    for wname in [("BFS", "FFT"), ("BLK", "TRD"), ("BLK", "BFS")] {
+        let w = Workload::pair(wname.0, wname.1);
+        println!("== {}", w.name());
+        let base = e.evaluate(&w, Scheme::BestTlp);
+        for s in [
+            Scheme::BestTlp,
+            Scheme::MaxTlp,
+            Scheme::DynCta,
+            Scheme::ModBypass,
+            Scheme::Pbs(EbObjective::Ws),
+            Scheme::PbsOffline(EbObjective::Ws),
+            Scheme::BruteForce(EbObjective::Ws),
+            Scheme::Opt(EbObjective::Ws),
+            Scheme::Pbs(EbObjective::Fi),
+            Scheme::Opt(EbObjective::Fi),
+        ] {
+            let t0 = std::time::Instant::now();
+            let r = e.evaluate(&w, s);
+            println!(
+                "  {:<18} WS={:.3} ({:+5.1}%)  FI={:.3}  HS={:.3}  combo={}  [{:?}]",
+                s.to_string(),
+                r.metrics.ws,
+                100.0 * (r.metrics.ws / base.metrics.ws - 1.0),
+                r.metrics.fi,
+                r.metrics.hs,
+                r.combo.map(|c| c.to_string()).unwrap_or_else(|| format!("dyn({} changes)", r.tlp_trace.len())),
+                t0.elapsed()
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Developer utility: prints the full WS surface of a workload over the
+//! 64-combination grid, plus where ++bestTLP and the oracles land
+//! (`cargo run -p ebm-core --example surface --release -- BLK BFS`).
+
+use ebm_core::sweep::ComboSweep;
+use ebm_core::{Evaluator, EvaluatorConfig};
+use gpu_sim::harness::RunSpec;
+use gpu_sim::metrics::{fi_of, ws_of};
+use gpu_types::{GpuConfig, TlpCombo, TlpLevel};
+use gpu_workloads::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (a, b) = if args.len() > 2 { (args[1].as_str(), args[2].as_str()) } else { ("BLK", "BFS") };
+    let w = Workload::pair(a, b);
+    let cfg = GpuConfig::paper();
+    let mut ev = Evaluator::new(EvaluatorConfig::paper());
+    let alone = ev.alone_ipcs(&w);
+    let best = ev.best_tlp_combo(&w);
+    println!("workload {w}: alone ipcs {alone:?}, ++bestTLP = {best}");
+    let sweep = ComboSweep::measure(&cfg, &w, 42, RunSpec::new(2_000, 8_000));
+    println!("{:>4} | WS rows=TLP-{a} cols=TLP-{b}", "");
+    let levels = sweep.levels();
+    print!("{:>5}", "");
+    for l in &levels { print!(" {:>6}", l.get()); }
+    println!();
+    let mut best_ws = (TlpCombo::uniform(TlpLevel::MIN, 2), 0.0f64);
+    let mut best_fi = best_ws.clone();
+    for l0 in &levels {
+        print!("{:>5}", l0.get());
+        for l1 in &levels {
+            let c = TlpCombo::pair(*l0, *l1);
+            let ipcs = sweep.ipcs(&c);
+            let sds: Vec<f64> = ipcs.iter().zip(&alone).map(|(i, a)| i / a).collect();
+            let ws = ws_of(&sds);
+            let fi = fi_of(&sds);
+            if ws > best_ws.1 { best_ws = (c.clone(), ws); }
+            if fi > best_fi.1 { best_fi = (c.clone(), fi); }
+            print!(" {:>6.3}", ws);
+        }
+        println!();
+    }
+    let base_sds: Vec<f64> = sweep.ipcs(&best).iter().zip(&alone).map(|(i, a)| i / a).collect();
+    println!("++bestTLP WS={:.3} FI={:.3}", ws_of(&base_sds), fi_of(&base_sds));
+    println!("optWS {} = {:.3}  (+{:.1}%)", best_ws.0, best_ws.1, 100.0*(best_ws.1/ws_of(&base_sds)-1.0));
+    println!("optFI {} = {:.3}", best_fi.0, best_fi.1);
+}

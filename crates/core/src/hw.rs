@@ -1,0 +1,135 @@
+//! Hardware-overhead accounting for the Fig. 8 sampling organization.
+//!
+//! §V-E breaks the proposal's cost into storage, computation and
+//! communication. The OCR of the paper drops most bit-widths; we
+//! reconstruct them conservatively (24-bit event counters saturate far
+//! beyond any 10 000-cycle window; the bandwidth-utilization register is
+//! 16-bit fixed point) and expose the arithmetic so the `fig08` harness can
+//! print the budget.
+
+use gpu_types::{GpuConfig, SamplingConfig};
+use std::fmt;
+
+/// Bits per event counter (L1/L2 accesses and misses within one window).
+pub const COUNTER_BITS: u64 = 24;
+/// Bits of the per-partition attained-bandwidth register.
+pub const BW_REG_BITS: u64 = 16;
+/// Bits per EB entry in the sampling table (fixed-point EB value).
+pub const EB_ENTRY_BITS: u64 = 16;
+
+/// The Fig. 8 overhead budget for a machine/sampling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverheadReport {
+    /// Storage bits added per core (designated L1 access + miss counters).
+    pub per_core_bits: u64,
+    /// Storage bits added per memory partition (per-app L2 access + miss
+    /// counters, relayed L1 miss-rate buffer, BW register).
+    pub per_partition_bits: u64,
+    /// Bytes of the EB sampling table (per core's warp-issue arbiter).
+    pub table_bytes: u64,
+    /// Bits relayed from the designated partition to the cores per
+    /// application per sampling window.
+    pub relay_bits_per_app: u64,
+    /// Total extra storage over the whole GPU, in bytes.
+    pub total_bytes: u64,
+    /// Sampling window the costs are paid per (cycles).
+    pub window_cycles: u64,
+}
+
+impl OverheadReport {
+    /// Computes the budget for `n_apps` co-scheduled applications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_apps` is zero.
+    pub fn for_machine(cfg: &GpuConfig, n_apps: usize) -> Self {
+        assert!(n_apps > 0, "need at least one application");
+        let s: &SamplingConfig = &cfg.sampling;
+        // Two counters per core: its application's L1 accesses and misses.
+        let per_core_bits = 2 * COUNTER_BITS;
+        // Per partition, per application: L2 access + miss counters, the
+        // relayed L1 miss rate, and one shared BW register.
+        let per_partition_bits =
+            n_apps as u64 * (2 * COUNTER_BITS + COUNTER_BITS) + BW_REG_BITS;
+        // Sampling table: one EB per application per remembered combination.
+        let table_bytes = (s.table_entries as u64 * n_apps as u64 * EB_ENTRY_BITS) / 8;
+        // Relay: L2 access/miss + BW per application each window.
+        let relay_bits_per_app = 2 * COUNTER_BITS + BW_REG_BITS;
+        let total_bytes = (cfg.n_cores as u64 * per_core_bits
+            + cfg.n_partitions as u64 * per_partition_bits)
+            / 8
+            + cfg.n_cores as u64 * table_bytes;
+        OverheadReport {
+            per_core_bits,
+            per_partition_bits,
+            table_bytes,
+            relay_bits_per_app,
+            total_bytes,
+            window_cycles: s.window_cycles,
+        }
+    }
+
+    /// Relay bandwidth in bits per cycle (amortized over the window) —
+    /// negligible next to the crossbar's flit bandwidth, which is the §V-E
+    /// argument.
+    pub fn relay_bits_per_cycle(&self, n_apps: usize) -> f64 {
+        (self.relay_bits_per_app * n_apps as u64) as f64 / self.window_cycles as f64
+    }
+}
+
+impl fmt::Display for OverheadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "per-core storage      : {} bits", self.per_core_bits)?;
+        writeln!(f, "per-partition storage : {} bits", self.per_partition_bits)?;
+        writeln!(f, "sampling table        : {} bytes/core", self.table_bytes)?;
+        writeln!(f, "relay traffic         : {} bits/app/window", self.relay_bits_per_app)?;
+        write!(f, "total extra storage   : {} bytes", self.total_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_tiny() {
+        let r = OverheadReport::for_machine(&GpuConfig::paper(), 2);
+        // The whole proposal must cost well under a kilobyte of storage per
+        // core and a few hundred bytes per partition.
+        assert!(r.per_core_bits <= 64);
+        assert!(r.per_partition_bits <= 512);
+        assert!(r.table_bytes <= 128);
+        assert!(r.total_bytes < 4_096, "total {} bytes", r.total_bytes);
+    }
+
+    #[test]
+    fn relay_bandwidth_is_negligible() {
+        let r = OverheadReport::for_machine(&GpuConfig::paper(), 2);
+        assert!(r.relay_bits_per_cycle(2) < 1.0, "must be well under a bit per cycle");
+    }
+
+    #[test]
+    fn table_scales_with_entries_and_apps() {
+        let mut cfg = GpuConfig::paper();
+        cfg.sampling.table_entries = 16;
+        let two = OverheadReport::for_machine(&cfg, 2);
+        let three = OverheadReport::for_machine(&cfg, 3);
+        assert!(three.table_bytes > two.table_bytes);
+        assert_eq!(two.table_bytes, 16 * 2 * 2); // 16 entries x 2 apps x 2 bytes
+    }
+
+    #[test]
+    fn display_mentions_every_component() {
+        let r = OverheadReport::for_machine(&GpuConfig::paper(), 2);
+        let text = r.to_string();
+        for needle in ["per-core", "per-partition", "table", "relay", "total"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_apps_panics() {
+        let _ = OverheadReport::for_machine(&GpuConfig::paper(), 0);
+    }
+}

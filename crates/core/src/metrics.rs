@@ -1,0 +1,120 @@
+//! EB-based runtime metrics and the alone-ratio analysis of §IV.
+
+use gpu_sim::metrics::{fi_of, hs_of, ws_of};
+use std::fmt;
+
+/// Which EB-based system metric a search or controller optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EbObjective {
+    /// Maximize `EB-WS = Σ EB_i` — proxy for system throughput (PBS-WS).
+    Ws,
+    /// Maximize `EB-FI = min EB_i / max EB_i` — proxy for fairness (PBS-FI).
+    Fi,
+    /// Maximize `EB-HS = n / Σ 1/EB_i` — proxy for the balanced
+    /// throughput+fairness metric (PBS-HS).
+    Hs,
+}
+
+impl EbObjective {
+    /// Evaluates the objective on (possibly scaled) per-application EBs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ebs` is empty.
+    pub fn value(self, ebs: &[f64]) -> f64 {
+        match self {
+            EbObjective::Ws => ws_of(ebs),
+            EbObjective::Fi => fi_of(ebs),
+            EbObjective::Hs => hs_of(ebs),
+        }
+    }
+
+    /// Whether this objective needs EB scaling factors to correlate with its
+    /// SD-based counterpart (§IV: WS tolerates unscaled EB; FI and HS use
+    /// scaling to suppress the `EB_AR` bias).
+    pub fn wants_scaling(self) -> bool {
+        !matches!(self, EbObjective::Ws)
+    }
+
+    /// All three objectives.
+    pub fn all() -> [EbObjective; 3] {
+        [EbObjective::Ws, EbObjective::Fi, EbObjective::Hs]
+    }
+}
+
+impl fmt::Display for EbObjective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EbObjective::Ws => write!(f, "WS"),
+            EbObjective::Fi => write!(f, "FI"),
+            EbObjective::Hs => write!(f, "HS"),
+        }
+    }
+}
+
+/// The alone-ratio `max(m1/m2, m2/m1)` of two applications' alone-run
+/// metrics (Fig. 5 compares `IPC_AR` against `EB_AR`): the bias a sum-based
+/// system metric inherits toward one application. Lower is better; §IV
+/// chooses EB over IPC because `EB_AR ≪ IPC_AR` on average.
+///
+/// # Panics
+///
+/// Panics unless both values are positive.
+pub fn alone_ratio(m1: f64, m2: f64) -> f64 {
+    assert!(m1 > 0.0 && m2 > 0.0, "alone metrics must be positive");
+    (m1 / m2).max(m2 / m1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ws_is_sum_of_ebs() {
+        assert!((EbObjective::Ws.value(&[0.8, 1.2]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fi_is_balance() {
+        assert!((EbObjective::Fi.value(&[0.5, 1.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(EbObjective::Fi.value(&[0.7, 0.7]), 1.0);
+    }
+
+    #[test]
+    fn hs_penalizes_imbalance_more_than_ws() {
+        let balanced = EbObjective::Hs.value(&[1.0, 1.0]);
+        let skewed = EbObjective::Hs.value(&[1.9, 0.1]);
+        assert!(balanced > skewed, "HS must prefer balance at equal sum");
+        // WS is indifferent.
+        assert!(
+            (EbObjective::Ws.value(&[1.0, 1.0]) - EbObjective::Ws.value(&[1.9, 0.1])).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn scaling_requirements_follow_the_paper() {
+        assert!(!EbObjective::Ws.wants_scaling());
+        assert!(EbObjective::Fi.wants_scaling());
+        assert!(EbObjective::Hs.wants_scaling());
+    }
+
+    #[test]
+    fn alone_ratio_is_symmetric_and_ge_one() {
+        assert!((alone_ratio(2.0, 1.0) - 2.0).abs() < 1e-12);
+        assert!((alone_ratio(1.0, 2.0) - 2.0).abs() < 1e-12);
+        assert_eq!(alone_ratio(3.0, 3.0), 1.0);
+    }
+
+    #[test]
+    fn objective_display() {
+        assert_eq!(EbObjective::Ws.to_string(), "WS");
+        assert_eq!(EbObjective::all().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn alone_ratio_rejects_zero() {
+        let _ = alone_ratio(0.0, 1.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Pattern analysis and the pattern-based search rules of §V.
+//!
+//! The paper's key empirical observation: when the machine is sufficiently
+//! utilized, an application's EB-based objective exhibits an inflection
+//! point at a TLP level that is *independent of the co-runner's TLP* (the
+//! "pattern"). This lets PBS find a near-optimal combination by
+//!
+//! 1. probing at a moderate TLP (4 — "the TLP value of 4 ensures that the
+//!    GPU system is not under-utilized", §V-B) so nothing is
+//!    under-utilized (Guideline-1) while the probe itself does not
+//!    overwhelm the shared resources (Guideline-2),
+//! 2. sweeping each application's TLP with the co-runners pinned at the
+//!    probe level, identifying the **critical application** — the one whose
+//!    sweep shows the largest objective drop past its knee (Guideline-2),
+//! 3. fixing the critical application at its knee and greedily tuning the
+//!    non-critical applications until the objective stops improving.
+//!
+//! This module implements those rules over an offline [`ComboSweep`] table
+//! (the PBS-Offline schemes, and the machinery behind Figs. 6 and 7); the
+//! online controller in [`crate::policy::pbs`] applies the same rules to
+//! live samples.
+
+use crate::metrics::EbObjective;
+use crate::scaling::ScalingFactors;
+use crate::sweep::ComboSweep;
+use gpu_types::{TlpCombo, TlpLevel};
+
+/// An objective curve along one application's TLP axis, with the other
+/// applications' levels held fixed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCurve {
+    /// The application whose TLP varies.
+    pub app: usize,
+    /// `(level, objective)` points in ascending level order.
+    pub points: Vec<(TlpLevel, f64)>,
+}
+
+impl SweepCurve {
+    /// Extracts the curve for `app` from an offline sweep, with the other
+    /// applications at their levels in `fixed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep is empty or `app` is out of range.
+    pub fn from_sweep(
+        sweep: &ComboSweep,
+        app: usize,
+        fixed: &TlpCombo,
+        objective: EbObjective,
+        scaling: &ScalingFactors,
+    ) -> Self {
+        assert!(app < sweep.n_apps(), "application index out of range");
+        let points = sweep
+            .levels()
+            .into_iter()
+            .map(|l| {
+                let combo = fixed.with_level(app, l);
+                let ebs = sweep.ebs(&combo);
+                (l, objective.value(&scaling.apply(&ebs)))
+            })
+            .collect();
+        SweepCurve { app, points }
+    }
+
+    /// The knee: the level with the maximum objective value (ties go to the
+    /// lower level, which frees more resources).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve is empty.
+    pub fn knee(&self) -> TlpLevel {
+        assert!(!self.points.is_empty(), "empty curve");
+        self.points
+            .iter()
+            .rev() // reverse so that on ties `max_by` keeps the lower level
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty")
+            .0
+    }
+
+    /// The drop past the knee: `objective(knee) − min objective at any
+    /// level above the knee` (zero when the knee is the top level). The
+    /// application with the larger drop is *critical* — its TLP is the
+    /// lever that overwhelms the shared resources.
+    pub fn drop_past_knee(&self) -> f64 {
+        let knee = self.knee();
+        let knee_val = self.points.iter().find(|(l, _)| *l == knee).expect("knee on curve").1;
+        self.points
+            .iter()
+            .filter(|(l, _)| *l > knee)
+            .map(|&(_, v)| knee_val - v)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Convenience: the knee of `app`'s curve (others at `fixed`).
+pub fn knee_of(
+    sweep: &ComboSweep,
+    app: usize,
+    fixed: &TlpCombo,
+    objective: EbObjective,
+    scaling: &ScalingFactors,
+) -> TlpLevel {
+    SweepCurve::from_sweep(sweep, app, fixed, objective, scaling).knee()
+}
+
+/// The paper's probe level: co-runners are pinned at TLP 4 during sweeps —
+/// high enough to utilize the machine, low enough not to overwhelm it
+/// (§V-B). Clamped to the highest realizable level.
+pub fn probe_level(levels: &[TlpLevel]) -> TlpLevel {
+    let four = TlpLevel::new(4).expect("4 is a valid level");
+    levels.iter().copied().filter(|&l| l <= four).max().unwrap_or_else(|| {
+        *levels.first().expect("non-empty ladder")
+    })
+}
+
+/// Identifies the critical application and its knee level, probing with all
+/// other applications at `probe` (§V-B step 2).
+pub fn critical_app(
+    sweep: &ComboSweep,
+    objective: EbObjective,
+    scaling: &ScalingFactors,
+    probe: TlpLevel,
+) -> (usize, TlpLevel) {
+    let n = sweep.n_apps();
+    let base = TlpCombo::uniform(probe, n);
+    let mut best: Option<(usize, TlpLevel, f64)> = None;
+    for app in 0..n {
+        let curve = SweepCurve::from_sweep(sweep, app, &base, objective, scaling);
+        let drop = curve.drop_past_knee();
+        if best.as_ref().is_none_or(|&(_, _, d)| drop > d) {
+            best = Some((app, curve.knee(), drop));
+        }
+    }
+    let (app, knee, _) = best.expect("at least one application");
+    (app, knee)
+}
+
+/// The full PBS search over an offline table: find the critical
+/// application, fix it at its knee, then greedily tune each non-critical
+/// application down the ladder while the objective improves (§V-B step 3).
+///
+/// Returns the chosen combination and the number of table lookups
+/// ("samples") the search consumed — the quantity PBS minimizes versus the
+/// exhaustive 64.
+pub fn pbs_offline_search(
+    sweep: &ComboSweep,
+    objective: EbObjective,
+    scaling: &ScalingFactors,
+) -> (TlpCombo, usize) {
+    let n = sweep.n_apps();
+    let levels = sweep.levels();
+    let probe = probe_level(&levels);
+    let mut samples = 0usize;
+
+    // Step 2: critical application (each curve costs one sample per level).
+    let base = TlpCombo::uniform(probe, n);
+    let mut curves = Vec::new();
+    for app in 0..n {
+        curves.push(SweepCurve::from_sweep(sweep, app, &base, objective, scaling));
+        samples += levels.len();
+    }
+    let critical = (0..n)
+        .max_by(|&a, &b| curves[a].drop_past_knee().total_cmp(&curves[b].drop_past_knee()))
+        .expect("non-empty");
+    let mut combo = base.with_level(critical, curves[critical].knee());
+
+    // Step 3: tune the non-critical applications greedily, climbing away
+    // from the probe level in whichever direction improves the objective
+    // (the paper's BLK_TRD example tunes TRD *up* from the probe to 8).
+    let value_at = |combo: &TlpCombo| objective.value(&scaling.apply(&sweep.ebs(combo)));
+    let mut best_val = value_at(&combo);
+    samples += 1;
+    for app in (0..n).filter(|&a| a != critical) {
+        for dir in [TlpLevel::step_up as fn(TlpLevel) -> Option<TlpLevel>, TlpLevel::step_down] {
+            let mut improved_this_dir = false;
+            loop {
+                let cur = combo.level(app);
+                let Some(next) = dir(cur) else { break };
+                let cand = combo.with_level(app, next);
+                let v = value_at(&cand);
+                samples += 1;
+                if v > best_val {
+                    best_val = v;
+                    combo = cand;
+                    improved_this_dir = true;
+                } else {
+                    break;
+                }
+            }
+            // Only try the opposite direction if this one never improved.
+            if improved_this_dir {
+                break;
+            }
+        }
+    }
+    (combo, samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level(l: u32) -> TlpLevel {
+        TlpLevel::new(l).unwrap()
+    }
+
+    fn curve(points: &[(u32, f64)]) -> SweepCurve {
+        SweepCurve {
+            app: 0,
+            points: points.iter().map(|&(l, v)| (level(l), v)).collect(),
+        }
+    }
+
+    #[test]
+    fn knee_is_argmax() {
+        let c = curve(&[(1, 0.5), (2, 0.9), (4, 0.8), (8, 0.3)]);
+        assert_eq!(c.knee(), level(2));
+    }
+
+    #[test]
+    fn knee_tie_prefers_lower_level() {
+        let c = curve(&[(1, 0.9), (2, 0.9), (4, 0.5)]);
+        assert_eq!(c.knee(), level(1));
+    }
+
+    #[test]
+    fn drop_measures_post_knee_decline() {
+        let c = curve(&[(1, 0.5), (2, 0.9), (4, 0.8), (8, 0.3)]);
+        assert!((c.drop_past_knee() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_rising_curve_has_zero_drop() {
+        let c = curve(&[(1, 0.1), (2, 0.5), (4, 0.9)]);
+        assert_eq!(c.drop_past_knee(), 0.0);
+        assert_eq!(c.knee(), level(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty curve")]
+    fn empty_curve_panics() {
+        let _ = curve(&[]).knee();
+    }
+
+    #[test]
+    fn probe_level_is_four_on_full_ladder() {
+        let ladder: Vec<TlpLevel> = TlpLevel::ladder().collect();
+        assert_eq!(probe_level(&ladder), level(4));
+    }
+
+    #[test]
+    fn probe_level_clamps_on_tiny_machines() {
+        // A machine whose ladder tops out below 4 probes at its max.
+        let ladder = vec![level(1), level(2)];
+        assert_eq!(probe_level(&ladder), level(2));
+        // A ladder starting above 4 probes at its smallest level.
+        let ladder = vec![level(6), level(8)];
+        assert_eq!(probe_level(&ladder), level(6));
+    }
+}

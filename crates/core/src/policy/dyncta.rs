@@ -1,0 +1,163 @@
+//! The DynCTA baseline (Kayıran et al., "Neither more nor less: optimizing
+//! thread-level parallelism for GPGPUs", re-implemented from its published
+//! heuristic).
+//!
+//! Each application independently modulates its own TLP from per-core
+//! latency-tolerance signals: if its cores spend too many cycles stalled on
+//! memory, TLP steps down; if they are memory-happy and under-occupied, TLP
+//! steps up. Crucially — and this is the paper's criticism (§IV) — the
+//! heuristic never looks at the *co-runners'* resource consumption, so
+//! "++DynCTA" still lets each application take a disproportionate share.
+
+use gpu_sim::control::{Controller, Decision, Observation};
+use gpu_types::TlpLevel;
+
+/// Thresholds of the DynCTA up/down heuristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynCtaParams {
+    /// Memory-wait warp occupancy above which TLP steps down (warps are
+    /// mostly blocked on memory — latency tolerance saturated, §IV).
+    pub high_stall: f64,
+    /// Occupancy below which TLP steps up (spare latency tolerance).
+    pub low_stall: f64,
+}
+
+impl Default for DynCtaParams {
+    fn default() -> Self {
+        DynCtaParams { high_stall: 0.70, low_stall: 0.35 }
+    }
+}
+
+/// Per-application DynCTA modulation.
+#[derive(Debug, Clone)]
+pub struct DynCta {
+    params: DynCtaParams,
+    max_level: TlpLevel,
+}
+
+impl DynCta {
+    /// Creates the controller; `max_level` is the machine's realizable
+    /// maximum (levels walk the standard ladder below it).
+    pub fn new(max_level: TlpLevel) -> Self {
+        DynCta { params: DynCtaParams::default(), max_level }
+    }
+
+    /// Overrides the default thresholds.
+    pub fn with_params(mut self, params: DynCtaParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    fn modulate(&self, tlp: TlpLevel, occupancy: f64) -> Option<TlpLevel> {
+        if occupancy > self.params.high_stall {
+            tlp.step_down()
+        } else if occupancy < self.params.low_stall {
+            tlp.step_up().map(|l| l.min(self.max_level))
+        } else {
+            None
+        }
+    }
+}
+
+impl Controller for DynCta {
+    fn on_window(&mut self, obs: &Observation) -> Decision {
+        let mut d = Decision::unchanged(obs.apps.len());
+        for (i, app) in obs.apps.iter().enumerate() {
+            if let Some(next) = self.modulate(app.tlp, app.core.mem_wait_occupancy()) {
+                d.tlp[i] = Some(next);
+            }
+        }
+        d
+    }
+
+    fn name(&self) -> &str {
+        "++DynCTA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::control::AppObservation;
+    use gpu_simt::CoreStats;
+    use gpu_types::{AppWindow, MemCounters};
+
+    fn obs_with(stats: Vec<CoreStats>, tlps: Vec<u32>) -> Observation {
+        let w = AppWindow::new(
+            MemCounters { l1_accesses: 10, warp_insts: 10, ..MemCounters::new() },
+            1_000,
+            192.0,
+        );
+        Observation {
+            now: 1_000,
+            window_cycles: 1_000,
+            apps: stats
+                .into_iter()
+                .zip(tlps)
+                .map(|(core, t)| AppObservation {
+                    window: w,
+                    core,
+                    tlp: TlpLevel::new(t).unwrap(),
+                    bypassed: false,
+                })
+                .collect(),
+        }
+    }
+
+    fn stats(active: u64, waiting: u64) -> CoreStats {
+        CoreStats {
+            cycles: 1_000,
+            insts: 500,
+            warp_mem_wait_cycles: waiting,
+            active_warp_cycles: active,
+            ..CoreStats::default()
+        }
+    }
+
+    #[test]
+    fn heavy_memory_occupancy_steps_down() {
+        let mut c = DynCta::new(TlpLevel::MAX);
+        let d = c.on_window(&obs_with(vec![stats(10_000, 9_000)], vec![8]));
+        assert_eq!(d.tlp[0], TlpLevel::new(6));
+    }
+
+    #[test]
+    fn low_occupancy_steps_up() {
+        let mut c = DynCta::new(TlpLevel::MAX);
+        let d = c.on_window(&obs_with(vec![stats(10_000, 1_000)], vec![8]));
+        assert_eq!(d.tlp[0], TlpLevel::new(12));
+    }
+
+    #[test]
+    fn moderate_occupancy_holds() {
+        let mut c = DynCta::new(TlpLevel::MAX);
+        let d = c.on_window(&obs_with(vec![stats(10_000, 5_000)], vec![8]));
+        assert_eq!(d.tlp[0], None);
+    }
+
+    #[test]
+    fn step_up_respects_machine_max() {
+        let mut c = DynCta::new(TlpLevel::new(8).unwrap());
+        let d = c.on_window(&obs_with(vec![stats(10_000, 0)], vec![8]));
+        // step_up from 8 is 12, clamped back to 8 => effectively unchanged.
+        assert_eq!(d.tlp[0], TlpLevel::new(8));
+    }
+
+    #[test]
+    fn apps_are_modulated_independently() {
+        let mut c = DynCta::new(TlpLevel::MAX);
+        let d = c.on_window(&obs_with(
+            vec![stats(10_000, 9_000), stats(10_000, 1_000)],
+            vec![8, 4],
+        ));
+        assert_eq!(d.tlp[0], TlpLevel::new(6), "stalled app steps down");
+        assert_eq!(d.tlp[1], TlpLevel::new(6), "happy app steps up");
+    }
+
+    #[test]
+    fn cannot_step_below_one() {
+        let mut c = DynCta::new(TlpLevel::MAX);
+        let d = c.on_window(&obs_with(vec![stats(10_000, 9_900)], vec![1]));
+        assert_eq!(d.tlp[0], None);
+    }
+}

@@ -1,0 +1,16 @@
+//! Runtime TLP-management controllers.
+//!
+//! * [`pbs`] — the paper's contribution: pattern-based searching over live
+//!   EB samples (PBS-WS, PBS-FI, PBS-HS).
+//! * [`dyncta`] — the DynCTA prior-art baseline: per-application
+//!   latency-tolerance-driven TLP modulation, oblivious to co-runners.
+//! * [`modbypass`] — the Mod+Bypass baseline: DynCTA-style modulation plus
+//!   L1 bypassing for cache-insensitive applications.
+
+pub mod dyncta;
+pub mod modbypass;
+pub mod pbs;
+
+pub use dyncta::DynCta;
+pub use modbypass::ModBypass;
+pub use pbs::Pbs;

@@ -1,0 +1,164 @@
+//! The Mod+Bypass baseline: TLP modulation plus L1 bypassing for
+//! cache-insensitive applications (the multi-application scheme of
+//! "Anatomy of GPU memory system for multi-application execution").
+//!
+//! On top of DynCTA-style modulation, an application whose sampled L1 hit
+//! rate shows it "does not take advantage of caches" (§VI-A) is switched to
+//! bypass its L1s, eliminating its cache pollution. The paper's criticism
+//! stands: the scheme still ignores memory-bandwidth consumption and the
+//! combined effect of the co-runners' TLP, which is why PBS outperforms it.
+
+use crate::policy::dyncta::DynCta;
+use gpu_sim::control::{Controller, Decision, Observation};
+use gpu_types::TlpLevel;
+
+/// Mod+Bypass controller.
+#[derive(Debug, Clone)]
+pub struct ModBypass {
+    modulation: DynCta,
+    /// L1 miss rate above which an application is declared cache-insensitive
+    /// and bypassed.
+    bypass_above: f64,
+    /// Miss rate below which bypassing is reverted (hysteresis).
+    restore_below: f64,
+    /// Windows between forced re-probes: a bypassed application generates no
+    /// L1 statistics, so it is periodically un-bypassed for one window to
+    /// re-measure its cache sensitivity (otherwise a transiently thrashing
+    /// application would stay bypassed forever).
+    reprobe_period: u64,
+    window: u64,
+}
+
+impl ModBypass {
+    /// Creates the controller with default thresholds (bypass above 98 %
+    /// L1 miss rate — effectively only applications that never reuse a
+    /// line — restore below 90 %).
+    pub fn new(max_level: TlpLevel) -> Self {
+        ModBypass {
+            modulation: DynCta::new(max_level),
+            bypass_above: 0.98,
+            restore_below: 0.90,
+            reprobe_period: 16,
+            window: 0,
+        }
+    }
+
+    /// Overrides the bypass thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `restore_below <= bypass_above` and both lie in
+    /// `[0, 1]`.
+    pub fn with_thresholds(mut self, bypass_above: f64, restore_below: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&bypass_above)
+                && (0.0..=1.0).contains(&restore_below)
+                && restore_below <= bypass_above,
+            "invalid bypass thresholds"
+        );
+        self.bypass_above = bypass_above;
+        self.restore_below = restore_below;
+        self
+    }
+}
+
+impl Controller for ModBypass {
+    fn on_window(&mut self, obs: &Observation) -> Decision {
+        self.window += 1;
+        let mut d = self.modulation.on_window(obs);
+        let reprobe = self.window.is_multiple_of(self.reprobe_period);
+        for (i, app) in obs.apps.iter().enumerate() {
+            if app.window.counters.l1_accesses == 0 {
+                // No L1 statistics (fully bypassed window): periodically
+                // un-bypass for one window to re-measure.
+                if app.bypassed && reprobe {
+                    d.bypass[i] = Some(false);
+                }
+                continue;
+            }
+            let l1mr = app.window.counters.l1_miss_rate();
+            if !app.bypassed && l1mr > self.bypass_above {
+                d.bypass[i] = Some(true);
+            } else if app.bypassed && l1mr < self.restore_below {
+                d.bypass[i] = Some(false);
+            }
+        }
+        d
+    }
+
+    fn name(&self) -> &str {
+        "Mod+Bypass"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::control::AppObservation;
+    use gpu_simt::CoreStats;
+    use gpu_types::{AppWindow, MemCounters};
+
+    fn obs(l1_accesses: u64, l1_misses: u64, bypassed: bool) -> Observation {
+        let w = AppWindow::new(
+            MemCounters { l1_accesses, l1_misses, warp_insts: 100, ..MemCounters::new() },
+            1_000,
+            192.0,
+        );
+        Observation {
+            now: 1_000,
+            window_cycles: 1_000,
+            apps: vec![AppObservation {
+                window: w,
+                core: CoreStats { cycles: 1_000, insts: 500, ..CoreStats::default() },
+                tlp: TlpLevel::new(8).unwrap(),
+                bypassed,
+            }],
+        }
+    }
+
+    #[test]
+    fn streaming_app_gets_bypassed() {
+        let mut c = ModBypass::new(TlpLevel::MAX);
+        let d = c.on_window(&obs(1_000, 995, false));
+        assert_eq!(d.bypass[0], Some(true));
+    }
+
+    #[test]
+    fn cache_friendly_app_keeps_its_l1() {
+        let mut c = ModBypass::new(TlpLevel::MAX);
+        let d = c.on_window(&obs(1_000, 300, false));
+        assert_eq!(d.bypass[0], None);
+    }
+
+    #[test]
+    fn bypassed_app_with_no_accesses_stays_put_until_reprobe() {
+        let mut c = ModBypass::new(TlpLevel::MAX);
+        for _ in 0..15 {
+            let d = c.on_window(&obs(0, 0, true));
+            assert_eq!(d.bypass[0], None);
+        }
+        // 16th window: forced re-probe.
+        let d = c.on_window(&obs(0, 0, true));
+        assert_eq!(d.bypass[0], Some(false));
+    }
+
+    #[test]
+    fn residual_cached_traffic_can_restore() {
+        // A bypassed app still finishing cached in-flight loads shows a low
+        // miss rate: restore.
+        let mut c = ModBypass::new(TlpLevel::MAX);
+        let d = c.on_window(&obs(100, 10, true));
+        assert_eq!(d.bypass[0], Some(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bypass thresholds")]
+    fn bad_thresholds_panic() {
+        let _ = ModBypass::new(TlpLevel::MAX).with_thresholds(0.5, 0.9);
+    }
+
+    #[test]
+    fn name_matches_paper() {
+        assert_eq!(ModBypass::new(TlpLevel::MAX).name(), "Mod+Bypass");
+    }
+}

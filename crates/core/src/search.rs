@@ -1,0 +1,160 @@
+//! Offline exhaustive searches over a [`ComboSweep`].
+//!
+//! * `opt*` — the oracle: the combination maximizing the *SD-based* metric
+//!   (requires alone IPCs). The paper finds these "by profiling 64 different
+//!   combinations of TLP and picking the one that provides the best WS (or
+//!   FI)".
+//! * `BF-*` — brute force over the *EB-based* metric: an upper bound on
+//!   what any EB-driven runtime scheme (PBS included) can reach.
+
+use crate::metrics::EbObjective;
+use crate::scaling::ScalingFactors;
+use crate::sweep::ComboSweep;
+use gpu_types::TlpCombo;
+
+/// The combination maximizing the EB-based `objective` (BF-WS / BF-FI /
+/// BF-HS), with the winning objective value.
+///
+/// # Panics
+///
+/// Panics if the sweep is empty.
+pub fn best_combo_by_eb(
+    sweep: &ComboSweep,
+    objective: EbObjective,
+    scaling: &ScalingFactors,
+) -> (TlpCombo, f64) {
+    sweep
+        .iter()
+        .map(|(combo, samples)| {
+            let ebs: Vec<f64> = samples.iter().map(|s| s.eb).collect();
+            (combo.clone(), objective.value(&scaling.apply(&ebs)))
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("sweep must be non-empty")
+}
+
+/// The combination maximizing raw instruction throughput (the sum of the
+/// applications' IPCs) — §IV Observation 2's foil: "a mechanism that
+/// attempts to maximize IT may not be optimal to improve system
+/// throughput", because IT inherits the alone-ratio bias of Fig. 5.
+///
+/// # Panics
+///
+/// Panics if the sweep is empty.
+pub fn best_combo_by_it(sweep: &ComboSweep) -> (TlpCombo, f64) {
+    sweep
+        .iter()
+        .map(|(combo, samples)| {
+            (combo.clone(), samples.iter().map(|s| s.ipc).sum::<f64>())
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("sweep must be non-empty")
+}
+
+/// The combination maximizing the SD-based `objective` (optWS / optFI /
+/// optHS), given each application's alone `IPC@bestTLP`, with the winning
+/// metric value.
+///
+/// # Panics
+///
+/// Panics if the sweep is empty, `alone_ipcs` mismatches the application
+/// count, or any alone IPC is not positive.
+pub fn best_combo_by_sd(
+    sweep: &ComboSweep,
+    objective: EbObjective,
+    alone_ipcs: &[f64],
+) -> (TlpCombo, f64) {
+    assert_eq!(alone_ipcs.len(), sweep.n_apps(), "one alone IPC per application");
+    assert!(alone_ipcs.iter().all(|&i| i > 0.0), "alone IPCs must be positive");
+    sweep
+        .iter()
+        .map(|(combo, samples)| {
+            let sds: Vec<f64> =
+                samples.iter().zip(alone_ipcs).map(|(s, &a)| s.ipc / a).collect();
+            (combo.clone(), objective.value(&sds))
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("sweep must be non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::pbs_offline_search;
+    use gpu_sim::harness::RunSpec;
+    use gpu_types::GpuConfig;
+    use gpu_workloads::Workload;
+
+    fn sweep() -> ComboSweep {
+        ComboSweep::measure(
+            &GpuConfig::small(),
+            &Workload::pair("BLK", "BFS"),
+            3,
+            RunSpec::new(300, 1_500),
+        )
+    }
+
+    #[test]
+    fn bf_ws_beats_or_matches_every_combo() {
+        let s = sweep();
+        let scaling = ScalingFactors::none(2);
+        let (_, best) = best_combo_by_eb(&s, EbObjective::Ws, &scaling);
+        for (combo, _) in s.iter() {
+            let v = EbObjective::Ws.value(&s.ebs(combo));
+            assert!(v <= best + 1e-12, "{combo} has EB-WS {v} > brute-force best {best}");
+        }
+    }
+
+    #[test]
+    fn opt_ws_beats_or_matches_every_combo() {
+        let s = sweep();
+        let alone = [1.0, 1.0];
+        let (_, best) = best_combo_by_sd(&s, EbObjective::Ws, &alone);
+        for (combo, _) in s.iter() {
+            let v = EbObjective::Ws.value(&s.ipcs(combo));
+            assert!(v <= best + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fi_optimum_is_balanced() {
+        let s = sweep();
+        let scaling = ScalingFactors::none(2);
+        let (combo, v) = best_combo_by_eb(&s, EbObjective::Fi, &scaling);
+        assert!(v > 0.0 && v <= 1.0, "FI must be a ratio, got {v} at {combo}");
+    }
+
+    #[test]
+    fn pbs_offline_needs_fewer_samples_than_brute_force() {
+        let s = sweep();
+        let scaling = ScalingFactors::none(2);
+        let (combo, samples) = pbs_offline_search(&s, EbObjective::Ws, &scaling);
+        assert!(
+            samples < s.len(),
+            "PBS used {samples} samples, exhaustive needs {}",
+            s.len()
+        );
+        // And the found combination must be competitive: within 25% of the
+        // brute-force EB-WS on this workload.
+        let (_, bf) = best_combo_by_eb(&s, EbObjective::Ws, &scaling);
+        let got = EbObjective::Ws.value(&s.ebs(&combo));
+        assert!(got >= 0.75 * bf, "PBS found {got:.3}, brute force {bf:.3}");
+    }
+
+    #[test]
+    fn it_optimum_maximizes_ipc_sum() {
+        let s = sweep();
+        let (_, best) = best_combo_by_it(&s);
+        for (combo, _) in s.iter() {
+            let it: f64 = s.ipcs(combo).iter().sum();
+            assert!(it <= best + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one alone IPC")]
+    fn mismatched_alone_ipcs_panic() {
+        let s = sweep();
+        let _ = best_combo_by_sd(&s, EbObjective::Ws, &[1.0]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Exhaustive TLP-combination profiling.
+//!
+//! A [`ComboSweep`] holds one measurement per TLP combination of a
+//! workload — 64 entries for two applications. It feeds the `opt*` oracles
+//! (best SD metric), the `BF-*` schemes (best EB metric), the offline PBS
+//! variants, and the pattern surfaces of Figs. 6 and 7.
+
+use gpu_sim::harness::{measure_fixed, RunSpec};
+use gpu_sim::machine::Gpu;
+use gpu_types::{GpuConfig, TlpCombo, TlpLevel};
+use gpu_workloads::Workload;
+use std::collections::HashMap;
+
+/// One application's measurements at one TLP combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComboSample {
+    /// Warp-instruction IPC under sharing.
+    pub ipc: f64,
+    /// Attained DRAM bandwidth (normalized to peak).
+    pub bw: f64,
+    /// Combined miss rate.
+    pub cmr: f64,
+    /// Effective bandwidth.
+    pub eb: f64,
+}
+
+/// Exhaustive measurements over the clamped TLP ladder of a workload.
+///
+/// # Examples
+///
+/// ```
+/// use ebm_core::sweep::ComboSweep;
+/// use gpu_sim::harness::RunSpec;
+/// use gpu_types::GpuConfig;
+/// use gpu_workloads::Workload;
+///
+/// let cfg = GpuConfig::small(); // 25 combinations on the test machine
+/// let sweep = ComboSweep::measure(
+///     &cfg,
+///     &Workload::pair("BLK", "BFS"),
+///     42,
+///     RunSpec::new(300, 1_000),
+/// );
+/// assert_eq!(sweep.len(), 25);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComboSweep {
+    /// Workload name (diagnostics).
+    pub workload: String,
+    entries: HashMap<TlpCombo, Vec<ComboSample>>,
+    n_apps: usize,
+}
+
+impl ComboSweep {
+    /// Runs every ladder combination of `workload` on a fresh machine (same
+    /// seed, so combinations differ only in their TLP settings) and records
+    /// per-application samples.
+    ///
+    /// Ladder levels above the machine's realizable maximum collapse into
+    /// it, so small test machines sweep fewer combinations.
+    pub fn measure(cfg: &GpuConfig, workload: &Workload, seed: u64, spec: RunSpec) -> Self {
+        let mut entries = HashMap::new();
+        for combo in Self::combos(cfg, workload.n_apps()) {
+            let mut gpu = Gpu::new(cfg, workload.apps(), seed);
+            let windows = measure_fixed(&mut gpu, &combo, spec);
+            let samples = windows
+                .iter()
+                .map(|w| ComboSample {
+                    ipc: w.ipc(),
+                    bw: w.attained_bw(),
+                    cmr: w.combined_miss_rate(),
+                    eb: w.effective_bandwidth(),
+                })
+                .collect();
+            entries.insert(combo, samples);
+        }
+        ComboSweep { workload: workload.name(), entries, n_apps: workload.n_apps() }
+    }
+
+    /// The distinct clamped ladder combinations for `n_apps` applications on
+    /// this machine.
+    pub fn combos(cfg: &GpuConfig, n_apps: usize) -> Vec<TlpCombo> {
+        let mut seen = Vec::new();
+        for combo in TlpCombo::all(n_apps) {
+            let clamped = TlpCombo::new(
+                combo.levels().iter().map(|&l| cfg.clamp_tlp(l)).collect(),
+            );
+            if !seen.contains(&clamped) {
+                seen.push(clamped);
+            }
+        }
+        seen
+    }
+
+    /// Number of co-scheduled applications.
+    pub fn n_apps(&self) -> usize {
+        self.n_apps
+    }
+
+    /// The samples at `combo` (one per application), if measured.
+    pub fn get(&self, combo: &TlpCombo) -> Option<&[ComboSample]> {
+        self.entries.get(combo).map(Vec::as_slice)
+    }
+
+    /// Per-application EBs at `combo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combination was not measured (off-ladder).
+    pub fn ebs(&self, combo: &TlpCombo) -> Vec<f64> {
+        self.entries
+            .get(combo)
+            .unwrap_or_else(|| panic!("combination {combo} not in sweep"))
+            .iter()
+            .map(|s| s.eb)
+            .collect()
+    }
+
+    /// Per-application IPCs at `combo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combination was not measured.
+    pub fn ipcs(&self, combo: &TlpCombo) -> Vec<f64> {
+        self.entries
+            .get(combo)
+            .unwrap_or_else(|| panic!("combination {combo} not in sweep"))
+            .iter()
+            .map(|s| s.ipc)
+            .collect()
+    }
+
+    /// Iterates over all measured combinations.
+    pub fn iter(&self) -> impl Iterator<Item = (&TlpCombo, &[ComboSample])> {
+        self.entries.iter().map(|(c, s)| (c, s.as_slice()))
+    }
+
+    /// Number of measured combinations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no combinations were measured (never happens for a valid
+    /// sweep).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The ladder levels actually present in the sweep (ascending).
+    pub fn levels(&self) -> Vec<TlpLevel> {
+        let mut ls: Vec<TlpLevel> =
+            self.entries.keys().map(|c| c.level(0)).collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+        ls.sort();
+        ls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sweep() -> ComboSweep {
+        let cfg = GpuConfig::small();
+        let w = Workload::pair("BLK", "BFS");
+        ComboSweep::measure(&cfg, &w, 3, RunSpec::new(300, 1_500))
+    }
+
+    #[test]
+    fn paper_machine_has_64_two_app_combos() {
+        assert_eq!(ComboSweep::combos(&GpuConfig::paper(), 2).len(), 64);
+    }
+
+    #[test]
+    fn small_machine_clamps_to_25_combos() {
+        // Ladder collapses to {1,2,4,6,8}: 5 x 5.
+        assert_eq!(ComboSweep::combos(&GpuConfig::small(), 2).len(), 25);
+    }
+
+    #[test]
+    fn sweep_measures_every_combo() {
+        let s = small_sweep();
+        assert_eq!(s.len(), 25);
+        assert_eq!(s.n_apps(), 2);
+        for (_, samples) in s.iter() {
+            assert_eq!(samples.len(), 2);
+            assert!(samples.iter().all(|x| x.ipc > 0.0 && x.eb > 0.0));
+        }
+    }
+
+    #[test]
+    fn accessors_agree_with_entries() {
+        let s = small_sweep();
+        let combo = TlpCombo::pair(TlpLevel::new(2).unwrap(), TlpLevel::new(4).unwrap());
+        let ebs = s.ebs(&combo);
+        let samples = s.get(&combo).unwrap();
+        assert_eq!(ebs, vec![samples[0].eb, samples[1].eb]);
+        assert_eq!(s.ipcs(&combo).len(), 2);
+    }
+
+    #[test]
+    fn levels_are_the_clamped_ladder() {
+        let s = small_sweep();
+        let ls: Vec<u32> = s.levels().iter().map(|l| l.get()).collect();
+        assert_eq!(ls, vec![1, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in sweep")]
+    fn off_ladder_combo_panics() {
+        let s = small_sweep();
+        let _ = s.ebs(&TlpCombo::pair(TlpLevel::new(3).unwrap(), TlpLevel::new(3).unwrap()));
+    }
+}

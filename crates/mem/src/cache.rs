@@ -1,0 +1,392 @@
+//! Set-associative cache with LRU replacement and an integrated MSHR table.
+//!
+//! Used both for the per-core L1 data caches and the per-partition L2
+//! slices. Lines are allocated on fill (no way reservation), misses to an
+//! in-flight line merge in the MSHR, and per-application access/miss
+//! counters feed the paper's runtime sampling.
+
+use crate::mshr::{MshrOutcome, MshrTable};
+use crate::req::ReqId;
+use gpu_types::{Address, AppId, CacheConfig};
+
+/// Result of a load access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Line present; data returns after the hit latency.
+    Hit,
+    /// Miss with a fresh MSHR entry; the caller must forward the request to
+    /// the next memory level.
+    MissToLower,
+    /// Miss merged into an outstanding MSHR entry; nothing to forward.
+    MissMerged,
+    /// Structural stall (MSHR table or merge slots exhausted); the caller
+    /// must retry the access on a later cycle. Not counted as an access.
+    Stall,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    last_use: u64,
+    valid: bool,
+}
+
+/// Per-application access/miss counts maintained by a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Load accesses that completed lookup (hits + misses + merges,
+    /// excluding stalls).
+    pub accesses: u64,
+    /// Load accesses that required a fetch from the next level. Merges into
+    /// an in-flight line are *not* misses: they generate no downstream
+    /// traffic, so counting them would corrupt the miss rate's meaning as
+    /// "fetches per access" — the quantity the paper's EB = BW/CMR
+    /// amplification argument builds on (§III-B).
+    pub misses: u64,
+    /// Load accesses merged into an in-flight miss (latency of a miss, no
+    /// downstream traffic).
+    pub merged: u64,
+}
+
+/// A set-associative, LRU, allocate-on-fill cache with MSHRs.
+#[derive(Debug)]
+pub struct Cache {
+    ways: Vec<Way>,
+    set_mask: u64,
+    set_shift: u32,
+    assoc: usize,
+    mshr: MshrTable,
+    counters: Vec<CacheCounters>,
+    tick: u64,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero sets (use
+    /// [`gpu_types::GpuConfig::validate`] first).
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let n_sets = cfg.n_sets();
+        assert!(n_sets > 0, "cache must have at least one set");
+        assert!(n_sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            ways: vec![Way { tag: 0, last_use: 0, valid: false }; n_sets * cfg.associativity],
+            set_mask: n_sets as u64 - 1,
+            set_shift: n_sets.trailing_zeros(),
+            assoc: cfg.associativity,
+            mshr: MshrTable::new(cfg.mshr_entries, cfg.mshr_merge),
+            counters: Vec::new(),
+            tick: 0,
+        }
+    }
+
+    fn set_of(&self, line: Address) -> usize {
+        (line.line_index() & self.set_mask) as usize
+    }
+
+    fn tag_of(&self, line: Address) -> u64 {
+        line.line_index() >> self.set_shift
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn counters_mut(&mut self, app: AppId) -> &mut CacheCounters {
+        if self.counters.len() <= app.index() {
+            self.counters.resize(app.index() + 1, CacheCounters::default());
+        }
+        &mut self.counters[app.index()]
+    }
+
+    /// Performs a load lookup for `line` on behalf of `req`.
+    ///
+    /// Access and miss counters for `app` are updated unless the access
+    /// stalls on MSHR capacity.
+    pub fn access_load(&mut self, app: AppId, line: Address, req: ReqId) -> Lookup {
+        let line = line.line();
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        let base = set * self.assoc;
+        let now = self.bump();
+        for way in &mut self.ways[base..base + self.assoc] {
+            if way.valid && way.tag == tag {
+                way.last_use = now;
+                self.counters_mut(app).accesses += 1;
+                return Lookup::Hit;
+            }
+        }
+        match self.mshr.register(line, req) {
+            MshrOutcome::Allocated => {
+                let c = self.counters_mut(app);
+                c.accesses += 1;
+                c.misses += 1;
+                Lookup::MissToLower
+            }
+            MshrOutcome::Merged => {
+                let c = self.counters_mut(app);
+                c.accesses += 1;
+                c.merged += 1;
+                Lookup::MissMerged
+            }
+            MshrOutcome::Full => Lookup::Stall,
+        }
+    }
+
+    /// A counted, no-allocate lookup: hits update LRU and count as hits;
+    /// misses count but allocate neither a line nor an MSHR entry. Used for
+    /// cache-bypassing requests (Mod+Bypass) that may still consume data
+    /// already resident.
+    pub fn access_load_no_alloc(&mut self, app: AppId, line: Address) -> bool {
+        let line = line.line();
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        let base = set * self.assoc;
+        let now = self.bump();
+        for way in &mut self.ways[base..base + self.assoc] {
+            if way.valid && way.tag == tag {
+                way.last_use = now;
+                self.counters_mut(app).accesses += 1;
+                return true;
+            }
+        }
+        let c = self.counters_mut(app);
+        c.accesses += 1;
+        c.misses += 1;
+        false
+    }
+
+    /// Probes for `line` without touching LRU state, counters or MSHRs.
+    /// Used by stores (write-through, no-allocate) and by tests.
+    pub fn probe(&self, line: Address) -> bool {
+        let line = line.line();
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        let base = set * self.assoc;
+        self.ways[base..base + self.assoc].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Installs `line` (completing its outstanding miss, if any) and returns
+    /// the requests that were waiting on it, in arrival order.
+    ///
+    /// The victim is the LRU way of the set; invalid ways are filled first.
+    pub fn fill(&mut self, line: Address) -> Vec<ReqId> {
+        self.fill_with_victim(line).0
+    }
+
+    /// Like [`Cache::fill`], but also reports the line that was evicted to
+    /// make room (used by the CCWS victim-tag mechanism).
+    pub fn fill_with_victim(&mut self, line: Address) -> (Vec<ReqId>, Option<Address>) {
+        let line = line.line();
+        let waiters = self.mshr.fill(line);
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        let base = set * self.assoc;
+        let now = self.bump();
+        // Already present (e.g. refill racing a prior fill): refresh LRU only.
+        if let Some(way) =
+            self.ways[base..base + self.assoc].iter_mut().find(|w| w.valid && w.tag == tag)
+        {
+            way.last_use = now;
+            return (waiters, None);
+        }
+        let set_shift = self.set_shift;
+        let victim = self.ways[base..base + self.assoc]
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.last_use } else { 0 })
+            .expect("associativity >= 1");
+        let evicted = victim.valid.then(|| {
+            Address::new(((victim.tag << set_shift) | set as u64) * crate::LINE_SIZE_U64)
+        });
+        *victim = Way { tag, last_use: now, valid: true };
+        (waiters, evicted)
+    }
+
+    /// True when a new miss line cannot currently be tracked.
+    pub fn mshr_full(&self) -> bool {
+        self.mshr.is_full()
+    }
+
+    /// Free MSHR entries (distinct new miss lines that could be tracked).
+    pub fn mshr_free(&self) -> usize {
+        self.mshr.free_entries()
+    }
+
+    /// Outstanding distinct miss lines.
+    pub fn outstanding_misses(&self) -> usize {
+        self.mshr.len()
+    }
+
+    /// Per-application counters (zero for apps never seen).
+    pub fn counters(&self, app: AppId) -> CacheCounters {
+        self.counters.get(app.index()).copied().unwrap_or_default()
+    }
+
+    /// Invalidates every line and clears counters; MSHRs must be drained by
+    /// the caller first (used between measurement phases).
+    ///
+    /// # Panics
+    ///
+    /// Panics if misses are still outstanding.
+    pub fn reset(&mut self) {
+        assert!(self.mshr.is_empty(), "cannot reset a cache with outstanding misses");
+        for w in &mut self.ways {
+            w.valid = false;
+        }
+        self.counters.clear();
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_types::LINE_SIZE;
+
+    fn cfg() -> CacheConfig {
+        // 4 sets x 2 ways x 128 B lines = 1 KiB.
+        CacheConfig {
+            capacity_bytes: 1024,
+            associativity: 2,
+            mshr_entries: 4,
+            mshr_merge: 4,
+            hit_latency: 1,
+        }
+    }
+
+    fn line(i: u64) -> Address {
+        Address::new(i * LINE_SIZE)
+    }
+
+    const APP: AppId = AppId::new(0);
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = Cache::new(&cfg());
+        assert_eq!(c.access_load(APP, line(3), ReqId(1)), Lookup::MissToLower);
+        assert_eq!(c.fill(line(3)), vec![ReqId(1)]);
+        assert_eq!(c.access_load(APP, line(3), ReqId(2)), Lookup::Hit);
+        let k = c.counters(APP);
+        assert_eq!((k.accesses, k.misses), (2, 1));
+    }
+
+    #[test]
+    fn second_miss_to_same_line_merges() {
+        let mut c = Cache::new(&cfg());
+        assert_eq!(c.access_load(APP, line(3), ReqId(1)), Lookup::MissToLower);
+        assert_eq!(c.access_load(APP, line(3), ReqId(2)), Lookup::MissMerged);
+        assert_eq!(c.fill(line(3)), vec![ReqId(1), ReqId(2)]);
+        let k = c.counters(APP);
+        assert_eq!((k.accesses, k.misses, k.merged), (2, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_way() {
+        let mut c = Cache::new(&cfg());
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        for (i, l) in [0u64, 4, 8].iter().enumerate() {
+            c.access_load(APP, line(*l), ReqId(i as u64));
+            c.fill(line(*l));
+        }
+        // Set 0 is 2-way: filling 0 then 4 then 8 evicts 0.
+        assert!(!c.probe(line(0)));
+        assert!(c.probe(line(4)));
+        assert!(c.probe(line(8)));
+    }
+
+    #[test]
+    fn hit_refreshes_lru() {
+        let mut c = Cache::new(&cfg());
+        for l in [0u64, 4] {
+            c.access_load(APP, line(l), ReqId(l));
+            c.fill(line(l));
+        }
+        // Touch line 0 so line 4 becomes LRU.
+        assert_eq!(c.access_load(APP, line(0), ReqId(9)), Lookup::Hit);
+        c.access_load(APP, line(8), ReqId(10));
+        c.fill(line(8));
+        assert!(c.probe(line(0)));
+        assert!(!c.probe(line(4)));
+    }
+
+    #[test]
+    fn stall_on_mshr_exhaustion_counts_nothing() {
+        let mut c = Cache::new(&cfg());
+        for i in 0..4u64 {
+            assert_eq!(c.access_load(APP, line(i), ReqId(i)), Lookup::MissToLower);
+        }
+        assert!(c.mshr_full());
+        assert_eq!(c.access_load(APP, line(7), ReqId(7)), Lookup::Stall);
+        let k = c.counters(APP);
+        assert_eq!((k.accesses, k.misses), (4, 4));
+    }
+
+    #[test]
+    fn per_app_counters_are_separate() {
+        let mut c = Cache::new(&cfg());
+        let a0 = AppId::new(0);
+        let a1 = AppId::new(1);
+        c.access_load(a0, line(0), ReqId(1));
+        c.fill(line(0));
+        c.access_load(a1, line(0), ReqId(2));
+        assert_eq!(c.counters(a0).misses, 1);
+        assert_eq!(c.counters(a1).misses, 0);
+        assert_eq!(c.counters(a1).accesses, 1);
+    }
+
+    #[test]
+    fn fill_of_present_line_does_not_duplicate() {
+        let mut c = Cache::new(&cfg());
+        c.access_load(APP, line(0), ReqId(1));
+        c.fill(line(0));
+        // Unsolicited second fill: no waiters, still present, set not polluted.
+        assert!(c.fill(line(0)).is_empty());
+        assert!(c.probe(line(0)));
+        // The other way of set 0 is still free.
+        c.access_load(APP, line(4), ReqId(2));
+        c.fill(line(4));
+        assert!(c.probe(line(0)) && c.probe(line(4)));
+    }
+
+    #[test]
+    fn reset_clears_contents() {
+        let mut c = Cache::new(&cfg());
+        c.access_load(APP, line(1), ReqId(1));
+        c.fill(line(1));
+        c.reset();
+        assert!(!c.probe(line(1)));
+        assert_eq!(c.counters(APP), CacheCounters::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "outstanding")]
+    fn reset_with_outstanding_misses_panics() {
+        let mut c = Cache::new(&cfg());
+        c.access_load(APP, line(1), ReqId(1));
+        c.reset();
+    }
+
+    #[test]
+    fn fill_reports_the_evicted_line() {
+        let mut c = Cache::new(&cfg());
+        // Fill both ways of set 0 (lines 0 and 4), then evict with line 8.
+        for l in [0u64, 4] {
+            c.access_load(APP, line(l), ReqId(l));
+            let (_, victim) = c.fill_with_victim(line(l));
+            assert_eq!(victim, None, "filling an invalid way evicts nothing");
+        }
+        c.access_load(APP, line(8), ReqId(8));
+        let (_, victim) = c.fill_with_victim(line(8));
+        assert_eq!(victim, Some(line(0)), "LRU way of set 0 holds line 0");
+    }
+
+    #[test]
+    fn probe_does_not_count() {
+        let c = Cache::new(&cfg());
+        assert!(!c.probe(line(5)));
+        assert_eq!(c.counters(APP).accesses, 0);
+    }
+}

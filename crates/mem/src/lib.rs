@@ -1,0 +1,40 @@
+//! GPU memory-system substrate for the `gpu-ebm` simulator.
+//!
+//! Implements, from the cores outward (Fig. 8 of the paper):
+//!
+//! * [`req`] — memory request/response records tagged with the issuing
+//!   application, core and warp, so every downstream counter can be
+//!   attributed per application (the paper computes BW and L1/L2 miss rates
+//!   *separately for each application even in the multi-application
+//!   scenario*, §II-B).
+//! * [`cache`] + [`mshr`] — set-associative caches with LRU replacement,
+//!   miss-status holding registers with request merging, and per-application
+//!   bypass (used by the Mod+Bypass baseline).
+//! * [`xbar`] — the cores ⇄ memory-partition crossbar with per-port queues,
+//!   round-robin output arbitration and a fixed traversal latency.
+//! * [`dram`] — a GDDR5 channel: banks, bank groups, row buffers and the
+//!   tCL/tRP/tRCD/tRAS/tCCD/tRRD command timings of Table I.
+//! * [`mc`] — an FR-FCFS (first-ready, first-come-first-served) memory
+//!   controller in front of each channel.
+//! * [`partition`] — a memory partition: one L2 slice plus one controller,
+//!   the unit the paper's designated-partition sampling reads its per-app
+//!   BW and L2-miss-rate counters from.
+
+#![warn(missing_docs)]
+
+pub(crate) const LINE_SIZE_U64: u64 = gpu_types::LINE_SIZE;
+
+pub mod cache;
+pub mod dram;
+pub mod mc;
+pub mod mshr;
+pub mod partition;
+pub mod req;
+pub mod xbar;
+
+pub use cache::{Cache, Lookup};
+pub use dram::DramChannel;
+pub use mc::MemoryController;
+pub use partition::MemoryPartition;
+pub use req::{AccessKind, MemRequest, ReqId};
+pub use xbar::Crossbar;

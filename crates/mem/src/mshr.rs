@@ -1,0 +1,160 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! An MSHR table tracks the set of cache lines with an outstanding miss and
+//! the requests waiting on each ("targets"). A second miss to an in-flight
+//! line *merges* into the existing entry instead of issuing a duplicate
+//! request to the next level — the inter-warp merging of Table I.
+
+use crate::req::ReqId;
+use gpu_types::{Address, FxHashMap};
+
+/// Outcome of attempting to register a miss with the MSHR table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the caller must forward the request to the
+    /// next memory level.
+    Allocated,
+    /// The line already had an outstanding miss; this request was attached
+    /// to it and no new downstream request is needed.
+    Merged,
+    /// No entry or merge slot available; the access must be retried later
+    /// (a structural-hazard stall).
+    Full,
+}
+
+#[derive(Debug, Default)]
+struct Entry {
+    targets: Vec<ReqId>,
+}
+
+/// MSHR table with bounded entries and bounded merge fan-in per entry.
+#[derive(Debug)]
+pub struct MshrTable {
+    entries: FxHashMap<Address, Entry>,
+    max_entries: usize,
+    max_merge: usize,
+}
+
+impl MshrTable {
+    /// Creates a table with `max_entries` distinct in-flight lines and at
+    /// most `max_merge` requests per line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bound is zero.
+    pub fn new(max_entries: usize, max_merge: usize) -> Self {
+        assert!(max_entries > 0 && max_merge > 0, "MSHR bounds must be non-zero");
+        MshrTable { entries: FxHashMap::default(), max_entries, max_merge }
+    }
+
+    /// Registers a missing `line` for `req`.
+    pub fn register(&mut self, line: Address, req: ReqId) -> MshrOutcome {
+        debug_assert_eq!(line, line.line(), "MSHR addresses must be line-aligned");
+        if let Some(entry) = self.entries.get_mut(&line) {
+            if entry.targets.len() >= self.max_merge {
+                return MshrOutcome::Full;
+            }
+            entry.targets.push(req);
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() >= self.max_entries {
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(line, Entry { targets: vec![req] });
+        MshrOutcome::Allocated
+    }
+
+    /// Completes the miss for `line`, releasing and returning every waiting
+    /// request (in arrival order). Returns an empty vector when the line had
+    /// no entry (e.g. a prefetch-style fill).
+    pub fn fill(&mut self, line: Address) -> Vec<ReqId> {
+        self.entries.remove(&line).map(|e| e.targets).unwrap_or_default()
+    }
+
+    /// True when `line` has an outstanding miss.
+    pub fn contains(&self, line: Address) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no misses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when a *new* line could not currently be allocated.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.max_entries
+    }
+
+    /// Entries still available for new lines.
+    pub fn free_entries(&self) -> usize {
+        self.max_entries - self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(i: u64) -> Address {
+        Address::new(i * 128)
+    }
+
+    #[test]
+    fn allocate_then_merge() {
+        let mut m = MshrTable::new(4, 2);
+        assert_eq!(m.register(line(1), ReqId(10)), MshrOutcome::Allocated);
+        assert_eq!(m.register(line(1), ReqId(11)), MshrOutcome::Merged);
+        // merge limit of 2 reached
+        assert_eq!(m.register(line(1), ReqId(12)), MshrOutcome::Full);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn fill_releases_targets_in_order() {
+        let mut m = MshrTable::new(4, 4);
+        m.register(line(2), ReqId(1));
+        m.register(line(2), ReqId(2));
+        m.register(line(2), ReqId(3));
+        assert_eq!(m.fill(line(2)), vec![ReqId(1), ReqId(2), ReqId(3)]);
+        assert!(m.is_empty());
+        assert!(!m.contains(line(2)));
+    }
+
+    #[test]
+    fn entry_capacity_enforced() {
+        let mut m = MshrTable::new(2, 8);
+        assert_eq!(m.register(line(1), ReqId(1)), MshrOutcome::Allocated);
+        assert_eq!(m.register(line(2), ReqId(2)), MshrOutcome::Allocated);
+        assert!(m.is_full());
+        assert_eq!(m.register(line(3), ReqId(3)), MshrOutcome::Full);
+        // ...but merging into existing entries still works at full table.
+        assert_eq!(m.register(line(1), ReqId(4)), MshrOutcome::Merged);
+    }
+
+    #[test]
+    fn fill_unknown_line_is_empty() {
+        let mut m = MshrTable::new(2, 2);
+        assert!(m.fill(line(9)).is_empty());
+    }
+
+    #[test]
+    fn freed_entry_is_reusable() {
+        let mut m = MshrTable::new(1, 1);
+        assert_eq!(m.register(line(1), ReqId(1)), MshrOutcome::Allocated);
+        assert_eq!(m.register(line(2), ReqId(2)), MshrOutcome::Full);
+        m.fill(line(1));
+        assert_eq!(m.register(line(2), ReqId(2)), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_bounds_panic() {
+        let _ = MshrTable::new(0, 1);
+    }
+}

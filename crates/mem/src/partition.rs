@@ -1,0 +1,358 @@
+//! A memory partition: one L2 slice plus one FR-FCFS controller and its
+//! GDDR5 channel.
+//!
+//! This is the unit the paper's Fig. 8 hardware reads its per-application
+//! counters from: L2 accesses/misses and attained DRAM bandwidth are tracked
+//! here per [`AppId`]. Requests arrive from the interconnect into a bounded
+//! ingress queue; L2 hits return after the L2 hit latency; misses allocate
+//! an L2 MSHR and go to DRAM; fills release all merged waiters.
+
+use crate::cache::{Cache, Lookup};
+use crate::dram::DramChannel;
+use crate::mc::{McCounters, MemoryController};
+use crate::req::{AccessKind, MemRequest, ReqId};
+use gpu_types::{AppId, FxHashMap, GpuConfig, PartitionId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Per-application snapshot of a partition's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionCounters {
+    /// L2 load accesses.
+    pub l2_accesses: u64,
+    /// L2 load misses.
+    pub l2_misses: u64,
+    /// DRAM-side counters (bytes, row hits/misses).
+    pub mc: McCounters,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Timed<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T: Eq> PartialOrd for Timed<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: Eq> Ord for Timed<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// One memory partition (L2 slice + memory controller + DRAM channel).
+#[derive(Debug)]
+pub struct MemoryPartition {
+    /// Which partition this is (diagnostics only).
+    pub id: PartitionId,
+    l2: Cache,
+    mc: MemoryController,
+    dram: DramChannel,
+    ingress: VecDeque<MemRequest>,
+    ingress_capacity: usize,
+    hit_latency: u64,
+    /// L2 hits waiting out the hit latency.
+    hit_returns: BinaryHeap<Reverse<Timed<MemRequest>>>,
+    /// Loads that missed L2, keyed by the request id recorded in the MSHR.
+    missed: FxHashMap<ReqId, MemRequest>,
+    seq: u64,
+}
+
+impl MemoryPartition {
+    /// Builds a partition from the machine configuration.
+    pub fn new(id: PartitionId, cfg: &GpuConfig) -> Self {
+        MemoryPartition {
+            id,
+            l2: Cache::new(&cfg.l2),
+            mc: MemoryController::new(64),
+            dram: DramChannel::new(cfg.dram.clone(), cfg.n_partitions),
+            ingress: VecDeque::new(),
+            ingress_capacity: 32,
+            hit_latency: cfg.l2.hit_latency as u64,
+            hit_returns: BinaryHeap::new(),
+            missed: FxHashMap::default(),
+            seq: 0,
+        }
+    }
+
+    /// True when the interconnect may deliver another request.
+    pub fn can_accept(&self) -> bool {
+        self.ingress.len() < self.ingress_capacity
+    }
+
+    /// Delivers a request from the interconnect.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back when the ingress queue is full; the caller
+    /// (the crossbar ejection logic) must retry later.
+    pub fn push(&mut self, req: MemRequest) -> Result<(), MemRequest> {
+        if !self.can_accept() {
+            return Err(req);
+        }
+        self.ingress.push_back(req);
+        Ok(())
+    }
+
+    /// Advances one cycle; returns load responses ready to enter the
+    /// response interconnect.
+    pub fn step(&mut self, now: u64) -> Vec<MemRequest> {
+        let mut responses = Vec::new();
+
+        // 1. DRAM completions: bypassing loads return directly (no-allocate);
+        //    everything else fills the L2 and releases merged waiters.
+        for fill in self.mc.step(now, &mut self.dram) {
+            if fill.bypass_caches {
+                responses.push(fill);
+                continue;
+            }
+            for waiter in self.l2.fill(fill.addr) {
+                if let Some(orig) = self.missed.remove(&waiter) {
+                    responses.push(orig);
+                }
+            }
+        }
+
+        // 2. L2 hits whose latency elapsed.
+        while matches!(self.hit_returns.peek(), Some(Reverse(t)) if t.at <= now) {
+            responses.push(self.hit_returns.pop().expect("peeked").0.item);
+        }
+
+        // 3. Service one ingress request per cycle (the L2 port).
+        if let Some(&req) = self.ingress.front() {
+            match req.kind {
+                AccessKind::Store => {
+                    // Write-through no-allocate: forward to DRAM, or stall
+                    // this cycle if the controller is full.
+                    if self.mc.can_accept() {
+                        self.ingress.pop_front();
+                        self.mc.push_with(req, &self.dram).expect("can_accept checked");
+                    }
+                }
+                AccessKind::Load if req.bypass_caches => {
+                    // No-allocate: a resident line may still serve the
+                    // request, but misses go straight to DRAM and will not
+                    // pollute the slice.
+                    if self.mc.can_accept() {
+                        self.ingress.pop_front();
+                        if self.l2.access_load_no_alloc(req.app, req.addr) {
+                            self.seq += 1;
+                            self.hit_returns.push(Reverse(Timed {
+                                at: now + self.hit_latency,
+                                seq: self.seq,
+                                item: req,
+                            }));
+                        } else {
+                            self.mc.push_with(req, &self.dram).expect("can_accept checked");
+                        }
+                    }
+                }
+                AccessKind::Load => {
+                    // Only start the lookup if a miss could be forwarded;
+                    // otherwise the L2 port stalls this cycle.
+                    if self.mc.can_accept() {
+                        self.ingress.pop_front();
+                        match self.l2.access_load(req.app, req.addr, req.id) {
+                            Lookup::Hit => {
+                                self.seq += 1;
+                                self.hit_returns.push(Reverse(Timed {
+                                    at: now + self.hit_latency,
+                                    seq: self.seq,
+                                    item: req,
+                                }));
+                            }
+                            Lookup::MissToLower => {
+                                self.missed.insert(req.id, req);
+                                self.mc.push_with(req, &self.dram).expect("can_accept checked");
+                            }
+                            Lookup::MissMerged => {
+                                self.missed.insert(req.id, req);
+                            }
+                            Lookup::Stall => {
+                                // MSHRs exhausted: put it back and retry.
+                                self.ingress.push_front(req);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        responses
+    }
+
+    /// Per-application counters (L2 + DRAM side).
+    pub fn counters(&self, app: AppId) -> PartitionCounters {
+        let l2 = self.l2.counters(app);
+        PartitionCounters {
+            l2_accesses: l2.accesses,
+            l2_misses: l2.misses,
+            mc: self.mc.counters(app),
+        }
+    }
+
+    /// True when the partition holds no queued or in-flight work.
+    pub fn is_idle(&self) -> bool {
+        self.ingress.is_empty()
+            && self.hit_returns.is_empty()
+            && self.missed.is_empty()
+            && self.mc.is_idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_types::{Address, CoreId};
+
+    fn partition() -> MemoryPartition {
+        MemoryPartition::new(PartitionId(0), &GpuConfig::small())
+    }
+
+    fn load(id: u64, addr: u64) -> MemRequest {
+        MemRequest::new(
+            ReqId(id),
+            AppId::new(0),
+            CoreId(0),
+            0,
+            Address::new(addr),
+            AccessKind::Load,
+        )
+    }
+
+    fn drain(p: &mut MemoryPartition) -> Vec<(u64, MemRequest)> {
+        let mut out = Vec::new();
+        let mut now = 0;
+        while !p.is_idle() {
+            for r in p.step(now) {
+                out.push((now, r));
+            }
+            now += 1;
+            assert!(now < 100_000, "partition failed to drain");
+        }
+        out
+    }
+
+    #[test]
+    fn cold_load_misses_then_warm_load_hits() {
+        let mut p = partition();
+        p.push(load(1, 0)).unwrap();
+        let first = drain(&mut p);
+        assert_eq!(first.len(), 1);
+        let t_miss = first[0].0;
+
+        p.push(load(2, 0)).unwrap();
+        let second = drain(&mut p);
+        assert_eq!(second.len(), 1);
+        let t_hit = second[0].0;
+        assert!(t_hit < t_miss, "L2 hit ({t_hit}) must be faster than miss ({t_miss})");
+
+        let k = p.counters(AppId::new(0));
+        assert_eq!((k.l2_accesses, k.l2_misses), (2, 1));
+        assert_eq!(k.mc.dram_bytes, gpu_types::LINE_SIZE);
+    }
+
+    #[test]
+    fn merged_misses_release_together() {
+        let mut p = partition();
+        p.push(load(1, 0)).unwrap();
+        p.push(load(2, 0)).unwrap();
+        let out = drain(&mut p);
+        assert_eq!(out.len(), 2);
+        // One DRAM transfer served both; only one true miss, one merge.
+        assert_eq!(p.counters(AppId::new(0)).mc.dram_bytes, gpu_types::LINE_SIZE);
+        assert_eq!(p.counters(AppId::new(0)).l2_misses, 1);
+    }
+
+    #[test]
+    fn stores_consume_bandwidth_without_response() {
+        let mut p = partition();
+        let mut st = load(1, 0);
+        st.kind = AccessKind::Store;
+        p.push(st).unwrap();
+        let out = drain(&mut p);
+        assert!(out.is_empty());
+        let k = p.counters(AppId::new(0));
+        assert_eq!(k.l2_accesses, 0, "stores are not counted in L2 miss-rate accounting");
+        assert_eq!(k.mc.dram_bytes, gpu_types::LINE_SIZE);
+    }
+
+    #[test]
+    fn ingress_backpressure() {
+        let mut p = partition();
+        for i in 0..32 {
+            p.push(load(i, i * 128)).unwrap();
+        }
+        assert!(!p.can_accept());
+        assert!(p.push(load(99, 0)).is_err());
+    }
+
+    #[test]
+    fn per_app_l2_counters_are_separate() {
+        let mut p = partition();
+        p.push(load(1, 0)).unwrap();
+        let mut r = load(2, 1 << 20);
+        r.app = AppId::new(1);
+        p.push(r).unwrap();
+        drain(&mut p);
+        assert_eq!(p.counters(AppId::new(0)).l2_accesses, 1);
+        assert_eq!(p.counters(AppId::new(1)).l2_accesses, 1);
+    }
+
+    #[test]
+    fn bypassing_load_does_not_allocate_in_l2() {
+        let mut p = partition();
+        p.push(load(1, 0).bypassing()).unwrap();
+        let out = drain(&mut p);
+        assert_eq!(out.len(), 1, "bypassed load still returns data");
+        // A second bypassed load to the same line misses again: nothing was
+        // allocated.
+        p.push(load(2, 0).bypassing()).unwrap();
+        drain(&mut p);
+        let k = p.counters(AppId::new(0));
+        assert_eq!((k.l2_accesses, k.l2_misses), (2, 2));
+        assert_eq!(k.mc.dram_bytes, 2 * gpu_types::LINE_SIZE);
+    }
+
+    #[test]
+    fn bypassing_load_may_still_hit_resident_lines() {
+        let mut p = partition();
+        // Warm the line with a normal load...
+        p.push(load(1, 0)).unwrap();
+        drain(&mut p);
+        // ...then a bypassed load to it hits without DRAM traffic.
+        p.push(load(2, 0).bypassing()).unwrap();
+        drain(&mut p);
+        let k = p.counters(AppId::new(0));
+        assert_eq!(k.l2_misses, 1, "only the warming load missed");
+        assert_eq!(k.mc.dram_bytes, gpu_types::LINE_SIZE);
+    }
+
+    #[test]
+    fn bypassing_and_cached_loads_coexist_on_one_line() {
+        let mut p = partition();
+        p.push(load(1, 0)).unwrap();
+        p.push(load(2, 0).bypassing()).unwrap();
+        let out = drain(&mut p);
+        assert_eq!(out.len(), 2, "both loads must complete");
+    }
+
+    #[test]
+    fn one_request_serviced_per_cycle() {
+        let mut p = partition();
+        // Warm two lines.
+        p.push(load(1, 0)).unwrap();
+        p.push(load(2, 128)).unwrap();
+        drain(&mut p);
+        // Both hit now, but the single L2 port takes them one per cycle.
+        p.push(load(3, 0)).unwrap();
+        p.push(load(4, 128)).unwrap();
+        let out = drain(&mut p);
+        assert_eq!(out.len(), 2);
+        assert_ne!(out[0].0, out[1].0, "hits must be staggered by the L2 port");
+    }
+}

@@ -1,0 +1,236 @@
+//! Crossbar interconnect between cores and memory partitions.
+//!
+//! One instance models each direction (request and response networks are
+//! independent crossbars, as in GPGPU-Sim). Each input port owns a bounded
+//! FIFO; every cycle each output port grants up to a configured number of
+//! head-of-line flits, arbitrating among contending inputs round-robin
+//! (a single-iteration iSLIP). A flit becomes eligible for delivery
+//! `latency` cycles after it was pushed, modeling wire/router traversal.
+
+use std::collections::VecDeque;
+
+#[derive(Debug)]
+struct Flit<T> {
+    dest: usize,
+    ready_at: u64,
+    payload: T,
+}
+
+/// A fixed-latency, input-queued crossbar carrying payloads of type `T`.
+#[derive(Debug)]
+pub struct Crossbar<T> {
+    inputs: Vec<VecDeque<Flit<T>>>,
+    n_outputs: usize,
+    latency: u64,
+    grants_per_output: usize,
+    queue_capacity: usize,
+    rr: Vec<usize>,
+}
+
+impl<T> Crossbar<T> {
+    /// Creates a crossbar with `n_inputs` input ports, `n_outputs` output
+    /// ports, a traversal `latency` in cycles, up to `grants_per_output`
+    /// deliveries per output per cycle, and `queue_capacity` flits of
+    /// buffering per input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        n_inputs: usize,
+        n_outputs: usize,
+        latency: u64,
+        grants_per_output: usize,
+        queue_capacity: usize,
+    ) -> Self {
+        assert!(
+            n_inputs > 0 && n_outputs > 0 && grants_per_output > 0 && queue_capacity > 0,
+            "crossbar dimensions must be non-zero"
+        );
+        Crossbar {
+            inputs: (0..n_inputs).map(|_| VecDeque::new()).collect(),
+            n_outputs,
+            latency,
+            grants_per_output,
+            queue_capacity,
+            rr: vec![0; n_outputs],
+        }
+    }
+
+    /// True when input port `input` can accept another flit.
+    pub fn can_accept(&self, input: usize) -> bool {
+        self.inputs[input].len() < self.queue_capacity
+    }
+
+    /// Enqueues `payload` at `input` destined for `dest`, becoming
+    /// deliverable at `now + latency`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the payload back when the input queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` or `dest` is out of range.
+    pub fn push(&mut self, input: usize, dest: usize, payload: T, now: u64) -> Result<(), T> {
+        assert!(dest < self.n_outputs, "destination {dest} out of range");
+        if !self.can_accept(input) {
+            return Err(payload);
+        }
+        self.inputs[input].push_back(Flit { dest, ready_at: now + self.latency, payload });
+        Ok(())
+    }
+
+    /// Advances one cycle: each output port grants up to
+    /// `grants_per_output` eligible head-of-line flits, round-robin over
+    /// inputs; each input sends at most one flit per cycle. Returns the
+    /// delivered `(output_port, payload)` pairs.
+    pub fn step(&mut self, now: u64) -> Vec<(usize, T)> {
+        let n_inputs = self.inputs.len();
+        let mut delivered = Vec::new();
+        let mut input_used = vec![false; n_inputs];
+        for out in 0..self.n_outputs {
+            let mut grants = 0;
+            let start = self.rr[out];
+            for k in 0..n_inputs {
+                if grants == self.grants_per_output {
+                    break;
+                }
+                let i = (start + k) % n_inputs;
+                if input_used[i] {
+                    continue;
+                }
+                let eligible = matches!(
+                    self.inputs[i].front(),
+                    Some(f) if f.dest == out && f.ready_at <= now
+                );
+                if eligible {
+                    let flit = self.inputs[i].pop_front().expect("front checked above");
+                    delivered.push((out, flit.payload));
+                    input_used[i] = true;
+                    grants += 1;
+                    // Advance the pointer past the last granted input so a
+                    // persistent sender cannot starve others.
+                    self.rr[out] = (i + 1) % n_inputs;
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Total flits currently buffered.
+    pub fn in_flight(&self) -> usize {
+        self.inputs.iter().map(VecDeque::len).sum()
+    }
+
+    /// True when no flits are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.iter().all(VecDeque::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_after_latency() {
+        let mut x: Crossbar<u32> = Crossbar::new(2, 2, 3, 1, 4);
+        x.push(0, 1, 42, 10).unwrap();
+        assert!(x.step(10).is_empty());
+        assert!(x.step(12).is_empty());
+        assert_eq!(x.step(13), vec![(1, 42)]);
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn zero_latency_delivers_same_cycle() {
+        let mut x: Crossbar<u32> = Crossbar::new(1, 1, 0, 1, 4);
+        x.push(0, 0, 7, 5).unwrap();
+        assert_eq!(x.step(5), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn backpressure_on_full_queue() {
+        let mut x: Crossbar<u32> = Crossbar::new(1, 1, 0, 1, 2);
+        x.push(0, 0, 1, 0).unwrap();
+        x.push(0, 0, 2, 0).unwrap();
+        assert!(!x.can_accept(0));
+        assert_eq!(x.push(0, 0, 3, 0), Err(3));
+    }
+
+    #[test]
+    fn output_rate_limits_throughput() {
+        let mut x: Crossbar<u32> = Crossbar::new(4, 1, 0, 1, 4);
+        for i in 0..4 {
+            x.push(i, 0, i as u32, 0).unwrap();
+        }
+        // One grant per cycle at the single output.
+        for cycle in 0..4u64 {
+            assert_eq!(x.step(cycle).len(), 1);
+        }
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn round_robin_is_fair_under_contention() {
+        let mut x: Crossbar<usize> = Crossbar::new(3, 1, 0, 1, 8);
+        for i in 0..3 {
+            for _ in 0..4 {
+                x.push(i, 0, i, 0).unwrap();
+            }
+        }
+        let mut served = [0usize; 3];
+        for cycle in 0..12u64 {
+            for (_, src) in x.step(cycle) {
+                served[src] += 1;
+            }
+        }
+        assert_eq!(served, [4, 4, 4]);
+    }
+
+    #[test]
+    fn head_of_line_blocking() {
+        // Input 0's head targets output 0 (busy via rate), the flit behind it
+        // targets output 1 but cannot overtake.
+        let mut x: Crossbar<u32> = Crossbar::new(2, 2, 0, 1, 4);
+        x.push(0, 0, 10, 0).unwrap();
+        x.push(0, 1, 11, 0).unwrap();
+        x.push(1, 0, 20, 0).unwrap();
+        let first = x.step(0);
+        // Output 0 grants one of the two contenders; output 1 gets nothing
+        // if input 0's head went to output 0, or gets nothing because input 0
+        // already sent — either way flit 11 is not delivered in cycle 0
+        // unless input 0 lost arbitration at output 0.
+        let got_11 = first.iter().any(|&(_, p)| p == 11);
+        assert!(!got_11, "second flit of input 0 must not overtake its head");
+    }
+
+    #[test]
+    fn distinct_outputs_deliver_in_parallel() {
+        let mut x: Crossbar<u32> = Crossbar::new(2, 2, 0, 1, 4);
+        x.push(0, 0, 1, 0).unwrap();
+        x.push(1, 1, 2, 0).unwrap();
+        let mut got = x.step(0);
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn one_flit_per_input_per_cycle() {
+        // Same input has heads for both outputs across cycles; even with two
+        // free outputs it can send only one flit per cycle.
+        let mut x: Crossbar<u32> = Crossbar::new(1, 2, 0, 2, 4);
+        x.push(0, 0, 1, 0).unwrap();
+        x.push(0, 1, 2, 0).unwrap();
+        assert_eq!(x.step(0).len(), 1);
+        assert_eq!(x.step(1).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_destination_panics() {
+        let mut x: Crossbar<u32> = Crossbar::new(1, 1, 0, 1, 1);
+        let _ = x.push(0, 5, 0, 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Developer utility: measures every application model's alone
+//! characteristics and prints them sorted by effective bandwidth — the tool
+//! used to assign the G1–G4 groups in `gpu-workloads` (see DESIGN.md §6).
+
+use gpu_sim::{profile_alone, RunSpec};
+use gpu_types::GpuConfig;
+use gpu_workloads::all_apps;
+
+fn main() {
+    let cfg = GpuConfig::paper();
+    let mut rows = Vec::new();
+    for app in all_apps() {
+        let p = profile_alone(&cfg, app, 8, 5, RunSpec::new(20_000, 40_000));
+        let b = p.best();
+        rows.push((app.name, app.group, b.tlp.get(), b.ipc, b.eb, b.bw, b.cmr));
+        eprint!(".");
+    }
+    eprintln!();
+    rows.sort_by(|a, b| a.4.total_cmp(&b.4));
+    println!("{:<6} {:<4} {:>5} {:>7} {:>6} {:>6} {:>6}", "app", "grp", "bTLP", "IPC", "EB", "BW", "CMR");
+    for (n, g, t, ipc, eb, bw, cmr) in rows {
+        println!("{n:<6} {g:<4?} {t:>5} {ipc:>7.3} {eb:>6.3} {bw:>6.3} {cmr:>6.3}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Developer utility: alone-run TLP profiles for selected applications on
+//! the paper machine (`cargo run -p gpu-sim --example probe --release -- BFS BLK`).
+//! The user-facing equivalent lives in the workspace root: `tlp_sweep`.
+
+use gpu_sim::{profile_alone, RunSpec};
+use gpu_types::GpuConfig;
+use gpu_workloads::all_apps;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let names: Vec<&str> = if args.len() > 1 {
+        args[1..].iter().map(|s| s.as_str()).collect()
+    } else {
+        vec!["BLK", "BFS", "TRD", "GUPS", "LUD"]
+    };
+    let cfg = GpuConfig::paper();
+    for name in names {
+        let app = all_apps().iter().find(|a| a.name == name).unwrap();
+        let t0 = std::time::Instant::now();
+        let p = profile_alone(&cfg, app, 8, 5, RunSpec::new(20_000, 40_000));
+        println!("== {name}  ({:?})", t0.elapsed());
+        for s in &p.samples {
+            println!(
+                "  tlp={:<3} ipc={:.3} bw={:.3} cmr={:.3} eb={:.3} l1mr={:.2} l2mr={:.2}",
+                s.tlp.get(), s.ipc, s.bw, s.cmr, s.eb, s.l1_miss_rate, s.l2_miss_rate
+            );
+        }
+        println!("  bestTLP={} ipc@best={:.3} eb@best={:.3}", p.best_tlp(), p.ipc_at_best(), p.eb_at_best());
+    }
+}

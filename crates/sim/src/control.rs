@@ -1,0 +1,152 @@
+//! Controller interface for runtime TLP-management policies.
+//!
+//! The harness ([`crate::harness::run_controlled`]) invokes the controller
+//! once per sampling window, after the Fig. 8 relay latency has elapsed,
+//! handing it the per-application observations of the completed window. The
+//! controller answers with new TLP levels and/or L1-bypass settings, which
+//! take effect immediately (the warp-limiting scheduler applies them at the
+//! next issue cycle).
+//!
+//! The paper's PBS schemes, DynCTA and Mod+Bypass all implement this trait
+//! (in the `ebm-core` crate).
+
+use gpu_simt::CoreStats;
+use gpu_types::{AppWindow, TlpLevel};
+
+/// What one application did during one sampling window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppObservation {
+    /// Memory-system and instruction counters over the window (provides
+    /// IPC, BW, CMR and EB via [`AppWindow`]'s methods).
+    pub window: AppWindow,
+    /// Core-pipeline stall breakdown over the window (drives DynCTA).
+    pub core: CoreStats,
+    /// The TLP level the application ran at during the window.
+    pub tlp: TlpLevel,
+    /// Whether the application's L1s were bypassed during the window.
+    pub bypassed: bool,
+}
+
+/// One sampling window's observations for all applications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Cycle at which the decision is being made (window end + relay
+    /// latency).
+    pub now: u64,
+    /// Length of the observed window in cycles.
+    pub window_cycles: u64,
+    /// Per-application observations, in `AppId` order.
+    pub apps: Vec<AppObservation>,
+}
+
+/// A controller's response to an observation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Decision {
+    /// New TLP levels per application (`None` = leave unchanged).
+    pub tlp: Vec<Option<TlpLevel>>,
+    /// New L1-bypass settings per application (`None` = leave unchanged).
+    pub bypass: Vec<Option<bool>>,
+}
+
+impl Decision {
+    /// A decision changing nothing, for `n_apps` applications.
+    pub fn unchanged(n_apps: usize) -> Self {
+        Decision { tlp: vec![None; n_apps], bypass: vec![None; n_apps] }
+    }
+
+    /// A decision setting every application's TLP.
+    pub fn set_all(levels: &[TlpLevel]) -> Self {
+        Decision {
+            tlp: levels.iter().map(|&l| Some(l)).collect(),
+            bypass: vec![None; levels.len()],
+        }
+    }
+
+    /// Builder-style: sets one application's TLP.
+    pub fn with_tlp(mut self, app: usize, level: TlpLevel) -> Self {
+        self.tlp[app] = Some(level);
+        self
+    }
+
+    /// Builder-style: sets one application's bypass flag.
+    pub fn with_bypass(mut self, app: usize, bypass: bool) -> Self {
+        self.bypass[app] = Some(bypass);
+        self
+    }
+}
+
+/// A runtime TLP-management policy.
+pub trait Controller {
+    /// Called once per sampling window with the window's observations;
+    /// returns the knob settings for the next window.
+    fn on_window(&mut self, obs: &Observation) -> Decision;
+
+    /// Policy name for traces and reports.
+    fn name(&self) -> &str;
+}
+
+/// A controller that never changes anything (the static baselines:
+/// ++bestTLP, ++maxTLP, oracle-chosen fixed combinations).
+#[derive(Debug, Clone, Default)]
+pub struct StaticController;
+
+impl Controller for StaticController {
+    fn on_window(&mut self, obs: &Observation) -> Decision {
+        Decision::unchanged(obs.apps.len())
+    }
+
+    fn name(&self) -> &str {
+        "static"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_types::MemCounters;
+
+    fn obs(n: usize) -> Observation {
+        let w = AppWindow::new(
+            MemCounters { l1_accesses: 1, warp_insts: 10, ..MemCounters::new() },
+            100,
+            192.0,
+        );
+        Observation {
+            now: 100,
+            window_cycles: 100,
+            apps: (0..n)
+                .map(|_| AppObservation {
+                    window: w,
+                    core: CoreStats::default(),
+                    tlp: TlpLevel::MAX,
+                    bypassed: false,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn static_controller_changes_nothing() {
+        let mut c = StaticController;
+        let d = c.on_window(&obs(2));
+        assert_eq!(d, Decision::unchanged(2));
+        assert_eq!(c.name(), "static");
+    }
+
+    #[test]
+    fn decision_builders() {
+        let d = Decision::unchanged(2)
+            .with_tlp(1, TlpLevel::new(4).unwrap())
+            .with_bypass(0, true);
+        assert_eq!(d.tlp[0], None);
+        assert_eq!(d.tlp[1], TlpLevel::new(4));
+        assert_eq!(d.bypass[0], Some(true));
+    }
+
+    #[test]
+    fn set_all_sets_every_app() {
+        let d = Decision::set_all(&[TlpLevel::MIN, TlpLevel::MAX]);
+        assert_eq!(d.tlp[0], Some(TlpLevel::MIN));
+        assert_eq!(d.tlp[1], Some(TlpLevel::MAX));
+    }
+}

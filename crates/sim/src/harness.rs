@@ -1,0 +1,322 @@
+//! Measurement harness: fixed-combination runs and controlled runs.
+
+use crate::control::{AppObservation, Controller, Decision, Observation};
+use crate::machine::Gpu;
+use gpu_simt::CoreStats;
+use gpu_types::{AppId, AppWindow, MemCounters, TlpCombo, TlpLevel};
+
+/// Warmup/measurement lengths for a fixed-combination measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Cycles run before measurement starts (cache/row-buffer warmup).
+    pub warmup: u64,
+    /// Measured cycles.
+    pub window: u64,
+}
+
+impl RunSpec {
+    /// A spec with the given warmup and window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(warmup: u64, window: u64) -> Self {
+        assert!(window > 0, "measurement window must be non-empty");
+        RunSpec { warmup, window }
+    }
+
+    /// Short spec for unit tests on the small machine.
+    pub fn quick() -> Self {
+        RunSpec::new(1_000, 4_000)
+    }
+}
+
+fn snapshot_all(gpu: &Gpu) -> Vec<MemCounters> {
+    (0..gpu.n_apps()).map(|a| gpu.counters(AppId::new(a as u8))).collect()
+}
+
+/// Counters as the controller's sampling hardware sees them: exact
+/// aggregates, or the Fig. 8 designated core/partition estimate.
+fn snapshot_sampled(gpu: &Gpu) -> Vec<MemCounters> {
+    if gpu.config().sampling.designated {
+        (0..gpu.n_apps()).map(|a| gpu.designated_counters(AppId::new(a as u8))).collect()
+    } else {
+        snapshot_all(gpu)
+    }
+}
+
+fn core_stats_all(gpu: &Gpu) -> Vec<CoreStats> {
+    (0..gpu.n_apps()).map(|a| gpu.core_stats(AppId::new(a as u8))).collect()
+}
+
+fn windows_between(
+    gpu: &Gpu,
+    before: &[MemCounters],
+    after: &[MemCounters],
+    cycles: u64,
+) -> Vec<AppWindow> {
+    let peak = gpu.config().peak_bw_bytes_per_cycle();
+    before
+        .iter()
+        .zip(after)
+        .map(|(b, a)| AppWindow::new(*a - *b, cycles, peak))
+        .collect()
+}
+
+/// Applies `combo`, warms up, then measures `spec.window` cycles; returns
+/// one [`AppWindow`] per application.
+pub fn measure_fixed(gpu: &mut Gpu, combo: &TlpCombo, spec: RunSpec) -> Vec<AppWindow> {
+    gpu.set_combo(combo);
+    gpu.run(spec.warmup);
+    let before = snapshot_all(gpu);
+    gpu.run(spec.window);
+    let after = snapshot_all(gpu);
+    windows_between(gpu, &before, &after, spec.window)
+}
+
+/// Result of a controlled (policy-driven) run.
+#[derive(Debug, Clone)]
+pub struct ControlledRun {
+    /// One overall measurement window per application, covering the entire
+    /// measured region (search overheads included, as in the paper's PBS
+    /// results).
+    pub overall: Vec<AppWindow>,
+    /// `(cycle, per-app TLP)` — every TLP change the controller made,
+    /// including the initial setting (Fig. 11's traces).
+    pub tlp_trace: Vec<(u64, Vec<TlpLevel>)>,
+    /// Per-window observations handed to the controller (diagnostics).
+    pub n_windows: u64,
+    /// The full per-window time series `(window-end cycle, per-app
+    /// windows)` — what the controller saw, for Fig. 11-style plots and
+    /// CSV export.
+    pub window_series: Vec<(u64, Vec<AppWindow>)>,
+}
+
+impl ControlledRun {
+    /// Renders the per-window series as CSV
+    /// (`cycle,app,tlp?,ipc,bw,cmr,eb` — TLP comes from the trace).
+    pub fn series_csv(&self) -> String {
+        let mut out = String::from("cycle,app,ipc,bw,cmr,eb\n");
+        for (cycle, windows) in &self.window_series {
+            for (a, w) in windows.iter().enumerate() {
+                out.push_str(&format!(
+                    "{cycle},{a},{:.4},{:.4},{:.4},{:.4}\n",
+                    w.ipc(),
+                    w.attained_bw(),
+                    w.combined_miss_rate(),
+                    w.effective_bandwidth()
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Runs `gpu` for `total_cycles` under `controller`.
+///
+/// Every `sampling.window_cycles` the harness snapshots per-application
+/// counters; the controller is invoked `sampling.relay_latency` cycles later
+/// (modeling the designated-partition relay of Fig. 8) and its decision is
+/// applied immediately. The overall measurement covers everything from
+/// `measure_from` to the end, *including* all sampling-phase disturbance.
+pub fn run_controlled(
+    gpu: &mut Gpu,
+    controller: &mut dyn Controller,
+    total_cycles: u64,
+    measure_from: u64,
+) -> ControlledRun {
+    let n_apps = gpu.n_apps();
+    let window = gpu.config().sampling.window_cycles;
+    let relay = gpu.config().sampling.relay_latency;
+    let peak = gpu.config().peak_bw_bytes_per_cycle();
+
+    let mut tlp_trace = vec![(
+        gpu.now(),
+        (0..n_apps).map(|a| gpu.tlp_of(AppId::new(a as u8))).collect::<Vec<_>>(),
+    )];
+    let mut measure_start: Option<Vec<MemCounters>> = None;
+    let mut win_counters = snapshot_sampled(gpu);
+    let mut win_core = core_stats_all(gpu);
+    let mut n_windows = 0;
+    let mut window_series = Vec::new();
+
+    let end = gpu.now() + total_cycles;
+    let mut next_mark = gpu.now() + window;
+    while gpu.now() < end {
+        if measure_start.is_none() && gpu.now() >= measure_from {
+            measure_start = Some(snapshot_all(gpu));
+        }
+        gpu.step();
+        if gpu.now() == next_mark {
+            // Window complete: capture it, then let the relay latency pass
+            // before the controller sees the data.
+            let after = snapshot_sampled(gpu);
+            let after_core = core_stats_all(gpu);
+            let obs_windows = windows_between(gpu, &win_counters, &after, window);
+            window_series.push((gpu.now(), obs_windows.clone()));
+            let obs_core: Vec<CoreStats> = win_core
+                .iter()
+                .zip(&after_core)
+                .map(|(b, a)| CoreStats {
+                    cycles: a.cycles - b.cycles,
+                    insts: a.insts - b.insts,
+                    mem_stall_cycles: a.mem_stall_cycles - b.mem_stall_cycles,
+                    struct_stall_cycles: a.struct_stall_cycles - b.struct_stall_cycles,
+                    idle_cycles: a.idle_cycles - b.idle_cycles,
+                    warp_mem_wait_cycles: a.warp_mem_wait_cycles - b.warp_mem_wait_cycles,
+                    active_warp_cycles: a.active_warp_cycles - b.active_warp_cycles,
+                })
+                .collect();
+            for _ in 0..relay {
+                if gpu.now() >= end {
+                    break;
+                }
+                gpu.step();
+            }
+            let obs = Observation {
+                now: gpu.now(),
+                window_cycles: window,
+                apps: (0..n_apps)
+                    .map(|a| AppObservation {
+                        window: obs_windows[a],
+                        core: obs_core[a],
+                        tlp: gpu.tlp_of(AppId::new(a as u8)),
+                        bypassed: gpu.bypass_l1_of(AppId::new(a as u8)),
+                    })
+                    .collect(),
+            };
+            let decision: Decision = controller.on_window(&obs);
+            let mut changed = false;
+            for a in 0..n_apps {
+                if let Some(level) = decision.tlp.get(a).copied().flatten() {
+                    if gpu.tlp_of(AppId::new(a as u8)) != gpu.config().clamp_tlp(level) {
+                        changed = true;
+                    }
+                    gpu.set_tlp(AppId::new(a as u8), level);
+                }
+                if let Some(b) = decision.bypass.get(a).copied().flatten() {
+                    gpu.set_bypass_l1(AppId::new(a as u8), b);
+                }
+            }
+            if changed {
+                tlp_trace.push((
+                    gpu.now(),
+                    (0..n_apps).map(|a| gpu.tlp_of(AppId::new(a as u8))).collect(),
+                ));
+            }
+            n_windows += 1;
+            win_counters = snapshot_sampled(gpu);
+            win_core = core_stats_all(gpu);
+            next_mark = gpu.now() + window;
+        }
+    }
+
+    let start = measure_start.unwrap_or_else(|| snapshot_all(gpu));
+    let final_counters = snapshot_all(gpu);
+    let measured_cycles = (gpu.now() - measure_from.min(gpu.now())).max(1);
+    let overall = start
+        .iter()
+        .zip(&final_counters)
+        .map(|(b, a)| AppWindow::new(*a - *b, measured_cycles, peak))
+        .collect();
+    ControlledRun { overall, tlp_trace, n_windows, window_series }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::StaticController;
+    use gpu_types::GpuConfig;
+    use gpu_workloads::by_name;
+
+    fn gpu() -> Gpu {
+        Gpu::new(
+            &GpuConfig::small(),
+            &[by_name("BLK").unwrap(), by_name("BFS").unwrap()],
+            11,
+        )
+    }
+
+    #[test]
+    fn measure_fixed_reports_positive_ipc() {
+        let mut g = gpu();
+        let combo = TlpCombo::uniform(TlpLevel::MAX, 2);
+        let w = measure_fixed(&mut g, &combo, RunSpec::quick());
+        assert_eq!(w.len(), 2);
+        assert!(w[0].ipc() > 0.0);
+        assert!(w[1].ipc() > 0.0);
+    }
+
+    #[test]
+    fn measure_fixed_is_deterministic() {
+        let combo = TlpCombo::uniform(TlpLevel::MAX, 2);
+        let mut a = gpu();
+        let mut b = gpu();
+        let wa = measure_fixed(&mut a, &combo, RunSpec::quick());
+        let wb = measure_fixed(&mut b, &combo, RunSpec::quick());
+        assert_eq!(wa[0].counters, wb[0].counters);
+    }
+
+    #[test]
+    fn controlled_run_invokes_controller_per_window() {
+        let mut g = gpu();
+        let window = g.config().sampling.window_cycles;
+        let mut c = StaticController;
+        let run = run_controlled(&mut g, &mut c, window * 4 + 100, 0);
+        assert!(run.n_windows >= 3, "expected >=3 windows, got {}", run.n_windows);
+        assert_eq!(run.overall.len(), 2);
+        assert!(run.overall[0].ipc() > 0.0);
+    }
+
+    #[test]
+    fn static_controller_leaves_single_trace_entry() {
+        let mut g = gpu();
+        let mut c = StaticController;
+        let run = run_controlled(&mut g, &mut c, 10_000, 0);
+        assert_eq!(run.tlp_trace.len(), 1, "no TLP changes expected");
+    }
+
+    struct FlipFlop(bool);
+    impl Controller for FlipFlop {
+        fn on_window(&mut self, obs: &Observation) -> Decision {
+            self.0 = !self.0;
+            let lvl = if self.0 { TlpLevel::MIN } else { TlpLevel::new(8).unwrap() };
+            Decision::set_all(&vec![lvl; obs.apps.len()])
+        }
+        fn name(&self) -> &str {
+            "flipflop"
+        }
+    }
+
+    #[test]
+    fn dynamic_controller_changes_are_traced() {
+        let mut g = gpu();
+        let window = g.config().sampling.window_cycles;
+        let mut c = FlipFlop(false);
+        let run = run_controlled(&mut g, &mut c, window * 4 + 100, 0);
+        assert!(run.tlp_trace.len() >= 3, "trace: {:?}", run.tlp_trace);
+    }
+
+    #[test]
+    fn window_series_records_every_window() {
+        let mut g = gpu();
+        let mut c = StaticController;
+        let run = run_controlled(&mut g, &mut c, 10_000, 0);
+        assert_eq!(run.window_series.len() as u64, run.n_windows);
+        let cycles: Vec<u64> = run.window_series.iter().map(|(c, _)| *c).collect();
+        assert!(cycles.windows(2).all(|w| w[0] < w[1]), "series must be time-ordered");
+        let csv = run.series_csv();
+        assert!(csv.starts_with("cycle,app,"));
+        assert!(csv.lines().count() as u64 >= run.n_windows * 2);
+    }
+
+    #[test]
+    fn measure_from_skips_early_cycles() {
+        let mut g1 = gpu();
+        let mut g2 = gpu();
+        let mut c = StaticController;
+        let full = run_controlled(&mut g1, &mut c, 8_000, 0);
+        let late = run_controlled(&mut g2, &mut c, 8_000, 4_000);
+        assert!(late.overall[0].cycles < full.overall[0].cycles);
+    }
+}

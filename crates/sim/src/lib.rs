@@ -1,0 +1,28 @@
+//! Multi-application GPU simulator.
+//!
+//! Ties the substrate crates together into the machine of §II-A: each
+//! co-scheduled application runs on an exclusive, equal set of SIMT cores
+//! ([`machine::Gpu`]), all cores share the crossbar, the L2 slices and the
+//! GDDR5 channels. On top of the machine this crate provides:
+//!
+//! * [`metrics`] — the SD-based system metrics of Table III (WS, FI, HS);
+//! * [`alone`] — alone-run profiling across the TLP ladder, producing each
+//!   application's `bestTLP`, `IPC@bestTLP` and `EB@bestTLP` (Table IV);
+//! * [`control`] — the controller interface TLP-management policies
+//!   implement (the paper's PBS and the baselines live in `ebm-core`);
+//! * [`harness`] — fixed-combination measurement and controlled runs with
+//!   windowed sampling and the Fig. 8 relay latency.
+
+#![warn(missing_docs)]
+
+pub mod alone;
+pub mod control;
+pub mod harness;
+pub mod machine;
+pub mod metrics;
+
+pub use alone::{profile_alone, AloneProfile, AloneSample};
+pub use control::{Controller, Decision, Observation};
+pub use harness::{measure_fixed, run_controlled, ControlledRun, RunSpec};
+pub use machine::Gpu;
+pub use metrics::{fi_of, hs_of, ws_of, SystemMetrics};

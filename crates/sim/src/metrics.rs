@@ -1,0 +1,175 @@
+//! SD-based system metrics (Table III).
+//!
+//! The slowdown of an application is `SD = IPC-Shared / IPC-Alone`, where
+//! the alone run uses the same cores at bestTLP. The system metrics combine
+//! per-application slowdowns:
+//!
+//! * `WS = Σ SD_i` (weighted speedup / system throughput),
+//! * `FI = min SD_i / max SD_i` (fairness index; 1 is perfectly fair),
+//! * `HS = n / Σ (1/SD_i)` (harmonic weighted speedup).
+//!
+//! The same combinators applied to EB values yield the paper's EB-WS /
+//! EB-FI / EB-HS runtime metrics, so [`ws_of`], [`fi_of`] and [`hs_of`] are
+//! exposed generically.
+
+/// Sum of values (WS when fed slowdowns, EB-WS when fed EBs).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn ws_of(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "need at least one value");
+    values.iter().sum()
+}
+
+/// `min/max` imbalance (FI when fed slowdowns, EB-FI when fed EBs).
+/// Returns 0 when any value is non-positive.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn fi_of(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "need at least one value");
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    if min <= 0.0 || max <= 0.0 {
+        return 0.0;
+    }
+    min / max
+}
+
+/// Harmonic mean scaled by count (HS when fed slowdowns).
+/// Returns 0 when any value is non-positive.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn hs_of(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "need at least one value");
+    if values.iter().any(|&v| v <= 0.0) {
+        return 0.0;
+    }
+    values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>()
+}
+
+/// Per-application slowdown `IPC-Shared / IPC-Alone`.
+///
+/// # Panics
+///
+/// Panics if `ipc_alone` is not positive.
+pub fn slowdown(ipc_shared: f64, ipc_alone: f64) -> f64 {
+    assert!(ipc_alone > 0.0, "alone IPC must be positive");
+    ipc_shared / ipc_alone
+}
+
+/// The three SD-based metrics of one workload execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemMetrics {
+    /// Per-application slowdowns.
+    pub sds: Vec<f64>,
+    /// Weighted speedup (system throughput).
+    pub ws: f64,
+    /// Fairness index.
+    pub fi: f64,
+    /// Harmonic weighted speedup.
+    pub hs: f64,
+}
+
+impl SystemMetrics {
+    /// Combines per-application slowdowns into the system metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sds` is empty.
+    pub fn from_slowdowns(sds: Vec<f64>) -> Self {
+        let ws = ws_of(&sds);
+        let fi = fi_of(&sds);
+        let hs = hs_of(&sds);
+        SystemMetrics { sds, ws, fi, hs }
+    }
+}
+
+/// Geometric mean (used for the Gmean columns of Figs. 9 and 10).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or any value is non-positive.
+pub fn gmean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "need at least one value");
+    assert!(values.iter().all(|&v| v > 0.0), "gmean needs positive values");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ws_is_sum() {
+        assert_eq!(ws_of(&[0.5, 0.7]), 1.2);
+    }
+
+    #[test]
+    fn fi_is_min_over_max() {
+        assert!((fi_of(&[0.5, 1.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(fi_of(&[0.8, 0.8]), 1.0);
+    }
+
+    #[test]
+    fn fi_of_three_apps_uses_extremes() {
+        assert!((fi_of(&[0.2, 0.5, 0.8]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hs_matches_table_iii_for_two_apps() {
+        // HS = 2/(1/SD1 + 1/SD2)... Table III writes it without the factor n
+        // for two applications as 1/(1/SD1 + 1/SD2); the factor is a
+        // constant scaling that cancels in all normalized comparisons. We
+        // keep the n-scaled harmonic mean.
+        let hs = hs_of(&[0.5, 0.5]);
+        assert!((hs - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_values_do_not_blow_up() {
+        assert_eq!(fi_of(&[0.0, 1.0]), 0.0);
+        assert_eq!(hs_of(&[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn slowdown_is_ratio() {
+        assert!((slowdown(2.0, 4.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn slowdown_rejects_zero_alone() {
+        let _ = slowdown(1.0, 0.0);
+    }
+
+    #[test]
+    fn system_metrics_bundle() {
+        let m = SystemMetrics::from_slowdowns(vec![0.6, 0.3]);
+        assert!((m.ws - 0.9).abs() < 1e-12);
+        assert!((m.fi - 0.5).abs() < 1e-12);
+        assert!(m.hs > 0.3 && m.hs < 0.6);
+    }
+
+    #[test]
+    fn gmean_of_constant_is_constant() {
+        assert!((gmean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_is_between_min_and_max() {
+        let g = gmean(&[1.0, 4.0]);
+        assert!(g > 1.0 && g < 4.0);
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_ws_panics() {
+        let _ = ws_of(&[]);
+    }
+}

@@ -1,0 +1,795 @@
+//! The SIMT core: warps + GTO schedulers + coalescer + private L1.
+
+use crate::ccws::{CcwsParams, CcwsThrottle};
+use crate::inst::{coalesce, Inst, InstStream};
+use crate::scheduler::GtoScheduler;
+use crate::warp::Warp;
+use gpu_mem::cache::{Cache, CacheCounters, Lookup};
+use gpu_mem::req::{AccessKind, MemRequest, ReqId};
+use gpu_types::{Address, AppId, CoreId, GpuConfig, TlpLevel};
+use std::cmp::Reverse;
+use gpu_types::FxHashMap;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Per-application tuning of a core's warps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreParams {
+    /// Outstanding-load tolerance per warp (dependency distance of the
+    /// application's code).
+    pub max_outstanding_loads: usize,
+    /// Upper bound on transactions one instruction may generate after
+    /// coalescing (32 = fully divergent warp).
+    pub max_txn_per_inst: usize,
+}
+
+impl Default for CoreParams {
+    fn default() -> Self {
+        CoreParams { max_outstanding_loads: 2, max_txn_per_inst: 32 }
+    }
+}
+
+/// Cumulative per-core statistics.
+///
+/// `mem_stall_cycles` and `idle_cycles` drive the DynCTA baseline's
+/// latency-tolerance heuristic; `insts` drives IPC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Cycles stepped.
+    pub cycles: u64,
+    /// Warp instructions issued.
+    pub insts: u64,
+    /// Cycles where no scheduler issued and at least one active warp was
+    /// blocked on outstanding memory.
+    pub mem_stall_cycles: u64,
+    /// Cycles where no scheduler issued although a warp was ready
+    /// (structural hazard: L1 MSHRs or the egress queue were full).
+    pub struct_stall_cycles: u64,
+    /// Cycles where no active warp could issue for any other reason
+    /// (ALU latency, or all warps finished).
+    pub idle_cycles: u64,
+    /// Sum over cycles of the number of active warps blocked on outstanding
+    /// memory — `warp_mem_wait_cycles / active_warp_cycles` is the
+    /// memory-wait occupancy DynCTA's latency-tolerance heuristic reads.
+    pub warp_mem_wait_cycles: u64,
+    /// Sum over cycles of the number of SWL-active warp slots.
+    pub active_warp_cycles: u64,
+}
+
+impl CoreStats {
+    /// Fraction of active warp-cycles spent blocked on memory (0 when no
+    /// warps were active).
+    pub fn mem_wait_occupancy(&self) -> f64 {
+        if self.active_warp_cycles == 0 {
+            0.0
+        } else {
+            self.warp_mem_wait_cycles as f64 / self.active_warp_cycles as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingLoad {
+    warp_slot: usize,
+    /// False when the request bypassed the L1 (its response is routed
+    /// straight to the warp instead of through a cache fill).
+    cached: bool,
+}
+
+/// One SIMT core running a single application's warps.
+pub struct SimtCore {
+    /// This core's identity.
+    pub id: CoreId,
+    /// The application the core is assigned to (§II-A: exclusive core sets).
+    pub app: AppId,
+    warps: Vec<Warp>,
+    schedulers: Vec<GtoScheduler>,
+    l1: Cache,
+    l1_hit_latency: u64,
+    bypass_l1: bool,
+    pending: FxHashMap<ReqId, PendingLoad>,
+    hit_returns: BinaryHeap<Reverse<(u64, u64, ReqId)>>,
+    egress: VecDeque<MemRequest>,
+    egress_capacity: usize,
+    params: CoreParams,
+    next_req: u64,
+    seq: u64,
+    /// Active warps currently blocked on outstanding memory (maintained
+    /// incrementally; feeds `CoreStats::warp_mem_wait_cycles`).
+    waiting_now: usize,
+    /// CCWS-style cache-conscious throttling, when enabled: modulates an
+    /// additional warp limit from lost-locality scores.
+    ccws: Option<CcwsThrottle>,
+    /// Owner (warp slot) of each L1-resident line, for victim attribution.
+    line_owner: FxHashMap<u64, usize>,
+    /// The externally requested SWL level (CCWS caps below it).
+    swl_limit: usize,
+    stats: CoreStats,
+}
+
+impl std::fmt::Debug for SimtCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimtCore")
+            .field("id", &self.id)
+            .field("app", &self.app)
+            .field("warps", &self.warps.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl SimtCore {
+    /// Builds a core for application `app` with one instruction stream per
+    /// warp slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` does not provide exactly
+    /// `cfg.warps_per_core` streams.
+    pub fn new(
+        id: CoreId,
+        app: AppId,
+        cfg: &GpuConfig,
+        params: CoreParams,
+        streams: Vec<Box<dyn InstStream>>,
+    ) -> Self {
+        assert_eq!(
+            streams.len(),
+            cfg.warps_per_core,
+            "need one instruction stream per warp slot"
+        );
+        let warps: Vec<Warp> =
+            streams.into_iter().map(|s| Warp::new(s, params.max_outstanding_loads)).collect();
+        let per_sched = cfg.warps_per_scheduler();
+        let schedulers = (0..cfg.schedulers_per_core)
+            .map(|s| {
+                GtoScheduler::with_policy(
+                    (s * per_sched..(s + 1) * per_sched).collect(),
+                    cfg.scheduler,
+                )
+            })
+            .collect();
+        SimtCore {
+            id,
+            app,
+            warps,
+            schedulers,
+            l1: Cache::new(&cfg.l1),
+            l1_hit_latency: cfg.l1.hit_latency as u64,
+            bypass_l1: false,
+            pending: FxHashMap::default(),
+            hit_returns: BinaryHeap::new(),
+            egress: VecDeque::new(),
+            egress_capacity: 16,
+            params,
+            next_req: 0,
+            seq: 0,
+            waiting_now: 0,
+            ccws: None,
+            line_owner: FxHashMap::default(),
+            swl_limit: cfg.warps_per_scheduler(),
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Applies a TLP level to every scheduler (the SWL knob). When CCWS is
+    /// enabled, the effective limit is the minimum of the two.
+    pub fn set_tlp(&mut self, level: TlpLevel) {
+        self.swl_limit = level.get() as usize;
+        self.apply_limits();
+    }
+
+    fn apply_limits(&mut self) {
+        let eff = match &self.ccws {
+            Some(c) => self.swl_limit.min(c.limit()),
+            None => self.swl_limit,
+        };
+        for s in &mut self.schedulers {
+            s.set_limit(eff);
+        }
+    }
+
+    /// Enables or disables CCWS-style cache-conscious throttling.
+    pub fn set_ccws(&mut self, enabled: bool) {
+        if enabled && self.ccws.is_none() {
+            let per_sched = self.warps.len() / self.schedulers.len();
+            self.ccws =
+                Some(CcwsThrottle::new(self.warps.len(), per_sched, CcwsParams::default()));
+        } else if !enabled {
+            self.ccws = None;
+        }
+        self.apply_limits();
+    }
+
+    /// True when CCWS throttling is active.
+    pub fn ccws_enabled(&self) -> bool {
+        self.ccws.is_some()
+    }
+
+    /// The TLP level currently applied (all schedulers share it).
+    pub fn tlp(&self) -> usize {
+        self.schedulers[0].limit()
+    }
+
+    /// Enables or disables L1 bypassing (Mod+Bypass baseline). Takes effect
+    /// for future loads; in-flight cached loads still fill the L1.
+    pub fn set_bypass_l1(&mut self, bypass: bool) {
+        self.bypass_l1 = bypass;
+    }
+
+    /// True when L1 accesses currently bypass the cache.
+    pub fn bypass_l1(&self) -> bool {
+        self.bypass_l1
+    }
+
+    fn fresh_id(&mut self) -> ReqId {
+        self.next_req += 1;
+        ReqId(((self.id.index() as u64) << 40) | self.next_req)
+    }
+
+    fn complete(&mut self, id: ReqId) {
+        if let Some(p) = self.pending.remove(&id) {
+            let was_waiting = self.warps[p.warp_slot].waiting_mem();
+            self.warps[p.warp_slot].load_returned();
+            if was_waiting && !self.warps[p.warp_slot].waiting_mem() {
+                self.waiting_now -= 1;
+            }
+        }
+    }
+
+    /// Delivers a load response from the interconnect.
+    pub fn receive(&mut self, resp: MemRequest) {
+        debug_assert_eq!(resp.core, self.id, "response misrouted");
+        let cached = self.pending.get(&resp.id).map(|p| p.cached).unwrap_or(false);
+        if cached {
+            let (waiters, victim) = self.l1.fill_with_victim(resp.addr);
+            if self.ccws.is_some() {
+                self.line_owner.insert(resp.addr.line_index(), resp.warp_slot);
+                if let Some(v) = victim {
+                    if let Some(owner) = self.line_owner.remove(&v.line_index()) {
+                        if let Some(ccws) = &mut self.ccws {
+                            ccws.on_evict(owner, v);
+                        }
+                    }
+                }
+            }
+            for w in waiters {
+                self.complete(w);
+            }
+            // Defensive: the allocating request is always in the waiter list,
+            // but make sure it is not leaked if the fill raced.
+            self.complete(resp.id);
+        } else {
+            self.complete(resp.id);
+        }
+    }
+
+    /// Next outbound memory request, if the interconnect can take one.
+    pub fn pop_request(&mut self) -> Option<MemRequest> {
+        self.egress.pop_front()
+    }
+
+    /// Peeks the next outbound request without removing it.
+    pub fn peek_request(&self) -> Option<&MemRequest> {
+        self.egress.front()
+    }
+
+    fn issue_load(&mut self, slot: usize, addrs: &[Address], now: u64) -> bool {
+        let mut lines = coalesce(addrs);
+        lines.truncate(self.params.max_txn_per_inst);
+        // Structural hazards: egress space for the worst case (all miss or
+        // bypass), and enough free L1 MSHR headroom when cached.
+        if self.egress.len() + lines.len() > self.egress_capacity {
+            return false;
+        }
+        if !self.bypass_l1 && self.l1.mshr_free() < lines.len() {
+            return false;
+        }
+        let n = lines.len();
+        let was_waiting = self.warps[slot].waiting_mem();
+        for line in lines {
+            let id = self.fresh_id();
+            self.pending
+                .insert(id, PendingLoad { warp_slot: slot, cached: !self.bypass_l1 });
+            let req = MemRequest::new(id, self.app, self.id, slot, line, AccessKind::Load);
+            if self.bypass_l1 {
+                self.egress.push_back(req.bypassing());
+                continue;
+            }
+            match self.l1.access_load(self.app, line, id) {
+                Lookup::Hit => {
+                    self.seq += 1;
+                    self.hit_returns.push(Reverse((now + self.l1_hit_latency, self.seq, id)));
+                }
+                Lookup::MissToLower => {
+                    if let Some(ccws) = &mut self.ccws {
+                        ccws.on_miss(slot, line);
+                    }
+                    self.egress.push_back(req);
+                }
+                Lookup::MissMerged => {
+                    if let Some(ccws) = &mut self.ccws {
+                        ccws.on_miss(slot, line);
+                    }
+                }
+                Lookup::Stall => {
+                    // Entry headroom was checked, so this is a full *merge*
+                    // list on an in-flight line. Fall back to an uncached
+                    // direct request (egress space was reserved for every
+                    // line of this instruction).
+                    self.pending
+                        .insert(id, PendingLoad { warp_slot: slot, cached: false });
+                    self.egress.push_back(req);
+                }
+            }
+        }
+        self.warps[slot].issue_mem(now, n);
+        if !was_waiting && self.warps[slot].waiting_mem() {
+            self.waiting_now += 1;
+        }
+        true
+    }
+
+    fn issue_store(&mut self, slot: usize, addrs: &[Address], now: u64) -> bool {
+        let mut lines = coalesce(addrs);
+        lines.truncate(self.params.max_txn_per_inst);
+        if self.egress.len() + lines.len() > self.egress_capacity {
+            return false;
+        }
+        for line in lines {
+            let id = self.fresh_id();
+            self.egress
+                .push_back(MemRequest::new(id, self.app, self.id, slot, line, AccessKind::Store));
+        }
+        self.warps[slot].issue_mem(now, 0);
+        true
+    }
+
+    /// Advances the core one cycle: returns L1 hits that completed and lets
+    /// each scheduler issue at most one warp instruction.
+    pub fn step(&mut self, now: u64) {
+        self.stats.cycles += 1;
+        if let Some(ccws) = &mut self.ccws {
+            let before = ccws.limit();
+            ccws.tick(now);
+            if ccws.limit() != before {
+                self.apply_limits();
+            }
+        }
+        self.stats.warp_mem_wait_cycles += self.waiting_now as u64;
+        self.stats.active_warp_cycles +=
+            self.schedulers.iter().map(|s| s.active_slots().len() as u64).sum::<u64>();
+
+        // 1. L1 hits whose latency elapsed wake their warps.
+        while matches!(self.hit_returns.peek(), Some(Reverse((t, _, _))) if *t <= now) {
+            let Reverse((_, _, id)) = self.hit_returns.pop().expect("peeked");
+            self.complete(id);
+        }
+
+        // 2. Issue: per scheduler, walk GTO priority order and issue the
+        //    first warp whose instruction clears structural hazards.
+        let mut issued_total = 0;
+        let mut saw_struct_block = false;
+        for si in 0..self.schedulers.len() {
+            // Policy-defined priority order (GTO: greedy then oldest-first;
+            // LRR: rotate past the last issued warp), walked by index to
+            // avoid per-cycle allocation.
+            let n_candidates = self.schedulers[si].n_candidates();
+            for k in 0..n_candidates {
+                let Some(slot) = self.schedulers[si].candidate(k) else { continue };
+                if !self.warps[slot].ready(now) {
+                    continue;
+                }
+                let Some(inst) = self.warps[slot].fetch() else { continue };
+                let ok = match &inst {
+                    Inst::Alu { cycles } => {
+                        self.warps[slot].issue_alu(now, *cycles);
+                        true
+                    }
+                    Inst::Load { addrs } => self.issue_load(slot, addrs, now),
+                    Inst::Store { addrs } => self.issue_store(slot, addrs, now),
+                };
+                if ok {
+                    self.stats.insts += 1;
+                    issued_total += 1;
+                    self.schedulers[si].record_issue(slot);
+                    break;
+                }
+                // Structural hazard: put the instruction back and try the
+                // next warp in priority order.
+                self.warps[slot].stash(inst);
+                saw_struct_block = true;
+            }
+        }
+
+        // 3. Stall classification for DynCTA-style heuristics.
+        if issued_total == 0 {
+            if saw_struct_block {
+                self.stats.struct_stall_cycles += 1;
+            } else {
+                let any_waiting_mem = self
+                    .schedulers
+                    .iter()
+                    .flat_map(|s| s.active_slots())
+                    .any(|&slot| self.warps[slot].waiting_mem());
+                if any_waiting_mem {
+                    self.stats.mem_stall_cycles += 1;
+                } else {
+                    self.stats.idle_cycles += 1;
+                }
+            }
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// L1 counters for `app` (normally this core's own application).
+    pub fn l1_counters(&self, app: AppId) -> CacheCounters {
+        self.l1.counters(app)
+    }
+
+    /// True when every warp has retired and no memory is outstanding.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty()
+            && self.egress.is_empty()
+            && self.warps.iter().all(|w| w.finished())
+    }
+
+    /// Loads in flight from this core.
+    pub fn outstanding_loads(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streams::{LoopOverSet, Scripted, Streaming};
+
+    fn small_cfg() -> GpuConfig {
+        GpuConfig::small()
+    }
+
+    fn idle_streams(cfg: &GpuConfig) -> Vec<Box<dyn InstStream>> {
+        (0..cfg.warps_per_core)
+            .map(|_| Box::new(Scripted::new(vec![])) as Box<dyn InstStream>)
+            .collect()
+    }
+
+    fn core_with_one_stream(stream: Box<dyn InstStream>, params: CoreParams) -> SimtCore {
+        let cfg = small_cfg();
+        let mut streams = idle_streams(&cfg);
+        streams[0] = stream;
+        SimtCore::new(CoreId(0), AppId::new(0), &cfg, params, streams)
+    }
+
+    /// Run the core standalone, echoing every egress load back after
+    /// `mem_latency` cycles, for `cycles` cycles. Returns final stats.
+    fn run_closed_loop(core: &mut SimtCore, cycles: u64, mem_latency: u64) -> CoreStats {
+        let mut returns: std::collections::VecDeque<(u64, MemRequest)> = Default::default();
+        for now in 0..cycles {
+            while matches!(returns.front(), Some((t, _)) if *t <= now) {
+                let (_, req) = returns.pop_front().unwrap();
+                core.receive(req);
+            }
+            core.step(now);
+            while let Some(req) = core.pop_request() {
+                if req.needs_response() {
+                    returns.push_back((now + mem_latency, req));
+                }
+            }
+        }
+        core.stats()
+    }
+
+    #[test]
+    fn alu_stream_issues_one_inst_per_cycle() {
+        let insts = vec![Inst::alu1(); 10];
+        let mut core = core_with_one_stream(Box::new(Scripted::new(insts)), CoreParams::default());
+        let stats = run_closed_loop(&mut core, 12, 1);
+        assert_eq!(stats.insts, 10);
+    }
+
+    #[test]
+    fn two_schedulers_issue_in_parallel() {
+        let cfg = small_cfg();
+        let mut streams = idle_streams(&cfg);
+        // One ALU-heavy warp per scheduler: slot 0 (scheduler 0) and the
+        // first slot of scheduler 1.
+        let per_sched = cfg.warps_per_scheduler();
+        streams[0] = Box::new(Scripted::new(vec![Inst::alu1(); 5]));
+        streams[per_sched] = Box::new(Scripted::new(vec![Inst::alu1(); 5]));
+        let mut core =
+            SimtCore::new(CoreId(0), AppId::new(0), &cfg, CoreParams::default(), streams);
+        core.step(0);
+        assert_eq!(core.stats().insts, 2, "both schedulers must issue in the same cycle");
+    }
+
+    #[test]
+    fn load_misses_produce_requests_and_block_warp() {
+        let mut core = core_with_one_stream(
+            Box::new(Scripted::new(vec![Inst::load1(0), Inst::alu1()])),
+            CoreParams { max_outstanding_loads: 1, max_txn_per_inst: 32 },
+        );
+        core.step(0);
+        let req = core.pop_request().expect("cold load must miss to memory");
+        assert_eq!(req.kind, AccessKind::Load);
+        // Warp is blocked: no further instruction issues.
+        core.step(1);
+        assert_eq!(core.stats().insts, 1);
+        assert!(core.stats().mem_stall_cycles >= 1);
+        // Return the data: the ALU instruction can now issue.
+        core.receive(req);
+        core.step(2);
+        assert_eq!(core.stats().insts, 2);
+    }
+
+    #[test]
+    fn l1_hit_completes_without_memory_traffic() {
+        let mut core = core_with_one_stream(
+            Box::new(LoopOverSet::new(0, 1)),
+            CoreParams { max_outstanding_loads: 1, max_txn_per_inst: 32 },
+        );
+        let stats = run_closed_loop(&mut core, 200, 20);
+        let k = core.l1_counters(AppId::new(0));
+        assert_eq!(k.misses, 1, "only the cold miss goes to memory");
+        assert!(k.accesses > 10);
+        assert!(stats.insts > 10);
+    }
+
+    #[test]
+    fn bypass_skips_the_l1() {
+        let mut core = core_with_one_stream(
+            Box::new(LoopOverSet::new(0, 1)),
+            CoreParams { max_outstanding_loads: 1, max_txn_per_inst: 32 },
+        );
+        core.set_bypass_l1(true);
+        run_closed_loop(&mut core, 200, 5);
+        let k = core.l1_counters(AppId::new(0));
+        assert_eq!(k.accesses, 0, "bypassed loads never touch the L1");
+        assert!(core.stats().insts > 5, "warp still makes progress via direct returns");
+    }
+
+    #[test]
+    fn coalesced_load_generates_one_transaction() {
+        let addrs: Vec<Address> = (0..32).map(|i| Address::new(i * 4)).collect();
+        let mut core = core_with_one_stream(
+            Box::new(Scripted::new(vec![Inst::Load { addrs }])),
+            CoreParams::default(),
+        );
+        core.step(0);
+        assert!(core.pop_request().is_some());
+        assert!(core.pop_request().is_none(), "32 threads in one line coalesce to 1 txn");
+    }
+
+    #[test]
+    fn divergent_load_generates_many_transactions() {
+        let addrs: Vec<Address> = (0..8).map(|i| Address::new(i * 128 * 1024)).collect();
+        let mut core = core_with_one_stream(
+            Box::new(Scripted::new(vec![Inst::Load { addrs }])),
+            CoreParams { max_outstanding_loads: 8, max_txn_per_inst: 32 },
+        );
+        core.step(0);
+        let mut n = 0;
+        while core.pop_request().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn swl_limits_active_warps() {
+        let cfg = small_cfg();
+        // Every warp is an infinite streaming kernel.
+        let streams: Vec<Box<dyn InstStream>> = (0..cfg.warps_per_core)
+            .map(|i| {
+                Box::new(Streaming::new((i as u64) << 20, 128, 0)) as Box<dyn InstStream>
+            })
+            .collect();
+        let mut core = SimtCore::new(
+            CoreId(0),
+            AppId::new(0),
+            &cfg,
+            CoreParams { max_outstanding_loads: 1, max_txn_per_inst: 32 },
+            streams,
+        );
+        core.set_tlp(TlpLevel::new(1).unwrap());
+        core.step(0);
+        core.step(1);
+        // With TLP=1 and tolerance 1, at most one load per scheduler can be
+        // outstanding.
+        assert!(
+            core.outstanding_loads() <= cfg.schedulers_per_core,
+            "SWL failed to limit concurrency: {} outstanding",
+            core.outstanding_loads()
+        );
+        assert_eq!(core.tlp(), 1);
+    }
+
+    #[test]
+    fn stores_do_not_block_warps() {
+        let mut core = core_with_one_stream(
+            Box::new(Scripted::new(vec![
+                Inst::Store { addrs: vec![Address::new(0)] },
+                Inst::alu1(),
+            ])),
+            CoreParams { max_outstanding_loads: 1, max_txn_per_inst: 32 },
+        );
+        core.step(0);
+        core.step(1);
+        assert_eq!(core.stats().insts, 2);
+        let req = core.pop_request().unwrap();
+        assert_eq!(req.kind, AccessKind::Store);
+    }
+
+    #[test]
+    fn struct_stall_when_egress_saturated() {
+        // A warp issuing highly divergent loads with huge tolerance will
+        // eventually fill the 16-entry egress queue if nothing drains it.
+        let addrs: Vec<Address> = (0..32).map(|i| Address::new(i * 128 * 4096)).collect();
+        let insts = vec![Inst::Load { addrs }; 4];
+        let mut core = core_with_one_stream(
+            Box::new(Scripted::new(insts)),
+            CoreParams { max_outstanding_loads: 1024, max_txn_per_inst: 32 },
+        );
+        for now in 0..8 {
+            core.step(now);
+        }
+        assert!(core.stats().struct_stall_cycles > 0);
+    }
+
+    #[test]
+    fn greedy_warp_keeps_issuing() {
+        let cfg = small_cfg();
+        let mut streams = idle_streams(&cfg);
+        streams[0] = Box::new(Scripted::new(vec![Inst::alu1(); 3]));
+        streams[1] = Box::new(Scripted::new(vec![Inst::alu1(); 3]));
+        let mut core =
+            SimtCore::new(CoreId(0), AppId::new(0), &cfg, CoreParams::default(), streams);
+        // Warp 0 is oldest: GTO picks it and sticks with it 3 cycles.
+        core.step(0);
+        core.step(1);
+        core.step(2);
+        assert_eq!(core.stats().insts, 3);
+    }
+
+    #[test]
+    fn raising_tlp_reactivates_limited_warps() {
+        let cfg = small_cfg();
+        let streams: Vec<Box<dyn InstStream>> = (0..cfg.warps_per_core)
+            .map(|_| Box::new(Scripted::new(vec![Inst::alu1(); 4])) as Box<dyn InstStream>)
+            .collect();
+        let mut core =
+            SimtCore::new(CoreId(0), AppId::new(0), &cfg, CoreParams::default(), streams);
+        core.set_tlp(TlpLevel::new(1).unwrap());
+        core.step(0);
+        let limited = core.stats().insts;
+        assert_eq!(limited, 2, "one warp per scheduler at TLP 1");
+        core.set_tlp(TlpLevel::new(8).unwrap());
+        // More warps can now issue concurrently across cycles.
+        core.step(1);
+        core.step(2);
+        assert!(core.stats().insts > limited + 2);
+    }
+
+    #[test]
+    fn bypass_toggle_mid_flight_preserves_all_responses() {
+        // A cached load is outstanding when bypassing turns on; its
+        // response must still wake the warp through the fill path.
+        let mut core = core_with_one_stream(
+            Box::new(Scripted::new(vec![Inst::load1(0), Inst::load1(1 << 20)])),
+            CoreParams { max_outstanding_loads: 2, max_txn_per_inst: 32 },
+        );
+        core.step(0);
+        let first = core.pop_request().expect("first load misses");
+        assert!(!first.bypass_caches);
+        core.set_bypass_l1(true);
+        core.step(1);
+        let second = core.pop_request().expect("second load issued");
+        assert!(second.bypass_caches, "new loads carry the bypass flag");
+        core.receive(first);
+        core.receive(second);
+        assert_eq!(core.outstanding_loads(), 0, "both warps woken");
+    }
+
+    #[test]
+    fn ccws_throttles_a_thrashing_core() {
+        // Every warp loops over its own private 8-line set (matching the
+        // victim-tag depth); collectively they exceed the 4 KB
+        // small-machine L1, so CCWS observes lost intra-warp locality and
+        // lowers the warp limit.
+        let cfg = small_cfg();
+        let streams: Vec<Box<dyn InstStream>> = (0..cfg.warps_per_core)
+            .map(|i| {
+                Box::new(LoopOverSet::new((i as u64) << 20, 8)) as Box<dyn InstStream>
+            })
+            .collect();
+        let mut core = SimtCore::new(
+            CoreId(0),
+            AppId::new(0),
+            &cfg,
+            CoreParams { max_outstanding_loads: 2, max_txn_per_inst: 32 },
+            streams,
+        );
+        core.set_ccws(true);
+        assert!(core.ccws_enabled());
+        // Closed loop with a short memory latency.
+        let mut returns: std::collections::VecDeque<(u64, MemRequest)> = Default::default();
+        for now in 0..30_000u64 {
+            while matches!(returns.front(), Some((t, _)) if *t <= now) {
+                let (_, req) = returns.pop_front().unwrap();
+                core.receive(req);
+            }
+            core.step(now);
+            while let Some(req) = core.pop_request() {
+                if req.needs_response() {
+                    returns.push_back((now + 40, req));
+                }
+            }
+        }
+        assert!(
+            core.tlp() < cfg.warps_per_scheduler(),
+            "CCWS never throttled: limit {}",
+            core.tlp()
+        );
+    }
+
+    #[test]
+    fn ccws_leaves_cache_friendly_cores_alone() {
+        // All warps share one tiny hot set: no lost locality, full TLP.
+        let cfg = small_cfg();
+        let streams: Vec<Box<dyn InstStream>> = (0..cfg.warps_per_core)
+            .map(|_| Box::new(LoopOverSet::new(0, 4)) as Box<dyn InstStream>)
+            .collect();
+        let mut core = SimtCore::new(
+            CoreId(0),
+            AppId::new(0),
+            &cfg,
+            CoreParams { max_outstanding_loads: 2, max_txn_per_inst: 32 },
+            streams,
+        );
+        core.set_ccws(true);
+        let mut returns: std::collections::VecDeque<(u64, MemRequest)> = Default::default();
+        for now in 0..20_000u64 {
+            while matches!(returns.front(), Some((t, _)) if *t <= now) {
+                let (_, req) = returns.pop_front().unwrap();
+                core.receive(req);
+            }
+            core.step(now);
+            while let Some(req) = core.pop_request() {
+                if req.needs_response() {
+                    returns.push_back((now + 40, req));
+                }
+            }
+        }
+        assert_eq!(core.tlp(), cfg.warps_per_scheduler(), "no reason to throttle");
+    }
+
+    #[test]
+    fn disabling_ccws_restores_the_swl_limit() {
+        let cfg = small_cfg();
+        let mut core = SimtCore::new(
+            CoreId(0),
+            AppId::new(0),
+            &cfg,
+            CoreParams::default(),
+            idle_streams(&cfg),
+        );
+        core.set_tlp(TlpLevel::new(6).unwrap());
+        core.set_ccws(true);
+        core.set_ccws(false);
+        assert_eq!(core.tlp(), 6);
+    }
+
+    #[test]
+    fn is_idle_after_finite_work_drains() {
+        let mut core = core_with_one_stream(
+            Box::new(Scripted::new(vec![Inst::load1(0)])),
+            CoreParams::default(),
+        );
+        run_closed_loop(&mut core, 100, 10);
+        assert!(core.is_idle());
+    }
+}

@@ -1,0 +1,225 @@
+//! Greedy-then-oldest (GTO) warp scheduling with static warp limiting.
+//!
+//! GTO keeps issuing from the same warp while it stays ready (exploiting its
+//! row-buffer and cache locality), otherwise falls back to the oldest ready
+//! warp. SWL restricts the schedulable slots to the first `tlp` slots the
+//! scheduler owns — the mechanism behind every TLP configuration in Table II
+//! of the paper. Warps outside the limit keep their architectural state and
+//! may still receive outstanding responses; they simply cannot issue.
+
+use gpu_types::WarpSchedPolicy;
+
+/// One warp scheduler's selection state.
+#[derive(Debug, Clone)]
+pub struct GtoScheduler {
+    /// Slots this scheduler owns, oldest first.
+    slots: Vec<usize>,
+    /// The warp issued from most recently (GTO's greedy candidate / LRR's
+    /// rotation anchor).
+    greedy: Option<usize>,
+    /// Active TLP limit: only the first `limit` slots may issue.
+    limit: usize,
+    /// GTO (default) or loose round-robin.
+    policy: WarpSchedPolicy,
+}
+
+impl GtoScheduler {
+    /// Creates a GTO scheduler owning `slots` (oldest first), initially
+    /// allowed to issue from all of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty.
+    pub fn new(slots: Vec<usize>) -> Self {
+        Self::with_policy(slots, WarpSchedPolicy::Gto)
+    }
+
+    /// Creates a scheduler with an explicit policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty.
+    pub fn with_policy(slots: Vec<usize>, policy: WarpSchedPolicy) -> Self {
+        assert!(!slots.is_empty(), "a scheduler must own at least one warp slot");
+        let limit = slots.len();
+        GtoScheduler { slots, greedy: None, limit, policy }
+    }
+
+    /// Priority-ordered candidate slots for this cycle: GTO puts the greedy
+    /// warp first then oldest-first; LRR starts after the last issued warp.
+    pub fn candidate(&self, k: usize) -> Option<usize> {
+        let active = self.active_slots();
+        match self.policy {
+            WarpSchedPolicy::Gto => {
+                if k == 0 {
+                    self.greedy
+                } else {
+                    let s = *active.get(k - 1)?;
+                    // The greedy warp was already offered at k = 0.
+                    if Some(s) == self.greedy {
+                        None
+                    } else {
+                        Some(s)
+                    }
+                }
+            }
+            WarpSchedPolicy::Lrr => {
+                if k >= active.len() {
+                    return None;
+                }
+                let start = self
+                    .greedy
+                    .and_then(|g| active.iter().position(|&s| s == g))
+                    .map(|p| p + 1)
+                    .unwrap_or(0);
+                Some(active[(start + k) % active.len()])
+            }
+        }
+    }
+
+    /// Number of candidate positions to try per cycle.
+    pub fn n_candidates(&self) -> usize {
+        match self.policy {
+            WarpSchedPolicy::Gto => self.limit + 1,
+            WarpSchedPolicy::Lrr => self.limit,
+        }
+    }
+
+    /// Sets the SWL limit (clamped to the owned slot count; at least 1).
+    pub fn set_limit(&mut self, limit: usize) {
+        self.limit = limit.clamp(1, self.slots.len());
+        // Drop the greedy pointer if it fell outside the active window.
+        if let Some(g) = self.greedy {
+            if !self.active_slots().contains(&g) {
+                self.greedy = None;
+            }
+        }
+    }
+
+    /// The current SWL limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Slots currently allowed to issue.
+    pub fn active_slots(&self) -> &[usize] {
+        &self.slots[..self.limit]
+    }
+
+    /// All slots owned by this scheduler.
+    pub fn slots(&self) -> &[usize] {
+        &self.slots
+    }
+
+    /// The current greedy (most recently issued) warp slot, if any.
+    pub fn greedy(&self) -> Option<usize> {
+        self.greedy
+    }
+
+    /// Records that `slot` issued this cycle, making it the greedy warp.
+    pub fn record_issue(&mut self, slot: usize) {
+        debug_assert!(self.active_slots().contains(&slot), "issued slot outside SWL window");
+        self.greedy = Some(slot);
+    }
+
+    /// Picks the slot to issue from among active slots for which
+    /// `ready(slot)` holds: the greedy warp if still ready, else the oldest
+    /// ready warp. Records the pick as the new greedy warp.
+    pub fn pick(&mut self, mut ready: impl FnMut(usize) -> bool) -> Option<usize> {
+        if let Some(g) = self.greedy {
+            if ready(g) {
+                return Some(g);
+            }
+        }
+        let pick = self.active_slots().iter().copied().find(|&s| ready(s));
+        if pick.is_some() {
+            self.greedy = pick;
+        }
+        pick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lrr_rotates_past_the_last_issued_warp() {
+        let mut s = GtoScheduler::with_policy(vec![0, 1, 2, 3], WarpSchedPolicy::Lrr);
+        s.record_issue(1);
+        // Next cycle, scanning starts at slot 2.
+        assert_eq!(s.candidate(0), Some(2));
+        assert_eq!(s.candidate(1), Some(3));
+        assert_eq!(s.candidate(2), Some(0));
+        assert_eq!(s.candidate(3), Some(1));
+        assert_eq!(s.candidate(4), None);
+    }
+
+    #[test]
+    fn gto_candidates_offer_greedy_first() {
+        let mut s = GtoScheduler::new(vec![0, 1, 2, 3]);
+        s.record_issue(2);
+        assert_eq!(s.candidate(0), Some(2));
+        assert_eq!(s.candidate(1), Some(0));
+        assert_eq!(s.candidate(3), None, "greedy slot not offered twice");
+        assert_eq!(s.candidate(4), Some(3));
+    }
+
+    #[test]
+    fn greedy_sticks_to_ready_warp() {
+        let mut s = GtoScheduler::new(vec![0, 1, 2, 3]);
+        assert_eq!(s.pick(|w| w == 2), Some(2));
+        // Warp 2 stays ready: greedy keeps it even though 0 is also ready.
+        assert_eq!(s.pick(|w| w == 2 || w == 0), Some(2));
+    }
+
+    #[test]
+    fn falls_back_to_oldest_ready() {
+        let mut s = GtoScheduler::new(vec![0, 1, 2, 3]);
+        assert_eq!(s.pick(|w| w == 3), Some(3));
+        // Greedy warp 3 stalls: oldest ready (1) wins over younger (2).
+        assert_eq!(s.pick(|w| w == 1 || w == 2), Some(1));
+        // And 1 becomes the new greedy warp.
+        assert_eq!(s.pick(|w| w == 1 || w == 2), Some(1));
+    }
+
+    #[test]
+    fn swl_masks_younger_slots() {
+        let mut s = GtoScheduler::new(vec![0, 1, 2, 3]);
+        s.set_limit(2);
+        assert_eq!(s.active_slots(), &[0, 1]);
+        assert_eq!(s.pick(|w| w >= 2), None, "limited-out warps must not issue");
+        assert_eq!(s.pick(|w| w == 1), Some(1));
+    }
+
+    #[test]
+    fn lowering_limit_evicts_greedy_pointer() {
+        let mut s = GtoScheduler::new(vec![0, 1, 2, 3]);
+        assert_eq!(s.pick(|w| w == 3), Some(3));
+        s.set_limit(2);
+        // Greedy warp 3 is outside the window; even if "ready", it may not
+        // be picked.
+        assert_eq!(s.pick(|w| w == 3 || w == 0), Some(0));
+    }
+
+    #[test]
+    fn limit_clamps() {
+        let mut s = GtoScheduler::new(vec![0, 1]);
+        s.set_limit(0);
+        assert_eq!(s.limit(), 1);
+        s.set_limit(99);
+        assert_eq!(s.limit(), 2);
+    }
+
+    #[test]
+    fn no_ready_warp_returns_none() {
+        let mut s = GtoScheduler::new(vec![0, 1]);
+        assert_eq!(s.pick(|_| false), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_scheduler_panics() {
+        let _ = GtoScheduler::new(vec![]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-warp execution state.
+
+use crate::inst::InstStream;
+
+/// A warp: an instruction stream plus the issue/stall state the scheduler
+/// inspects every cycle.
+pub struct Warp {
+    stream: Box<dyn InstStream>,
+    /// An instruction fetched but not issued (structural hazard); retried
+    /// before the stream is consulted again.
+    stashed: Option<crate::inst::Inst>,
+    /// Earliest cycle the warp may issue again (ALU latency).
+    ready_at: u64,
+    /// Load transactions issued but not yet returned.
+    inflight_loads: usize,
+    /// Outstanding-load tolerance: once `inflight_loads` reaches this, the
+    /// warp stalls until returns bring it back below. Models the dependency
+    /// distance of the application's code — small values make it
+    /// latency-bound, large values give memory-level parallelism.
+    max_outstanding: usize,
+    /// The stream returned `None`; the warp has retired.
+    finished: bool,
+    /// Warp instructions issued (for per-warp diagnostics).
+    issued: u64,
+}
+
+impl std::fmt::Debug for Warp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Warp")
+            .field("ready_at", &self.ready_at)
+            .field("inflight_loads", &self.inflight_loads)
+            .field("max_outstanding", &self.max_outstanding)
+            .field("finished", &self.finished)
+            .field("issued", &self.issued)
+            .finish()
+    }
+}
+
+impl Warp {
+    /// Creates a warp over `stream` with the given outstanding-load
+    /// tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_outstanding` is zero.
+    pub fn new(stream: Box<dyn InstStream>, max_outstanding: usize) -> Self {
+        assert!(max_outstanding > 0, "a warp must tolerate at least one outstanding load");
+        Warp {
+            stream,
+            stashed: None,
+            ready_at: 0,
+            inflight_loads: 0,
+            max_outstanding,
+            finished: false,
+            issued: 0,
+        }
+    }
+
+    /// True when the warp could issue an instruction at `now` (ignoring
+    /// structural hazards, which the core checks separately).
+    pub fn ready(&self, now: u64) -> bool {
+        !self.finished && self.ready_at <= now && self.inflight_loads < self.max_outstanding
+    }
+
+    /// True when the warp is alive but blocked on outstanding loads.
+    pub fn waiting_mem(&self) -> bool {
+        !self.finished && self.inflight_loads >= self.max_outstanding
+    }
+
+    /// True when the warp has retired.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Pulls the next instruction (a previously stashed one first); marks
+    /// the warp finished when the stream ends. Only call when [`Self::ready`].
+    pub fn fetch(&mut self) -> Option<crate::inst::Inst> {
+        if let Some(i) = self.stashed.take() {
+            return Some(i);
+        }
+        match self.stream.next_inst() {
+            Some(i) => Some(i),
+            None => {
+                self.finished = true;
+                None
+            }
+        }
+    }
+
+    /// Puts back an instruction that could not issue due to a structural
+    /// hazard; the next [`Self::fetch`] returns it again.
+    pub fn stash(&mut self, inst: crate::inst::Inst) {
+        debug_assert!(self.stashed.is_none(), "double stash");
+        self.stashed = Some(inst);
+    }
+
+    /// Records the issue of an ALU instruction taking `cycles`.
+    pub fn issue_alu(&mut self, now: u64, cycles: u32) {
+        self.issued += 1;
+        self.ready_at = now + cycles.max(1) as u64;
+    }
+
+    /// Records the issue of a memory instruction that produced
+    /// `transactions` in-flight loads (zero for stores and all-hit loads
+    /// resolved instantly — though the core still routes hits through the
+    /// in-flight path to model hit latency).
+    pub fn issue_mem(&mut self, now: u64, transactions: usize) {
+        self.issued += 1;
+        self.ready_at = now + 1;
+        self.inflight_loads += transactions;
+    }
+
+    /// One of this warp's load transactions returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no loads were in flight (a routing bug in the caller).
+    pub fn load_returned(&mut self) {
+        assert!(self.inflight_loads > 0, "load return routed to a warp with none in flight");
+        self.inflight_loads -= 1;
+    }
+
+    /// Warp instructions issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Loads currently in flight.
+    pub fn inflight(&self) -> usize {
+        self.inflight_loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+    use crate::streams::Scripted;
+
+    fn warp_with(insts: Vec<Inst>, tol: usize) -> Warp {
+        Warp::new(Box::new(Scripted::new(insts)), tol)
+    }
+
+    #[test]
+    fn alu_latency_blocks_reissue() {
+        let mut w = warp_with(vec![Inst::Alu { cycles: 3 }], 1);
+        assert!(w.ready(0));
+        w.fetch().unwrap();
+        w.issue_alu(0, 3);
+        assert!(!w.ready(2));
+        assert!(w.ready(3));
+    }
+
+    #[test]
+    fn outstanding_loads_block_at_tolerance() {
+        let mut w = warp_with(vec![Inst::load1(0), Inst::load1(128)], 2);
+        w.issue_mem(0, 1);
+        assert!(w.ready(1), "one outstanding load below tolerance 2");
+        w.issue_mem(1, 1);
+        assert!(!w.ready(2));
+        assert!(w.waiting_mem());
+        w.load_returned();
+        assert!(w.ready(2));
+    }
+
+    #[test]
+    fn finished_when_stream_ends() {
+        let mut w = warp_with(vec![Inst::alu1()], 1);
+        assert!(w.fetch().is_some());
+        w.issue_alu(0, 1);
+        assert!(w.fetch().is_none());
+        assert!(w.finished());
+        assert!(!w.ready(100));
+    }
+
+    #[test]
+    fn issue_counts() {
+        let mut w = warp_with(vec![Inst::alu1(), Inst::load1(0)], 4);
+        w.fetch().unwrap();
+        w.issue_alu(0, 1);
+        w.fetch().unwrap();
+        w.issue_mem(1, 3);
+        assert_eq!(w.issued(), 2);
+        assert_eq!(w.inflight(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "none in flight")]
+    fn spurious_return_panics() {
+        let mut w = warp_with(vec![], 1);
+        w.load_returned();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_tolerance_panics() {
+        let _ = warp_with(vec![], 0);
+    }
+}

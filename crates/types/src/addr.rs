@@ -1,0 +1,142 @@
+//! Global addresses and the address-interleaving scheme.
+//!
+//! The simulated GPU uses a single global linear address space. Cache lines
+//! are [`LINE_SIZE`] bytes; the space is interleaved among memory partitions
+//! in [`INTERLEAVE_BYTES`]-byte chunks (Table I of the paper: "global linear
+//! address space is interleaved among partitions in chunks of 256 bytes").
+
+use std::fmt;
+use std::ops::Add;
+
+/// Cache line (memory transaction) size in bytes, per Table I ("128 B cache
+/// block size").
+pub const LINE_SIZE: u64 = 128;
+
+/// Partition interleaving granularity in bytes (Table I).
+pub const INTERLEAVE_BYTES: u64 = 256;
+
+/// A byte address in the simulated global memory space.
+///
+/// ```
+/// use gpu_types::{Address, LINE_SIZE};
+/// let a = Address::new(0x1234);
+/// assert_eq!(a.line().raw() % LINE_SIZE, 0);
+/// assert!(a.line().raw() <= a.raw());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(u64);
+
+impl Address {
+    /// Wraps a raw byte address.
+    pub const fn new(raw: u64) -> Self {
+        Address(raw)
+    }
+
+    /// The raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The address of the cache line containing this byte.
+    pub const fn line(self) -> Self {
+        Address(self.0 & !(LINE_SIZE - 1))
+    }
+
+    /// Line-granular index (raw address divided by the line size).
+    pub const fn line_index(self) -> u64 {
+        self.0 / LINE_SIZE
+    }
+
+    /// The memory partition this address maps to, under 256-byte chunk
+    /// interleaving across `n_partitions` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_partitions` is zero.
+    pub fn partition(self, n_partitions: usize) -> usize {
+        assert!(n_partitions > 0, "partition count must be non-zero");
+        ((self.0 / INTERLEAVE_BYTES) % n_partitions as u64) as usize
+    }
+}
+
+impl Add<u64> for Address {
+    type Output = Address;
+
+    fn add(self, rhs: u64) -> Address {
+        Address(self.0.wrapping_add(rhs))
+    }
+}
+
+impl From<u64> for Address {
+    fn from(raw: u64) -> Self {
+        Address(raw)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_masks_low_bits() {
+        assert_eq!(Address::new(0).line(), Address::new(0));
+        assert_eq!(Address::new(127).line(), Address::new(0));
+        assert_eq!(Address::new(128).line(), Address::new(128));
+        assert_eq!(Address::new(300).line(), Address::new(256));
+    }
+
+    #[test]
+    fn line_index_is_line_granular() {
+        assert_eq!(Address::new(0).line_index(), 0);
+        assert_eq!(Address::new(129).line_index(), 1);
+        assert_eq!(Address::new(1024).line_index(), 8);
+    }
+
+    #[test]
+    fn interleaving_alternates_every_256_bytes() {
+        let n = 6;
+        let p0 = Address::new(0).partition(n);
+        let p1 = Address::new(256).partition(n);
+        let p2 = Address::new(512).partition(n);
+        assert_eq!(p0, 0);
+        assert_eq!(p1, 1);
+        assert_eq!(p2, 2);
+        // Both lines of one 256-byte chunk land in the same partition.
+        assert_eq!(Address::new(0).partition(n), Address::new(128).partition(n));
+    }
+
+    #[test]
+    fn interleaving_covers_all_partitions_uniformly() {
+        let n = 6;
+        let mut counts = vec![0usize; n];
+        for chunk in 0..6000u64 {
+            counts[Address::new(chunk * INTERLEAVE_BYTES).partition(n)] += 1;
+        }
+        for &c in &counts {
+            assert_eq!(c, 1000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_partitions_panics() {
+        let _ = Address::new(0).partition(0);
+    }
+
+    #[test]
+    fn add_offsets_bytes() {
+        assert_eq!((Address::new(100) + 28).raw(), 128);
+    }
+}

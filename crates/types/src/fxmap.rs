@@ -1,0 +1,86 @@
+//! A fast, non-cryptographic hasher for simulator-internal maps.
+//!
+//! The simulator performs several hash-map operations per simulated cycle
+//! (MSHR lookups, in-flight request tracking); the standard library's
+//! SipHash dominates the profile there. Keys are internal identifiers
+//! (addresses, request ids) that need no DoS resistance, so we use the
+//! well-known Fx multiply-rotate construction (as used by rustc).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher (the rustc "Fx" construction).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 128, i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 128)), Some(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn distinct_keys_hash_differently_in_practice() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let b: BuildHasherDefault<FxHasher> = Default::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(b.hash_one(i * 128));
+        }
+        assert!(seen.len() > 9_990, "too many collisions: {}", seen.len());
+    }
+}

@@ -1,0 +1,140 @@
+//! Strongly-typed identifiers for the simulated machine.
+//!
+//! Using newtypes instead of bare integers prevents the classic simulator bug
+//! of indexing the cores array with a partition id (C-NEWTYPE).
+
+use std::fmt;
+
+/// Identifier of a co-scheduled application (kernel) in a workload.
+///
+/// The paper evaluates two-application workloads primarily, but the
+/// mechanisms extend to `n` applications (§VI-D); `AppId` is therefore an
+/// open-ended index rather than a two-variant enum.
+///
+/// ```
+/// use gpu_types::AppId;
+/// let a = AppId::new(0);
+/// assert_eq!(a.index(), 0);
+/// assert_eq!(a.to_string(), "App-1"); // paper numbers applications from 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AppId(u8);
+
+impl AppId {
+    /// Creates an application id from a zero-based index.
+    pub const fn new(index: u8) -> Self {
+        AppId(index)
+    }
+
+    /// Zero-based index, suitable for indexing per-app arrays.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The paper labels applications "App-1", "App-2" (one-based).
+        write!(f, "App-{}", self.0 + 1)
+    }
+}
+
+/// Identifier of a SIMT core (a compute unit / streaming multiprocessor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub usize);
+
+impl CoreId {
+    /// Zero-based index into the core array.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Core-{}", self.0)
+    }
+}
+
+/// Identifier of a memory partition (an L2 slice plus its memory controller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PartitionId(pub usize);
+
+impl PartitionId {
+    /// Zero-based index into the partition array.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MP-{}", self.0)
+    }
+}
+
+/// Identifier of a warp: the owning core plus the warp's slot on that core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WarpId {
+    /// Core the warp executes on.
+    pub core: CoreId,
+    /// Warp slot within the core, `0..warps_per_core`.
+    pub slot: usize,
+}
+
+impl WarpId {
+    /// Creates a warp id from its core and slot.
+    pub const fn new(core: CoreId, slot: usize) -> Self {
+        WarpId { core, slot }
+    }
+}
+
+impl fmt::Display for WarpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W{}.{}", self.core.0, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn app_id_display_is_one_based() {
+        assert_eq!(AppId::new(0).to_string(), "App-1");
+        assert_eq!(AppId::new(1).to_string(), "App-2");
+    }
+
+    #[test]
+    fn app_id_index_round_trips() {
+        for i in 0..4 {
+            assert_eq!(AppId::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let mut set = HashSet::new();
+        for c in 0..4 {
+            for s in 0..4 {
+                set.insert(WarpId::new(CoreId(c), s));
+            }
+        }
+        assert_eq!(set.len(), 16);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CoreId(3).to_string(), "Core-3");
+        assert_eq!(PartitionId(5).to_string(), "MP-5");
+        assert_eq!(WarpId::new(CoreId(2), 7).to_string(), "W2.7");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(CoreId(1) < CoreId(2));
+        assert!(AppId::new(0) < AppId::new(1));
+        assert!(WarpId::new(CoreId(0), 5) < WarpId::new(CoreId(1), 0));
+    }
+}

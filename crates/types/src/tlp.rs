@@ -1,0 +1,253 @@
+//! TLP (thread-level parallelism) levels and multi-application combinations.
+//!
+//! The paper controls each application's shared-resource consumption through
+//! a single knob: the number of warps each warp scheduler may actively issue
+//! from (static warp limiting, SWL). With 48 warps per core and two
+//! schedulers per core, the maximum per-scheduler TLP is 24; searching
+//! profiles 8 levels per application, giving the 8×8 = 64 combinations that
+//! the oracle (`opt*`) and brute-force (`BF-*`) schemes sweep.
+
+use std::fmt;
+
+/// The TLP ladder the paper's searches walk: 8 levels per application,
+/// yielding 64 two-application combinations.
+pub const LADDER: [u32; 8] = [1, 2, 4, 6, 8, 12, 16, 24];
+
+/// Maximum warps an individual warp scheduler can be assigned
+/// (48 warps per core / 2 schedulers).
+pub const MAX_TLP: u32 = 24;
+
+/// A per-application TLP limit: active warps per warp scheduler, in
+/// `1..=`[`MAX_TLP`].
+///
+/// ```
+/// use gpu_types::tlp::TlpLevel;
+/// let t = TlpLevel::new(8).unwrap();
+/// assert_eq!(t.get(), 8);
+/// assert!(TlpLevel::new(0).is_none());
+/// assert!(TlpLevel::new(25).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TlpLevel(u32);
+
+impl TlpLevel {
+    /// Minimum level: one active warp per scheduler.
+    pub const MIN: TlpLevel = TlpLevel(1);
+    /// Maximum level: all 24 warps per scheduler active ("maxTLP").
+    pub const MAX: TlpLevel = TlpLevel(MAX_TLP);
+
+    /// Creates a level, returning `None` when outside `1..=24`.
+    pub const fn new(level: u32) -> Option<Self> {
+        if level >= 1 && level <= MAX_TLP {
+            Some(TlpLevel(level))
+        } else {
+            None
+        }
+    }
+
+    /// The number of active warps per scheduler.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The 8-level ladder used by every search in the paper.
+    pub fn ladder() -> impl ExactSizeIterator<Item = TlpLevel> + DoubleEndedIterator {
+        LADDER.into_iter().map(TlpLevel)
+    }
+
+    /// Position of this level in the ladder, if it lies on it.
+    pub fn ladder_index(self) -> Option<usize> {
+        LADDER.iter().position(|&l| l == self.0)
+    }
+
+    /// Next level up the ladder (toward maxTLP); `None` at the top or when
+    /// off-ladder.
+    pub fn step_up(self) -> Option<TlpLevel> {
+        let i = self.ladder_index()?;
+        LADDER.get(i + 1).map(|&l| TlpLevel(l))
+    }
+
+    /// Next level down the ladder (toward 1); `None` at the bottom or when
+    /// off-ladder.
+    pub fn step_down(self) -> Option<TlpLevel> {
+        let i = self.ladder_index()?;
+        i.checked_sub(1).map(|j| TlpLevel(LADDER[j]))
+    }
+}
+
+impl fmt::Display for TlpLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A TLP assignment for every co-scheduled application in a workload.
+///
+/// ```
+/// use gpu_types::tlp::{TlpCombo, TlpLevel};
+/// let c = TlpCombo::pair(TlpLevel::new(2).unwrap(), TlpLevel::new(8).unwrap());
+/// assert_eq!(c.to_string(), "(2,8)");
+/// assert_eq!(c.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TlpCombo(Vec<TlpLevel>);
+
+impl TlpCombo {
+    /// A combination from per-application levels, in [`crate::AppId`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty.
+    pub fn new(levels: Vec<TlpLevel>) -> Self {
+        assert!(!levels.is_empty(), "a TLP combination needs at least one application");
+        TlpCombo(levels)
+    }
+
+    /// Convenience constructor for the two-application case.
+    pub fn pair(a: TlpLevel, b: TlpLevel) -> Self {
+        TlpCombo(vec![a, b])
+    }
+
+    /// Every application at the same level.
+    pub fn uniform(level: TlpLevel, n_apps: usize) -> Self {
+        assert!(n_apps > 0, "a TLP combination needs at least one application");
+        TlpCombo(vec![level; n_apps])
+    }
+
+    /// Number of applications in the combination.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the combination holds no applications (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The level of application `app` (zero-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` is out of range.
+    pub fn level(&self, app: usize) -> TlpLevel {
+        self.0[app]
+    }
+
+    /// Per-application levels in application order.
+    pub fn levels(&self) -> &[TlpLevel] {
+        &self.0
+    }
+
+    /// Returns a copy with application `app` set to `level`.
+    pub fn with_level(&self, app: usize, level: TlpLevel) -> TlpCombo {
+        let mut v = self.0.clone();
+        v[app] = level;
+        TlpCombo(v)
+    }
+
+    /// Iterates over every ladder combination for `n_apps` applications
+    /// (`8^n_apps` combinations — 64 for two applications).
+    pub fn all(n_apps: usize) -> Vec<TlpCombo> {
+        assert!(n_apps > 0, "a TLP combination needs at least one application");
+        let mut out = vec![TlpCombo(Vec::new())];
+        for _ in 0..n_apps {
+            let mut next = Vec::with_capacity(out.len() * LADDER.len());
+            for combo in &out {
+                for l in TlpLevel::ladder() {
+                    let mut v = combo.0.clone();
+                    v.push(l);
+                    next.push(TlpCombo(v));
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}
+
+impl fmt::Display for TlpCombo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_has_eight_levels_ending_at_max() {
+        let ladder: Vec<_> = TlpLevel::ladder().collect();
+        assert_eq!(ladder.len(), 8);
+        assert_eq!(ladder[0], TlpLevel::MIN);
+        assert_eq!(*ladder.last().unwrap(), TlpLevel::MAX);
+        assert!(ladder.windows(2).all(|w| w[0] < w[1]), "ladder must be increasing");
+    }
+
+    #[test]
+    fn new_validates_range() {
+        assert!(TlpLevel::new(0).is_none());
+        assert!(TlpLevel::new(1).is_some());
+        assert!(TlpLevel::new(24).is_some());
+        assert!(TlpLevel::new(25).is_none());
+    }
+
+    #[test]
+    fn step_up_and_down_walk_the_ladder() {
+        let l4 = TlpLevel::new(4).unwrap();
+        assert_eq!(l4.step_up(), TlpLevel::new(6));
+        assert_eq!(l4.step_down(), TlpLevel::new(2));
+        assert_eq!(TlpLevel::MIN.step_down(), None);
+        assert_eq!(TlpLevel::MAX.step_up(), None);
+    }
+
+    #[test]
+    fn off_ladder_levels_do_not_step() {
+        let l3 = TlpLevel::new(3).unwrap();
+        assert_eq!(l3.ladder_index(), None);
+        assert_eq!(l3.step_up(), None);
+        assert_eq!(l3.step_down(), None);
+    }
+
+    #[test]
+    fn all_two_app_combinations_number_sixty_four() {
+        let combos = TlpCombo::all(2);
+        assert_eq!(combos.len(), 64);
+        // All distinct.
+        let set: std::collections::HashSet<_> = combos.iter().cloned().collect();
+        assert_eq!(set.len(), 64);
+    }
+
+    #[test]
+    fn all_three_app_combinations_number_512() {
+        assert_eq!(TlpCombo::all(3).len(), 512);
+    }
+
+    #[test]
+    fn with_level_replaces_only_target() {
+        let c = TlpCombo::pair(TlpLevel::new(2).unwrap(), TlpLevel::new(8).unwrap());
+        let c2 = c.with_level(0, TlpLevel::new(16).unwrap());
+        assert_eq!(c2.level(0).get(), 16);
+        assert_eq!(c2.level(1).get(), 8);
+        assert_eq!(c.level(0).get(), 2, "original untouched");
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let c = TlpCombo::pair(TlpLevel::new(2).unwrap(), TlpLevel::new(8).unwrap());
+        assert_eq!(c.to_string(), "(2,8)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application")]
+    fn empty_combo_panics() {
+        let _ = TlpCombo::new(Vec::new());
+    }
+}

@@ -1,0 +1,39 @@
+//! Synthetic GPGPU application models for the `gpu-ebm` simulator.
+//!
+//! The paper evaluates 26 applications from Rodinia, Parboil, the CUDA SDK
+//! and SHOC (Table IV), chosen for a good spread of effective-bandwidth (EB)
+//! values, and 25 two-application workloads built from them. Real CUDA
+//! traces are unavailable here, so each application is modeled as a
+//! *statistical kernel* ([`profile::AppProfile`]): an instruction mix
+//! (memory ratio, ALU latency), an address-generation pattern
+//! ([`profile::AccessPattern`]), a coalescing degree and an
+//! outstanding-load tolerance. Every performance-relevant behaviour — cache
+//! miss rates, DRAM row locality, bandwidth saturation, the IPC-vs-TLP hill
+//! of Fig. 2 — *emerges* from simulating these streams against the real
+//! cache/DRAM substrate; nothing is scripted per-TLP (see DESIGN.md §3 on
+//! why this substitution preserves the paper's phenomena).
+//!
+//! # Example
+//!
+//! ```
+//! use gpu_workloads::apps;
+//!
+//! let bfs = apps::by_name("BFS").unwrap();
+//! assert_eq!(bfs.name, "BFS");
+//! let mut stream = bfs.stream(gpu_types::AppId::new(0), 0, 0, 48, 42);
+//! assert!(stream.next_inst().is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod phased;
+pub mod profile;
+pub mod stream;
+pub mod workload;
+
+pub use apps::{all_apps, by_name};
+pub use profile::{AccessPattern, AppProfile, EbGroup};
+pub use stream::AppStream;
+pub use phased::{PH1, PH2};
+pub use workload::{all_workloads, representative_workloads, Workload};

@@ -1,0 +1,68 @@
+//! Phase-changing applications for the online-vs-offline PBS comparison.
+//!
+//! The paper's online PBS "can adapt to different runtime interference
+//! patterns … within the same workload execution" (§VI-A) — its advantage
+//! over the offline variant shows up on workloads whose kernels change
+//! behaviour over time. These two synthetic applications alternate between
+//! a cache-friendly and a streaming phase; they are *not* part of Table IV
+//! (the paper's 26 applications are steady-state) and are exercised by the
+//! `phased` experiment binary.
+
+use crate::profile::{AccessPattern, AppProfile, EbGroup, Suite};
+
+/// A cache-sensitive application whose alternate kernels stream: during the
+/// hot phase it behaves like BFS, during the cold phase like a pure
+/// bandwidth hog. Phases are long relative to the PBS search, so each hold
+/// period sees a (mostly) stationary kernel.
+pub static PH1: AppProfile = AppProfile {
+    name: "PH1",
+    full_name: "phase-alternating graph kernel",
+    suite: Suite::Synthetic,
+    group: EbGroup::G4,
+    mem_ratio: 0.30,
+    store_ratio: 0.05,
+    alu_cycles: 1,
+    pattern: AccessPattern::Phased { hot_lines: 48, hot_frac: 0.85, phase_insts: 40_000 },
+    coalesce_degree: 2,
+    max_outstanding: 2,
+};
+
+/// A milder phase-alternating kernel (smaller hot region, shorter phases).
+pub static PH2: AppProfile = AppProfile {
+    name: "PH2",
+    full_name: "phase-alternating stencil kernel",
+    suite: Suite::Synthetic,
+    group: EbGroup::G3,
+    mem_ratio: 0.28,
+    store_ratio: 0.06,
+    alu_cycles: 1,
+    pattern: AccessPattern::Phased { hot_lines: 24, hot_frac: 0.75, phase_insts: 25_000 },
+    coalesce_degree: 2,
+    max_outstanding: 3,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::by_name;
+
+    #[test]
+    fn phased_profiles_are_valid() {
+        PH1.assert_valid();
+        PH2.assert_valid();
+    }
+
+    #[test]
+    fn phased_apps_are_not_in_table_iv() {
+        assert!(by_name("PH1").is_none());
+        assert!(by_name("PH2").is_none());
+    }
+
+    #[test]
+    fn phased_streams_run() {
+        let mut s = PH1.stream(gpu_types::AppId::new(0), 0, 0, 48, 9);
+        for _ in 0..100 {
+            assert!(s.next_inst().is_some());
+        }
+    }
+}

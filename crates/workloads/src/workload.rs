@@ -1,0 +1,201 @@
+//! Multi-application workloads: the 25 two-application mixes of §II-B.
+//!
+//! The ten the paper plots individually in Figs. 4, 9 and 10 are exposed by
+//! [`representative_workloads`]; [`all_workloads`] adds fifteen more mixes
+//! spanning all group pairings, for the Gmean columns.
+
+use crate::apps::by_name;
+use crate::profile::AppProfile;
+use std::fmt;
+
+/// A named multi-application workload (two applications in the paper's
+/// main evaluation; three or more in the §VI-D extension).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Applications in `AppId` order.
+    apps: Vec<&'static AppProfile>,
+}
+
+impl Workload {
+    /// Builds a workload from statically known profiles (used e.g. for the
+    /// phased applications that are not part of Table IV).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty.
+    pub fn from_profiles(apps: Vec<&'static AppProfile>) -> Self {
+        assert!(!apps.is_empty(), "a workload needs at least one application");
+        Workload { apps }
+    }
+
+    /// Builds a workload from two Table IV abbreviations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either name is unknown — workload lists are static data.
+    pub fn pair(a: &str, b: &str) -> Self {
+        Workload::from_names(&[a, b])
+    }
+
+    /// Builds a three-application workload (§VI-D).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any name is unknown.
+    pub fn trio(a: &str, b: &str, c: &str) -> Self {
+        Workload::from_names(&[a, b, c])
+    }
+
+    /// Builds a workload from any number of Table IV abbreviations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty or any name is unknown.
+    pub fn from_names(names: &[&str]) -> Self {
+        assert!(!names.is_empty(), "a workload needs at least one application");
+        Workload {
+            apps: names
+                .iter()
+                .map(|n| by_name(n).unwrap_or_else(|| panic!("unknown application {n}")))
+                .collect(),
+        }
+    }
+
+    /// The co-scheduled applications, in `AppId` order.
+    pub fn apps(&self) -> &[&'static AppProfile] {
+        &self.apps
+    }
+
+    /// Number of co-scheduled applications.
+    pub fn n_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// The paper's workload naming: `A_B` (underscore-joined).
+    pub fn name(&self) -> String {
+        self.apps.iter().map(|a| a.name).collect::<Vec<_>>().join("_")
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The ten representative workloads plotted individually in Figs. 4, 9, 10.
+pub fn representative_workloads() -> Vec<Workload> {
+    [
+        ("DS", "TRD"),
+        ("BFS", "FFT"),
+        ("BLK", "BFS"),
+        ("BLK", "TRD"),
+        ("FFT", "TRD"),
+        ("FWT", "TRD"),
+        ("JPEG", "CFD"),
+        ("JPEG", "LIB"),
+        ("JPEG", "LUH"),
+        ("SCP", "TRD"),
+    ]
+    .into_iter()
+    .map(|(a, b)| Workload::pair(a, b))
+    .collect()
+}
+
+/// All 25 evaluated two-application workloads: the representative ten plus
+/// fifteen further mixes. Following §II-B, workloads are chosen so that
+/// they "exhibit the problem of multi-application cache/memory
+/// interference": every mix pairs at least one cache-sensitive (G3/G4)
+/// or bandwidth-hostile application with a heavy shared-resource consumer.
+pub fn all_workloads() -> Vec<Workload> {
+    let mut v = representative_workloads();
+    v.extend(
+        [
+            ("GUPS", "BLK"),
+            ("HISTO", "TRD"),
+            ("BFS", "TRD"),
+            ("LUD", "BFS"),
+            ("HS", "TRD"),
+            ("FFT", "BLK"),
+            ("DS", "FFT"),
+            ("HS", "BFS"),
+            ("BP", "JPEG"),
+            ("CONS", "BFS"),
+            ("LUH", "BLK"),
+            ("LIB", "HS"),
+            ("RAY", "SCP"),
+            ("DS", "BLK"),
+            ("SRAD", "LUH"),
+        ]
+        .into_iter()
+        .map(|(a, b)| Workload::pair(a, b)),
+    );
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn twenty_five_distinct_workloads() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 25);
+        let names: HashSet<String> = all.iter().map(Workload::name).collect();
+        assert_eq!(names.len(), 25);
+    }
+
+    #[test]
+    fn representative_are_the_papers_ten() {
+        let names: Vec<String> =
+            representative_workloads().iter().map(Workload::name).collect();
+        assert_eq!(
+            names,
+            [
+                "DS_TRD", "BFS_FFT", "BLK_BFS", "BLK_TRD", "FFT_TRD", "FWT_TRD",
+                "JPEG_CFD", "JPEG_LIB", "JPEG_LUH", "SCP_TRD"
+            ]
+        );
+    }
+
+    #[test]
+    fn workload_apps_are_ordered() {
+        let w = Workload::pair("BFS", "FFT");
+        assert_eq!(w.apps()[0].name, "BFS");
+        assert_eq!(w.apps()[1].name, "FFT");
+        assert_eq!(w.n_apps(), 2);
+    }
+
+    #[test]
+    fn every_group_pairing_is_covered() {
+        use crate::profile::EbGroup;
+        let mut pairs: HashSet<(EbGroup, EbGroup)> = HashSet::new();
+        for w in all_workloads() {
+            let (a, b) = (w.apps()[0].group, w.apps()[1].group);
+            pairs.insert((a.min(b), a.max(b)));
+        }
+        // Workload selection follows the paper's contention criterion
+        // rather than exhaustive group coverage; still expect diversity.
+        assert!(pairs.len() >= 6, "only {} group pairings covered", pairs.len());
+    }
+
+    #[test]
+    fn trio_builds_three_app_workloads() {
+        let w = Workload::trio("BLK", "BFS", "FFT");
+        assert_eq!(w.n_apps(), 3);
+        assert_eq!(w.name(), "BLK_BFS_FFT");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown application")]
+    fn unknown_app_panics() {
+        let _ = Workload::pair("BFS", "NOPE");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application")]
+    fn empty_workload_panics() {
+        let _ = Workload::from_names(&[]);
+    }
+}

@@ -1,0 +1,81 @@
+//! The throughput–fairness frontier of a workload: sweep all 64 TLP
+//! combinations and print the WS/FI Pareto-optimal ones, marking where the
+//! paper's objectives (optWS, optFI, optHS) land.
+//!
+//! ```text
+//! cargo run --release --example fairness_frontier -- BLK BFS
+//! ```
+
+use gpu_ebm::ebm::search::best_combo_by_sd;
+use gpu_ebm::ebm::sweep::ComboSweep;
+use gpu_ebm::ebm::{EbObjective, Evaluator, EvaluatorConfig};
+use gpu_ebm::sim::metrics::{fi_of, ws_of};
+use gpu_ebm::workloads::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (a, b) = match args.as_slice() {
+        [] => ("BLK".to_owned(), "BFS".to_owned()),
+        [a, b] => (a.clone(), b.clone()),
+        _ => {
+            eprintln!("usage: fairness_frontier <APP1> <APP2>");
+            return;
+        }
+    };
+    let workload = Workload::pair(&a, &b);
+    let mut ev = Evaluator::new(EvaluatorConfig::paper());
+    let alone = ev.alone_ipcs(&workload);
+    let sweep: ComboSweep = ev.sweep(&workload).clone();
+
+    // Score every combination.
+    let mut points: Vec<(String, f64, f64)> = sweep
+        .iter()
+        .map(|(combo, _)| {
+            let sds: Vec<f64> =
+                sweep.ipcs(combo).iter().zip(&alone).map(|(i, al)| i / al).collect();
+            (combo.to_string(), ws_of(&sds), fi_of(&sds))
+        })
+        .collect();
+
+    // Pareto filter: keep combos not dominated in (WS, FI).
+    let frontier: Vec<String> = points
+        .iter()
+        .filter(|p| {
+            !points
+                .iter()
+                .any(|q| q.1 >= p.1 && q.2 >= p.2 && (q.1 > p.1 || q.2 > p.2))
+        })
+        .map(|p| p.0.clone())
+        .collect();
+
+    let (opt_ws, _) = best_combo_by_sd(&sweep, EbObjective::Ws, &alone);
+    let (opt_fi, _) = best_combo_by_sd(&sweep, EbObjective::Fi, &alone);
+    let (opt_hs, _) = best_combo_by_sd(&sweep, EbObjective::Hs, &alone);
+
+    println!("workload {workload}: WS/FI Pareto frontier over the 64 combinations\n");
+    println!("{:>10} {:>8} {:>8}  notes", "combo", "WS", "FI");
+    points.sort_by(|x, y| y.1.total_cmp(&x.1));
+    for (combo, ws, fi) in &points {
+        let on_frontier = frontier.contains(combo);
+        if !on_frontier {
+            continue;
+        }
+        let mut notes = Vec::new();
+        if *combo == opt_ws.to_string() {
+            notes.push("optWS");
+        }
+        if *combo == opt_fi.to_string() {
+            notes.push("optFI");
+        }
+        if *combo == opt_hs.to_string() {
+            notes.push("optHS");
+        }
+        println!("{combo:>10} {ws:>8.3} {fi:>8.3}  {}", notes.join(" "));
+    }
+    println!(
+        "\n{} of {} combinations are Pareto-optimal; the paper's PBS-WS/FI/HS\n\
+         objectives pick different ends of this frontier.",
+        frontier.len(),
+        points.len()
+    );
+}

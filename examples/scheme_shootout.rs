@@ -1,0 +1,58 @@
+//! Run every TLP-management scheme on one workload and compare — one row of
+//! Figs. 9 and 10, on demand.
+//!
+//! ```text
+//! cargo run --release --example scheme_shootout -- BFS FFT
+//! ```
+
+use gpu_ebm::ebm::{EbObjective, Evaluator, EvaluatorConfig, Scheme};
+use gpu_ebm::workloads::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (a, b) = match args.as_slice() {
+        [] => ("BFS".to_owned(), "FFT".to_owned()),
+        [a, b] => (a.clone(), b.clone()),
+        _ => {
+            eprintln!("usage: scheme_shootout <APP1> <APP2>");
+            return;
+        }
+    };
+    let workload = Workload::pair(&a, &b);
+    let mut ev = Evaluator::new(EvaluatorConfig::paper());
+
+    let schemes = [
+        Scheme::BestTlp,
+        Scheme::MaxTlp,
+        Scheme::DynCta,
+        Scheme::ModBypass,
+        Scheme::Pbs(EbObjective::Ws),
+        Scheme::PbsOffline(EbObjective::Ws),
+        Scheme::BruteForce(EbObjective::Ws),
+        Scheme::Opt(EbObjective::Ws),
+        Scheme::Pbs(EbObjective::Fi),
+        Scheme::BruteForce(EbObjective::Fi),
+        Scheme::Opt(EbObjective::Fi),
+        Scheme::Pbs(EbObjective::Hs),
+        Scheme::Opt(EbObjective::Hs),
+    ];
+
+    println!("workload {workload}:\n");
+    let base = ev.evaluate(&workload, Scheme::BestTlp).metrics;
+    println!(
+        "{:<20} {:>7} {:>7} {:>7} {:>9} {:>9}",
+        "scheme", "WS", "FI", "HS", "WS/base", "FI/base"
+    );
+    for s in schemes {
+        let m = ev.evaluate(&workload, s).metrics;
+        println!(
+            "{:<20} {:>7.3} {:>7.3} {:>7.3} {:>8.1}% {:>8.1}%",
+            s.to_string(),
+            m.ws,
+            m.fi,
+            m.hs,
+            100.0 * (m.ws / base.ws - 1.0),
+            100.0 * (m.fi / base.fi - 1.0),
+        );
+    }
+}

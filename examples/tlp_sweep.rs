@@ -1,0 +1,42 @@
+//! Alone-run TLP sweep for any of the 26 application models — the Fig. 2
+//! experiment for an arbitrary app.
+//!
+//! ```text
+//! cargo run --release --example tlp_sweep -- BFS
+//! cargo run --release --example tlp_sweep -- BLK GUPS HS
+//! ```
+
+use gpu_ebm::sim::{profile_alone, RunSpec};
+use gpu_ebm::types::GpuConfig;
+use gpu_ebm::workloads::{all_apps, by_name};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if args.is_empty() {
+        vec!["BFS"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let cfg = GpuConfig::paper();
+    let cores = cfg.n_cores / 2; // the partition an app owns in a 2-app mix
+
+    for name in names {
+        let Some(app) = by_name(name) else {
+            eprintln!(
+                "unknown application {name}; known: {}",
+                all_apps().iter().map(|a| a.name).collect::<Vec<_>>().join(", ")
+            );
+            continue;
+        };
+        let p = profile_alone(&cfg, app, cores, 42, RunSpec::new(3_000, 10_000));
+        println!("== {} ({}) — bestTLP = {}", app.name, app.full_name, p.best_tlp());
+        println!("{:>5} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7}", "TLP", "IPC", "BW", "CMR", "EB", "L1MR", "L2MR");
+        for s in &p.samples {
+            println!(
+                "{:>5} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>7.2} {:>7.2}",
+                s.tlp.get(), s.ipc, s.bw, s.cmr, s.eb, s.l1_miss_rate, s.l2_miss_rate
+            );
+        }
+        println!();
+    }
+}

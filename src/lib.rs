@@ -1,0 +1,70 @@
+//! `gpu-ebm` — a reproduction of *"Efficient and Fair Multi-programming in
+//! GPUs via Effective Bandwidth Management"* (HPCA 2018) as a Rust
+//! workspace.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`types`] — identifiers, machine configuration, the TLP ladder,
+//!   statistics counters;
+//! * [`mem`] — the memory-system substrate (caches + MSHRs, crossbar,
+//!   FR-FCFS controllers, GDDR5 timing);
+//! * [`simt`] — the SIMT core model (warps, GTO scheduling, SWL warp
+//!   limiting);
+//! * [`workloads`] — the 26 synthetic application models of Table IV and
+//!   the 25 evaluated two-application workloads;
+//! * [`sim`] — the multi-application machine, alone-run profiling and the
+//!   controlled-run harness;
+//! * [`ebm`] — the paper's contribution: effective-bandwidth metrics,
+//!   pattern-based searching (PBS-WS/FI/HS), baselines and the evaluation
+//!   driver.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gpu_ebm::ebm::{Evaluator, EvaluatorConfig, Scheme};
+//! use gpu_ebm::workloads::Workload;
+//!
+//! // The quick config runs a scaled-down machine suitable for tests.
+//! let mut ev = Evaluator::new(EvaluatorConfig::quick());
+//! let workload = Workload::pair("BLK", "BFS");
+//! let result = ev.evaluate(&workload, Scheme::BestTlp);
+//! assert!(result.metrics.ws > 0.0);
+//! ```
+//!
+//! The `examples/` directory holds runnable scenarios; the `ebm-bench`
+//! crate regenerates every figure and table of the paper
+//! (`cargo run -p ebm-bench --release --bin experiments`).
+
+#![warn(missing_docs)]
+
+/// Common identifiers, configuration and statistics (re-export of
+/// [`gpu_types`]).
+pub mod types {
+    pub use gpu_types::*;
+}
+
+/// Memory-system substrate (re-export of [`gpu_mem`]).
+pub mod mem {
+    pub use gpu_mem::*;
+}
+
+/// SIMT core model (re-export of [`gpu_simt`]).
+pub mod simt {
+    pub use gpu_simt::*;
+}
+
+/// Application models and workloads (re-export of [`gpu_workloads`]).
+pub mod workloads {
+    pub use gpu_workloads::*;
+}
+
+/// Multi-application simulator and harness (re-export of [`gpu_sim`]).
+pub mod sim {
+    pub use gpu_sim::*;
+}
+
+/// The paper's contribution: EB metrics and TLP management (re-export of
+/// [`ebm_core`]).
+pub mod ebm {
+    pub use ebm_core::*;
+}

@@ -1,0 +1,139 @@
+//! End-to-end integration tests across the whole workspace: application
+//! models → SIMT cores → crossbar → L2/DRAM → metrics → policies.
+//!
+//! Everything runs on the scaled-down `GpuConfig::small()` machine so the
+//! suite stays fast; the paper-machine behaviour is exercised by the
+//! `ebm-bench` binaries.
+
+use gpu_ebm::ebm::{EbObjective, Evaluator, EvaluatorConfig, Scheme};
+use gpu_ebm::sim::machine::Gpu;
+use gpu_ebm::types::{AppId, GpuConfig, TlpCombo, TlpLevel};
+use gpu_ebm::workloads::{all_workloads, Workload};
+
+fn quick() -> Evaluator {
+    Evaluator::new(EvaluatorConfig::quick())
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let mut ev = quick();
+        let r = ev.evaluate(&Workload::pair("BLK", "BFS"), Scheme::BestTlp);
+        (r.metrics.ws, r.metrics.fi, r.combo)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn every_workload_runs_on_the_small_machine() {
+    // Short smoke run of all 25 workloads end to end.
+    let cfg = GpuConfig::small();
+    for w in all_workloads() {
+        let mut gpu = Gpu::new(&cfg, w.apps(), 9);
+        gpu.run(1_500);
+        for a in 0..2u8 {
+            let c = gpu.counters(AppId::new(a));
+            assert!(c.warp_insts > 0, "{w}: App-{} made no progress", a + 1);
+        }
+    }
+}
+
+#[test]
+fn all_schemes_produce_valid_metrics() {
+    let mut ev = quick();
+    let w = Workload::pair("BLK", "BFS");
+    for scheme in [
+        Scheme::BestTlp,
+        Scheme::MaxTlp,
+        Scheme::DynCta,
+        Scheme::ModBypass,
+        Scheme::Pbs(EbObjective::Ws),
+        Scheme::Pbs(EbObjective::Fi),
+        Scheme::PbsOffline(EbObjective::Ws),
+        Scheme::BruteForce(EbObjective::Ws),
+        Scheme::Opt(EbObjective::Ws),
+        Scheme::Opt(EbObjective::Fi),
+        Scheme::Opt(EbObjective::Hs),
+    ] {
+        let m = ev.evaluate(&w, scheme).metrics;
+        assert!(m.ws.is_finite() && m.ws > 0.0, "{scheme}: WS {}", m.ws);
+        assert!((0.0..=1.0 + 1e-9).contains(&m.fi), "{scheme}: FI {}", m.fi);
+        assert!(m.hs.is_finite() && m.hs > 0.0, "{scheme}: HS {}", m.hs);
+        assert_eq!(m.sds.len(), 2);
+    }
+}
+
+#[test]
+fn oracle_never_falls_far_below_the_baseline() {
+    // The oracle picks its combination from a shorter profiling sweep, so a
+    // full-length re-run may deviate slightly — but it must stay close.
+    let mut ev = quick();
+    for w in [Workload::pair("BLK", "BFS"), Workload::pair("BFS", "FFT")] {
+        let base = ev.evaluate(&w, Scheme::BestTlp).metrics.ws;
+        let opt = ev.evaluate(&w, Scheme::Opt(EbObjective::Ws)).metrics.ws;
+        assert!(opt >= 0.9 * base, "{w}: optWS {opt:.3} far below ++bestTLP {base:.3}");
+    }
+}
+
+#[test]
+fn tlp_knob_controls_shared_resource_consumption_end_to_end() {
+    let cfg = GpuConfig::small();
+    let w = Workload::pair("BLK", "BLK");
+    let bw_at = |tlp: u32| {
+        let mut gpu = Gpu::new(&cfg, w.apps(), 3);
+        gpu.set_combo(&TlpCombo::pair(
+            TlpLevel::new(tlp).unwrap(),
+            TlpLevel::new(4).unwrap(),
+        ));
+        gpu.run(6_000);
+        gpu.counters(AppId::new(0)).dram_bytes as f64
+            / gpu.counters(AppId::new(1)).dram_bytes.max(1) as f64
+    };
+    // Raising app 0's TLP raises its share of DRAM bytes relative to the
+    // fixed co-runner.
+    assert!(bw_at(8) > bw_at(1), "TLP did not shift the bandwidth share");
+}
+
+#[test]
+fn bypass_flag_travels_through_the_whole_memory_system() {
+    let cfg = GpuConfig::small();
+    let w = Workload::pair("BLK", "BFS");
+    let mut gpu = Gpu::new(&cfg, w.apps(), 5);
+    gpu.set_bypass_l1(AppId::new(0), true);
+    gpu.run(4_000);
+    let c0 = gpu.counters(AppId::new(0));
+    let c1 = gpu.counters(AppId::new(1));
+    assert_eq!(c0.l1_accesses, 0, "bypassed app must not touch its L1");
+    assert!(c0.l2_accesses > 0, "bypassed loads still reach the L2 (no-allocate)");
+    assert!(c1.l1_accesses > 0, "co-runner unaffected");
+}
+
+#[test]
+fn dynamic_policies_actually_move_the_knobs() {
+    let mut ev = quick();
+    let w = Workload::pair("BLK", "BFS");
+    let r = ev.evaluate(&w, Scheme::Pbs(EbObjective::Ws));
+    assert!(r.tlp_trace.len() > 2, "PBS never explored: {:?}", r.tlp_trace);
+    let cycles: Vec<u64> = r.tlp_trace.iter().map(|(c, _)| *c).collect();
+    assert!(cycles.windows(2).all(|w| w[0] < w[1]), "trace must be time-ordered");
+}
+
+#[test]
+fn evaluator_caches_survive_many_schemes() {
+    let mut ev = quick();
+    let w = Workload::pair("BLK", "BFS");
+    for s in [
+        Scheme::BestTlp,
+        Scheme::Opt(EbObjective::Ws),
+        Scheme::Opt(EbObjective::Fi),
+        Scheme::BruteForce(EbObjective::Hs),
+        Scheme::PbsOffline(EbObjective::Fi),
+    ] {
+        let _ = ev.evaluate(&w, s);
+    }
+    // All of the above share one sweep and two alone profiles; if caching
+    // broke, this test would take noticeably long and the evaluator would
+    // re-measure (we can only assert behaviourally: results stay coherent).
+    let again = ev.evaluate(&w, Scheme::Opt(EbObjective::Ws));
+    assert!(again.metrics.ws > 0.0);
+}

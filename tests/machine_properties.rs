@@ -1,0 +1,86 @@
+//! Property-based integration tests: arbitrary workload pairs, seeds and
+//! TLP combinations must never break the machine's conservation and
+//! monotonicity invariants.
+
+use gpu_ebm::sim::machine::Gpu;
+use gpu_ebm::types::{AppId, GpuConfig, MemCounters, TlpCombo, TlpLevel};
+use gpu_ebm::workloads::all_apps;
+use proptest::prelude::*;
+
+fn counters_sane(c: &MemCounters) {
+    assert!(c.l1_misses <= c.l1_accesses, "L1 misses exceed accesses");
+    assert!(c.l2_misses <= c.l2_accesses, "L2 misses exceed accesses");
+    // Every DRAM byte moved belongs to some row decision.
+    assert_eq!(
+        c.dram_bytes % gpu_ebm::types::LINE_SIZE,
+        0,
+        "DRAM bytes must be line-granular"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any pair of application models at any ladder combination runs,
+    /// makes progress, and keeps its counters consistent.
+    #[test]
+    fn any_pair_any_combo_is_well_behaved(
+        ai in 0usize..26,
+        bi in 0usize..26,
+        l0 in 0usize..5,
+        l1 in 0usize..5,
+        seed in 1u64..1000,
+    ) {
+        let ladder = [1u32, 2, 4, 6, 8];
+        let cfg = GpuConfig::small();
+        let apps = [&all_apps()[ai], &all_apps()[bi]];
+        let mut gpu = Gpu::new(&cfg, &apps, seed);
+        gpu.set_combo(&TlpCombo::pair(
+            TlpLevel::new(ladder[l0]).unwrap(),
+            TlpLevel::new(ladder[l1]).unwrap(),
+        ));
+        gpu.run(2_500);
+        for a in 0..2u8 {
+            let c = gpu.counters(AppId::new(a));
+            counters_sane(&c);
+            prop_assert!(c.warp_insts > 0, "App-{} stalled completely", a + 1);
+        }
+    }
+
+    /// Counters are monotone over time (cumulative snapshots never regress).
+    #[test]
+    fn counters_are_monotone(seed in 1u64..500) {
+        let cfg = GpuConfig::small();
+        let apps = [&all_apps()[14], &all_apps()[22]]; // BLK, BFS
+        let mut gpu = Gpu::new(&cfg, &apps, seed);
+        let mut prev = gpu.counters(AppId::new(0));
+        for _ in 0..5 {
+            gpu.run(500);
+            let cur = gpu.counters(AppId::new(0));
+            prop_assert!(cur.warp_insts >= prev.warp_insts);
+            prop_assert!(cur.l1_accesses >= prev.l1_accesses);
+            prop_assert!(cur.dram_bytes >= prev.dram_bytes);
+            prev = cur;
+        }
+    }
+
+    /// Attained bandwidth never exceeds the theoretical peak.
+    #[test]
+    fn attained_bandwidth_is_bounded_by_peak(seed in 1u64..200, l in 0usize..5) {
+        let ladder = [1u32, 2, 4, 6, 8];
+        let cfg = GpuConfig::small();
+        let apps = [&all_apps()[14], &all_apps()[15]]; // BLK, TRD: bandwidth hogs
+        let mut gpu = Gpu::new(&cfg, &apps, seed);
+        gpu.set_combo(&TlpCombo::uniform(TlpLevel::new(ladder[l]).unwrap(), 2));
+        gpu.run(1_000);
+        let before: u64 = (0..2).map(|a| gpu.counters(AppId::new(a)).dram_bytes).sum();
+        gpu.run(4_000);
+        let after: u64 = (0..2).map(|a| gpu.counters(AppId::new(a)).dram_bytes).sum();
+        let bw = (after - before) as f64 / 4_000.0;
+        prop_assert!(
+            bw <= cfg.peak_bw_bytes_per_cycle() * 1.001,
+            "attained {bw:.1} B/c exceeds peak {:.1}",
+            cfg.peak_bw_bytes_per_cycle()
+        );
+    }
+}

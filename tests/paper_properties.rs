@@ -1,0 +1,143 @@
+//! Integration tests for the paper's core empirical claims, verified on the
+//! scaled-down machine:
+//!
+//! * §III-B: EB closely tracks IPC across TLP levels (Fig. 2d);
+//! * §IV Observation 1: the combination with the highest EB-WS is (near)
+//!   the combination with the highest WS;
+//! * §IV: EB alone-ratios are smaller than IPC alone-ratios (Fig. 5);
+//! * §IV: scaling EB by alone-EB estimates aligns EB-FI with SD-FI.
+
+use gpu_ebm::ebm::search::{best_combo_by_eb, best_combo_by_sd};
+use gpu_ebm::ebm::sweep::ComboSweep;
+use gpu_ebm::ebm::{alone_ratio, EbObjective, ScalingFactors};
+use gpu_ebm::sim::harness::RunSpec;
+use gpu_ebm::sim::metrics::{fi_of, ws_of};
+use gpu_ebm::sim::profile_alone;
+use gpu_ebm::types::GpuConfig;
+use gpu_ebm::workloads::{by_name, Workload};
+
+fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let (mx, my) = (xs.iter().sum::<f64>() / n, ys.iter().sum::<f64>() / n);
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let (vx, vy): (f64, f64) = (
+        xs.iter().map(|x| (x - mx).powi(2)).sum(),
+        ys.iter().map(|y| (y - my).powi(2)).sum(),
+    );
+    cov / (vx.sqrt() * vy.sqrt()).max(1e-12)
+}
+
+#[test]
+fn eb_tracks_ipc_across_tlp_levels() {
+    // Fig. 2(d): "effective bandwidth observed by the core and performance
+    // closely follow each other". Verified for a cache-sensitive, a
+    // streaming and a tiled application.
+    let cfg = GpuConfig::small();
+    for name in ["BFS", "BLK", "HS"] {
+        let p = profile_alone(&cfg, by_name(name).unwrap(), 2, 7, RunSpec::new(500, 3_000));
+        let ipcs: Vec<f64> = p.samples.iter().map(|s| s.ipc).collect();
+        let ebs: Vec<f64> = p.samples.iter().map(|s| s.eb).collect();
+        let r = correlation(&ipcs, &ebs);
+        assert!(r > 0.6, "{name}: EB-IPC correlation only {r:.2}");
+    }
+}
+
+#[test]
+fn observation_1_eb_ws_argmax_is_near_ws_argmax() {
+    // §IV Observation 1 on the small machine: the combination with the
+    // highest EB sum achieves close to the best WS.
+    let cfg = GpuConfig::small();
+    for (a, b) in [("BLK", "BFS"), ("BFS", "FFT")] {
+        let w = Workload::pair(a, b);
+        let sweep = ComboSweep::measure(&cfg, &w, 42, RunSpec::new(500, 3_000));
+        let alone: Vec<f64> = w
+            .apps()
+            .iter()
+            .map(|app| {
+                profile_alone(&cfg, app, 2, 42, RunSpec::new(500, 3_000)).ipc_at_best()
+            })
+            .collect();
+        let scaling = ScalingFactors::none(2);
+        let (eb_combo, _) = best_combo_by_eb(&sweep, EbObjective::Ws, &scaling);
+        let (_, best_ws) = best_combo_by_sd(&sweep, EbObjective::Ws, &alone);
+        let ws_at_eb_combo = ws_of(
+            &sweep.ipcs(&eb_combo).iter().zip(&alone).map(|(i, x)| i / x).collect::<Vec<_>>(),
+        );
+        assert!(
+            ws_at_eb_combo >= 0.85 * best_ws,
+            "{w}: EB-WS argmax reaches only {:.0}% of optimal WS",
+            100.0 * ws_at_eb_combo / best_ws
+        );
+    }
+}
+
+#[test]
+fn eb_alone_ratios_are_smaller_than_ipc_alone_ratios_on_average() {
+    // Fig. 5's argument for preferring EB over IPC as the runtime proxy.
+    let cfg = GpuConfig::small();
+    let names = ["BLK", "BFS", "FFT", "TRD", "GUPS", "HS", "LUD", "SCP"];
+    let profiles: Vec<(f64, f64)> = names
+        .iter()
+        .map(|n| {
+            let p = profile_alone(&cfg, by_name(n).unwrap(), 2, 11, RunSpec::new(500, 3_000));
+            (p.ipc_at_best(), p.eb_at_best())
+        })
+        .collect();
+    let mut ipc_log_sum = 0.0;
+    let mut eb_log_sum = 0.0;
+    let mut count = 0;
+    for i in 0..profiles.len() {
+        for j in i + 1..profiles.len() {
+            ipc_log_sum += alone_ratio(profiles[i].0, profiles[j].0).ln();
+            eb_log_sum += alone_ratio(profiles[i].1, profiles[j].1).ln();
+            count += 1;
+        }
+    }
+    let (ipc_ar, eb_ar) =
+        ((ipc_log_sum / count as f64).exp(), (eb_log_sum / count as f64).exp());
+    assert!(
+        eb_ar < ipc_ar,
+        "mean EB_AR {eb_ar:.2} should be below mean IPC_AR {ipc_ar:.2}"
+    );
+}
+
+#[test]
+fn scaling_aligns_eb_fi_with_sd_fi() {
+    // §IV: for a lopsided workload, scaled EB-FI must correlate with SD-FI
+    // at least as well as raw EB-FI does (over the sweep's combinations).
+    let cfg = GpuConfig::small();
+    let w = Workload::pair("BLK", "BFS");
+    let sweep = ComboSweep::measure(&cfg, &w, 42, RunSpec::new(500, 3_000));
+    let profiles: Vec<_> = w
+        .apps()
+        .iter()
+        .map(|a| profile_alone(&cfg, a, 2, 42, RunSpec::new(500, 3_000)))
+        .collect();
+    let alone_ipc: Vec<f64> = profiles.iter().map(|p| p.ipc_at_best()).collect();
+    let exact = ScalingFactors::from_alone_ebs(
+        profiles.iter().map(|p| p.eb_at_best().max(1e-6)).collect(),
+    );
+    let raw = ScalingFactors::none(2);
+
+    let mut sd_fi = Vec::new();
+    let mut eb_fi_raw = Vec::new();
+    let mut eb_fi_scaled = Vec::new();
+    for (combo, _) in sweep.iter() {
+        let sds: Vec<f64> =
+            sweep.ipcs(combo).iter().zip(&alone_ipc).map(|(i, a)| i / a).collect();
+        sd_fi.push(fi_of(&sds));
+        let ebs = sweep.ebs(combo);
+        eb_fi_raw.push(fi_of(&raw.apply(&ebs)));
+        eb_fi_scaled.push(fi_of(&exact.apply(&ebs)));
+    }
+    let r_raw = correlation(&sd_fi, &eb_fi_raw);
+    let r_scaled = correlation(&sd_fi, &eb_fi_scaled);
+    assert!(
+        r_scaled > 0.3,
+        "scaled EB-FI barely correlates with SD-FI ({r_scaled:.2})"
+    );
+    assert!(
+        r_scaled >= r_raw - 0.05,
+        "scaling must not hurt the correlation: raw {r_raw:.2} vs scaled {r_scaled:.2}"
+    );
+}
