@@ -10,7 +10,10 @@ fn main() {
     let workloads: Vec<_> = if args.is_empty() {
         all_workloads()
     } else {
-        all_workloads().into_iter().filter(|w| args.contains(&w.name())).collect()
+        all_workloads()
+            .into_iter()
+            .filter(|w| args.contains(&w.name()))
+            .collect()
     };
     let mut ev = Evaluator::new(EvaluatorConfig::paper());
     run_and_save(&figures::hs_results(&mut ev, &workloads));

@@ -1,0 +1,185 @@
+//! Std-only performance smoke benchmark.
+//!
+//! Reports (a) serial simulated cycles/second of the machine and (b) the
+//! wall-clock of the `GpuConfig::small()` 25-combination sweep at 1 thread
+//! versus N threads, verifying along the way that the parallel sweep is
+//! bit-for-bit identical to the sequential one. Results are written as
+//! hand-rolled JSON to `BENCH_parallel.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_smoke [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the workload for CI (seconds, not minutes) and skips
+//! the JSON write unless `--out` is given explicitly.
+
+use ebm_core::sweep::ComboSweep;
+use gpu_sim::exec;
+use gpu_sim::harness::RunSpec;
+use gpu_sim::machine::Gpu;
+use gpu_types::{GpuConfig, TlpCombo, TlpLevel};
+use gpu_workloads::Workload;
+use std::time::Instant;
+
+struct SweepTiming {
+    threads: usize,
+    seconds: f64,
+}
+
+fn engine_cycles_per_sec(cycles: u64) -> f64 {
+    let cfg = GpuConfig::small();
+    let w = Workload::pair("BLK", "BFS");
+    let mut gpu = Gpu::new(&cfg, w.apps(), 42);
+    gpu.set_combo(&TlpCombo::uniform(TlpLevel::new(8).unwrap(), 2));
+    gpu.run(1_000); // prime caches and row buffers out of the timed region
+    let t = Instant::now();
+    gpu.run(cycles);
+    cycles as f64 / t.elapsed().as_secs_f64()
+}
+
+fn time_sweep(threads: usize, spec: RunSpec) -> (ComboSweep, f64) {
+    let cfg = GpuConfig::small();
+    let w = Workload::pair("BLK", "BFS");
+    let t = Instant::now();
+    let sweep = ComboSweep::measure_with_threads(&cfg, &w, 42, spec, threads);
+    (sweep, t.elapsed().as_secs_f64())
+}
+
+fn sweeps_identical(a: &ComboSweep, b: &ComboSweep) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().all(|(combo, samples)| {
+        b.get(combo).is_some_and(|other| {
+            samples.len() == other.len()
+                && samples.iter().zip(other).all(|(s, o)| {
+                    // Bit-for-bit: identical machines must produce identical
+                    // floats, so exact comparison is the point.
+                    s.ipc.to_bits() == o.ipc.to_bits()
+                        && s.bw.to_bits() == o.bw.to_bits()
+                        && s.cmr.to_bits() == o.cmr.to_bits()
+                        && s.eb.to_bits() == o.eb.to_bits()
+                })
+        })
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json(
+    smoke: bool,
+    engine_cps: f64,
+    timings: &[SweepTiming],
+    identical: bool,
+    speedup: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"benchmark\": \"{}\",\n",
+        json_escape("perf_smoke")
+    ));
+    out.push_str(&format!("  \"smoke_mode\": {smoke},\n"));
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    out.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    out.push_str("  \"machine\": \"GpuConfig::small\",\n");
+    out.push_str("  \"workload\": \"BLK_BFS\",\n");
+    out.push_str(&format!("  \"engine_cycles_per_sec\": {engine_cps:.1},\n"));
+    out.push_str("  \"sweep_combos\": 25,\n");
+    out.push_str("  \"sweep_wall_clock\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"threads\": {}, \"seconds\": {:.4} }}{comma}\n",
+            t.threads, t.seconds
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"parallel_identical_to_serial\": {identical},\n"
+    ));
+    out.push_str(&format!("  \"speedup_vs_1_thread\": {speedup:.2}\n"));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or(if smoke {
+            None
+        } else {
+            Some("BENCH_parallel.json".to_string())
+        });
+
+    let (engine_cycles, spec) = if smoke {
+        (20_000, RunSpec::new(300, 700))
+    } else {
+        (200_000, RunSpec::new(3_000, 12_000))
+    };
+
+    eprintln!("perf_smoke: serial engine throughput ({engine_cycles} cycles)...");
+    let engine_cps = engine_cycles_per_sec(engine_cycles);
+    eprintln!("  {engine_cps:.0} simulated cycles/sec");
+
+    let max_threads = exec::worker_count().max(4);
+    let thread_points: Vec<usize> = {
+        let mut pts = vec![1, 2, 4];
+        if max_threads > 4 {
+            pts.push(max_threads);
+        }
+        pts
+    };
+
+    eprintln!("perf_smoke: 25-combo sweep wall-clock (threads: {thread_points:?})...");
+    let mut timings = Vec::new();
+    let mut reference: Option<ComboSweep> = None;
+    let mut identical = true;
+    for &threads in &thread_points {
+        let (sweep, secs) = time_sweep(threads, spec);
+        eprintln!("  {threads:>2} thread(s): {secs:.3}s");
+        if let Some(r) = &reference {
+            if !sweeps_identical(r, &sweep) {
+                identical = false;
+                eprintln!("  !! results at {threads} threads diverge from serial");
+            }
+        } else {
+            reference = Some(sweep);
+        }
+        timings.push(SweepTiming {
+            threads,
+            seconds: secs,
+        });
+    }
+
+    let t1 = timings.first().map(|t| t.seconds).unwrap_or(f64::NAN);
+    let best = timings
+        .iter()
+        .skip(1)
+        .map(|t| t.seconds)
+        .fold(f64::INFINITY, f64::min);
+    let speedup = t1 / best;
+    eprintln!("perf_smoke: speedup vs 1 thread: {speedup:.2}x (identical: {identical})");
+
+    let json = render_json(smoke, engine_cps, &timings, identical, speedup);
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).expect("write benchmark JSON");
+        eprintln!("perf_smoke: wrote {path}");
+    } else {
+        print!("{json}");
+    }
+
+    if !identical {
+        eprintln!("perf_smoke: FAILED determinism check");
+        std::process::exit(1);
+    }
+}

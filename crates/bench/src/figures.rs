@@ -32,7 +32,12 @@ pub fn fig01(ev: &mut Evaluator) -> Report {
     let w = pair("BFS", "FFT");
     let base = ev.evaluate(&w, Scheme::BestTlp);
     r.header("scheme", &["WS", "FI", "combo0", "combo1"]);
-    for s in [Scheme::BestTlp, Scheme::MaxTlp, Scheme::Opt(EbObjective::Ws), Scheme::Opt(EbObjective::Fi)] {
+    for s in [
+        Scheme::BestTlp,
+        Scheme::MaxTlp,
+        Scheme::Opt(EbObjective::Ws),
+        Scheme::Opt(EbObjective::Fi),
+    ] {
         let res = ev.evaluate(&w, s);
         let combo = res.combo.clone().expect("static scheme");
         r.row(
@@ -54,14 +59,21 @@ pub fn fig01(ev: &mut Evaluator) -> Report {
 pub fn fig02(ev: &mut Evaluator) -> Report {
     let mut r = Report::new("fig02", "TLP sweep for BFS alone (normalized to bestTLP)");
     let n = ev.config().gpu.n_cores / 2;
-    let p = ev.alone(gpu_workloads::by_name("BFS").expect("BFS exists"), n).clone();
+    let p = ev
+        .alone(gpu_workloads::by_name("BFS").expect("BFS exists"), n)
+        .clone();
     let best = *p.best();
     r.line(format!("bestTLP = {}", p.best_tlp()));
     r.header("TLP", &["IPC", "BW", "CMR", "EB"]);
     for s in &p.samples {
         r.row(
             &s.tlp.to_string(),
-            &[s.ipc / best.ipc, s.bw / best.bw, s.cmr / best.cmr, s.eb / best.eb],
+            &[
+                s.ipc / best.ipc,
+                s.bw / best.bw,
+                s.cmr / best.cmr,
+                s.eb / best.eb,
+            ],
         );
     }
     r.line("shape goals: IPC hill peaking at bestTLP; BW rises then saturates;");
@@ -77,7 +89,9 @@ pub fn fig03(ev: &mut Evaluator) -> Report {
     let n = ev.config().gpu.n_cores / 2;
     r.header("app", &["A=BW", "B", "C=EB", "L1MR", "L2MR"]);
     for name in ["BFS", "BLK"] {
-        let p = ev.alone(gpu_workloads::by_name(name).expect("known app"), n).clone();
+        let p = ev
+            .alone(gpu_workloads::by_name(name).expect("known app"), n)
+            .clone();
         let b = p.best();
         let at_l2 = b.bw / b.l2_miss_rate.max(1e-9);
         r.row(name, &[b.bw, at_l2, b.eb, b.l1_miss_rate, b.l2_miss_rate]);
@@ -93,7 +107,12 @@ pub fn fig04(ev: &mut Evaluator) -> Report {
         "fig04",
         "per-app SD (++bestTLP vs optWS) and EB (++bestTLP vs BF-WS) stacks",
     );
-    r.header("workload", &["SD1b", "SD2b", "SD1o", "SD2o", "EB1b", "EB2b", "EB1o", "EB2o"]);
+    r.header(
+        "workload",
+        &[
+            "SD1b", "SD2b", "SD1o", "SD2o", "EB1b", "EB2b", "EB1o", "EB2o",
+        ],
+    );
     for w in representative_workloads() {
         let alone = ev.alone_ipcs(&w);
         let best = ev.best_tlp_combo(&w);
@@ -102,11 +121,19 @@ pub fn fig04(ev: &mut Evaluator) -> Report {
         let (opt, _) = best_combo_by_sd(&sweep, EbObjective::Ws, &alone);
         let (bf, _) = best_combo_by_eb(&sweep, EbObjective::Ws, &scaling);
         let sd = |c: &TlpCombo| -> Vec<f64> {
-            sweep.ipcs(c).iter().zip(&alone).map(|(i, a)| i / a).collect()
+            sweep
+                .ipcs(c)
+                .iter()
+                .zip(&alone)
+                .map(|(i, a)| i / a)
+                .collect()
         };
         let (sb, so) = (sd(&best), sd(&opt));
         let (eb, eo) = (sweep.ebs(&best), sweep.ebs(&bf));
-        r.row(&w.name(), &[sb[0], sb[1], so[0], so[1], eb[0], eb[1], eo[0], eo[1]]);
+        r.row(
+            &w.name(),
+            &[sb[0], sb[1], so[0], so[1], eb[0], eb[1], eo[0], eo[1]],
+        );
     }
     r.line("shape goals: SD1o+SD2o >= SD1b+SD2b on every row (Observation 1:");
     r.line("the combo with the highest EB sum also gives the highest WS), and the");
@@ -117,7 +144,10 @@ pub fn fig04(ev: &mut Evaluator) -> Report {
 /// Fig. 5: `IPC_AR` versus `EB_AR` over all two-application pairings of the
 /// 26 applications.
 pub fn fig05(ev: &mut Evaluator) -> Report {
-    let mut r = Report::new("fig05", "alone-ratio bias: IPC_AR vs EB_AR over all pairings");
+    let mut r = Report::new(
+        "fig05",
+        "alone-ratio bias: IPC_AR vs EB_AR over all pairings",
+    );
     let n = ev.config().gpu.n_cores / 2;
     let profiles: Vec<(f64, f64)> = all_apps()
         .iter()
@@ -144,10 +174,13 @@ pub fn fig05(ev: &mut Evaluator) -> Report {
             eb_ars.iter().sum::<f64>() / eb_ars.len() as f64,
         ],
     );
-    r.row("max", &[
-        ipc_ars.iter().copied().fold(0.0, f64::max),
-        eb_ars.iter().copied().fold(0.0, f64::max),
-    ]);
+    r.row(
+        "max",
+        &[
+            ipc_ars.iter().copied().fold(0.0, f64::max),
+            eb_ars.iter().copied().fold(0.0, f64::max),
+        ],
+    );
     r.line(format!(
         "EB_AR < IPC_AR in {wins} of {} pairings ({:.0}%)",
         ipc_ars.len(),
@@ -158,19 +191,19 @@ pub fn fig05(ev: &mut Evaluator) -> Report {
     r
 }
 
-fn grid_section(
-    r: &mut Report,
-    sweep: &ComboSweep,
-    title: &str,
-    value: impl Fn(&TlpCombo) -> f64,
-) {
+fn grid_section(r: &mut Report, sweep: &ComboSweep, title: &str, value: impl Fn(&TlpCombo) -> f64) {
     let levels = sweep.levels();
     r.line(title);
     let cols: Vec<String> = levels.iter().map(|l| l.to_string()).collect();
-    r.header("TLP0 \\ TLP1", &cols.iter().map(String::as_str).collect::<Vec<_>>());
+    r.header(
+        "TLP0 \\ TLP1",
+        &cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
     for l0 in &levels {
-        let vals: Vec<f64> =
-            levels.iter().map(|l1| value(&TlpCombo::pair(*l0, *l1))).collect();
+        let vals: Vec<f64> = levels
+            .iter()
+            .map(|l1| value(&TlpCombo::pair(*l0, *l1)))
+            .collect();
         r.row(&l0.to_string(), &vals);
     }
     r.blank();
@@ -184,9 +217,12 @@ pub fn fig06(ev: &mut Evaluator) -> Report {
     let w = pair("BLK", "TRD");
     let sweep = ev.sweep(&w).clone();
     let scaling = ScalingFactors::none(2);
-    grid_section(&mut r, &sweep, "EB-WS (rows: TLP-BLK, cols: TLP-TRD)", |c| {
-        EbObjective::Ws.value(&sweep.ebs(c))
-    });
+    grid_section(
+        &mut r,
+        &sweep,
+        "EB-WS (rows: TLP-BLK, cols: TLP-TRD)",
+        |c| EbObjective::Ws.value(&sweep.ebs(c)),
+    );
     grid_section(&mut r, &sweep, "EB-BLK", |c| sweep.ebs(c)[0]);
     grid_section(&mut r, &sweep, "EB-TRD", |c| sweep.ebs(c)[1]);
     // Pattern consistency: the knee of app 0's EB-WS curve for each fixed
@@ -202,7 +238,10 @@ pub fn fig06(ev: &mut Evaluator) -> Report {
         })
         .collect();
     let cols: Vec<String> = levels.iter().map(|l| l.to_string()).collect();
-    r.header("knee of TLP-BLK at TLP-TRD =", &cols.iter().map(String::as_str).collect::<Vec<_>>());
+    r.header(
+        "knee of TLP-BLK at TLP-TRD =",
+        &cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
     r.row("knee(EB-WS)", &knees);
     r.line("shape goal: the knee row is (nearly) constant — the \"pattern\" PBS exploits.");
     r
@@ -235,8 +274,12 @@ pub fn fig07(ev: &mut Evaluator) -> Report {
     let alone = ev.alone_ipcs(&w);
     let (opt_fi, _) = best_combo_by_sd(&sweep, EbObjective::Fi, &alone);
     let (opt_hs, _) = best_combo_by_sd(&sweep, EbObjective::Hs, &alone);
-    r.line(format!("PBS-FI (offline) picks {fi_combo}; optFI is {opt_fi}"));
-    r.line(format!("PBS-HS (offline) picks {hs_combo}; optHS is {opt_hs}"));
+    r.line(format!(
+        "PBS-FI (offline) picks {fi_combo}; optFI is {opt_fi}"
+    ));
+    r.line(format!(
+        "PBS-HS (offline) picks {hs_combo}; optHS is {opt_hs}"
+    ));
     r.line("shape goal: near-zero EB-difference cells coincide with high-FI combos,");
     r.line("and the PBS picks land near the oracle picks.");
     r
@@ -283,15 +326,25 @@ fn scheme_figure(
         Scheme::Opt(objective),
     ];
     let cols: Vec<String> = schemes.iter().map(|s| s.to_string()).collect();
-    r.header("workload", &cols.iter().map(String::as_str).collect::<Vec<_>>());
-    let representative: Vec<String> =
-        representative_workloads().iter().map(Workload::name).collect();
+    r.header(
+        "workload",
+        &cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let representative: Vec<String> = representative_workloads()
+        .iter()
+        .map(Workload::name)
+        .collect();
     let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     for w in workloads {
-        let base = metric(&ev.evaluate(w, Scheme::BestTlp).metrics).max(1e-9);
+        // One batch per workload: the baseline plus all six schemes fan out
+        // across worker threads (results identical to serial evaluation).
+        let mut batch = vec![Scheme::BestTlp];
+        batch.extend_from_slice(&schemes);
+        let results = ev.evaluate_batch(w, &batch);
+        let base = metric(&results[0].metrics).max(1e-9);
         let mut vals = Vec::new();
-        for (i, s) in schemes.iter().enumerate() {
-            let v = metric(&ev.evaluate(w, *s).metrics) / base;
+        for (i, res) in results[1..].iter().enumerate() {
+            let v = metric(&res.metrics) / base;
             per_scheme[i].push(v.max(1e-9));
             vals.push(v);
         }
@@ -355,10 +408,7 @@ pub fn fig11(ev: &mut Evaluator) -> Report {
             ev.config().measure_from,
         );
         let _ = std::fs::create_dir_all("results");
-        let _ = std::fs::write(
-            format!("results/fig11_{objective}.csv"),
-            run.series_csv(),
-        );
+        let _ = std::fs::write(format!("results/fig11_{objective}.csv"), run.series_csv());
         r.line(format!(
             "--- PBS-{objective}: {} TLP changes over {} windows (search probed {} combos) ---",
             run.tlp_trace.len(),
@@ -457,8 +507,11 @@ pub fn sens_part(ev: &mut Evaluator) -> Report {
         for combo in ComboSweep::combos(&cfg, 2) {
             let mut gpu = Gpu::with_core_split(&cfg, w.apps(), &[c0, c1], seed);
             let windows = measure_fixed(&mut gpu, &combo, sweep_spec);
-            let sds: Vec<f64> =
-                windows.iter().zip(&alone).map(|(x, a)| x.ipc() / a).collect();
+            let sds: Vec<f64> = windows
+                .iter()
+                .zip(&alone)
+                .map(|(x, a)| x.ipc() / a)
+                .collect();
             let ws = ws_of(&sds);
             if ws > best_ws.1 {
                 best_ws = (combo.clone(), ws);
@@ -469,7 +522,11 @@ pub fn sens_part(ev: &mut Evaluator) -> Report {
         }
         r.row(
             &format!("({c0},{c1})"),
-            &[base_ws, best_ws.1, 100.0 * (best_ws.1 / base_ws.max(1e-9) - 1.0)],
+            &[
+                base_ws,
+                best_ws.1,
+                100.0 * (best_ws.1 / base_ws.max(1e-9) - 1.0),
+            ],
         );
         eprint!(".");
     }
@@ -491,8 +548,12 @@ pub fn sens_part(ev: &mut Evaluator) -> Report {
         let best_combo = TlpCombo::new(profiles.iter().map(|p| p.best_tlp()).collect());
         let sweep = ComboSweep::measure(&cfg, &w, seed, sweep_spec);
         let (_, opt_ws) = best_combo_by_sd(&sweep, EbObjective::Ws, &alone);
-        let base_sds: Vec<f64> =
-            sweep.ipcs(&best_combo).iter().zip(&alone).map(|(i, a)| i / a).collect();
+        let base_sds: Vec<f64> = sweep
+            .ipcs(&best_combo)
+            .iter()
+            .zip(&alone)
+            .map(|(i, a)| i / a)
+            .collect();
         let base_ws = ws_of(&base_sds);
         r.row(
             &format!("{l2_kb} KB"),
@@ -518,10 +579,15 @@ pub fn threeapp(ev: &mut Evaluator) -> Report {
         ["SCP", "HS", "GUPS"],
         ["LIB", "BLK", "BFS"],
     ];
-    r.header("workload", &["bestWS", "maxWS", "pbsWS", "bestFI", "maxFI", "pbsFI"]);
+    r.header(
+        "workload",
+        &["bestWS", "maxWS", "pbsWS", "bestFI", "maxFI", "pbsFI"],
+    );
     for mix in mixes {
-        let apps: Vec<&gpu_workloads::AppProfile> =
-            mix.iter().map(|n| gpu_workloads::by_name(n).expect("known app")).collect();
+        let apps: Vec<&gpu_workloads::AppProfile> = mix
+            .iter()
+            .map(|n| gpu_workloads::by_name(n).expect("known app"))
+            .collect();
         let profiles: Vec<_> = apps
             .iter()
             .map(|a| profile_alone(&cfg, a, per_app, seed, RunSpec::new(10_000, 25_000)))
@@ -533,7 +599,11 @@ pub fn threeapp(ev: &mut Evaluator) -> Report {
         let run_static = |combo: &TlpCombo| -> Vec<f64> {
             let mut gpu = Gpu::with_core_split(&cfg, &apps, &[per_app; 3], seed);
             let windows = measure_fixed(&mut gpu, combo, RunSpec::new(3_000, 300_000));
-            windows.iter().zip(&alone).map(|(w, a)| w.ipc() / a).collect()
+            windows
+                .iter()
+                .zip(&alone)
+                .map(|(w, a)| w.ipc() / a)
+                .collect()
         };
         let sd_best = run_static(&best);
         let sd_max = run_static(&max);
@@ -547,8 +617,12 @@ pub fn threeapp(ev: &mut Evaluator) -> Report {
         let mut gpu = Gpu::with_core_split(&cfg, &apps, &[per_app; 3], seed);
         gpu.set_combo(&max);
         let run = run_controlled(&mut gpu, &mut pbs as &mut dyn Controller, 300_000, 3_000);
-        let sd_pbs: Vec<f64> =
-            run.overall.iter().zip(&alone).map(|(w, a)| w.ipc() / a).collect();
+        let sd_pbs: Vec<f64> = run
+            .overall
+            .iter()
+            .zip(&alone)
+            .map(|(w, a)| w.ipc() / a)
+            .collect();
 
         r.row(
             &mix.join("_"),
@@ -617,7 +691,12 @@ pub fn dram_policy(ev: &mut Evaluator) -> Report {
         let sweep = ComboSweep::measure(&cfg, &w, seed, RunSpec::new(10_000, 25_000));
         let (_, opt_ws) = best_combo_by_sd(&sweep, EbObjective::Ws, &alone);
         let base = ws_of(
-            &sweep.ipcs(&best).iter().zip(&alone).map(|(i, x)| i / x).collect::<Vec<_>>(),
+            &sweep
+                .ipcs(&best)
+                .iter()
+                .zip(&alone)
+                .map(|(i, x)| i / x)
+                .collect::<Vec<_>>(),
         );
         r.row(
             &format!("{policy:?}"),
@@ -693,7 +772,10 @@ pub fn sched(ev: &mut Evaluator) -> Report {
     let mixes = [("BLK", "BFS"), ("BFS", "FFT")];
     r.line("--- BFS alone: bestTLP and IPC@bestTLP per scheduler ---");
     r.header("scheduler", &["bestTLP", "IPC", "EB"]);
-    for policy in [gpu_types::WarpSchedPolicy::Gto, gpu_types::WarpSchedPolicy::Lrr] {
+    for policy in [
+        gpu_types::WarpSchedPolicy::Gto,
+        gpu_types::WarpSchedPolicy::Lrr,
+    ] {
         let mut cfg = ev.config().gpu.clone();
         cfg.scheduler = policy;
         let p = profile_alone(
@@ -711,7 +793,10 @@ pub fn sched(ev: &mut Evaluator) -> Report {
     r.header("workload/sched", &["bestWS", "optWS", "gain%"]);
     for (a, b) in mixes {
         let w = pair(a, b);
-        for policy in [gpu_types::WarpSchedPolicy::Gto, gpu_types::WarpSchedPolicy::Lrr] {
+        for policy in [
+            gpu_types::WarpSchedPolicy::Gto,
+            gpu_types::WarpSchedPolicy::Lrr,
+        ] {
             let mut cfg = ev.config().gpu.clone();
             cfg.scheduler = policy;
             let n = cfg.n_cores / 2;
@@ -725,7 +810,12 @@ pub fn sched(ev: &mut Evaluator) -> Report {
             let sweep = ComboSweep::measure(&cfg, &w, seed, RunSpec::new(10_000, 25_000));
             let (_, opt_ws) = best_combo_by_sd(&sweep, EbObjective::Ws, &alone);
             let base = ws_of(
-                &sweep.ipcs(&best).iter().zip(&alone).map(|(i, x)| i / x).collect::<Vec<_>>(),
+                &sweep
+                    .ipcs(&best)
+                    .iter()
+                    .zip(&alone)
+                    .map(|(i, x)| i / x)
+                    .collect::<Vec<_>>(),
             );
             r.row(
                 &format!("{} / {policy:?}", w.name()),
@@ -749,7 +839,12 @@ pub fn sampling(ev: &mut Evaluator) -> Report {
     let seed = ev.config().seed;
     let run_cycles = ev.config().run_cycles;
     let measure_from = ev.config().measure_from;
-    let mixes = [("BLK", "BFS"), ("BFS", "FFT"), ("JPEG", "LIB"), ("DS", "TRD")];
+    let mixes = [
+        ("BLK", "BFS"),
+        ("BFS", "FFT"),
+        ("JPEG", "LIB"),
+        ("DS", "TRD"),
+    ];
 
     // Part 1: per-window EB estimation error at the ++bestTLP combination.
     r.line("--- per-window EB estimate: designated vs exact (mean |error|) ---");
@@ -762,10 +857,12 @@ pub fn sampling(ev: &mut Evaluator) -> Report {
         gpu.run(3_000);
         let peak = base_cfg.peak_bw_bytes_per_cycle();
         let mut errs = [Vec::new(), Vec::new()];
-        let mut prev_exact: Vec<_> =
-            (0..2).map(|i| gpu.counters(gpu_types::AppId::new(i as u8))).collect();
-        let mut prev_des: Vec<_> =
-            (0..2).map(|i| gpu.designated_counters(gpu_types::AppId::new(i as u8))).collect();
+        let mut prev_exact: Vec<_> = (0..2)
+            .map(|i| gpu.counters(gpu_types::AppId::new(i as u8)))
+            .collect();
+        let mut prev_des: Vec<_> = (0..2)
+            .map(|i| gpu.designated_counters(gpu_types::AppId::new(i as u8)))
+            .collect();
         for _ in 0..20 {
             gpu.run(2_000);
             for i in 0..2 {
@@ -796,11 +893,15 @@ pub fn sampling(ev: &mut Evaluator) -> Report {
         let best = ev.best_tlp_combo(&w);
         let mut gpu = Gpu::new(&base_cfg, w.apps(), seed);
         let base = ws_of(
-            &measure_fixed(&mut gpu, &best, RunSpec::new(measure_from, run_cycles - measure_from))
-                .iter()
-                .zip(&alone)
-                .map(|(x, al)| x.ipc() / al)
-                .collect::<Vec<_>>(),
+            &measure_fixed(
+                &mut gpu,
+                &best,
+                RunSpec::new(measure_from, run_cycles - measure_from),
+            )
+            .iter()
+            .zip(&alone)
+            .map(|(x, al)| x.ipc() / al)
+            .collect::<Vec<_>>(),
         );
         let mut row = Vec::new();
         for designated in [false, true] {
@@ -821,7 +922,11 @@ pub fn sampling(ev: &mut Evaluator) -> Report {
                 measure_from,
             );
             let ws = ws_of(
-                &run.overall.iter().zip(&alone).map(|(x, al)| x.ipc() / al).collect::<Vec<_>>(),
+                &run.overall
+                    .iter()
+                    .zip(&alone)
+                    .map(|(x, al)| x.ipc() / al)
+                    .collect::<Vec<_>>(),
             );
             row.push(ws / base);
         }
@@ -840,21 +945,39 @@ pub fn sampling(ev: &mut Evaluator) -> Report {
 /// within the same workload execution", which a one-shot offline table
 /// cannot).
 pub fn phased(ev: &mut Evaluator) -> Report {
-    let mut r = Report::new("phased", "online vs offline PBS on phase-changing workloads");
+    let mut r = Report::new(
+        "phased",
+        "online vs offline PBS on phase-changing workloads",
+    );
     let cfg = ev.config().gpu.clone();
     let seed = ev.config().seed;
     let run_cycles = ev.config().run_cycles;
     let measure_from = ev.config().measure_from;
     let mixes: [Workload; 3] = [
-        Workload::from_profiles(vec![&gpu_workloads::PH1, gpu_workloads::by_name("TRD").unwrap()]),
-        Workload::from_profiles(vec![&gpu_workloads::PH1, gpu_workloads::by_name("BLK").unwrap()]),
-        Workload::from_profiles(vec![&gpu_workloads::PH2, gpu_workloads::by_name("SCP").unwrap()]),
+        Workload::from_profiles(vec![
+            &gpu_workloads::PH1,
+            gpu_workloads::by_name("TRD").unwrap(),
+        ]),
+        Workload::from_profiles(vec![
+            &gpu_workloads::PH1,
+            gpu_workloads::by_name("BLK").unwrap(),
+        ]),
+        Workload::from_profiles(vec![
+            &gpu_workloads::PH2,
+            gpu_workloads::by_name("SCP").unwrap(),
+        ]),
     ];
     r.header("workload", &["bestWS", "offline", "online", "on-off%"]);
     for w in mixes {
         let alone = ev.alone_ipcs(&w);
         let ws_of_windows = |windows: &[gpu_types::AppWindow]| {
-            ws_of(&windows.iter().zip(&alone).map(|(x, a)| x.ipc() / a).collect::<Vec<_>>())
+            ws_of(
+                &windows
+                    .iter()
+                    .zip(&alone)
+                    .map(|(x, a)| x.ipc() / a)
+                    .collect::<Vec<_>>(),
+            )
         };
         // ++bestTLP baseline.
         let best = ev.best_tlp_combo(&w);
@@ -883,8 +1006,12 @@ pub fn phased(ev: &mut Evaluator) -> Report {
         .with_hold_windows(60);
         let mut gpu = Gpu::new(&cfg, w.apps(), seed);
         gpu.set_combo(&TlpCombo::uniform(cfg.max_tlp(), 2));
-        let run =
-            run_controlled(&mut gpu, &mut pbs as &mut dyn Controller, run_cycles, measure_from);
+        let run = run_controlled(
+            &mut gpu,
+            &mut pbs as &mut dyn Controller,
+            run_cycles,
+            measure_from,
+        );
         let online = ws_of_windows(&run.overall);
         r.row(
             &w.name(),
@@ -915,7 +1042,12 @@ pub fn ablation(ev: &mut Evaluator) -> Report {
     let run_cycles = ev.config().run_cycles;
     let measure_from = ev.config().measure_from;
     let hold = ev.config().pbs_hold_windows;
-    let mixes = [("BLK", "BFS"), ("BFS", "FFT"), ("DS", "TRD"), ("JPEG", "LIB")];
+    let mixes = [
+        ("BLK", "BFS"),
+        ("BFS", "FFT"),
+        ("DS", "TRD"),
+        ("JPEG", "LIB"),
+    ];
 
     type Variant = (&'static str, fn(ebm_core::Pbs) -> ebm_core::Pbs);
     let variants: [Variant; 4] = [
@@ -937,7 +1069,13 @@ pub fn ablation(ev: &mut Evaluator) -> Report {
                 &combo,
                 RunSpec::new(measure_from, run_cycles - measure_from),
             );
-            ws_of(&wins.iter().zip(&alone).map(|(x, al)| x.ipc() / al).collect::<Vec<_>>())
+            ws_of(
+                &wins
+                    .iter()
+                    .zip(&alone)
+                    .map(|(x, al)| x.ipc() / al)
+                    .collect::<Vec<_>>(),
+            )
         };
         let mut row = Vec::new();
         for (_, make) in &variants {
@@ -951,10 +1089,18 @@ pub fn ablation(ev: &mut Evaluator) -> Report {
             );
             let mut gpu = Gpu::new(&cfg, w.apps(), seed);
             gpu.set_combo(&TlpCombo::uniform(cfg.max_tlp(), 2));
-            let run =
-                run_controlled(&mut gpu, &mut pbs as &mut dyn Controller, run_cycles, measure_from);
+            let run = run_controlled(
+                &mut gpu,
+                &mut pbs as &mut dyn Controller,
+                run_cycles,
+                measure_from,
+            );
             let ws = ws_of(
-                &run.overall.iter().zip(&alone).map(|(x, al)| x.ipc() / al).collect::<Vec<_>>(),
+                &run.overall
+                    .iter()
+                    .zip(&alone)
+                    .map(|(x, al)| x.ipc() / al)
+                    .collect::<Vec<_>>(),
             );
             row.push(ws / base);
         }
@@ -1023,11 +1169,11 @@ mod tests {
     #[test]
     fn extension_figures_render_on_small_machine() {
         let mut ev = quick_eval();
-        for text in [
-            sampling(&mut ev).render(),
-            dram_policy(&mut ev).render(),
-        ] {
-            assert!(text.contains("shape goal"), "report lacks shape goals:\n{text}");
+        for text in [sampling(&mut ev).render(), dram_policy(&mut ev).render()] {
+            assert!(
+                text.contains("shape goal"),
+                "report lacks shape goals:\n{text}"
+            );
         }
     }
 

@@ -14,7 +14,11 @@ pub struct Report {
 impl Report {
     /// Starts a report for artifact `id` (e.g. "fig09") titled `title`.
     pub fn new(id: &str, title: &str) -> Self {
-        Report { id: id.to_owned(), title: title.to_owned(), body: String::new() }
+        Report {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            body: String::new(),
+        }
     }
 
     /// Appends one line.

@@ -12,7 +12,10 @@ fn main() {
     let mut gpu = Gpu::new(&cfg, w.apps(), 42);
     gpu.set_combo(&combo);
     let mut prev = [0u64; 2];
-    println!("{:>8} {:>8} {:>8} {:>8} {:>8}", "cycle", "ipc-DS", "ipc-TRD", "l2mr-DS", "bw-DS");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>8}",
+        "cycle", "ipc-DS", "ipc-TRD", "l2mr-DS", "bw-DS"
+    );
     let mut prev_l2 = (0u64, 0u64, 0u64);
     for k in 1..=20 {
         gpu.run(20_000);

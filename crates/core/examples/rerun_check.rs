@@ -10,7 +10,10 @@ fn main() {
     let cfg = GpuConfig::paper();
     let w = Workload::pair("DS", "TRD");
     let combos = [(24u32, 24u32), (8, 24), (2, 24), (1, 8), (2, 8), (4, 12)];
-    println!("{:>8} {:>22} {:>22}", "combo", "sweep(3k+15k)", "long(3k+300k)");
+    println!(
+        "{:>8} {:>22} {:>22}",
+        "combo", "sweep(3k+15k)", "long(3k+300k)"
+    );
     for (a, b) in combos {
         let combo = TlpCombo::pair(TlpLevel::new(a).unwrap(), TlpLevel::new(b).unwrap());
         let mut g1 = Gpu::new(&cfg, w.apps(), 42);
@@ -19,7 +22,11 @@ fn main() {
         let l = measure_fixed(&mut g2, &combo, RunSpec::new(3_000, 300_000));
         println!(
             "{:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
-            combo.to_string(), s[0].ipc(), s[1].ipc(), l[0].ipc(), l[1].ipc()
+            combo.to_string(),
+            s[0].ipc(),
+            s[1].ipc(),
+            l[0].ipc(),
+            l[1].ipc()
         );
     }
 }

@@ -32,7 +32,9 @@ fn main() {
                 100.0 * (r.metrics.ws / base.metrics.ws - 1.0),
                 r.metrics.fi,
                 r.metrics.hs,
-                r.combo.map(|c| c.to_string()).unwrap_or_else(|| format!("dyn({} changes)", r.tlp_trace.len())),
+                r.combo
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| format!("dyn({} changes)", r.tlp_trace.len())),
                 t0.elapsed()
             );
         }

@@ -11,7 +11,11 @@ use gpu_workloads::Workload;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let (a, b) = if args.len() > 2 { (args[1].as_str(), args[2].as_str()) } else { ("BLK", "BFS") };
+    let (a, b) = if args.len() > 2 {
+        (args[1].as_str(), args[2].as_str())
+    } else {
+        ("BLK", "BFS")
+    };
     let w = Workload::pair(a, b);
     let cfg = GpuConfig::paper();
     let mut ev = Evaluator::new(EvaluatorConfig::paper());
@@ -22,7 +26,9 @@ fn main() {
     println!("{:>4} | WS rows=TLP-{a} cols=TLP-{b}", "");
     let levels = sweep.levels();
     print!("{:>5}", "");
-    for l in &levels { print!(" {:>6}", l.get()); }
+    for l in &levels {
+        print!(" {:>6}", l.get());
+    }
     println!();
     let mut best_ws = (TlpCombo::uniform(TlpLevel::MIN, 2), 0.0f64);
     let mut best_fi = best_ws.clone();
@@ -34,14 +40,32 @@ fn main() {
             let sds: Vec<f64> = ipcs.iter().zip(&alone).map(|(i, a)| i / a).collect();
             let ws = ws_of(&sds);
             let fi = fi_of(&sds);
-            if ws > best_ws.1 { best_ws = (c.clone(), ws); }
-            if fi > best_fi.1 { best_fi = (c.clone(), fi); }
+            if ws > best_ws.1 {
+                best_ws = (c.clone(), ws);
+            }
+            if fi > best_fi.1 {
+                best_fi = (c.clone(), fi);
+            }
             print!(" {:>6.3}", ws);
         }
         println!();
     }
-    let base_sds: Vec<f64> = sweep.ipcs(&best).iter().zip(&alone).map(|(i, a)| i / a).collect();
-    println!("++bestTLP WS={:.3} FI={:.3}", ws_of(&base_sds), fi_of(&base_sds));
-    println!("optWS {} = {:.3}  (+{:.1}%)", best_ws.0, best_ws.1, 100.0*(best_ws.1/ws_of(&base_sds)-1.0));
+    let base_sds: Vec<f64> = sweep
+        .ipcs(&best)
+        .iter()
+        .zip(&alone)
+        .map(|(i, a)| i / a)
+        .collect();
+    println!(
+        "++bestTLP WS={:.3} FI={:.3}",
+        ws_of(&base_sds),
+        fi_of(&base_sds)
+    );
+    println!(
+        "optWS {} = {:.3}  (+{:.1}%)",
+        best_ws.0,
+        best_ws.1,
+        100.0 * (best_ws.1 / ws_of(&base_sds) - 1.0)
+    );
     println!("optFI {} = {:.3}", best_fi.0, best_fi.1);
 }

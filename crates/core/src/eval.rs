@@ -9,19 +9,19 @@
 
 use crate::metrics::EbObjective;
 use crate::pattern::pbs_offline_search;
-use crate::policy::{DynCta, ModBypass, Pbs};
 use crate::policy::pbs::PbsScaling;
+use crate::policy::{DynCta, ModBypass, Pbs};
 use crate::scaling::ScalingFactors;
 use crate::search::{best_combo_by_eb, best_combo_by_sd};
 use crate::sweep::ComboSweep;
 use gpu_sim::alone::{profile_alone, AloneProfile};
 use gpu_sim::control::Controller;
+use gpu_sim::exec;
 use gpu_sim::harness::{measure_fixed, run_controlled, RunSpec};
 use gpu_sim::machine::Gpu;
 use gpu_sim::metrics::SystemMetrics;
-use gpu_types::{AppWindow, GpuConfig, TlpCombo, TlpLevel};
+use gpu_types::{AppWindow, FxHashMap, GpuConfig, TlpCombo, TlpLevel};
 use gpu_workloads::{all_apps, AppProfile, EbGroup, Workload};
-use std::collections::HashMap;
 use std::fmt;
 
 /// All evaluated TLP-management schemes (the bar groups of Figs. 9/10).
@@ -145,13 +145,201 @@ pub struct SchemeResult {
 /// ```
 pub struct Evaluator {
     cfg: EvaluatorConfig,
-    alone_cache: HashMap<&'static str, AloneProfile>,
-    sweep_cache: HashMap<String, ComboSweep>,
+    alone_cache: FxHashMap<&'static str, AloneProfile>,
+    sweep_cache: FxHashMap<String, ComboSweep>,
     /// Scheme runs are deterministic, so repeat evaluations (e.g. the
     /// ++bestTLP baseline shared by every figure, or ++DynCTA appearing in
     /// Figs. 9, 10 and the HS study) are served from cache.
-    result_cache: HashMap<(String, Scheme), SchemeResult>,
-    group_avg: Option<HashMap<EbGroup, f64>>,
+    result_cache: FxHashMap<(String, Scheme), SchemeResult>,
+    group_avg: Option<FxHashMap<EbGroup, f64>>,
+}
+
+/// Everything a scheme run reads, warmed up front so the run itself is a
+/// pure function of `(ctx, workload, scheme)` — the property that lets
+/// [`Evaluator::evaluate_batch`] fan schemes out across threads while
+/// staying bit-for-bit identical to the serial path (which calls the very
+/// same [`run_scheme`]).
+struct SchemeCtx<'a> {
+    cfg: &'a EvaluatorConfig,
+    /// Sweep table, present iff some requested scheme is offline.
+    sweep: Option<&'a ComboSweep>,
+    /// Per-application alone `IPC@bestTLP` (the SD denominators).
+    alone_ipcs: Vec<f64>,
+    /// The ++bestTLP combination.
+    best_combo: TlpCombo,
+    /// Sampled scaling factors, present iff some requested offline scheme
+    /// wants them.
+    sampled: Option<ScalingFactors>,
+    /// The ++bestTLP result, present iff an `opt*` scheme needs its
+    /// never-worse-than-baseline guard.
+    baseline: Option<SchemeResult>,
+}
+
+impl SchemeCtx<'_> {
+    fn scaling_for(&self, objective: EbObjective, n_apps: usize) -> ScalingFactors {
+        if objective.wants_scaling() {
+            self.sampled
+                .clone()
+                .expect("sampled factors warmed for scaling objectives")
+        } else {
+            ScalingFactors::none(n_apps)
+        }
+    }
+}
+
+/// Owned warm-up artifacts; [`SchemeCtx`] is assembled from these plus
+/// borrows of the evaluator's caches once the mutable warm-up phase ends.
+struct Warm {
+    alone_ipcs: Vec<f64>,
+    best_combo: TlpCombo,
+    needs_sweep: bool,
+    sampled: Option<ScalingFactors>,
+    baseline: Option<SchemeResult>,
+}
+
+fn metrics_for(alone_ipcs: &[f64], windows: &[AppWindow]) -> SystemMetrics {
+    let sds = windows
+        .iter()
+        .zip(alone_ipcs)
+        .map(|(w, &a)| w.ipc() / a)
+        .collect();
+    SystemMetrics::from_slowdowns(sds)
+}
+
+fn static_run(
+    ctx: &SchemeCtx<'_>,
+    workload: &Workload,
+    combo: TlpCombo,
+    scheme: Scheme,
+) -> SchemeResult {
+    let cfg = ctx.cfg;
+    let mut gpu = Gpu::new(&cfg.gpu, workload.apps(), cfg.seed);
+    let windows = measure_fixed(
+        &mut gpu,
+        &combo,
+        RunSpec::new(cfg.measure_from, cfg.run_cycles - cfg.measure_from),
+    );
+    let metrics = metrics_for(&ctx.alone_ipcs, &windows);
+    SchemeResult {
+        scheme,
+        metrics,
+        combo: Some(combo.clone()),
+        tlp_trace: vec![(0, combo.levels().to_vec())],
+        windows,
+    }
+}
+
+fn dynamic_run(
+    ctx: &SchemeCtx<'_>,
+    workload: &Workload,
+    controller: &mut dyn Controller,
+    start: TlpCombo,
+    scheme: Scheme,
+) -> SchemeResult {
+    let cfg = ctx.cfg;
+    let mut gpu = Gpu::new(&cfg.gpu, workload.apps(), cfg.seed);
+    gpu.set_combo(&start);
+    let run = run_controlled(&mut gpu, controller, cfg.run_cycles, cfg.measure_from);
+    let metrics = metrics_for(&ctx.alone_ipcs, &run.overall);
+    SchemeResult {
+        scheme,
+        metrics,
+        combo: None,
+        tlp_trace: run.tlp_trace,
+        windows: run.overall,
+    }
+}
+
+/// Runs one scheme end-to-end from a warmed context. Shared verbatim by the
+/// serial and the parallel evaluation paths.
+fn run_scheme(ctx: &SchemeCtx<'_>, workload: &Workload, scheme: Scheme) -> SchemeResult {
+    let cfg = ctx.cfg;
+    let max = cfg.gpu.max_tlp();
+    let n = workload.n_apps();
+    match scheme {
+        Scheme::BestTlp => static_run(ctx, workload, ctx.best_combo.clone(), scheme),
+        Scheme::MaxTlp => static_run(ctx, workload, TlpCombo::uniform(max, n), scheme),
+        Scheme::DynCta => {
+            let mut c = DynCta::new(max);
+            dynamic_run(ctx, workload, &mut c, TlpCombo::uniform(max, n), scheme)
+        }
+        Scheme::Ccws => {
+            // CCWS throttles inside the cores; no window controller.
+            let mut gpu = Gpu::new(&cfg.gpu, workload.apps(), cfg.seed);
+            for a in 0..n {
+                gpu.set_ccws(gpu_types::AppId::new(a as u8), true);
+            }
+            let windows = measure_fixed(
+                &mut gpu,
+                &TlpCombo::uniform(max, n),
+                RunSpec::new(cfg.measure_from, cfg.run_cycles - cfg.measure_from),
+            );
+            let metrics = metrics_for(&ctx.alone_ipcs, &windows);
+            SchemeResult {
+                scheme,
+                metrics,
+                combo: None,
+                tlp_trace: Vec::new(),
+                windows,
+            }
+        }
+        Scheme::ModBypass => {
+            let mut c = ModBypass::new(max);
+            dynamic_run(ctx, workload, &mut c, TlpCombo::uniform(max, n), scheme)
+        }
+        Scheme::Pbs(objective) => {
+            let scaling = if objective.wants_scaling() {
+                PbsScaling::Sampled
+            } else {
+                PbsScaling::None
+            };
+            let mut c = Pbs::new(objective, max, scaling).with_hold_windows(cfg.pbs_hold_windows);
+            dynamic_run(ctx, workload, &mut c, TlpCombo::uniform(max, n), scheme)
+        }
+        Scheme::PbsOffline(objective) => {
+            let sweep = ctx.sweep.expect("sweep warmed for offline schemes");
+            let scaling = ctx.scaling_for(objective, n);
+            let (combo, _) = pbs_offline_search(sweep, objective, &scaling);
+            static_run(ctx, workload, combo, scheme)
+        }
+        Scheme::BruteForce(objective) => {
+            let sweep = ctx.sweep.expect("sweep warmed for offline schemes");
+            let scaling = ctx.scaling_for(objective, n);
+            let (combo, _) = best_combo_by_eb(sweep, objective, &scaling);
+            static_run(ctx, workload, combo, scheme)
+        }
+        Scheme::Opt(objective) => {
+            let sweep = ctx.sweep.expect("sweep warmed for offline schemes");
+            let (combo, _) = best_combo_by_sd(sweep, objective, &ctx.alone_ipcs);
+            let candidate = static_run(ctx, workload, combo, scheme);
+            // The exhaustive search space contains the ++bestTLP
+            // combination, so the oracle can never do worse than the
+            // baseline; if the (shorter-window) sweep mis-ranked the
+            // two, take the baseline combination instead.
+            let baseline = ctx
+                .baseline
+                .as_ref()
+                .expect("baseline warmed for opt schemes");
+            let metric = |m: &SystemMetrics| match objective {
+                EbObjective::Ws => m.ws,
+                EbObjective::Fi => m.fi,
+                EbObjective::Hs => m.hs,
+            };
+            if metric(&candidate.metrics) >= metric(&baseline.metrics) {
+                candidate
+            } else {
+                SchemeResult {
+                    scheme,
+                    ..baseline.clone()
+                }
+            }
+        }
+        Scheme::OptIt => {
+            let sweep = ctx.sweep.expect("sweep warmed for offline schemes");
+            let (combo, _) = crate::search::best_combo_by_it(sweep);
+            static_run(ctx, workload, combo, scheme)
+        }
+    }
 }
 
 impl fmt::Debug for Evaluator {
@@ -169,9 +357,9 @@ impl Evaluator {
         cfg.gpu.validate().expect("invalid machine configuration");
         Evaluator {
             cfg,
-            alone_cache: HashMap::new(),
-            sweep_cache: HashMap::new(),
-            result_cache: HashMap::new(),
+            alone_cache: FxHashMap::default(),
+            sweep_cache: FxHashMap::default(),
+            result_cache: FxHashMap::default(),
             group_avg: None,
         }
     }
@@ -188,48 +376,61 @@ impl Evaluator {
     /// The (cached) alone profile of `app` on `n_cores` cores.
     pub fn alone(&mut self, app: &'static AppProfile, n_cores: usize) -> &AloneProfile {
         let cfg = &self.cfg;
-        self.alone_cache.entry(app.name).or_insert_with(|| {
-            profile_alone(&cfg.gpu, app, n_cores, cfg.seed, cfg.alone_spec)
-        })
+        self.alone_cache
+            .entry(app.name)
+            .or_insert_with(|| profile_alone(&cfg.gpu, app, n_cores, cfg.seed, cfg.alone_spec))
     }
 
     /// The (cached) 64-combination sweep of `workload`.
     pub fn sweep(&mut self, workload: &Workload) -> &ComboSweep {
         let cfg = &self.cfg;
-        self.sweep_cache.entry(workload.name()).or_insert_with(|| {
-            ComboSweep::measure(&cfg.gpu, workload, cfg.seed, cfg.sweep_spec)
-        })
+        self.sweep_cache
+            .entry(workload.name())
+            .or_insert_with(|| ComboSweep::measure(&cfg.gpu, workload, cfg.seed, cfg.sweep_spec))
     }
 
     /// Per-application alone `IPC@bestTLP` (the SD denominators).
     pub fn alone_ipcs(&mut self, workload: &Workload) -> Vec<f64> {
         let n = self.cores_per_app(workload);
-        workload.apps().to_vec().iter().map(|a| self.alone(a, n).ipc_at_best()).collect()
+        workload
+            .apps()
+            .to_vec()
+            .iter()
+            .map(|a| self.alone(a, n).ipc_at_best())
+            .collect()
     }
 
     /// Per-application alone `bestTLP` (the ++bestTLP combination).
     pub fn best_tlp_combo(&mut self, workload: &Workload) -> TlpCombo {
         let n = self.cores_per_app(workload);
         TlpCombo::new(
-            workload.apps().to_vec().iter().map(|a| self.alone(a, n).best_tlp()).collect(),
+            workload
+                .apps()
+                .to_vec()
+                .iter()
+                .map(|a| self.alone(a, n).best_tlp())
+                .collect(),
         )
     }
 
     /// Table IV's group-average alone EBs, over all 26 applications
     /// (the user-supplied scaling-factor source). Expensive on first call;
     /// cached.
-    pub fn group_averages(&mut self) -> HashMap<EbGroup, f64> {
+    pub fn group_averages(&mut self) -> FxHashMap<EbGroup, f64> {
         if self.group_avg.is_none() {
             let n = self.cfg.gpu.n_cores / 2; // groups are defined on the 2-app partition size
-            let mut sums: HashMap<EbGroup, (f64, usize)> = HashMap::new();
+            let mut sums: FxHashMap<EbGroup, (f64, usize)> = FxHashMap::default();
             for app in all_apps() {
                 let eb = self.alone(app, n).eb_at_best();
                 let e = sums.entry(app.group).or_insert((0.0, 0));
                 e.0 += eb;
                 e.1 += 1;
             }
-            self.group_avg =
-                Some(sums.into_iter().map(|(g, (s, c))| (g, s / c as f64)).collect());
+            self.group_avg = Some(
+                sums.into_iter()
+                    .map(|(g, (s, c))| (g, s / c as f64))
+                    .collect(),
+            );
         }
         self.group_avg.clone().expect("just filled")
     }
@@ -265,55 +466,62 @@ impl Evaluator {
         )
     }
 
-    fn offline_scaling(&mut self, workload: &Workload, objective: EbObjective) -> ScalingFactors {
-        if objective.wants_scaling() {
-            self.sampled_factors(workload)
-        } else {
-            ScalingFactors::none(workload.n_apps())
-        }
-    }
-
-    fn metrics_from(&mut self, workload: &Workload, windows: &[AppWindow]) -> SystemMetrics {
-        let alone = self.alone_ipcs(workload);
-        let sds = windows.iter().zip(&alone).map(|(w, &a)| w.ipc() / a).collect();
-        SystemMetrics::from_slowdowns(sds)
-    }
-
-    fn run_static(&mut self, workload: &Workload, combo: TlpCombo, scheme: Scheme) -> SchemeResult {
-        let mut gpu = Gpu::new(&self.cfg.gpu, workload.apps(), self.cfg.seed);
-        let windows = measure_fixed(
-            &mut gpu,
-            &combo,
-            RunSpec::new(self.cfg.measure_from, self.cfg.run_cycles - self.cfg.measure_from),
+    /// Warms every cache the given schemes read (mutable phase), returning
+    /// the owned artifacts a [`SchemeCtx`] is assembled from.
+    fn warm_for(&mut self, workload: &Workload, schemes: &[Scheme]) -> Warm {
+        let needs_sweep = schemes.iter().any(|s| {
+            matches!(
+                s,
+                Scheme::PbsOffline(_) | Scheme::BruteForce(_) | Scheme::Opt(_) | Scheme::OptIt
+            )
+        });
+        let needs_sampled = schemes.iter().any(
+            |s| matches!(s, Scheme::PbsOffline(o) | Scheme::BruteForce(o) if o.wants_scaling()),
         );
-        let metrics = self.metrics_from(workload, &windows);
-        SchemeResult {
-            scheme,
-            metrics,
-            combo: Some(combo.clone()),
-            tlp_trace: vec![(0, combo.levels().to_vec())],
-            windows,
+        let needs_baseline = schemes.iter().any(|s| matches!(s, Scheme::Opt(_)));
+        let alone_ipcs = self.alone_ipcs(workload);
+        let best_combo = self.best_tlp_combo(workload);
+        if needs_sweep {
+            self.sweep(workload);
+        }
+        let sampled = if needs_sampled {
+            Some(self.sampled_factors(workload))
+        } else {
+            None
+        };
+        let baseline = if needs_baseline {
+            Some(self.evaluate(workload, Scheme::BestTlp))
+        } else {
+            None
+        };
+        Warm {
+            alone_ipcs,
+            best_combo,
+            needs_sweep,
+            sampled,
+            baseline,
         }
     }
 
-    fn run_dynamic(
-        &mut self,
-        workload: &Workload,
-        controller: &mut dyn Controller,
-        start: TlpCombo,
-        scheme: Scheme,
-    ) -> SchemeResult {
-        let mut gpu = Gpu::new(&self.cfg.gpu, workload.apps(), self.cfg.seed);
-        gpu.set_combo(&start);
-        let run =
-            run_controlled(&mut gpu, controller, self.cfg.run_cycles, self.cfg.measure_from);
-        let metrics = self.metrics_from(workload, &run.overall);
-        SchemeResult {
-            scheme,
-            metrics,
-            combo: None,
-            tlp_trace: run.tlp_trace,
-            windows: run.overall,
+    /// Assembles the immutable run context from warm artifacts. Call only
+    /// after [`Evaluator::warm_for`] for the same workload/schemes.
+    fn ctx_from<'a>(&'a self, workload: &Workload, warm: Warm) -> SchemeCtx<'a> {
+        let sweep = if warm.needs_sweep {
+            Some(
+                self.sweep_cache
+                    .get(&workload.name())
+                    .expect("sweep just warmed"),
+            )
+        } else {
+            None
+        };
+        SchemeCtx {
+            cfg: &self.cfg,
+            sweep,
+            alone_ipcs: warm.alone_ipcs,
+            best_combo: warm.best_combo,
+            sampled: warm.sampled,
+            baseline: warm.baseline,
         }
     }
 
@@ -330,96 +538,61 @@ impl Evaluator {
     }
 
     fn evaluate_uncached(&mut self, workload: &Workload, scheme: Scheme) -> SchemeResult {
-        let max = self.cfg.gpu.max_tlp();
-        let n = workload.n_apps();
-        match scheme {
-            Scheme::BestTlp => {
-                let combo = self.best_tlp_combo(workload);
-                self.run_static(workload, combo, scheme)
-            }
-            Scheme::MaxTlp => {
-                self.run_static(workload, TlpCombo::uniform(max, n), scheme)
-            }
-            Scheme::DynCta => {
-                let mut c = DynCta::new(max);
-                self.run_dynamic(workload, &mut c, TlpCombo::uniform(max, n), scheme)
-            }
-            Scheme::Ccws => {
-                // CCWS throttles inside the cores; no window controller.
-                let mut gpu = Gpu::new(&self.cfg.gpu, workload.apps(), self.cfg.seed);
-                for a in 0..n {
-                    gpu.set_ccws(gpu_types::AppId::new(a as u8), true);
-                }
-                let windows = measure_fixed(
-                    &mut gpu,
-                    &TlpCombo::uniform(max, n),
-                    RunSpec::new(
-                        self.cfg.measure_from,
-                        self.cfg.run_cycles - self.cfg.measure_from,
-                    ),
-                );
-                let metrics = self.metrics_from(workload, &windows);
-                SchemeResult {
-                    scheme,
-                    metrics,
-                    combo: None,
-                    tlp_trace: Vec::new(),
-                    windows,
-                }
-            }
-            Scheme::ModBypass => {
-                let mut c = ModBypass::new(max);
-                self.run_dynamic(workload, &mut c, TlpCombo::uniform(max, n), scheme)
-            }
-            Scheme::Pbs(objective) => {
-                let scaling = if objective.wants_scaling() {
-                    PbsScaling::Sampled
-                } else {
-                    PbsScaling::None
-                };
-                let mut c = Pbs::new(objective, max, scaling)
-                    .with_hold_windows(self.cfg.pbs_hold_windows);
-                self.run_dynamic(workload, &mut c, TlpCombo::uniform(max, n), scheme)
-            }
-            Scheme::PbsOffline(objective) => {
-                let scaling = self.offline_scaling(workload, objective);
-                let sweep = self.sweep(workload);
-                let (combo, _) = pbs_offline_search(sweep, objective, &scaling);
-                self.run_static(workload, combo, scheme)
-            }
-            Scheme::BruteForce(objective) => {
-                let scaling = self.offline_scaling(workload, objective);
-                let sweep = self.sweep(workload);
-                let (combo, _) = best_combo_by_eb(sweep, objective, &scaling);
-                self.run_static(workload, combo, scheme)
-            }
-            Scheme::Opt(objective) => {
-                let alone = self.alone_ipcs(workload);
-                let sweep = self.sweep(workload);
-                let (combo, _) = best_combo_by_sd(sweep, objective, &alone);
-                let candidate = self.run_static(workload, combo, scheme);
-                // The exhaustive search space contains the ++bestTLP
-                // combination, so the oracle can never do worse than the
-                // baseline; if the (shorter-window) sweep mis-ranked the
-                // two, take the baseline combination instead.
-                let baseline = self.evaluate(workload, Scheme::BestTlp);
-                let metric = |m: &SystemMetrics| match objective {
-                    EbObjective::Ws => m.ws,
-                    EbObjective::Fi => m.fi,
-                    EbObjective::Hs => m.hs,
-                };
-                if metric(&candidate.metrics) >= metric(&baseline.metrics) {
-                    candidate
-                } else {
-                    SchemeResult { scheme, ..baseline }
-                }
-            }
-            Scheme::OptIt => {
-                let sweep = self.sweep(workload);
-                let (combo, _) = crate::search::best_combo_by_it(sweep);
-                self.run_static(workload, combo, scheme)
+        let warm = self.warm_for(workload, &[scheme]);
+        let ctx = self.ctx_from(workload, warm);
+        run_scheme(&ctx, workload, scheme)
+    }
+
+    /// Evaluates every scheme in `schemes` on `workload`, fanning the
+    /// uncached ones out across [`exec::worker_count`] threads.
+    ///
+    /// Shared artifacts (alone profiles, the sweep table, sampled scaling
+    /// factors, the ++bestTLP baseline) are warmed *before* the fan-out, so
+    /// every scheme run is a pure function of an immutable context and the
+    /// results — served in input order — are bit-for-bit identical to
+    /// calling [`Evaluator::evaluate`] in a loop. All results enter the
+    /// memo cache as usual.
+    pub fn evaluate_batch(&mut self, workload: &Workload, schemes: &[Scheme]) -> Vec<SchemeResult> {
+        self.evaluate_batch_with_threads(workload, schemes, exec::worker_count())
+    }
+
+    /// [`Evaluator::evaluate_batch`] with an explicit thread count
+    /// (1 = fully sequential).
+    pub fn evaluate_batch_with_threads(
+        &mut self,
+        workload: &Workload,
+        schemes: &[Scheme],
+        threads: usize,
+    ) -> Vec<SchemeResult> {
+        let mut missing: Vec<Scheme> = Vec::new();
+        for &s in schemes {
+            if !self.result_cache.contains_key(&(workload.name(), s)) && !missing.contains(&s) {
+                missing.push(s);
             }
         }
+        if !missing.is_empty() {
+            let warm = self.warm_for(workload, &missing);
+            // Warming the ++bestTLP baseline may have filled some of the
+            // requested entries via the memo cache; drop those before the
+            // fan-out.
+            missing.retain(|s| !self.result_cache.contains_key(&(workload.name(), *s)));
+            let results = {
+                let ctx = self.ctx_from(workload, warm);
+                exec::par_map_with(threads, missing.clone(), |s| run_scheme(&ctx, workload, s))
+            };
+            for (s, r) in missing.iter().zip(results) {
+                self.result_cache.insert((workload.name(), *s), r);
+            }
+        }
+        schemes
+            .iter()
+            .map(|s| {
+                self.result_cache
+                    .get(&(workload.name(), *s))
+                    .expect("every requested scheme was just evaluated")
+                    .clone()
+            })
+            .collect()
     }
 }
 
@@ -474,7 +647,11 @@ mod tests {
         e.evaluate(&workload(), Scheme::BestTlp);
         let n_alone = e.alone_cache.len();
         e.evaluate(&workload(), Scheme::Opt(EbObjective::Fi));
-        assert_eq!(e.alone_cache.len(), n_alone, "alone profiles must be cached");
+        assert_eq!(
+            e.alone_cache.len(),
+            n_alone,
+            "alone profiles must be cached"
+        );
         assert_eq!(e.sweep_cache.len(), 1);
         assert_eq!(e.result_cache.len(), 2);
         // A repeat evaluation is served from cache (identical result).
@@ -488,7 +665,10 @@ mod tests {
     fn scheme_names_match_figures() {
         assert_eq!(Scheme::BestTlp.to_string(), "++bestTLP");
         assert_eq!(Scheme::Pbs(EbObjective::Ws).to_string(), "PBS-WS");
-        assert_eq!(Scheme::PbsOffline(EbObjective::Fi).to_string(), "PBS-FI (Offline)");
+        assert_eq!(
+            Scheme::PbsOffline(EbObjective::Fi).to_string(),
+            "PBS-FI (Offline)"
+        );
         assert_eq!(Scheme::BruteForce(EbObjective::Hs).to_string(), "BF-HS");
         assert_eq!(Scheme::Opt(EbObjective::Ws).to_string(), "optWS");
         assert_eq!(Scheme::OptIt.to_string(), "optIT");

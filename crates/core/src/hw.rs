@@ -49,16 +49,14 @@ impl OverheadReport {
         let per_core_bits = 2 * COUNTER_BITS;
         // Per partition, per application: L2 access + miss counters, the
         // relayed L1 miss rate, and one shared BW register.
-        let per_partition_bits =
-            n_apps as u64 * (2 * COUNTER_BITS + COUNTER_BITS) + BW_REG_BITS;
+        let per_partition_bits = n_apps as u64 * (2 * COUNTER_BITS + COUNTER_BITS) + BW_REG_BITS;
         // Sampling table: one EB per application per remembered combination.
         let table_bytes = (s.table_entries as u64 * n_apps as u64 * EB_ENTRY_BITS) / 8;
         // Relay: L2 access/miss + BW per application each window.
         let relay_bits_per_app = 2 * COUNTER_BITS + BW_REG_BITS;
-        let total_bytes = (cfg.n_cores as u64 * per_core_bits
-            + cfg.n_partitions as u64 * per_partition_bits)
-            / 8
-            + cfg.n_cores as u64 * table_bytes;
+        let total_bytes =
+            (cfg.n_cores as u64 * per_core_bits + cfg.n_partitions as u64 * per_partition_bits) / 8
+                + cfg.n_cores as u64 * table_bytes;
         OverheadReport {
             per_core_bits,
             per_partition_bits,
@@ -80,9 +78,17 @@ impl OverheadReport {
 impl fmt::Display for OverheadReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "per-core storage      : {} bits", self.per_core_bits)?;
-        writeln!(f, "per-partition storage : {} bits", self.per_partition_bits)?;
+        writeln!(
+            f,
+            "per-partition storage : {} bits",
+            self.per_partition_bits
+        )?;
         writeln!(f, "sampling table        : {} bytes/core", self.table_bytes)?;
-        writeln!(f, "relay traffic         : {} bits/app/window", self.relay_bits_per_app)?;
+        writeln!(
+            f,
+            "relay traffic         : {} bits/app/window",
+            self.relay_bits_per_app
+        )?;
         write!(f, "total extra storage   : {} bytes", self.total_bytes)
     }
 }
@@ -105,7 +111,10 @@ mod tests {
     #[test]
     fn relay_bandwidth_is_negligible() {
         let r = OverheadReport::for_machine(&GpuConfig::paper(), 2);
-        assert!(r.relay_bits_per_cycle(2) < 1.0, "must be well under a bit per cycle");
+        assert!(
+            r.relay_bits_per_cycle(2) < 1.0,
+            "must be well under a bit per cycle"
+        );
     }
 
     #[test]

@@ -87,8 +87,7 @@ mod tests {
         assert!(balanced > skewed, "HS must prefer balance at equal sum");
         // WS is indifferent.
         assert!(
-            (EbObjective::Ws.value(&[1.0, 1.0]) - EbObjective::Ws.value(&[1.9, 0.1])).abs()
-                < 1e-12
+            (EbObjective::Ws.value(&[1.0, 1.0]) - EbObjective::Ws.value(&[1.9, 0.1])).abs() < 1e-12
         );
     }
 

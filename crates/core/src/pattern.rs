@@ -84,7 +84,12 @@ impl SweepCurve {
     /// lever that overwhelms the shared resources.
     pub fn drop_past_knee(&self) -> f64 {
         let knee = self.knee();
-        let knee_val = self.points.iter().find(|(l, _)| *l == knee).expect("knee on curve").1;
+        let knee_val = self
+            .points
+            .iter()
+            .find(|(l, _)| *l == knee)
+            .expect("knee on curve")
+            .1;
         self.points
             .iter()
             .filter(|(l, _)| *l > knee)
@@ -109,9 +114,12 @@ pub fn knee_of(
 /// (§V-B). Clamped to the highest realizable level.
 pub fn probe_level(levels: &[TlpLevel]) -> TlpLevel {
     let four = TlpLevel::new(4).expect("4 is a valid level");
-    levels.iter().copied().filter(|&l| l <= four).max().unwrap_or_else(|| {
-        *levels.first().expect("non-empty ladder")
-    })
+    levels
+        .iter()
+        .copied()
+        .filter(|&l| l <= four)
+        .max()
+        .unwrap_or_else(|| *levels.first().expect("non-empty ladder"))
 }
 
 /// Identifies the critical application and its knee level, probing with all
@@ -157,11 +165,17 @@ pub fn pbs_offline_search(
     let base = TlpCombo::uniform(probe, n);
     let mut curves = Vec::new();
     for app in 0..n {
-        curves.push(SweepCurve::from_sweep(sweep, app, &base, objective, scaling));
+        curves.push(SweepCurve::from_sweep(
+            sweep, app, &base, objective, scaling,
+        ));
         samples += levels.len();
     }
     let critical = (0..n)
-        .max_by(|&a, &b| curves[a].drop_past_knee().total_cmp(&curves[b].drop_past_knee()))
+        .max_by(|&a, &b| {
+            curves[a]
+                .drop_past_knee()
+                .total_cmp(&curves[b].drop_past_knee())
+        })
         .expect("non-empty");
     let mut combo = base.with_level(critical, curves[critical].knee());
 
@@ -172,7 +186,10 @@ pub fn pbs_offline_search(
     let mut best_val = value_at(&combo);
     samples += 1;
     for app in (0..n).filter(|&a| a != critical) {
-        for dir in [TlpLevel::step_up as fn(TlpLevel) -> Option<TlpLevel>, TlpLevel::step_down] {
+        for dir in [
+            TlpLevel::step_up as fn(TlpLevel) -> Option<TlpLevel>,
+            TlpLevel::step_down,
+        ] {
             let mut improved_this_dir = false;
             loop {
                 let cur = combo.level(app);

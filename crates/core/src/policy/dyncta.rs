@@ -24,7 +24,10 @@ pub struct DynCtaParams {
 
 impl Default for DynCtaParams {
     fn default() -> Self {
-        DynCtaParams { high_stall: 0.70, low_stall: 0.35 }
+        DynCtaParams {
+            high_stall: 0.70,
+            low_stall: 0.35,
+        }
     }
 }
 
@@ -39,7 +42,10 @@ impl DynCta {
     /// Creates the controller; `max_level` is the machine's realizable
     /// maximum (levels walk the standard ladder below it).
     pub fn new(max_level: TlpLevel) -> Self {
-        DynCta { params: DynCtaParams::default(), max_level }
+        DynCta {
+            params: DynCtaParams::default(),
+            max_level,
+        }
     }
 
     /// Overrides the default thresholds.
@@ -84,7 +90,11 @@ mod tests {
 
     fn obs_with(stats: Vec<CoreStats>, tlps: Vec<u32>) -> Observation {
         let w = AppWindow::new(
-            MemCounters { l1_accesses: 10, warp_insts: 10, ..MemCounters::new() },
+            MemCounters {
+                l1_accesses: 10,
+                warp_insts: 10,
+                ..MemCounters::new()
+            },
             1_000,
             192.0,
         );

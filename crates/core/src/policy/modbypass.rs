@@ -100,7 +100,12 @@ mod tests {
 
     fn obs(l1_accesses: u64, l1_misses: u64, bypassed: bool) -> Observation {
         let w = AppWindow::new(
-            MemCounters { l1_accesses, l1_misses, warp_insts: 100, ..MemCounters::new() },
+            MemCounters {
+                l1_accesses,
+                l1_misses,
+                warp_insts: 100,
+                ..MemCounters::new()
+            },
             1_000,
             192.0,
         );
@@ -109,7 +114,11 @@ mod tests {
             window_cycles: 1_000,
             apps: vec![AppObservation {
                 window: w,
-                core: CoreStats { cycles: 1_000, insts: 500, ..CoreStats::default() },
+                core: CoreStats {
+                    cycles: 1_000,
+                    insts: 500,
+                    ..CoreStats::default()
+                },
                 tlp: TlpLevel::new(8).unwrap(),
                 bypassed,
             }],

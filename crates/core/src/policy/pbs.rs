@@ -191,7 +191,8 @@ impl Pbs {
 
     /// The probe level for co-runners during sweeps (TLP 4, §V-B).
     fn probe(&self) -> TlpLevel {
-        self.probe_override.unwrap_or_else(|| probe_level(&self.ladder))
+        self.probe_override
+            .unwrap_or_else(|| probe_level(&self.ladder))
     }
 
     /// Combinations probed by the last completed search (the quantity PBS
@@ -201,8 +202,11 @@ impl Pbs {
     }
 
     fn objective_of(&self, obs: &Observation) -> f64 {
-        let ebs: Vec<f64> =
-            obs.apps.iter().map(|a| a.window.effective_bandwidth()).collect();
+        let ebs: Vec<f64> = obs
+            .apps
+            .iter()
+            .map(|a| a.window.effective_bandwidth())
+            .collect();
         let factors = self
             .factors
             .clone()
@@ -256,7 +260,9 @@ impl Pbs {
             .collect();
         let critical = (0..n)
             .max_by(|&a, &b| {
-                curves[a].drop_past_knee().total_cmp(&curves[b].drop_past_knee())
+                curves[a]
+                    .drop_past_knee()
+                    .total_cmp(&curves[b].drop_past_knee())
             })
             .expect("at least one app");
         let knee = curves[critical].knee();
@@ -318,7 +324,9 @@ impl Pbs {
                 self.levels = combo.clone();
             }
         }
-        self.phase = Phase::Hold { left: self.hold_windows };
+        self.phase = Phase::Hold {
+            left: self.hold_windows,
+        };
         self.settling = false;
         Decision::set_all(&self.levels)
     }
@@ -373,7 +381,10 @@ impl Controller for Pbs {
                 } else if app + 1 < n {
                     self.levels[app] = self.probe();
                     self.levels[app + 1] = self.sweep_levels[1];
-                    self.phase = Phase::Sweep { app: app + 1, idx: 1 };
+                    self.phase = Phase::Sweep {
+                        app: app + 1,
+                        idx: 1,
+                    };
                     self.apply_levels()
                 } else {
                     self.levels[app] = self.probe();
@@ -456,13 +467,20 @@ mod tests {
                     };
                     AppObservation {
                         window: AppWindow::new(c, 1_000, 192.0),
-                        core: CoreStats { cycles: 1_000, ..CoreStats::default() },
+                        core: CoreStats {
+                            cycles: 1_000,
+                            ..CoreStats::default()
+                        },
                         tlp: levels[a],
                         bypassed: false,
                     }
                 })
                 .collect();
-            let obs = Observation { now: t as u64 * 1_000, window_cycles: 1_000, apps };
+            let obs = Observation {
+                now: t as u64 * 1_000,
+                window_cycles: 1_000,
+                apps,
+            };
             let d = pbs.on_window(&obs);
             for (a, l) in d.tlp.iter().enumerate() {
                 if let Some(l) = l {
@@ -492,12 +510,19 @@ mod tests {
 
     #[test]
     fn pbs_ws_fixes_critical_app_at_its_knee() {
-        let mut pbs = Pbs::new(EbObjective::Ws, TlpLevel::MAX, PbsScaling::None)
-            .with_hold_windows(100);
+        let mut pbs =
+            Pbs::new(EbObjective::Ws, TlpLevel::MAX, PbsScaling::None).with_hold_windows(100);
         let hist = drive(&mut pbs, vec![TlpLevel::MAX; 2], knee_table, 60);
         let held = hist.last().unwrap();
-        assert_eq!(held[0], lvl(2), "critical app must be pinned at its knee, got {held:?}");
-        assert!(held[1] >= lvl(8), "non-critical app should tune up, got {held:?}");
+        assert_eq!(
+            held[0],
+            lvl(2),
+            "critical app must be pinned at its knee, got {held:?}"
+        );
+        assert!(
+            held[1] >= lvl(8),
+            "non-critical app should tune up, got {held:?}"
+        );
     }
 
     #[test]
@@ -506,7 +531,10 @@ mod tests {
         drive(&mut pbs, vec![TlpLevel::MAX; 2], knee_table, 80);
         let n = pbs.samples_last_search();
         assert!(n > 0, "search must have completed");
-        assert!(n <= 16, "PBS used {n} samples; the Fig. 8 table holds 16; exhaustive is 64");
+        assert!(
+            n <= 16,
+            "PBS used {n} samples; the Fig. 8 table holds 16; exhaustive is 64"
+        );
     }
 
     #[test]
@@ -603,17 +631,21 @@ mod tests {
 
     #[test]
     fn probe_override_changes_sweep_base() {
-        let mut pbs = Pbs::new(EbObjective::Ws, TlpLevel::MAX, PbsScaling::None)
-            .with_probe(TlpLevel::MAX);
+        let mut pbs =
+            Pbs::new(EbObjective::Ws, TlpLevel::MAX, PbsScaling::None).with_probe(TlpLevel::MAX);
         let hist = drive(&mut pbs, vec![TlpLevel::MAX; 2], knee_table, 4);
-        assert_eq!(hist[0], vec![TlpLevel::MAX, TlpLevel::MAX], "probe at maxTLP");
+        assert_eq!(
+            hist[0],
+            vec![TlpLevel::MAX, TlpLevel::MAX],
+            "probe at maxTLP"
+        );
     }
 
     #[test]
     fn disabling_settle_halves_the_search_length() {
         let run = |settle: bool| {
-            let mut pbs = Pbs::new(EbObjective::Ws, TlpLevel::MAX, PbsScaling::None)
-                .with_hold_windows(500);
+            let mut pbs =
+                Pbs::new(EbObjective::Ws, TlpLevel::MAX, PbsScaling::None).with_hold_windows(500);
             if !settle {
                 pbs = pbs.without_settle();
             }
@@ -641,8 +673,14 @@ mod tests {
 
     #[test]
     fn names_follow_the_paper() {
-        assert_eq!(Pbs::new(EbObjective::Ws, TlpLevel::MAX, PbsScaling::None).name(), "PBS-WS");
-        assert_eq!(Pbs::new(EbObjective::Hs, TlpLevel::MAX, PbsScaling::None).name(), "PBS-HS");
+        assert_eq!(
+            Pbs::new(EbObjective::Ws, TlpLevel::MAX, PbsScaling::None).name(),
+            "PBS-WS"
+        );
+        assert_eq!(
+            Pbs::new(EbObjective::Hs, TlpLevel::MAX, PbsScaling::None).name(),
+            "PBS-HS"
+        );
     }
 
     #[test]

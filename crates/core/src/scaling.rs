@@ -13,8 +13,8 @@
 //! * **exact** — the application's measured alone `EB@bestTLP` (used for
 //!   the dashed exact-scaling curve of Fig. 7(b)).
 
+use gpu_types::FxHashMap;
 use gpu_workloads::EbGroup;
-use std::collections::HashMap;
 
 /// Per-application EB divisors. Scaled EB = `EB_i / factor_i`.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,7 +32,10 @@ impl ScalingFactors {
     ///
     /// Panics if any factor is not positive.
     pub fn from_alone_ebs(ebs: Vec<f64>) -> Self {
-        assert!(ebs.iter().all(|&e| e > 0.0), "scaling factors must be positive");
+        assert!(
+            ebs.iter().all(|&e| e > 0.0),
+            "scaling factors must be positive"
+        );
         ScalingFactors(ebs)
     }
 
@@ -43,7 +46,7 @@ impl ScalingFactors {
     ///
     /// Panics if a group is missing from `group_avg` or its average is not
     /// positive.
-    pub fn from_groups(groups: &[EbGroup], group_avg: &HashMap<EbGroup, f64>) -> Self {
+    pub fn from_groups(groups: &[EbGroup], group_avg: &FxHashMap<EbGroup, f64>) -> Self {
         let ebs = groups
             .iter()
             .map(|g| {
@@ -108,7 +111,7 @@ mod tests {
 
     #[test]
     fn group_lookup() {
-        let mut avg = HashMap::new();
+        let mut avg = FxHashMap::default();
         avg.insert(EbGroup::G3, 1.0);
         avg.insert(EbGroup::G4, 1.5);
         let s = ScalingFactors::from_groups(&[EbGroup::G4, EbGroup::G3], &avg);
@@ -118,7 +121,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "no group average")]
     fn missing_group_panics() {
-        let avg = HashMap::new();
+        let avg = FxHashMap::default();
         let _ = ScalingFactors::from_groups(&[EbGroup::G1], &avg);
     }
 

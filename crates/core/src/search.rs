@@ -44,9 +44,7 @@ pub fn best_combo_by_eb(
 pub fn best_combo_by_it(sweep: &ComboSweep) -> (TlpCombo, f64) {
     sweep
         .iter()
-        .map(|(combo, samples)| {
-            (combo.clone(), samples.iter().map(|s| s.ipc).sum::<f64>())
-        })
+        .map(|(combo, samples)| (combo.clone(), samples.iter().map(|s| s.ipc).sum::<f64>()))
         .max_by(|a, b| a.1.total_cmp(&b.1))
         .expect("sweep must be non-empty")
 }
@@ -64,13 +62,23 @@ pub fn best_combo_by_sd(
     objective: EbObjective,
     alone_ipcs: &[f64],
 ) -> (TlpCombo, f64) {
-    assert_eq!(alone_ipcs.len(), sweep.n_apps(), "one alone IPC per application");
-    assert!(alone_ipcs.iter().all(|&i| i > 0.0), "alone IPCs must be positive");
+    assert_eq!(
+        alone_ipcs.len(),
+        sweep.n_apps(),
+        "one alone IPC per application"
+    );
+    assert!(
+        alone_ipcs.iter().all(|&i| i > 0.0),
+        "alone IPCs must be positive"
+    );
     sweep
         .iter()
         .map(|(combo, samples)| {
-            let sds: Vec<f64> =
-                samples.iter().zip(alone_ipcs).map(|(s, &a)| s.ipc / a).collect();
+            let sds: Vec<f64> = samples
+                .iter()
+                .zip(alone_ipcs)
+                .map(|(s, &a)| s.ipc / a)
+                .collect();
             (combo.clone(), objective.value(&sds))
         })
         .max_by(|a, b| a.1.total_cmp(&b.1))
@@ -101,7 +109,10 @@ mod tests {
         let (_, best) = best_combo_by_eb(&s, EbObjective::Ws, &scaling);
         for (combo, _) in s.iter() {
             let v = EbObjective::Ws.value(&s.ebs(combo));
-            assert!(v <= best + 1e-12, "{combo} has EB-WS {v} > brute-force best {best}");
+            assert!(
+                v <= best + 1e-12,
+                "{combo} has EB-WS {v} > brute-force best {best}"
+            );
         }
     }
 
@@ -121,7 +132,10 @@ mod tests {
         let s = sweep();
         let scaling = ScalingFactors::none(2);
         let (combo, v) = best_combo_by_eb(&s, EbObjective::Fi, &scaling);
-        assert!(v > 0.0 && v <= 1.0, "FI must be a ratio, got {v} at {combo}");
+        assert!(
+            v > 0.0 && v <= 1.0,
+            "FI must be a ratio, got {v} at {combo}"
+        );
     }
 
     #[test]

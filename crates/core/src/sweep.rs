@@ -5,11 +5,12 @@
 //! (best SD metric), the `BF-*` schemes (best EB metric), the offline PBS
 //! variants, and the pattern surfaces of Figs. 6 and 7.
 
+use gpu_sim::exec;
 use gpu_sim::harness::{measure_fixed, RunSpec};
 use gpu_sim::machine::Gpu;
-use gpu_types::{GpuConfig, TlpCombo, TlpLevel};
+use gpu_types::{FxHashMap, GpuConfig, TlpCombo, TlpLevel};
 use gpu_workloads::Workload;
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 
 /// One application's measurements at one TLP combination.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,7 +48,7 @@ pub struct ComboSample {
 pub struct ComboSweep {
     /// Workload name (diagnostics).
     pub workload: String,
-    entries: HashMap<TlpCombo, Vec<ComboSample>>,
+    entries: FxHashMap<TlpCombo, Vec<ComboSample>>,
     n_apps: usize,
 }
 
@@ -58,12 +59,28 @@ impl ComboSweep {
     ///
     /// Ladder levels above the machine's realizable maximum collapse into
     /// it, so small test machines sweep fewer combinations.
+    ///
+    /// Every combination is an independent simulation on a fresh same-seed
+    /// machine, so they fan out across [`exec::worker_count`] threads; the
+    /// resulting table is identical to a sequential sweep.
     pub fn measure(cfg: &GpuConfig, workload: &Workload, seed: u64, spec: RunSpec) -> Self {
-        let mut entries = HashMap::new();
-        for combo in Self::combos(cfg, workload.n_apps()) {
+        Self::measure_with_threads(cfg, workload, seed, spec, exec::worker_count())
+    }
+
+    /// [`ComboSweep::measure`] with an explicit thread count (1 = fully
+    /// sequential).
+    pub fn measure_with_threads(
+        cfg: &GpuConfig,
+        workload: &Workload,
+        seed: u64,
+        spec: RunSpec,
+        threads: usize,
+    ) -> Self {
+        let combos = Self::combos(cfg, workload.n_apps());
+        let measured = exec::par_map_with(threads, combos, |combo| {
             let mut gpu = Gpu::new(cfg, workload.apps(), seed);
             let windows = measure_fixed(&mut gpu, &combo, spec);
-            let samples = windows
+            let samples: Vec<ComboSample> = windows
                 .iter()
                 .map(|w| ComboSample {
                     ipc: w.ipc(),
@@ -72,9 +89,14 @@ impl ComboSweep {
                     eb: w.effective_bandwidth(),
                 })
                 .collect();
-            entries.insert(combo, samples);
+            (combo, samples)
+        });
+        let entries = measured.into_iter().collect();
+        ComboSweep {
+            workload: workload.name(),
+            entries,
+            n_apps: workload.n_apps(),
         }
-        ComboSweep { workload: workload.name(), entries, n_apps: workload.n_apps() }
     }
 
     /// The distinct clamped ladder combinations for `n_apps` applications on
@@ -82,9 +104,7 @@ impl ComboSweep {
     pub fn combos(cfg: &GpuConfig, n_apps: usize) -> Vec<TlpCombo> {
         let mut seen = Vec::new();
         for combo in TlpCombo::all(n_apps) {
-            let clamped = TlpCombo::new(
-                combo.levels().iter().map(|&l| cfg.clamp_tlp(l)).collect(),
-            );
+            let clamped = TlpCombo::new(combo.levels().iter().map(|&l| cfg.clamp_tlp(l)).collect());
             if !seen.contains(&clamped) {
                 seen.push(clamped);
             }
@@ -146,14 +166,17 @@ impl ComboSweep {
         self.entries.is_empty()
     }
 
-    /// The ladder levels actually present in the sweep (ascending).
+    /// The ladder levels actually present in the sweep (ascending), across
+    /// *all* applications' axes — not just app 0's.
     pub fn levels(&self) -> Vec<TlpLevel> {
-        let mut ls: Vec<TlpLevel> =
-            self.entries.keys().map(|c| c.level(0)).collect::<std::collections::BTreeSet<_>>()
-                .into_iter()
-                .collect();
-        ls.sort();
-        ls
+        // A BTreeSet already iterates in ascending order; derive the ladder
+        // in one pass with no re-sort.
+        self.entries
+            .keys()
+            .flat_map(|c| c.levels().iter().copied())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect()
     }
 }
 
@@ -210,6 +233,9 @@ mod tests {
     #[should_panic(expected = "not in sweep")]
     fn off_ladder_combo_panics() {
         let s = small_sweep();
-        let _ = s.ebs(&TlpCombo::pair(TlpLevel::new(3).unwrap(), TlpLevel::new(3).unwrap()));
+        let _ = s.ebs(&TlpCombo::pair(
+            TlpLevel::new(3).unwrap(),
+            TlpLevel::new(3).unwrap(),
+        ));
     }
 }

@@ -2,6 +2,10 @@
 //! machine must stay well-formed for *any* EB landscape the machine could
 //! present, and the offline searches must return valid, competitive
 //! combinations for any synthetic table.
+//!
+//! Cases are generated with the in-repo [`SplitMix64`] generator (fixed
+//! seeds, so failures reproduce exactly) — the build must work fully
+//! offline.
 
 use ebm_core::metrics::EbObjective;
 use ebm_core::policy::pbs::PbsScaling;
@@ -9,18 +13,19 @@ use ebm_core::scaling::ScalingFactors;
 use ebm_core::Pbs;
 use gpu_sim::control::{AppObservation, Controller, Observation};
 use gpu_simt::CoreStats;
-use gpu_types::{AppWindow, MemCounters, TlpLevel};
-use proptest::prelude::*;
+use gpu_types::{AppWindow, MemCounters, SplitMix64, TlpLevel};
 
 /// Drives a controller against a synthetic EB table defined by a seed:
 /// every combination maps deterministically to per-app EBs.
 fn drive_with_table(pbs: &mut Pbs, table_seed: u64, windows: usize) -> Vec<Vec<TlpLevel>> {
     let eb_of = |app: usize, levels: &[TlpLevel]| -> f64 {
         let mut h = gpu_types::SplitMix64::new(
-            table_seed ^ ((app as u64) << 32)
-                ^ levels.iter().enumerate().fold(0u64, |acc, (i, l)| {
-                    acc ^ ((l.get() as u64) << (8 * i))
-                }),
+            table_seed
+                ^ ((app as u64) << 32)
+                ^ levels
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, l)| acc ^ ((l.get() as u64) << (8 * i))),
         );
         0.05 + h.next_f64() * 2.0
     };
@@ -41,13 +46,20 @@ fn drive_with_table(pbs: &mut Pbs, table_seed: u64, windows: usize) -> Vec<Vec<T
                 };
                 AppObservation {
                     window: AppWindow::new(c, 1_000, 192.0),
-                    core: CoreStats { cycles: 1_000, ..CoreStats::default() },
+                    core: CoreStats {
+                        cycles: 1_000,
+                        ..CoreStats::default()
+                    },
                     tlp: levels[a],
                     bypassed: false,
                 }
             })
             .collect();
-        let obs = Observation { now: t as u64 * 1_000, window_cycles: 1_000, apps };
+        let obs = Observation {
+            now: t as u64 * 1_000,
+            window_cycles: 1_000,
+            apps,
+        };
         let d = pbs.on_window(&obs);
         for (a, l) in d.tlp.iter().enumerate() {
             if let Some(l) = l {
@@ -59,52 +71,58 @@ fn drive_with_table(pbs: &mut Pbs, table_seed: u64, windows: usize) -> Vec<Vec<T
     history
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// On any EB landscape, PBS (a) only ever requests ladder levels,
-    /// (b) completes its search into a hold, and (c) the search samples at
-    /// most the Fig. 8 table capacity.
-    #[test]
-    fn pbs_is_well_formed_on_any_landscape(
-        table_seed in 0u64..10_000,
-        objective in prop_oneof![
-            Just(EbObjective::Ws),
-            Just(EbObjective::Fi),
-            Just(EbObjective::Hs),
-        ],
-    ) {
-        let mut pbs = Pbs::new(objective, TlpLevel::MAX, PbsScaling::None)
-            .with_hold_windows(100);
+/// On any EB landscape, PBS (a) only ever requests ladder levels,
+/// (b) completes its search into a hold, and (c) the search samples at
+/// most the Fig. 8 table capacity.
+#[test]
+fn pbs_is_well_formed_on_any_landscape() {
+    let mut rng = SplitMix64::new(0x9B5_0001);
+    let objectives = [EbObjective::Ws, EbObjective::Fi, EbObjective::Hs];
+    for _ in 0..24 {
+        let table_seed = rng.next_below(10_000);
+        let objective = objectives[rng.next_below(3) as usize];
+        let mut pbs = Pbs::new(objective, TlpLevel::MAX, PbsScaling::None).with_hold_windows(100);
         let hist = drive_with_table(&mut pbs, table_seed, 80);
         for levels in &hist {
             for l in levels {
-                prop_assert!(l.ladder_index().is_some(), "off-ladder level {l}");
+                assert!(l.ladder_index().is_some(), "off-ladder level {l}");
             }
         }
-        prop_assert!(pbs.samples_last_search() > 0, "search never completed");
-        prop_assert!(pbs.samples_last_search() <= 16,
-            "search used {} samples (> Fig. 8 table)", pbs.samples_last_search());
+        assert!(pbs.samples_last_search() > 0, "search never completed");
+        assert!(
+            pbs.samples_last_search() <= 16,
+            "search used {} samples (> Fig. 8 table)",
+            pbs.samples_last_search()
+        );
         // The tail of the run is a hold: settings stable.
         let tail = &hist[hist.len() - 10..];
-        prop_assert!(tail.windows(2).all(|w| w[0] == w[1]), "no stable hold at the end");
+        assert!(
+            tail.windows(2).all(|w| w[0] == w[1]),
+            "no stable hold at the end"
+        );
     }
+}
 
-    /// The held combination is the best one the search sampled (the §V-E
-    /// "simple search over the samples collected").
-    #[test]
-    fn pbs_holds_its_best_sample(table_seed in 0u64..10_000) {
+/// The held combination is the best one the search sampled (the §V-E
+/// "simple search over the samples collected").
+#[test]
+fn pbs_holds_its_best_sample() {
+    let mut rng = SplitMix64::new(0x9B5_0002);
+    for _ in 0..24 {
+        let table_seed = rng.next_below(10_000);
         let eb_of = |app: usize, levels: &[TlpLevel]| -> f64 {
             let mut h = gpu_types::SplitMix64::new(
-                table_seed ^ ((app as u64) << 32)
-                    ^ levels.iter().enumerate().fold(0u64, |acc, (i, l)| {
-                        acc ^ ((l.get() as u64) << (8 * i))
-                    }),
+                table_seed
+                    ^ ((app as u64) << 32)
+                    ^ levels
+                        .iter()
+                        .enumerate()
+                        .fold(0u64, |acc, (i, l)| acc ^ ((l.get() as u64) << (8 * i))),
             );
             0.05 + h.next_f64() * 2.0
         };
-        let mut pbs = Pbs::new(EbObjective::Ws, TlpLevel::MAX, PbsScaling::None)
-            .with_hold_windows(100);
+        let mut pbs =
+            Pbs::new(EbObjective::Ws, TlpLevel::MAX, PbsScaling::None).with_hold_windows(100);
         let hist = drive_with_table(&mut pbs, table_seed, 80);
         let held = hist.last().expect("non-empty");
         let held_ws = eb_of(0, held) + eb_of(1, held);
@@ -113,26 +131,31 @@ proptest! {
         for pair in hist.windows(2) {
             if pair[0] == pair[1] {
                 let ws = eb_of(0, &pair[0]) + eb_of(1, &pair[0]);
-                prop_assert!(ws <= held_ws + 1e-9,
-                    "sampled {:?} scores {ws:.3} > held {held_ws:.3}", pair[0]);
+                assert!(
+                    ws <= held_ws + 1e-9,
+                    "sampled {:?} scores {ws:.3} > held {held_ws:.3}",
+                    pair[0]
+                );
             }
         }
     }
+}
 
-    /// Scaling factors never flip the sign of the FI comparison between two
-    /// proportionally scaled EB vectors.
-    #[test]
-    fn scaling_preserves_proportional_fairness(
-        f1 in 0.1f64..10.0,
-        f2 in 0.1f64..10.0,
-        share in 0.05f64..1.0,
-    ) {
+/// Scaling factors never flip the sign of the FI comparison between two
+/// proportionally scaled EB vectors.
+#[test]
+fn scaling_preserves_proportional_fairness() {
+    let mut rng = SplitMix64::new(0x9B5_0003);
+    for _ in 0..256 {
+        let f1 = 0.1 + rng.next_f64() * 9.9;
+        let f2 = 0.1 + rng.next_f64() * 9.9;
+        let share = 0.05 + rng.next_f64() * 0.95;
         let s = ScalingFactors::from_alone_ebs(vec![f1, f2]);
         // Both apps attain the same fraction of their alone EB: perfectly
         // fair after scaling.
         let scaled = s.apply(&[f1 * share, f2 * share]);
-        prop_assert!((scaled[0] - scaled[1]).abs() < 1e-9);
+        assert!((scaled[0] - scaled[1]).abs() < 1e-9);
         let fi = gpu_sim::metrics::fi_of(&scaled);
-        prop_assert!((fi - 1.0).abs() < 1e-9);
+        assert!((fi - 1.0).abs() < 1e-9);
     }
 }

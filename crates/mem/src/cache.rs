@@ -72,7 +72,14 @@ impl Cache {
         assert!(n_sets > 0, "cache must have at least one set");
         assert!(n_sets.is_power_of_two(), "set count must be a power of two");
         Cache {
-            ways: vec![Way { tag: 0, last_use: 0, valid: false }; n_sets * cfg.associativity],
+            ways: vec![
+                Way {
+                    tag: 0,
+                    last_use: 0,
+                    valid: false
+                };
+                n_sets * cfg.associativity
+            ],
             set_mask: n_sets as u64 - 1,
             set_shift: n_sets.trailing_zeros(),
             assoc: cfg.associativity,
@@ -97,7 +104,8 @@ impl Cache {
 
     fn counters_mut(&mut self, app: AppId) -> &mut CacheCounters {
         if self.counters.len() <= app.index() {
-            self.counters.resize(app.index() + 1, CacheCounters::default());
+            self.counters
+                .resize(app.index() + 1, CacheCounters::default());
         }
         &mut self.counters[app.index()]
     }
@@ -166,7 +174,9 @@ impl Cache {
         let set = self.set_of(line);
         let tag = self.tag_of(line);
         let base = set * self.assoc;
-        self.ways[base..base + self.assoc].iter().any(|w| w.valid && w.tag == tag)
+        self.ways[base..base + self.assoc]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
     }
 
     /// Installs `line` (completing its outstanding miss, if any) and returns
@@ -187,8 +197,9 @@ impl Cache {
         let base = set * self.assoc;
         let now = self.bump();
         // Already present (e.g. refill racing a prior fill): refresh LRU only.
-        if let Some(way) =
-            self.ways[base..base + self.assoc].iter_mut().find(|w| w.valid && w.tag == tag)
+        if let Some(way) = self.ways[base..base + self.assoc]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)
         {
             way.last_use = now;
             return (waiters, None);
@@ -198,10 +209,14 @@ impl Cache {
             .iter_mut()
             .min_by_key(|w| if w.valid { w.last_use } else { 0 })
             .expect("associativity >= 1");
-        let evicted = victim.valid.then(|| {
-            Address::new(((victim.tag << set_shift) | set as u64) * crate::LINE_SIZE_U64)
-        });
-        *victim = Way { tag, last_use: now, valid: true };
+        let evicted = victim
+            .valid
+            .then(|| Address::new(((victim.tag << set_shift) | set as u64) * crate::LINE_SIZE_U64));
+        *victim = Way {
+            tag,
+            last_use: now,
+            valid: true,
+        };
         (waiters, evicted)
     }
 
@@ -232,7 +247,10 @@ impl Cache {
     ///
     /// Panics if misses are still outstanding.
     pub fn reset(&mut self) {
-        assert!(self.mshr.is_empty(), "cannot reset a cache with outstanding misses");
+        assert!(
+            self.mshr.is_empty(),
+            "cannot reset a cache with outstanding misses"
+        );
         for w in &mut self.ways {
             w.valid = false;
         }

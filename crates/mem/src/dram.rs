@@ -59,8 +59,14 @@ impl DramChannel {
     /// interleaving out of global addresses.
     pub fn new(cfg: DramConfig, n_partitions: usize) -> Self {
         assert!(n_partitions > 0, "partition count must be non-zero");
-        let banks =
-            vec![Bank { open_row: None, busy_until: 0, activated_at: 0 }; cfg.n_banks];
+        let banks = vec![
+            Bank {
+                open_row: None,
+                busy_until: 0,
+                activated_at: 0
+            };
+            cfg.n_banks
+        ];
         let groups = cfg.n_bank_groups;
         DramChannel {
             cfg,
@@ -165,7 +171,9 @@ impl DramChannel {
             })
             .max()
             .unwrap_or(0);
-        let col_at = col_ready.max(ccd).max(self.bus_free_at.saturating_sub(c.t_cl as u64));
+        let col_at = col_ready
+            .max(ccd)
+            .max(self.bus_free_at.saturating_sub(c.t_cl as u64));
         let data_start = (col_at + c.t_cl as u64).max(self.bus_free_at);
         let done_at = data_start + c.burst_cycles as u64;
 
@@ -284,7 +292,10 @@ mod tests {
         assert_eq!(s1.done_at, 28);
         let s2 = ch.service(b, s1.done_at);
         assert!(s2.row_hit);
-        assert!(s2.done_at < s1.done_at + 28, "row hit must be faster than a miss");
+        assert!(
+            s2.done_at < s1.done_at + 28,
+            "row hit must be faster than a miss"
+        );
     }
 
     #[test]
@@ -310,7 +321,10 @@ mod tests {
         // Bank 1's activate only waits tRRD, so its data arrives well before
         // two serialized misses would (2 x 28).
         assert!(s2.done_at < s1.done_at + 28);
-        assert!(s2.done_at > s1.done_at, "shared data bus still serializes bursts");
+        assert!(
+            s2.done_at > s1.done_at,
+            "shared data bus still serializes bursts"
+        );
     }
 
     #[test]
@@ -373,7 +387,10 @@ mod tests {
         let a = addr_in(&ch, 0, 0, 0);
         let s = ch.service(a, 0);
         assert!(!ch.bank_free(a, 0), "bank is busy right after issue");
-        assert!(ch.bank_free(a, s.done_at), "bank can take a command once data completed");
+        assert!(
+            ch.bank_free(a, s.done_at),
+            "bank can take a command once data completed"
+        );
     }
 
     #[test]

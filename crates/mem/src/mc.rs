@@ -14,9 +14,9 @@
 use crate::dram::DramChannel;
 use crate::req::{AccessKind, MemRequest};
 use gpu_types::{AppId, LINE_SIZE};
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
-use std::cmp::Reverse;
 
 /// Per-application DRAM-side counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -149,7 +149,11 @@ impl MemoryController {
             }
             if req.kind == AccessKind::Load {
                 self.seq += 1;
-                self.in_flight.push(Reverse(InFlight { done_at: svc.done_at, seq: self.seq, req }));
+                self.in_flight.push(Reverse(InFlight {
+                    done_at: svc.done_at,
+                    seq: self.seq,
+                    req,
+                }));
             }
         }
 
@@ -281,7 +285,11 @@ mod tests {
             now += 1;
             assert!(now < 10_000, "controller failed to drain");
         }
-        assert_eq!(order, vec![ReqId(3), ReqId(2)], "row-hit request must be served first");
+        assert_eq!(
+            order,
+            vec![ReqId(3), ReqId(2)],
+            "row-hit request must be served first"
+        );
         let k = mc.counters(AppId::new(0));
         assert_eq!(k.row_hits, 1);
         assert_eq!(k.row_misses, 2);

@@ -43,8 +43,15 @@ impl MshrTable {
     ///
     /// Panics if either bound is zero.
     pub fn new(max_entries: usize, max_merge: usize) -> Self {
-        assert!(max_entries > 0 && max_merge > 0, "MSHR bounds must be non-zero");
-        MshrTable { entries: FxHashMap::default(), max_entries, max_merge }
+        assert!(
+            max_entries > 0 && max_merge > 0,
+            "MSHR bounds must be non-zero"
+        );
+        MshrTable {
+            entries: FxHashMap::default(),
+            max_entries,
+            max_merge,
+        }
     }
 
     /// Registers a missing `line` for `req`.
@@ -68,7 +75,10 @@ impl MshrTable {
     /// request (in arrival order). Returns an empty vector when the line had
     /// no entry (e.g. a prefetch-style fill).
     pub fn fill(&mut self, line: Address) -> Vec<ReqId> {
-        self.entries.remove(&line).map(|e| e.targets).unwrap_or_default()
+        self.entries
+            .remove(&line)
+            .map(|e| e.targets)
+            .unwrap_or_default()
     }
 
     /// True when `line` has an outstanding miss.

@@ -130,7 +130,9 @@ impl MemoryPartition {
                     // this cycle if the controller is full.
                     if self.mc.can_accept() {
                         self.ingress.pop_front();
-                        self.mc.push_with(req, &self.dram).expect("can_accept checked");
+                        self.mc
+                            .push_with(req, &self.dram)
+                            .expect("can_accept checked");
                     }
                 }
                 AccessKind::Load if req.bypass_caches => {
@@ -147,7 +149,9 @@ impl MemoryPartition {
                                 item: req,
                             }));
                         } else {
-                            self.mc.push_with(req, &self.dram).expect("can_accept checked");
+                            self.mc
+                                .push_with(req, &self.dram)
+                                .expect("can_accept checked");
                         }
                     }
                 }
@@ -167,7 +171,9 @@ impl MemoryPartition {
                             }
                             Lookup::MissToLower => {
                                 self.missed.insert(req.id, req);
-                                self.mc.push_with(req, &self.dram).expect("can_accept checked");
+                                self.mc
+                                    .push_with(req, &self.dram)
+                                    .expect("can_accept checked");
                             }
                             Lookup::MissMerged => {
                                 self.missed.insert(req.id, req);
@@ -249,7 +255,10 @@ mod tests {
         let second = drain(&mut p);
         assert_eq!(second.len(), 1);
         let t_hit = second[0].0;
-        assert!(t_hit < t_miss, "L2 hit ({t_hit}) must be faster than miss ({t_miss})");
+        assert!(
+            t_hit < t_miss,
+            "L2 hit ({t_hit}) must be faster than miss ({t_miss})"
+        );
 
         let k = p.counters(AppId::new(0));
         assert_eq!((k.l2_accesses, k.l2_misses), (2, 1));
@@ -264,7 +273,10 @@ mod tests {
         let out = drain(&mut p);
         assert_eq!(out.len(), 2);
         // One DRAM transfer served both; only one true miss, one merge.
-        assert_eq!(p.counters(AppId::new(0)).mc.dram_bytes, gpu_types::LINE_SIZE);
+        assert_eq!(
+            p.counters(AppId::new(0)).mc.dram_bytes,
+            gpu_types::LINE_SIZE
+        );
         assert_eq!(p.counters(AppId::new(0)).l2_misses, 1);
     }
 
@@ -277,7 +289,10 @@ mod tests {
         let out = drain(&mut p);
         assert!(out.is_empty());
         let k = p.counters(AppId::new(0));
-        assert_eq!(k.l2_accesses, 0, "stores are not counted in L2 miss-rate accounting");
+        assert_eq!(
+            k.l2_accesses, 0,
+            "stores are not counted in L2 miss-rate accounting"
+        );
         assert_eq!(k.mc.dram_bytes, gpu_types::LINE_SIZE);
     }
 

@@ -61,7 +61,15 @@ impl MemRequest {
         addr: Address,
         kind: AccessKind,
     ) -> Self {
-        MemRequest { id, app, core, warp_slot, addr: addr.line(), kind, bypass_caches: false }
+        MemRequest {
+            id,
+            app,
+            core,
+            warp_slot,
+            addr: addr.line(),
+            kind,
+            bypass_caches: false,
+        }
     }
 
     /// Marks the request as cache-bypassing (see `bypass_caches`).
@@ -81,7 +89,14 @@ mod tests {
     use super::*;
 
     fn req(kind: AccessKind) -> MemRequest {
-        MemRequest::new(ReqId(1), AppId::new(0), CoreId(2), 3, Address::new(0x1234), kind)
+        MemRequest::new(
+            ReqId(1),
+            AppId::new(0),
+            CoreId(2),
+            3,
+            Address::new(0x1234),
+            kind,
+        )
     }
 
     #[test]

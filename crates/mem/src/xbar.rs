@@ -77,7 +77,11 @@ impl<T> Crossbar<T> {
         if !self.can_accept(input) {
             return Err(payload);
         }
-        self.inputs[input].push_back(Flit { dest, ready_at: now + self.latency, payload });
+        self.inputs[input].push_back(Flit {
+            dest,
+            ready_at: now + self.latency,
+            payload,
+        });
         Ok(())
     }
 

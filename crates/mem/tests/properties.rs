@@ -3,15 +3,20 @@
 //! These check conservation and ordering invariants that must hold for *any*
 //! request stream — the cycle-level simulator on top silently depends on all
 //! of them.
+//!
+//! Cases are generated with the in-repo [`SplitMix64`] generator (fixed
+//! seeds, so failures reproduce exactly) — the build must work fully
+//! offline.
 
 use gpu_mem::cache::{Cache, Lookup};
 use gpu_mem::dram::DramChannel;
 use gpu_mem::mc::MemoryController;
 use gpu_mem::req::{AccessKind, MemRequest, ReqId};
 use gpu_mem::xbar::Crossbar;
-use gpu_types::{Address, AppId, CacheConfig, CoreId, DramConfig, LINE_SIZE};
-use proptest::prelude::*;
+use gpu_types::{Address, AppId, CacheConfig, CoreId, DramConfig, SplitMix64, LINE_SIZE};
 use std::collections::HashSet;
+
+const CASES: usize = 128;
 
 fn cache_cfg() -> CacheConfig {
     CacheConfig {
@@ -40,12 +45,19 @@ fn dram_cfg() -> DramConfig {
     }
 }
 
-proptest! {
-    /// Every load either hits, misses (fresh or merged) or stalls, and the
-    /// number of responses eventually released equals the number of
-    /// non-stalled misses; hits never have outstanding state.
-    #[test]
-    fn cache_conserves_requests(lines in proptest::collection::vec(0u64..64, 1..200)) {
+fn arb_vec(rng: &mut SplitMix64, bound: u64, min_len: u64, max_len: u64) -> Vec<u64> {
+    let len = min_len + rng.next_below(max_len - min_len);
+    (0..len).map(|_| rng.next_below(bound)).collect()
+}
+
+/// Every load either hits, misses (fresh or merged) or stalls, and the
+/// number of responses eventually released equals the number of
+/// non-stalled misses; hits never have outstanding state.
+#[test]
+fn cache_conserves_requests() {
+    let mut rng = SplitMix64::new(0x3E3_0001);
+    for _ in 0..CASES {
+        let lines = arb_vec(&mut rng, 64, 1, 200);
         let mut cache = Cache::new(&cache_cfg());
         let app = AppId::new(0);
         let mut outstanding: Vec<u64> = Vec::new(); // distinct miss lines
@@ -81,19 +93,26 @@ proptest! {
         for l in outstanding {
             released += cache.fill(Address::new(l * LINE_SIZE)).len();
         }
-        prop_assert_eq!(released, expected_releases);
+        assert_eq!(released, expected_releases);
         let k = cache.counters(app);
-        prop_assert_eq!(k.accesses as usize, hits + expected_releases);
-        prop_assert_eq!(k.misses as usize, fresh, "only fresh misses fetch downstream");
-        prop_assert_eq!(k.merged as usize, merged);
-        prop_assert!(cache.outstanding_misses() == 0);
+        assert_eq!(k.accesses as usize, hits + expected_releases);
+        assert_eq!(
+            k.misses as usize, fresh,
+            "only fresh misses fetch downstream"
+        );
+        assert_eq!(k.merged as usize, merged);
+        assert!(cache.outstanding_misses() == 0);
     }
+}
 
-    /// After any fill sequence, the number of distinct resident lines per set
-    /// never exceeds the associativity (probed indirectly: filling `assoc`
-    /// fresh lines into one set must evict something).
-    #[test]
-    fn cache_respects_capacity(seed_lines in proptest::collection::vec(0u64..256, 1..100)) {
+/// After any fill sequence, the number of distinct resident lines per set
+/// never exceeds the associativity (probed indirectly: filling `assoc`
+/// fresh lines into one set must evict something).
+#[test]
+fn cache_respects_capacity() {
+    let mut rng = SplitMix64::new(0x3E3_0002);
+    for _ in 0..CASES {
+        let seed_lines = arb_vec(&mut rng, 256, 1, 100);
         let cfg = cache_cfg();
         let n_sets = cfg.n_sets() as u64;
         let mut cache = Cache::new(&cfg);
@@ -108,18 +127,27 @@ proptest! {
             .filter(|l| l % n_sets == 0)
             .filter(|&l| cache.probe(Address::new(l * LINE_SIZE)))
             .count();
-        prop_assert!(resident <= cfg.associativity,
-            "set 0 holds {} lines > associativity {}", resident, cfg.associativity);
+        assert!(
+            resident <= cfg.associativity,
+            "set 0 holds {} lines > associativity {}",
+            resident,
+            cfg.associativity
+        );
     }
+}
 
-    /// The crossbar neither drops nor duplicates payloads, and every payload
-    /// arrives at its destination no earlier than `latency` cycles after
-    /// injection.
-    #[test]
-    fn crossbar_conserves_payloads(
-        flits in proptest::collection::vec((0usize..4, 0usize..3), 1..100),
-        latency in 0u64..8,
-    ) {
+/// The crossbar neither drops nor duplicates payloads, and every payload
+/// arrives at its destination no earlier than `latency` cycles after
+/// injection.
+#[test]
+fn crossbar_conserves_payloads() {
+    let mut rng = SplitMix64::new(0x3E3_0003);
+    for _ in 0..CASES {
+        let len = 1 + rng.next_below(99) as usize;
+        let flits: Vec<(usize, usize)> = (0..len)
+            .map(|_| (rng.next_below(4) as usize, rng.next_below(3) as usize))
+            .collect();
+        let latency = rng.next_below(8);
         let mut x: Crossbar<usize> = Crossbar::new(4, 3, latency, 1, 4);
         let mut sent: Vec<(usize, u64)> = Vec::new(); // (payload, sent_at)
         let mut received: Vec<(usize, usize, u64)> = Vec::new(); // (payload, port, at)
@@ -139,51 +167,63 @@ proptest! {
                 received.push((p, port, now));
             }
             now += 1;
-            prop_assert!(now < 10_000, "crossbar failed to drain");
+            assert!(now < 10_000, "crossbar failed to drain");
         }
-        prop_assert_eq!(received.len(), sent.len());
+        assert_eq!(received.len(), sent.len());
         let ids: HashSet<usize> = received.iter().map(|&(p, _, _)| p).collect();
-        prop_assert_eq!(ids.len(), sent.len(), "duplicated payloads");
+        assert_eq!(ids.len(), sent.len(), "duplicated payloads");
         for &(p, port, at) in &received {
             let (_, sent_at) = sent[p];
-            prop_assert!(at >= sent_at + latency, "payload {} beat the latency", p);
-            prop_assert_eq!(port, flits[p].1, "payload {} misrouted", p);
+            assert!(at >= sent_at + latency, "payload {} beat the latency", p);
+            assert_eq!(port, flits[p].1, "payload {} misrouted", p);
         }
     }
+}
 
-    /// DRAM service times move forward: each successive service's completion
-    /// is strictly later than the previous one (shared bus), and a row hit is
-    /// never slower than the row miss that opened the row, issued at the same
-    /// relative state.
-    #[test]
-    fn dram_completions_progress(chunks in proptest::collection::vec(0u64..512, 1..100)) {
+/// DRAM service times move forward: each successive service's completion
+/// is strictly later than the previous one (shared bus), and a row hit is
+/// never slower than the row miss that opened the row, issued at the same
+/// relative state.
+#[test]
+fn dram_completions_progress() {
+    let mut rng = SplitMix64::new(0x3E3_0004);
+    for _ in 0..CASES {
+        let chunks = arb_vec(&mut rng, 512, 1, 100);
         let mut ch = DramChannel::new(dram_cfg(), 1);
         let mut prev_done = 0u64;
         for (now, &c) in chunks.iter().enumerate() {
             let addr = Address::new(c * 256);
             let svc = ch.service(addr, now as u64);
-            prop_assert!(svc.done_at > prev_done, "bus must serialize bursts");
-            prop_assert!(svc.done_at > now as u64);
+            assert!(svc.done_at > prev_done, "bus must serialize bursts");
+            assert!(svc.done_at > now as u64);
             prev_done = svc.done_at;
         }
     }
+}
 
-    /// The FR-FCFS controller completes every load exactly once, regardless
-    /// of the address mix.
-    #[test]
-    fn controller_conserves_loads(chunks in proptest::collection::vec(0u64..128, 1..64)) {
+/// The FR-FCFS controller completes every load exactly once, regardless
+/// of the address mix.
+#[test]
+fn controller_conserves_loads() {
+    let mut rng = SplitMix64::new(0x3E3_0005);
+    for _ in 0..CASES {
+        let chunks = arb_vec(&mut rng, 128, 1, 64);
         let mut mc = MemoryController::new(64);
         let mut ch = DramChannel::new(dram_cfg(), 1);
-        let mut pending: Vec<MemRequest> = chunks.iter().enumerate().map(|(i, &c)| {
-            MemRequest::new(
-                ReqId(i as u64),
-                AppId::new((i % 2) as u8),
-                CoreId(0),
-                0,
-                Address::new(c * 256),
-                AccessKind::Load,
-            )
-        }).collect();
+        let mut pending: Vec<MemRequest> = chunks
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                MemRequest::new(
+                    ReqId(i as u64),
+                    AppId::new((i % 2) as u8),
+                    CoreId(0),
+                    0,
+                    Address::new(c * 256),
+                    AccessKind::Load,
+                )
+            })
+            .collect();
         let total = pending.len();
         let mut done: Vec<ReqId> = Vec::new();
         let mut now = 0u64;
@@ -195,13 +235,13 @@ proptest! {
             }
             done.extend(mc.step(now, &mut ch).into_iter().map(|r| r.id));
             now += 1;
-            prop_assert!(now < 200_000, "controller failed to drain");
+            assert!(now < 200_000, "controller failed to drain");
         }
         let unique: HashSet<ReqId> = done.iter().copied().collect();
-        prop_assert_eq!(unique.len(), total);
+        assert_eq!(unique.len(), total);
         // Attribution: bytes split across the two apps must sum to the total.
         let b0 = mc.counters(AppId::new(0)).dram_bytes;
         let b1 = mc.counters(AppId::new(1)).dram_bytes;
-        prop_assert_eq!(b0 + b1, total as u64 * LINE_SIZE);
+        assert_eq!(b0 + b1, total as u64 * LINE_SIZE);
     }
 }

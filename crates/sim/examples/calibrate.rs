@@ -17,7 +17,10 @@ fn main() {
     }
     eprintln!();
     rows.sort_by(|a, b| a.4.total_cmp(&b.4));
-    println!("{:<6} {:<4} {:>5} {:>7} {:>6} {:>6} {:>6}", "app", "grp", "bTLP", "IPC", "EB", "BW", "CMR");
+    println!(
+        "{:<6} {:<4} {:>5} {:>7} {:>6} {:>6} {:>6}",
+        "app", "grp", "bTLP", "IPC", "EB", "BW", "CMR"
+    );
     for (n, g, t, ipc, eb, bw, cmr) in rows {
         println!("{n:<6} {g:<4?} {t:>5} {ipc:>7.3} {eb:>6.3} {bw:>6.3} {cmr:>6.3}");
     }

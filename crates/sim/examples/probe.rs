@@ -22,9 +22,20 @@ fn main() {
         for s in &p.samples {
             println!(
                 "  tlp={:<3} ipc={:.3} bw={:.3} cmr={:.3} eb={:.3} l1mr={:.2} l2mr={:.2}",
-                s.tlp.get(), s.ipc, s.bw, s.cmr, s.eb, s.l1_miss_rate, s.l2_miss_rate
+                s.tlp.get(),
+                s.ipc,
+                s.bw,
+                s.cmr,
+                s.eb,
+                s.l1_miss_rate,
+                s.l2_miss_rate
             );
         }
-        println!("  bestTLP={} ipc@best={:.3} eb@best={:.3}", p.best_tlp(), p.ipc_at_best(), p.eb_at_best());
+        println!(
+            "  bestTLP={} ipc@best={:.3} eb@best={:.3}",
+            p.best_tlp(),
+            p.ipc_at_best(),
+            p.eb_at_best()
+        );
     }
 }

@@ -61,11 +61,7 @@ impl AloneProfile {
     /// profiling methodology would report the plateau's edge rather than a
     /// noise-picked interior level).
     pub fn best_tlp(&self) -> TlpLevel {
-        let max = self
-            .samples
-            .iter()
-            .map(|s| s.ipc)
-            .fold(0.0f64, f64::max);
+        let max = self.samples.iter().map(|s| s.ipc).fold(0.0f64, f64::max);
         self.samples
             .iter()
             .filter(|s| s.ipc >= 0.995 * max)
@@ -81,7 +77,8 @@ impl AloneProfile {
 
     /// The sample at the best-performing TLP.
     pub fn best(&self) -> &AloneSample {
-        self.at(self.best_tlp()).expect("best_tlp comes from samples")
+        self.at(self.best_tlp())
+            .expect("best_tlp comes from samples")
     }
 
     /// `IPC@bestTLP` (Table IV column A; the SD denominator).
@@ -100,6 +97,10 @@ impl AloneProfile {
 /// The machine keeps its full complement of L2 slices and memory channels
 /// (the paper's IPC-Alone runs the application "alone on the same set of
 /// cores with bestTLP" — the rest of the GPU is idle, not absent).
+///
+/// Each ladder level is an independent run on a fresh same-seed machine, so
+/// the levels fan out across [`crate::exec::worker_count`] threads; results
+/// are collected in ladder order and are identical to a sequential sweep.
 pub fn profile_alone(
     cfg: &GpuConfig,
     app: &AppProfile,
@@ -107,19 +108,34 @@ pub fn profile_alone(
     seed: u64,
     spec: RunSpec,
 ) -> AloneProfile {
-    let mut samples = Vec::new();
-    let mut seen = Vec::new();
+    profile_alone_with_threads(cfg, app, n_cores, seed, spec, crate::exec::worker_count())
+}
+
+/// [`profile_alone`] with an explicit thread count (1 = fully sequential).
+pub fn profile_alone_with_threads(
+    cfg: &GpuConfig,
+    app: &AppProfile,
+    n_cores: usize,
+    seed: u64,
+    spec: RunSpec,
+    threads: usize,
+) -> AloneProfile {
+    let mut levels: Vec<TlpLevel> = Vec::new();
     for level in TlpLevel::ladder() {
         let clamped = cfg.clamp_tlp(level);
-        if seen.contains(&clamped) {
-            continue;
+        if !levels.contains(&clamped) {
+            levels.push(clamped);
         }
-        seen.push(clamped);
+    }
+    let samples = crate::exec::par_map_with(threads, levels, |clamped| {
         let mut gpu = Gpu::with_core_split(cfg, &[app], &[n_cores], seed);
         let w = measure_fixed(&mut gpu, &TlpCombo::new(vec![clamped]), spec);
-        samples.push(AloneSample::from_window(clamped, &w[0]));
+        AloneSample::from_window(clamped, &w[0])
+    });
+    AloneProfile {
+        app: app.name,
+        samples,
     }
-    AloneProfile { app: app.name, samples }
 }
 
 #[cfg(test)]

@@ -51,7 +51,10 @@ pub struct Decision {
 impl Decision {
     /// A decision changing nothing, for `n_apps` applications.
     pub fn unchanged(n_apps: usize) -> Self {
-        Decision { tlp: vec![None; n_apps], bypass: vec![None; n_apps] }
+        Decision {
+            tlp: vec![None; n_apps],
+            bypass: vec![None; n_apps],
+        }
     }
 
     /// A decision setting every application's TLP.
@@ -107,7 +110,11 @@ mod tests {
 
     fn obs(n: usize) -> Observation {
         let w = AppWindow::new(
-            MemCounters { l1_accesses: 1, warp_insts: 10, ..MemCounters::new() },
+            MemCounters {
+                l1_accesses: 1,
+                warp_insts: 10,
+                ..MemCounters::new()
+            },
             100,
             192.0,
         );

@@ -1,0 +1,189 @@
+//! Scoped-thread fan-out for independent simulations.
+//!
+//! The evaluation campaign is dominated by *independent* full simulations:
+//! the 64 entries of a TLP-combination sweep table, the ladder levels of an
+//! alone profile, and the dozen schemes run per workload. Each
+//! one builds a fresh same-seed machine, so they can execute on any thread
+//! in any order without changing a single number — the only requirement is
+//! that results are collected back in *input order*, which [`par_map`]
+//! guarantees.
+//!
+//! The pool is std-only: [`std::thread::scope`] workers pulling indices off
+//! an atomic counter. No work stealing, no channels — simulation granules
+//! are milliseconds to seconds, so a single shared counter is contention-free
+//! in practice.
+//!
+//! Thread count resolution order:
+//!
+//! 1. an explicit count passed to [`par_map_with`];
+//! 2. the `EBM_THREADS` environment variable, if set and positive;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! `EBM_THREADS=1` disables fan-out entirely (useful for profiling and for
+//! the determinism regression tests, although parallel results are identical
+//! by construction).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads fan-outs use by default: the `EBM_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// host's available parallelism (1 if that cannot be determined).
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("EBM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on [`worker_count`] scoped threads, returning the
+/// results in input order.
+///
+/// See [`par_map_with`] for the guarantees.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_with(worker_count(), items, f)
+}
+
+/// Maps `f` over `items` on at most `threads` scoped threads, returning the
+/// results in input order.
+///
+/// Guarantees:
+///
+/// * **Index-ordered collection** — `result[i] == f(items[i])` regardless of
+///   which worker ran it or when it finished.
+/// * **Exactly-once execution** — each item is claimed by exactly one worker
+///   via an atomic ticket counter.
+/// * **Panic propagation** — a panic inside `f` propagates to the caller
+///   when the scope joins (no silently missing entries).
+///
+/// With `threads <= 1` (or fewer than two items) the map runs inline on the
+/// caller's thread, bit-for-bit identical to the threaded path because `f`
+/// is the same closure either way.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::exec::par_map_with;
+/// let squares = par_map_with(4, (0u64..100).collect(), |x| x * x);
+/// assert_eq!(squares[7], 49);
+/// ```
+pub fn par_map_with<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let threads = threads.min(n);
+    // One slot per item. A Mutex<Option<_>> per slot costs nothing at the
+    // granularity of full simulations and keeps everything in safe code:
+    // the ticket counter already guarantees each input slot is taken (and
+    // each output slot written) exactly once.
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = inputs[i]
+                        .lock()
+                        .expect("input slot poisoned")
+                        .take()
+                        .expect("ticket counter hands out each index once");
+                    let result = f(item);
+                    *outputs[i].lock().expect("output slot poisoned") = Some(result);
+                })
+            })
+            .collect();
+        // Join explicitly so a worker's panic payload reaches the caller
+        // verbatim (the scope's implicit join would replace it with its own
+        // generic message).
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("output slot poisoned")
+                .expect("every index was claimed and completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_index_ordered() {
+        let out = par_map_with(8, (0..1000u64).collect(), |x| x * 3);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let work = |x: u64| {
+            let mut rng = gpu_types::SplitMix64::new(x);
+            (0..100)
+                .map(|_| rng.next_u64())
+                .fold(0u64, u64::wrapping_add)
+        };
+        let serial = par_map_with(1, (0..64).collect(), work);
+        let parallel = par_map_with(6, (0..64).collect(), work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let e: Vec<u32> = par_map_with(4, Vec::<u32>::new(), |x| x);
+        assert!(e.is_empty());
+        assert_eq!(par_map_with(4, vec![9u32], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(par_map_with(64, vec![1, 2, 3], |x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let _ = par_map_with(2, vec![0u32, 1, 2, 3], |x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

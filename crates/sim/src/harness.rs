@@ -32,21 +32,30 @@ impl RunSpec {
 }
 
 fn snapshot_all(gpu: &Gpu) -> Vec<MemCounters> {
-    (0..gpu.n_apps()).map(|a| gpu.counters(AppId::new(a as u8))).collect()
+    let mut buf = Vec::new();
+    snapshot_all_into(gpu, &mut buf);
+    buf
+}
+
+fn snapshot_all_into(gpu: &Gpu, buf: &mut Vec<MemCounters>) {
+    buf.clear();
+    buf.extend((0..gpu.n_apps()).map(|a| gpu.counters(AppId::new(a as u8))));
 }
 
 /// Counters as the controller's sampling hardware sees them: exact
 /// aggregates, or the Fig. 8 designated core/partition estimate.
-fn snapshot_sampled(gpu: &Gpu) -> Vec<MemCounters> {
+fn snapshot_sampled_into(gpu: &Gpu, buf: &mut Vec<MemCounters>) {
     if gpu.config().sampling.designated {
-        (0..gpu.n_apps()).map(|a| gpu.designated_counters(AppId::new(a as u8))).collect()
+        buf.clear();
+        buf.extend((0..gpu.n_apps()).map(|a| gpu.designated_counters(AppId::new(a as u8))));
     } else {
-        snapshot_all(gpu)
+        snapshot_all_into(gpu, buf);
     }
 }
 
-fn core_stats_all(gpu: &Gpu) -> Vec<CoreStats> {
-    (0..gpu.n_apps()).map(|a| gpu.core_stats(AppId::new(a as u8))).collect()
+fn core_stats_all_into(gpu: &Gpu, buf: &mut Vec<CoreStats>) {
+    buf.clear();
+    buf.extend((0..gpu.n_apps()).map(|a| gpu.core_stats(AppId::new(a as u8))));
 }
 
 fn windows_between(
@@ -119,6 +128,12 @@ impl ControlledRun {
 /// (modeling the designated-partition relay of Fig. 8) and its decision is
 /// applied immediately. The overall measurement covers everything from
 /// `measure_from` to the end, *including* all sampling-phase disturbance.
+///
+/// The harness advances the machine in *spans* — straight to the next event
+/// boundary (window mark, measurement start, or run end) — instead of
+/// interrogating the clock after every cycle. Nothing observable happens
+/// between boundaries, so the span walk is cycle-for-cycle identical to a
+/// per-cycle loop (the `span_equivalence` regression test pins this down).
 pub fn run_controlled(
     gpu: &mut Gpu,
     controller: &mut dyn Controller,
@@ -132,11 +147,20 @@ pub fn run_controlled(
 
     let mut tlp_trace = vec![(
         gpu.now(),
-        (0..n_apps).map(|a| gpu.tlp_of(AppId::new(a as u8))).collect::<Vec<_>>(),
+        (0..n_apps)
+            .map(|a| gpu.tlp_of(AppId::new(a as u8)))
+            .collect::<Vec<_>>(),
     )];
     let mut measure_start: Option<Vec<MemCounters>> = None;
-    let mut win_counters = snapshot_sampled(gpu);
-    let mut win_core = core_stats_all(gpu);
+    // Window-boundary snapshots live in reused buffers: `win_*` hold the
+    // window's opening state, `after_*` its closing state, and the pair is
+    // swapped instead of reallocated every window.
+    let mut win_counters = Vec::new();
+    snapshot_sampled_into(gpu, &mut win_counters);
+    let mut win_core = Vec::new();
+    core_stats_all_into(gpu, &mut win_core);
+    let mut after_counters: Vec<MemCounters> = Vec::new();
+    let mut after_core: Vec<CoreStats> = Vec::new();
     let mut n_windows = 0;
     let mut window_series = Vec::new();
 
@@ -146,13 +170,19 @@ pub fn run_controlled(
         if measure_start.is_none() && gpu.now() >= measure_from {
             measure_start = Some(snapshot_all(gpu));
         }
-        gpu.step();
+        // Advance to the next boundary in one span. `measure_from` is a
+        // stop only until its snapshot has been taken.
+        let mut stop = end.min(next_mark);
+        if measure_start.is_none() && measure_from > gpu.now() {
+            stop = stop.min(measure_from);
+        }
+        gpu.run(stop - gpu.now());
         if gpu.now() == next_mark {
             // Window complete: capture it, then let the relay latency pass
             // before the controller sees the data.
-            let after = snapshot_sampled(gpu);
-            let after_core = core_stats_all(gpu);
-            let obs_windows = windows_between(gpu, &win_counters, &after, window);
+            snapshot_sampled_into(gpu, &mut after_counters);
+            core_stats_all_into(gpu, &mut after_core);
+            let obs_windows = windows_between(gpu, &win_counters, &after_counters, window);
             window_series.push((gpu.now(), obs_windows.clone()));
             let obs_core: Vec<CoreStats> = win_core
                 .iter()
@@ -167,12 +197,7 @@ pub fn run_controlled(
                     active_warp_cycles: a.active_warp_cycles - b.active_warp_cycles,
                 })
                 .collect();
-            for _ in 0..relay {
-                if gpu.now() >= end {
-                    break;
-                }
-                gpu.step();
-            }
+            gpu.run(relay.min(end.saturating_sub(gpu.now())));
             let obs = Observation {
                 now: gpu.now(),
                 window_cycles: window,
@@ -201,12 +226,14 @@ pub fn run_controlled(
             if changed {
                 tlp_trace.push((
                     gpu.now(),
-                    (0..n_apps).map(|a| gpu.tlp_of(AppId::new(a as u8))).collect(),
+                    (0..n_apps)
+                        .map(|a| gpu.tlp_of(AppId::new(a as u8)))
+                        .collect(),
                 ));
             }
             n_windows += 1;
-            win_counters = snapshot_sampled(gpu);
-            win_core = core_stats_all(gpu);
+            snapshot_sampled_into(gpu, &mut win_counters);
+            core_stats_all_into(gpu, &mut win_core);
             next_mark = gpu.now() + window;
         }
     }
@@ -219,7 +246,12 @@ pub fn run_controlled(
         .zip(&final_counters)
         .map(|(b, a)| AppWindow::new(*a - *b, measured_cycles, peak))
         .collect();
-    ControlledRun { overall, tlp_trace, n_windows, window_series }
+    ControlledRun {
+        overall,
+        tlp_trace,
+        n_windows,
+        window_series,
+    }
 }
 
 #[cfg(test)]
@@ -263,7 +295,11 @@ mod tests {
         let window = g.config().sampling.window_cycles;
         let mut c = StaticController;
         let run = run_controlled(&mut g, &mut c, window * 4 + 100, 0);
-        assert!(run.n_windows >= 3, "expected >=3 windows, got {}", run.n_windows);
+        assert!(
+            run.n_windows >= 3,
+            "expected >=3 windows, got {}",
+            run.n_windows
+        );
         assert_eq!(run.overall.len(), 2);
         assert!(run.overall[0].ipc() > 0.0);
     }
@@ -280,7 +316,11 @@ mod tests {
     impl Controller for FlipFlop {
         fn on_window(&mut self, obs: &Observation) -> Decision {
             self.0 = !self.0;
-            let lvl = if self.0 { TlpLevel::MIN } else { TlpLevel::new(8).unwrap() };
+            let lvl = if self.0 {
+                TlpLevel::MIN
+            } else {
+                TlpLevel::new(8).unwrap()
+            };
             Decision::set_all(&vec![lvl; obs.apps.len()])
         }
         fn name(&self) -> &str {
@@ -304,7 +344,10 @@ mod tests {
         let run = run_controlled(&mut g, &mut c, 10_000, 0);
         assert_eq!(run.window_series.len() as u64, run.n_windows);
         let cycles: Vec<u64> = run.window_series.iter().map(|(c, _)| *c).collect();
-        assert!(cycles.windows(2).all(|w| w[0] < w[1]), "series must be time-ordered");
+        assert!(
+            cycles.windows(2).all(|w| w[0] < w[1]),
+            "series must be time-ordered"
+        );
         let csv = run.series_csv();
         assert!(csv.starts_with("cycle,app,"));
         assert!(csv.lines().count() as u64 >= run.n_windows * 2);

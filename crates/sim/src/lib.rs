@@ -11,18 +11,22 @@
 //! * [`control`] — the controller interface TLP-management policies
 //!   implement (the paper's PBS and the baselines live in `ebm-core`);
 //! * [`harness`] — fixed-combination measurement and controlled runs with
-//!   windowed sampling and the Fig. 8 relay latency.
+//!   windowed sampling and the Fig. 8 relay latency;
+//! * [`exec`] — a scoped-thread fan-out layer ([`exec::par_map`]) for the
+//!   independent simulations of sweeps, profiles and campaigns.
 
 #![warn(missing_docs)]
 
 pub mod alone;
 pub mod control;
+pub mod exec;
 pub mod harness;
 pub mod machine;
 pub mod metrics;
 
-pub use alone::{profile_alone, AloneProfile, AloneSample};
+pub use alone::{profile_alone, profile_alone_with_threads, AloneProfile, AloneSample};
 pub use control::{Controller, Decision, Observation};
+pub use exec::{par_map, par_map_with, worker_count};
 pub use harness::{measure_fixed, run_controlled, ControlledRun, RunSpec};
 pub use machine::Gpu;
 pub use metrics::{fi_of, hs_of, ws_of, SystemMetrics};

@@ -85,7 +85,10 @@ impl Gpu {
     ) -> Self {
         cfg.validate().expect("invalid configuration");
         assert_eq!(split.len(), apps.len(), "one core share per application");
-        assert!(split.iter().all(|&s| s > 0), "every application needs at least one core");
+        assert!(
+            split.iter().all(|&s| s > 0),
+            "every application needs at least one core"
+        );
         let total: usize = split.iter().sum();
         assert!(total <= cfg.n_cores, "core split exceeds the machine");
 
@@ -224,7 +227,9 @@ impl Gpu {
                 }
                 let dest = resp.core.index();
                 let resp = self.resp_backlog[p].pop_front().expect("front checked");
-                self.resp_net.push(p, dest, resp, now).expect("can_accept checked");
+                self.resp_net
+                    .push(p, dest, resp, now)
+                    .expect("can_accept checked");
             }
         }
 
@@ -242,13 +247,17 @@ impl Gpu {
         let n_partitions = self.cfg.n_partitions;
         for (ci, core) in self.cores.iter_mut().enumerate() {
             for _ in 0..self.cfg.xbar_requests_per_cycle {
-                let Some(req) = core.peek_request() else { break };
+                let Some(req) = core.peek_request() else {
+                    break;
+                };
                 if !self.req_net.can_accept(ci) {
                     break;
                 }
                 let dest = req.addr.partition(n_partitions);
                 let req = core.pop_request().expect("peeked");
-                self.req_net.push(ci, dest, req, now).expect("can_accept checked");
+                self.req_net
+                    .push(ci, dest, req, now)
+                    .expect("can_accept checked");
             }
         }
 
@@ -351,7 +360,10 @@ impl Gpu {
     /// Per-partition L2 access counts for `app` (used by tests to verify the
     /// uniformity assumption behind designated-partition sampling).
     pub fn per_partition_l2_accesses(&self, app: AppId) -> Vec<u64> {
-        self.partitions.iter().map(|p| p.counters(app).l2_accesses).collect()
+        self.partitions
+            .iter()
+            .map(|p| p.counters(app).l2_accesses)
+            .collect()
     }
 }
 
@@ -362,7 +374,11 @@ mod tests {
 
     fn small_two_app() -> Gpu {
         let cfg = GpuConfig::small();
-        Gpu::new(&cfg, &[by_name("BLK").unwrap(), by_name("BFS").unwrap()], 42)
+        Gpu::new(
+            &cfg,
+            &[by_name("BLK").unwrap(), by_name("BFS").unwrap()],
+            42,
+        )
     }
 
     #[test]
@@ -381,7 +397,11 @@ mod tests {
         gpu.run(3_000);
         for a in 0..2 {
             let c = gpu.counters(AppId::new(a));
-            assert!(c.warp_insts > 100, "App-{a} issued only {} insts", c.warp_insts);
+            assert!(
+                c.warp_insts > 100,
+                "App-{a} issued only {} insts",
+                c.warp_insts
+            );
             assert!(c.dram_bytes > 0, "App-{a} never reached DRAM");
         }
     }
@@ -495,7 +515,10 @@ mod tests {
                 exact.dram_bytes,
                 est.dram_bytes
             );
-            assert_eq!(exact.warp_insts, est.warp_insts, "instruction counts stay exact");
+            assert_eq!(
+                exact.warp_insts, est.warp_insts,
+                "instruction counts stay exact"
+            );
         }
     }
 

@@ -96,7 +96,10 @@ impl SystemMetrics {
 /// Panics if `values` is empty or any value is non-positive.
 pub fn gmean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "need at least one value");
-    assert!(values.iter().all(|&v| v > 0.0), "gmean needs positive values");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "gmean needs positive values"
+    );
     (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
 }
 

@@ -1,0 +1,265 @@
+//! Regression tests pinning span-stepping to per-cycle semantics.
+//!
+//! `run_controlled` advances the machine in spans — straight to the next
+//! window mark / measurement start / run end — instead of checking the
+//! clock after every cycle. Nothing observable happens between those
+//! boundaries, so the results must be *identical* to the historical
+//! per-cycle loop. This test reimplements that loop through the public API
+//! and compares every observable output.
+
+use gpu_sim::control::{AppObservation, Controller, Decision, Observation, StaticController};
+use gpu_sim::harness::{run_controlled, ControlledRun};
+use gpu_sim::machine::Gpu;
+use gpu_simt::CoreStats;
+use gpu_types::{AppId, AppWindow, GpuConfig, MemCounters, TlpLevel};
+use gpu_workloads::by_name;
+
+fn snapshot_all(gpu: &Gpu) -> Vec<MemCounters> {
+    (0..gpu.n_apps())
+        .map(|a| gpu.counters(AppId::new(a as u8)))
+        .collect()
+}
+
+fn snapshot_sampled(gpu: &Gpu) -> Vec<MemCounters> {
+    if gpu.config().sampling.designated {
+        (0..gpu.n_apps())
+            .map(|a| gpu.designated_counters(AppId::new(a as u8)))
+            .collect()
+    } else {
+        snapshot_all(gpu)
+    }
+}
+
+fn core_stats_all(gpu: &Gpu) -> Vec<CoreStats> {
+    (0..gpu.n_apps())
+        .map(|a| gpu.core_stats(AppId::new(a as u8)))
+        .collect()
+}
+
+fn windows_between(
+    gpu: &Gpu,
+    before: &[MemCounters],
+    after: &[MemCounters],
+    cycles: u64,
+) -> Vec<AppWindow> {
+    let peak = gpu.config().peak_bw_bytes_per_cycle();
+    before
+        .iter()
+        .zip(after)
+        .map(|(b, a)| AppWindow::new(*a - *b, cycles, peak))
+        .collect()
+}
+
+/// The historical per-cycle controlled-run loop: advance one cycle at a
+/// time, test every boundary with equality checks against the clock.
+fn run_controlled_per_cycle(
+    gpu: &mut Gpu,
+    controller: &mut dyn Controller,
+    total_cycles: u64,
+    measure_from: u64,
+) -> ControlledRun {
+    let n_apps = gpu.n_apps();
+    let window = gpu.config().sampling.window_cycles;
+    let relay = gpu.config().sampling.relay_latency;
+    let peak = gpu.config().peak_bw_bytes_per_cycle();
+
+    let mut tlp_trace = vec![(
+        gpu.now(),
+        (0..n_apps)
+            .map(|a| gpu.tlp_of(AppId::new(a as u8)))
+            .collect::<Vec<_>>(),
+    )];
+    let mut measure_start: Option<Vec<MemCounters>> = None;
+    let mut win_counters = snapshot_sampled(gpu);
+    let mut win_core = core_stats_all(gpu);
+    let mut n_windows = 0;
+    let mut window_series = Vec::new();
+
+    let end = gpu.now() + total_cycles;
+    let mut next_mark = gpu.now() + window;
+    while gpu.now() < end {
+        if measure_start.is_none() && gpu.now() >= measure_from {
+            measure_start = Some(snapshot_all(gpu));
+        }
+        gpu.run(1);
+        if gpu.now() == next_mark {
+            let after_counters = snapshot_sampled(gpu);
+            let after_core = core_stats_all(gpu);
+            let obs_windows = windows_between(gpu, &win_counters, &after_counters, window);
+            window_series.push((gpu.now(), obs_windows.clone()));
+            let obs_core: Vec<CoreStats> = win_core
+                .iter()
+                .zip(&after_core)
+                .map(|(b, a)| CoreStats {
+                    cycles: a.cycles - b.cycles,
+                    insts: a.insts - b.insts,
+                    mem_stall_cycles: a.mem_stall_cycles - b.mem_stall_cycles,
+                    struct_stall_cycles: a.struct_stall_cycles - b.struct_stall_cycles,
+                    idle_cycles: a.idle_cycles - b.idle_cycles,
+                    warp_mem_wait_cycles: a.warp_mem_wait_cycles - b.warp_mem_wait_cycles,
+                    active_warp_cycles: a.active_warp_cycles - b.active_warp_cycles,
+                })
+                .collect();
+            gpu.run(relay.min(end.saturating_sub(gpu.now())));
+            let obs = Observation {
+                now: gpu.now(),
+                window_cycles: window,
+                apps: (0..n_apps)
+                    .map(|a| AppObservation {
+                        window: obs_windows[a],
+                        core: obs_core[a],
+                        tlp: gpu.tlp_of(AppId::new(a as u8)),
+                        bypassed: gpu.bypass_l1_of(AppId::new(a as u8)),
+                    })
+                    .collect(),
+            };
+            let decision: Decision = controller.on_window(&obs);
+            let mut changed = false;
+            for a in 0..n_apps {
+                if let Some(level) = decision.tlp.get(a).copied().flatten() {
+                    if gpu.tlp_of(AppId::new(a as u8)) != gpu.config().clamp_tlp(level) {
+                        changed = true;
+                    }
+                    gpu.set_tlp(AppId::new(a as u8), level);
+                }
+                if let Some(b) = decision.bypass.get(a).copied().flatten() {
+                    gpu.set_bypass_l1(AppId::new(a as u8), b);
+                }
+            }
+            if changed {
+                tlp_trace.push((
+                    gpu.now(),
+                    (0..n_apps)
+                        .map(|a| gpu.tlp_of(AppId::new(a as u8)))
+                        .collect(),
+                ));
+            }
+            n_windows += 1;
+            win_counters = snapshot_sampled(gpu);
+            win_core = core_stats_all(gpu);
+            next_mark = gpu.now() + window;
+        }
+    }
+
+    let start = measure_start.unwrap_or_else(|| snapshot_all(gpu));
+    let final_counters = snapshot_all(gpu);
+    let measured_cycles = (gpu.now() - measure_from.min(gpu.now())).max(1);
+    let overall = start
+        .iter()
+        .zip(&final_counters)
+        .map(|(b, a)| AppWindow::new(*a - *b, measured_cycles, peak))
+        .collect();
+    ControlledRun {
+        overall,
+        tlp_trace,
+        n_windows,
+        window_series,
+    }
+}
+
+fn gpu_with(designated: bool) -> Gpu {
+    let mut cfg = GpuConfig::small();
+    cfg.sampling.designated = designated;
+    Gpu::new(
+        &cfg,
+        &[by_name("BLK").unwrap(), by_name("BFS").unwrap()],
+        11,
+    )
+}
+
+struct FlipFlop(bool);
+impl Controller for FlipFlop {
+    fn on_window(&mut self, obs: &Observation) -> Decision {
+        self.0 = !self.0;
+        let lvl = if self.0 {
+            TlpLevel::MIN
+        } else {
+            TlpLevel::new(8).unwrap()
+        };
+        Decision::set_all(&vec![lvl; obs.apps.len()])
+    }
+    fn name(&self) -> &str {
+        "flipflop"
+    }
+}
+
+fn assert_runs_equal(a: &ControlledRun, b: &ControlledRun) {
+    assert_eq!(a.n_windows, b.n_windows, "window counts differ");
+    assert_eq!(a.tlp_trace, b.tlp_trace, "TLP traces differ");
+    assert_eq!(a.overall.len(), b.overall.len());
+    for (wa, wb) in a.overall.iter().zip(&b.overall) {
+        assert_eq!(wa.counters, wb.counters, "overall counters differ");
+        assert_eq!(wa.cycles, wb.cycles, "overall cycle spans differ");
+    }
+    assert_eq!(a.window_series.len(), b.window_series.len());
+    for ((ca, wsa), (cb, wsb)) in a.window_series.iter().zip(&b.window_series) {
+        assert_eq!(ca, cb, "window-series marks differ");
+        for (wa, wb) in wsa.iter().zip(wsb) {
+            assert_eq!(wa.counters, wb.counters, "window-series counters differ");
+        }
+    }
+}
+
+#[test]
+fn span_stepping_matches_per_cycle_static() {
+    let window = GpuConfig::small().sampling.window_cycles;
+    // Include a ragged tail (not a multiple of the window) on purpose.
+    let total = window * 5 + 137;
+    let fast = run_controlled(&mut gpu_with(false), &mut StaticController, total, 0);
+    let slow = run_controlled_per_cycle(&mut gpu_with(false), &mut StaticController, total, 0);
+    assert_runs_equal(&fast, &slow);
+}
+
+#[test]
+fn span_stepping_matches_per_cycle_dynamic() {
+    let window = GpuConfig::small().sampling.window_cycles;
+    let total = window * 6 + 41;
+    let fast = run_controlled(&mut gpu_with(false), &mut FlipFlop(false), total, 0);
+    let slow = run_controlled_per_cycle(&mut gpu_with(false), &mut FlipFlop(false), total, 0);
+    assert!(
+        fast.tlp_trace.len() >= 3,
+        "dynamic controller must actually change TLP"
+    );
+    assert_runs_equal(&fast, &slow);
+}
+
+#[test]
+fn span_stepping_matches_per_cycle_with_measure_from() {
+    let window = GpuConfig::small().sampling.window_cycles;
+    let total = window * 5 + 23;
+    // measure_from off any window boundary.
+    let measure_from = window + window / 3 + 7;
+    let fast = run_controlled(
+        &mut gpu_with(false),
+        &mut FlipFlop(true),
+        total,
+        measure_from,
+    );
+    let slow = run_controlled_per_cycle(
+        &mut gpu_with(false),
+        &mut FlipFlop(true),
+        total,
+        measure_from,
+    );
+    assert_runs_equal(&fast, &slow);
+}
+
+#[test]
+fn span_stepping_matches_per_cycle_designated_sampling() {
+    let window = GpuConfig::small().sampling.window_cycles;
+    let total = window * 4 + 61;
+    let fast = run_controlled(&mut gpu_with(true), &mut FlipFlop(false), total, window / 2);
+    let slow =
+        run_controlled_per_cycle(&mut gpu_with(true), &mut FlipFlop(false), total, window / 2);
+    assert_runs_equal(&fast, &slow);
+}
+
+#[test]
+fn span_stepping_handles_run_shorter_than_one_window() {
+    let window = GpuConfig::small().sampling.window_cycles;
+    let total = window / 2;
+    let fast = run_controlled(&mut gpu_with(false), &mut StaticController, total, 0);
+    let slow = run_controlled_per_cycle(&mut gpu_with(false), &mut StaticController, total, 0);
+    assert_eq!(fast.n_windows, 0);
+    assert_runs_equal(&fast, &slow);
+}

@@ -151,7 +151,10 @@ mod tests {
     fn miss_on_own_victim_scores() {
         let mut c = throttle();
         c.on_evict(3, line(7));
-        assert!(c.on_miss(3, line(7)), "re-missing an evicted line is lost locality");
+        assert!(
+            c.on_miss(3, line(7)),
+            "re-missing an evicted line is lost locality"
+        );
         assert!(c.score(3) > 0.0);
     }
 
@@ -171,11 +174,21 @@ mod tests {
 
     #[test]
     fn victim_tags_are_bounded() {
-        let mut c = CcwsThrottle::new(4, 4, CcwsParams { victim_entries: 2, ..Default::default() });
+        let mut c = CcwsThrottle::new(
+            4,
+            4,
+            CcwsParams {
+                victim_entries: 2,
+                ..Default::default()
+            },
+        );
         c.on_evict(0, line(1));
         c.on_evict(0, line(2));
         c.on_evict(0, line(3)); // evicts tag for line 1
-        assert!(!c.on_miss(0, line(1)), "oldest victim tag must be forgotten");
+        assert!(
+            !c.on_miss(0, line(1)),
+            "oldest victim tag must be forgotten"
+        );
         assert!(c.on_miss(0, line(3)));
     }
 

@@ -6,9 +6,9 @@ use crate::scheduler::GtoScheduler;
 use crate::warp::Warp;
 use gpu_mem::cache::{Cache, CacheCounters, Lookup};
 use gpu_mem::req::{AccessKind, MemRequest, ReqId};
+use gpu_types::FxHashMap;
 use gpu_types::{Address, AppId, CoreId, GpuConfig, TlpLevel};
 use std::cmp::Reverse;
-use gpu_types::FxHashMap;
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Per-application tuning of a core's warps.
@@ -24,7 +24,10 @@ pub struct CoreParams {
 
 impl Default for CoreParams {
     fn default() -> Self {
-        CoreParams { max_outstanding_loads: 2, max_txn_per_inst: 32 }
+        CoreParams {
+            max_outstanding_loads: 2,
+            max_txn_per_inst: 32,
+        }
     }
 }
 
@@ -137,8 +140,10 @@ impl SimtCore {
             cfg.warps_per_core,
             "need one instruction stream per warp slot"
         );
-        let warps: Vec<Warp> =
-            streams.into_iter().map(|s| Warp::new(s, params.max_outstanding_loads)).collect();
+        let warps: Vec<Warp> = streams
+            .into_iter()
+            .map(|s| Warp::new(s, params.max_outstanding_loads))
+            .collect();
         let per_sched = cfg.warps_per_scheduler();
         let schedulers = (0..cfg.schedulers_per_core)
             .map(|s| {
@@ -192,8 +197,11 @@ impl SimtCore {
     pub fn set_ccws(&mut self, enabled: bool) {
         if enabled && self.ccws.is_none() {
             let per_sched = self.warps.len() / self.schedulers.len();
-            self.ccws =
-                Some(CcwsThrottle::new(self.warps.len(), per_sched, CcwsParams::default()));
+            self.ccws = Some(CcwsThrottle::new(
+                self.warps.len(),
+                per_sched,
+                CcwsParams::default(),
+            ));
         } else if !enabled {
             self.ccws = None;
         }
@@ -239,11 +247,16 @@ impl SimtCore {
     /// Delivers a load response from the interconnect.
     pub fn receive(&mut self, resp: MemRequest) {
         debug_assert_eq!(resp.core, self.id, "response misrouted");
-        let cached = self.pending.get(&resp.id).map(|p| p.cached).unwrap_or(false);
+        let cached = self
+            .pending
+            .get(&resp.id)
+            .map(|p| p.cached)
+            .unwrap_or(false);
         if cached {
             let (waiters, victim) = self.l1.fill_with_victim(resp.addr);
             if self.ccws.is_some() {
-                self.line_owner.insert(resp.addr.line_index(), resp.warp_slot);
+                self.line_owner
+                    .insert(resp.addr.line_index(), resp.warp_slot);
                 if let Some(v) = victim {
                     if let Some(owner) = self.line_owner.remove(&v.line_index()) {
                         if let Some(ccws) = &mut self.ccws {
@@ -288,8 +301,13 @@ impl SimtCore {
         let was_waiting = self.warps[slot].waiting_mem();
         for line in lines {
             let id = self.fresh_id();
-            self.pending
-                .insert(id, PendingLoad { warp_slot: slot, cached: !self.bypass_l1 });
+            self.pending.insert(
+                id,
+                PendingLoad {
+                    warp_slot: slot,
+                    cached: !self.bypass_l1,
+                },
+            );
             let req = MemRequest::new(id, self.app, self.id, slot, line, AccessKind::Load);
             if self.bypass_l1 {
                 self.egress.push_back(req.bypassing());
@@ -298,7 +316,8 @@ impl SimtCore {
             match self.l1.access_load(self.app, line, id) {
                 Lookup::Hit => {
                     self.seq += 1;
-                    self.hit_returns.push(Reverse((now + self.l1_hit_latency, self.seq, id)));
+                    self.hit_returns
+                        .push(Reverse((now + self.l1_hit_latency, self.seq, id)));
                 }
                 Lookup::MissToLower => {
                     if let Some(ccws) = &mut self.ccws {
@@ -316,8 +335,13 @@ impl SimtCore {
                     // list on an in-flight line. Fall back to an uncached
                     // direct request (egress space was reserved for every
                     // line of this instruction).
-                    self.pending
-                        .insert(id, PendingLoad { warp_slot: slot, cached: false });
+                    self.pending.insert(
+                        id,
+                        PendingLoad {
+                            warp_slot: slot,
+                            cached: false,
+                        },
+                    );
                     self.egress.push_back(req);
                 }
             }
@@ -337,8 +361,14 @@ impl SimtCore {
         }
         for line in lines {
             let id = self.fresh_id();
-            self.egress
-                .push_back(MemRequest::new(id, self.app, self.id, slot, line, AccessKind::Store));
+            self.egress.push_back(MemRequest::new(
+                id,
+                self.app,
+                self.id,
+                slot,
+                line,
+                AccessKind::Store,
+            ));
         }
         self.warps[slot].issue_mem(now, 0);
         true
@@ -356,8 +386,11 @@ impl SimtCore {
             }
         }
         self.stats.warp_mem_wait_cycles += self.waiting_now as u64;
-        self.stats.active_warp_cycles +=
-            self.schedulers.iter().map(|s| s.active_slots().len() as u64).sum::<u64>();
+        self.stats.active_warp_cycles += self
+            .schedulers
+            .iter()
+            .map(|s| s.active_slots().len() as u64)
+            .sum::<u64>();
 
         // 1. L1 hits whose latency elapsed wake their warps.
         while matches!(self.hit_returns.peek(), Some(Reverse((t, _, _))) if *t <= now) {
@@ -375,11 +408,15 @@ impl SimtCore {
             // avoid per-cycle allocation.
             let n_candidates = self.schedulers[si].n_candidates();
             for k in 0..n_candidates {
-                let Some(slot) = self.schedulers[si].candidate(k) else { continue };
+                let Some(slot) = self.schedulers[si].candidate(k) else {
+                    continue;
+                };
                 if !self.warps[slot].ready(now) {
                     continue;
                 }
-                let Some(inst) = self.warps[slot].fetch() else { continue };
+                let Some(inst) = self.warps[slot].fetch() else {
+                    continue;
+                };
                 let ok = match &inst {
                     Inst::Alu { cycles } => {
                         self.warps[slot].issue_alu(now, *cycles);
@@ -432,9 +469,7 @@ impl SimtCore {
 
     /// True when every warp has retired and no memory is outstanding.
     pub fn is_idle(&self) -> bool {
-        self.pending.is_empty()
-            && self.egress.is_empty()
-            && self.warps.iter().all(|w| w.finished())
+        self.pending.is_empty() && self.egress.is_empty() && self.warps.iter().all(|w| w.finished())
     }
 
     /// Loads in flight from this core.
@@ -501,17 +536,29 @@ mod tests {
         let per_sched = cfg.warps_per_scheduler();
         streams[0] = Box::new(Scripted::new(vec![Inst::alu1(); 5]));
         streams[per_sched] = Box::new(Scripted::new(vec![Inst::alu1(); 5]));
-        let mut core =
-            SimtCore::new(CoreId(0), AppId::new(0), &cfg, CoreParams::default(), streams);
+        let mut core = SimtCore::new(
+            CoreId(0),
+            AppId::new(0),
+            &cfg,
+            CoreParams::default(),
+            streams,
+        );
         core.step(0);
-        assert_eq!(core.stats().insts, 2, "both schedulers must issue in the same cycle");
+        assert_eq!(
+            core.stats().insts,
+            2,
+            "both schedulers must issue in the same cycle"
+        );
     }
 
     #[test]
     fn load_misses_produce_requests_and_block_warp() {
         let mut core = core_with_one_stream(
             Box::new(Scripted::new(vec![Inst::load1(0), Inst::alu1()])),
-            CoreParams { max_outstanding_loads: 1, max_txn_per_inst: 32 },
+            CoreParams {
+                max_outstanding_loads: 1,
+                max_txn_per_inst: 32,
+            },
         );
         core.step(0);
         let req = core.pop_request().expect("cold load must miss to memory");
@@ -530,7 +577,10 @@ mod tests {
     fn l1_hit_completes_without_memory_traffic() {
         let mut core = core_with_one_stream(
             Box::new(LoopOverSet::new(0, 1)),
-            CoreParams { max_outstanding_loads: 1, max_txn_per_inst: 32 },
+            CoreParams {
+                max_outstanding_loads: 1,
+                max_txn_per_inst: 32,
+            },
         );
         let stats = run_closed_loop(&mut core, 200, 20);
         let k = core.l1_counters(AppId::new(0));
@@ -543,13 +593,19 @@ mod tests {
     fn bypass_skips_the_l1() {
         let mut core = core_with_one_stream(
             Box::new(LoopOverSet::new(0, 1)),
-            CoreParams { max_outstanding_loads: 1, max_txn_per_inst: 32 },
+            CoreParams {
+                max_outstanding_loads: 1,
+                max_txn_per_inst: 32,
+            },
         );
         core.set_bypass_l1(true);
         run_closed_loop(&mut core, 200, 5);
         let k = core.l1_counters(AppId::new(0));
         assert_eq!(k.accesses, 0, "bypassed loads never touch the L1");
-        assert!(core.stats().insts > 5, "warp still makes progress via direct returns");
+        assert!(
+            core.stats().insts > 5,
+            "warp still makes progress via direct returns"
+        );
     }
 
     #[test]
@@ -561,7 +617,10 @@ mod tests {
         );
         core.step(0);
         assert!(core.pop_request().is_some());
-        assert!(core.pop_request().is_none(), "32 threads in one line coalesce to 1 txn");
+        assert!(
+            core.pop_request().is_none(),
+            "32 threads in one line coalesce to 1 txn"
+        );
     }
 
     #[test]
@@ -569,7 +628,10 @@ mod tests {
         let addrs: Vec<Address> = (0..8).map(|i| Address::new(i * 128 * 1024)).collect();
         let mut core = core_with_one_stream(
             Box::new(Scripted::new(vec![Inst::Load { addrs }])),
-            CoreParams { max_outstanding_loads: 8, max_txn_per_inst: 32 },
+            CoreParams {
+                max_outstanding_loads: 8,
+                max_txn_per_inst: 32,
+            },
         );
         core.step(0);
         let mut n = 0;
@@ -584,15 +646,16 @@ mod tests {
         let cfg = small_cfg();
         // Every warp is an infinite streaming kernel.
         let streams: Vec<Box<dyn InstStream>> = (0..cfg.warps_per_core)
-            .map(|i| {
-                Box::new(Streaming::new((i as u64) << 20, 128, 0)) as Box<dyn InstStream>
-            })
+            .map(|i| Box::new(Streaming::new((i as u64) << 20, 128, 0)) as Box<dyn InstStream>)
             .collect();
         let mut core = SimtCore::new(
             CoreId(0),
             AppId::new(0),
             &cfg,
-            CoreParams { max_outstanding_loads: 1, max_txn_per_inst: 32 },
+            CoreParams {
+                max_outstanding_loads: 1,
+                max_txn_per_inst: 32,
+            },
             streams,
         );
         core.set_tlp(TlpLevel::new(1).unwrap());
@@ -612,10 +675,15 @@ mod tests {
     fn stores_do_not_block_warps() {
         let mut core = core_with_one_stream(
             Box::new(Scripted::new(vec![
-                Inst::Store { addrs: vec![Address::new(0)] },
+                Inst::Store {
+                    addrs: vec![Address::new(0)],
+                },
                 Inst::alu1(),
             ])),
-            CoreParams { max_outstanding_loads: 1, max_txn_per_inst: 32 },
+            CoreParams {
+                max_outstanding_loads: 1,
+                max_txn_per_inst: 32,
+            },
         );
         core.step(0);
         core.step(1);
@@ -632,7 +700,10 @@ mod tests {
         let insts = vec![Inst::Load { addrs }; 4];
         let mut core = core_with_one_stream(
             Box::new(Scripted::new(insts)),
-            CoreParams { max_outstanding_loads: 1024, max_txn_per_inst: 32 },
+            CoreParams {
+                max_outstanding_loads: 1024,
+                max_txn_per_inst: 32,
+            },
         );
         for now in 0..8 {
             core.step(now);
@@ -646,8 +717,13 @@ mod tests {
         let mut streams = idle_streams(&cfg);
         streams[0] = Box::new(Scripted::new(vec![Inst::alu1(); 3]));
         streams[1] = Box::new(Scripted::new(vec![Inst::alu1(); 3]));
-        let mut core =
-            SimtCore::new(CoreId(0), AppId::new(0), &cfg, CoreParams::default(), streams);
+        let mut core = SimtCore::new(
+            CoreId(0),
+            AppId::new(0),
+            &cfg,
+            CoreParams::default(),
+            streams,
+        );
         // Warp 0 is oldest: GTO picks it and sticks with it 3 cycles.
         core.step(0);
         core.step(1);
@@ -661,8 +737,13 @@ mod tests {
         let streams: Vec<Box<dyn InstStream>> = (0..cfg.warps_per_core)
             .map(|_| Box::new(Scripted::new(vec![Inst::alu1(); 4])) as Box<dyn InstStream>)
             .collect();
-        let mut core =
-            SimtCore::new(CoreId(0), AppId::new(0), &cfg, CoreParams::default(), streams);
+        let mut core = SimtCore::new(
+            CoreId(0),
+            AppId::new(0),
+            &cfg,
+            CoreParams::default(),
+            streams,
+        );
         core.set_tlp(TlpLevel::new(1).unwrap());
         core.step(0);
         let limited = core.stats().insts;
@@ -680,7 +761,10 @@ mod tests {
         // response must still wake the warp through the fill path.
         let mut core = core_with_one_stream(
             Box::new(Scripted::new(vec![Inst::load1(0), Inst::load1(1 << 20)])),
-            CoreParams { max_outstanding_loads: 2, max_txn_per_inst: 32 },
+            CoreParams {
+                max_outstanding_loads: 2,
+                max_txn_per_inst: 32,
+            },
         );
         core.step(0);
         let first = core.pop_request().expect("first load misses");
@@ -702,15 +786,16 @@ mod tests {
         // lowers the warp limit.
         let cfg = small_cfg();
         let streams: Vec<Box<dyn InstStream>> = (0..cfg.warps_per_core)
-            .map(|i| {
-                Box::new(LoopOverSet::new((i as u64) << 20, 8)) as Box<dyn InstStream>
-            })
+            .map(|i| Box::new(LoopOverSet::new((i as u64) << 20, 8)) as Box<dyn InstStream>)
             .collect();
         let mut core = SimtCore::new(
             CoreId(0),
             AppId::new(0),
             &cfg,
-            CoreParams { max_outstanding_loads: 2, max_txn_per_inst: 32 },
+            CoreParams {
+                max_outstanding_loads: 2,
+                max_txn_per_inst: 32,
+            },
             streams,
         );
         core.set_ccws(true);
@@ -747,7 +832,10 @@ mod tests {
             CoreId(0),
             AppId::new(0),
             &cfg,
-            CoreParams { max_outstanding_loads: 2, max_txn_per_inst: 32 },
+            CoreParams {
+                max_outstanding_loads: 2,
+                max_txn_per_inst: 32,
+            },
             streams,
         );
         core.set_ccws(true);
@@ -764,7 +852,11 @@ mod tests {
                 }
             }
         }
-        assert_eq!(core.tlp(), cfg.warps_per_scheduler(), "no reason to throttle");
+        assert_eq!(
+            core.tlp(),
+            cfg.warps_per_scheduler(),
+            "no reason to throttle"
+        );
     }
 
     #[test]

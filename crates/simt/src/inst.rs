@@ -40,7 +40,9 @@ impl Inst {
 
     /// Convenience constructor for a one-address load.
     pub fn load1(addr: u64) -> Inst {
-        Inst::Load { addrs: vec![Address::new(addr)] }
+        Inst::Load {
+            addrs: vec![Address::new(addr)],
+        }
     }
 }
 
@@ -89,14 +91,23 @@ mod tests {
     #[test]
     fn coalesce_preserves_first_appearance_order() {
         // 300 falls in the line of 256; 10 falls in the line of 0.
-        let addrs =
-            vec![Address::new(256), Address::new(0), Address::new(300), Address::new(10)];
+        let addrs = vec![
+            Address::new(256),
+            Address::new(0),
+            Address::new(300),
+            Address::new(10),
+        ];
         assert_eq!(coalesce(&addrs), vec![Address::new(256), Address::new(0)]);
     }
 
     #[test]
     fn inst_constructors() {
         assert_eq!(Inst::alu1(), Inst::Alu { cycles: 1 });
-        assert_eq!(Inst::load1(5), Inst::Load { addrs: vec![Address::new(5)] });
+        assert_eq!(
+            Inst::load1(5),
+            Inst::Load {
+                addrs: vec![Address::new(5)]
+            }
+        );
     }
 }

@@ -40,9 +40,17 @@ impl GtoScheduler {
     ///
     /// Panics if `slots` is empty.
     pub fn with_policy(slots: Vec<usize>, policy: WarpSchedPolicy) -> Self {
-        assert!(!slots.is_empty(), "a scheduler must own at least one warp slot");
+        assert!(
+            !slots.is_empty(),
+            "a scheduler must own at least one warp slot"
+        );
         let limit = slots.len();
-        GtoScheduler { slots, greedy: None, limit, policy }
+        GtoScheduler {
+            slots,
+            greedy: None,
+            limit,
+            policy,
+        }
     }
 
     /// Priority-ordered candidate slots for this cycle: GTO puts the greedy
@@ -118,7 +126,10 @@ impl GtoScheduler {
 
     /// Records that `slot` issued this cycle, making it the greedy warp.
     pub fn record_issue(&mut self, slot: usize) {
-        debug_assert!(self.active_slots().contains(&slot), "issued slot outside SWL window");
+        debug_assert!(
+            self.active_slots().contains(&slot),
+            "issued slot outside SWL window"
+        );
         self.greedy = Some(slot);
     }
 

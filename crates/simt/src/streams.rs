@@ -15,7 +15,9 @@ pub struct Scripted {
 impl Scripted {
     /// Creates a stream that yields `insts` in order, then ends.
     pub fn new(insts: Vec<Inst>) -> Self {
-        Scripted { insts: insts.into() }
+        Scripted {
+            insts: insts.into(),
+        }
     }
 }
 
@@ -39,7 +41,12 @@ impl Streaming {
     /// Creates a stream starting at `base`, striding by `stride` bytes, with
     /// `compute` ALU instructions between loads.
     pub fn new(base: u64, stride: u64, compute: u32) -> Self {
-        Streaming { next_addr: base, stride, compute, phase: 0 }
+        Streaming {
+            next_addr: base,
+            stride,
+            compute,
+            phase: 0,
+        }
     }
 }
 
@@ -52,7 +59,9 @@ impl InstStream for Streaming {
         self.phase = 0;
         let a = self.next_addr;
         self.next_addr = self.next_addr.wrapping_add(self.stride);
-        Some(Inst::Load { addrs: vec![Address::new(a)] })
+        Some(Inst::Load {
+            addrs: vec![Address::new(a)],
+        })
     }
 }
 
@@ -69,7 +78,9 @@ impl LoopOverSet {
     pub fn new(base: u64, n_lines: usize) -> Self {
         assert!(n_lines > 0, "working set must be non-empty");
         LoopOverSet {
-            lines: (0..n_lines as u64).map(|i| base + i * gpu_types::LINE_SIZE).collect(),
+            lines: (0..n_lines as u64)
+                .map(|i| base + i * gpu_types::LINE_SIZE)
+                .collect(),
             idx: 0,
         }
     }
@@ -79,7 +90,9 @@ impl InstStream for LoopOverSet {
     fn next_inst(&mut self) -> Option<Inst> {
         let a = self.lines[self.idx];
         self.idx = (self.idx + 1) % self.lines.len();
-        Some(Inst::Load { addrs: vec![Address::new(a)] })
+        Some(Inst::Load {
+            addrs: vec![Address::new(a)],
+        })
     }
 }
 

@@ -44,7 +44,10 @@ impl Warp {
     ///
     /// Panics if `max_outstanding` is zero.
     pub fn new(stream: Box<dyn InstStream>, max_outstanding: usize) -> Self {
-        assert!(max_outstanding > 0, "a warp must tolerate at least one outstanding load");
+        assert!(
+            max_outstanding > 0,
+            "a warp must tolerate at least one outstanding load"
+        );
         Warp {
             stream,
             stashed: None,
@@ -116,7 +119,10 @@ impl Warp {
     ///
     /// Panics if no loads were in flight (a routing bug in the caller).
     pub fn load_returned(&mut self) {
-        assert!(self.inflight_loads > 0, "load return routed to a warp with none in flight");
+        assert!(
+            self.inflight_loads > 0,
+            "load return routed to a warp with none in flight"
+        );
         self.inflight_loads -= 1;
     }
 

@@ -61,7 +61,9 @@ impl CacheConfig {
             )));
         }
         if self.mshr_entries == 0 || self.mshr_merge == 0 {
-            return Err(ConfigError::new(format!("{what}: MSHR sizes must be non-zero")));
+            return Err(ConfigError::new(format!(
+                "{what}: MSHR sizes must be non-zero"
+            )));
         }
         Ok(())
     }
@@ -107,7 +109,10 @@ impl DramConfig {
     }
 
     fn validate(&self) -> Result<(), ConfigError> {
-        if self.n_banks == 0 || self.n_bank_groups == 0 || !self.n_banks.is_multiple_of(self.n_bank_groups) {
+        if self.n_banks == 0
+            || self.n_bank_groups == 0
+            || !self.n_banks.is_multiple_of(self.n_bank_groups)
+        {
             return Err(ConfigError::new(format!(
                 "dram: {} banks must be a positive multiple of {} bank groups",
                 self.n_banks, self.n_bank_groups
@@ -119,7 +124,9 @@ impl DramConfig {
             ));
         }
         if self.burst_cycles == 0 {
-            return Err(ConfigError::new("dram: burst_cycles must be non-zero".to_owned()));
+            return Err(ConfigError::new(
+                "dram: burst_cycles must be non-zero".to_owned(),
+            ));
         }
         Ok(())
     }
@@ -169,7 +176,12 @@ pub struct SamplingConfig {
 
 impl Default for SamplingConfig {
     fn default() -> Self {
-        SamplingConfig { window_cycles: 2_000, relay_latency: 100, table_entries: 16, designated: false }
+        SamplingConfig {
+            window_cycles: 2_000,
+            relay_latency: 100,
+            table_entries: 16,
+            designated: false,
+        }
     }
 }
 
@@ -334,20 +346,28 @@ impl GpuConfig {
         if self.n_partitions == 0 {
             return Err(ConfigError::new("n_partitions must be non-zero".to_owned()));
         }
-        if self.schedulers_per_core == 0 || !self.warps_per_core.is_multiple_of(self.schedulers_per_core) {
+        if self.schedulers_per_core == 0
+            || !self.warps_per_core.is_multiple_of(self.schedulers_per_core)
+        {
             return Err(ConfigError::new(format!(
                 "warps_per_core {} must be a positive multiple of schedulers_per_core {}",
                 self.warps_per_core, self.schedulers_per_core
             )));
         }
         if self.threads_per_warp == 0 {
-            return Err(ConfigError::new("threads_per_warp must be non-zero".to_owned()));
+            return Err(ConfigError::new(
+                "threads_per_warp must be non-zero".to_owned(),
+            ));
         }
         if self.xbar_requests_per_cycle == 0 {
-            return Err(ConfigError::new("xbar_requests_per_cycle must be non-zero".to_owned()));
+            return Err(ConfigError::new(
+                "xbar_requests_per_cycle must be non-zero".to_owned(),
+            ));
         }
         if self.sampling.window_cycles == 0 {
-            return Err(ConfigError::new("sampling window must be non-zero".to_owned()));
+            return Err(ConfigError::new(
+                "sampling window must be non-zero".to_owned(),
+            ));
         }
         self.l1.validate("l1")?;
         self.l2.validate("l2")?;

@@ -30,7 +30,9 @@ pub mod stats;
 pub mod tlp;
 
 pub use addr::{Address, LINE_SIZE};
-pub use config::{CacheConfig, ConfigError, DramConfig, GpuConfig, PagePolicy, SamplingConfig, WarpSchedPolicy};
+pub use config::{
+    CacheConfig, ConfigError, DramConfig, GpuConfig, PagePolicy, SamplingConfig, WarpSchedPolicy,
+};
 pub use fxmap::FxHashMap;
 pub use ids::{AppId, CoreId, PartitionId, WarpId};
 pub use rng::SplitMix64;

@@ -108,7 +108,10 @@ impl Sub for MemCounters {
     ///
     /// Panics in debug builds if `rhs` is not an earlier snapshot of `self`.
     fn sub(self, rhs: MemCounters) -> MemCounters {
-        debug_assert!(self.l1_accesses >= rhs.l1_accesses, "snapshot order reversed");
+        debug_assert!(
+            self.l1_accesses >= rhs.l1_accesses,
+            "snapshot order reversed"
+        );
         MemCounters {
             l1_accesses: self.l1_accesses - rhs.l1_accesses,
             l1_misses: self.l1_misses - rhs.l1_misses,
@@ -143,8 +146,15 @@ impl AppWindow {
     /// Panics if `cycles` is zero or the peak bandwidth is not positive.
     pub fn new(counters: MemCounters, cycles: u64, peak_bw_bytes_per_cycle: f64) -> Self {
         assert!(cycles > 0, "observation window must be non-empty");
-        assert!(peak_bw_bytes_per_cycle > 0.0, "peak bandwidth must be positive");
-        AppWindow { counters, cycles, peak_bw_bytes_per_cycle }
+        assert!(
+            peak_bw_bytes_per_cycle > 0.0,
+            "peak bandwidth must be positive"
+        );
+        AppWindow {
+            counters,
+            cycles,
+            peak_bw_bytes_per_cycle,
+        }
     }
 
     /// Warp-instruction IPC over the window.
@@ -262,7 +272,11 @@ mod tests {
 
     #[test]
     fn eb_is_finite_at_zero_cmr() {
-        let c = MemCounters { l1_accesses: 1000, warp_insts: 100, ..MemCounters::new() };
+        let c = MemCounters {
+            l1_accesses: 1000,
+            warp_insts: 100,
+            ..MemCounters::new()
+        };
         let w = AppWindow::new(c, 500, 192.0);
         assert!(w.effective_bandwidth().is_finite());
     }

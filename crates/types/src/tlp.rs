@@ -99,7 +99,10 @@ impl TlpCombo {
     ///
     /// Panics if `levels` is empty.
     pub fn new(levels: Vec<TlpLevel>) -> Self {
-        assert!(!levels.is_empty(), "a TLP combination needs at least one application");
+        assert!(
+            !levels.is_empty(),
+            "a TLP combination needs at least one application"
+        );
         TlpCombo(levels)
     }
 
@@ -110,7 +113,10 @@ impl TlpCombo {
 
     /// Every application at the same level.
     pub fn uniform(level: TlpLevel, n_apps: usize) -> Self {
-        assert!(n_apps > 0, "a TLP combination needs at least one application");
+        assert!(
+            n_apps > 0,
+            "a TLP combination needs at least one application"
+        );
         TlpCombo(vec![level; n_apps])
     }
 
@@ -148,7 +154,10 @@ impl TlpCombo {
     /// Iterates over every ladder combination for `n_apps` applications
     /// (`8^n_apps` combinations — 64 for two applications).
     pub fn all(n_apps: usize) -> Vec<TlpCombo> {
-        assert!(n_apps > 0, "a TLP combination needs at least one application");
+        assert!(
+            n_apps > 0,
+            "a TLP combination needs at least one application"
+        );
         let mut out = vec![TlpCombo(Vec::new())];
         for _ in 0..n_apps {
             let mut next = Vec::with_capacity(out.len() * LADDER.len());
@@ -188,7 +197,10 @@ mod tests {
         assert_eq!(ladder.len(), 8);
         assert_eq!(ladder[0], TlpLevel::MIN);
         assert_eq!(*ladder.last().unwrap(), TlpLevel::MAX);
-        assert!(ladder.windows(2).all(|w| w[0] < w[1]), "ladder must be increasing");
+        assert!(
+            ladder.windows(2).all(|w| w[0] < w[1]),
+            "ladder must be increasing"
+        );
     }
 
     #[test]

@@ -1,96 +1,118 @@
 //! Property-based tests of the foundation types.
+//!
+//! Cases are generated with the in-repo [`SplitMix64`] generator (fixed
+//! seeds, so failures reproduce exactly) instead of an external
+//! property-testing crate — the build must work fully offline.
 
 use gpu_types::tlp::LADDER;
 use gpu_types::{Address, AppWindow, MemCounters, SplitMix64, TlpCombo, TlpLevel};
-use proptest::prelude::*;
 
-fn arb_counters() -> impl Strategy<Value = MemCounters> {
-    (
-        0u64..100_000,
-        0.0f64..=1.0,
-        0.0f64..=1.0,
-        0u64..1_000,
-        0u64..10_000,
-    )
-        .prop_map(|(l1a, l1mr, l2mr, lines, insts)| {
-            let l1m = (l1a as f64 * l1mr) as u64;
-            let l2a = l1m;
-            let l2m = (l2a as f64 * l2mr) as u64;
-            MemCounters {
-                l1_accesses: l1a,
-                l1_misses: l1m,
-                l2_accesses: l2a,
-                l2_misses: l2m,
-                dram_bytes: lines * gpu_types::LINE_SIZE,
-                row_hits: lines / 2,
-                row_misses: lines - lines / 2,
-                warp_insts: insts,
-            }
-        })
+const CASES: usize = 256;
+
+fn arb_counters(rng: &mut SplitMix64) -> MemCounters {
+    let l1a = rng.next_below(100_000);
+    let l1mr = rng.next_f64();
+    let l2mr = rng.next_f64();
+    let lines = rng.next_below(1_000);
+    let insts = rng.next_below(10_000);
+    let l1m = (l1a as f64 * l1mr) as u64;
+    let l2a = l1m;
+    let l2m = (l2a as f64 * l2mr) as u64;
+    MemCounters {
+        l1_accesses: l1a,
+        l1_misses: l1m,
+        l2_accesses: l2a,
+        l2_misses: l2m,
+        dram_bytes: lines * gpu_types::LINE_SIZE,
+        row_hits: lines / 2,
+        row_misses: lines - lines / 2,
+        warp_insts: insts,
+    }
 }
 
-proptest! {
-    /// Miss rates are always rates; CMR never exceeds either component.
-    #[test]
-    fn miss_rates_are_well_formed(c in arb_counters()) {
-        prop_assert!((0.0..=1.0).contains(&c.l1_miss_rate()));
-        prop_assert!((0.0..=1.0).contains(&c.l2_miss_rate()));
+/// Miss rates are always rates; CMR never exceeds either component.
+#[test]
+fn miss_rates_are_well_formed() {
+    let mut rng = SplitMix64::new(0xA11C_E501);
+    for _ in 0..CASES {
+        let c = arb_counters(&mut rng);
+        assert!((0.0..=1.0).contains(&c.l1_miss_rate()));
+        assert!((0.0..=1.0).contains(&c.l2_miss_rate()));
         let cmr = c.combined_miss_rate();
-        prop_assert!(cmr <= c.l1_miss_rate() + 1e-12);
-        prop_assert!(cmr <= c.l2_miss_rate() + 1e-12);
+        assert!(cmr <= c.l1_miss_rate() + 1e-12);
+        assert!(cmr <= c.l2_miss_rate() + 1e-12);
     }
+}
 
-    /// EB amplifies BW exactly when caches help: EB >= BW always (CMR <= 1),
-    /// with equality at CMR = 1.
-    #[test]
-    fn eb_amplifies_bw(c in arb_counters(), cycles in 1u64..100_000) {
+/// EB amplifies BW exactly when caches help: EB >= BW always (CMR <= 1),
+/// with equality at CMR = 1.
+#[test]
+fn eb_amplifies_bw() {
+    let mut rng = SplitMix64::new(0xA11C_E502);
+    for _ in 0..CASES {
+        let c = arb_counters(&mut rng);
+        let cycles = 1 + rng.next_below(100_000 - 1);
         let w = AppWindow::new(c, cycles, 192.0);
-        prop_assert!(w.effective_bandwidth() >= w.attained_bw() - 1e-12);
-        prop_assert!(w.effective_bandwidth().is_finite());
+        assert!(w.effective_bandwidth() >= w.attained_bw() - 1e-12);
+        assert!(w.effective_bandwidth().is_finite());
         if c.l1_accesses > 0 && c.combined_miss_rate() == 1.0 {
-            prop_assert!((w.effective_bandwidth() - w.attained_bw()).abs() < 1e-12);
+            assert!((w.effective_bandwidth() - w.attained_bw()).abs() < 1e-12);
         }
     }
+}
 
-    /// Counter deltas invert addition.
-    #[test]
-    fn counters_add_sub_roundtrip(a in arb_counters(), b in arb_counters()) {
+/// Counter deltas invert addition.
+#[test]
+fn counters_add_sub_roundtrip() {
+    let mut rng = SplitMix64::new(0xA11C_E503);
+    for _ in 0..CASES {
+        let a = arb_counters(&mut rng);
+        let b = arb_counters(&mut rng);
         let sum = a + b;
-        prop_assert_eq!(sum - b, a);
-        prop_assert_eq!(sum - a, b);
+        assert_eq!(sum - b, a);
+        assert_eq!(sum - a, b);
     }
+}
 
-    /// Every ladder combination stays on the ladder and enumerations are
-    /// complete and duplicate-free.
-    #[test]
-    fn combos_enumerate_the_ladder(n in 1usize..4) {
+/// Every ladder combination stays on the ladder and enumerations are
+/// complete and duplicate-free.
+#[test]
+fn combos_enumerate_the_ladder() {
+    for n in 1usize..4 {
         let combos = TlpCombo::all(n);
-        prop_assert_eq!(combos.len(), LADDER.len().pow(n as u32));
+        assert_eq!(combos.len(), LADDER.len().pow(n as u32));
         let set: std::collections::HashSet<_> = combos.iter().cloned().collect();
-        prop_assert_eq!(set.len(), combos.len());
+        assert_eq!(set.len(), combos.len());
         for c in &combos {
             for l in c.levels() {
-                prop_assert!(l.ladder_index().is_some());
+                assert!(l.ladder_index().is_some());
             }
         }
     }
+}
 
-    /// Ladder stepping is a strict inverse pair in the interior.
-    #[test]
-    fn ladder_steps_invert(i in 0usize..8) {
+/// Ladder stepping is a strict inverse pair in the interior.
+#[test]
+fn ladder_steps_invert() {
+    for i in 0..LADDER.len() {
         let l = TlpLevel::new(LADDER[i]).unwrap();
         if let Some(up) = l.step_up() {
-            prop_assert_eq!(up.step_down(), Some(l));
+            assert_eq!(up.step_down(), Some(l));
         }
         if let Some(down) = l.step_down() {
-            prop_assert_eq!(down.step_up(), Some(l));
+            assert_eq!(down.step_up(), Some(l));
         }
     }
+}
 
-    /// Partition interleaving covers all partitions with bounded skew over
-    /// aligned ranges.
-    #[test]
-    fn interleaving_is_balanced(n_partitions in 1usize..9, start_chunk in 0u64..1_000) {
+/// Partition interleaving covers all partitions with bounded skew over
+/// aligned ranges.
+#[test]
+fn interleaving_is_balanced() {
+    let mut rng = SplitMix64::new(0xA11C_E504);
+    for _ in 0..CASES {
+        let n_partitions = 1 + rng.next_below(8) as usize;
+        let start_chunk = rng.next_below(1_000);
         let mut counts = vec![0u64; n_partitions];
         let total = 64 * n_partitions as u64;
         for i in 0..total {
@@ -98,18 +120,25 @@ proptest! {
             counts[addr.partition(n_partitions)] += 1;
         }
         for &c in &counts {
-            prop_assert_eq!(c, 64);
+            assert_eq!(c, 64);
         }
     }
+}
 
-    /// SplitMix64 streams from distinct seeds look uncorrelated at the level
-    /// this simulator relies on (no collisions over short prefixes).
-    #[test]
-    fn rng_streams_do_not_collide(s1 in 0u64..10_000, s2 in 0u64..10_000) {
-        prop_assume!(s1 != s2);
+/// SplitMix64 streams from distinct seeds look uncorrelated at the level
+/// this simulator relies on (no collisions over short prefixes).
+#[test]
+fn rng_streams_do_not_collide() {
+    let mut rng = SplitMix64::new(0xA11C_E505);
+    for _ in 0..CASES {
+        let s1 = rng.next_below(10_000);
+        let s2 = rng.next_below(10_000);
+        if s1 == s2 {
+            continue;
+        }
         let mut a = SplitMix64::new(s1);
         let mut b = SplitMix64::new(s2);
         let matches = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
-        prop_assert_eq!(matches, 0);
+        assert_eq!(matches, 0);
     }
 }

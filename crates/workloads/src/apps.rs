@@ -136,7 +136,14 @@ impl AppProfile {
         warps_per_core: usize,
         seed: u64,
     ) -> Box<dyn InstStream> {
-        Box::new(AppStream::new(*self, app, core_rank, slot, warps_per_core, seed))
+        Box::new(AppStream::new(
+            *self,
+            app,
+            core_rank,
+            slot,
+            warps_per_core,
+            seed,
+        ))
     }
 }
 
@@ -199,9 +206,9 @@ mod tests {
 
     #[test]
     fn table_iv_workload_apps_exist() {
-        for n in
-            ["DS", "TRD", "BFS", "FFT", "BLK", "FWT", "JPEG", "CFD", "LIB", "LUH", "SCP"]
-        {
+        for n in [
+            "DS", "TRD", "BFS", "FFT", "BLK", "FWT", "JPEG", "CFD", "LIB", "LUH", "SCP",
+        ] {
             assert!(by_name(n).is_some(), "{n} missing");
         }
     }

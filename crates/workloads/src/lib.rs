@@ -33,7 +33,7 @@ pub mod stream;
 pub mod workload;
 
 pub use apps::{all_apps, by_name};
+pub use phased::{PH1, PH2};
 pub use profile::{AccessPattern, AppProfile, EbGroup};
 pub use stream::AppStream;
-pub use phased::{PH1, PH2};
 pub use workload::{all_workloads, representative_workloads, Workload};

@@ -22,7 +22,11 @@ pub static PH1: AppProfile = AppProfile {
     mem_ratio: 0.30,
     store_ratio: 0.05,
     alu_cycles: 1,
-    pattern: AccessPattern::Phased { hot_lines: 48, hot_frac: 0.85, phase_insts: 40_000 },
+    pattern: AccessPattern::Phased {
+        hot_lines: 48,
+        hot_frac: 0.85,
+        phase_insts: 40_000,
+    },
     coalesce_degree: 2,
     max_outstanding: 2,
 };
@@ -36,7 +40,11 @@ pub static PH2: AppProfile = AppProfile {
     mem_ratio: 0.28,
     store_ratio: 0.06,
     alu_cycles: 1,
-    pattern: AccessPattern::Phased { hot_lines: 24, hot_frac: 0.75, phase_insts: 25_000 },
+    pattern: AccessPattern::Phased {
+        hot_lines: 24,
+        hot_frac: 0.75,
+        phase_insts: 25_000,
+    },
     coalesce_degree: 2,
     max_outstanding: 3,
 };

@@ -171,7 +171,11 @@ impl AppProfile {
     /// Panics on out-of-range parameters; profiles are static data, so this
     /// is exercised by tests rather than returning a `Result`.
     pub fn assert_valid(&self) {
-        assert!(self.mem_ratio >= 0.0 && self.mem_ratio <= 1.0, "{}: mem_ratio", self.name);
+        assert!(
+            self.mem_ratio >= 0.0 && self.mem_ratio <= 1.0,
+            "{}: mem_ratio",
+            self.name
+        );
         assert!(self.store_ratio >= 0.0, "{}: store_ratio", self.name);
         assert!(
             self.mem_ratio + self.store_ratio <= 1.0,
@@ -187,12 +191,23 @@ impl AppProfile {
         assert!(self.max_outstanding >= 1, "{}: max_outstanding", self.name);
         match self.pattern {
             AccessPattern::Stream { stride_lines } => assert!(stride_lines >= 1),
-            AccessPattern::HotStream { hot_lines, hot_frac }
-            | AccessPattern::SharedHotStream { hot_lines, hot_frac } => {
+            AccessPattern::HotStream {
+                hot_lines,
+                hot_frac,
+            }
+            | AccessPattern::SharedHotStream {
+                hot_lines,
+                hot_frac,
+            } => {
                 assert!(hot_lines >= 1, "{}: hot_lines", self.name);
                 assert!((0.0..=1.0).contains(&hot_frac), "{}: hot_frac", self.name);
             }
-            AccessPattern::TwoTierHot { l1_lines, l1_frac, l2_lines, l2_frac } => {
+            AccessPattern::TwoTierHot {
+                l1_lines,
+                l1_frac,
+                l2_lines,
+                l2_frac,
+            } => {
                 assert!(l1_lines >= 1 && l2_lines >= 1, "{}: tier sizes", self.name);
                 assert!(
                     l1_frac >= 0.0 && l2_frac >= 0.0 && l1_frac + l2_frac <= 1.0,
@@ -206,7 +221,11 @@ impl AppProfile {
             AccessPattern::Tiled { tile_lines, reuse } => {
                 assert!(tile_lines >= 1 && reuse >= 1, "{}: tiled", self.name)
             }
-            AccessPattern::Phased { hot_lines, hot_frac, phase_insts } => {
+            AccessPattern::Phased {
+                hot_lines,
+                hot_frac,
+                phase_insts,
+            } => {
                 assert!(hot_lines >= 1, "{}: hot_lines", self.name);
                 assert!((0.0..=1.0).contains(&hot_frac), "{}: hot_frac", self.name);
                 assert!(phase_insts >= 1, "{}: phase_insts", self.name);

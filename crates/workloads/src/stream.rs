@@ -87,15 +87,24 @@ impl AppStream {
         };
         let core_stream_base = app_base
             + (1 + core_rank as u64) * CORE_SEGMENT
-            + jitter(0x1000 + core_rank as u64 + ((app.index() as u64) << 20), CORE_SEGMENT / 4);
+            + jitter(
+                0x1000 + core_rank as u64 + ((app.index() as u64) << 20),
+                CORE_SEGMENT / 4,
+            );
         let warp_base = app_base
             + (APP_REGION / 4)
             + (1 + warp_global) * WARP_SEGMENT
-            + jitter(0x2000 + warp_global + ((app.index() as u64) << 20), WARP_SEGMENT);
+            + jitter(
+                0x2000 + warp_global + ((app.index() as u64) << 20),
+                WARP_SEGMENT,
+            );
         let shared_hot_base = app_base
             + (APP_REGION / 2)
             + core_rank as u64 * WARP_SEGMENT
-            + jitter(0x3000 + core_rank as u64 + ((app.index() as u64) << 20), WARP_SEGMENT);
+            + jitter(
+                0x3000 + core_rank as u64 + ((app.index() as u64) << 20),
+                WARP_SEGMENT,
+            );
         let mut seeder = SplitMix64::new(seed ^ ((app.index() as u64) << 32));
         for _ in 0..=warp_global % 64 {
             seeder.next_u64();
@@ -134,7 +143,10 @@ impl AppStream {
     fn gen_base(&mut self) -> u64 {
         match self.profile.pattern {
             AccessPattern::Stream { .. } => self.stream_line(0),
-            AccessPattern::HotStream { hot_lines, hot_frac } => {
+            AccessPattern::HotStream {
+                hot_lines,
+                hot_frac,
+            } => {
                 if self.rng.chance(hot_frac) {
                     self.warp_base + self.rng.next_below(hot_lines) * LINE_SIZE
                 } else {
@@ -143,14 +155,22 @@ impl AppStream {
                     self.stream_line(CORE_SEGMENT / 2)
                 }
             }
-            AccessPattern::SharedHotStream { hot_lines, hot_frac } => {
+            AccessPattern::SharedHotStream {
+                hot_lines,
+                hot_frac,
+            } => {
                 if self.rng.chance(hot_frac) {
                     self.shared_hot_base + self.rng.next_below(hot_lines) * LINE_SIZE
                 } else {
                     self.stream_line(0)
                 }
             }
-            AccessPattern::TwoTierHot { l1_lines, l1_frac, l2_lines, l2_frac } => {
+            AccessPattern::TwoTierHot {
+                l1_lines,
+                l1_frac,
+                l2_lines,
+                l2_frac,
+            } => {
                 let u = self.rng.next_f64();
                 if u < l1_frac {
                     self.warp_base + self.rng.next_below(l1_lines) * LINE_SIZE
@@ -163,7 +183,11 @@ impl AppStream {
             AccessPattern::RandomUniform { span_lines } => {
                 self.warp_base + self.rng.next_below(span_lines) * LINE_SIZE
             }
-            AccessPattern::Phased { hot_lines, hot_frac, phase_insts } => {
+            AccessPattern::Phased {
+                hot_lines,
+                hot_frac,
+                phase_insts,
+            } => {
                 let cache_phase = (self.insts / phase_insts).is_multiple_of(2);
                 if cache_phase && self.rng.chance(hot_frac) {
                     self.warp_base + self.rng.next_below(hot_lines) * LINE_SIZE
@@ -172,8 +196,8 @@ impl AppStream {
                 }
             }
             AccessPattern::Tiled { tile_lines, reuse } => {
-                let addr = self.warp_base
-                    + (self.tile_index * tile_lines + self.tile_pos) * LINE_SIZE;
+                let addr =
+                    self.warp_base + (self.tile_index * tile_lines + self.tile_pos) * LINE_SIZE;
                 self.tile_pos += 1;
                 if self.tile_pos == tile_lines {
                     self.tile_pos = 0;
@@ -212,11 +236,17 @@ impl InstStream for AppStream {
         let u = self.rng.next_f64();
         let p = &self.profile;
         if u < p.mem_ratio {
-            Some(Inst::Load { addrs: self.gen_addrs() })
+            Some(Inst::Load {
+                addrs: self.gen_addrs(),
+            })
         } else if u < p.mem_ratio + p.store_ratio {
-            Some(Inst::Store { addrs: self.gen_addrs() })
+            Some(Inst::Store {
+                addrs: self.gen_addrs(),
+            })
         } else {
-            Some(Inst::Alu { cycles: p.alu_cycles })
+            Some(Inst::Alu {
+                cycles: p.alu_cycles,
+            })
         }
     }
 }
@@ -273,7 +303,11 @@ mod tests {
         let mut w1 = stream_of(p, 0, 0, 1, 7);
         let l0 = collect_load_lines(&mut w0, 1)[0];
         let l1 = collect_load_lines(&mut w1, 1)[0];
-        assert_eq!(l1, l0 + LINE_SIZE, "warp 1's first access neighbours warp 0's");
+        assert_eq!(
+            l1,
+            l0 + LINE_SIZE,
+            "warp 1's first access neighbours warp 0's"
+        );
     }
 
     #[test]
@@ -281,7 +315,11 @@ mod tests {
         let p = profile(AccessPattern::Stream { stride_lines: 1 });
         let mut w0 = stream_of(p, 0, 0, 0, 7);
         let lines = collect_load_lines(&mut w0, 3);
-        assert_eq!(lines[1] - lines[0], 16 * LINE_SIZE, "second sweep skips the other warps");
+        assert_eq!(
+            lines[1] - lines[0],
+            16 * LINE_SIZE,
+            "second sweep skips the other warps"
+        );
         assert_eq!(lines[2] - lines[1], 16 * LINE_SIZE);
     }
 
@@ -305,37 +343,59 @@ mod tests {
 
     #[test]
     fn hot_stream_revisits_hot_region() {
-        let p = profile(AccessPattern::HotStream { hot_lines: 8, hot_frac: 0.9 });
+        let p = profile(AccessPattern::HotStream {
+            hot_lines: 8,
+            hot_frac: 0.9,
+        });
         let mut s = stream_of(p, 0, 0, 0, 7);
         let lines = collect_load_lines(&mut s, 400);
         let distinct: HashSet<u64> = lines.iter().copied().collect();
         // ~90% of 400 accesses fall in just 8 lines.
-        assert!(distinct.len() < 80, "expected heavy reuse, got {} distinct", distinct.len());
+        assert!(
+            distinct.len() < 80,
+            "expected heavy reuse, got {} distinct",
+            distinct.len()
+        );
     }
 
     #[test]
     fn hot_regions_of_warps_are_disjoint() {
-        let p = profile(AccessPattern::HotStream { hot_lines: 8, hot_frac: 1.0 });
+        let p = profile(AccessPattern::HotStream {
+            hot_lines: 8,
+            hot_frac: 1.0,
+        });
         let mut a = stream_of(p, 0, 0, 0, 7);
         let mut b = stream_of(p, 0, 0, 1, 7);
         let la: HashSet<u64> = collect_load_lines(&mut a, 100).into_iter().collect();
         let lb: HashSet<u64> = collect_load_lines(&mut b, 100).into_iter().collect();
-        assert!(la.is_disjoint(&lb), "private hot regions must scale with TLP");
+        assert!(
+            la.is_disjoint(&lb),
+            "private hot regions must scale with TLP"
+        );
     }
 
     #[test]
     fn shared_hot_region_is_common_across_warps() {
-        let p = profile(AccessPattern::SharedHotStream { hot_lines: 8, hot_frac: 1.0 });
+        let p = profile(AccessPattern::SharedHotStream {
+            hot_lines: 8,
+            hot_frac: 1.0,
+        });
         let mut a = stream_of(p, 0, 0, 0, 7);
         let mut b = stream_of(p, 0, 0, 1, 7);
         let la: HashSet<u64> = collect_load_lines(&mut a, 100).into_iter().collect();
         let lb: HashSet<u64> = collect_load_lines(&mut b, 100).into_iter().collect();
-        assert!(!la.is_disjoint(&lb), "warps of one core must share the hot region");
+        assert!(
+            !la.is_disjoint(&lb),
+            "warps of one core must share the hot region"
+        );
     }
 
     #[test]
     fn shared_hot_region_differs_across_cores() {
-        let p = profile(AccessPattern::SharedHotStream { hot_lines: 8, hot_frac: 1.0 });
+        let p = profile(AccessPattern::SharedHotStream {
+            hot_lines: 8,
+            hot_frac: 1.0,
+        });
         let mut a = stream_of(p, 0, 0, 0, 7);
         let mut b = stream_of(p, 0, 1, 0, 7);
         let la: HashSet<u64> = collect_load_lines(&mut a, 100).into_iter().collect();
@@ -345,7 +405,10 @@ mod tests {
 
     #[test]
     fn tiled_pattern_reuses_each_tile() {
-        let p = profile(AccessPattern::Tiled { tile_lines: 4, reuse: 3 });
+        let p = profile(AccessPattern::Tiled {
+            tile_lines: 4,
+            reuse: 3,
+        });
         let mut s = stream_of(p, 0, 0, 0, 7);
         let lines = collect_load_lines(&mut s, 12);
         // First 12 loads: tile of 4 lines swept 3 times.
@@ -355,7 +418,9 @@ mod tests {
 
     #[test]
     fn random_uniform_rarely_repeats() {
-        let p = profile(AccessPattern::RandomUniform { span_lines: 1 << 20 });
+        let p = profile(AccessPattern::RandomUniform {
+            span_lines: 1 << 20,
+        });
         let mut s = stream_of(p, 0, 0, 0, 7);
         let lines = collect_load_lines(&mut s, 200);
         let distinct: HashSet<u64> = lines.iter().copied().collect();
@@ -384,7 +449,10 @@ mod tests {
         let mut w1 = stream_of(p, 0, 0, 1, 7);
         let l0: HashSet<u64> = collect_load_lines(&mut w0, 16).into_iter().collect();
         let l1: HashSet<u64> = collect_load_lines(&mut w1, 16).into_iter().collect();
-        assert!(l0.is_disjoint(&l1), "stream unit must cover the coalesce degree");
+        assert!(
+            l0.is_disjoint(&l1),
+            "stream unit must cover the coalesce degree"
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl Workload {
     ///
     /// Panics if `apps` is empty.
     pub fn from_profiles(apps: Vec<&'static AppProfile>) -> Self {
-        assert!(!apps.is_empty(), "a workload needs at least one application");
+        assert!(
+            !apps.is_empty(),
+            "a workload needs at least one application"
+        );
         Workload { apps }
     }
 
@@ -52,7 +55,10 @@ impl Workload {
     ///
     /// Panics if `names` is empty or any name is unknown.
     pub fn from_names(names: &[&str]) -> Self {
-        assert!(!names.is_empty(), "a workload needs at least one application");
+        assert!(
+            !names.is_empty(),
+            "a workload needs at least one application"
+        );
         Workload {
             apps: names
                 .iter()
@@ -73,7 +79,11 @@ impl Workload {
 
     /// The paper's workload naming: `A_B` (underscore-joined).
     pub fn name(&self) -> String {
-        self.apps.iter().map(|a| a.name).collect::<Vec<_>>().join("_")
+        self.apps
+            .iter()
+            .map(|a| a.name)
+            .collect::<Vec<_>>()
+            .join("_")
     }
 }
 
@@ -148,13 +158,15 @@ mod tests {
 
     #[test]
     fn representative_are_the_papers_ten() {
-        let names: Vec<String> =
-            representative_workloads().iter().map(Workload::name).collect();
+        let names: Vec<String> = representative_workloads()
+            .iter()
+            .map(Workload::name)
+            .collect();
         assert_eq!(
             names,
             [
-                "DS_TRD", "BFS_FFT", "BLK_BFS", "BLK_TRD", "FFT_TRD", "FWT_TRD",
-                "JPEG_CFD", "JPEG_LIB", "JPEG_LUH", "SCP_TRD"
+                "DS_TRD", "BFS_FFT", "BLK_BFS", "BLK_TRD", "FFT_TRD", "FWT_TRD", "JPEG_CFD",
+                "JPEG_LIB", "JPEG_LUH", "SCP_TRD"
             ]
         );
     }
@@ -177,7 +189,11 @@ mod tests {
         }
         // Workload selection follows the paper's contention criterion
         // rather than exhaustive group coverage; still expect diversity.
-        assert!(pairs.len() >= 6, "only {} group pairings covered", pairs.len());
+        assert!(
+            pairs.len() >= 6,
+            "only {} group pairings covered",
+            pairs.len()
+        );
     }
 
     #[test]

@@ -1,48 +1,46 @@
 //! Property-based tests of the application models: determinism, address
 //! hygiene and mix fidelity over arbitrary apps, warps and seeds.
+//!
+//! Cases are generated with the in-repo [`SplitMix64`] generator (fixed
+//! seeds, so failures reproduce exactly) — the build must work fully
+//! offline.
 
 use gpu_simt::inst::Inst;
-use gpu_types::AppId;
+use gpu_types::{AppId, SplitMix64};
 use gpu_workloads::all_apps;
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-fn collect(
-    app_idx: usize,
-    app_id: u8,
-    core: usize,
-    slot: usize,
-    seed: u64,
-    n: usize,
-) -> Vec<Inst> {
+fn collect(app_idx: usize, app_id: u8, core: usize, slot: usize, seed: u64, n: usize) -> Vec<Inst> {
     let mut s = all_apps()[app_idx].stream(AppId::new(app_id), core, slot, 48, seed);
-    (0..n).map(|_| s.next_inst().expect("app streams are endless")).collect()
+    (0..n)
+        .map(|_| s.next_inst().expect("app streams are endless"))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Identical construction parameters replay identical streams.
-    #[test]
-    fn streams_are_deterministic(
-        app in 0usize..26,
-        core in 0usize..8,
-        slot in 0usize..48,
-        seed in 0u64..1_000,
-    ) {
-        prop_assert_eq!(
+/// Identical construction parameters replay identical streams.
+#[test]
+fn streams_are_deterministic() {
+    let mut rng = SplitMix64::new(0x10AD_5701);
+    for _ in 0..32 {
+        let app = rng.next_below(26) as usize;
+        let core = rng.next_below(8) as usize;
+        let slot = rng.next_below(48) as usize;
+        let seed = rng.next_below(1_000);
+        assert_eq!(
             collect(app, 0, core, slot, seed, 64),
             collect(app, 0, core, slot, seed, 64)
         );
     }
+}
 
-    /// Different applications never touch each other's address space.
-    #[test]
-    fn app_regions_are_disjoint(
-        a in 0usize..26,
-        b in 0usize..26,
-        seed in 0u64..200,
-    ) {
+/// Different applications never touch each other's address space.
+#[test]
+fn app_regions_are_disjoint() {
+    let mut rng = SplitMix64::new(0x10AD_5702);
+    for _ in 0..32 {
+        let a = rng.next_below(26) as usize;
+        let b = rng.next_below(26) as usize;
+        let seed = rng.next_below(200);
         let lines = |app: usize, id: u8| -> HashSet<u64> {
             collect(app, id, 0, 0, seed, 200)
                 .into_iter()
@@ -55,36 +53,59 @@ proptest! {
         };
         let la = lines(a, 0);
         let lb = lines(b, 1);
-        prop_assert!(la.is_disjoint(&lb), "apps {a} and {b} alias");
+        assert!(la.is_disjoint(&lb), "apps {a} and {b} alias");
     }
+}
 
-    /// The instruction mix respects the profile's memory ratios within
-    /// statistical tolerance.
-    #[test]
-    fn mix_matches_profile(app in 0usize..26, seed in 0u64..100) {
+/// The instruction mix respects the profile's memory ratios within
+/// statistical tolerance.
+#[test]
+fn mix_matches_profile() {
+    let mut rng = SplitMix64::new(0x10AD_5703);
+    for _ in 0..32 {
+        let app = rng.next_below(26) as usize;
+        let seed = rng.next_below(100);
         let profile = &all_apps()[app];
         let insts = collect(app, 0, 0, 0, seed, 4_000);
-        let loads = insts.iter().filter(|i| matches!(i, Inst::Load { .. })).count();
-        let stores = insts.iter().filter(|i| matches!(i, Inst::Store { .. })).count();
+        let loads = insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Load { .. }))
+            .count();
+        let stores = insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Store { .. }))
+            .count();
         let lf = loads as f64 / insts.len() as f64;
         let sf = stores as f64 / insts.len() as f64;
-        prop_assert!((lf - profile.mem_ratio).abs() < 0.05,
-            "{}: load fraction {lf:.3} vs r_m {:.3}", profile.name, profile.mem_ratio);
-        prop_assert!((sf - profile.store_ratio).abs() < 0.05,
-            "{}: store fraction {sf:.3} vs {:.3}", profile.name, profile.store_ratio);
+        assert!(
+            (lf - profile.mem_ratio).abs() < 0.05,
+            "{}: load fraction {lf:.3} vs r_m {:.3}",
+            profile.name,
+            profile.mem_ratio
+        );
+        assert!(
+            (sf - profile.store_ratio).abs() < 0.05,
+            "{}: store fraction {sf:.3} vs {:.3}",
+            profile.name,
+            profile.store_ratio
+        );
     }
+}
 
-    /// Memory instructions emit exactly the coalescing degree in distinct
-    /// lines (never zero, never more).
-    #[test]
-    fn coalesce_degree_is_respected(app in 0usize..26, seed in 0u64..100) {
+/// Memory instructions emit exactly the coalescing degree in distinct
+/// lines (never zero, never more).
+#[test]
+fn coalesce_degree_is_respected() {
+    let mut rng = SplitMix64::new(0x10AD_5704);
+    for _ in 0..32 {
+        let app = rng.next_below(26) as usize;
+        let seed = rng.next_below(100);
         let profile = &all_apps()[app];
         for i in collect(app, 0, 0, 0, seed, 500) {
             if let Inst::Load { addrs } | Inst::Store { addrs } = i {
-                let distinct: HashSet<u64> =
-                    addrs.iter().map(|a| a.line().raw()).collect();
-                prop_assert!(!distinct.is_empty());
-                prop_assert!(
+                let distinct: HashSet<u64> = addrs.iter().map(|a| a.line().raw()).collect();
+                assert!(!distinct.is_empty());
+                assert!(
                     distinct.len() <= profile.coalesce_degree,
                     "{}: {} lines > degree {}",
                     profile.name,
@@ -94,14 +115,16 @@ proptest! {
             }
         }
     }
+}
 
-    /// ALU instructions always carry the profile's latency.
-    #[test]
-    fn alu_latency_matches_profile(app in 0usize..26) {
+/// ALU instructions always carry the profile's latency.
+#[test]
+fn alu_latency_matches_profile() {
+    for app in 0..26 {
         let profile = &all_apps()[app];
         for i in collect(app, 0, 0, 0, 7, 500) {
             if let Inst::Alu { cycles } = i {
-                prop_assert_eq!(cycles, profile.alu_cycles);
+                assert_eq!(cycles, profile.alu_cycles);
             }
         }
     }

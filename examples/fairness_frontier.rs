@@ -31,8 +31,12 @@ fn main() {
     let mut points: Vec<(String, f64, f64)> = sweep
         .iter()
         .map(|(combo, _)| {
-            let sds: Vec<f64> =
-                sweep.ipcs(combo).iter().zip(&alone).map(|(i, al)| i / al).collect();
+            let sds: Vec<f64> = sweep
+                .ipcs(combo)
+                .iter()
+                .zip(&alone)
+                .map(|(i, al)| i / al)
+                .collect();
             (combo.to_string(), ws_of(&sds), fi_of(&sds))
         })
         .collect();

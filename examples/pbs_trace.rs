@@ -34,14 +34,22 @@ fn main() {
     let mut gpu = Gpu::new(&cfg, workload.apps(), 42);
     gpu.set_combo(&TlpCombo::uniform(cfg.max_tlp(), 2));
 
-    let scaling = if objective.wants_scaling() { PbsScaling::Sampled } else { PbsScaling::None };
+    let scaling = if objective.wants_scaling() {
+        PbsScaling::Sampled
+    } else {
+        PbsScaling::None
+    };
     let mut pbs = Pbs::new(objective, cfg.max_tlp(), scaling).with_hold_windows(220);
     println!("running {workload} under {} for 600k cycles…\n", pbs.name());
     let run = run_controlled(&mut gpu, &mut pbs as &mut dyn Controller, 600_000, 3_000);
 
     println!("{:>10}  TLP-{a:<6} TLP-{b:<6}", "cycle");
     for (cycle, levels) in &run.tlp_trace {
-        println!("{cycle:>10}  {:<10} {:<10}", levels[0].get(), levels[1].get());
+        println!(
+            "{cycle:>10}  {:<10} {:<10}",
+            levels[0].get(),
+            levels[1].get()
+        );
     }
     println!(
         "\n{} TLP changes over {} sampling windows; the search probed {} combinations\n\

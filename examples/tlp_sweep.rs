@@ -24,17 +24,35 @@ fn main() {
         let Some(app) = by_name(name) else {
             eprintln!(
                 "unknown application {name}; known: {}",
-                all_apps().iter().map(|a| a.name).collect::<Vec<_>>().join(", ")
+                all_apps()
+                    .iter()
+                    .map(|a| a.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
             );
             continue;
         };
         let p = profile_alone(&cfg, app, cores, 42, RunSpec::new(3_000, 10_000));
-        println!("== {} ({}) — bestTLP = {}", app.name, app.full_name, p.best_tlp());
-        println!("{:>5} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7}", "TLP", "IPC", "BW", "CMR", "EB", "L1MR", "L2MR");
+        println!(
+            "== {} ({}) — bestTLP = {}",
+            app.name,
+            app.full_name,
+            p.best_tlp()
+        );
+        println!(
+            "{:>5} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7}",
+            "TLP", "IPC", "BW", "CMR", "EB", "L1MR", "L2MR"
+        );
         for s in &p.samples {
             println!(
                 "{:>5} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>7.2} {:>7.2}",
-                s.tlp.get(), s.ipc, s.bw, s.cmr, s.eb, s.l1_miss_rate, s.l2_miss_rate
+                s.tlp.get(),
+                s.ipc,
+                s.bw,
+                s.cmr,
+                s.eb,
+                s.l1_miss_rate,
+                s.l2_miss_rate
             );
         }
         println!();

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate: format check, release build, full test suite, and the
+# perf_smoke determinism/throughput smoke. No network access required.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo build --release (workspace) =="
+cargo build --workspace --release
+
+echo "== cargo test (workspace) =="
+cargo test --workspace --release -q
+
+echo "== perf_smoke (smoke mode: verifies parallel == serial) =="
+cargo run -p ebm-bench --release --bin perf_smoke -- --smoke
+
+echo "CI OK"

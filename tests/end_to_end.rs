@@ -71,7 +71,10 @@ fn oracle_never_falls_far_below_the_baseline() {
     for w in [Workload::pair("BLK", "BFS"), Workload::pair("BFS", "FFT")] {
         let base = ev.evaluate(&w, Scheme::BestTlp).metrics.ws;
         let opt = ev.evaluate(&w, Scheme::Opt(EbObjective::Ws)).metrics.ws;
-        assert!(opt >= 0.9 * base, "{w}: optWS {opt:.3} far below ++bestTLP {base:.3}");
+        assert!(
+            opt >= 0.9 * base,
+            "{w}: optWS {opt:.3} far below ++bestTLP {base:.3}"
+        );
     }
 }
 
@@ -104,7 +107,10 @@ fn bypass_flag_travels_through_the_whole_memory_system() {
     let c0 = gpu.counters(AppId::new(0));
     let c1 = gpu.counters(AppId::new(1));
     assert_eq!(c0.l1_accesses, 0, "bypassed app must not touch its L1");
-    assert!(c0.l2_accesses > 0, "bypassed loads still reach the L2 (no-allocate)");
+    assert!(
+        c0.l2_accesses > 0,
+        "bypassed loads still reach the L2 (no-allocate)"
+    );
     assert!(c1.l1_accesses > 0, "co-runner unaffected");
 }
 
@@ -113,9 +119,16 @@ fn dynamic_policies_actually_move_the_knobs() {
     let mut ev = quick();
     let w = Workload::pair("BLK", "BFS");
     let r = ev.evaluate(&w, Scheme::Pbs(EbObjective::Ws));
-    assert!(r.tlp_trace.len() > 2, "PBS never explored: {:?}", r.tlp_trace);
+    assert!(
+        r.tlp_trace.len() > 2,
+        "PBS never explored: {:?}",
+        r.tlp_trace
+    );
     let cycles: Vec<u64> = r.tlp_trace.iter().map(|(c, _)| *c).collect();
-    assert!(cycles.windows(2).all(|w| w[0] < w[1]), "trace must be time-ordered");
+    assert!(
+        cycles.windows(2).all(|w| w[0] < w[1]),
+        "trace must be time-ordered"
+    );
 }
 
 #[test]

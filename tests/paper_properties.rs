@@ -53,15 +53,18 @@ fn observation_1_eb_ws_argmax_is_near_ws_argmax() {
         let alone: Vec<f64> = w
             .apps()
             .iter()
-            .map(|app| {
-                profile_alone(&cfg, app, 2, 42, RunSpec::new(500, 3_000)).ipc_at_best()
-            })
+            .map(|app| profile_alone(&cfg, app, 2, 42, RunSpec::new(500, 3_000)).ipc_at_best())
             .collect();
         let scaling = ScalingFactors::none(2);
         let (eb_combo, _) = best_combo_by_eb(&sweep, EbObjective::Ws, &scaling);
         let (_, best_ws) = best_combo_by_sd(&sweep, EbObjective::Ws, &alone);
         let ws_at_eb_combo = ws_of(
-            &sweep.ipcs(&eb_combo).iter().zip(&alone).map(|(i, x)| i / x).collect::<Vec<_>>(),
+            &sweep
+                .ipcs(&eb_combo)
+                .iter()
+                .zip(&alone)
+                .map(|(i, x)| i / x)
+                .collect::<Vec<_>>(),
         );
         assert!(
             ws_at_eb_combo >= 0.85 * best_ws,
@@ -93,8 +96,10 @@ fn eb_alone_ratios_are_smaller_than_ipc_alone_ratios_on_average() {
             count += 1;
         }
     }
-    let (ipc_ar, eb_ar) =
-        ((ipc_log_sum / count as f64).exp(), (eb_log_sum / count as f64).exp());
+    let (ipc_ar, eb_ar) = (
+        (ipc_log_sum / count as f64).exp(),
+        (eb_log_sum / count as f64).exp(),
+    );
     assert!(
         eb_ar < ipc_ar,
         "mean EB_AR {eb_ar:.2} should be below mean IPC_AR {ipc_ar:.2}"
@@ -114,17 +119,20 @@ fn scaling_aligns_eb_fi_with_sd_fi() {
         .map(|a| profile_alone(&cfg, a, 2, 42, RunSpec::new(500, 3_000)))
         .collect();
     let alone_ipc: Vec<f64> = profiles.iter().map(|p| p.ipc_at_best()).collect();
-    let exact = ScalingFactors::from_alone_ebs(
-        profiles.iter().map(|p| p.eb_at_best().max(1e-6)).collect(),
-    );
+    let exact =
+        ScalingFactors::from_alone_ebs(profiles.iter().map(|p| p.eb_at_best().max(1e-6)).collect());
     let raw = ScalingFactors::none(2);
 
     let mut sd_fi = Vec::new();
     let mut eb_fi_raw = Vec::new();
     let mut eb_fi_scaled = Vec::new();
     for (combo, _) in sweep.iter() {
-        let sds: Vec<f64> =
-            sweep.ipcs(combo).iter().zip(&alone_ipc).map(|(i, a)| i / a).collect();
+        let sds: Vec<f64> = sweep
+            .ipcs(combo)
+            .iter()
+            .zip(&alone_ipc)
+            .map(|(i, a)| i / a)
+            .collect();
         sd_fi.push(fi_of(&sds));
         let ebs = sweep.ebs(combo);
         eb_fi_raw.push(fi_of(&raw.apply(&ebs)));
