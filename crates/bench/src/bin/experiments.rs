@@ -1,40 +1,89 @@
-//! Runs the full evaluation campaign: every figure and table, sharing one
+//! Runs the evaluation campaign: every figure and table, sharing one
 //! memoizing evaluator, writing each report to `results/<id>.txt`.
 //!
-//! Expect roughly half an hour on one core; individual artifacts can be
-//! regenerated with their own binaries (`cargo run -p ebm-bench --release
-//! --bin fig09`, …).
+//! Expect roughly half an hour on one core for the full paper campaign;
+//! `--quick` runs the scaled-down test machine in seconds, `--only
+//! fig09,fig11` restricts the run to the listed artifacts, and `--trace
+//! out.jsonl` streams the trace-enabled artifacts' structured events to a
+//! JSONL file (schema: `docs/TRACE_SCHEMA.md`). Individual artifacts can
+//! also be regenerated with their own binaries (`cargo run -p ebm-bench
+//! --release --bin fig09`, …).
 
-use ebm_bench::{figures, run_and_save};
-use ebm_core::eval::{Evaluator, EvaluatorConfig};
+use ebm_bench::{figures, run_and_save, BenchArgs};
+use ebm_core::eval::Evaluator;
 use gpu_workloads::all_workloads;
 
 fn main() {
+    let args = BenchArgs::parse();
     let t0 = std::time::Instant::now();
-    let mut ev = Evaluator::new(EvaluatorConfig::paper());
+    let mut ev = Evaluator::new(args.evaluator_config());
     let workloads = all_workloads();
+    let mut trace = args.open_trace();
 
-    run_and_save(&figures::tab04(&mut ev));
-    run_and_save(&figures::fig01(&mut ev));
-    run_and_save(&figures::fig02(&mut ev));
-    run_and_save(&figures::fig03(&mut ev));
-    run_and_save(&figures::fig04(&mut ev));
-    run_and_save(&figures::fig05(&mut ev));
-    run_and_save(&figures::fig06(&mut ev));
-    run_and_save(&figures::fig07(&mut ev));
-    run_and_save(&figures::fig08());
-    run_and_save(&figures::fig09(&mut ev, &workloads));
-    run_and_save(&figures::fig10(&mut ev, &workloads));
-    run_and_save(&figures::hs_results(&mut ev, &workloads));
-    run_and_save(&figures::fig11(&mut ev));
-    run_and_save(&figures::sens_part(&mut ev));
-    run_and_save(&figures::ablation(&mut ev));
-    run_and_save(&figures::phased(&mut ev));
-    run_and_save(&figures::sampling(&mut ev));
-    run_and_save(&figures::sched(&mut ev));
-    run_and_save(&figures::ccws(&mut ev));
-    run_and_save(&figures::dram_policy(&mut ev));
-    run_and_save(&figures::threeapp(&mut ev));
+    if args.wants("tab04") {
+        run_and_save(&figures::tab04(&mut ev));
+    }
+    if args.wants("fig01") {
+        run_and_save(&figures::fig01(&mut ev));
+    }
+    if args.wants("fig02") {
+        run_and_save(&figures::fig02(&mut ev));
+    }
+    if args.wants("fig03") {
+        run_and_save(&figures::fig03(&mut ev));
+    }
+    if args.wants("fig04") {
+        run_and_save(&figures::fig04(&mut ev));
+    }
+    if args.wants("fig05") {
+        run_and_save(&figures::fig05(&mut ev));
+    }
+    if args.wants("fig06") {
+        run_and_save(&figures::fig06(&mut ev));
+    }
+    if args.wants("fig07") {
+        run_and_save(&figures::fig07(&mut ev));
+    }
+    if args.wants("fig08") {
+        run_and_save(&figures::fig08());
+    }
+    if args.wants("fig09") {
+        run_and_save(&figures::fig09(&mut ev, &workloads));
+    }
+    if args.wants("fig10") {
+        run_and_save(&figures::fig10(&mut ev, &workloads));
+    }
+    if args.wants("hs") {
+        run_and_save(&figures::hs_results(&mut ev, &workloads));
+    }
+    if args.wants("fig11") {
+        run_and_save(&figures::fig11_traced(&mut ev, &mut *trace));
+    }
+    if args.wants("sens_part") {
+        run_and_save(&figures::sens_part(&mut ev));
+    }
+    if args.wants("ablation") {
+        run_and_save(&figures::ablation(&mut ev));
+    }
+    if args.wants("phased") {
+        run_and_save(&figures::phased(&mut ev));
+    }
+    if args.wants("sampling") {
+        run_and_save(&figures::sampling(&mut ev));
+    }
+    if args.wants("sched") {
+        run_and_save(&figures::sched(&mut ev));
+    }
+    if args.wants("ccws") {
+        run_and_save(&figures::ccws(&mut ev));
+    }
+    if args.wants("dram_policy") {
+        run_and_save(&figures::dram_policy(&mut ev));
+    }
+    if args.wants("threeapp") {
+        run_and_save(&figures::threeapp(&mut ev));
+    }
 
+    trace.flush();
     eprintln!("campaign completed in {:?}", t0.elapsed());
 }

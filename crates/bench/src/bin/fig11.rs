@@ -1,9 +1,14 @@
 //! Regenerates the paper's fig11 artifact. See DESIGN.md's experiment index.
+//!
+//! Accepts `--quick` (scaled-down machine) and `--trace <path>` (stream the
+//! runs' structured events to a JSONL file; schema: `docs/TRACE_SCHEMA.md`).
 
-use ebm_bench::{figures, run_and_save};
-use ebm_core::eval::{Evaluator, EvaluatorConfig};
+use ebm_bench::{figures, run_and_save, BenchArgs};
+use ebm_core::eval::Evaluator;
 
 fn main() {
-    let mut ev = Evaluator::new(EvaluatorConfig::paper());
-    run_and_save(&figures::fig11(&mut ev));
+    let args = BenchArgs::parse();
+    let mut ev = Evaluator::new(args.evaluator_config());
+    let mut trace = args.open_trace();
+    run_and_save(&figures::fig11_traced(&mut ev, &mut *trace));
 }

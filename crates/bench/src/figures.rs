@@ -15,9 +15,10 @@ use ebm_core::search::{best_combo_by_eb, best_combo_by_sd};
 use ebm_core::sweep::ComboSweep;
 use gpu_sim::alone::profile_alone;
 use gpu_sim::control::Controller;
-use gpu_sim::harness::{measure_fixed, run_controlled, RunSpec};
+use gpu_sim::harness::{measure_fixed, run_controlled, run_controlled_traced, RunSpec};
 use gpu_sim::machine::Gpu;
 use gpu_sim::metrics::{fi_of, gmean, hs_of, ws_of};
+use gpu_sim::trace::{NullSink, RingSink, TraceSink};
 use gpu_types::{GpuConfig, TlpCombo, TlpLevel};
 use gpu_workloads::{all_apps, representative_workloads, Workload};
 
@@ -386,7 +387,20 @@ pub fn hs_results(ev: &mut Evaluator, workloads: &[Workload]) -> Report {
 
 /// Fig. 11: TLP decisions over time for BLK_BFS under PBS-WS and PBS-FI.
 /// Also exports the per-window metric series to `results/fig11_<obj>.csv`.
+///
+/// Equivalent to [`fig11_traced`] with a [`NullSink`] (no trace persisted).
 pub fn fig11(ev: &mut Evaluator) -> Report {
+    fig11_traced(ev, &mut NullSink)
+}
+
+/// [`fig11`] driven through the generic trace layer: each PBS run is
+/// captured into an in-memory [`RingSink`], the per-window CSV series is
+/// reconstructed from the captured `window_sample` events (byte-identical
+/// to the harness's bespoke `ControlledRun::series_csv`), and every
+/// captured event is then replayed into `sink` — pass a
+/// [`gpu_sim::JsonlSink`] to persist the raw trace (the `--trace <path>`
+/// flag of the `experiments`/`fig11` binaries).
+pub fn fig11_traced(ev: &mut Evaluator, sink: &mut dyn TraceSink) -> Report {
     let mut r = Report::new("fig11", "TLP over time for BLK_BFS under PBS");
     let cfg = ev.config().gpu.clone();
     let seed = ev.config().seed;
@@ -401,14 +415,28 @@ pub fn fig11(ev: &mut Evaluator) -> Report {
             .with_hold_windows(ev.config().pbs_hold_windows);
         let mut gpu = Gpu::new(&cfg, w.apps(), seed);
         gpu.set_combo(&TlpCombo::uniform(cfg.max_tlp(), 2));
-        let run = run_controlled(
+        // Generous bound: a paper-length run emits a few thousand events
+        // per kind, far below this, so nothing is ever dropped.
+        let mut ring = RingSink::new(1 << 20);
+        let run = run_controlled_traced(
             &mut gpu,
             &mut pbs as &mut dyn Controller,
             ev.config().run_cycles,
             ev.config().measure_from,
+            &mut ring,
         );
+        let events = ring.drain();
         let _ = std::fs::create_dir_all("results");
-        let _ = std::fs::write(format!("results/fig11_{objective}.csv"), run.series_csv());
+        let _ = std::fs::write(
+            format!("results/fig11_{objective}.csv"),
+            gpu_sim::trace::series_csv(&events),
+        );
+        if sink.enabled() {
+            for e in events {
+                sink.emit(e);
+            }
+            sink.flush();
+        }
         r.line(format!(
             "--- PBS-{objective}: {} TLP changes over {} windows (search probed {} combos) ---",
             run.tlp_trace.len(),

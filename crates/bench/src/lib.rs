@@ -11,9 +11,9 @@
 //! `cargo run -p ebm-bench --release --bin fig09`, or everything with
 //! `cargo run -p ebm-bench --release --bin experiments`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod figures;
 pub mod util;
 
-pub use util::{run_and_save, Report};
+pub use util::{run_and_save, BenchArgs, Report};

@@ -1,7 +1,10 @@
-//! Report formatting and saving helpers.
+//! Report formatting and saving helpers, plus the shared command-line
+//! options of the campaign binaries.
 
+use ebm_core::eval::EvaluatorConfig;
+use gpu_sim::trace::{JsonlSink, NullSink, TraceSink};
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// A plain-text report being assembled (one per figure/table).
 #[derive(Debug, Clone)]
@@ -72,9 +75,119 @@ pub fn run_and_save(report: &Report) {
     let _ = std::fs::write(dir.join(format!("{}.txt", report.id())), &text);
 }
 
+/// Command-line options shared by the `experiments` and per-figure
+/// binaries (hand-rolled: the workspace is dependency-free).
+///
+/// * `--quick` — run the scaled-down test campaign instead of the
+///   paper-machine one (seconds instead of ~half an hour);
+/// * `--only <ids>` — comma-separated artifact ids (e.g.
+///   `--only fig09,fig11`); everything else is skipped;
+/// * `--trace <path>` — stream the trace-enabled artifacts' events to
+///   `<path>` as newline-delimited JSON (see `docs/TRACE_SCHEMA.md`).
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// Use [`EvaluatorConfig::quick`] instead of the paper campaign.
+    pub quick: bool,
+    /// If set, only artifacts whose id is listed are generated.
+    pub only: Option<Vec<String>>,
+    /// If set, trace events are written here as JSONL.
+    pub trace: Option<PathBuf>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`, exiting with a usage message on errors.
+    pub fn parse() -> Self {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("usage: [--quick] [--only <ids>] [--trace <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    fn try_parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut out = BenchArgs::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => out.quick = true,
+                "--only" => {
+                    let ids = args.next().ok_or("--only needs a comma-separated list")?;
+                    out.only = Some(ids.split(',').map(|s| s.trim().to_owned()).collect());
+                }
+                "--trace" => {
+                    let path = args.next().ok_or("--trace needs a file path")?;
+                    out.trace = Some(PathBuf::from(path));
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether artifact `id` should be generated under `--only`.
+    pub fn wants(&self, id: &str) -> bool {
+        match &self.only {
+            Some(ids) => ids.iter().any(|x| x == id),
+            None => true,
+        }
+    }
+
+    /// The campaign configuration selected by `--quick`.
+    pub fn evaluator_config(&self) -> EvaluatorConfig {
+        if self.quick {
+            EvaluatorConfig::quick()
+        } else {
+            EvaluatorConfig::paper()
+        }
+    }
+
+    /// Opens the `--trace` sink: a [`JsonlSink`] when a path was given
+    /// (exiting on I/O errors), a [`NullSink`] otherwise.
+    pub fn open_trace(&self) -> Box<dyn TraceSink> {
+        match &self.trace {
+            Some(path) => match JsonlSink::create(path) {
+                Ok(sink) => Box::new(sink),
+                Err(e) => {
+                    eprintln!("error: cannot open trace file {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            },
+            None => Box::new(NullSink),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_args_parse_all_flags() {
+        let a = BenchArgs::try_parse(
+            ["--quick", "--only", "fig09,fig11", "--trace", "out.jsonl"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(a.quick);
+        assert!(a.wants("fig11") && !a.wants("fig10"));
+        assert_eq!(a.trace.as_deref(), Some(Path::new("out.jsonl")));
+    }
+
+    #[test]
+    fn bench_args_default_wants_everything() {
+        let a = BenchArgs::try_parse(std::iter::empty()).unwrap();
+        assert!(!a.quick && a.trace.is_none());
+        assert!(a.wants("anything"));
+    }
+
+    #[test]
+    fn bench_args_reject_unknown_flags() {
+        assert!(BenchArgs::try_parse(["--frobnicate".to_string()].into_iter()).is_err());
+    }
 
     #[test]
     fn report_renders_header_and_rows() {

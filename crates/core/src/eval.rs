@@ -17,9 +17,10 @@ use crate::sweep::ComboSweep;
 use gpu_sim::alone::{profile_alone, AloneProfile};
 use gpu_sim::control::Controller;
 use gpu_sim::exec;
-use gpu_sim::harness::{measure_fixed, run_controlled, RunSpec};
+use gpu_sim::harness::{measure_fixed, run_controlled_traced, RunSpec};
 use gpu_sim::machine::Gpu;
 use gpu_sim::metrics::SystemMetrics;
+use gpu_sim::trace::{NullSink, TraceEvent, TraceSink};
 use gpu_types::{AppWindow, FxHashMap, GpuConfig, TlpCombo, TlpLevel};
 use gpu_workloads::{all_apps, AppProfile, EbGroup, Workload};
 use std::fmt;
@@ -206,11 +207,34 @@ fn metrics_for(alone_ipcs: &[f64], windows: &[AppWindow]) -> SystemMetrics {
     SystemMetrics::from_slowdowns(sds)
 }
 
+/// Emits one final [`TraceEvent::WindowSample`] per application covering a
+/// fixed-combination run's whole measured region (static schemes have no
+/// window-by-window dynamics worth streaming).
+fn emit_overall(sink: &mut dyn TraceSink, cycle: u64, windows: &[gpu_types::AppWindow]) {
+    if !sink.enabled() {
+        return;
+    }
+    for (a, w) in windows.iter().enumerate() {
+        sink.emit(TraceEvent::WindowSample {
+            cycle,
+            app: a as u8,
+            eb: w.effective_bandwidth(),
+            bw: w.attained_bw(),
+            cmr: w.combined_miss_rate(),
+            l1mr: w.counters.l1_miss_rate(),
+            l2mr: w.counters.l2_miss_rate(),
+            ipc: w.ipc(),
+        });
+    }
+    sink.flush();
+}
+
 fn static_run(
     ctx: &SchemeCtx<'_>,
     workload: &Workload,
     combo: TlpCombo,
     scheme: Scheme,
+    sink: &mut dyn TraceSink,
 ) -> SchemeResult {
     let cfg = ctx.cfg;
     let mut gpu = Gpu::new(&cfg.gpu, workload.apps(), cfg.seed);
@@ -219,6 +243,7 @@ fn static_run(
         &combo,
         RunSpec::new(cfg.measure_from, cfg.run_cycles - cfg.measure_from),
     );
+    emit_overall(sink, gpu.now(), &windows);
     let metrics = metrics_for(&ctx.alone_ipcs, &windows);
     SchemeResult {
         scheme,
@@ -235,11 +260,12 @@ fn dynamic_run(
     controller: &mut dyn Controller,
     start: TlpCombo,
     scheme: Scheme,
+    sink: &mut dyn TraceSink,
 ) -> SchemeResult {
     let cfg = ctx.cfg;
     let mut gpu = Gpu::new(&cfg.gpu, workload.apps(), cfg.seed);
     gpu.set_combo(&start);
-    let run = run_controlled(&mut gpu, controller, cfg.run_cycles, cfg.measure_from);
+    let run = run_controlled_traced(&mut gpu, controller, cfg.run_cycles, cfg.measure_from, sink);
     let metrics = metrics_for(&ctx.alone_ipcs, &run.overall);
     SchemeResult {
         scheme,
@@ -250,18 +276,31 @@ fn dynamic_run(
     }
 }
 
-/// Runs one scheme end-to-end from a warmed context. Shared verbatim by the
-/// serial and the parallel evaluation paths.
-fn run_scheme(ctx: &SchemeCtx<'_>, workload: &Workload, scheme: Scheme) -> SchemeResult {
+/// Runs one scheme end-to-end from a warmed context, streaming its events
+/// into `sink`. Shared verbatim by the serial and the parallel evaluation
+/// paths (the latter always passes a [`NullSink`]).
+fn run_scheme(
+    ctx: &SchemeCtx<'_>,
+    workload: &Workload,
+    scheme: Scheme,
+    sink: &mut dyn TraceSink,
+) -> SchemeResult {
     let cfg = ctx.cfg;
     let max = cfg.gpu.max_tlp();
     let n = workload.n_apps();
     match scheme {
-        Scheme::BestTlp => static_run(ctx, workload, ctx.best_combo.clone(), scheme),
-        Scheme::MaxTlp => static_run(ctx, workload, TlpCombo::uniform(max, n), scheme),
+        Scheme::BestTlp => static_run(ctx, workload, ctx.best_combo.clone(), scheme, sink),
+        Scheme::MaxTlp => static_run(ctx, workload, TlpCombo::uniform(max, n), scheme, sink),
         Scheme::DynCta => {
             let mut c = DynCta::new(max);
-            dynamic_run(ctx, workload, &mut c, TlpCombo::uniform(max, n), scheme)
+            dynamic_run(
+                ctx,
+                workload,
+                &mut c,
+                TlpCombo::uniform(max, n),
+                scheme,
+                sink,
+            )
         }
         Scheme::Ccws => {
             // CCWS throttles inside the cores; no window controller.
@@ -274,6 +313,7 @@ fn run_scheme(ctx: &SchemeCtx<'_>, workload: &Workload, scheme: Scheme) -> Schem
                 &TlpCombo::uniform(max, n),
                 RunSpec::new(cfg.measure_from, cfg.run_cycles - cfg.measure_from),
             );
+            emit_overall(sink, gpu.now(), &windows);
             let metrics = metrics_for(&ctx.alone_ipcs, &windows);
             SchemeResult {
                 scheme,
@@ -285,7 +325,14 @@ fn run_scheme(ctx: &SchemeCtx<'_>, workload: &Workload, scheme: Scheme) -> Schem
         }
         Scheme::ModBypass => {
             let mut c = ModBypass::new(max);
-            dynamic_run(ctx, workload, &mut c, TlpCombo::uniform(max, n), scheme)
+            dynamic_run(
+                ctx,
+                workload,
+                &mut c,
+                TlpCombo::uniform(max, n),
+                scheme,
+                sink,
+            )
         }
         Scheme::Pbs(objective) => {
             let scaling = if objective.wants_scaling() {
@@ -294,24 +341,31 @@ fn run_scheme(ctx: &SchemeCtx<'_>, workload: &Workload, scheme: Scheme) -> Schem
                 PbsScaling::None
             };
             let mut c = Pbs::new(objective, max, scaling).with_hold_windows(cfg.pbs_hold_windows);
-            dynamic_run(ctx, workload, &mut c, TlpCombo::uniform(max, n), scheme)
+            dynamic_run(
+                ctx,
+                workload,
+                &mut c,
+                TlpCombo::uniform(max, n),
+                scheme,
+                sink,
+            )
         }
         Scheme::PbsOffline(objective) => {
             let sweep = ctx.sweep.expect("sweep warmed for offline schemes");
             let scaling = ctx.scaling_for(objective, n);
             let (combo, _) = pbs_offline_search(sweep, objective, &scaling);
-            static_run(ctx, workload, combo, scheme)
+            static_run(ctx, workload, combo, scheme, sink)
         }
         Scheme::BruteForce(objective) => {
             let sweep = ctx.sweep.expect("sweep warmed for offline schemes");
             let scaling = ctx.scaling_for(objective, n);
             let (combo, _) = best_combo_by_eb(sweep, objective, &scaling);
-            static_run(ctx, workload, combo, scheme)
+            static_run(ctx, workload, combo, scheme, sink)
         }
         Scheme::Opt(objective) => {
             let sweep = ctx.sweep.expect("sweep warmed for offline schemes");
             let (combo, _) = best_combo_by_sd(sweep, objective, &ctx.alone_ipcs);
-            let candidate = static_run(ctx, workload, combo, scheme);
+            let candidate = static_run(ctx, workload, combo, scheme, sink);
             // The exhaustive search space contains the ++bestTLP
             // combination, so the oracle can never do worse than the
             // baseline; if the (shorter-window) sweep mis-ranked the
@@ -337,7 +391,7 @@ fn run_scheme(ctx: &SchemeCtx<'_>, workload: &Workload, scheme: Scheme) -> Schem
         Scheme::OptIt => {
             let sweep = ctx.sweep.expect("sweep warmed for offline schemes");
             let (combo, _) = crate::search::best_combo_by_it(sweep);
-            static_run(ctx, workload, combo, scheme)
+            static_run(ctx, workload, combo, scheme, sink)
         }
     }
 }
@@ -540,7 +594,30 @@ impl Evaluator {
     fn evaluate_uncached(&mut self, workload: &Workload, scheme: Scheme) -> SchemeResult {
         let warm = self.warm_for(workload, &[scheme]);
         let ctx = self.ctx_from(workload, warm);
-        run_scheme(&ctx, workload, scheme)
+        run_scheme(&ctx, workload, scheme, &mut NullSink)
+    }
+
+    /// Runs `scheme` on `workload` like [`Evaluator::evaluate`], streaming
+    /// every [`TraceEvent`] the run produces into `sink`.
+    ///
+    /// Traced runs bypass the result memo-cache on *read* (a cache hit
+    /// would produce no events), but runs are deterministic, so the
+    /// returned metrics are identical to the cached ones; the fresh result
+    /// is (re-)inserted so later untraced calls still hit.
+    pub fn evaluate_traced(
+        &mut self,
+        workload: &Workload,
+        scheme: Scheme,
+        sink: &mut dyn TraceSink,
+    ) -> SchemeResult {
+        let warm = self.warm_for(workload, &[scheme]);
+        let result = {
+            let ctx = self.ctx_from(workload, warm);
+            run_scheme(&ctx, workload, scheme, sink)
+        };
+        self.result_cache
+            .insert((workload.name(), scheme), result.clone());
+        result
     }
 
     /// Evaluates every scheme in `schemes` on `workload`, fanning the
@@ -552,6 +629,20 @@ impl Evaluator {
     /// results — served in input order — are bit-for-bit identical to
     /// calling [`Evaluator::evaluate`] in a loop. All results enter the
     /// memo cache as usual.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ebm_core::eval::{Evaluator, EvaluatorConfig, Scheme};
+    /// use gpu_workloads::Workload;
+    ///
+    /// let mut ev = Evaluator::new(EvaluatorConfig::quick());
+    /// let wl = Workload::pair("BLK", "BFS");
+    /// let results = ev.evaluate_batch(&wl, &[Scheme::BestTlp, Scheme::MaxTlp]);
+    /// assert_eq!(results.len(), 2);
+    /// // Results come back in input order, identical to serial evaluation.
+    /// assert_eq!(results[0].scheme, Scheme::BestTlp);
+    /// ```
     pub fn evaluate_batch(&mut self, workload: &Workload, schemes: &[Scheme]) -> Vec<SchemeResult> {
         self.evaluate_batch_with_threads(workload, schemes, exec::worker_count())
     }
@@ -578,7 +669,9 @@ impl Evaluator {
             missing.retain(|s| !self.result_cache.contains_key(&(workload.name(), *s)));
             let results = {
                 let ctx = self.ctx_from(workload, warm);
-                exec::par_map_with(threads, missing.clone(), |s| run_scheme(&ctx, workload, s))
+                exec::par_map_with(threads, missing.clone(), |s| {
+                    run_scheme(&ctx, workload, s, &mut NullSink)
+                })
             };
             for (s, r) in missing.iter().zip(results) {
                 self.result_cache.insert((workload.name(), *s), r);

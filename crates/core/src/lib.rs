@@ -22,7 +22,7 @@
 //!   Figs. 9 and 10);
 //! * [`hw`] — the Fig. 8 hardware-overhead accounting.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod eval;
 pub mod hw;

@@ -67,7 +67,7 @@ impl DynCta {
 
 impl Controller for DynCta {
     fn on_window(&mut self, obs: &Observation) -> Decision {
-        let mut d = Decision::unchanged(obs.apps.len());
+        let mut d = Decision::unchanged(obs.apps.len()).with_reason("latency-tolerance");
         for (i, app) in obs.apps.iter().enumerate() {
             if let Some(next) = self.modulate(app.tlp, app.core.mem_wait_occupancy()) {
                 d.tlp[i] = Some(next);
@@ -78,6 +78,11 @@ impl Controller for DynCta {
 
     fn name(&self) -> &str {
         "++DynCTA"
+    }
+
+    fn phase(&self) -> Option<&'static str> {
+        // DynCTA has no search organization; every window modulates.
+        Some("modulate")
     }
 }
 

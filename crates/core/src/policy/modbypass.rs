@@ -89,6 +89,14 @@ impl Controller for ModBypass {
     fn name(&self) -> &str {
         "Mod+Bypass"
     }
+
+    fn phase(&self) -> Option<&'static str> {
+        if self.window.is_multiple_of(self.reprobe_period) && self.window > 0 {
+            Some("reprobe")
+        } else {
+            Some("modulate")
+        }
+    }
 }
 
 #[cfg(test)]

@@ -33,6 +33,19 @@ use gpu_sim::control::{Controller, Decision, Observation};
 use gpu_types::TlpLevel;
 
 /// Where PBS gets its EB scaling factors.
+///
+/// # Examples
+///
+/// ```
+/// use ebm_core::metrics::EbObjective;
+/// use ebm_core::policy::pbs::{Pbs, PbsScaling};
+/// use gpu_types::TlpLevel;
+///
+/// // PBS-WS compares raw EBs; PBS-FI/HS scale them by sampled alone EBs.
+/// let ws = Pbs::new(EbObjective::Ws, TlpLevel::MAX, PbsScaling::None);
+/// let fi = Pbs::new(EbObjective::Fi, TlpLevel::MAX, PbsScaling::Sampled);
+/// # let _ = (ws, fi);
+/// ```
 #[derive(Debug, Clone)]
 pub enum PbsScaling {
     /// Raw EBs (the paper's PBS-WS: WS has few outliers, §VI-A).
@@ -189,6 +202,18 @@ impl Pbs {
         self
     }
 
+    /// The trace label of the current search phase (Fig. 11's shaded
+    /// regions), also used as the reason of emitted TLP decisions.
+    fn phase_label(&self) -> &'static str {
+        match self.phase {
+            Phase::Boot => "boot",
+            Phase::ScaleSample { .. } => "scale-sample",
+            Phase::Sweep { .. } => "sweep",
+            Phase::Tune { .. } => "tune",
+            Phase::Hold { .. } => "hold",
+        }
+    }
+
     /// The probe level for co-runners during sweeps (TLP 4, §V-B).
     fn probe(&self) -> TlpLevel {
         self.probe_override
@@ -218,7 +243,7 @@ impl Pbs {
     /// settle window before the next measurement.
     fn apply_levels(&mut self) -> Decision {
         self.settling = self.use_settle;
-        Decision::set_all(&self.levels)
+        Decision::set_all(&self.levels).with_reason(self.phase_label())
     }
 
     fn record_sample(&mut self, value: f64) {
@@ -328,7 +353,7 @@ impl Pbs {
             left: self.hold_windows,
         };
         self.settling = false;
-        Decision::set_all(&self.levels)
+        Decision::set_all(&self.levels).with_reason("hold-install")
     }
 }
 
@@ -339,7 +364,7 @@ impl Controller for Pbs {
             // The observed window straddled a TLP change: discard it and
             // measure the next one.
             self.settling = false;
-            return Decision::set_all(&self.levels);
+            return Decision::set_all(&self.levels).with_reason("settle");
         }
         match self.phase.clone() {
             Phase::Boot => self.begin_search(n),
@@ -431,6 +456,10 @@ impl Controller for Pbs {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn phase(&self) -> Option<&'static str> {
+        Some(self.phase_label())
     }
 }
 

@@ -20,7 +20,7 @@
 //!   the unit the paper's designated-partition sampling reads its per-app
 //!   BW and L2-miss-rate counters from.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub(crate) const LINE_SIZE_U64: u64 = gpu_types::LINE_SIZE;
 

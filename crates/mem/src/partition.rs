@@ -201,6 +201,13 @@ impl MemoryPartition {
         }
     }
 
+    /// Requests currently queued in the partition (ingress + memory
+    /// controller), the congestion signal exported as
+    /// `PartitionWindow.queue_depth` by the trace layer.
+    pub fn queue_depth(&self) -> usize {
+        self.ingress.len() + self.mc.queued()
+    }
+
     /// True when the partition holds no queued or in-flight work.
     pub fn is_idle(&self) -> bool {
         self.ingress.is_empty()

@@ -46,6 +46,10 @@ pub struct Decision {
     pub tlp: Vec<Option<TlpLevel>>,
     /// New L1-bypass settings per application (`None` = leave unchanged).
     pub bypass: Vec<Option<bool>>,
+    /// Why the controller decided this (free-form label recorded as the
+    /// `reason` of [`crate::trace::TraceEvent::TlpDecision`] events; `None`
+    /// falls back to `"policy"`).
+    pub reason: Option<&'static str>,
 }
 
 impl Decision {
@@ -54,6 +58,7 @@ impl Decision {
         Decision {
             tlp: vec![None; n_apps],
             bypass: vec![None; n_apps],
+            reason: None,
         }
     }
 
@@ -62,6 +67,7 @@ impl Decision {
         Decision {
             tlp: levels.iter().map(|&l| Some(l)).collect(),
             bypass: vec![None; levels.len()],
+            reason: None,
         }
     }
 
@@ -76,6 +82,12 @@ impl Decision {
         self.bypass[app] = Some(bypass);
         self
     }
+
+    /// Builder-style: labels the decision for the trace layer.
+    pub fn with_reason(mut self, reason: &'static str) -> Self {
+        self.reason = Some(reason);
+        self
+    }
 }
 
 /// A runtime TLP-management policy.
@@ -86,6 +98,15 @@ pub trait Controller {
 
     /// Policy name for traces and reports.
     fn name(&self) -> &str;
+
+    /// The controller's current internal phase, for
+    /// [`crate::trace::TraceEvent::SearchPhase`] events (PBS reports its
+    /// Fig. 11 search organization: `scale-sample` → `sweep` → `tune` →
+    /// `hold`). The harness emits an event whenever the label changes.
+    /// `None` (the default) means the controller is phase-less.
+    fn phase(&self) -> Option<&'static str> {
+        None
+    }
 }
 
 /// A controller that never changes anything (the static baselines:

@@ -46,6 +46,15 @@ pub fn worker_count() -> usize {
 /// results in input order.
 ///
 /// See [`par_map_with`] for the guarantees.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::exec::par_map;
+/// // Results always come back in input order, whatever the thread count.
+/// let doubled = par_map(vec![1, 2, 3], |x| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// ```
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,

@@ -1,7 +1,8 @@
 //! Measurement harness: fixed-combination runs and controlled runs.
 
 use crate::control::{AppObservation, Controller, Decision, Observation};
-use crate::machine::Gpu;
+use crate::machine::{Gpu, PartitionTelemetry};
+use crate::trace::{NullSink, StallBreakdown, TraceEvent, TraceSink};
 use gpu_simt::CoreStats;
 use gpu_types::{AppId, AppWindow, MemCounters, TlpCombo, TlpLevel};
 
@@ -140,6 +141,99 @@ pub fn run_controlled(
     total_cycles: u64,
     measure_from: u64,
 ) -> ControlledRun {
+    run_controlled_traced(gpu, controller, total_cycles, measure_from, &mut NullSink)
+}
+
+/// Telemetry snapshots the trace layer differences window-over-window.
+/// Only maintained when the sink is enabled; the simulation never reads it.
+struct TraceState {
+    prev_cycle: u64,
+    prev_parts: Vec<PartitionTelemetry>,
+    prev_cores: Vec<(AppId, CoreStats)>,
+    last_phase: Option<&'static str>,
+}
+
+impl TraceState {
+    fn capture(gpu: &Gpu) -> Self {
+        TraceState {
+            prev_cycle: gpu.now(),
+            prev_parts: (0..gpu.n_partitions())
+                .map(|p| gpu.partition_telemetry(p))
+                .collect(),
+            prev_cores: (0..gpu.n_cores()).map(|c| gpu.core_telemetry(c)).collect(),
+            last_phase: None,
+        }
+    }
+
+    /// Emits the `PartitionWindow` and `CoreWindow` events of the window
+    /// that just ended, then re-snapshots.
+    fn emit_window<S: TraceSink + ?Sized>(&mut self, gpu: &Gpu, sink: &mut S) {
+        let now = gpu.now();
+        let elapsed = (now - self.prev_cycle).max(1) as f64;
+        let peak = gpu.config().peak_bw_bytes_per_cycle();
+        for p in 0..gpu.n_partitions() {
+            let cur = gpu.partition_telemetry(p);
+            let prev = &self.prev_parts[p];
+            let per_app_bw = cur
+                .per_app_dram_bytes
+                .iter()
+                .zip(&prev.per_app_dram_bytes)
+                .map(|(c, b)| (c - b) as f64 / (elapsed * peak))
+                .collect();
+            let hits = cur.row_hits - prev.row_hits;
+            let misses = cur.row_misses - prev.row_misses;
+            let total = hits + misses;
+            sink.emit(TraceEvent::PartitionWindow {
+                cycle: now,
+                partition: p as u32,
+                per_app_bw,
+                rowbuf_hit_rate: if total == 0 {
+                    0.0
+                } else {
+                    hits as f64 / total as f64
+                },
+                queue_depth: cur.queue_depth,
+            });
+            self.prev_parts[p] = cur;
+        }
+        for c in 0..gpu.n_cores() {
+            let (app, cur) = gpu.core_telemetry(c);
+            let prev = &self.prev_cores[c].1;
+            sink.emit(TraceEvent::CoreWindow {
+                cycle: now,
+                core: c as u32,
+                app: app.index() as u8,
+                ipc: (cur.insts - prev.insts) as f64 / elapsed,
+                active_warps: (cur.active_warp_cycles - prev.active_warp_cycles) as f64 / elapsed,
+                stall: StallBreakdown {
+                    mem: (cur.mem_stall_cycles - prev.mem_stall_cycles) as f64 / elapsed,
+                    structural: (cur.struct_stall_cycles - prev.struct_stall_cycles) as f64
+                        / elapsed,
+                    idle: (cur.idle_cycles - prev.idle_cycles) as f64 / elapsed,
+                },
+            });
+            self.prev_cores[c].1 = cur;
+        }
+        self.prev_cycle = now;
+    }
+}
+
+/// [`run_controlled`] with a [`TraceSink`] receiving the run's structured
+/// events (see [`crate::trace`] for the event kinds and
+/// `docs/TRACE_SCHEMA.md` for the serialized contract).
+///
+/// Tracing is strictly off the decision path: the sink only *observes*
+/// simulator state at window boundaries, every emission site is gated on
+/// [`TraceSink::enabled`], and the returned [`ControlledRun`] is bit-for-bit
+/// identical whichever sink is passed. [`run_controlled`] is exactly this
+/// function with a [`NullSink`].
+pub fn run_controlled_traced<S: TraceSink + ?Sized>(
+    gpu: &mut Gpu,
+    controller: &mut dyn Controller,
+    total_cycles: u64,
+    measure_from: u64,
+    sink: &mut S,
+) -> ControlledRun {
     let n_apps = gpu.n_apps();
     let window = gpu.config().sampling.window_cycles;
     let relay = gpu.config().sampling.relay_latency;
@@ -163,6 +257,13 @@ pub fn run_controlled(
     let mut after_core: Vec<CoreStats> = Vec::new();
     let mut n_windows = 0;
     let mut window_series = Vec::new();
+    // Telemetry baselines exist only when tracing is on; with a `NullSink`
+    // the whole tracing path is dead code.
+    let mut trace_state = if sink.enabled() {
+        Some(TraceState::capture(gpu))
+    } else {
+        None
+    };
 
     let end = gpu.now() + total_cycles;
     let mut next_mark = gpu.now() + window;
@@ -184,6 +285,21 @@ pub fn run_controlled(
             core_stats_all_into(gpu, &mut after_core);
             let obs_windows = windows_between(gpu, &win_counters, &after_counters, window);
             window_series.push((gpu.now(), obs_windows.clone()));
+            if let Some(ts) = trace_state.as_mut() {
+                for (a, w) in obs_windows.iter().enumerate() {
+                    sink.emit(TraceEvent::WindowSample {
+                        cycle: gpu.now(),
+                        app: a as u8,
+                        eb: w.effective_bandwidth(),
+                        bw: w.attained_bw(),
+                        cmr: w.combined_miss_rate(),
+                        l1mr: w.counters.l1_miss_rate(),
+                        l2mr: w.counters.l2_miss_rate(),
+                        ipc: w.ipc(),
+                    });
+                }
+                ts.emit_window(gpu, sink);
+            }
             let obs_core: Vec<CoreStats> = win_core
                 .iter()
                 .zip(&after_core)
@@ -214,13 +330,37 @@ pub fn run_controlled(
             let mut changed = false;
             for a in 0..n_apps {
                 if let Some(level) = decision.tlp.get(a).copied().flatten() {
-                    if gpu.tlp_of(AppId::new(a as u8)) != gpu.config().clamp_tlp(level) {
+                    let old = gpu.tlp_of(AppId::new(a as u8));
+                    let new = gpu.config().clamp_tlp(level);
+                    if old != new {
                         changed = true;
+                        if let Some(_ts) = trace_state.as_ref() {
+                            sink.emit(TraceEvent::TlpDecision {
+                                cycle: gpu.now(),
+                                app: a as u8,
+                                old: old.get(),
+                                new: new.get(),
+                                reason: decision.reason.unwrap_or("policy"),
+                            });
+                        }
                     }
                     gpu.set_tlp(AppId::new(a as u8), level);
                 }
                 if let Some(b) = decision.bypass.get(a).copied().flatten() {
                     gpu.set_bypass_l1(AppId::new(a as u8), b);
+                }
+            }
+            if let Some(ts) = trace_state.as_mut() {
+                let phase = controller.phase();
+                if phase != ts.last_phase {
+                    ts.last_phase = phase;
+                    if let Some(phase) = phase {
+                        sink.emit(TraceEvent::SearchPhase {
+                            cycle: gpu.now(),
+                            scheme: controller.name().to_owned(),
+                            phase: phase.to_owned(),
+                        });
+                    }
                 }
             }
             if changed {
@@ -238,6 +378,9 @@ pub fn run_controlled(
         }
     }
 
+    if trace_state.is_some() {
+        sink.flush();
+    }
     let start = measure_start.unwrap_or_else(|| snapshot_all(gpu));
     let final_counters = snapshot_all(gpu);
     let measured_cycles = (gpu.now() - measure_from.min(gpu.now())).max(1);

@@ -13,9 +13,13 @@
 //! * [`harness`] — fixed-combination measurement and controlled runs with
 //!   windowed sampling and the Fig. 8 relay latency;
 //! * [`exec`] — a scoped-thread fan-out layer ([`exec::par_map`]) for the
-//!   independent simulations of sweeps, profiles and campaigns.
+//!   independent simulations of sweeps, profiles and campaigns;
+//! * [`trace`] — the structured, zero-cost-when-disabled observability
+//!   layer: typed events ([`trace::TraceEvent`]) emitted at every sampling
+//!   window, received by pluggable [`trace::TraceSink`]s (in-memory ring,
+//!   JSONL file). `docs/TRACE_SCHEMA.md` documents the serialized contract.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod alone;
 pub mod control;
@@ -23,10 +27,12 @@ pub mod exec;
 pub mod harness;
 pub mod machine;
 pub mod metrics;
+pub mod trace;
 
 pub use alone::{profile_alone, profile_alone_with_threads, AloneProfile, AloneSample};
 pub use control::{Controller, Decision, Observation};
 pub use exec::{par_map, par_map_with, worker_count};
-pub use harness::{measure_fixed, run_controlled, ControlledRun, RunSpec};
+pub use harness::{measure_fixed, run_controlled, run_controlled_traced, ControlledRun, RunSpec};
 pub use machine::Gpu;
 pub use metrics::{fi_of, hs_of, ws_of, SystemMetrics};
+pub use trace::{JsonlSink, NullSink, RingSink, TraceEvent, TraceSink};

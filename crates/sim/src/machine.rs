@@ -365,6 +365,56 @@ impl Gpu {
             .map(|p| p.counters(app).l2_accesses)
             .collect()
     }
+
+    /// Number of memory partitions in the machine.
+    pub fn n_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Number of instantiated cores.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Cumulative telemetry of one memory partition: per-application DRAM
+    /// bytes, row-buffer hits/misses, and the current queue depth. The trace
+    /// layer differences consecutive snapshots into
+    /// [`crate::trace::TraceEvent::PartitionWindow`] events; the simulation
+    /// itself never reads this.
+    pub fn partition_telemetry(&self, partition: usize) -> PartitionTelemetry {
+        let p = &self.partitions[partition];
+        let per_app: Vec<_> = (0..self.n_apps())
+            .map(|a| p.counters(AppId::new(a as u8)).mc)
+            .collect();
+        PartitionTelemetry {
+            per_app_dram_bytes: per_app.iter().map(|c| c.dram_bytes).collect(),
+            row_hits: per_app.iter().map(|c| c.row_hits).sum(),
+            row_misses: per_app.iter().map(|c| c.row_misses).sum(),
+            queue_depth: p.queue_depth(),
+        }
+    }
+
+    /// Cumulative telemetry of one core: its application plus the pipeline
+    /// statistics. The trace layer differences consecutive snapshots into
+    /// [`crate::trace::TraceEvent::CoreWindow`] events.
+    pub fn core_telemetry(&self, core: usize) -> (AppId, CoreStats) {
+        let c = &self.cores[core];
+        (c.app, c.stats())
+    }
+}
+
+/// Cumulative counters of one memory partition, as sampled by
+/// [`Gpu::partition_telemetry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartitionTelemetry {
+    /// DRAM bytes transferred per application (in `AppId` order).
+    pub per_app_dram_bytes: Vec<u64>,
+    /// Row-buffer hits, summed over applications.
+    pub row_hits: u64,
+    /// Row-buffer misses (activations), summed over applications.
+    pub row_misses: u64,
+    /// Requests queued in the partition right now (not cumulative).
+    pub queue_depth: usize,
 }
 
 #[cfg(test)]

@@ -14,6 +14,14 @@
 
 /// Sum of values (WS when fed slowdowns, EB-WS when fed EBs).
 ///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::metrics::ws_of;
+/// // Two apps at 60% and 80% of their alone IPC: WS = 1.4.
+/// assert_eq!(ws_of(&[0.6, 0.8]), 1.4);
+/// ```
+///
 /// # Panics
 ///
 /// Panics if `values` is empty.
@@ -24,6 +32,14 @@ pub fn ws_of(values: &[f64]) -> f64 {
 
 /// `min/max` imbalance (FI when fed slowdowns, EB-FI when fed EBs).
 /// Returns 0 when any value is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::metrics::fi_of;
+/// assert_eq!(fi_of(&[0.4, 0.8]), 0.5); // one app slowed twice as much
+/// assert_eq!(fi_of(&[0.7, 0.7]), 1.0); // perfectly fair
+/// ```
 ///
 /// # Panics
 ///
@@ -40,6 +56,16 @@ pub fn fi_of(values: &[f64]) -> f64 {
 
 /// Harmonic mean scaled by count (HS when fed slowdowns).
 /// Returns 0 when any value is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::metrics::hs_of;
+/// // The harmonic mean rewards balance: it sits below the arithmetic
+/// // mean whenever the slowdowns differ.
+/// assert_eq!(hs_of(&[0.5, 0.5]), 0.5);
+/// assert!(hs_of(&[0.2, 0.8]) < 0.5);
+/// ```
 ///
 /// # Panics
 ///

@@ -1,0 +1,639 @@
+//! Structured trace/counter subsystem — zero-cost when disabled.
+//!
+//! The paper's mechanism is driven entirely by runtime introspection: the
+//! Fig. 8 sampling hardware relays per-application miss rates and attained
+//! bandwidth to the cores every window. This module makes those internal
+//! dynamics observable as a stream of typed [`TraceEvent`]s without
+//! perturbing the simulation:
+//!
+//! * [`TraceSink`] — the receiver trait. The harness gates every emission
+//!   site on [`TraceSink::enabled`], so with the no-op [`NullSink`] (whose
+//!   `enabled` is a constant `false`) the entire tracing path compiles away
+//!   and the hot loop is untouched.
+//! * [`RingSink`] — a bounded in-memory capture, for tests and programmatic
+//!   replay ([`eb_series`], [`series_csv`]).
+//! * [`JsonlSink`] — newline-delimited JSON written to a file (the
+//!   `--trace <path>` flag of the `experiments`/`fig11` binaries).
+//!
+//! Events are **versioned**: every serialized record carries
+//! [`TRACE_SCHEMA_VERSION`], and `docs/TRACE_SCHEMA.md` is the contract for
+//! each event kind's fields. Tracing is strictly off the decision path —
+//! sinks only *read* simulator state, so a run traced into a [`RingSink`] or
+//! [`JsonlSink`] is bit-for-bit identical to the same run with a
+//! [`NullSink`] (pinned by `crates/core/tests/parallel_determinism.rs`).
+//!
+//! # Examples
+//!
+//! ```
+//! use gpu_sim::control::StaticController;
+//! use gpu_sim::harness::run_controlled_traced;
+//! use gpu_sim::machine::Gpu;
+//! use gpu_sim::trace::{eb_series, RingSink};
+//! use gpu_types::GpuConfig;
+//! use gpu_workloads::Workload;
+//!
+//! let workload = Workload::pair("BLK", "BFS");
+//! let mut gpu = Gpu::new(&GpuConfig::small(), workload.apps(), 42);
+//! let mut sink = RingSink::new(4096);
+//! let mut ctl = StaticController;
+//! let run = run_controlled_traced(&mut gpu, &mut ctl, 10_000, 0, &mut sink);
+//! // The EB trajectory of app 0, reconstructed from the generic trace,
+//! // matches the harness's bespoke per-window series exactly.
+//! let series = eb_series(sink.events(), 0);
+//! assert_eq!(series.len() as u64, run.n_windows);
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Version stamped into every serialized trace record (`"v"` field).
+///
+/// Bump it whenever an event's fields change shape or meaning, and update
+/// `docs/TRACE_SCHEMA.md` — the schema document is the contract consumers
+/// parse against.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// Per-core stall breakdown of one sampling window (fractions of the
+/// window's cycles; the remainder is issue cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StallBreakdown {
+    /// Fraction stalled on outstanding memory.
+    pub mem: f64,
+    /// Fraction stalled on structural hazards (MSHRs / egress full).
+    pub structural: f64,
+    /// Fraction idle (ALU latency or all warps finished).
+    pub idle: f64,
+}
+
+/// A typed observability event.
+///
+/// Every variant carries the cycle at which it was recorded; the remaining
+/// fields are documented in `docs/TRACE_SCHEMA.md` (the serialization
+/// contract).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// One application's sampling-window observation — the quantities the
+    /// Fig. 8 hardware relays to the cores (EB inputs) plus IPC.
+    WindowSample {
+        /// Window-end cycle.
+        cycle: u64,
+        /// Application index.
+        app: u8,
+        /// Effective bandwidth (`BW / CMR`).
+        eb: f64,
+        /// Attained DRAM bandwidth, normalized to the machine peak.
+        bw: f64,
+        /// Combined miss rate (`L1MR × L2MR`).
+        cmr: f64,
+        /// L1 miss rate over the window.
+        l1mr: f64,
+        /// L2 miss rate over the window.
+        l2mr: f64,
+        /// Warp-instruction IPC over the window.
+        ipc: f64,
+    },
+    /// A controller changed one application's TLP level.
+    TlpDecision {
+        /// Cycle at which the new level took effect.
+        cycle: u64,
+        /// Application index.
+        app: u8,
+        /// Previous TLP level.
+        old: u32,
+        /// New TLP level (post-clamping; what the machine actually runs).
+        new: u32,
+        /// The controller's stated reason (e.g. `"search-sweep"`,
+        /// `"hold-install"`, `"latency-tolerance"`).
+        reason: &'static str,
+    },
+    /// A controller's internal phase transition (PBS's Fig. 11 search
+    /// organization: boot → scale-sample → sweep → tune → hold).
+    SearchPhase {
+        /// Cycle of the transition (the window at which it was observed).
+        cycle: u64,
+        /// Controller name (e.g. `"PBS-WS"`).
+        scheme: String,
+        /// New phase label.
+        phase: String,
+    },
+    /// One memory partition's sampling-window telemetry.
+    PartitionWindow {
+        /// Window-end cycle.
+        cycle: u64,
+        /// Partition index.
+        partition: u32,
+        /// Per-application attained DRAM bandwidth through this partition
+        /// over the window, normalized to the whole-machine peak.
+        per_app_bw: Vec<f64>,
+        /// DRAM row-buffer hit rate over the window (0 when no accesses).
+        rowbuf_hit_rate: f64,
+        /// Queued requests (ingress + controller queue) at the window end.
+        queue_depth: usize,
+    },
+    /// One SIMT core's sampling-window telemetry.
+    CoreWindow {
+        /// Window-end cycle.
+        cycle: u64,
+        /// Core index.
+        core: u32,
+        /// Application the core is assigned to.
+        app: u8,
+        /// Warp-instruction IPC over the window.
+        ipc: f64,
+        /// Average SWL-active warp slots over the window.
+        active_warps: f64,
+        /// Stall-cycle fractions over the window.
+        stall: StallBreakdown,
+    },
+}
+
+/// Formats a float as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:.6}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Minimal JSON string escaping (controller names are ASCII, but the schema
+/// must never emit invalid JSON).
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl TraceEvent {
+    /// The event's kind tag as serialized (`"kind"` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::WindowSample { .. } => "window_sample",
+            TraceEvent::TlpDecision { .. } => "tlp_decision",
+            TraceEvent::SearchPhase { .. } => "search_phase",
+            TraceEvent::PartitionWindow { .. } => "partition_window",
+            TraceEvent::CoreWindow { .. } => "core_window",
+        }
+    }
+
+    /// The cycle the event was recorded at.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            TraceEvent::WindowSample { cycle, .. }
+            | TraceEvent::TlpDecision { cycle, .. }
+            | TraceEvent::SearchPhase { cycle, .. }
+            | TraceEvent::PartitionWindow { cycle, .. }
+            | TraceEvent::CoreWindow { cycle, .. } => *cycle,
+        }
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline),
+    /// following `docs/TRACE_SCHEMA.md`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"v\":{TRACE_SCHEMA_VERSION},\"kind\":\"{}\",\"cycle\":{}",
+            self.kind(),
+            self.cycle()
+        );
+        match self {
+            TraceEvent::WindowSample {
+                app,
+                eb,
+                bw,
+                cmr,
+                l1mr,
+                l2mr,
+                ipc,
+                ..
+            } => {
+                let _ = write!(s, ",\"app\":{app}");
+                for (name, v) in [
+                    ("eb", eb),
+                    ("bw", bw),
+                    ("cmr", cmr),
+                    ("l1mr", l1mr),
+                    ("l2mr", l2mr),
+                    ("ipc", ipc),
+                ] {
+                    let _ = write!(s, ",\"{name}\":");
+                    push_f64(&mut s, *v);
+                }
+            }
+            TraceEvent::TlpDecision {
+                app,
+                old,
+                new,
+                reason,
+                ..
+            } => {
+                let _ = write!(s, ",\"app\":{app},\"old\":{old},\"new\":{new},\"reason\":");
+                push_str(&mut s, reason);
+            }
+            TraceEvent::SearchPhase { scheme, phase, .. } => {
+                s.push_str(",\"scheme\":");
+                push_str(&mut s, scheme);
+                s.push_str(",\"phase\":");
+                push_str(&mut s, phase);
+            }
+            TraceEvent::PartitionWindow {
+                partition,
+                per_app_bw,
+                rowbuf_hit_rate,
+                queue_depth,
+                ..
+            } => {
+                let _ = write!(s, ",\"partition\":{partition},\"per_app_bw\":[");
+                for (i, bw) in per_app_bw.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    push_f64(&mut s, *bw);
+                }
+                s.push_str("],\"rowbuf_hit_rate\":");
+                push_f64(&mut s, *rowbuf_hit_rate);
+                let _ = write!(s, ",\"queue_depth\":{queue_depth}");
+            }
+            TraceEvent::CoreWindow {
+                core,
+                app,
+                ipc,
+                active_warps,
+                stall,
+                ..
+            } => {
+                let _ = write!(s, ",\"core\":{core},\"app\":{app},\"ipc\":");
+                push_f64(&mut s, *ipc);
+                s.push_str(",\"active_warps\":");
+                push_f64(&mut s, *active_warps);
+                s.push_str(",\"stall\":{\"mem\":");
+                push_f64(&mut s, stall.mem);
+                s.push_str(",\"struct\":");
+                push_f64(&mut s, stall.structural);
+                s.push_str(",\"idle\":");
+                push_f64(&mut s, stall.idle);
+                s.push('}');
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Receiver of trace events.
+///
+/// Emission sites are written as
+/// `if sink.enabled() { sink.emit(...); }` — implementations whose
+/// `enabled` is a constant `false` ([`NullSink`]) therefore cost nothing:
+/// the event is never even constructed. `enabled` may be called once per
+/// sampling window per site, so it must be cheap.
+pub trait TraceSink {
+    /// Whether emission sites should construct and send events.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receives one event. Only called when [`TraceSink::enabled`] is true.
+    fn emit(&mut self, event: TraceEvent);
+
+    /// Flushes any buffered output (no-op for in-memory sinks).
+    fn flush(&mut self) {}
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    fn emit(&mut self, event: TraceEvent) {
+        (**self).emit(event)
+    }
+    fn flush(&mut self) {
+        (**self).flush()
+    }
+}
+
+/// The disabled sink: `enabled()` is a constant `false`, so every gated
+/// emission site folds to nothing. This is what the untraced entry points
+/// ([`crate::harness::run_controlled`]) pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn emit(&mut self, _event: TraceEvent) {}
+}
+
+/// Bounded in-memory capture. When full, the **oldest** events are dropped
+/// (ring semantics) and counted, so a long run keeps its most recent
+/// history and the loss is visible.
+#[derive(Debug, Clone, Default)]
+pub struct RingSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        RingSink {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// The captured events, oldest first.
+    pub fn events(&self) -> &VecDeque<TraceEvent> {
+        &self.buf
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Takes the captured events out, leaving the sink empty.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&mut self, event: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+}
+
+/// Newline-delimited-JSON file sink (one [`TraceEvent::to_json`] object per
+/// line). Buffered; flushed explicitly and on drop.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: std::io::BufWriter<std::fs::File>,
+    path: PathBuf,
+    written: u64,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::create(&path)?;
+        Ok(JsonlSink {
+            out: std::io::BufWriter::new(file),
+            path,
+            written: 0,
+        })
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of events written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn emit(&mut self, event: TraceEvent) {
+        // Best-effort: a full disk loses trace lines, never the simulation.
+        let _ = self.out.write_all(event.to_json().as_bytes());
+        let _ = self.out.write_all(b"\n");
+        self.written += 1;
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Reconstructs one application's EB-over-time series (Fig. 11's y-axis)
+/// from captured [`TraceEvent::WindowSample`] events: `(window-end cycle,
+/// EB)` pairs in trace order.
+pub fn eb_series<'a, I>(events: I, app: u8) -> Vec<(u64, f64)>
+where
+    I: IntoIterator<Item = &'a TraceEvent>,
+{
+    events
+        .into_iter()
+        .filter_map(|e| match e {
+            TraceEvent::WindowSample {
+                cycle, app: a, eb, ..
+            } if *a == app => Some((*cycle, *eb)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Renders the captured [`TraceEvent::WindowSample`] events as the
+/// `cycle,app,ipc,bw,cmr,eb` CSV of the Fig. 11 exports — byte-identical to
+/// [`crate::harness::ControlledRun::series_csv`] for the same run, which is
+/// how `fig11` regenerates its CSVs from the generic trace instead of
+/// bespoke plumbing.
+pub fn series_csv<'a, I>(events: I) -> String
+where
+    I: IntoIterator<Item = &'a TraceEvent>,
+{
+    let mut out = String::from("cycle,app,ipc,bw,cmr,eb\n");
+    for e in events {
+        if let TraceEvent::WindowSample {
+            cycle,
+            app,
+            eb,
+            bw,
+            cmr,
+            ipc,
+            ..
+        } = e
+        {
+            let _ = writeln!(out, "{cycle},{app},{ipc:.4},{bw:.4},{cmr:.4},{eb:.4}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(cycle: u64, app: u8, eb: f64) -> TraceEvent {
+        TraceEvent::WindowSample {
+            cycle,
+            app,
+            eb,
+            bw: 0.5,
+            cmr: 0.25,
+            l1mr: 0.5,
+            l2mr: 0.5,
+            ipc: 1.5,
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+    }
+
+    #[test]
+    fn ring_sink_keeps_newest_and_counts_drops() {
+        let mut ring = RingSink::new(2);
+        assert!(ring.enabled());
+        for i in 0..5 {
+            ring.emit(sample(i, 0, i as f64));
+        }
+        assert_eq!(ring.dropped(), 3);
+        let cycles: Vec<u64> = ring.events().iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![3, 4]);
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.events().is_empty());
+    }
+
+    #[test]
+    fn every_kind_serializes_with_version_and_tag() {
+        let events = [
+            sample(10, 1, 2.0),
+            TraceEvent::TlpDecision {
+                cycle: 11,
+                app: 0,
+                old: 24,
+                new: 4,
+                reason: "search-sweep",
+            },
+            TraceEvent::SearchPhase {
+                cycle: 12,
+                scheme: "PBS-WS".into(),
+                phase: "sweep".into(),
+            },
+            TraceEvent::PartitionWindow {
+                cycle: 13,
+                partition: 3,
+                per_app_bw: vec![0.1, 0.2],
+                rowbuf_hit_rate: 0.75,
+                queue_depth: 5,
+            },
+            TraceEvent::CoreWindow {
+                cycle: 14,
+                core: 7,
+                app: 1,
+                ipc: 0.8,
+                active_warps: 6.5,
+                stall: StallBreakdown {
+                    mem: 0.5,
+                    structural: 0.1,
+                    idle: 0.2,
+                },
+            },
+        ];
+        for e in &events {
+            let json = e.to_json();
+            assert!(json.starts_with(&format!("{{\"v\":{TRACE_SCHEMA_VERSION},")));
+            assert!(
+                json.contains(&format!("\"kind\":\"{}\"", e.kind())),
+                "{json}"
+            );
+            assert!(json.ends_with('}'), "{json}");
+            // Balanced braces (no nested-object truncation).
+            let open = json.matches('{').count();
+            assert_eq!(open, json.matches('}').count(), "{json}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        let json = sample(0, 0, f64::INFINITY).to_json();
+        assert!(json.contains("\"eb\":null"), "{json}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = TraceEvent::SearchPhase {
+            cycle: 0,
+            scheme: "a\"b\\c".into(),
+            phase: "p".into(),
+        };
+        assert!(e.to_json().contains("\"a\\\"b\\\\c\""));
+    }
+
+    #[test]
+    fn eb_series_filters_by_app_in_order() {
+        let events = vec![
+            sample(100, 0, 1.0),
+            sample(100, 1, 9.0),
+            sample(200, 0, 2.0),
+            TraceEvent::SearchPhase {
+                cycle: 150,
+                scheme: "s".into(),
+                phase: "p".into(),
+            },
+        ];
+        assert_eq!(eb_series(&events, 0), vec![(100, 1.0), (200, 2.0)]);
+        assert_eq!(eb_series(&events, 1), vec![(100, 9.0)]);
+    }
+
+    #[test]
+    fn series_csv_matches_bespoke_format() {
+        let events = vec![sample(100, 0, 2.0)];
+        let csv = series_csv(&events);
+        assert_eq!(
+            csv,
+            "cycle,app,ipc,bw,cmr,eb\n100,0,1.5000,0.5000,0.2500,2.0000\n"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let path =
+            std::env::temp_dir().join(format!("gpu_ebm_trace_test_{}.jsonl", std::process::id()));
+        {
+            let mut sink = JsonlSink::create(&path).expect("temp file");
+            sink.emit(sample(1, 0, 1.0));
+            sink.emit(sample(2, 1, 2.0));
+            sink.flush();
+            assert_eq!(sink.written(), 2);
+            assert_eq!(sink.path(), path.as_path());
+        }
+        let text = std::fs::read_to_string(&path).expect("readable");
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

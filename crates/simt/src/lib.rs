@@ -17,7 +17,7 @@
 //! * per-core statistics for IPC accounting and for DynCTA-style
 //!   latency-tolerance heuristics.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ccws;
 pub mod core;

@@ -19,7 +19,7 @@
 //! cfg.validate().unwrap();
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod addr;
 pub mod config;

@@ -24,7 +24,7 @@
 //! assert!(stream.next_inst().is_some());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod apps;
 pub mod phased;

@@ -14,6 +14,12 @@ cargo build --workspace --release
 echo "== cargo test (workspace) =="
 cargo test --workspace --release -q
 
+echo "== cargo test --doc (workspace doctests) =="
+cargo test --workspace --release -q --doc
+
+echo "== cargo doc (rustdoc warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== perf_smoke (smoke mode: verifies parallel == serial) =="
 cargo run -p ebm-bench --release --bin perf_smoke -- --smoke
 

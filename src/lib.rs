@@ -35,7 +35,7 @@
 //! crate regenerates every figure and table of the paper
 //! (`cargo run -p ebm-bench --release --bin experiments`).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// Common identifiers, configuration and statistics (re-export of
 /// [`gpu_types`]).
