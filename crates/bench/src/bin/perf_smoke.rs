@@ -1,19 +1,22 @@
 //! Std-only performance smoke benchmark.
 //!
-//! Reports (a) serial simulated cycles/second of the machine and (b) the
-//! wall-clock of the `GpuConfig::small()` 25-combination sweep at 1 thread
-//! versus N threads, verifying along the way that the parallel sweep is
-//! bit-for-bit identical to the sequential one. Results are written as
-//! hand-rolled JSON to `BENCH_parallel.json`.
+//! Reports (a) serial simulated cycles/second of the optimized engine
+//! against the naive cycle-by-cycle reference engine, with a
+//! global-allocator sanity check that the optimized steady state performs
+//! no per-cycle heap allocation, and (b) the wall-clock of the
+//! `GpuConfig::small()` 25-combination sweep at 1 thread versus N threads,
+//! verifying along the way that the parallel sweep is bit-for-bit
+//! identical to the sequential one. Results are written as hand-rolled
+//! JSON to `BENCH_engine.json` and `BENCH_parallel.json`.
 //!
 //! Usage:
 //!
 //! ```text
-//! perf_smoke [--smoke] [--out PATH]
+//! perf_smoke [--smoke] [--out PATH] [--engine-out PATH]
 //! ```
 //!
 //! `--smoke` shrinks the workload for CI (seconds, not minutes) and skips
-//! the JSON write unless `--out` is given explicitly.
+//! the JSON writes unless `--out` / `--engine-out` are given explicitly.
 
 use ebm_core::sweep::ComboSweep;
 use gpu_sim::exec;
@@ -21,22 +24,74 @@ use gpu_sim::harness::RunSpec;
 use gpu_sim::machine::Gpu;
 use gpu_types::{GpuConfig, TlpCombo, TlpLevel};
 use gpu_workloads::Workload;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// System allocator wrapped with a heap-operation counter, so the timed
+/// region can assert the optimized engine's steady state allocates nothing.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; the counter is a side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn heap_ops() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 struct SweepTiming {
     threads: usize,
     seconds: f64,
 }
 
-fn engine_cycles_per_sec(cycles: u64) -> f64 {
+/// One timed engine run: `GpuConfig::small()` + BLK_BFS at uniform TLP 8,
+/// 1 000 warm-up cycles outside the timed region (primes caches, row
+/// buffers and every reused scratch buffer's high-water mark).
+struct EngineRun {
+    cycles_per_sec: f64,
+    allocs_per_cycle: f64,
+    skipped_fraction: f64,
+}
+
+fn engine_run(cycles: u64, reference: bool) -> EngineRun {
     let cfg = GpuConfig::small();
     let w = Workload::pair("BLK", "BFS");
     let mut gpu = Gpu::new(&cfg, w.apps(), 42);
+    gpu.set_reference_engine(reference);
     gpu.set_combo(&TlpCombo::uniform(TlpLevel::new(8).unwrap(), 2));
-    gpu.run(1_000); // prime caches and row buffers out of the timed region
+    gpu.run(1_000);
+    let stats_before = gpu.engine_stats();
+    let allocs_before = heap_ops();
     let t = Instant::now();
     gpu.run(cycles);
-    cycles as f64 / t.elapsed().as_secs_f64()
+    let secs = t.elapsed().as_secs_f64();
+    let allocs = heap_ops() - allocs_before;
+    let stats = gpu.engine_stats();
+    let skipped = stats.fast_forwarded - stats_before.fast_forwarded;
+    EngineRun {
+        cycles_per_sec: cycles as f64 / secs,
+        allocs_per_cycle: allocs as f64 / cycles as f64,
+        skipped_fraction: skipped as f64 / cycles as f64,
+    }
 }
 
 fn time_sweep(threads: usize, spec: RunSpec) -> (ComboSweep, f64) {
@@ -68,6 +123,46 @@ fn sweeps_identical(a: &ComboSweep, b: &ComboSweep) -> bool {
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_engine_json(smoke: bool, cycles: u64, before: &EngineRun, after: &EngineRun) -> String {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"engine\",\n");
+    out.push_str(&format!("  \"smoke_mode\": {smoke},\n"));
+    out.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    out.push_str("  \"machine\": \"GpuConfig::small\",\n");
+    out.push_str("  \"workload\": \"BLK_BFS\",\n");
+    out.push_str(&format!("  \"timed_cycles\": {cycles},\n"));
+    out.push_str("  \"warmup_cycles\": 1000,\n");
+    out.push_str(&format!(
+        "  \"engine_cycles_per_sec_before\": {:.1},\n",
+        before.cycles_per_sec
+    ));
+    out.push_str(&format!(
+        "  \"engine_cycles_per_sec\": {:.1},\n",
+        after.cycles_per_sec
+    ));
+    out.push_str(&format!(
+        "  \"speedup\": {:.2},\n",
+        after.cycles_per_sec / before.cycles_per_sec
+    ));
+    out.push_str(&format!(
+        "  \"quiescent_cycles_skipped_fraction\": {:.6},\n",
+        after.skipped_fraction
+    ));
+    out.push_str(&format!(
+        "  \"allocations_per_cycle\": {:.6},\n",
+        after.allocs_per_cycle
+    ));
+    out.push_str(&format!(
+        "  \"allocations_per_cycle_before\": {:.3}\n",
+        before.allocs_per_cycle
+    ));
+    out.push_str("}\n");
+    out
 }
 
 fn render_json(
@@ -120,6 +215,15 @@ fn main() {
         } else {
             Some("BENCH_parallel.json".to_string())
         });
+    let engine_out_path = args
+        .iter()
+        .position(|a| a == "--engine-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or(if smoke {
+            None
+        } else {
+            Some("BENCH_engine.json".to_string())
+        });
 
     let (engine_cycles, spec) = if smoke {
         (20_000, RunSpec::new(300, 700))
@@ -127,9 +231,29 @@ fn main() {
         (200_000, RunSpec::new(3_000, 12_000))
     };
 
-    eprintln!("perf_smoke: serial engine throughput ({engine_cycles} cycles)...");
-    let engine_cps = engine_cycles_per_sec(engine_cycles);
-    eprintln!("  {engine_cps:.0} simulated cycles/sec");
+    eprintln!("perf_smoke: engine throughput, reference vs optimized ({engine_cycles} cycles)...");
+    let before = engine_run(engine_cycles, true);
+    let after = engine_run(engine_cycles, false);
+    let engine_cps = after.cycles_per_sec;
+    eprintln!(
+        "  reference: {:.0} cycles/sec ({:.1} allocs/cycle)",
+        before.cycles_per_sec, before.allocs_per_cycle
+    );
+    eprintln!(
+        "  optimized: {:.0} cycles/sec ({:.4} allocs/cycle, {:.4} skipped fraction)",
+        after.cycles_per_sec, after.allocs_per_cycle, after.skipped_fraction
+    );
+    eprintln!(
+        "  speedup: {:.2}x",
+        after.cycles_per_sec / before.cycles_per_sec
+    );
+    let engine_json = render_engine_json(smoke, engine_cycles, &before, &after);
+    if let Some(path) = &engine_out_path {
+        std::fs::write(path, &engine_json).expect("write engine benchmark JSON");
+        eprintln!("perf_smoke: wrote {path}");
+    } else {
+        print!("{engine_json}");
+    }
 
     let max_threads = exec::worker_count().max(4);
     let thread_points: Vec<usize> = {

@@ -183,6 +183,8 @@ impl Cache {
     /// the requests that were waiting on it, in arrival order.
     ///
     /// The victim is the LRU way of the set; invalid ways are filled first.
+    /// Allocating wrapper over [`Cache::fill_into`], kept for tests and
+    /// non-hot-path callers.
     pub fn fill(&mut self, line: Address) -> Vec<ReqId> {
         self.fill_with_victim(line).0
     }
@@ -190,8 +192,17 @@ impl Cache {
     /// Like [`Cache::fill`], but also reports the line that was evicted to
     /// make room (used by the CCWS victim-tag mechanism).
     pub fn fill_with_victim(&mut self, line: Address) -> (Vec<ReqId>, Option<Address>) {
+        let mut waiters = Vec::new();
+        let victim = self.fill_into(line, &mut waiters);
+        (waiters, victim)
+    }
+
+    /// Hot-path form of [`Cache::fill_with_victim`]: appends the released
+    /// waiters to a caller-owned buffer instead of allocating, and returns
+    /// the evicted line, if any.
+    pub fn fill_into(&mut self, line: Address, waiters: &mut Vec<ReqId>) -> Option<Address> {
         let line = line.line();
-        let waiters = self.mshr.fill(line);
+        self.mshr.fill_into(line, waiters);
         let set = self.set_of(line);
         let tag = self.tag_of(line);
         let base = set * self.assoc;
@@ -202,7 +213,7 @@ impl Cache {
             .find(|w| w.valid && w.tag == tag)
         {
             way.last_use = now;
-            return (waiters, None);
+            return None;
         }
         let set_shift = self.set_shift;
         let victim = self.ways[base..base + self.assoc]
@@ -217,7 +228,7 @@ impl Cache {
             last_use: now,
             valid: true,
         };
-        (waiters, evicted)
+        evicted
     }
 
     /// True when a new miss line cannot currently be tracked.

@@ -117,11 +117,10 @@ impl MemoryController {
         &mut self.counters[app.index()]
     }
 
-    /// Advances one cycle: possibly issues one request to `dram` (FR-FCFS)
-    /// and returns the loads whose data completed at or before `now`.
-    pub fn step(&mut self, now: u64, dram: &mut DramChannel) -> Vec<MemRequest> {
-        // Issue: oldest row-hit with a free bank, else oldest with a free
-        // bank (single scan, both candidates tracked).
+    /// FR-FCFS issue: forwards at most one queued request to `dram` —
+    /// the oldest row-hit with a free bank, else the oldest with a free
+    /// bank (single scan, both candidates tracked).
+    fn issue_one(&mut self, now: u64, dram: &mut DramChannel) {
         let mut first_free = None;
         let mut pick = None;
         for (i, q) in self.queue.iter().enumerate() {
@@ -156,12 +155,32 @@ impl MemoryController {
                 }));
             }
         }
+    }
 
-        let mut done = Vec::new();
+    /// Advances one cycle: possibly issues one request to `dram` (FR-FCFS)
+    /// and appends the loads whose data completed at or before `now` to
+    /// `done`. This is the allocation-free hot-path form; the caller owns
+    /// and reuses the buffer.
+    pub fn step_into(&mut self, now: u64, dram: &mut DramChannel, done: &mut Vec<MemRequest>) {
+        self.issue_one(now, dram);
         while matches!(self.in_flight.peek(), Some(Reverse(f)) if f.done_at <= now) {
             done.push(self.in_flight.pop().expect("peeked").0.req);
         }
+    }
+
+    /// Advances one cycle and returns the completed loads. Allocating
+    /// wrapper over [`MemoryController::step_into`], kept for tests and the
+    /// reference engine.
+    pub fn step(&mut self, now: u64, dram: &mut DramChannel) -> Vec<MemRequest> {
+        let mut done = Vec::new();
+        self.step_into(now, dram, &mut done);
         done
+    }
+
+    /// Earliest cycle at which an issued load's data completes, if any —
+    /// the partition's quiescence check reads this to find the next event.
+    pub fn next_completion(&self) -> Option<u64> {
+        self.in_flight.peek().map(|Reverse(f)| f.done_at)
     }
 
     /// Per-application counters (zero for apps never seen).

@@ -33,6 +33,9 @@ pub struct MshrTable {
     entries: FxHashMap<Address, Entry>,
     max_entries: usize,
     max_merge: usize,
+    /// Recycled entries whose target buffers keep their capacity, so a
+    /// steady-state register/fill cycle performs no heap allocation.
+    spare: Vec<Entry>,
 }
 
 impl MshrTable {
@@ -51,6 +54,7 @@ impl MshrTable {
             entries: FxHashMap::default(),
             max_entries,
             max_merge,
+            spare: Vec::new(),
         }
     }
 
@@ -67,18 +71,32 @@ impl MshrTable {
         if self.entries.len() >= self.max_entries {
             return MshrOutcome::Full;
         }
-        self.entries.insert(line, Entry { targets: vec![req] });
+        let mut entry = self.spare.pop().unwrap_or_default();
+        entry.targets.push(req);
+        self.entries.insert(line, entry);
         MshrOutcome::Allocated
+    }
+
+    /// Completes the miss for `line`, appending every waiting request (in
+    /// arrival order) to `out`. No-op when the line had no entry (e.g. a
+    /// prefetch-style fill). Allocation-free in steady state: the entry's
+    /// target buffer is recycled for future misses.
+    pub fn fill_into(&mut self, line: Address, out: &mut Vec<ReqId>) {
+        if let Some(mut e) = self.entries.remove(&line) {
+            out.extend_from_slice(&e.targets);
+            e.targets.clear();
+            self.spare.push(e);
+        }
     }
 
     /// Completes the miss for `line`, releasing and returning every waiting
     /// request (in arrival order). Returns an empty vector when the line had
-    /// no entry (e.g. a prefetch-style fill).
+    /// no entry. Allocating wrapper over [`MshrTable::fill_into`], kept for
+    /// tests and non-hot-path callers.
     pub fn fill(&mut self, line: Address) -> Vec<ReqId> {
-        self.entries
-            .remove(&line)
-            .map(|e| e.targets)
-            .unwrap_or_default()
+        let mut out = Vec::new();
+        self.fill_into(line, &mut out);
+        out
     }
 
     /// True when `line` has an outstanding miss.

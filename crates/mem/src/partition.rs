@@ -60,6 +60,11 @@ pub struct MemoryPartition {
     /// Loads that missed L2, keyed by the request id recorded in the MSHR.
     missed: FxHashMap<ReqId, MemRequest>,
     seq: u64,
+    /// Reused buffer for the controller's completed loads (hot path scratch).
+    mc_done: Vec<MemRequest>,
+    /// Reused buffer for the waiters released by an L2 fill (hot path
+    /// scratch).
+    waiter_scratch: Vec<ReqId>,
 }
 
 impl MemoryPartition {
@@ -76,6 +81,8 @@ impl MemoryPartition {
             hit_returns: BinaryHeap::new(),
             missed: FxHashMap::default(),
             seq: 0,
+            mc_done: Vec::new(),
+            waiter_scratch: Vec::new(),
         }
     }
 
@@ -98,13 +105,48 @@ impl MemoryPartition {
         Ok(())
     }
 
+    /// Hot-path form of [`MemoryPartition::step`]: appends load responses to
+    /// `responses` and reuses partition-owned scratch buffers, so a
+    /// steady-state cycle performs no heap allocation. Identical behaviour
+    /// and response order to the allocating form.
+    pub fn step_into(&mut self, now: u64, responses: &mut VecDeque<MemRequest>) {
+        // 1. DRAM completions: bypassing loads return directly (no-allocate);
+        //    everything else fills the L2 and releases merged waiters.
+        let mut mc_done = std::mem::take(&mut self.mc_done);
+        self.mc.step_into(now, &mut self.dram, &mut mc_done);
+        for &fill in &mc_done {
+            if fill.bypass_caches {
+                responses.push_back(fill);
+                continue;
+            }
+            let mut waiters = std::mem::take(&mut self.waiter_scratch);
+            self.l2.fill_into(fill.addr, &mut waiters);
+            for &w in &waiters {
+                if let Some(orig) = self.missed.remove(&w) {
+                    responses.push_back(orig);
+                }
+            }
+            waiters.clear();
+            self.waiter_scratch = waiters;
+        }
+        mc_done.clear();
+        self.mc_done = mc_done;
+
+        // 2. L2 hits whose latency elapsed.
+        while matches!(self.hit_returns.peek(), Some(Reverse(t)) if t.at <= now) {
+            responses.push_back(self.hit_returns.pop().expect("peeked").0.item);
+        }
+
+        // 3. Service one ingress request per cycle (the L2 port).
+        self.service_ingress(now);
+    }
+
     /// Advances one cycle; returns load responses ready to enter the
-    /// response interconnect.
+    /// response interconnect. Allocating reference form (per-cycle `Vec`s),
+    /// kept for tests and the reference engine.
     pub fn step(&mut self, now: u64) -> Vec<MemRequest> {
         let mut responses = Vec::new();
 
-        // 1. DRAM completions: bypassing loads return directly (no-allocate);
-        //    everything else fills the L2 and releases merged waiters.
         for fill in self.mc.step(now, &mut self.dram) {
             if fill.bypass_caches {
                 responses.push(fill);
@@ -117,12 +159,18 @@ impl MemoryPartition {
             }
         }
 
-        // 2. L2 hits whose latency elapsed.
         while matches!(self.hit_returns.peek(), Some(Reverse(t)) if t.at <= now) {
             responses.push(self.hit_returns.pop().expect("peeked").0.item);
         }
 
-        // 3. Service one ingress request per cycle (the L2 port).
+        self.service_ingress(now);
+
+        responses
+    }
+
+    /// Services one ingress request at the L2 port (shared by both step
+    /// forms — it never produces responses directly).
+    fn service_ingress(&mut self, now: u64) {
         if let Some(&req) = self.ingress.front() {
             match req.kind {
                 AccessKind::Store => {
@@ -187,8 +235,27 @@ impl MemoryPartition {
                 }
             }
         }
+    }
 
-        responses
+    /// The cycle (exclusive) until which stepping this partition is provably
+    /// a no-op, or `None` when it must be stepped at `now`. Quiescent means:
+    /// nothing queued at the L2 port or in the controller (so no issue can
+    /// happen — DRAM bank state only changes on issue), and the earliest
+    /// pending event (DRAM data completion or L2 hit return) lies strictly
+    /// in the future. `u64::MAX` signals a fully drained partition.
+    pub fn quiescent_until(&self, now: u64) -> Option<u64> {
+        if !self.ingress.is_empty() || self.mc.queued() > 0 {
+            return None;
+        }
+        let mut next = self.mc.next_completion().unwrap_or(u64::MAX);
+        if let Some(Reverse(t)) = self.hit_returns.peek() {
+            next = next.min(t.at);
+        }
+        if next <= now {
+            None
+        } else {
+            Some(next)
+        }
     }
 
     /// Per-application counters (L2 + DRAM side).

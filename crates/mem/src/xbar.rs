@@ -25,6 +25,13 @@ pub struct Crossbar<T> {
     grants_per_output: usize,
     queue_capacity: usize,
     rr: Vec<usize>,
+    /// Running count of buffered flits, so [`Crossbar::in_flight`] /
+    /// [`Crossbar::is_empty`] and the engine's idle-skip check are O(1)
+    /// instead of an O(n_inputs) scan.
+    buffered: usize,
+    /// Arbitration scratch ("this input already sent a flit this cycle"),
+    /// kept as a member so [`Crossbar::step_with`] allocates nothing.
+    input_used: Vec<bool>,
 }
 
 impl<T> Crossbar<T> {
@@ -54,6 +61,8 @@ impl<T> Crossbar<T> {
             grants_per_output,
             queue_capacity,
             rr: vec![0; n_outputs],
+            buffered: 0,
+            input_used: vec![false; n_inputs],
         }
     }
 
@@ -82,13 +91,72 @@ impl<T> Crossbar<T> {
             ready_at: now + self.latency,
             payload,
         });
+        self.buffered += 1;
         Ok(())
     }
 
     /// Advances one cycle: each output port grants up to
     /// `grants_per_output` eligible head-of-line flits, round-robin over
-    /// inputs; each input sends at most one flit per cycle. Returns the
-    /// delivered `(output_port, payload)` pairs.
+    /// inputs; each input sends at most one flit per cycle, delivered
+    /// through `deliver(output_port, payload)` in grant order.
+    ///
+    /// This is the hot-path form: arbitration scratch lives on the crossbar
+    /// and nothing is allocated. When no head-of-line flit is deliverable it
+    /// returns immediately — exact, because grants (and thus `rr` pointer
+    /// movement) only ever happen for deliverable flits.
+    pub fn step_with(&mut self, now: u64, mut deliver: impl FnMut(usize, T)) {
+        if self.buffered == 0 {
+            return;
+        }
+        if !self
+            .inputs
+            .iter()
+            .any(|q| matches!(q.front(), Some(f) if f.ready_at <= now))
+        {
+            return;
+        }
+        let n_inputs = self.inputs.len();
+        for u in &mut self.input_used {
+            *u = false;
+        }
+        for out in 0..self.n_outputs {
+            let mut grants = 0;
+            let start = self.rr[out];
+            for k in 0..n_inputs {
+                if grants == self.grants_per_output {
+                    break;
+                }
+                let i = (start + k) % n_inputs;
+                if self.input_used[i] {
+                    continue;
+                }
+                let eligible = matches!(
+                    self.inputs[i].front(),
+                    Some(f) if f.dest == out && f.ready_at <= now
+                );
+                if eligible {
+                    let flit = self.inputs[i].pop_front().expect("front checked above");
+                    self.buffered -= 1;
+                    deliver(out, flit.payload);
+                    self.input_used[i] = true;
+                    grants += 1;
+                    // Advance the pointer past the last granted input so a
+                    // persistent sender cannot starve others.
+                    self.rr[out] = (i + 1) % n_inputs;
+                }
+            }
+        }
+        debug_assert_eq!(
+            self.buffered,
+            self.inputs.iter().map(VecDeque::len).sum::<usize>(),
+            "running flit count diverged from the scan"
+        );
+    }
+
+    /// Reference form of [`Crossbar::step_with`]: the original per-cycle
+    /// algorithm with freshly allocated scratch and a collected result
+    /// vector, no early-outs. Kept for differential testing
+    /// (`engine_equivalence`) and unit tests; never used on the hot path.
     pub fn step(&mut self, now: u64) -> Vec<(usize, T)> {
         let n_inputs = self.inputs.len();
         let mut delivered = Vec::new();
@@ -110,11 +178,10 @@ impl<T> Crossbar<T> {
                 );
                 if eligible {
                     let flit = self.inputs[i].pop_front().expect("front checked above");
+                    self.buffered -= 1;
                     delivered.push((out, flit.payload));
                     input_used[i] = true;
                     grants += 1;
-                    // Advance the pointer past the last granted input so a
-                    // persistent sender cannot starve others.
                     self.rr[out] = (i + 1) % n_inputs;
                 }
             }
@@ -122,14 +189,46 @@ impl<T> Crossbar<T> {
         delivered
     }
 
-    /// Total flits currently buffered.
-    pub fn in_flight(&self) -> usize {
-        self.inputs.iter().map(VecDeque::len).sum()
+    /// The cycle (exclusive) until which this crossbar is provably inert:
+    /// `Some(u64::MAX)` when empty, the earliest head-of-line `ready_at`
+    /// when every buffered flit is still in wire traversal, and `None` when
+    /// a flit is deliverable at `now` (the crossbar must be stepped).
+    /// Head-of-line flits suffice: only they can be granted, and latency is
+    /// constant so each FIFO's head has its queue's earliest `ready_at`.
+    pub fn quiescent_until(&self, now: u64) -> Option<u64> {
+        if self.buffered == 0 {
+            return Some(u64::MAX);
+        }
+        let mut next = u64::MAX;
+        for q in &self.inputs {
+            if let Some(f) = q.front() {
+                if f.ready_at <= now {
+                    return None;
+                }
+                next = next.min(f.ready_at);
+            }
+        }
+        Some(next)
     }
 
-    /// True when no flits are buffered.
+    /// Total flits currently buffered (O(1): a running count).
+    pub fn in_flight(&self) -> usize {
+        debug_assert_eq!(
+            self.buffered,
+            self.inputs.iter().map(VecDeque::len).sum::<usize>(),
+            "running flit count diverged from the scan"
+        );
+        self.buffered
+    }
+
+    /// True when no flits are buffered (O(1): a running count).
     pub fn is_empty(&self) -> bool {
-        self.inputs.iter().all(VecDeque::is_empty)
+        debug_assert_eq!(
+            self.buffered == 0,
+            self.inputs.iter().all(VecDeque::is_empty),
+            "running flit count diverged from the scan"
+        );
+        self.buffered == 0
     }
 }
 
@@ -236,5 +335,56 @@ mod tests {
     fn bad_destination_panics() {
         let mut x: Crossbar<u32> = Crossbar::new(1, 1, 0, 1, 1);
         let _ = x.push(0, 5, 0, 0);
+    }
+
+    #[test]
+    fn running_count_tracks_pushes_and_grants() {
+        let mut x: Crossbar<u32> = Crossbar::new(3, 2, 1, 1, 4);
+        assert!(x.is_empty());
+        x.push(0, 0, 1, 0).unwrap();
+        x.push(1, 1, 2, 0).unwrap();
+        x.push(2, 0, 3, 0).unwrap();
+        assert_eq!(x.in_flight(), 3);
+        let delivered = x.step(1).len();
+        assert_eq!(x.in_flight(), 3 - delivered);
+        while !x.is_empty() {
+            x.step(2);
+        }
+        assert_eq!(x.in_flight(), 0);
+    }
+
+    #[test]
+    fn step_with_matches_step() {
+        // Same stimulus through both step forms: identical deliveries in
+        // identical order, cycle by cycle.
+        let stimulate = |x: &mut Crossbar<u32>, now: u64| {
+            if now % 3 != 2 {
+                let _ = x.push((now % 4) as usize, (now % 2) as usize, now as u32, now);
+                let _ = x.push(
+                    ((now + 2) % 4) as usize,
+                    ((now + 1) % 2) as usize,
+                    100 + now as u32,
+                    now,
+                );
+            }
+        };
+        let mut a: Crossbar<u32> = Crossbar::new(4, 2, 2, 1, 4);
+        let mut b: Crossbar<u32> = Crossbar::new(4, 2, 2, 1, 4);
+        for now in 0..40u64 {
+            stimulate(&mut a, now);
+            stimulate(&mut b, now);
+            let mut got_a = Vec::new();
+            a.step_with(now, |out, p| got_a.push((out, p)));
+            assert_eq!(got_a, b.step(now), "divergence at cycle {now}");
+        }
+    }
+
+    #[test]
+    fn quiescent_until_reports_traversal_horizon() {
+        let mut x: Crossbar<u32> = Crossbar::new(2, 2, 5, 1, 4);
+        assert_eq!(x.quiescent_until(0), Some(u64::MAX), "empty crossbar");
+        x.push(0, 1, 9, 10).unwrap();
+        assert_eq!(x.quiescent_until(10), Some(15), "in traversal until 15");
+        assert_eq!(x.quiescent_until(15), None, "deliverable now");
     }
 }

@@ -36,6 +36,24 @@ pub struct Gpu {
     /// partition ingress queue, per partition.
     ingress_backlog: Vec<VecDeque<MemRequest>>,
     now: u64,
+    /// When true, [`Gpu::step`]/[`Gpu::run`] use the naive cycle-by-cycle
+    /// reference engine (allocating APIs, no quiescence skipping); see
+    /// [`Gpu::set_reference_engine`].
+    reference_mode: bool,
+    /// Cycles advanced by stepping every component.
+    stepped_cycles: u64,
+    /// Cycles advanced by quiescence fast-forwarding.
+    skipped_cycles: u64,
+}
+
+/// Cycle-advance accounting of the engine, exported for the `perf_smoke`
+/// benchmark's quiescent-skip fraction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Cycles advanced by stepping every component.
+    pub stepped: u64,
+    /// Cycles advanced by quiescence fast-forwarding (no component work).
+    pub fast_forwarded: u64,
 }
 
 impl std::fmt::Debug for Gpu {
@@ -140,6 +158,9 @@ impl Gpu {
             app_cores,
             cfg: cfg.clone(),
             now: 0,
+            reference_mode: false,
+            stepped_cycles: 0,
+            skipped_cycles: 0,
         }
     }
 
@@ -213,14 +234,23 @@ impl Gpu {
 
     /// Advances the machine one cycle.
     pub fn step(&mut self) {
+        if self.reference_mode {
+            self.step_reference();
+        } else {
+            self.step_optimized();
+        }
+    }
+
+    /// One cycle of the optimized engine: drain-into/callback APIs, with
+    /// every per-cycle buffer owned by the machine or its components, so the
+    /// steady-state path performs zero heap allocation.
+    fn step_optimized(&mut self) {
         let now = self.now;
 
         // 1. Memory partitions produce responses; stage them toward the
         //    response network (per-partition backlog absorbs bursts).
         for (p, part) in self.partitions.iter_mut().enumerate() {
-            for resp in part.step(now) {
-                self.resp_backlog[p].push_back(resp);
-            }
+            part.step_into(now, &mut self.resp_backlog[p]);
             while let Some(resp) = self.resp_backlog[p].front() {
                 if !self.resp_net.can_accept(p) {
                     break;
@@ -234,9 +264,9 @@ impl Gpu {
         }
 
         // 2. Deliver responses to cores.
-        for (core_idx, resp) in self.resp_net.step(now) {
-            self.cores[core_idx].receive(resp);
-        }
+        let cores = &mut self.cores;
+        self.resp_net
+            .step_with(now, |core_idx, resp| cores[core_idx].receive(resp));
 
         // 3. Cores execute.
         for core in &mut self.cores {
@@ -262,6 +292,137 @@ impl Gpu {
         }
 
         // 5. Eject requests into partitions (retrying refused ones first).
+        let backlog = &mut self.ingress_backlog;
+        self.req_net
+            .step_with(now, |p, req| backlog[p].push_back(req));
+        for (p, part) in self.partitions.iter_mut().enumerate() {
+            while let Some(req) = self.ingress_backlog[p].front().copied() {
+                if part.push(req).is_err() {
+                    break;
+                }
+                self.ingress_backlog[p].pop_front();
+            }
+        }
+
+        self.now += 1;
+        self.stepped_cycles += 1;
+    }
+
+    /// TEMP: per-phase wall-clock over `cycles` optimized steps.
+    pub fn profile_phases(&mut self, cycles: u64) -> [f64; 5] {
+        let mut acc = [0.0f64; 5];
+        for _ in 0..cycles {
+            let now = self.now;
+            let t0 = std::time::Instant::now();
+            for (p, part) in self.partitions.iter_mut().enumerate() {
+                part.step_into(now, &mut self.resp_backlog[p]);
+                while let Some(resp) = self.resp_backlog[p].front() {
+                    if !self.resp_net.can_accept(p) {
+                        break;
+                    }
+                    let dest = resp.core.index();
+                    let resp = self.resp_backlog[p].pop_front().expect("front checked");
+                    self.resp_net
+                        .push(p, dest, resp, now)
+                        .expect("can_accept checked");
+                }
+            }
+            let t1 = std::time::Instant::now();
+            let cores = &mut self.cores;
+            self.resp_net
+                .step_with(now, |core_idx, resp| cores[core_idx].receive(resp));
+            let t2 = std::time::Instant::now();
+            for core in &mut self.cores {
+                core.step(now);
+            }
+            let t3 = std::time::Instant::now();
+            let n_partitions = self.cfg.n_partitions;
+            for (ci, core) in self.cores.iter_mut().enumerate() {
+                for _ in 0..self.cfg.xbar_requests_per_cycle {
+                    let Some(req) = core.peek_request() else {
+                        break;
+                    };
+                    if !self.req_net.can_accept(ci) {
+                        break;
+                    }
+                    let dest = req.addr.partition(n_partitions);
+                    let req = core.pop_request().expect("peeked");
+                    self.req_net
+                        .push(ci, dest, req, now)
+                        .expect("can_accept checked");
+                }
+            }
+            let t4 = std::time::Instant::now();
+            let backlog = &mut self.ingress_backlog;
+            self.req_net
+                .step_with(now, |p, req| backlog[p].push_back(req));
+            for (p, part) in self.partitions.iter_mut().enumerate() {
+                while let Some(req) = self.ingress_backlog[p].front().copied() {
+                    if part.push(req).is_err() {
+                        break;
+                    }
+                    self.ingress_backlog[p].pop_front();
+                }
+            }
+            self.now += 1;
+            self.stepped_cycles += 1;
+            let t5 = std::time::Instant::now();
+            acc[0] += (t1 - t0).as_secs_f64();
+            acc[1] += (t2 - t1).as_secs_f64();
+            acc[2] += (t3 - t2).as_secs_f64();
+            acc[3] += (t4 - t3).as_secs_f64();
+            acc[4] += (t5 - t4).as_secs_f64();
+        }
+        acc
+    }
+
+    /// One cycle of the naive reference engine: the original per-cycle
+    /// algorithm with `Vec`-returning component steps and no quiescence
+    /// machinery, kept only for the `engine_equivalence` differential tests.
+    fn step_reference(&mut self) {
+        let now = self.now;
+
+        for (p, part) in self.partitions.iter_mut().enumerate() {
+            for resp in part.step(now) {
+                self.resp_backlog[p].push_back(resp);
+            }
+            while let Some(resp) = self.resp_backlog[p].front() {
+                if !self.resp_net.can_accept(p) {
+                    break;
+                }
+                let dest = resp.core.index();
+                let resp = self.resp_backlog[p].pop_front().expect("front checked");
+                self.resp_net
+                    .push(p, dest, resp, now)
+                    .expect("can_accept checked");
+            }
+        }
+
+        for (core_idx, resp) in self.resp_net.step(now) {
+            self.cores[core_idx].receive(resp);
+        }
+
+        for core in &mut self.cores {
+            core.step_reference(now);
+        }
+
+        let n_partitions = self.cfg.n_partitions;
+        for (ci, core) in self.cores.iter_mut().enumerate() {
+            for _ in 0..self.cfg.xbar_requests_per_cycle {
+                let Some(req) = core.peek_request() else {
+                    break;
+                };
+                if !self.req_net.can_accept(ci) {
+                    break;
+                }
+                let dest = req.addr.partition(n_partitions);
+                let req = core.pop_request().expect("peeked");
+                self.req_net
+                    .push(ci, dest, req, now)
+                    .expect("can_accept checked");
+            }
+        }
+
         for (p, req) in self.req_net.step(now) {
             self.ingress_backlog[p].push_back(req);
         }
@@ -275,12 +436,89 @@ impl Gpu {
         }
 
         self.now += 1;
+        self.stepped_cycles += 1;
     }
 
-    /// Runs the machine for `cycles` cycles.
+    /// The cycle (exclusive) up to which every component is provably
+    /// quiescent, or `None` when something must be stepped at `now`.
+    ///
+    /// Quiescent means: no staged responses or refused ingress requests, no
+    /// core egress, both crossbars without a deliverable flit, every
+    /// partition event-free and every core asleep. Stepping any cycle in
+    /// the returned span would change nothing but the per-cycle counters
+    /// that [`Gpu::advance_idle`] credits in batch. `u64::MAX` means the
+    /// machine is fully drained.
+    fn quiescent_until(&self) -> Option<u64> {
+        let now = self.now;
+        if self.resp_backlog.iter().any(|b| !b.is_empty())
+            || self.ingress_backlog.iter().any(|b| !b.is_empty())
+        {
+            return None;
+        }
+        let mut next = self.req_net.quiescent_until(now)?;
+        next = next.min(self.resp_net.quiescent_until(now)?);
+        for part in &self.partitions {
+            next = next.min(part.quiescent_until(now)?);
+        }
+        for core in &self.cores {
+            if core.has_egress() {
+                return None;
+            }
+            next = next.min(core.quiescent_until(now)?);
+        }
+        Some(next)
+    }
+
+    /// Fast-forwards `k` quiescent cycles: credits every core's per-cycle
+    /// counters in batch and advances `now`. Only called for spans proven
+    /// inert by [`Gpu::quiescent_until`].
+    fn advance_idle(&mut self, k: u64) {
+        debug_assert!(k > 0, "zero-length fast-forward");
+        for core in &mut self.cores {
+            core.credit_idle_cycles(k);
+        }
+        self.now += k;
+        self.skipped_cycles += k;
+    }
+
+    /// Runs the machine for `cycles` cycles. On the optimized engine,
+    /// stretches where every component is provably quiescent are
+    /// fast-forwarded to the next event time; `now`, statistics and traced
+    /// output advance exactly as if every cycle had been stepped.
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.step();
+        if self.reference_mode {
+            for _ in 0..cycles {
+                self.step_reference();
+            }
+            return;
+        }
+        let end = self.now + cycles;
+        while self.now < end {
+            match self.quiescent_until() {
+                Some(next) => {
+                    let k = next.min(end) - self.now;
+                    self.advance_idle(k);
+                }
+                None => self.step_optimized(),
+            }
+        }
+    }
+
+    /// Switches between the optimized engine and the naive cycle-by-cycle
+    /// reference. The two are bit-for-bit equivalent (asserted by the
+    /// `engine_equivalence` differential suite, the only intended user of
+    /// the reference mode) — the reference is simply slower and allocates
+    /// every cycle.
+    pub fn set_reference_engine(&mut self, on: bool) {
+        self.reference_mode = on;
+    }
+
+    /// Cycle-advance accounting: how many cycles were stepped versus
+    /// fast-forwarded through quiescent stretches.
+    pub fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            stepped: self.stepped_cycles,
+            fast_forwarded: self.skipped_cycles,
         }
     }
 

@@ -1,0 +1,230 @@
+//! Differential tests pinning the optimized engine to the naive reference.
+//!
+//! The optimized engine (drain-into/callback component APIs, reused scratch
+//! buffers, core sleep states and whole-machine quiescence fast-forwarding)
+//! must be *bit-for-bit* identical to the naive cycle-by-cycle reference
+//! engine, which steps every component every cycle with the original
+//! `Vec`-returning APIs and never skips. These tests run both engines over
+//! randomized configurations, workload pairs and mid-run knob changes
+//! (driven by the in-repo [`SplitMix64`], so failures reproduce exactly)
+//! and compare every observable output: the clock, per-app [`MemCounters`]
+//! (full and designated-sampled), per-app [`CoreStats`], controlled-run
+//! results and the structured trace event stream.
+
+use gpu_sim::control::{Controller, Decision, Observation};
+use gpu_sim::harness::run_controlled_traced;
+use gpu_sim::machine::Gpu;
+use gpu_sim::trace::RingSink;
+use gpu_simt::CoreStats;
+use gpu_types::{AppId, GpuConfig, MemCounters, SplitMix64, TlpLevel};
+use gpu_workloads::all_apps;
+
+/// A randomized small machine: both returned [`Gpu`]s are identically
+/// constructed; the caller flips one into reference mode.
+fn random_pair(rng: &mut SplitMix64) -> (Gpu, Gpu) {
+    let mut cfg = GpuConfig::small();
+    // Structural variation, kept within the divisibility constraints
+    // (cores split evenly across two apps, warps across schedulers).
+    cfg.n_cores = [2, 4, 6][rng.next_below(3) as usize];
+    cfg.warps_per_core = [8, 16][rng.next_below(2) as usize];
+    cfg.n_partitions = [1, 2, 4][rng.next_below(3) as usize];
+    cfg.xbar_latency = 1 + rng.next_below(7) as u32;
+    cfg.xbar_requests_per_cycle = 1 + rng.next_below(2) as usize;
+    cfg.l1.hit_latency = 1 + rng.next_below(4) as u32;
+    cfg.sampling.designated = rng.next_below(2) == 0;
+    let apps = all_apps();
+    let a = rng.next_below(apps.len() as u64) as usize;
+    let b = rng.next_below(apps.len() as u64) as usize;
+    let seed = rng.next_below(1 << 20);
+    let build = || Gpu::new(&cfg, &[&apps[a], &apps[b]], seed);
+    (build(), build())
+}
+
+fn snapshot(gpu: &Gpu) -> (u64, Vec<MemCounters>, Vec<MemCounters>, Vec<CoreStats>) {
+    let apps = 0..gpu.n_apps();
+    (
+        gpu.now(),
+        apps.clone()
+            .map(|a| gpu.counters(AppId::new(a as u8)))
+            .collect(),
+        apps.clone()
+            .map(|a| gpu.designated_counters(AppId::new(a as u8)))
+            .collect(),
+        apps.map(|a| gpu.core_stats(AppId::new(a as u8))).collect(),
+    )
+}
+
+fn assert_machines_equal(opt: &Gpu, reference: &Gpu, ctx: &str) {
+    assert_eq!(
+        snapshot(opt),
+        snapshot(reference),
+        "{ctx}: engines diverged"
+    );
+}
+
+/// Optimized and reference engines agree over randomized machines and
+/// uneven run spans, with no mid-run reconfiguration.
+#[test]
+fn random_machines_agree_cycle_for_cycle() {
+    let mut rng = SplitMix64::new(0xE961_7E57);
+    for trial in 0..8 {
+        let (mut opt, mut reference) = random_pair(&mut rng);
+        reference.set_reference_engine(true);
+        for leg in 0..6 {
+            // Ragged span lengths exercise fast-forward truncation at span
+            // ends as well as mid-span wake-ups.
+            let span = 1 + rng.next_below(700);
+            opt.run(span);
+            reference.run(span);
+            assert_machines_equal(&opt, &reference, &format!("trial {trial} leg {leg}"));
+        }
+    }
+}
+
+/// Agreement holds across mid-run TLP, L1-bypass and CCWS changes — the
+/// knobs that invalidate core sleep states.
+#[test]
+fn random_knob_changes_preserve_agreement() {
+    let mut rng = SplitMix64::new(0xE961_7E58);
+    for trial in 0..6 {
+        let (mut opt, mut reference) = random_pair(&mut rng);
+        reference.set_reference_engine(true);
+        for leg in 0..8 {
+            let app = AppId::new(rng.next_below(2) as u8);
+            match rng.next_below(4) {
+                0 => {
+                    let lvl = TlpLevel::new(1 + rng.next_below(16) as u32).unwrap();
+                    opt.set_tlp(app, lvl);
+                    reference.set_tlp(app, lvl);
+                }
+                1 => {
+                    let bypass = rng.next_below(2) == 0;
+                    opt.set_bypass_l1(app, bypass);
+                    reference.set_bypass_l1(app, bypass);
+                }
+                2 => {
+                    let on = rng.next_below(2) == 0;
+                    opt.set_ccws(app, on);
+                    reference.set_ccws(app, on);
+                }
+                _ => {}
+            }
+            let span = 1 + rng.next_below(500);
+            opt.run(span);
+            reference.run(span);
+            assert_machines_equal(&opt, &reference, &format!("trial {trial} leg {leg}"));
+        }
+    }
+}
+
+/// CCWS cores never sleep; a machine running CCWS from cycle zero must
+/// still match the reference exactly.
+#[test]
+fn ccws_machines_agree() {
+    let mut rng = SplitMix64::new(0xE961_7E59);
+    let (mut opt, mut reference) = random_pair(&mut rng);
+    reference.set_reference_engine(true);
+    for gpu in [&mut opt, &mut reference] {
+        gpu.set_ccws(AppId::new(0), true);
+        gpu.set_ccws(AppId::new(1), true);
+    }
+    opt.run(3_000);
+    reference.run(3_000);
+    assert_machines_equal(&opt, &reference, "ccws");
+}
+
+struct FlipFlop(bool);
+impl Controller for FlipFlop {
+    fn on_window(&mut self, obs: &Observation) -> Decision {
+        self.0 = !self.0;
+        let lvl = if self.0 {
+            TlpLevel::MIN
+        } else {
+            TlpLevel::new(8).unwrap()
+        };
+        Decision::set_all(&vec![lvl; obs.apps.len()])
+    }
+    fn name(&self) -> &str {
+        "flipflop"
+    }
+}
+
+/// A traced controlled run produces the identical event stream and results
+/// on both engines: tracing must observe fast-forwarded time exactly as if
+/// every cycle had been stepped.
+#[test]
+fn traced_controlled_runs_emit_identical_event_streams() {
+    let mut rng = SplitMix64::new(0xE961_7E5A);
+    for trial in 0..4 {
+        let (mut opt, mut reference) = random_pair(&mut rng);
+        reference.set_reference_engine(true);
+        let window = opt.config().sampling.window_cycles;
+        let total = window * 3 + 171;
+        let mut sink_opt = RingSink::new(1 << 14);
+        let mut sink_ref = RingSink::new(1 << 14);
+        let run_opt =
+            run_controlled_traced(&mut opt, &mut FlipFlop(false), total, 0, &mut sink_opt);
+        let run_ref = run_controlled_traced(
+            &mut reference,
+            &mut FlipFlop(false),
+            total,
+            0,
+            &mut sink_ref,
+        );
+        assert_eq!(
+            run_opt.n_windows, run_ref.n_windows,
+            "trial {trial}: window counts differ"
+        );
+        assert_eq!(
+            run_opt.tlp_trace, run_ref.tlp_trace,
+            "trial {trial}: TLP traces differ"
+        );
+        for (a, b) in run_opt.overall.iter().zip(&run_ref.overall) {
+            assert_eq!(a.counters, b.counters, "trial {trial}: overall differs");
+            assert_eq!(a.cycles, b.cycles, "trial {trial}: spans differ");
+        }
+        assert_eq!(sink_opt.dropped(), 0, "ring sink overflowed");
+        assert_eq!(
+            sink_opt.events(),
+            sink_ref.events(),
+            "trial {trial}: traced event streams differ"
+        );
+        assert_machines_equal(&opt, &reference, &format!("trial {trial} post-run"));
+    }
+}
+
+/// The fast-forward path actually engages — otherwise the equivalence
+/// above would be vacuous. Whole-machine quiescence needs every core
+/// asleep *and* the memory system event-free at once, so the test uses the
+/// most compute-bound app (NW: 5% memory, 4-cycle ALU) at minimum TLP,
+/// where multi-cycle ALU bubbles drain the machine completely. It then
+/// pins that a fast-forwarded run matches the reference bit-for-bit.
+#[test]
+fn fast_forward_engages_on_quiescent_stretches() {
+    let apps = all_apps();
+    let nw = apps
+        .iter()
+        .find(|p| p.name == "NW")
+        .expect("NW profile exists");
+    let cfg = GpuConfig::small();
+    let build = || Gpu::new(&cfg, &[nw, nw], 11);
+    let (mut opt, mut reference) = (build(), build());
+    reference.set_reference_engine(true);
+    for gpu in [&mut opt, &mut reference] {
+        gpu.set_tlp(AppId::new(0), TlpLevel::MIN);
+        gpu.set_tlp(AppId::new(1), TlpLevel::MIN);
+        gpu.run(20_000);
+    }
+    let stats = opt.engine_stats();
+    assert_eq!(stats.stepped + stats.fast_forwarded, 20_000);
+    assert!(
+        stats.fast_forwarded > 0,
+        "compute-bound machine at minimum TLP never fast-forwarded"
+    );
+    assert_eq!(
+        reference.engine_stats().fast_forwarded,
+        0,
+        "reference engine must never skip"
+    );
+    assert_machines_equal(&opt, &reference, "fast-forwarded run");
+}

@@ -78,6 +78,19 @@ struct PendingLoad {
     cached: bool,
 }
 
+/// Why a sleeping core's cycles are charged: the stall classification is
+/// constant over the whole quiescent stretch (it only depends on
+/// `waiting_mem` state, which changes only via [`SimtCore::receive`] — and a
+/// receive wakes the core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SleepKind {
+    /// At least one active warp is blocked on outstanding memory.
+    Mem,
+    /// No active warp can issue for any other reason (ALU latency or all
+    /// warps finished).
+    Idle,
+}
+
 /// One SIMT core running a single application's warps.
 pub struct SimtCore {
     /// This core's identity.
@@ -106,6 +119,19 @@ pub struct SimtCore {
     line_owner: FxHashMap<u64, usize>,
     /// The externally requested SWL level (CCWS caps below it).
     swl_limit: usize,
+    /// Sum of SWL-active warp slots across schedulers, maintained
+    /// incrementally by [`SimtCore::apply_limits`] instead of being
+    /// recomputed from `active_slots().len()` every cycle.
+    active_slots_total: u64,
+    /// When `Some((until, kind))`, a full step at any cycle strictly before
+    /// `until` is proven to issue nothing and change no state besides the
+    /// per-cycle counters — [`SimtCore::step`] takes a counters-only fast
+    /// path. Cleared by anything that could change issue eligibility
+    /// (responses, TLP/CCWS/bypass knobs).
+    sleep: Option<(u64, SleepKind)>,
+    /// Reused buffer for the waiters released by an L1 fill (avoids a heap
+    /// allocation per response on the hot path).
+    waiter_scratch: Vec<ReqId>,
     stats: CoreStats,
 }
 
@@ -172,6 +198,9 @@ impl SimtCore {
             ccws: None,
             line_owner: FxHashMap::default(),
             swl_limit: cfg.warps_per_scheduler(),
+            active_slots_total: (cfg.schedulers_per_core * cfg.warps_per_scheduler()) as u64,
+            sleep: None,
+            waiter_scratch: Vec::new(),
             stats: CoreStats::default(),
         }
     }
@@ -191,6 +220,10 @@ impl SimtCore {
         for s in &mut self.schedulers {
             s.set_limit(eff);
         }
+        // Schedulers clamp the limit to their slot count, so re-sum the
+        // actual limits rather than assuming `eff` stuck.
+        self.active_slots_total = self.schedulers.iter().map(|s| s.limit() as u64).sum();
+        self.sleep = None;
     }
 
     /// Enables or disables CCWS-style cache-conscious throttling.
@@ -222,6 +255,7 @@ impl SimtCore {
     /// for future loads; in-flight cached loads still fill the L1.
     pub fn set_bypass_l1(&mut self, bypass: bool) {
         self.bypass_l1 = bypass;
+        self.sleep = None;
     }
 
     /// True when L1 accesses currently bypass the cache.
@@ -247,13 +281,16 @@ impl SimtCore {
     /// Delivers a load response from the interconnect.
     pub fn receive(&mut self, resp: MemRequest) {
         debug_assert_eq!(resp.core, self.id, "response misrouted");
+        // A response can make a blocked warp schedulable again.
+        self.sleep = None;
         let cached = self
             .pending
             .get(&resp.id)
             .map(|p| p.cached)
             .unwrap_or(false);
         if cached {
-            let (waiters, victim) = self.l1.fill_with_victim(resp.addr);
+            let mut waiters = std::mem::take(&mut self.waiter_scratch);
+            let victim = self.l1.fill_into(resp.addr, &mut waiters);
             if self.ccws.is_some() {
                 self.line_owner
                     .insert(resp.addr.line_index(), resp.warp_slot);
@@ -265,12 +302,14 @@ impl SimtCore {
                     }
                 }
             }
-            for w in waiters {
+            for &w in &waiters {
                 self.complete(w);
             }
             // Defensive: the allocating request is always in the waiter list,
             // but make sure it is not leaked if the fill raced.
             self.complete(resp.id);
+            waiters.clear();
+            self.waiter_scratch = waiters;
         } else {
             self.complete(resp.id);
         }
@@ -299,7 +338,7 @@ impl SimtCore {
         }
         let n = lines.len();
         let was_waiting = self.warps[slot].waiting_mem();
-        for line in lines {
+        for &line in &lines {
             let id = self.fresh_id();
             self.pending.insert(
                 id,
@@ -359,7 +398,7 @@ impl SimtCore {
         if self.egress.len() + lines.len() > self.egress_capacity {
             return false;
         }
-        for line in lines {
+        for &line in &lines {
             let id = self.fresh_id();
             self.egress.push_back(MemRequest::new(
                 id,
@@ -376,7 +415,30 @@ impl SimtCore {
 
     /// Advances the core one cycle: returns L1 hits that completed and lets
     /// each scheduler issue at most one warp instruction.
+    ///
+    /// When the core proved itself quiescent on a previous cycle (see
+    /// [`Self::quiescent_until`]) this takes a counters-only fast path that
+    /// records exactly what the full step would have recorded; the
+    /// engine-equivalence suite checks this bit-for-bit against
+    /// [`Self::step_reference`].
     pub fn step(&mut self, now: u64) {
+        if let Some((until, kind)) = self.sleep {
+            if now < until {
+                self.stats.cycles += 1;
+                self.stats.warp_mem_wait_cycles += self.waiting_now as u64;
+                self.stats.active_warp_cycles += self.active_slots_total;
+                match kind {
+                    SleepKind::Mem => self.stats.mem_stall_cycles += 1,
+                    SleepKind::Idle => self.stats.idle_cycles += 1,
+                }
+                return;
+            }
+            self.sleep = None;
+        }
+        self.step_full(now);
+    }
+
+    fn step_full(&mut self, now: u64) {
         self.stats.cycles += 1;
         if let Some(ccws) = &mut self.ccws {
             let before = ccws.limit();
@@ -386,11 +448,15 @@ impl SimtCore {
             }
         }
         self.stats.warp_mem_wait_cycles += self.waiting_now as u64;
-        self.stats.active_warp_cycles += self
-            .schedulers
-            .iter()
-            .map(|s| s.active_slots().len() as u64)
-            .sum::<u64>();
+        debug_assert_eq!(
+            self.active_slots_total,
+            self.schedulers
+                .iter()
+                .map(|s| s.active_slots().len() as u64)
+                .sum::<u64>(),
+            "incremental active-slot count diverged from the scan"
+        );
+        self.stats.active_warp_cycles += self.active_slots_total;
 
         // 1. L1 hits whose latency elapsed wake their warps.
         while matches!(self.hit_returns.peek(), Some(Reverse((t, _, _))) if *t <= now) {
@@ -406,6 +472,148 @@ impl SimtCore {
             // Policy-defined priority order (GTO: greedy then oldest-first;
             // LRR: rotate past the last issued warp), walked by index to
             // avoid per-cycle allocation.
+            let n_candidates = self.schedulers[si].n_candidates();
+            for k in 0..n_candidates {
+                let Some(slot) = self.schedulers[si].candidate(k) else {
+                    continue;
+                };
+                if !self.warps[slot].ready(now) {
+                    continue;
+                }
+                // O(1) structural gates, read before touching the
+                // instruction: under congestion every scheduler re-offers
+                // its blocked warps each cycle, and peeking by reference
+                // with these gates keeps that retry free of both the
+                // coalesce scan and any copy of the warp-width address
+                // list. The gated outcome is exactly what `issue_load` /
+                // `issue_store` would return (their line count is >= 1 for
+                // a non-empty address list).
+                let egress_full = self.egress.len() >= self.egress_capacity;
+                let mshr_exhausted = !self.bypass_l1 && self.l1.mshr_free() == 0;
+                let ok = match self.warps[slot].peek_inst() {
+                    None => continue,
+                    Some(Inst::Alu { cycles }) => {
+                        let cycles = *cycles;
+                        self.warps[slot].consume_inst();
+                        self.warps[slot].issue_alu(now, cycles);
+                        true
+                    }
+                    Some(Inst::Load { addrs }) => {
+                        if !addrs.is_empty() && (egress_full || mshr_exhausted) {
+                            false
+                        } else {
+                            let addrs = *addrs;
+                            let ok = self.issue_load(slot, &addrs, now);
+                            if ok {
+                                self.warps[slot].consume_inst();
+                            }
+                            ok
+                        }
+                    }
+                    Some(Inst::Store { addrs }) => {
+                        if !addrs.is_empty() && egress_full {
+                            false
+                        } else {
+                            let addrs = *addrs;
+                            let ok = self.issue_store(slot, &addrs, now);
+                            if ok {
+                                self.warps[slot].consume_inst();
+                            }
+                            ok
+                        }
+                    }
+                };
+                if ok {
+                    self.stats.insts += 1;
+                    issued_total += 1;
+                    self.schedulers[si].record_issue(slot);
+                    break;
+                }
+                // Structural hazard: the instruction stays in the warp's
+                // stash; the next peek returns it again.
+                saw_struct_block = true;
+            }
+        }
+
+        // 3. Stall classification for DynCTA-style heuristics, fused with
+        //    the sleep-horizon computation: in a no-issue, no-struct-block
+        //    cycle every active ready warp was offered and declined (only
+        //    possible by being finished or not yet ready), so nothing can
+        //    happen before the earliest of {pending hit return, earliest
+        //    warp ready_at} — unless an external event (receive, knob
+        //    change) clears the sleep first.
+        if issued_total == 0 {
+            if saw_struct_block {
+                self.stats.struct_stall_cycles += 1;
+            } else {
+                let mut any_waiting = false;
+                let mut wake = u64::MAX;
+                if let Some(Reverse((t, _, _))) = self.hit_returns.peek() {
+                    wake = *t;
+                }
+                for s in &self.schedulers {
+                    for &slot in s.active_slots() {
+                        let w = &self.warps[slot];
+                        if w.finished() {
+                            continue;
+                        }
+                        if w.waiting_mem() {
+                            any_waiting = true;
+                        } else {
+                            wake = wake.min(w.next_ready_at());
+                        }
+                    }
+                }
+                if any_waiting {
+                    self.stats.mem_stall_cycles += 1;
+                } else {
+                    self.stats.idle_cycles += 1;
+                }
+                // CCWS must tick every cycle, so throttled cores never sleep.
+                if self.ccws.is_none() {
+                    debug_assert!(wake > now, "a ready warp should have issued this cycle");
+                    self.sleep = Some((
+                        wake,
+                        if any_waiting {
+                            SleepKind::Mem
+                        } else {
+                            SleepKind::Idle
+                        },
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Reference implementation of [`Self::step`]: the original per-cycle
+    /// algorithm with no sleep fast path and the active-slot sum recomputed
+    /// by scanning every cycle. Kept only for differential testing
+    /// (`engine_equivalence`); never used on the hot path.
+    pub fn step_reference(&mut self, now: u64) {
+        self.sleep = None;
+        self.stats.cycles += 1;
+        if let Some(ccws) = &mut self.ccws {
+            let before = ccws.limit();
+            ccws.tick(now);
+            if ccws.limit() != before {
+                self.apply_limits();
+            }
+        }
+        self.stats.warp_mem_wait_cycles += self.waiting_now as u64;
+        self.stats.active_warp_cycles += self
+            .schedulers
+            .iter()
+            .map(|s| s.active_slots().len() as u64)
+            .sum::<u64>();
+
+        while matches!(self.hit_returns.peek(), Some(Reverse((t, _, _))) if *t <= now) {
+            let Reverse((_, _, id)) = self.hit_returns.pop().expect("peeked");
+            self.complete(id);
+        }
+
+        let mut issued_total = 0;
+        let mut saw_struct_block = false;
+        for si in 0..self.schedulers.len() {
             let n_candidates = self.schedulers[si].n_candidates();
             for k in 0..n_candidates {
                 let Some(slot) = self.schedulers[si].candidate(k) else {
@@ -431,14 +639,11 @@ impl SimtCore {
                     self.schedulers[si].record_issue(slot);
                     break;
                 }
-                // Structural hazard: put the instruction back and try the
-                // next warp in priority order.
                 self.warps[slot].stash(inst);
                 saw_struct_block = true;
             }
         }
 
-        // 3. Stall classification for DynCTA-style heuristics.
         if issued_total == 0 {
             if saw_struct_block {
                 self.stats.struct_stall_cycles += 1;
@@ -455,6 +660,39 @@ impl SimtCore {
                 }
             }
         }
+    }
+
+    /// The cycle (exclusive) until which stepping this core is provably a
+    /// counters-only no-op, or `None` when the core must be stepped at
+    /// `now`. The engine uses this to fast-forward quiescent stretches.
+    pub fn quiescent_until(&self, now: u64) -> Option<u64> {
+        match self.sleep {
+            Some((until, _)) if until > now => Some(until),
+            _ => None,
+        }
+    }
+
+    /// Charges `k` cycles of quiescent time in one batch — exactly what `k`
+    /// consecutive fast-path [`Self::step`] calls would have recorded. Only
+    /// valid while the core is sleeping (all charged cycles must lie before
+    /// the sleep horizon).
+    pub fn credit_idle_cycles(&mut self, k: u64) {
+        let Some((_, kind)) = self.sleep else {
+            debug_assert!(false, "credit_idle_cycles on an awake core");
+            return;
+        };
+        self.stats.cycles += k;
+        self.stats.warp_mem_wait_cycles += self.waiting_now as u64 * k;
+        self.stats.active_warp_cycles += self.active_slots_total * k;
+        match kind {
+            SleepKind::Mem => self.stats.mem_stall_cycles += k,
+            SleepKind::Idle => self.stats.idle_cycles += k,
+        }
+    }
+
+    /// True when outbound memory requests are queued for the interconnect.
+    pub fn has_egress(&self) -> bool {
+        !self.egress.is_empty()
     }
 
     /// Cumulative statistics.
@@ -481,6 +719,7 @@ impl SimtCore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::inst::AddrList;
     use crate::streams::{LoopOverSet, Scripted, Streaming};
 
     fn small_cfg() -> GpuConfig {
@@ -610,7 +849,7 @@ mod tests {
 
     #[test]
     fn coalesced_load_generates_one_transaction() {
-        let addrs: Vec<Address> = (0..32).map(|i| Address::new(i * 4)).collect();
+        let addrs: AddrList = (0..32).map(|i| Address::new(i * 4)).collect();
         let mut core = core_with_one_stream(
             Box::new(Scripted::new(vec![Inst::Load { addrs }])),
             CoreParams::default(),
@@ -625,7 +864,7 @@ mod tests {
 
     #[test]
     fn divergent_load_generates_many_transactions() {
-        let addrs: Vec<Address> = (0..8).map(|i| Address::new(i * 128 * 1024)).collect();
+        let addrs: AddrList = (0..8).map(|i| Address::new(i * 128 * 1024)).collect();
         let mut core = core_with_one_stream(
             Box::new(Scripted::new(vec![Inst::Load { addrs }])),
             CoreParams {
@@ -674,12 +913,7 @@ mod tests {
     #[test]
     fn stores_do_not_block_warps() {
         let mut core = core_with_one_stream(
-            Box::new(Scripted::new(vec![
-                Inst::Store {
-                    addrs: vec![Address::new(0)],
-                },
-                Inst::alu1(),
-            ])),
+            Box::new(Scripted::new(vec![Inst::store1(0), Inst::alu1()])),
             CoreParams {
                 max_outstanding_loads: 1,
                 max_txn_per_inst: 32,
@@ -696,7 +930,7 @@ mod tests {
     fn struct_stall_when_egress_saturated() {
         // A warp issuing highly divergent loads with huge tolerance will
         // eventually fill the 16-entry egress queue if nothing drains it.
-        let addrs: Vec<Address> = (0..32).map(|i| Address::new(i * 128 * 4096)).collect();
+        let addrs: AddrList = (0..32).map(|i| Address::new(i * 128 * 4096)).collect();
         let insts = vec![Inst::Load { addrs }; 4];
         let mut core = core_with_one_stream(
             Box::new(Scripted::new(insts)),
@@ -873,6 +1107,76 @@ mod tests {
         core.set_ccws(true);
         core.set_ccws(false);
         assert_eq!(core.tlp(), 6);
+    }
+
+    #[test]
+    fn sleep_fast_path_matches_reference_stats() {
+        // A mix of long ALU latencies and blocking loads produces plenty of
+        // quiescent stretches; the sleeping engine must record the exact
+        // same statistics as the cycle-by-cycle reference.
+        let make = || {
+            core_with_one_stream(
+                Box::new(Scripted::new(vec![
+                    Inst::Alu { cycles: 9 },
+                    Inst::load1(0),
+                    Inst::Alu { cycles: 5 },
+                    Inst::load1(1 << 20),
+                    Inst::alu1(),
+                ])),
+                CoreParams {
+                    max_outstanding_loads: 1,
+                    max_txn_per_inst: 32,
+                },
+            )
+        };
+        let run = |core: &mut SimtCore, reference: bool| {
+            let mut returns: std::collections::VecDeque<(u64, MemRequest)> = Default::default();
+            for now in 0..300u64 {
+                while matches!(returns.front(), Some((t, _)) if *t <= now) {
+                    let (_, req) = returns.pop_front().unwrap();
+                    core.receive(req);
+                }
+                if reference {
+                    core.step_reference(now);
+                } else {
+                    core.step(now);
+                }
+                while let Some(req) = core.pop_request() {
+                    if req.needs_response() {
+                        returns.push_back((now + 37, req));
+                    }
+                }
+            }
+        };
+        let mut fast = make();
+        let mut slow = make();
+        run(&mut fast, false);
+        run(&mut slow, true);
+        assert_eq!(fast.stats(), slow.stats());
+    }
+
+    #[test]
+    fn credit_idle_cycles_matches_repeated_fast_steps() {
+        // An all-finished core goes idle-asleep; batching k cycles must
+        // equal k single fast steps.
+        let make = || {
+            core_with_one_stream(
+                Box::new(Scripted::new(vec![Inst::alu1()])),
+                CoreParams::default(),
+            )
+        };
+        let mut batched = make();
+        let mut stepped = make();
+        for now in 0..3u64 {
+            batched.step(now);
+            stepped.step(now);
+        }
+        assert!(batched.quiescent_until(3).is_some(), "core should sleep");
+        batched.credit_idle_cycles(10);
+        for now in 3..13u64 {
+            stepped.step(now);
+        }
+        assert_eq!(batched.stats(), stepped.stats());
     }
 
     #[test]

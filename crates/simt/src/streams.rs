@@ -3,7 +3,7 @@
 //! The paper's 26 application models live in `gpu-workloads`; these streams
 //! exercise the core machinery with fully predictable behaviour.
 
-use crate::inst::{Inst, InstStream};
+use crate::inst::{AddrList, Inst, InstStream};
 use gpu_types::Address;
 
 /// Replays a fixed instruction list once.
@@ -60,7 +60,7 @@ impl InstStream for Streaming {
         let a = self.next_addr;
         self.next_addr = self.next_addr.wrapping_add(self.stride);
         Some(Inst::Load {
-            addrs: vec![Address::new(a)],
+            addrs: AddrList::one(Address::new(a)),
         })
     }
 }
@@ -91,7 +91,7 @@ impl InstStream for LoopOverSet {
         let a = self.lines[self.idx];
         self.idx = (self.idx + 1) % self.lines.len();
         Some(Inst::Load {
-            addrs: vec![Address::new(a)],
+            addrs: AddrList::one(Address::new(a)),
         })
     }
 }

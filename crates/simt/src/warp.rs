@@ -97,6 +97,32 @@ impl Warp {
         self.stashed = Some(inst);
     }
 
+    /// The next instruction *without* consuming it, filling the one-entry
+    /// stash from the stream on first peek; marks the warp finished when
+    /// the stream ends. The hot issue path peeks by reference so a
+    /// structural-hazard retry moves no instruction bytes at all
+    /// ([`crate::inst::Inst`] carries a full warp-width address list), and
+    /// calls [`Self::consume_inst`] only on successful issue. Equivalent to
+    /// [`Self::fetch`] + [`Self::stash`], which the reference engine keeps.
+    pub fn peek_inst(&mut self) -> Option<&crate::inst::Inst> {
+        if self.stashed.is_none() {
+            match self.stream.next_inst() {
+                Some(i) => self.stashed = Some(i),
+                None => {
+                    self.finished = true;
+                    return None;
+                }
+            }
+        }
+        self.stashed.as_ref()
+    }
+
+    /// Consumes the instruction returned by the last [`Self::peek_inst`].
+    pub fn consume_inst(&mut self) {
+        debug_assert!(self.stashed.is_some(), "consume without a peeked inst");
+        self.stashed = None;
+    }
+
     /// Records the issue of an ALU instruction taking `cycles`.
     pub fn issue_alu(&mut self, now: u64, cycles: u32) {
         self.issued += 1;
@@ -129,6 +155,13 @@ impl Warp {
     /// Warp instructions issued so far.
     pub fn issued(&self) -> u64 {
         self.issued
+    }
+
+    /// Earliest cycle the warp may issue again (ALU/issue latency). The
+    /// core's quiescence tracking uses this to compute the next cycle at
+    /// which any warp could become schedulable.
+    pub fn next_ready_at(&self) -> u64 {
+        self.ready_at
     }
 
     /// Loads currently in flight.

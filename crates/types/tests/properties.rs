@@ -94,8 +94,8 @@ fn combos_enumerate_the_ladder() {
 /// Ladder stepping is a strict inverse pair in the interior.
 #[test]
 fn ladder_steps_invert() {
-    for i in 0..LADDER.len() {
-        let l = TlpLevel::new(LADDER[i]).unwrap();
+    for step in LADDER {
+        let l = TlpLevel::new(step).unwrap();
         if let Some(up) = l.step_up() {
             assert_eq!(up.step_down(), Some(l));
         }

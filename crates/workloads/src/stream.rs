@@ -1,7 +1,7 @@
 //! The per-warp instruction stream generated from an [`AppProfile`].
 
 use crate::profile::{AccessPattern, AppProfile};
-use gpu_simt::inst::{Inst, InstStream};
+use gpu_simt::inst::{AddrList, Inst, InstStream};
 use gpu_types::{Address, AppId, SplitMix64, LINE_SIZE};
 
 /// Bytes reserved per application (1 TiB regions keep apps disjoint).
@@ -215,8 +215,9 @@ impl AppStream {
     }
 
     /// Generates the (already line-granular) addresses of one memory
-    /// instruction: `coalesce_degree` distinct lines.
-    fn gen_addrs(&mut self) -> Vec<Address> {
+    /// instruction: `coalesce_degree` distinct lines. Returns the inline
+    /// [`AddrList`] so the per-cycle hot path never allocates.
+    fn gen_addrs(&mut self) -> AddrList {
         let d = self.profile.coalesce_degree as u64;
         match self.profile.pattern {
             // Contiguous patterns touch `d` consecutive lines.

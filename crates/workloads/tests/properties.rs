@@ -46,7 +46,7 @@ fn app_regions_are_disjoint() {
                 .into_iter()
                 .flat_map(|i| match i {
                     Inst::Load { addrs } | Inst::Store { addrs } => addrs,
-                    Inst::Alu { .. } => Vec::new(),
+                    Inst::Alu { .. } => gpu_simt::inst::AddrList::default(),
                 })
                 .map(|x| x.line().raw())
                 .collect()

@@ -8,11 +8,17 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
+echo "== cargo clippy (workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== cargo build --release (workspace) =="
 cargo build --workspace --release
 
 echo "== cargo test (workspace) =="
 cargo test --workspace --release -q
+
+echo "== engine equivalence (optimized vs reference engine, release) =="
+cargo test -p gpu-sim --test engine_equivalence --release -q
 
 echo "== cargo test --doc (workspace doctests) =="
 cargo test --workspace --release -q --doc
