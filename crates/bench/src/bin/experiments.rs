@@ -15,6 +15,7 @@ use gpu_workloads::all_workloads;
 
 fn main() {
     let args = BenchArgs::parse();
+    args.apply_settings();
     let t0 = std::time::Instant::now();
     let mut ev = Evaluator::new(args.evaluator_config());
     let workloads = all_workloads();
@@ -84,6 +85,19 @@ fn main() {
         run_and_save(&figures::threeapp(&mut ev));
     }
 
+    gpu_sim::cache::emit_stats(&mut *trace);
     trace.flush();
+    let stats = gpu_sim::cache::stats();
+    eprintln!(
+        "cache: {} hits ({} disk), {} misses, {} bypasses, {} stores, \
+         {} verified, hit rate {:.3}",
+        stats.hits,
+        stats.disk_hits,
+        stats.misses,
+        stats.bypasses,
+        stats.stores,
+        stats.verified,
+        stats.hit_rate()
+    );
     eprintln!("campaign completed in {:?}", t0.elapsed());
 }

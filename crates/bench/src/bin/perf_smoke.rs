@@ -6,17 +6,21 @@
 //! no per-cycle heap allocation, and (b) the wall-clock of the
 //! `GpuConfig::small()` 25-combination sweep at 1 thread versus N threads,
 //! verifying along the way that the parallel sweep is bit-for-bit
-//! identical to the sequential one. Results are written as hand-rolled
-//! JSON to `BENCH_engine.json` and `BENCH_parallel.json`.
+//! identical to the sequential one, and (c) the result cache: the same
+//! sweep cold (empty cache directory) versus warm (disk hits only),
+//! asserting the warm rerun is bit-for-bit identical. Results are written
+//! as hand-rolled JSON to `BENCH_engine.json`, `BENCH_parallel.json` and
+//! `BENCH_cache.json`, and a one-line merged summary closes the run.
 //!
 //! Usage:
 //!
 //! ```text
-//! perf_smoke [--smoke] [--out PATH] [--engine-out PATH]
+//! perf_smoke [--smoke] [--out PATH] [--engine-out PATH] [--cache-out PATH]
 //! ```
 //!
 //! `--smoke` shrinks the workload for CI (seconds, not minutes) and skips
-//! the JSON writes unless `--out` / `--engine-out` are given explicitly.
+//! the JSON writes unless `--out` / `--engine-out` / `--cache-out` are
+//! given explicitly.
 
 use ebm_core::sweep::ComboSweep;
 use gpu_sim::exec;
@@ -100,6 +104,58 @@ fn time_sweep(threads: usize, spec: RunSpec) -> (ComboSweep, f64) {
     let t = Instant::now();
     let sweep = ComboSweep::measure_with_threads(&cfg, &w, 42, spec, threads);
     (sweep, t.elapsed().as_secs_f64())
+}
+
+struct CacheBench {
+    cold_seconds: f64,
+    warm_seconds: f64,
+    warm_hit_rate: f64,
+    identical: bool,
+}
+
+impl CacheBench {
+    fn speedup(&self) -> f64 {
+        self.cold_seconds / self.warm_seconds.max(1e-9)
+    }
+}
+
+/// Times the `GpuConfig::small()` sweep cold (freshly created cache
+/// directory) and warm (same directory, in-memory registry dropped so every
+/// hit comes off disk), asserting the warm results bit-identical. Uses a
+/// different seed from the thread-scaling section so its (cache-disabled)
+/// runs cannot alias these.
+fn cache_bench(spec: RunSpec) -> CacheBench {
+    let cfg = GpuConfig::small();
+    let w = Workload::pair("BLK", "BFS");
+    let seed = 7;
+    let dir = std::env::temp_dir().join(format!("ebm_perf_smoke_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    gpu_sim::cache::set_enabled(true);
+    gpu_sim::cache::set_dir(Some(dir.clone()));
+    gpu_sim::cache::clear_memory();
+
+    let t = Instant::now();
+    let cold_sweep = ComboSweep::measure(&cfg, &w, seed, spec);
+    let cold_seconds = t.elapsed().as_secs_f64();
+
+    gpu_sim::cache::clear_memory();
+    gpu_sim::cache::reset_stats();
+    let t = Instant::now();
+    let warm_sweep = ComboSweep::measure(&cfg, &w, seed, spec);
+    let warm_seconds = t.elapsed().as_secs_f64();
+    let stats = gpu_sim::cache::stats();
+
+    gpu_sim::cache::set_dir(None);
+    gpu_sim::cache::clear_memory();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    CacheBench {
+        cold_seconds,
+        warm_seconds,
+        warm_hit_rate: stats.hit_rate(),
+        identical: sweeps_identical(&cold_sweep, &warm_sweep),
+    }
 }
 
 fn sweeps_identical(a: &ComboSweep, b: &ComboSweep) -> bool {
@@ -203,6 +259,28 @@ fn render_json(
     out
 }
 
+fn render_cache_json(smoke: bool, bench: &CacheBench) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"cache\",\n");
+    out.push_str(&format!("  \"smoke_mode\": {smoke},\n"));
+    out.push_str("  \"machine\": \"GpuConfig::small\",\n");
+    out.push_str("  \"workload\": \"BLK_BFS\",\n");
+    out.push_str("  \"sweep_combos\": 25,\n");
+    out.push_str(&format!("  \"cold_seconds\": {:.4},\n", bench.cold_seconds));
+    out.push_str(&format!("  \"warm_seconds\": {:.4},\n", bench.warm_seconds));
+    out.push_str(&format!("  \"speedup\": {:.2},\n", bench.speedup()));
+    out.push_str(&format!(
+        "  \"warm_hit_rate\": {:.3},\n",
+        bench.warm_hit_rate
+    ));
+    out.push_str(&format!(
+        "  \"warm_identical_to_cold\": {}\n",
+        bench.identical
+    ));
+    out.push_str("}\n");
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -224,6 +302,20 @@ fn main() {
         } else {
             Some("BENCH_engine.json".to_string())
         });
+    let cache_out_path = args
+        .iter()
+        .position(|a| a == "--cache-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or(if smoke {
+            None
+        } else {
+            Some("BENCH_cache.json".to_string())
+        });
+
+    // The engine and thread-scaling sections time *simulation*; a cache hit
+    // would replace the second and later sweeps with a lookup and falsify
+    // the scaling numbers. The cache section manages its own settings.
+    gpu_sim::cache::set_enabled(false);
 
     let (engine_cycles, spec) = if smoke {
         (20_000, RunSpec::new(300, 700))
@@ -302,7 +394,39 @@ fn main() {
         print!("{json}");
     }
 
-    if !identical {
+    eprintln!("perf_smoke: result cache, cold vs disk-warm sweep...");
+    let cache = cache_bench(spec);
+    eprintln!(
+        "  cold: {:.3}s, warm: {:.3}s ({:.2}x, hit rate {:.3}, identical: {})",
+        cache.cold_seconds,
+        cache.warm_seconds,
+        cache.speedup(),
+        cache.warm_hit_rate,
+        cache.identical
+    );
+    let cache_json = render_cache_json(smoke, &cache);
+    if let Some(path) = cache_out_path {
+        std::fs::write(&path, &cache_json).expect("write cache benchmark JSON");
+        eprintln!("perf_smoke: wrote {path}");
+    } else {
+        print!("{cache_json}");
+    }
+
+    // Merged one-line summary of all three benchmark sections.
+    eprintln!(
+        "perf_smoke summary: engine {:.2}x vs reference ({:.0} cycles/s, \
+         {:.4} allocs/cycle) | parallel sweep {speedup:.2}x vs 1 thread \
+         (identical: {identical}) | cache warm {:.2}x vs cold \
+         (hit rate {:.3}, identical: {})",
+        after.cycles_per_sec / before.cycles_per_sec,
+        after.cycles_per_sec,
+        after.allocs_per_cycle,
+        cache.speedup(),
+        cache.warm_hit_rate,
+        cache.identical
+    );
+
+    if !identical || !cache.identical {
         eprintln!("perf_smoke: FAILED determinism check");
         std::process::exit(1);
     }

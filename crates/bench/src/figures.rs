@@ -15,7 +15,9 @@ use ebm_core::search::{best_combo_by_eb, best_combo_by_sd};
 use ebm_core::sweep::ComboSweep;
 use gpu_sim::alone::profile_alone;
 use gpu_sim::control::Controller;
-use gpu_sim::harness::{measure_fixed, run_controlled, run_controlled_traced, RunSpec};
+use gpu_sim::harness::{
+    measure_fixed_cached, run_controlled, run_controlled_traced, FixedRunInputs, RunSpec,
+};
 use gpu_sim::machine::Gpu;
 use gpu_sim::metrics::{fi_of, gmean, hs_of, ws_of};
 use gpu_sim::trace::{NullSink, RingSink, TraceSink};
@@ -426,11 +428,11 @@ pub fn fig11_traced(ev: &mut Evaluator, sink: &mut dyn TraceSink) -> Report {
             &mut ring,
         );
         let events = ring.drain();
-        let _ = std::fs::create_dir_all("results");
-        let _ = std::fs::write(
-            format!("results/fig11_{objective}.csv"),
-            gpu_sim::trace::series_csv(&events),
-        );
+        let csv_path = crate::util::out_path(&format!("fig11_{objective}.csv"));
+        if let Some(dir) = csv_path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let _ = std::fs::write(&csv_path, gpu_sim::trace::series_csv(&events));
         if sink.enabled() {
             for e in events {
                 sink.emit(e);
@@ -450,8 +452,10 @@ pub fn fig11_traced(ev: &mut Evaluator, sink: &mut dyn TraceSink) -> Report {
                 &[levels[0].get() as f64, levels[1].get() as f64],
             );
         }
+        // Report text stays `--out`-independent so cached and redirected
+        // runs stay byte-identical; only the actual write moves.
         r.line(format!(
-            "(per-window IPC/BW/CMR/EB series written to results/fig11_{objective}.csv)"
+            "(per-window IPC/BW/CMR/EB series written to fig11_{objective}.csv)"
         ));
         r.blank();
     }
@@ -510,7 +514,16 @@ pub fn sens_part(ev: &mut Evaluator) -> Report {
     r.line("--- core-partition split (BLK_BFS): WS of ++bestTLP vs optWS ---");
     r.header("split", &["bestWS", "optWS", "gain%"]);
     let w = pair("BLK", "BFS");
-    for (c0, c1) in [(4usize, 12usize), (8, 8), (12, 4)] {
+    // Quarter/half/three-quarter splits of whatever machine is configured:
+    // (4,12), (8,8), (12,4) on the paper machine, scaled down under
+    // `--quick` instead of exceeding the small machine's cores.
+    let total = ev.config().gpu.n_cores;
+    let quarter = (total / 4).max(1);
+    for (c0, c1) in [
+        (quarter, total - quarter),
+        (total / 2, total - total / 2),
+        (total - quarter, quarter),
+    ] {
         let cfg = ev.config().gpu.clone();
         let alone: Vec<f64> = w
             .apps()
@@ -532,9 +545,16 @@ pub fn sens_part(ev: &mut Evaluator) -> Report {
         // Exhaustive sweep on this split.
         let mut best_ws = (best_combo.clone(), 0.0f64);
         let mut base_ws = 0.0;
+        let split = [c0, c1];
         for combo in ComboSweep::combos(&cfg, 2) {
-            let mut gpu = Gpu::with_core_split(&cfg, w.apps(), &[c0, c1], seed);
-            let windows = measure_fixed(&mut gpu, &combo, sweep_spec);
+            let inputs = FixedRunInputs {
+                cfg: &cfg,
+                apps: w.apps(),
+                core_split: Some(&split),
+                seed,
+                ccws: false,
+            };
+            let windows = measure_fixed_cached(&inputs, &combo, sweep_spec);
             let sds: Vec<f64> = windows
                 .iter()
                 .zip(&alone)
@@ -600,7 +620,9 @@ pub fn threeapp(ev: &mut Evaluator) -> Report {
     let mut r = Report::new("threeapp", "three-application workloads under PBS");
     let cfg = ev.config().gpu.clone();
     let seed = ev.config().seed;
-    let per_app = 5usize; // 3 x 5 cores; one core idles (16 % 3 != 0)
+    // An even three-way split of the configured machine: 3 x 5 cores with
+    // one idle on the 16-core paper machine, scaled down under `--quick`.
+    let per_app = (ev.config().gpu.n_cores / 3).max(1);
     let mixes: [[&str; 3]; 4] = [
         ["BLK", "BFS", "FFT"],
         ["TRD", "DS", "JPEG"],
@@ -624,9 +646,16 @@ pub fn threeapp(ev: &mut Evaluator) -> Report {
         let best = TlpCombo::new(profiles.iter().map(|p| p.best_tlp()).collect());
         let max = TlpCombo::uniform(cfg.max_tlp(), 3);
 
+        let split = [per_app; 3];
         let run_static = |combo: &TlpCombo| -> Vec<f64> {
-            let mut gpu = Gpu::with_core_split(&cfg, &apps, &[per_app; 3], seed);
-            let windows = measure_fixed(&mut gpu, combo, RunSpec::new(3_000, 300_000));
+            let inputs = FixedRunInputs {
+                cfg: &cfg,
+                apps: &apps,
+                core_split: Some(&split),
+                seed,
+                ccws: false,
+            };
+            let windows = measure_fixed_cached(&inputs, combo, RunSpec::new(3_000, 300_000));
             windows
                 .iter()
                 .zip(&alone)
@@ -689,9 +718,16 @@ pub fn dram_policy(ev: &mut Evaluator) -> Report {
             let mut cfg = ev.config().gpu.clone();
             cfg.dram.page_policy = policy;
             let n = cfg.n_cores / 2;
-            let mut gpu = Gpu::with_core_split(&cfg, &[app], &[n], seed);
-            let w = measure_fixed(
-                &mut gpu,
+            let split = [n];
+            let inputs = FixedRunInputs {
+                cfg: &cfg,
+                apps: &[app],
+                core_split: Some(&split),
+                seed,
+                ccws: false,
+            };
+            let w = measure_fixed_cached(
+                &inputs,
                 &TlpCombo::uniform(cfg.max_tlp(), 1),
                 RunSpec::new(10_000, 25_000),
             );
@@ -757,12 +793,18 @@ pub fn ccws(ev: &mut Evaluator) -> Report {
             let p = ev.alone(app, n);
             (p.best_tlp(), p.ipc_at_best())
         };
-        let mut gpu = Gpu::with_core_split(&cfg, &[app], &[n], seed);
-        gpu.set_ccws(gpu_types::AppId::new(0), true);
+        let split = [n];
+        let inputs = FixedRunInputs {
+            cfg: &cfg,
+            apps: &[app],
+            core_split: Some(&split),
+            seed,
+            ccws: true,
+        };
         // CCWS walks the limit one step per decision interval, so give it
         // time to converge before measuring.
-        let w = measure_fixed(
-            &mut gpu,
+        let w = measure_fixed_cached(
+            &inputs,
             &TlpCombo::uniform(cfg.max_tlp(), 1),
             RunSpec::new(80_000, 40_000),
         );
@@ -919,10 +961,16 @@ pub fn sampling(ev: &mut Evaluator) -> Report {
         let w = pair(a, b);
         let alone = ev.alone_ipcs(&w);
         let best = ev.best_tlp_combo(&w);
-        let mut gpu = Gpu::new(&base_cfg, w.apps(), seed);
+        let inputs = FixedRunInputs {
+            cfg: &base_cfg,
+            apps: w.apps(),
+            core_split: None,
+            seed,
+            ccws: false,
+        };
         let base = ws_of(
-            &measure_fixed(
-                &mut gpu,
+            &measure_fixed_cached(
+                &inputs,
                 &best,
                 RunSpec::new(measure_from, run_cycles - measure_from),
             )
@@ -1009,9 +1057,15 @@ pub fn phased(ev: &mut Evaluator) -> Report {
         };
         // ++bestTLP baseline.
         let best = ev.best_tlp_combo(&w);
-        let mut gpu = Gpu::new(&cfg, w.apps(), seed);
-        let base = ws_of_windows(&measure_fixed(
-            &mut gpu,
+        let inputs = FixedRunInputs {
+            cfg: &cfg,
+            apps: w.apps(),
+            core_split: None,
+            seed,
+            ccws: false,
+        };
+        let base = ws_of_windows(&measure_fixed_cached(
+            &inputs,
             &best,
             RunSpec::new(measure_from, run_cycles - measure_from),
         ));
@@ -1019,9 +1073,8 @@ pub fn phased(ev: &mut Evaluator) -> Report {
         let scaling = ScalingFactors::none(2);
         let sweep = ev.sweep(&w).clone();
         let (off_combo, _) = pbs_offline_search(&sweep, EbObjective::Ws, &scaling);
-        let mut gpu = Gpu::new(&cfg, w.apps(), seed);
-        let offline = ws_of_windows(&measure_fixed(
-            &mut gpu,
+        let offline = ws_of_windows(&measure_fixed_cached(
+            &inputs,
             &off_combo,
             RunSpec::new(measure_from, run_cycles - measure_from),
         ));
@@ -1091,9 +1144,15 @@ pub fn ablation(ev: &mut Evaluator) -> Report {
         let alone = ev.alone_ipcs(&w);
         let base = {
             let combo = ev.best_tlp_combo(&w);
-            let mut gpu = Gpu::new(&cfg, w.apps(), seed);
-            let wins = measure_fixed(
-                &mut gpu,
+            let inputs = FixedRunInputs {
+                cfg: &cfg,
+                apps: w.apps(),
+                core_split: None,
+                seed,
+                ccws: false,
+            };
+            let wins = measure_fixed_cached(
+                &inputs,
                 &combo,
                 RunSpec::new(measure_from, run_cycles - measure_from),
             );

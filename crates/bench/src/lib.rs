@@ -16,4 +16,4 @@
 pub mod figures;
 pub mod util;
 
-pub use util::{run_and_save, BenchArgs, Report};
+pub use util::{out_path, run_and_save, set_out_dir, BenchArgs, Report};

@@ -4,7 +4,28 @@
 use ebm_core::eval::EvaluatorConfig;
 use gpu_sim::trace::{JsonlSink, NullSink, TraceSink};
 use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// The process-wide output directory override (`--out`); `None` means the
+/// default `results/` relative to the working directory.
+static OUT_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Redirects every artifact write (`results/<id>.txt`, figure CSVs) to
+/// `dir`; `None` restores the default `results/`.
+pub fn set_out_dir(dir: Option<PathBuf>) {
+    *OUT_DIR.lock().unwrap() = dir;
+}
+
+/// The path an artifact named `file_name` is saved at, honoring `--out`.
+pub fn out_path(file_name: &str) -> PathBuf {
+    let dir = OUT_DIR
+        .lock()
+        .unwrap()
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results"));
+    dir.join(file_name)
+}
 
 /// A plain-text report being assembled (one per figure/table).
 #[derive(Debug, Clone)]
@@ -65,14 +86,17 @@ impl Report {
     }
 }
 
-/// Prints a report and saves it under `results/<id>.txt` (best-effort: a
-/// read-only filesystem only loses the file copy).
+/// Prints a report and saves it under `<out>/<id>.txt` — `results/` by
+/// default, the `--out` directory when given (best-effort: a read-only
+/// filesystem only loses the file copy).
 pub fn run_and_save(report: &Report) {
     let text = report.render();
     println!("{text}");
-    let dir = Path::new("results");
-    let _ = std::fs::create_dir_all(dir);
-    let _ = std::fs::write(dir.join(format!("{}.txt", report.id())), &text);
+    let path = out_path(&format!("{}.txt", report.id()));
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let _ = std::fs::write(path, &text);
 }
 
 /// Command-line options shared by the `experiments` and per-figure
@@ -83,7 +107,14 @@ pub fn run_and_save(report: &Report) {
 /// * `--only <ids>` — comma-separated artifact ids (e.g.
 ///   `--only fig09,fig11`); everything else is skipped;
 /// * `--trace <path>` — stream the trace-enabled artifacts' events to
-///   `<path>` as newline-delimited JSON (see `docs/TRACE_SCHEMA.md`).
+///   `<path>` as newline-delimited JSON (see `docs/TRACE_SCHEMA.md`);
+/// * `--cache-dir <path>` — persist simulation results under `<path>`
+///   (equivalent to `EBM_CACHE_DIR`); reruns with a warm directory skip
+///   simulation;
+/// * `--cache-verify <fraction>` — re-simulate that fraction of cache hits
+///   and assert bit-identical results (`EBM_CACHE_VERIFY`);
+/// * `--no-cache` — disable result memoization entirely (`EBM_CACHE=0`);
+/// * `--out <dir>` — save artifacts under `<dir>` instead of `results/`.
 #[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
     /// Use [`EvaluatorConfig::quick`] instead of the paper campaign.
@@ -92,6 +123,15 @@ pub struct BenchArgs {
     pub only: Option<Vec<String>>,
     /// If set, trace events are written here as JSONL.
     pub trace: Option<PathBuf>,
+    /// If set, artifacts are saved under this directory instead of
+    /// `results/`.
+    pub out: Option<PathBuf>,
+    /// If set, the persistent result-cache directory.
+    pub cache_dir: Option<PathBuf>,
+    /// If set, the fraction of cache hits to re-simulate and verify.
+    pub cache_verify: Option<f64>,
+    /// Disable the result cache (both tiers) for this run.
+    pub no_cache: bool,
 }
 
 impl BenchArgs {
@@ -101,7 +141,10 @@ impl BenchArgs {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("error: {msg}");
-                eprintln!("usage: [--quick] [--only <ids>] [--trace <path>]");
+                eprintln!(
+                    "usage: [--quick] [--only <ids>] [--trace <path>] [--out <dir>] \
+                     [--cache-dir <path>] [--cache-verify <fraction>] [--no-cache]"
+                );
                 std::process::exit(2);
             }
         }
@@ -121,10 +164,45 @@ impl BenchArgs {
                     let path = args.next().ok_or("--trace needs a file path")?;
                     out.trace = Some(PathBuf::from(path));
                 }
+                "--out" => {
+                    let path = args.next().ok_or("--out needs a directory path")?;
+                    out.out = Some(PathBuf::from(path));
+                }
+                "--cache-dir" => {
+                    let path = args.next().ok_or("--cache-dir needs a directory path")?;
+                    out.cache_dir = Some(PathBuf::from(path));
+                }
+                "--cache-verify" => {
+                    let f = args.next().ok_or("--cache-verify needs a fraction")?;
+                    let f: f64 = f
+                        .parse()
+                        .map_err(|_| format!("--cache-verify: `{f}` is not a number"))?;
+                    if !(0.0..=1.0).contains(&f) {
+                        return Err(format!("--cache-verify: {f} is outside [0, 1]"));
+                    }
+                    out.cache_verify = Some(f);
+                }
+                "--no-cache" => out.no_cache = true,
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
         Ok(out)
+    }
+
+    /// Applies the process-wide flags: the cache switches (which override
+    /// the `EBM_CACHE*` environment) and the `--out` artifact directory.
+    /// Call once at startup.
+    pub fn apply_settings(&self) {
+        if self.no_cache {
+            gpu_sim::cache::set_enabled(false);
+        }
+        if let Some(dir) = &self.cache_dir {
+            gpu_sim::cache::set_dir(Some(dir.clone()));
+        }
+        if let Some(f) = self.cache_verify {
+            gpu_sim::cache::set_verify_fraction(f);
+        }
+        set_out_dir(self.out.clone());
     }
 
     /// Whether artifact `id` should be generated under `--only`.
@@ -163,6 +241,7 @@ impl BenchArgs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     #[test]
     fn bench_args_parse_all_flags() {
@@ -187,6 +266,40 @@ mod tests {
     #[test]
     fn bench_args_reject_unknown_flags() {
         assert!(BenchArgs::try_parse(["--frobnicate".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn bench_args_parse_cache_flags() {
+        let a = BenchArgs::try_parse(
+            [
+                "--cache-dir",
+                "/tmp/c",
+                "--cache-verify",
+                "0.25",
+                "--no-cache",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(a.cache_dir.as_deref(), Some(Path::new("/tmp/c")));
+        assert_eq!(a.cache_verify, Some(0.25));
+        assert!(a.no_cache);
+    }
+
+    #[test]
+    fn bench_args_parse_out_dir() {
+        let a = BenchArgs::try_parse(["--out", "/tmp/r"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(a.out.as_deref(), Some(Path::new("/tmp/r")));
+        assert!(BenchArgs::try_parse(["--out".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn bench_args_reject_bad_verify_fraction() {
+        for bad in ["--cache-verify 2.0", "--cache-verify nope"] {
+            let words: Vec<String> = bad.split(' ').map(|s| s.to_string()).collect();
+            assert!(BenchArgs::try_parse(words.into_iter()).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ use gpu_sim::harness::{measure_fixed, run_controlled_traced, RunSpec};
 use gpu_sim::machine::Gpu;
 use gpu_sim::metrics::SystemMetrics;
 use gpu_sim::trace::{NullSink, TraceEvent, TraceSink};
+use gpu_types::canon::{Canon, CanonBuf, CanonReader, Fingerprint};
 use gpu_types::{AppWindow, FxHashMap, GpuConfig, TlpCombo, TlpLevel};
 use gpu_workloads::{all_apps, AppProfile, EbGroup, Workload};
 use std::fmt;
@@ -51,6 +52,45 @@ pub enum Scheme {
     /// The instruction-throughput oracle: the combination maximizing the
     /// raw sum of IPCs (§IV Observation 2's foil — high IT is not high WS).
     OptIt,
+}
+
+impl Canon for EbObjective {
+    fn canon(&self, buf: &mut CanonBuf) {
+        buf.push_u8(match self {
+            EbObjective::Ws => 0,
+            EbObjective::Fi => 1,
+            EbObjective::Hs => 2,
+        });
+    }
+}
+
+impl Canon for Scheme {
+    fn canon(&self, buf: &mut CanonBuf) {
+        match self {
+            Scheme::BestTlp => buf.push_u8(0),
+            Scheme::MaxTlp => buf.push_u8(1),
+            Scheme::DynCta => buf.push_u8(2),
+            Scheme::Ccws => buf.push_u8(3),
+            Scheme::ModBypass => buf.push_u8(4),
+            Scheme::Pbs(o) => {
+                buf.push_u8(5);
+                o.canon(buf);
+            }
+            Scheme::PbsOffline(o) => {
+                buf.push_u8(6);
+                o.canon(buf);
+            }
+            Scheme::BruteForce(o) => {
+                buf.push_u8(7);
+                o.canon(buf);
+            }
+            Scheme::Opt(o) => {
+                buf.push_u8(8);
+                o.canon(buf);
+            }
+            Scheme::OptIt => buf.push_u8(9),
+        }
+    }
 }
 
 impl fmt::Display for Scheme {
@@ -396,6 +436,101 @@ fn run_scheme(
     }
 }
 
+/// Persistent cache key of one scheme run: every [`EvaluatorConfig`] field,
+/// the full content of every co-scheduled application profile and the
+/// scheme's canonical tag. All of a run's other inputs (alone IPCs, the
+/// sweep table, scaling factors, the ++bestTLP baseline) are deterministic
+/// functions of these, so they stay out of the key.
+fn scheme_fingerprint(cfg: &EvaluatorConfig, workload: &Workload, scheme: Scheme) -> Fingerprint {
+    let mut key = gpu_sim::cache::KeyBuilder::new("scheme");
+    key.push(&cfg.gpu)
+        .push_u64(cfg.seed)
+        .push(&cfg.alone_spec)
+        .push(&cfg.sweep_spec)
+        .push_u64(cfg.run_cycles)
+        .push_u64(cfg.measure_from)
+        .push_u64(cfg.pbs_hold_windows)
+        .push_usize(workload.n_apps());
+    for app in workload.apps() {
+        key.push(*app);
+    }
+    key.push(&scheme);
+    key.finish()
+}
+
+/// Serializes a [`SchemeResult`] payload. The derived metrics (WS, FI, HS)
+/// are not stored: they are recomputed from the slowdowns on decode through
+/// the same [`SystemMetrics::from_slowdowns`] path, which is exact on the
+/// stored bit patterns.
+fn encode_result(r: &SchemeResult) -> Vec<u8> {
+    let mut buf = CanonBuf::new();
+    buf.push_usize(r.metrics.sds.len());
+    for &sd in &r.metrics.sds {
+        buf.push_f64(sd);
+    }
+    match &r.combo {
+        Some(c) => {
+            buf.push_bool(true);
+            c.canon(&mut buf);
+        }
+        None => buf.push_bool(false),
+    }
+    buf.push_usize(r.tlp_trace.len());
+    for (cycle, levels) in &r.tlp_trace {
+        buf.push_u64(*cycle);
+        buf.push_usize(levels.len());
+        for l in levels {
+            buf.push_u32(l.get());
+        }
+    }
+    buf.push_usize(r.windows.len());
+    for w in &r.windows {
+        gpu_sim::cache::push_window(&mut buf, w);
+    }
+    buf.into_bytes()
+}
+
+fn read_levels(r: &mut CanonReader<'_>) -> Option<Vec<TlpLevel>> {
+    let n = r.read_usize()?;
+    let mut levels = Vec::with_capacity(n);
+    for _ in 0..n {
+        levels.push(TlpLevel::new(r.read_u32()?)?);
+    }
+    Some(levels)
+}
+
+fn decode_result(bytes: &[u8], scheme: Scheme) -> Option<SchemeResult> {
+    let mut r = CanonReader::new(bytes);
+    let n_sds = r.read_usize()?;
+    let mut sds = Vec::with_capacity(n_sds);
+    for _ in 0..n_sds {
+        sds.push(r.read_f64()?);
+    }
+    let combo = if r.read_bool()? {
+        Some(TlpCombo::new(read_levels(&mut r)?))
+    } else {
+        None
+    };
+    let n_trace = r.read_usize()?;
+    let mut tlp_trace = Vec::with_capacity(n_trace);
+    for _ in 0..n_trace {
+        let cycle = r.read_u64()?;
+        tlp_trace.push((cycle, read_levels(&mut r)?));
+    }
+    let n_windows = r.read_usize()?;
+    let mut windows = Vec::with_capacity(n_windows);
+    for _ in 0..n_windows {
+        windows.push(gpu_sim::cache::read_window(&mut r)?);
+    }
+    (r.is_empty() && !sds.is_empty()).then(|| SchemeResult {
+        scheme,
+        metrics: SystemMetrics::from_slowdowns(sds),
+        combo,
+        tlp_trace,
+        windows,
+    })
+}
+
 impl fmt::Debug for Evaluator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Evaluator")
@@ -591,10 +726,23 @@ impl Evaluator {
         result
     }
 
+    /// The in-process memo missed: consult the persistent
+    /// [`gpu_sim::cache`] tier, simulating (and warming the run context)
+    /// only on a full miss. A persistent hit skips the warm-up phase too —
+    /// the alone profiles and sweep the run would have warmed are
+    /// themselves cached and will be decoded if some later call needs them.
     fn evaluate_uncached(&mut self, workload: &Workload, scheme: Scheme) -> SchemeResult {
-        let warm = self.warm_for(workload, &[scheme]);
-        let ctx = self.ctx_from(workload, warm);
-        run_scheme(&ctx, workload, scheme, &mut NullSink)
+        let fp = scheme_fingerprint(&self.cfg, workload, scheme);
+        gpu_sim::cache::memoize(
+            fp,
+            encode_result,
+            |bytes| decode_result(bytes, scheme),
+            || {
+                let warm = self.warm_for(workload, &[scheme]);
+                let ctx = self.ctx_from(workload, warm);
+                run_scheme(&ctx, workload, scheme, &mut NullSink)
+            },
+        )
     }
 
     /// Runs `scheme` on `workload` like [`Evaluator::evaluate`], streaming
@@ -669,8 +817,16 @@ impl Evaluator {
             missing.retain(|s| !self.result_cache.contains_key(&(workload.name(), *s)));
             let results = {
                 let ctx = self.ctx_from(workload, warm);
+                let cfg = &self.cfg;
+                // Each fanned-out scheme still consults the persistent
+                // cache tier, exactly like the serial path.
                 exec::par_map_with(threads, missing.clone(), |s| {
-                    run_scheme(&ctx, workload, s, &mut NullSink)
+                    gpu_sim::cache::memoize(
+                        scheme_fingerprint(cfg, workload, s),
+                        encode_result,
+                        |bytes| decode_result(bytes, s),
+                        || run_scheme(&ctx, workload, s, &mut NullSink),
+                    )
                 })
             };
             for (s, r) in missing.iter().zip(results) {
@@ -737,8 +893,13 @@ mod tests {
     #[test]
     fn caches_are_reused() {
         let mut e = evaluator();
-        e.evaluate(&workload(), Scheme::BestTlp);
+        // Warm the evaluator-local memo caches explicitly: scheme runs may
+        // be served whole from the process-global result cache, in which
+        // case they (correctly) never touch these.
+        e.alone_ipcs(&workload());
+        e.sweep(&workload());
         let n_alone = e.alone_cache.len();
+        e.evaluate(&workload(), Scheme::BestTlp);
         e.evaluate(&workload(), Scheme::Opt(EbObjective::Fi));
         assert_eq!(
             e.alone_cache.len(),

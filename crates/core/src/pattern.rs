@@ -193,7 +193,12 @@ pub fn pbs_offline_search(
             let mut improved_this_dir = false;
             loop {
                 let cur = combo.level(app);
-                let Some(next) = dir(cur) else { break };
+                // Stay on the machine's clamped ladder: on small machines
+                // the global ladder continues past the last measured level,
+                // and stepping onto it would probe an unmeasured combo.
+                let Some(next) = dir(cur).filter(|l| levels.contains(l)) else {
+                    break;
+                };
                 let cand = combo.with_level(app, next);
                 let v = value_at(&cand);
                 samples += 1;
@@ -274,5 +279,26 @@ mod tests {
         // A ladder starting above 4 probes at its smallest level.
         let ladder = vec![level(6), level(8)];
         assert_eq!(probe_level(&ladder), level(6));
+    }
+    /// Regression: on machines whose clamped ladder tops out below the
+    /// global ladder's maximum, the greedy tuning step must not climb onto
+    /// unmeasured (off-ladder) combinations. This used to panic with
+    /// "combination (12,1) not in sweep" on the small test machine.
+    #[test]
+    fn offline_search_stays_on_clamped_ladder() {
+        use gpu_sim::harness::RunSpec;
+        use gpu_types::GpuConfig;
+        use gpu_workloads::Workload;
+        let cfg = GpuConfig::small();
+        let w = Workload::pair("BLK", "BFS");
+        let sweep = ComboSweep::measure(&cfg, &w, 3, RunSpec::new(300, 1_000));
+        let ladder = sweep.levels();
+        for objective in [EbObjective::Ws, EbObjective::Fi, EbObjective::Hs] {
+            let (combo, samples) = pbs_offline_search(&sweep, objective, &ScalingFactors::none(2));
+            assert!(samples > 0);
+            for l in combo.levels() {
+                assert!(ladder.contains(l), "{objective}: {combo} is off-ladder");
+            }
+        }
     }
 }

@@ -8,7 +8,8 @@
 use gpu_sim::exec;
 use gpu_sim::harness::{measure_fixed, RunSpec};
 use gpu_sim::machine::Gpu;
-use gpu_types::{FxHashMap, GpuConfig, TlpCombo, TlpLevel};
+use gpu_types::canon::{CanonBuf, CanonReader};
+use gpu_types::{Canon, FxHashMap, FxHashSet, GpuConfig, TlpCombo, TlpLevel};
 use gpu_workloads::Workload;
 use std::collections::BTreeSet;
 
@@ -69,6 +70,10 @@ impl ComboSweep {
 
     /// [`ComboSweep::measure`] with an explicit thread count (1 = fully
     /// sequential).
+    ///
+    /// The whole sweep is memoized through [`gpu_sim::cache`] under a
+    /// fingerprint of `(cfg, apps, seed, spec)`; a hit skips every
+    /// combination run and rebuilds the table from the stored samples.
     pub fn measure_with_threads(
         cfg: &GpuConfig,
         workload: &Workload,
@@ -76,40 +81,54 @@ impl ComboSweep {
         spec: RunSpec,
         threads: usize,
     ) -> Self {
+        let fp = {
+            let mut key = gpu_sim::cache::KeyBuilder::new("sweep");
+            key.push(cfg).push_usize(workload.n_apps());
+            for app in workload.apps() {
+                key.push(*app);
+            }
+            key.push_u64(seed).push(&spec);
+            key.finish()
+        };
         let combos = Self::combos(cfg, workload.n_apps());
-        let measured = exec::par_map_with(threads, combos, |combo| {
-            let mut gpu = Gpu::new(cfg, workload.apps(), seed);
-            let windows = measure_fixed(&mut gpu, &combo, spec);
-            let samples: Vec<ComboSample> = windows
-                .iter()
-                .map(|w| ComboSample {
-                    ipc: w.ipc(),
-                    bw: w.attained_bw(),
-                    cmr: w.combined_miss_rate(),
-                    eb: w.effective_bandwidth(),
-                })
-                .collect();
-            (combo, samples)
-        });
-        let entries = measured.into_iter().collect();
-        ComboSweep {
-            workload: workload.name(),
-            entries,
-            n_apps: workload.n_apps(),
-        }
+        gpu_sim::cache::memoize(
+            fp,
+            |sweep: &ComboSweep| encode_sweep(sweep, &combos),
+            |bytes| decode_sweep(bytes, &combos, workload),
+            || {
+                let measured = exec::par_map_with(threads, combos.clone(), |combo| {
+                    let mut gpu = Gpu::new(cfg, workload.apps(), seed);
+                    let windows = measure_fixed(&mut gpu, &combo, spec);
+                    let samples: Vec<ComboSample> = windows
+                        .iter()
+                        .map(|w| ComboSample {
+                            ipc: w.ipc(),
+                            bw: w.attained_bw(),
+                            cmr: w.combined_miss_rate(),
+                            eb: w.effective_bandwidth(),
+                        })
+                        .collect();
+                    (combo, samples)
+                });
+                let entries = measured.into_iter().collect();
+                ComboSweep {
+                    workload: workload.name(),
+                    entries,
+                    n_apps: workload.n_apps(),
+                }
+            },
+        )
     }
 
     /// The distinct clamped ladder combinations for `n_apps` applications on
-    /// this machine.
+    /// this machine, in first-seen ladder order.
     pub fn combos(cfg: &GpuConfig, n_apps: usize) -> Vec<TlpCombo> {
-        let mut seen = Vec::new();
-        for combo in TlpCombo::all(n_apps) {
-            let clamped = TlpCombo::new(combo.levels().iter().map(|&l| cfg.clamp_tlp(l)).collect());
-            if !seen.contains(&clamped) {
-                seen.push(clamped);
-            }
-        }
-        seen
+        let mut seen = FxHashSet::default();
+        TlpCombo::all(n_apps)
+            .into_iter()
+            .map(|combo| TlpCombo::new(combo.levels().iter().map(|&l| cfg.clamp_tlp(l)).collect()))
+            .filter(|clamped| seen.insert(clamped.clone()))
+            .collect()
     }
 
     /// Number of co-scheduled applications.
@@ -178,6 +197,59 @@ impl ComboSweep {
             .into_iter()
             .collect()
     }
+}
+
+/// Serializes a sweep's samples in canonical [`ComboSweep::combos`] order,
+/// so the payload is independent of hash-map iteration order.
+fn encode_sweep(sweep: &ComboSweep, combos: &[TlpCombo]) -> Vec<u8> {
+    let mut buf = CanonBuf::new();
+    buf.push_usize(sweep.n_apps);
+    buf.push_usize(combos.len());
+    for combo in combos {
+        combo.canon(&mut buf);
+        let samples = sweep.get(combo).expect("sweep covers every combination");
+        for s in samples {
+            for v in [s.ipc, s.bw, s.cmr, s.eb] {
+                buf.push_f64(v);
+            }
+        }
+    }
+    buf.into_bytes()
+}
+
+fn decode_sweep(bytes: &[u8], combos: &[TlpCombo], workload: &Workload) -> Option<ComboSweep> {
+    let mut r = CanonReader::new(bytes);
+    let n_apps = r.read_usize()?;
+    let n_combos = r.read_usize()?;
+    if n_apps != workload.n_apps() || n_combos != combos.len() {
+        return None;
+    }
+    let mut entries = FxHashMap::default();
+    for expected in combos {
+        let n_levels = r.read_usize()?;
+        let mut levels = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            levels.push(TlpLevel::new(r.read_u32()?)?);
+        }
+        if TlpCombo::new(levels) != *expected {
+            return None;
+        }
+        let mut samples = Vec::with_capacity(n_apps);
+        for _ in 0..n_apps {
+            samples.push(ComboSample {
+                ipc: r.read_f64()?,
+                bw: r.read_f64()?,
+                cmr: r.read_f64()?,
+                eb: r.read_f64()?,
+            });
+        }
+        entries.insert(expected.clone(), samples);
+    }
+    r.is_empty().then(|| ComboSweep {
+        workload: workload.name(),
+        entries,
+        n_apps,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,170 @@
+//! Pins the core cache contract: a memoized result — from the in-memory
+//! tier or decoded back from disk — is bit-identical to a fresh,
+//! cache-disabled simulation.
+//!
+//! This binary mutates the process-global cache configuration, so every
+//! test funnels through one mutex-guarded helper and restores the default
+//! (enabled, no directory) on the way out. It deliberately lives apart
+//! from `parallel_determinism.rs`, which pins the opposite regime
+//! (cache off, parallel path exercised).
+
+use ebm_core::eval::{Evaluator, EvaluatorConfig, Scheme};
+use ebm_core::metrics::EbObjective;
+use ebm_core::sweep::ComboSweep;
+use gpu_sim::harness::RunSpec;
+use gpu_types::GpuConfig;
+use gpu_workloads::Workload;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Serializes tests that flip the global cache switches. Each test body
+/// takes this for its full duration (including its cache-disabled
+/// ground-truth run), so one test's "fresh" simulation can never be served
+/// by a cache another test just enabled.
+static CACHE_CONFIG: Mutex<()> = Mutex::new(());
+
+fn with_cache_dir<R>(tag: &str, f: impl FnOnce(&PathBuf) -> R) -> R {
+    let dir = std::env::temp_dir().join(format!("ebm_cache_equiv_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    gpu_sim::cache::set_enabled(true);
+    gpu_sim::cache::set_dir(Some(dir.clone()));
+    gpu_sim::cache::clear_memory();
+    let out = f(&dir);
+    gpu_sim::cache::set_dir(None);
+    gpu_sim::cache::clear_memory();
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+fn assert_sweeps_identical(a: &ComboSweep, b: &ComboSweep, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: combo count diverged");
+    for (combo, samples) in a.iter() {
+        let other = b
+            .get(combo)
+            .unwrap_or_else(|| panic!("{what}: missing {combo}"));
+        assert_eq!(
+            samples.len(),
+            other.len(),
+            "{what}: window count at {combo}"
+        );
+        for (s, o) in samples.iter().zip(other) {
+            // Bit-level equality: decoded f64s must round-trip exactly.
+            assert_eq!(s.ipc.to_bits(), o.ipc.to_bits(), "{what}: ipc at {combo}");
+            assert_eq!(s.bw.to_bits(), o.bw.to_bits(), "{what}: bw at {combo}");
+            assert_eq!(s.cmr.to_bits(), o.cmr.to_bits(), "{what}: cmr at {combo}");
+            assert_eq!(s.eb.to_bits(), o.eb.to_bits(), "{what}: eb at {combo}");
+        }
+    }
+}
+
+#[test]
+fn cached_sweep_is_bit_identical_to_fresh() {
+    let _guard = CACHE_CONFIG.lock().unwrap();
+    let cfg = GpuConfig::small();
+    let w = Workload::pair("BLK", "BFS");
+    let spec = RunSpec::new(300, 1_000);
+
+    // Ground truth with the cache fully disabled.
+    gpu_sim::cache::set_enabled(false);
+    let fresh = ComboSweep::measure(&cfg, &w, 42, spec);
+
+    with_cache_dir("sweep", |dir| {
+        // Cold: simulates and stores.
+        let cold = ComboSweep::measure(&cfg, &w, 42, spec);
+        assert_sweeps_identical(&fresh, &cold, "cold vs fresh");
+
+        // Memory-tier hit.
+        let warm = ComboSweep::measure(&cfg, &w, 42, spec);
+        assert_sweeps_identical(&fresh, &warm, "memory hit vs fresh");
+
+        // Disk-tier hit: drop the memory tier, decode from the record file.
+        gpu_sim::cache::clear_memory();
+        assert!(
+            dir.read_dir().unwrap().next().is_some(),
+            "no records on disk"
+        );
+        let before = gpu_sim::cache::stats();
+        let disk = ComboSweep::measure(&cfg, &w, 42, spec);
+        let after = gpu_sim::cache::stats();
+        assert!(
+            after.disk_hits > before.disk_hits,
+            "expected the sweep to be served from disk"
+        );
+        assert_sweeps_identical(&fresh, &disk, "disk hit vs fresh");
+    });
+}
+
+#[test]
+fn cached_scheme_results_are_bit_identical_to_fresh() {
+    let _guard = CACHE_CONFIG.lock().unwrap();
+    let w = Workload::pair("BLK", "BFS");
+    let schemes = [Scheme::BestTlp, Scheme::Pbs(EbObjective::Ws), Scheme::OptIt];
+
+    gpu_sim::cache::set_enabled(false);
+    let mut fresh_ev = Evaluator::new(EvaluatorConfig::quick());
+    let fresh: Vec<_> = schemes.iter().map(|s| fresh_ev.evaluate(&w, *s)).collect();
+
+    with_cache_dir("scheme", |_dir| {
+        let mut cold_ev = Evaluator::new(EvaluatorConfig::quick());
+        let cold: Vec<_> = schemes.iter().map(|s| cold_ev.evaluate(&w, *s)).collect();
+
+        // Disk-tier round trip in a brand-new evaluator: both the
+        // evaluator-local memo and the global memory tier are empty, so
+        // each result is decoded from its on-disk record.
+        gpu_sim::cache::clear_memory();
+        let mut disk_ev = Evaluator::new(EvaluatorConfig::quick());
+        let disk: Vec<_> = schemes.iter().map(|s| disk_ev.evaluate(&w, *s)).collect();
+
+        for ((f, c), d) in fresh.iter().zip(&cold).zip(&disk) {
+            for r in [c, d] {
+                assert_eq!(f.scheme, r.scheme);
+                assert_eq!(f.metrics.sds, r.metrics.sds, "{}: sds", f.scheme);
+                assert_eq!(
+                    f.metrics.ws.to_bits(),
+                    r.metrics.ws.to_bits(),
+                    "{}: ws",
+                    f.scheme
+                );
+                assert_eq!(
+                    f.metrics.fi.to_bits(),
+                    r.metrics.fi.to_bits(),
+                    "{}: fi",
+                    f.scheme
+                );
+                assert_eq!(
+                    f.metrics.hs.to_bits(),
+                    r.metrics.hs.to_bits(),
+                    "{}: hs",
+                    f.scheme
+                );
+                assert_eq!(f.combo, r.combo, "{}: combo", f.scheme);
+                assert_eq!(f.tlp_trace, r.tlp_trace, "{}: tlp trace", f.scheme);
+                assert_eq!(f.windows, r.windows, "{}: windows", f.scheme);
+            }
+        }
+    });
+}
+
+#[test]
+fn verify_mode_checks_hits_and_changes_nothing() {
+    let _guard = CACHE_CONFIG.lock().unwrap();
+    let cfg = GpuConfig::small();
+    let w = Workload::pair("BLK", "BFS");
+    let spec = RunSpec::new(300, 1_000);
+
+    gpu_sim::cache::set_enabled(false);
+    let fresh = ComboSweep::measure(&cfg, &w, 42, spec);
+
+    with_cache_dir("verify", |_dir| {
+        // Verify every hit: each one re-simulates and asserts bit equality
+        // internally; a divergence would panic the test.
+        gpu_sim::cache::set_verify_fraction(1.0);
+        let _cold = ComboSweep::measure(&cfg, &w, 42, spec);
+        let before = gpu_sim::cache::stats();
+        let warm = ComboSweep::measure(&cfg, &w, 42, spec);
+        let after = gpu_sim::cache::stats();
+        gpu_sim::cache::set_verify_fraction(0.0);
+        assert!(after.verified > before.verified, "verify mode never fired");
+        assert_sweeps_identical(&fresh, &warm, "verified hit vs fresh");
+    });
+}

@@ -15,8 +15,17 @@ use gpu_sim::profile_alone_with_threads;
 use gpu_types::GpuConfig;
 use gpu_workloads::{by_name, Workload};
 
+/// Disables the process-global result cache: a memoized second run would be
+/// a lookup, not a parallel simulation, and these tests exist to exercise
+/// the parallel path. Every test in this binary calls this, so the shared
+/// global setting never flips back mid-run.
+fn no_cache() {
+    gpu_sim::cache::set_enabled(false);
+}
+
 #[test]
 fn parallel_sweep_equals_sequential_exactly() {
+    no_cache();
     let cfg = GpuConfig::small();
     let w = Workload::pair("BLK", "BFS");
     let spec = RunSpec::new(300, 1_000);
@@ -39,6 +48,7 @@ fn parallel_sweep_equals_sequential_exactly() {
 
 #[test]
 fn parallel_alone_profile_equals_sequential_exactly() {
+    no_cache();
     let cfg = GpuConfig::small();
     let app = by_name("BFS").unwrap();
     let spec = RunSpec::new(500, 2_000);
@@ -49,6 +59,7 @@ fn parallel_alone_profile_equals_sequential_exactly() {
 
 #[test]
 fn batch_evaluation_equals_serial_exactly() {
+    no_cache();
     let schemes = [
         Scheme::BestTlp,
         Scheme::MaxTlp,
@@ -86,6 +97,7 @@ fn batch_evaluation_equals_serial_exactly() {
 
 #[test]
 fn batch_results_enter_the_memo_cache() {
+    no_cache();
     let w = Workload::pair("BLK", "BFS");
     let mut ev = Evaluator::new(EvaluatorConfig::quick());
     let batch =
@@ -98,6 +110,7 @@ fn batch_results_enter_the_memo_cache() {
 
 #[test]
 fn batch_handles_duplicates_and_cached_entries() {
+    no_cache();
     let w = Workload::pair("BLK", "BFS");
     let mut ev = Evaluator::new(EvaluatorConfig::quick());
     let first = ev.evaluate(&w, Scheme::BestTlp); // pre-populate the cache
@@ -110,6 +123,7 @@ fn batch_handles_duplicates_and_cached_entries() {
 
 #[test]
 fn sweep_levels_cover_all_apps_axes() {
+    no_cache();
     // levels() must report the union over every application's axis, not
     // just app 0's.
     let cfg = GpuConfig::small();

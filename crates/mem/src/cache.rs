@@ -61,13 +61,16 @@ pub struct Cache {
 }
 
 impl Cache {
-    /// Builds a cache from its configuration.
+    /// Builds a cache from its configuration, with counter slots for
+    /// application indices `0..n_apps` (the machine's co-scheduled app
+    /// count). Sizing the counters up front keeps the per-access counter
+    /// update a plain index instead of a length check and possible resize.
     ///
     /// # Panics
     ///
     /// Panics if the configuration has zero sets (use
     /// [`gpu_types::GpuConfig::validate`] first).
-    pub fn new(cfg: &CacheConfig) -> Self {
+    pub fn new(cfg: &CacheConfig, n_apps: usize) -> Self {
         let n_sets = cfg.n_sets();
         assert!(n_sets > 0, "cache must have at least one set");
         assert!(n_sets.is_power_of_two(), "set count must be a power of two");
@@ -84,7 +87,7 @@ impl Cache {
             set_shift: n_sets.trailing_zeros(),
             assoc: cfg.associativity,
             mshr: MshrTable::new(cfg.mshr_entries, cfg.mshr_merge),
-            counters: Vec::new(),
+            counters: vec![CacheCounters::default(); n_apps],
             tick: 0,
         }
     }
@@ -103,10 +106,8 @@ impl Cache {
     }
 
     fn counters_mut(&mut self, app: AppId) -> &mut CacheCounters {
-        if self.counters.len() <= app.index() {
-            self.counters
-                .resize(app.index() + 1, CacheCounters::default());
-        }
+        // Slots were sized at construction; an out-of-range app index is a
+        // machine-assembly bug and panics via the index.
         &mut self.counters[app.index()]
     }
 
@@ -265,7 +266,7 @@ impl Cache {
         for w in &mut self.ways {
             w.valid = false;
         }
-        self.counters.clear();
+        self.counters.fill(CacheCounters::default());
         self.tick = 0;
     }
 }
@@ -294,7 +295,7 @@ mod tests {
 
     #[test]
     fn miss_then_fill_then_hit() {
-        let mut c = Cache::new(&cfg());
+        let mut c = Cache::new(&cfg(), 2);
         assert_eq!(c.access_load(APP, line(3), ReqId(1)), Lookup::MissToLower);
         assert_eq!(c.fill(line(3)), vec![ReqId(1)]);
         assert_eq!(c.access_load(APP, line(3), ReqId(2)), Lookup::Hit);
@@ -304,7 +305,7 @@ mod tests {
 
     #[test]
     fn second_miss_to_same_line_merges() {
-        let mut c = Cache::new(&cfg());
+        let mut c = Cache::new(&cfg(), 2);
         assert_eq!(c.access_load(APP, line(3), ReqId(1)), Lookup::MissToLower);
         assert_eq!(c.access_load(APP, line(3), ReqId(2)), Lookup::MissMerged);
         assert_eq!(c.fill(line(3)), vec![ReqId(1), ReqId(2)]);
@@ -314,7 +315,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used_way() {
-        let mut c = Cache::new(&cfg());
+        let mut c = Cache::new(&cfg(), 2);
         // Lines 0, 4, 8 all map to set 0 (4 sets).
         for (i, l) in [0u64, 4, 8].iter().enumerate() {
             c.access_load(APP, line(*l), ReqId(i as u64));
@@ -328,7 +329,7 @@ mod tests {
 
     #[test]
     fn hit_refreshes_lru() {
-        let mut c = Cache::new(&cfg());
+        let mut c = Cache::new(&cfg(), 2);
         for l in [0u64, 4] {
             c.access_load(APP, line(l), ReqId(l));
             c.fill(line(l));
@@ -343,7 +344,7 @@ mod tests {
 
     #[test]
     fn stall_on_mshr_exhaustion_counts_nothing() {
-        let mut c = Cache::new(&cfg());
+        let mut c = Cache::new(&cfg(), 2);
         for i in 0..4u64 {
             assert_eq!(c.access_load(APP, line(i), ReqId(i)), Lookup::MissToLower);
         }
@@ -355,7 +356,7 @@ mod tests {
 
     #[test]
     fn per_app_counters_are_separate() {
-        let mut c = Cache::new(&cfg());
+        let mut c = Cache::new(&cfg(), 2);
         let a0 = AppId::new(0);
         let a1 = AppId::new(1);
         c.access_load(a0, line(0), ReqId(1));
@@ -368,7 +369,7 @@ mod tests {
 
     #[test]
     fn fill_of_present_line_does_not_duplicate() {
-        let mut c = Cache::new(&cfg());
+        let mut c = Cache::new(&cfg(), 2);
         c.access_load(APP, line(0), ReqId(1));
         c.fill(line(0));
         // Unsolicited second fill: no waiters, still present, set not polluted.
@@ -382,7 +383,7 @@ mod tests {
 
     #[test]
     fn reset_clears_contents() {
-        let mut c = Cache::new(&cfg());
+        let mut c = Cache::new(&cfg(), 2);
         c.access_load(APP, line(1), ReqId(1));
         c.fill(line(1));
         c.reset();
@@ -393,14 +394,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "outstanding")]
     fn reset_with_outstanding_misses_panics() {
-        let mut c = Cache::new(&cfg());
+        let mut c = Cache::new(&cfg(), 2);
         c.access_load(APP, line(1), ReqId(1));
         c.reset();
     }
 
     #[test]
     fn fill_reports_the_evicted_line() {
-        let mut c = Cache::new(&cfg());
+        let mut c = Cache::new(&cfg(), 2);
         // Fill both ways of set 0 (lines 0 and 4), then evict with line 8.
         for l in [0u64, 4] {
             c.access_load(APP, line(l), ReqId(l));
@@ -414,7 +415,7 @@ mod tests {
 
     #[test]
     fn probe_does_not_count() {
-        let c = Cache::new(&cfg());
+        let c = Cache::new(&cfg(), 2);
         assert!(!c.probe(line(5)));
         assert_eq!(c.counters(APP).accesses, 0);
     }

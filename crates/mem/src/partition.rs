@@ -68,11 +68,12 @@ pub struct MemoryPartition {
 }
 
 impl MemoryPartition {
-    /// Builds a partition from the machine configuration.
-    pub fn new(id: PartitionId, cfg: &GpuConfig) -> Self {
+    /// Builds a partition from the machine configuration, with L2 counter
+    /// slots for `n_apps` co-scheduled applications.
+    pub fn new(id: PartitionId, cfg: &GpuConfig, n_apps: usize) -> Self {
         MemoryPartition {
             id,
-            l2: Cache::new(&cfg.l2),
+            l2: Cache::new(&cfg.l2, n_apps),
             mc: MemoryController::new(64),
             dram: DramChannel::new(cfg.dram.clone(), cfg.n_partitions),
             ingress: VecDeque::new(),
@@ -290,7 +291,7 @@ mod tests {
     use gpu_types::{Address, CoreId};
 
     fn partition() -> MemoryPartition {
-        MemoryPartition::new(PartitionId(0), &GpuConfig::small())
+        MemoryPartition::new(PartitionId(0), &GpuConfig::small(), 2)
     }
 
     fn load(id: u64, addr: u64) -> MemRequest {

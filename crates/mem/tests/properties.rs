@@ -58,7 +58,7 @@ fn cache_conserves_requests() {
     let mut rng = SplitMix64::new(0x3E3_0001);
     for _ in 0..CASES {
         let lines = arb_vec(&mut rng, 64, 1, 200);
-        let mut cache = Cache::new(&cache_cfg());
+        let mut cache = Cache::new(&cache_cfg(), 1);
         let app = AppId::new(0);
         let mut outstanding: Vec<u64> = Vec::new(); // distinct miss lines
         let mut expected_releases = 0usize;
@@ -115,7 +115,7 @@ fn cache_respects_capacity() {
         let seed_lines = arb_vec(&mut rng, 256, 1, 100);
         let cfg = cache_cfg();
         let n_sets = cfg.n_sets() as u64;
-        let mut cache = Cache::new(&cfg);
+        let mut cache = Cache::new(&cfg, 1);
         for (i, &l) in seed_lines.iter().enumerate() {
             let line = Address::new(l * LINE_SIZE);
             if cache.access_load(AppId::new(0), line, ReqId(i as u64)) == Lookup::MissToLower {

@@ -7,6 +7,7 @@
 
 use crate::harness::{measure_fixed, RunSpec};
 use crate::machine::Gpu;
+use gpu_types::canon::{CanonBuf, CanonReader};
 use gpu_types::{AppWindow, GpuConfig, TlpCombo, TlpLevel};
 use gpu_workloads::AppProfile;
 
@@ -112,6 +113,10 @@ pub fn profile_alone(
 }
 
 /// [`profile_alone`] with an explicit thread count (1 = fully sequential).
+///
+/// The whole profile is memoized through [`crate::cache`] under a
+/// fingerprint of `(cfg, app, n_cores, seed, spec)`; a hit skips every
+/// ladder run.
 pub fn profile_alone_with_threads(
     cfg: &GpuConfig,
     app: &AppProfile,
@@ -120,22 +125,72 @@ pub fn profile_alone_with_threads(
     spec: RunSpec,
     threads: usize,
 ) -> AloneProfile {
-    let mut levels: Vec<TlpLevel> = Vec::new();
-    for level in TlpLevel::ladder() {
-        let clamped = cfg.clamp_tlp(level);
-        if !levels.contains(&clamped) {
-            levels.push(clamped);
+    let fp = {
+        let mut key = crate::cache::KeyBuilder::new("alone");
+        key.push(cfg)
+            .push(app)
+            .push_usize(n_cores)
+            .push_u64(seed)
+            .push(&spec);
+        key.finish()
+    };
+    crate::cache::memoize(
+        fp,
+        encode_profile,
+        |bytes| decode_profile(bytes, app.name),
+        || {
+            let samples = crate::exec::par_map_with(threads, ladder_levels(cfg), |clamped| {
+                let mut gpu = Gpu::with_core_split(cfg, &[app], &[n_cores], seed);
+                let w = measure_fixed(&mut gpu, &TlpCombo::new(vec![clamped]), spec);
+                AloneSample::from_window(clamped, &w[0])
+            });
+            AloneProfile {
+                app: app.name,
+                samples,
+            }
+        },
+    )
+}
+
+/// The TLP ladder clamped to `cfg`, deduplicated in first-seen order (small
+/// machines collapse the upper rungs).
+fn ladder_levels(cfg: &GpuConfig) -> Vec<TlpLevel> {
+    let mut seen = gpu_types::FxHashSet::default();
+    TlpLevel::ladder()
+        .map(|level| cfg.clamp_tlp(level))
+        .filter(|clamped| seen.insert(*clamped))
+        .collect()
+}
+
+fn encode_profile(p: &AloneProfile) -> Vec<u8> {
+    let mut buf = CanonBuf::new();
+    buf.push_usize(p.samples.len());
+    for s in &p.samples {
+        buf.push_u32(s.tlp.get());
+        for v in [s.ipc, s.bw, s.cmr, s.eb, s.l1_miss_rate, s.l2_miss_rate] {
+            buf.push_f64(v);
         }
     }
-    let samples = crate::exec::par_map_with(threads, levels, |clamped| {
-        let mut gpu = Gpu::with_core_split(cfg, &[app], &[n_cores], seed);
-        let w = measure_fixed(&mut gpu, &TlpCombo::new(vec![clamped]), spec);
-        AloneSample::from_window(clamped, &w[0])
-    });
-    AloneProfile {
-        app: app.name,
-        samples,
+    buf.into_bytes()
+}
+
+fn decode_profile(bytes: &[u8], app: &'static str) -> Option<AloneProfile> {
+    let mut r = CanonReader::new(bytes);
+    let n = r.read_usize()?;
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tlp = TlpLevel::new(r.read_u32()?)?;
+        samples.push(AloneSample {
+            tlp,
+            ipc: r.read_f64()?,
+            bw: r.read_f64()?,
+            cmr: r.read_f64()?,
+            eb: r.read_f64()?,
+            l1_miss_rate: r.read_f64()?,
+            l2_miss_rate: r.read_f64()?,
+        });
     }
+    r.is_empty().then_some(AloneProfile { app, samples })
 }
 
 #[cfg(test)]

@@ -1,0 +1,601 @@
+//! Content-addressed memoization of deterministic simulation results.
+//!
+//! Every measurement in this workspace is a pure function of its inputs —
+//! `(GpuConfig, application profiles, seed, RunSpec, TLP combination and
+//! controller knobs)` fully determine the output, an invariant the
+//! `engine_equivalence` and `parallel_determinism` suites pin. That makes
+//! results cacheable by *content*: this module keys each one by a stable
+//! 128-bit [`Fingerprint`] of a canonical byte-serialization of those inputs
+//! (see [`gpu_types::canon`]) and memoizes the result bytes in two tiers:
+//!
+//! * an **in-process registry**, on by default, so one campaign process
+//!   (e.g. `experiments` generating every figure) measures each distinct
+//!   input once;
+//! * a **persistent on-disk store** under a cache directory (`--cache-dir`
+//!   or `EBM_CACHE_DIR`), so repeated invocations skip simulation entirely.
+//!
+//! # Invalidation
+//!
+//! [`ENGINE_VERSION`] is folded into every fingerprint. **Any change to
+//! engine semantics — anything that alters a simulated counter — and any
+//! change to a cached payload encoding or to a [`Canon`] impl must bump
+//! it**; the golden-fingerprint test (`crates/sim/tests/cache_store.rs`)
+//! fails loudly on accidental drift. Entries written under another engine
+//! version simply never match and are rewritten in place.
+//!
+//! # On-disk format
+//!
+//! One file per entry, `<32-hex-digit fingerprint>.rec`, framed as:
+//!
+//! ```text
+//! magic "EBMC" | format u32 | engine u32 | fingerprint u128
+//!             | payload_len u64 | checksum u128 | payload bytes
+//! ```
+//!
+//! (all little-endian; the checksum is [`gpu_types::canon::fingerprint`] of
+//! the payload). Readers treat *any* deviation — bad magic, version
+//! mismatch, truncation, checksum failure — as a miss, so corrupt files are
+//! ignored and rewritten. Writers stage into a unique temp file in the same
+//! directory and `rename` it into place, which is atomic on POSIX: a
+//! concurrent reader sees the old bytes, the new bytes, or no file — never
+//! a torn record. Concurrent writers race benignly (same key ⇒ same bytes).
+//!
+//! # Verification
+//!
+//! With a verify fraction set (`--cache-verify`), a deterministic per-key
+//! sample of hits is re-simulated and the stored bytes asserted
+//! bit-identical — a cheap standing audit that the determinism invariant
+//! (and therefore the whole cache) still holds.
+//!
+//! The cache stores opaque byte payloads; the typed encode/decode lives
+//! next to each memoized entry point ([`crate::alone::profile_alone`],
+//! `ComboSweep::measure`, the evaluator in `ebm-core`). All hits and misses
+//! are counted ([`stats`]) and surfaced through the trace subsystem as a
+//! [`TraceEvent::CacheStats`] event.
+//!
+//! [`Canon`]: gpu_types::canon::Canon
+//! [`TraceEvent::CacheStats`]: crate::trace::TraceEvent::CacheStats
+
+use gpu_types::canon::{fingerprint, CanonBuf, Fingerprint};
+use gpu_types::{FxHashMap, SplitMix64};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Version of the simulation engine's observable semantics.
+///
+/// Folded into every cache fingerprint: results computed under different
+/// engine versions never alias. Bump this when *any* of the following
+/// changes:
+///
+/// * the cycle-level behaviour of the machine (anything that changes a
+///   counter value for some input);
+/// * a [`gpu_types::canon::Canon`] implementation of an input type;
+/// * the byte encoding of any cached payload.
+///
+/// The golden-fingerprint test pins the `(ENGINE_VERSION, canonical
+/// encoding, hash)` triple so accidental drift fails CI.
+pub const ENGINE_VERSION: u32 = 1;
+
+/// Version of the on-disk record *frame* (not the payload semantics).
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: [u8; 4] = *b"EBMC";
+/// Frame bytes preceding the payload: magic + format + engine + fingerprint
+/// + payload length + checksum.
+const HEADER_LEN: usize = 4 + 4 + 4 + 16 + 8 + 16;
+
+/// Builder for a cache key: a canonical byte stream seeded with the entry
+/// kind and [`ENGINE_VERSION`], reduced to a [`Fingerprint`].
+#[derive(Debug)]
+pub struct KeyBuilder {
+    buf: CanonBuf,
+}
+
+impl KeyBuilder {
+    /// Starts a key for entries of `kind` (e.g. `"sweep"`, `"alone"`).
+    pub fn new(kind: &str) -> Self {
+        let mut buf = CanonBuf::new();
+        buf.push_str(kind);
+        buf.push_u32(ENGINE_VERSION);
+        KeyBuilder { buf }
+    }
+
+    /// Appends one input's canonical bytes.
+    pub fn push<T: gpu_types::canon::Canon + ?Sized>(&mut self, v: &T) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a raw `u64` input (seeds, cycle counts).
+    pub fn push_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.push_u64(v);
+        self
+    }
+
+    /// Appends a raw `usize` input (core counts), widened to `u64`.
+    pub fn push_usize(&mut self, v: usize) -> &mut Self {
+        self.buf.push_usize(v);
+        self
+    }
+
+    /// Appends a bool input (knobs).
+    pub fn push_bool(&mut self, v: bool) -> &mut Self {
+        self.buf.push_bool(v);
+        self
+    }
+
+    /// Appends a string input (app names, scheme tags).
+    pub fn push_str(&mut self, v: &str) -> &mut Self {
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Hashes the accumulated bytes into the cache key.
+    pub fn finish(&self) -> Fingerprint {
+        fingerprint(self.buf.as_bytes())
+    }
+}
+
+/// Hit/miss/bypass counters of the process-wide cache (monotonic since
+/// process start or the last [`reset_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a tier (memory or disk).
+    pub hits: u64,
+    /// Hits served by the on-disk store specifically (subset of `hits`).
+    pub disk_hits: u64,
+    /// Lookups that had to simulate.
+    pub misses: u64,
+    /// Lookups made while the cache was disabled.
+    pub bypasses: u64,
+    /// Records written to the on-disk store.
+    pub stores: u64,
+    /// Hits re-simulated and checked bit-identical by verify mode.
+    pub verified: u64,
+}
+
+impl CacheStats {
+    /// Fraction of enabled lookups that hit, in `[0, 1]` (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static DISK_HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static BYPASSES: AtomicU64 = AtomicU64::new(0);
+static STORES: AtomicU64 = AtomicU64::new(0);
+static VERIFIED: AtomicU64 = AtomicU64::new(0);
+
+/// Runtime configuration of the process-wide cache.
+#[derive(Debug, Clone)]
+struct Config {
+    enabled: bool,
+    dir: Option<PathBuf>,
+    verify_fraction: f64,
+}
+
+fn config() -> &'static Mutex<Config> {
+    static CONFIG: OnceLock<Mutex<Config>> = OnceLock::new();
+    CONFIG.get_or_init(|| {
+        let enabled = std::env::var("EBM_CACHE").map_or(true, |v| v != "0");
+        let dir = std::env::var_os("EBM_CACHE_DIR")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+        let verify_fraction = std::env::var("EBM_CACHE_VERIFY")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .map_or(0.0, |f| f.clamp(0.0, 1.0));
+        Mutex::new(Config {
+            enabled,
+            dir,
+            verify_fraction,
+        })
+    })
+}
+
+fn memory() -> &'static Mutex<FxHashMap<Fingerprint, Arc<[u8]>>> {
+    static MEM: OnceLock<Mutex<FxHashMap<Fingerprint, Arc<[u8]>>>> = OnceLock::new();
+    MEM.get_or_init(|| Mutex::new(FxHashMap::default()))
+}
+
+/// Enables or disables the whole cache (both tiers). Disabled lookups call
+/// straight through to the compute closure and count as bypasses.
+pub fn set_enabled(enabled: bool) {
+    config().lock().unwrap().enabled = enabled;
+}
+
+/// Points the persistent tier at `dir` (`None` keeps only the in-memory
+/// registry). The directory is created on first write.
+pub fn set_dir(dir: Option<PathBuf>) {
+    config().lock().unwrap().dir = dir;
+}
+
+/// Sets the fraction of hits that verify mode re-simulates (clamped to
+/// `[0, 1]`; 0 disables verification).
+pub fn set_verify_fraction(fraction: f64) {
+    config().lock().unwrap().verify_fraction = fraction.clamp(0.0, 1.0);
+}
+
+/// Drops every in-memory entry (the disk tier is untouched). Benchmarks use
+/// this to measure disk-warm rather than memory-warm lookups.
+pub fn clear_memory() {
+    memory().lock().unwrap().clear();
+}
+
+/// Current counter snapshot.
+pub fn stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        disk_hits: DISK_HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        bypasses: BYPASSES.load(Ordering::Relaxed),
+        stores: STORES.load(Ordering::Relaxed),
+        verified: VERIFIED.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes every counter.
+pub fn reset_stats() {
+    for c in [&HITS, &DISK_HITS, &MISSES, &BYPASSES, &STORES, &VERIFIED] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Emits the current counters into `sink` as a
+/// [`TraceEvent::CacheStats`](crate::trace::TraceEvent::CacheStats) event
+/// (gated on the sink being enabled, like every emission site).
+pub fn emit_stats<S: crate::trace::TraceSink + ?Sized>(sink: &mut S) {
+    if !sink.enabled() {
+        return;
+    }
+    let s = stats();
+    sink.emit(crate::trace::TraceEvent::CacheStats {
+        cycle: 0,
+        hits: s.hits,
+        disk_hits: s.disk_hits,
+        misses: s.misses,
+        bypasses: s.bypasses,
+        stores: s.stores,
+        verified: s.verified,
+    });
+}
+
+/// Whether a hit on `fp` should be re-simulated under the given verify
+/// fraction. Deterministic per key: the same sampled subset is audited on
+/// every run, so a verify pass is reproducible.
+fn should_verify(fp: Fingerprint, fraction: f64) -> bool {
+    if fraction <= 0.0 {
+        return false;
+    }
+    if fraction >= 1.0 {
+        return true;
+    }
+    let seed = (fp.0 as u64) ^ ((fp.0 >> 64) as u64);
+    SplitMix64::new(seed).next_f64() < fraction
+}
+
+fn verify_hit(fp: Fingerprint, cached: &[u8], compute: impl FnOnce() -> Vec<u8>) {
+    let fresh = compute();
+    assert!(
+        fresh == cached,
+        "cache verification failed for {fp}: stored {} bytes, re-simulation \
+         produced {} bytes{} — either the determinism invariant broke or \
+         ENGINE_VERSION was not bumped after an engine change",
+        cached.len(),
+        fresh.len(),
+        if fresh.len() == cached.len() {
+            " (same length, different content)"
+        } else {
+            ""
+        }
+    );
+    VERIFIED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Looks `fp` up in the memory tier, then the disk tier; on miss runs
+/// `compute`, stores the bytes in both tiers and returns them.
+///
+/// The compute closure runs with no cache lock held, so it may fan out
+/// across threads (and those threads may themselves call into the cache).
+/// Two threads missing on the same key concurrently both compute; the
+/// determinism invariant makes the race benign.
+///
+/// # Panics
+///
+/// Panics when verify mode re-simulates a hit and the result is not
+/// bit-identical to the stored bytes.
+pub fn get_or_compute(fp: Fingerprint, compute: impl FnOnce() -> Vec<u8>) -> Arc<[u8]> {
+    let (enabled, dir, verify_fraction) = {
+        let c = config().lock().unwrap();
+        (c.enabled, c.dir.clone(), c.verify_fraction)
+    };
+    if !enabled {
+        BYPASSES.fetch_add(1, Ordering::Relaxed);
+        return compute().into();
+    }
+
+    if let Some(hit) = memory().lock().unwrap().get(&fp).cloned() {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        if should_verify(fp, verify_fraction) {
+            verify_hit(fp, &hit, compute);
+        }
+        return hit;
+    }
+
+    if let Some(dir) = dir.as_deref() {
+        if let Some(bytes) = DiskStore::new(dir).load(fp) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            DISK_HITS.fetch_add(1, Ordering::Relaxed);
+            if should_verify(fp, verify_fraction) {
+                verify_hit(fp, &bytes, compute);
+            }
+            let arc: Arc<[u8]> = bytes.into();
+            memory().lock().unwrap().insert(fp, arc.clone());
+            return arc;
+        }
+    }
+
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let bytes = compute();
+    if let Some(dir) = dir.as_deref() {
+        if DiskStore::new(dir).store(fp, &bytes) {
+            STORES.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let arc: Arc<[u8]> = bytes.into();
+    memory().lock().unwrap().insert(fp, arc.clone());
+    arc
+}
+
+/// Typed front-end to [`get_or_compute`]: memoizes `compute`'s result under
+/// `fp` using `encode`/`decode` for the byte payload.
+///
+/// On a miss the freshly computed value is returned directly (the encode is
+/// only for storage), so the cold path pays one serialization and zero
+/// deserializations. On a hit the stored bytes are decoded; a payload that
+/// fails to decode panics, because checksummed bytes under the current
+/// [`ENGINE_VERSION`] can only be undecodable if an encoding changed
+/// without the mandatory version bump.
+///
+/// # Panics
+///
+/// Panics on an undecodable hit payload, and propagates verify-mode
+/// mismatch panics from [`get_or_compute`].
+pub fn memoize<T>(
+    fp: Fingerprint,
+    encode: impl FnOnce(&T) -> Vec<u8>,
+    decode: impl FnOnce(&[u8]) -> Option<T>,
+    compute: impl FnOnce() -> T,
+) -> T {
+    let mut fresh: Option<T> = None;
+    let bytes = get_or_compute(fp, || {
+        let v = compute();
+        let b = encode(&v);
+        fresh = Some(v);
+        b
+    });
+    match fresh {
+        Some(v) => v,
+        None => decode(&bytes).unwrap_or_else(|| {
+            panic!(
+                "cache payload for {fp} does not decode ({} bytes): a payload \
+                 encoding changed without bumping ENGINE_VERSION",
+                bytes.len()
+            )
+        }),
+    }
+}
+
+/// The persistent tier: one framed, checksummed record file per
+/// fingerprint in a flat directory. See the module docs for the format and
+/// atomicity guarantees. [`get_or_compute`] drives this internally; it is
+/// public so tests (and external tooling) can exercise the format directly.
+#[derive(Debug, Clone)]
+pub struct DiskStore {
+    dir: PathBuf,
+}
+
+impl DiskStore {
+    /// A store rooted at `dir` (not created until the first write).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DiskStore { dir: dir.into() }
+    }
+
+    /// The record file path for `fp`.
+    pub fn path_of(&self, fp: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{fp}.rec"))
+    }
+
+    /// Loads the payload stored for `fp`. Returns `None` on any deviation —
+    /// missing file, bad magic, format or engine version mismatch, frame
+    /// truncation, length mismatch or checksum failure — never an error:
+    /// a bad record is simply a miss and will be rewritten.
+    pub fn load(&self, fp: Fingerprint) -> Option<Vec<u8>> {
+        let raw = std::fs::read(self.path_of(fp)).ok()?;
+        Self::decode(&raw, fp)
+    }
+
+    fn decode(raw: &[u8], fp: Fingerprint) -> Option<Vec<u8>> {
+        if raw.len() < HEADER_LEN || raw[..4] != MAGIC {
+            return None;
+        }
+        let u32_at = |at: usize| u32::from_le_bytes(raw[at..at + 4].try_into().unwrap());
+        let u64_at = |at: usize| u64::from_le_bytes(raw[at..at + 8].try_into().unwrap());
+        let u128_at = |at: usize| u128::from_le_bytes(raw[at..at + 16].try_into().unwrap());
+        if u32_at(4) != FORMAT_VERSION || u32_at(8) != ENGINE_VERSION || u128_at(12) != fp.0 {
+            return None;
+        }
+        let len = usize::try_from(u64_at(28)).ok()?;
+        let checksum = u128_at(36);
+        let payload = raw.get(HEADER_LEN..)?;
+        if payload.len() != len || fingerprint(payload).0 != checksum {
+            return None;
+        }
+        Some(payload.to_vec())
+    }
+
+    fn encode(fp: Fingerprint, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&ENGINE_VERSION.to_le_bytes());
+        out.extend_from_slice(&fp.0.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fingerprint(payload).0.to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Writes (or rewrites) the record for `fp` atomically: the bytes are
+    /// staged into a process-unique temp file in the cache directory and
+    /// renamed into place. Returns whether the record landed; I/O failures
+    /// are swallowed — a read-only or full disk degrades the cache, never
+    /// the simulation.
+    pub fn store(&self, fp: Fingerprint, payload: &[u8]) -> bool {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return false;
+        }
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}-{fp}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let bytes = Self::encode(fp, payload);
+        if std::fs::write(&tmp, &bytes).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return false;
+        }
+        let ok = std::fs::rename(&tmp, self.path_of(fp)).is_ok();
+        if !ok {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        ok
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Appends one [`AppWindow`](gpu_types::AppWindow) to a payload: the eight
+/// raw counters, the window length and the peak-bandwidth normalizer, all
+/// exact (floats as bit patterns). Payload helpers live here so every
+/// memoized entry point (alone profiles, sweeps, evaluator results) encodes
+/// windows identically.
+pub fn push_window(buf: &mut CanonBuf, w: &gpu_types::AppWindow) {
+    let c = &w.counters;
+    for v in [
+        c.l1_accesses,
+        c.l1_misses,
+        c.l2_accesses,
+        c.l2_misses,
+        c.dram_bytes,
+        c.row_hits,
+        c.row_misses,
+        c.warp_insts,
+    ] {
+        buf.push_u64(v);
+    }
+    buf.push_u64(w.cycles);
+    buf.push_f64(w.peak_bw_bytes_per_cycle);
+}
+
+/// Reads one window written by [`push_window`]; `None` on truncation or an
+/// invalid (empty) window.
+pub fn read_window(r: &mut gpu_types::CanonReader<'_>) -> Option<gpu_types::AppWindow> {
+    let counters = gpu_types::MemCounters {
+        l1_accesses: r.read_u64()?,
+        l1_misses: r.read_u64()?,
+        l2_accesses: r.read_u64()?,
+        l2_misses: r.read_u64()?,
+        dram_bytes: r.read_u64()?,
+        row_hits: r.read_u64()?,
+        row_misses: r.read_u64()?,
+        warp_insts: r.read_u64()?,
+    };
+    let cycles = r.read_u64()?;
+    let peak = r.read_f64()?;
+    // `AppWindow::new` requires positive cycles and peak bandwidth; a NaN
+    // peak (not greater than zero) is rejected here too.
+    if cycles == 0 || peak.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return None;
+    }
+    Some(gpu_types::AppWindow::new(counters, cycles, peak))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u128) -> Fingerprint {
+        Fingerprint(n)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ebm_cache_unit_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let store = DiskStore::new(&dir);
+        assert_eq!(store.load(fp(7)), None, "empty store misses");
+        assert!(store.store(fp(7), b"payload bytes"));
+        assert_eq!(store.load(fp(7)).as_deref(), Some(&b"payload bytes"[..]));
+        // Overwrite with new content.
+        assert!(store.store(fp(7), b"other"));
+        assert_eq!(store.load(fp(7)).as_deref(), Some(&b"other"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_fingerprint_in_frame_is_a_miss() {
+        let dir = temp_dir("wrongfp");
+        let store = DiskStore::new(&dir);
+        assert!(store.store(fp(1), b"data"));
+        // A record renamed to another key's file name must not be served.
+        std::fs::rename(store.path_of(fp(1)), store.path_of(fp(2))).unwrap();
+        assert_eq!(store.load(fp(2)), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn header_constant_matches_layout() {
+        let frame = DiskStore::encode(fp(3), b"xy");
+        assert_eq!(frame.len(), HEADER_LEN + 2);
+        assert_eq!(
+            DiskStore::decode(&frame, fp(3)).as_deref(),
+            Some(&b"xy"[..])
+        );
+    }
+
+    #[test]
+    fn verify_sampling_is_deterministic_and_bounded() {
+        assert!(!should_verify(fp(1), 0.0));
+        assert!(should_verify(fp(1), 1.0));
+        let f = 0.25;
+        let picked: Vec<bool> = (0..64).map(|i| should_verify(fp(i), f)).collect();
+        assert_eq!(
+            picked,
+            (0..64).map(|i| should_verify(fp(i), f)).collect::<Vec<_>>()
+        );
+        let n = picked.iter().filter(|&&p| p).count();
+        assert!(n > 0 && n < 64, "sampled {n}/64 at fraction {f}");
+    }
+}

@@ -4,7 +4,9 @@ use crate::control::{AppObservation, Controller, Decision, Observation};
 use crate::machine::{Gpu, PartitionTelemetry};
 use crate::trace::{NullSink, StallBreakdown, TraceEvent, TraceSink};
 use gpu_simt::CoreStats;
-use gpu_types::{AppId, AppWindow, MemCounters, TlpCombo, TlpLevel};
+use gpu_types::canon::{Canon, CanonBuf, CanonReader};
+use gpu_types::{AppId, AppWindow, GpuConfig, MemCounters, TlpCombo, TlpLevel};
+use gpu_workloads::AppProfile;
 
 /// Warmup/measurement lengths for a fixed-combination measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +31,13 @@ impl RunSpec {
     /// Short spec for unit tests on the small machine.
     pub fn quick() -> Self {
         RunSpec::new(1_000, 4_000)
+    }
+}
+
+impl Canon for RunSpec {
+    fn canon(&self, buf: &mut CanonBuf) {
+        buf.push_u64(self.warmup);
+        buf.push_u64(self.window);
     }
 }
 
@@ -82,6 +91,100 @@ pub fn measure_fixed(gpu: &mut Gpu, combo: &TlpCombo, spec: RunSpec) -> Vec<AppW
     gpu.run(spec.window);
     let after = snapshot_all(gpu);
     windows_between(gpu, &before, &after, spec.window)
+}
+
+/// The complete machine-construction inputs of one fixed-combination
+/// measurement, for [`measure_fixed_cached`]: everything needed to rebuild
+/// the [`Gpu`] from scratch, and therefore everything that must feed the
+/// cache fingerprint.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedRunInputs<'a> {
+    /// Machine description.
+    pub cfg: &'a GpuConfig,
+    /// Co-scheduled applications, in core-partition order.
+    pub apps: &'a [&'a AppProfile],
+    /// Explicit cores-per-application split ([`Gpu::with_core_split`]);
+    /// `None` divides the cores equally ([`Gpu::new`]).
+    pub core_split: Option<&'a [usize]>,
+    /// Machine seed.
+    pub seed: u64,
+    /// Enables CCWS-style throttling on every application before measuring.
+    pub ccws: bool,
+}
+
+impl FixedRunInputs<'_> {
+    fn build(&self) -> Gpu {
+        let mut gpu = match self.core_split {
+            Some(split) => Gpu::with_core_split(self.cfg, self.apps, split, self.seed),
+            None => Gpu::new(self.cfg, self.apps, self.seed),
+        };
+        if self.ccws {
+            for a in 0..self.apps.len() {
+                gpu.set_ccws(AppId::new(a as u8), true);
+            }
+        }
+        gpu
+    }
+
+    fn fingerprint(&self, combo: &TlpCombo, spec: RunSpec) -> gpu_types::Fingerprint {
+        let mut key = crate::cache::KeyBuilder::new("fixed");
+        key.push(self.cfg);
+        key.push_usize(self.apps.len());
+        for app in self.apps {
+            key.push(*app);
+        }
+        match self.core_split {
+            None => {
+                key.push_bool(false);
+            }
+            Some(split) => {
+                key.push_bool(true);
+                key.push_usize(split.len());
+                for &n in split {
+                    key.push_usize(n);
+                }
+            }
+        }
+        key.push_u64(self.seed);
+        key.push_bool(self.ccws);
+        key.push(combo);
+        key.push(&spec);
+        key.finish()
+    }
+}
+
+/// Cache-aware [`measure_fixed`] for runs on a freshly built machine: the
+/// result is memoized under a fingerprint of `inputs`, `combo` and `spec`
+/// (see [`crate::cache`]), so repeated figure generations re-simulate each
+/// distinct static run once per cache lifetime. Bit-identical to building
+/// the machine and calling [`measure_fixed`] directly.
+pub fn measure_fixed_cached(
+    inputs: &FixedRunInputs<'_>,
+    combo: &TlpCombo,
+    spec: RunSpec,
+) -> Vec<AppWindow> {
+    let fp = inputs.fingerprint(combo, spec);
+    crate::cache::memoize(
+        fp,
+        |windows: &Vec<AppWindow>| {
+            let mut buf = CanonBuf::new();
+            buf.push_usize(windows.len());
+            for w in windows {
+                crate::cache::push_window(&mut buf, w);
+            }
+            buf.into_bytes()
+        },
+        |bytes| {
+            let mut r = CanonReader::new(bytes);
+            let n = r.read_usize()?;
+            let mut windows = Vec::with_capacity(n);
+            for _ in 0..n {
+                windows.push(crate::cache::read_window(&mut r)?);
+            }
+            r.is_empty().then_some(windows)
+        },
+        || measure_fixed(&mut inputs.build(), combo, spec),
+    )
 }
 
 /// Result of a controlled (policy-driven) run.

@@ -14,6 +14,11 @@
 //!   windowed sampling and the Fig. 8 relay latency;
 //! * [`exec`] — a scoped-thread fan-out layer ([`exec::par_map`]) for the
 //!   independent simulations of sweeps, profiles and campaigns;
+//! * [`cache`] — content-addressed memoization of deterministic results:
+//!   a stable 128-bit fingerprint of each simulation's inputs keys an
+//!   in-process registry plus a persistent on-disk store
+//!   (`EBM_CACHE_DIR`), with versioned invalidation ([`cache::ENGINE_VERSION`])
+//!   and a verify mode that re-simulates sampled hits;
 //! * [`trace`] — the structured, zero-cost-when-disabled observability
 //!   layer: typed events ([`trace::TraceEvent`]) emitted at every sampling
 //!   window, received by pluggable [`trace::TraceSink`]s (in-memory ring,
@@ -22,6 +27,7 @@
 #![deny(missing_docs)]
 
 pub mod alone;
+pub mod cache;
 pub mod control;
 pub mod exec;
 pub mod harness;
@@ -30,9 +36,13 @@ pub mod metrics;
 pub mod trace;
 
 pub use alone::{profile_alone, profile_alone_with_threads, AloneProfile, AloneSample};
+pub use cache::{CacheStats, DiskStore, KeyBuilder, ENGINE_VERSION};
 pub use control::{Controller, Decision, Observation};
 pub use exec::{par_map, par_map_with, worker_count};
-pub use harness::{measure_fixed, run_controlled, run_controlled_traced, ControlledRun, RunSpec};
+pub use harness::{
+    measure_fixed, measure_fixed_cached, run_controlled, run_controlled_traced, ControlledRun,
+    FixedRunInputs, RunSpec,
+};
 pub use machine::Gpu;
 pub use metrics::{fi_of, hs_of, ws_of, SystemMetrics};
 pub use trace::{JsonlSink, NullSink, RingSink, TraceEvent, TraceSink};

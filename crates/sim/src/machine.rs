@@ -134,7 +134,7 @@ impl Gpu {
         }
 
         let partitions = (0..cfg.n_partitions)
-            .map(|p| MemoryPartition::new(PartitionId(p), cfg))
+            .map(|p| MemoryPartition::new(PartitionId(p), cfg, apps.len()))
             .collect();
         Gpu {
             req_net: Crossbar::new(

@@ -53,7 +53,9 @@ use std::path::{Path, PathBuf};
 /// Bump it whenever an event's fields change shape or meaning, and update
 /// `docs/TRACE_SCHEMA.md` — the schema document is the contract consumers
 /// parse against.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+///
+/// History: v2 added the `cache_stats` event (result-cache counters).
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 /// Per-core stall breakdown of one sampling window (fractions of the
 /// window's cycles; the remainder is issue cycles).
@@ -147,6 +149,25 @@ pub enum TraceEvent {
         /// Stall-cycle fractions over the window.
         stall: StallBreakdown,
     },
+    /// Result-cache counters ([`crate::cache`]) at the moment of emission —
+    /// campaigns emit one at the end of a run so traces record how much
+    /// simulation was memoized away.
+    CacheStats {
+        /// Always 0: the cache lives outside simulated time.
+        cycle: u64,
+        /// Lookups served from a cache tier.
+        hits: u64,
+        /// Hits served by the on-disk store (subset of `hits`).
+        disk_hits: u64,
+        /// Lookups that had to simulate.
+        misses: u64,
+        /// Lookups made while the cache was disabled.
+        bypasses: u64,
+        /// Records written to the on-disk store.
+        stores: u64,
+        /// Hits re-simulated and checked bit-identical by verify mode.
+        verified: u64,
+    },
 }
 
 /// Formats a float as a JSON number (`null` for non-finite values, which
@@ -185,6 +206,7 @@ impl TraceEvent {
             TraceEvent::SearchPhase { .. } => "search_phase",
             TraceEvent::PartitionWindow { .. } => "partition_window",
             TraceEvent::CoreWindow { .. } => "core_window",
+            TraceEvent::CacheStats { .. } => "cache_stats",
         }
     }
 
@@ -195,7 +217,8 @@ impl TraceEvent {
             | TraceEvent::TlpDecision { cycle, .. }
             | TraceEvent::SearchPhase { cycle, .. }
             | TraceEvent::PartitionWindow { cycle, .. }
-            | TraceEvent::CoreWindow { cycle, .. } => *cycle,
+            | TraceEvent::CoreWindow { cycle, .. }
+            | TraceEvent::CacheStats { cycle, .. } => *cycle,
         }
     }
 
@@ -286,6 +309,21 @@ impl TraceEvent {
                 s.push_str(",\"idle\":");
                 push_f64(&mut s, stall.idle);
                 s.push('}');
+            }
+            TraceEvent::CacheStats {
+                hits,
+                disk_hits,
+                misses,
+                bypasses,
+                stores,
+                verified,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"hits\":{hits},\"disk_hits\":{disk_hits},\"misses\":{misses},\
+                     \"bypasses\":{bypasses},\"stores\":{stores},\"verified\":{verified}"
+                );
             }
         }
         s.push('}');
@@ -559,6 +597,15 @@ mod tests {
                     structural: 0.1,
                     idle: 0.2,
                 },
+            },
+            TraceEvent::CacheStats {
+                cycle: 0,
+                hits: 10,
+                disk_hits: 4,
+                misses: 2,
+                bypasses: 0,
+                stores: 2,
+                verified: 1,
             },
         ];
         for e in &events {

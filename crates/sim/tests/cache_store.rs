@@ -1,0 +1,152 @@
+//! Cache-layer regression tests: golden-fingerprint stability, on-disk
+//! store corruption recovery and concurrent writers.
+//!
+//! These tests drive [`gpu_sim::cache::DiskStore`] and the fingerprint
+//! primitives directly; none of them touch the process-global cache
+//! configuration, so they can share a binary with anything.
+
+use gpu_sim::cache::{DiskStore, KeyBuilder, ENGINE_VERSION};
+use gpu_sim::harness::RunSpec;
+use gpu_types::canon::{fingerprint, Fingerprint};
+use gpu_types::GpuConfig;
+use gpu_workloads::by_name;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ebm_cache_store_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Pins the `(ENGINE_VERSION, canonical encoding, hash)` triple for a fixed
+/// representative key. If this value drifts, previously written cache
+/// directories silently stop matching — which is only correct when
+/// [`ENGINE_VERSION`] was bumped deliberately. When you bump the version
+/// (or deliberately change a `Canon` impl), recompute the constant and
+/// update it in the same commit.
+#[test]
+fn golden_fingerprint_is_stable() {
+    assert_eq!(ENGINE_VERSION, 1, "update the golden hash with the bump");
+    let mut key = KeyBuilder::new("golden");
+    key.push(&GpuConfig::small())
+        .push(by_name("BLK").expect("known app"))
+        .push_u64(42)
+        .push(&RunSpec::new(500, 2_000));
+    assert_eq!(
+        key.finish().to_hex(),
+        "ef3b8709a682acbf52082aedef130585",
+        "canonical encoding or hash changed: bump ENGINE_VERSION and update \
+         this constant in the same commit"
+    );
+}
+
+/// The raw byte hash itself is pinned independently of any `Canon` impl.
+#[test]
+fn raw_fingerprint_is_stable() {
+    assert_eq!(
+        fingerprint(b"ebm").to_hex(),
+        "3413c7bd2546ed18c253f12d0d71e3c7"
+    );
+}
+
+#[test]
+fn fingerprints_differ_across_kinds_and_inputs() {
+    let base = KeyBuilder::new("alone").push_u64(1).finish();
+    assert_ne!(base, KeyBuilder::new("sweep").push_u64(1).finish());
+    assert_ne!(base, KeyBuilder::new("alone").push_u64(2).finish());
+    assert_eq!(base, KeyBuilder::new("alone").push_u64(1).finish());
+}
+
+#[test]
+fn corrupt_records_are_misses_and_rewritable() {
+    let dir = temp_dir("corrupt");
+    let store = DiskStore::new(&dir);
+    let fp = Fingerprint(0xABCD);
+    let payload = b"simulation result bytes".to_vec();
+    assert!(store.store(fp, &payload));
+    let path = store.path_of(fp);
+
+    // Flip one payload byte: checksum mismatch => miss.
+    let mut raw = std::fs::read(&path).unwrap();
+    *raw.last_mut().unwrap() ^= 0xFF;
+    std::fs::write(&path, &raw).unwrap();
+    assert_eq!(store.load(fp), None, "corrupt payload must miss");
+
+    // Rewrite heals the entry.
+    assert!(store.store(fp, &payload));
+    assert_eq!(store.load(fp), Some(payload.clone()));
+
+    // Truncate mid-frame: miss, not a panic.
+    let raw = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+    assert_eq!(store.load(fp), None, "truncated record must miss");
+
+    // Garbage shorter than the header: miss.
+    std::fs::write(&path, b"xx").unwrap();
+    assert_eq!(store.load(fp), None, "tiny garbage must miss");
+
+    // An empty file (e.g. a crashed writer's leftovers): miss.
+    std::fs::write(&path, b"").unwrap();
+    assert_eq!(store.load(fp), None, "empty file must miss");
+
+    assert!(store.store(fp, &payload));
+    assert_eq!(store.load(fp), Some(payload));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two threads hammering one directory with interleaved writes and reads:
+/// every load must return either `None` or a complete, checksummed payload
+/// — never torn bytes (the atomic temp-file + rename contract).
+#[test]
+fn concurrent_writers_never_produce_torn_reads() {
+    let dir = temp_dir("concurrent");
+    let keys: Vec<Fingerprint> = (0..8).map(|i| Fingerprint(0x1000 + i)).collect();
+    let payload_of = |fp: Fingerprint, writer: u64| -> Vec<u8> {
+        // Both writers store different (but self-identifying) payloads for
+        // the same keys, so a read can validate whichever version it sees.
+        let mut p = fp.0.to_le_bytes().to_vec();
+        p.extend_from_slice(&writer.to_le_bytes());
+        p.extend(std::iter::repeat_n(writer as u8, 512));
+        p
+    };
+    std::thread::scope(|scope| {
+        for writer in 0u64..2 {
+            let dir = &dir;
+            let keys = &keys;
+            scope.spawn(move || {
+                let store = DiskStore::new(dir);
+                for round in 0..30 {
+                    for &fp in keys {
+                        store.store(fp, &payload_of(fp, writer));
+                        if let Some(bytes) = store.load(fp) {
+                            // Whatever version landed, it must be one of
+                            // the two complete payloads.
+                            assert!(
+                                bytes == payload_of(fp, 0) || bytes == payload_of(fp, 1),
+                                "torn read at {fp} round {round}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // After the dust settles every key resolves to a complete record.
+    let store = DiskStore::new(&dir);
+    for &fp in &keys {
+        let bytes = store.load(fp).expect("record must exist");
+        assert!(bytes == payload_of(fp, 0) || bytes == payload_of(fp, 1));
+    }
+    // No temp files were leaked by successful writers.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+        .collect();
+    assert!(leftovers.is_empty(), "leaked temp files: {leftovers:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -184,7 +184,9 @@ impl SimtCore {
             app,
             warps,
             schedulers,
-            l1: Cache::new(&cfg.l1),
+            // The L1 is private to this core's application, but counters are
+            // indexed by the machine-wide AppId, so size up to it.
+            l1: Cache::new(&cfg.l1, app.index() + 1),
             l1_hit_latency: cfg.l1.hit_latency as u64,
             bypass_l1: false,
             pending: FxHashMap::default(),

@@ -22,6 +22,7 @@
 #![deny(missing_docs)]
 
 pub mod addr;
+pub mod canon;
 pub mod config;
 pub mod fxmap;
 pub mod ids;
@@ -30,10 +31,11 @@ pub mod stats;
 pub mod tlp;
 
 pub use addr::{Address, LINE_SIZE};
+pub use canon::{fingerprint, Canon, CanonBuf, CanonReader, Fingerprint};
 pub use config::{
     CacheConfig, ConfigError, DramConfig, GpuConfig, PagePolicy, SamplingConfig, WarpSchedPolicy,
 };
-pub use fxmap::FxHashMap;
+pub use fxmap::{FxHashMap, FxHashSet};
 pub use ids::{AppId, CoreId, PartitionId, WarpId};
 pub use rng::SplitMix64;
 pub use stats::{AppWindow, MemCounters};

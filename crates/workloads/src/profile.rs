@@ -1,6 +1,7 @@
 //! Application profiles: the statistical description of one GPGPU kernel.
 
 use gpu_simt::CoreParams;
+use gpu_types::canon::{Canon, CanonBuf};
 use std::fmt;
 
 /// The benchmark suite an application is drawn from (Table IV citations).
@@ -231,6 +232,104 @@ impl AppProfile {
                 assert!(phase_insts >= 1, "{}: phase_insts", self.name);
             }
         }
+    }
+}
+
+impl Canon for Suite {
+    fn canon(&self, buf: &mut CanonBuf) {
+        buf.push_u8(match self {
+            Suite::Rodinia => 0,
+            Suite::Parboil => 1,
+            Suite::CudaSdk => 2,
+            Suite::Shoc => 3,
+            Suite::Synthetic => 4,
+        });
+    }
+}
+
+impl Canon for EbGroup {
+    fn canon(&self, buf: &mut CanonBuf) {
+        buf.push_u8(match self {
+            EbGroup::G1 => 0,
+            EbGroup::G2 => 1,
+            EbGroup::G3 => 2,
+            EbGroup::G4 => 3,
+        });
+    }
+}
+
+impl Canon for AccessPattern {
+    fn canon(&self, buf: &mut CanonBuf) {
+        match *self {
+            AccessPattern::Stream { stride_lines } => {
+                buf.push_u8(0);
+                buf.push_u64(stride_lines);
+            }
+            AccessPattern::HotStream {
+                hot_lines,
+                hot_frac,
+            } => {
+                buf.push_u8(1);
+                buf.push_u64(hot_lines);
+                buf.push_f64(hot_frac);
+            }
+            AccessPattern::SharedHotStream {
+                hot_lines,
+                hot_frac,
+            } => {
+                buf.push_u8(2);
+                buf.push_u64(hot_lines);
+                buf.push_f64(hot_frac);
+            }
+            AccessPattern::TwoTierHot {
+                l1_lines,
+                l1_frac,
+                l2_lines,
+                l2_frac,
+            } => {
+                buf.push_u8(3);
+                buf.push_u64(l1_lines);
+                buf.push_f64(l1_frac);
+                buf.push_u64(l2_lines);
+                buf.push_f64(l2_frac);
+            }
+            AccessPattern::RandomUniform { span_lines } => {
+                buf.push_u8(4);
+                buf.push_u64(span_lines);
+            }
+            AccessPattern::Phased {
+                hot_lines,
+                hot_frac,
+                phase_insts,
+            } => {
+                buf.push_u8(5);
+                buf.push_u64(hot_lines);
+                buf.push_f64(hot_frac);
+                buf.push_u64(phase_insts);
+            }
+            AccessPattern::Tiled { tile_lines, reuse } => {
+                buf.push_u8(6);
+                buf.push_u64(tile_lines);
+                buf.push_u32(reuse);
+            }
+        }
+    }
+}
+
+// The full profile content — not just the name — feeds the fingerprint, so
+// synthetic/phased profiles built at runtime and any future retuning of a
+// Table IV row key distinct cache entries.
+impl Canon for AppProfile {
+    fn canon(&self, buf: &mut CanonBuf) {
+        buf.push_str(self.name);
+        buf.push(&self.suite);
+        buf.push(&self.group);
+        buf.push_f64(self.mem_ratio);
+        buf.push_f64(self.store_ratio);
+        buf.push_u32(self.alu_cycles);
+        buf.push(&self.pattern);
+        buf.push_usize(self.coalesce_degree);
+        buf.push_usize(self.max_outstanding);
     }
 }
 
