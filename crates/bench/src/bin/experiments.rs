@@ -8,8 +8,15 @@
 //! JSONL file (schema: `docs/TRACE_SCHEMA.md`). Individual artifacts can
 //! also be regenerated with their own binaries (`cargo run -p ebm-bench
 //! --release --bin fig09`, …).
+//!
+//! The campaign profiles itself: every artifact runs inside a
+//! [`ebm_bench::profiler`] span, and the finished span tree — wall time,
+//! simulated cycles, result-cache hits/misses, worker width per phase — is
+//! written to `results/PROFILE.json` and, when tracing, appended to the
+//! trace as `profile_span` events. Progress output is gated by `EBM_LOG`
+//! (`off` | `info` | `debug`).
 
-use ebm_bench::{figures, run_and_save, BenchArgs};
+use ebm_bench::{figures, log, profiler, run_and_save, BenchArgs};
 use ebm_core::eval::Evaluator;
 use gpu_workloads::all_workloads;
 
@@ -21,74 +28,56 @@ fn main() {
     let workloads = all_workloads();
     let mut trace = args.open_trace();
 
-    if args.wants("tab04") {
-        run_and_save(&figures::tab04(&mut ev));
-    }
-    if args.wants("fig01") {
-        run_and_save(&figures::fig01(&mut ev));
-    }
-    if args.wants("fig02") {
-        run_and_save(&figures::fig02(&mut ev));
-    }
-    if args.wants("fig03") {
-        run_and_save(&figures::fig03(&mut ev));
-    }
-    if args.wants("fig04") {
-        run_and_save(&figures::fig04(&mut ev));
-    }
-    if args.wants("fig05") {
-        run_and_save(&figures::fig05(&mut ev));
-    }
-    if args.wants("fig06") {
-        run_and_save(&figures::fig06(&mut ev));
-    }
-    if args.wants("fig07") {
-        run_and_save(&figures::fig07(&mut ev));
-    }
-    if args.wants("fig08") {
-        run_and_save(&figures::fig08());
-    }
-    if args.wants("fig09") {
-        run_and_save(&figures::fig09(&mut ev, &workloads));
-    }
-    if args.wants("fig10") {
-        run_and_save(&figures::fig10(&mut ev, &workloads));
-    }
-    if args.wants("hs") {
-        run_and_save(&figures::hs_results(&mut ev, &workloads));
-    }
-    if args.wants("fig11") {
-        run_and_save(&figures::fig11_traced(&mut ev, &mut *trace));
-    }
-    if args.wants("sens_part") {
-        run_and_save(&figures::sens_part(&mut ev));
-    }
-    if args.wants("ablation") {
-        run_and_save(&figures::ablation(&mut ev));
-    }
-    if args.wants("phased") {
-        run_and_save(&figures::phased(&mut ev));
-    }
-    if args.wants("sampling") {
-        run_and_save(&figures::sampling(&mut ev));
-    }
-    if args.wants("sched") {
-        run_and_save(&figures::sched(&mut ev));
-    }
-    if args.wants("ccws") {
-        run_and_save(&figures::ccws(&mut ev));
-    }
-    if args.wants("dram_policy") {
-        run_and_save(&figures::dram_policy(&mut ev));
-    }
-    if args.wants("threeapp") {
-        run_and_save(&figures::threeapp(&mut ev));
+    let campaign = profiler::span("campaign", "experiments");
+
+    /// Wraps one artifact in a `figure` profiling span.
+    macro_rules! artifact {
+        ($id:literal, $gen:expr) => {
+            if args.wants($id) {
+                log!(debug, "starting {}", $id);
+                let _span = profiler::span("figure", $id);
+                run_and_save(&$gen);
+            }
+        };
     }
 
+    artifact!("tab04", figures::tab04(&mut ev));
+    artifact!("fig01", figures::fig01(&mut ev));
+    artifact!("fig02", figures::fig02(&mut ev));
+    artifact!("fig03", figures::fig03(&mut ev));
+    artifact!("fig04", figures::fig04(&mut ev));
+    artifact!("fig05", figures::fig05(&mut ev));
+    artifact!("fig06", figures::fig06(&mut ev));
+    artifact!("fig07", figures::fig07(&mut ev));
+    artifact!("fig08", figures::fig08());
+    artifact!("fig09", figures::fig09(&mut ev, &workloads));
+    artifact!("fig10", figures::fig10(&mut ev, &workloads));
+    artifact!("hs", figures::hs_results(&mut ev, &workloads));
+    artifact!("fig11", figures::fig11_traced(&mut ev, &mut *trace));
+    artifact!("sens_part", figures::sens_part(&mut ev));
+    artifact!("ablation", figures::ablation(&mut ev));
+    artifact!("phased", figures::phased(&mut ev));
+    artifact!("sampling", figures::sampling(&mut ev));
+    artifact!("sched", figures::sched(&mut ev));
+    artifact!("ccws", figures::ccws(&mut ev));
+    artifact!("dram_policy", figures::dram_policy(&mut ev));
+    artifact!("threeapp", figures::threeapp(&mut ev));
+
+    drop(campaign);
+    let spans = profiler::take_spans();
+    profiler::emit_spans(&mut *trace, &spans);
     gpu_sim::cache::emit_stats(&mut *trace);
     trace.flush();
+
+    let profile_path = ebm_bench::out_path("PROFILE.json");
+    match profiler::write_profile(&profile_path, &spans) {
+        Ok(()) => log!(info, "profile: wrote {}", profile_path.display()),
+        Err(e) => eprintln!("error: cannot write {}: {e}", profile_path.display()),
+    }
+
     let stats = gpu_sim::cache::stats();
-    eprintln!(
+    log!(
+        info,
         "cache: {} hits ({} disk), {} misses, {} bypasses, {} stores, \
          {} verified, hit rate {:.3}",
         stats.hits,
@@ -99,5 +88,5 @@ fn main() {
         stats.verified,
         stats.hit_rate()
     );
-    eprintln!("campaign completed in {:?}", t0.elapsed());
+    log!(info, "campaign completed in {:?}", t0.elapsed());
 }

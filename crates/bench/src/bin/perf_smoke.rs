@@ -8,25 +8,31 @@
 //! verifying along the way that the parallel sweep is bit-for-bit
 //! identical to the sequential one, and (c) the result cache: the same
 //! sweep cold (empty cache directory) versus warm (disk hits only),
-//! asserting the warm rerun is bit-for-bit identical. Results are written
-//! as hand-rolled JSON to `BENCH_engine.json`, `BENCH_parallel.json` and
-//! `BENCH_cache.json`, and a one-line merged summary closes the run.
+//! asserting the warm rerun is bit-for-bit identical, and (d) the
+//! observability layer: the optimized engine with the metrics registry
+//! disabled (must sit within noise of the plain engine — the gated
+//! recording sites cost one untaken branch) and enabled (recorded
+//! alongside). Results are written as hand-rolled JSON to
+//! `BENCH_engine.json`, `BENCH_parallel.json`, `BENCH_cache.json` and
+//! `BENCH_obs.json`, and a one-line merged summary closes the run.
 //!
 //! Usage:
 //!
 //! ```text
 //! perf_smoke [--smoke] [--out PATH] [--engine-out PATH] [--cache-out PATH]
+//!            [--obs-out PATH]
 //! ```
 //!
 //! `--smoke` shrinks the workload for CI (seconds, not minutes) and skips
-//! the JSON writes unless `--out` / `--engine-out` / `--cache-out` are
-//! given explicitly.
+//! the JSON writes unless `--out` / `--engine-out` / `--cache-out` /
+//! `--obs-out` are given explicitly.
 
+use ebm_bench::log;
 use ebm_core::sweep::ComboSweep;
 use gpu_sim::exec;
 use gpu_sim::harness::RunSpec;
 use gpu_sim::machine::Gpu;
-use gpu_types::{GpuConfig, TlpCombo, TlpLevel};
+use gpu_types::{AppId, GpuConfig, TlpCombo, TlpLevel};
 use gpu_workloads::Workload;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -96,6 +102,35 @@ fn engine_run(cycles: u64, reference: bool) -> EngineRun {
         allocs_per_cycle: allocs as f64 / cycles as f64,
         skipped_fraction: skipped as f64 / cycles as f64,
     }
+}
+
+/// One timed engine run with the metrics registry on or off, plus the
+/// instrumentation evidence gathered when it was on (total stall
+/// warp-cycles and DRAM latency samples — zero when `metrics` is false).
+fn obs_run(cycles: u64, metrics: bool) -> (EngineRun, u64, u64) {
+    let cfg = GpuConfig::small();
+    let w = Workload::pair("BLK", "BFS");
+    let mut gpu = Gpu::new(&cfg, w.apps(), 42);
+    gpu.set_metrics_enabled(metrics);
+    gpu.set_combo(&TlpCombo::uniform(TlpLevel::new(8).unwrap(), 2));
+    gpu.run(1_000);
+    let allocs_before = heap_ops();
+    let t = Instant::now();
+    gpu.run(cycles);
+    let secs = t.elapsed().as_secs_f64();
+    let allocs = heap_ops() - allocs_before;
+    let (mut stall_cycles, mut lat_samples) = (0u64, 0u64);
+    for a in 0..gpu.n_apps() {
+        let app = AppId::new(a as u8);
+        stall_cycles += gpu.take_warp_stalls(app).total();
+        lat_samples += gpu.take_dram_latency(app).count();
+    }
+    let run = EngineRun {
+        cycles_per_sec: cycles as f64 / secs,
+        allocs_per_cycle: allocs as f64 / cycles as f64,
+        skipped_fraction: 0.0,
+    };
+    (run, stall_cycles, lat_samples)
 }
 
 fn time_sweep(threads: usize, spec: RunSpec) -> (ComboSweep, f64) {
@@ -281,6 +316,69 @@ fn render_cache_json(smoke: bool, bench: &CacheBench) -> String {
     out
 }
 
+struct ObsBench {
+    baseline_cps: f64,
+    off: EngineRun,
+    on: EngineRun,
+    stall_cycles: u64,
+    lat_samples: u64,
+}
+
+impl ObsBench {
+    /// Percent slowdown of a run versus the plain-engine baseline
+    /// (negative = faster, i.e. within noise).
+    fn overhead_pct(&self, cps: f64) -> f64 {
+        100.0 * (self.baseline_cps - cps) / self.baseline_cps
+    }
+}
+
+fn render_obs_json(smoke: bool, cycles: u64, bench: &ObsBench) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"obs\",\n");
+    out.push_str(&format!("  \"smoke_mode\": {smoke},\n"));
+    out.push_str("  \"machine\": \"GpuConfig::small\",\n");
+    out.push_str("  \"workload\": \"BLK_BFS\",\n");
+    out.push_str(&format!("  \"timed_cycles\": {cycles},\n"));
+    out.push_str(&format!(
+        "  \"baseline_cycles_per_sec\": {:.1},\n",
+        bench.baseline_cps
+    ));
+    out.push_str(&format!(
+        "  \"metrics_off_cycles_per_sec\": {:.1},\n",
+        bench.off.cycles_per_sec
+    ));
+    out.push_str(&format!(
+        "  \"metrics_off_overhead_pct\": {:.2},\n",
+        bench.overhead_pct(bench.off.cycles_per_sec)
+    ));
+    out.push_str(&format!(
+        "  \"metrics_off_allocations_per_cycle\": {:.6},\n",
+        bench.off.allocs_per_cycle
+    ));
+    out.push_str(&format!(
+        "  \"metrics_on_cycles_per_sec\": {:.1},\n",
+        bench.on.cycles_per_sec
+    ));
+    out.push_str(&format!(
+        "  \"metrics_on_overhead_pct\": {:.2},\n",
+        bench.overhead_pct(bench.on.cycles_per_sec)
+    ));
+    out.push_str(&format!(
+        "  \"metrics_on_allocations_per_cycle\": {:.6},\n",
+        bench.on.allocs_per_cycle
+    ));
+    out.push_str(&format!(
+        "  \"metrics_on_stall_warp_cycles\": {},\n",
+        bench.stall_cycles
+    ));
+    out.push_str(&format!(
+        "  \"metrics_on_dram_lat_samples\": {}\n",
+        bench.lat_samples
+    ));
+    out.push_str("}\n");
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -311,6 +409,15 @@ fn main() {
         } else {
             Some("BENCH_cache.json".to_string())
         });
+    let obs_out_path = args
+        .iter()
+        .position(|a| a == "--obs-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or(if smoke {
+            None
+        } else {
+            Some("BENCH_obs.json".to_string())
+        });
 
     // The engine and thread-scaling sections time *simulation*; a cache hit
     // would replace the second and later sweeps with a lookup and falsify
@@ -323,26 +430,35 @@ fn main() {
         (200_000, RunSpec::new(3_000, 12_000))
     };
 
-    eprintln!("perf_smoke: engine throughput, reference vs optimized ({engine_cycles} cycles)...");
+    log!(
+        info,
+        "perf_smoke: engine throughput, reference vs optimized ({engine_cycles} cycles)..."
+    );
     let before = engine_run(engine_cycles, true);
     let after = engine_run(engine_cycles, false);
     let engine_cps = after.cycles_per_sec;
-    eprintln!(
+    log!(
+        info,
         "  reference: {:.0} cycles/sec ({:.1} allocs/cycle)",
-        before.cycles_per_sec, before.allocs_per_cycle
+        before.cycles_per_sec,
+        before.allocs_per_cycle
     );
-    eprintln!(
+    log!(
+        info,
         "  optimized: {:.0} cycles/sec ({:.4} allocs/cycle, {:.4} skipped fraction)",
-        after.cycles_per_sec, after.allocs_per_cycle, after.skipped_fraction
+        after.cycles_per_sec,
+        after.allocs_per_cycle,
+        after.skipped_fraction
     );
-    eprintln!(
+    log!(
+        info,
         "  speedup: {:.2}x",
         after.cycles_per_sec / before.cycles_per_sec
     );
     let engine_json = render_engine_json(smoke, engine_cycles, &before, &after);
     if let Some(path) = &engine_out_path {
         std::fs::write(path, &engine_json).expect("write engine benchmark JSON");
-        eprintln!("perf_smoke: wrote {path}");
+        log!(info, "perf_smoke: wrote {path}");
     } else {
         print!("{engine_json}");
     }
@@ -356,17 +472,23 @@ fn main() {
         pts
     };
 
-    eprintln!("perf_smoke: 25-combo sweep wall-clock (threads: {thread_points:?})...");
+    log!(
+        info,
+        "perf_smoke: 25-combo sweep wall-clock (threads: {thread_points:?})..."
+    );
     let mut timings = Vec::new();
     let mut reference: Option<ComboSweep> = None;
     let mut identical = true;
     for &threads in &thread_points {
         let (sweep, secs) = time_sweep(threads, spec);
-        eprintln!("  {threads:>2} thread(s): {secs:.3}s");
+        log!(info, "  {threads:>2} thread(s): {secs:.3}s");
         if let Some(r) = &reference {
             if !sweeps_identical(r, &sweep) {
                 identical = false;
-                eprintln!("  !! results at {threads} threads diverge from serial");
+                log!(
+                    info,
+                    "  !! results at {threads} threads diverge from serial"
+                );
             }
         } else {
             reference = Some(sweep);
@@ -384,19 +506,23 @@ fn main() {
         .map(|t| t.seconds)
         .fold(f64::INFINITY, f64::min);
     let speedup = t1 / best;
-    eprintln!("perf_smoke: speedup vs 1 thread: {speedup:.2}x (identical: {identical})");
+    log!(
+        info,
+        "perf_smoke: speedup vs 1 thread: {speedup:.2}x (identical: {identical})"
+    );
 
     let json = render_json(smoke, engine_cps, &timings, identical, speedup);
     if let Some(path) = out_path {
         std::fs::write(&path, &json).expect("write benchmark JSON");
-        eprintln!("perf_smoke: wrote {path}");
+        log!(info, "perf_smoke: wrote {path}");
     } else {
         print!("{json}");
     }
 
-    eprintln!("perf_smoke: result cache, cold vs disk-warm sweep...");
+    log!(info, "perf_smoke: result cache, cold vs disk-warm sweep...");
     let cache = cache_bench(spec);
-    eprintln!(
+    log!(
+        info,
         "  cold: {:.3}s, warm: {:.3}s ({:.2}x, hit rate {:.3}, identical: {})",
         cache.cold_seconds,
         cache.warm_seconds,
@@ -407,13 +533,93 @@ fn main() {
     let cache_json = render_cache_json(smoke, &cache);
     if let Some(path) = cache_out_path {
         std::fs::write(&path, &cache_json).expect("write cache benchmark JSON");
-        eprintln!("perf_smoke: wrote {path}");
+        log!(info, "perf_smoke: wrote {path}");
     } else {
         print!("{cache_json}");
     }
 
+    // Overhead comparison needs a longer timed region than the throughput
+    // section even in smoke mode: at 20 000 cycles the ~2% effect under
+    // test drowns in scheduler jitter.
+    let obs_cycles = engine_cycles.max(100_000);
+    log!(
+        info,
+        "perf_smoke: metrics-registry overhead, disabled vs enabled ({obs_cycles} cycles)..."
+    );
+    gpu_sim::cache::set_enabled(false);
+    // Interleave repetitions of the three configurations, rotating which
+    // one goes first each rep, and keep each one's best throughput: short
+    // timed regions are noisy, a fixed order lets frequency ramp and cache
+    // warmup bias one slot systematically, and the claim under test (the
+    // disabled registry costs one untaken branch) is about the code path,
+    // not about scheduler jitter.
+    const OBS_REPS: usize = 5;
+    let mut baseline_cps = f64::MIN;
+    let best = |slot: &mut Option<EngineRun>, run: EngineRun| {
+        if slot
+            .as_ref()
+            .is_none_or(|b| run.cycles_per_sec > b.cycles_per_sec)
+        {
+            *slot = Some(run);
+        }
+    };
+    let (mut obs_off, mut obs_on) = (None, None);
+    let (mut on_stalls, mut on_lat) = (0u64, 0u64);
+    for rep in 0..OBS_REPS {
+        for slot in 0..3 {
+            match (rep + slot) % 3 {
+                0 => {
+                    baseline_cps = baseline_cps.max(engine_run(obs_cycles, false).cycles_per_sec);
+                }
+                1 => {
+                    let (off_run, off_stalls, off_lat) = obs_run(obs_cycles, false);
+                    assert_eq!(
+                        (off_stalls, off_lat),
+                        (0, 0),
+                        "disabled metrics must record nothing"
+                    );
+                    best(&mut obs_off, off_run);
+                }
+                _ => {
+                    let (on_run, stalls, lat) = obs_run(obs_cycles, true);
+                    (on_stalls, on_lat) = (stalls, lat);
+                    best(&mut obs_on, on_run);
+                }
+            }
+        }
+    }
+    let obs = ObsBench {
+        baseline_cps,
+        off: obs_off.unwrap(),
+        on: obs_on.unwrap(),
+        stall_cycles: on_stalls,
+        lat_samples: on_lat,
+    };
+    log!(
+        info,
+        "  disabled: {:.0} cycles/sec ({:+.2}% vs baseline)",
+        obs.off.cycles_per_sec,
+        obs.overhead_pct(obs.off.cycles_per_sec)
+    );
+    log!(
+        info,
+        "  enabled:  {:.0} cycles/sec ({:+.2}% vs baseline, {} stall warp-cycles, {} latency samples)",
+        obs.on.cycles_per_sec,
+        obs.overhead_pct(obs.on.cycles_per_sec),
+        obs.stall_cycles,
+        obs.lat_samples
+    );
+    let obs_json = render_obs_json(smoke, obs_cycles, &obs);
+    if let Some(path) = obs_out_path {
+        std::fs::write(&path, &obs_json).expect("write obs benchmark JSON");
+        log!(info, "perf_smoke: wrote {path}");
+    } else {
+        print!("{obs_json}");
+    }
+
     // Merged one-line summary of all three benchmark sections.
-    eprintln!(
+    log!(
+        info,
         "perf_smoke summary: engine {:.2}x vs reference ({:.0} cycles/s, \
          {:.4} allocs/cycle) | parallel sweep {speedup:.2}x vs 1 thread \
          (identical: {identical}) | cache warm {:.2}x vs cold \

@@ -1,0 +1,483 @@
+//! Offline analysis CLI for JSONL traces (`docs/TRACE_SCHEMA.md`).
+//!
+//! ```text
+//! trace-tools validate <trace>         strict schema check (CI gate)
+//! trace-tools timeline <trace>         per-app EB/BW/CMR/IPC CSV
+//! trace-tools stalls   <trace>         stall breakdown + latency percentiles
+//! trace-tools cache    <trace>         result-cache counter summary
+//! trace-tools diff     <a> <b>         compare two traces
+//! ```
+//!
+//! `validate` exits non-zero on the first schema violation class (all
+//! offending lines are listed, capped); the analysis modes skip and count
+//! unparsable lines so a partially-damaged trace still renders.
+
+use ebm_bench::json::{parse, Json};
+use ebm_bench::schema::{validate_trace, MAX_SCHEMA_VERSION};
+use gpu_types::Histogram;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// `println!` that treats a closed stdout (e.g. `trace-tools timeline t |
+/// head`) as a normal end of output instead of a broken-pipe panic.
+macro_rules! outln {
+    ($($t:tt)*) => {{
+        use std::io::Write;
+        if let Err(e) = writeln!(std::io::stdout(), $($t)*) {
+            if e.kind() == std::io::ErrorKind::BrokenPipe {
+                std::process::exit(0);
+            }
+            panic!("stdout write failed: {e}");
+        }
+    }};
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: trace-tools <command> <trace.jsonl> [args]\n\
+         \n\
+         commands:\n\
+         \x20 validate <trace>      check every record against schema v1..={MAX_SCHEMA_VERSION}\n\
+         \x20 timeline <trace>      per-app EB/BW/CMR/IPC timeline as CSV (stdout)\n\
+         \x20 stalls <trace>        warp-stall breakdown and latency percentile tables\n\
+         \x20 cache <trace>         result-cache counter summary\n\
+         \x20 diff <a> <b>          compare two traces (kinds, windows, per-app means)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("validate") if args.len() == 2 => validate_cmd(&args[1]),
+        Some("timeline") if args.len() == 2 => timeline_cmd(&args[1]),
+        Some("stalls") if args.len() == 2 => stalls_cmd(&args[1]),
+        Some("cache") if args.len() == 2 => cache_cmd(&args[1]),
+        Some("diff") if args.len() == 3 => diff_cmd(&args[1], &args[2]),
+        _ => usage(),
+    }
+}
+
+fn read_trace(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+// ---------------------------------------------------------------------------
+// validate
+// ---------------------------------------------------------------------------
+
+fn validate_cmd(path: &str) -> ExitCode {
+    let text = match read_trace(path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let report = validate_trace(&text);
+    outln!("{path}: {} records", report.lines);
+    for (kind, n) in &report.by_kind {
+        outln!("  {kind:<18} {n}");
+    }
+    if report.is_ok() {
+        outln!("OK: every record matches docs/TRACE_SCHEMA.md");
+        ExitCode::SUCCESS
+    } else {
+        const CAP: usize = 20;
+        for (line, msg) in report.errors.iter().take(CAP) {
+            eprintln!("{path}:{line}: {msg}");
+        }
+        if report.errors.len() > CAP {
+            eprintln!("... and {} more errors", report.errors.len() - CAP);
+        }
+        eprintln!(
+            "INVALID: {} of {} records failed",
+            report.errors.len(),
+            report.lines
+        );
+        ExitCode::FAILURE
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared parsing helpers for the analysis modes
+// ---------------------------------------------------------------------------
+
+/// Parses every well-formed JSON object line; returns the records and the
+/// number of skipped (unparsable) lines.
+fn parse_records(text: &str) -> (Vec<Json>, u64) {
+    let mut records = Vec::new();
+    let mut skipped = 0;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse(line) {
+            Ok(v @ Json::Obj(_)) => records.push(v),
+            _ => skipped += 1,
+        }
+    }
+    (records, skipped)
+}
+
+fn kind_of(rec: &Json) -> &str {
+    rec.get("kind").and_then(Json::as_str).unwrap_or("")
+}
+
+fn num(rec: &Json, key: &str) -> f64 {
+    rec.get(key).and_then(Json::as_num).unwrap_or(f64::NAN)
+}
+
+fn int(rec: &Json, key: &str) -> u64 {
+    rec.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn warn_skipped(skipped: u64) {
+    if skipped > 0 {
+        eprintln!("warning: skipped {skipped} unparsable line(s)");
+    }
+}
+
+/// Rebuilds a histogram from its serialized object; `None` when the
+/// record is malformed or internally inconsistent.
+fn hist_of(rec: &Json, key: &str) -> Option<Histogram> {
+    let h = rec.get(key)?;
+    let buckets: Vec<u64> = h
+        .get("buckets")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_u64)
+        .collect::<Option<_>>()?;
+    Histogram::from_parts(
+        h.get("count")?.as_u64()?,
+        h.get("sum")?.as_u64()?,
+        h.get("min")?.as_u64()?,
+        h.get("max")?.as_u64()?,
+        &buckets,
+    )
+    .ok()
+}
+
+// ---------------------------------------------------------------------------
+// timeline
+// ---------------------------------------------------------------------------
+
+fn timeline_cmd(path: &str) -> ExitCode {
+    let text = match read_trace(path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let (records, skipped) = parse_records(&text);
+    outln!("cycle,app,eb,bw,cmr,ipc");
+    let mut rows = 0u64;
+    for rec in records.iter().filter(|r| kind_of(r) == "window_sample") {
+        outln!(
+            "{},{},{},{},{},{}",
+            int(rec, "cycle"),
+            int(rec, "app"),
+            fmt_num(num(rec, "eb")),
+            fmt_num(num(rec, "bw")),
+            fmt_num(num(rec, "cmr")),
+            fmt_num(num(rec, "ipc")),
+        );
+        rows += 1;
+    }
+    warn_skipped(skipped);
+    if rows == 0 {
+        eprintln!("warning: no window_sample records in {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// stalls
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct StallAccum {
+    mem: u64,
+    exec: u64,
+    barrier: u64,
+    tlp_capped: u64,
+    dram_lat: Histogram,
+    windows: u64,
+}
+
+fn stalls_cmd(path: &str) -> ExitCode {
+    let text = match read_trace(path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let (records, skipped) = parse_records(&text);
+    // Key: Some(app) per-app rows, None = machine-wide aggregate.
+    let mut acc: BTreeMap<Option<u64>, StallAccum> = BTreeMap::new();
+    let mut mshr_occ = Histogram::new();
+    let mut queue_depth = Histogram::new();
+    for rec in records.iter().filter(|r| kind_of(r) == "metrics_window") {
+        let app = rec.get("app").and_then(Json::as_u64);
+        let a = acc.entry(app).or_default();
+        if let Some(stalls) = rec.get("stalls") {
+            a.mem += int(stalls, "mem");
+            a.exec += int(stalls, "exec");
+            a.barrier += int(stalls, "barrier");
+            a.tlp_capped += int(stalls, "tlp_capped");
+        }
+        if let Some(h) = hist_of(rec, "dram_lat") {
+            a.dram_lat.merge(&h);
+        }
+        a.windows += 1;
+        if app.is_none() {
+            if let Some(h) = hist_of(rec, "mshr_occ") {
+                mshr_occ.merge(&h);
+            }
+            if let Some(h) = hist_of(rec, "queue_depth") {
+                queue_depth.merge(&h);
+            }
+        }
+    }
+    warn_skipped(skipped);
+    if acc.is_empty() {
+        eprintln!("warning: no metrics_window records in {path} (trace predates schema v3?)");
+        return ExitCode::SUCCESS;
+    }
+    outln!("warp-stall breakdown (warp-cycles, summed over windows)");
+    outln!(
+        "{:<6} {:>8} {:>14} {:>14} {:>14} {:>14}",
+        "app",
+        "windows",
+        "mem",
+        "exec",
+        "barrier",
+        "tlp_capped"
+    );
+    for (app, a) in &acc {
+        let label = app.map_or("all".to_string(), |x| x.to_string());
+        outln!(
+            "{label:<6} {:>8} {:>14} {:>14} {:>14} {:>14}",
+            a.windows,
+            a.mem,
+            a.exec,
+            a.barrier,
+            a.tlp_capped
+        );
+    }
+    outln!();
+    outln!("DRAM request latency (cycles, queue to data)");
+    outln!(
+        "{:<6} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "app",
+        "requests",
+        "mean",
+        "min",
+        "p50",
+        "p95",
+        "p99",
+        "max"
+    );
+    for (app, a) in &acc {
+        let label = app.map_or("all".to_string(), |x| x.to_string());
+        let h = &a.dram_lat;
+        outln!(
+            "{label:<6} {:>10} {:>10.1} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            h.count(),
+            h.mean(),
+            h.min(),
+            h.percentile(0.50),
+            h.percentile(0.95),
+            h.percentile(0.99),
+            h.max()
+        );
+    }
+    outln!();
+    outln!("machine-wide occupancy gauges (sampled once per window)");
+    outln!(
+        "{:<12} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "gauge",
+        "samples",
+        "mean",
+        "min",
+        "p50",
+        "p95",
+        "p99",
+        "max"
+    );
+    for (name, h) in [("l2_mshr", &mshr_occ), ("queue_depth", &queue_depth)] {
+        outln!(
+            "{name:<12} {:>10} {:>10.1} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            h.count(),
+            h.mean(),
+            h.min(),
+            h.percentile(0.50),
+            h.percentile(0.95),
+            h.percentile(0.99),
+            h.max()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// cache
+// ---------------------------------------------------------------------------
+
+fn cache_cmd(path: &str) -> ExitCode {
+    let text = match read_trace(path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let (records, skipped) = parse_records(&text);
+    warn_skipped(skipped);
+    // Counters are cumulative at emission time, so the last record wins.
+    let Some(rec) = records.iter().rev().find(|r| kind_of(r) == "cache_stats") else {
+        eprintln!("warning: no cache_stats records in {path}");
+        return ExitCode::SUCCESS;
+    };
+    let (hits, disk_hits, misses) = (int(rec, "hits"), int(rec, "disk_hits"), int(rec, "misses"));
+    let lookups = hits + misses;
+    outln!("result-cache counters (final snapshot)");
+    outln!("  hits       {hits} ({disk_hits} from disk)");
+    outln!("  misses     {misses}");
+    outln!("  bypasses   {}", int(rec, "bypasses"));
+    outln!("  stores     {}", int(rec, "stores"));
+    outln!("  verified   {}", int(rec, "verified"));
+    if lookups > 0 {
+        outln!("  hit rate   {:.1}%", 100.0 * hits as f64 / lookups as f64);
+    }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// diff
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct TraceSummary {
+    kinds: BTreeMap<String, u64>,
+    last_cycle: u64,
+    /// Per app: (windows, Σeb, Σipc).
+    apps: BTreeMap<u64, (u64, f64, f64)>,
+    tlp_decisions: u64,
+}
+
+fn summarize(records: &[Json]) -> TraceSummary {
+    let mut s = TraceSummary::default();
+    for rec in records {
+        let kind = kind_of(rec).to_string();
+        if kind.is_empty() {
+            continue;
+        }
+        *s.kinds.entry(kind.clone()).or_insert(0) += 1;
+        s.last_cycle = s.last_cycle.max(int(rec, "cycle"));
+        match kind.as_str() {
+            "window_sample" => {
+                let e = s.apps.entry(int(rec, "app")).or_insert((0, 0.0, 0.0));
+                e.0 += 1;
+                let (eb, ipc) = (num(rec, "eb"), num(rec, "ipc"));
+                if eb.is_finite() {
+                    e.1 += eb;
+                }
+                if ipc.is_finite() {
+                    e.2 += ipc;
+                }
+            }
+            "tlp_decision" => s.tlp_decisions += 1,
+            _ => {}
+        }
+    }
+    s
+}
+
+fn diff_cmd(path_a: &str, path_b: &str) -> ExitCode {
+    let (text_a, text_b) = match (read_trace(path_a), read_trace(path_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let (recs_a, skip_a) = parse_records(&text_a);
+    let (recs_b, skip_b) = parse_records(&text_b);
+    warn_skipped(skip_a + skip_b);
+    let (a, b) = (summarize(&recs_a), summarize(&recs_b));
+
+    outln!("{:<24} {:>14} {:>14} {:>14}", "metric", "A", "B", "delta");
+    outln!(
+        "{:<24} {:>14} {:>14} {:>14}",
+        "records",
+        recs_a.len(),
+        recs_b.len(),
+        recs_b.len() as i64 - recs_a.len() as i64
+    );
+    let mut all_kinds: Vec<&String> = a.kinds.keys().chain(b.kinds.keys()).collect();
+    all_kinds.sort();
+    all_kinds.dedup();
+    let mut identical = recs_a.len() == recs_b.len();
+    for kind in all_kinds {
+        let (na, nb) = (
+            a.kinds.get(kind).copied().unwrap_or(0),
+            b.kinds.get(kind).copied().unwrap_or(0),
+        );
+        if na != nb {
+            identical = false;
+        }
+        outln!(
+            "{:<24} {na:>14} {nb:>14} {:>14}",
+            format!("  {kind}"),
+            nb as i64 - na as i64
+        );
+    }
+    outln!(
+        "{:<24} {:>14} {:>14} {:>14}",
+        "last cycle",
+        a.last_cycle,
+        b.last_cycle,
+        b.last_cycle as i64 - a.last_cycle as i64
+    );
+    outln!(
+        "{:<24} {:>14} {:>14} {:>14}",
+        "tlp decisions",
+        a.tlp_decisions,
+        b.tlp_decisions,
+        b.tlp_decisions as i64 - a.tlp_decisions as i64
+    );
+    let mut apps: Vec<&u64> = a.apps.keys().chain(b.apps.keys()).collect();
+    apps.sort();
+    apps.dedup();
+    for app in apps {
+        let ma = a.apps.get(app).copied().unwrap_or((0, 0.0, 0.0));
+        let mb = b.apps.get(app).copied().unwrap_or((0, 0.0, 0.0));
+        let mean = |(n, sum, _): (u64, f64, f64)| if n > 0 { sum / n as f64 } else { f64::NAN };
+        let mean_ipc = |(n, _, sum): (u64, f64, f64)| if n > 0 { sum / n as f64 } else { f64::NAN };
+        let (ea, eb) = (mean(ma), mean(mb));
+        let (ia, ib) = (mean_ipc(ma), mean_ipc(mb));
+        if (ea - eb).abs() > 1e-12 || (ia - ib).abs() > 1e-12 {
+            identical = false;
+        }
+        outln!(
+            "{:<24} {:>14.4} {:>14.4} {:>+14.4}",
+            format!("app {app} mean EB"),
+            ea,
+            eb,
+            eb - ea
+        );
+        outln!(
+            "{:<24} {:>14.4} {:>14.4} {:>+14.4}",
+            format!("app {app} mean IPC"),
+            ia,
+            ib,
+            ib - ia
+        );
+    }
+    outln!();
+    if identical {
+        outln!("traces are equivalent under this summary");
+    } else {
+        outln!("traces differ");
+    }
+    ExitCode::SUCCESS
+}

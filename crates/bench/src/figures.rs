@@ -339,6 +339,7 @@ fn scheme_figure(
         .collect();
     let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     for w in workloads {
+        let _span = crate::profiler::span("sweep", &w.name());
         // One batch per workload: the baseline plus all six schemes fan out
         // across worker threads (results identical to serial evaluation).
         let mut batch = vec![Scheme::BestTlp];
@@ -354,9 +355,9 @@ fn scheme_figure(
         if representative.contains(&w.name()) {
             r.row(&w.name(), &vals);
         }
-        eprint!(".");
+        crate::logging::progress_dot();
     }
-    eprintln!();
+    crate::logging::progress_end();
     let gmeans: Vec<f64> = per_scheme.iter().map(|v| gmean(v)).collect();
     r.row("Gmean (all)", &gmeans);
     r
@@ -408,6 +409,7 @@ pub fn fig11_traced(ev: &mut Evaluator, sink: &mut dyn TraceSink) -> Report {
     let seed = ev.config().seed;
     let w = pair("BLK", "BFS");
     for objective in [EbObjective::Ws, EbObjective::Fi] {
+        let _span = crate::profiler::span("run", &format!("fig11_PBS-{objective}"));
         let scaling = if objective.wants_scaling() {
             ebm_core::policy::pbs::PbsScaling::Sampled
         } else {
@@ -576,7 +578,7 @@ pub fn sens_part(ev: &mut Evaluator) -> Report {
                 100.0 * (best_ws.1 / base_ws.max(1e-9) - 1.0),
             ],
         );
-        eprint!(".");
+        crate::logging::progress_dot();
     }
     r.blank();
 
@@ -607,9 +609,9 @@ pub fn sens_part(ev: &mut Evaluator) -> Report {
             &format!("{l2_kb} KB"),
             &[base_ws, opt_ws, 100.0 * (opt_ws / base_ws.max(1e-9) - 1.0)],
         );
-        eprint!(".");
+        crate::logging::progress_dot();
     }
-    eprintln!();
+    crate::logging::progress_end();
     r.line("shape goals: the opt gain persists across splits; smaller L2 slices");
     r.line("increase contention and the achievable gain.");
     r
@@ -692,9 +694,9 @@ pub fn threeapp(ev: &mut Evaluator) -> Report {
                 fi_of(&sd_pbs),
             ],
         );
-        eprint!(".");
+        crate::logging::progress_dot();
     }
-    eprintln!();
+    crate::logging::progress_end();
     r.line("shape goal: PBS-WS matches or beats ++bestTLP WS while improving FI,");
     r.line("with a search that still costs far fewer samples than the 512-combination");
     r.line("exhaustive space (§VI-D: PBS extends trivially to n applications).");
@@ -766,9 +768,9 @@ pub fn dram_policy(ev: &mut Evaluator) -> Report {
             &format!("{policy:?}"),
             &[base, opt_ws, 100.0 * (opt_ws / base.max(1e-9) - 1.0)],
         );
-        eprint!(".");
+        crate::logging::progress_dot();
     }
-    eprintln!();
+    crate::logging::progress_end();
     r.line("shape goals: closed page forfeits the streaming apps' row hits and");
     r.line("loses bandwidth (GUPS, already row-hostile, barely cares); the");
     r.line("bestTLP-vs-opt gap survives either policy.");
@@ -825,9 +827,9 @@ pub fn ccws(ev: &mut Evaluator) -> Report {
             .map(|s| ev.evaluate(&w, *s).metrics.ws / base)
             .collect();
         r.row(&w.name(), &vals);
-        eprint!(".");
+        crate::logging::progress_dot();
     }
-    eprintln!();
+    crate::logging::progress_end();
     r.line("shape goals: alone, CCWS recovers most of the bestTLP IPC for");
     r.line("cache-sensitive apps (its published premise); co-run, ++CCWS behaves");
     r.line("like the other co-run-oblivious baselines and trails PBS.");
@@ -891,10 +893,10 @@ pub fn sched(ev: &mut Evaluator) -> Report {
                 &format!("{} / {policy:?}", w.name()),
                 &[base, opt_ws, 100.0 * (opt_ws / base.max(1e-9) - 1.0)],
             );
-            eprint!(".");
+            crate::logging::progress_dot();
         }
     }
-    eprintln!();
+    crate::logging::progress_end();
     r.line("shape goal: the bestTLP-vs-opt gap and the EB mechanism are not");
     r.line("artifacts of GTO — LRR shows the same qualitative picture.");
     r
@@ -1007,9 +1009,9 @@ pub fn sampling(ev: &mut Evaluator) -> Report {
             row.push(ws / base);
         }
         r.row(&w.name(), &row);
-        eprint!(".");
+        crate::logging::progress_dot();
     }
-    eprintln!();
+    crate::logging::progress_end();
     r.line("shape goals: single-digit mean EB estimation error, and designated");
     r.line("sampling reproduces the exact-sampling PBS results — the §V-E");
     r.line("argument for the cheap hardware.");
@@ -1103,9 +1105,9 @@ pub fn phased(ev: &mut Evaluator) -> Report {
                 100.0 * (online / offline.max(1e-9) - 1.0),
             ],
         );
-        eprint!(".");
+        crate::logging::progress_dot();
     }
-    eprintln!();
+    crate::logging::progress_end();
     r.line("columns: raw ++bestTLP WS, then offline/online normalized to it.");
     r.line("shape goal: online PBS holds its own against (or beats) the offline");
     r.line("pick on phase-changing kernels, despite paying its search overhead —");
@@ -1192,9 +1194,9 @@ pub fn ablation(ev: &mut Evaluator) -> Report {
             row.push(ws / base);
         }
         r.row(&w.name(), &row);
-        eprint!(".");
+        crate::logging::progress_dot();
     }
-    eprintln!();
+    crate::logging::progress_end();
     r.line("shape goals: the paper configuration dominates; probing at maxTLP");
     r.line("overwhelms the machine during the sweep, skipping settle windows");
     r.line("corrupts samples with transients, and dropping the table pick leaves");

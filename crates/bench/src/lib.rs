@@ -11,9 +11,25 @@
 //! `cargo run -p ebm-bench --release --bin fig09`, or everything with
 //! `cargo run -p ebm-bench --release --bin experiments`.
 
+//!
+//! The crate also carries the campaign observability layer:
+//!
+//! * [`logging`] — the level-gated [`log!`](crate::log) macro behind the
+//!   `EBM_LOG` environment variable (`off` | `info` | `debug`);
+//! * [`profiler`] — hierarchical self-profiling spans (campaign → figure →
+//!   sweep → run) written to `PROFILE.json` and, in traced runs, emitted as
+//!   `profile_span` trace events;
+//! * [`json`] / [`schema`] — a std-only JSON parser and the strict trace
+//!   validator behind the `trace-tools` binary
+//!   (`cargo run -p ebm-bench --release --bin trace-tools -- validate <trace>`).
+
 #![deny(missing_docs)]
 
 pub mod figures;
+pub mod json;
+pub mod logging;
+pub mod profiler;
+pub mod schema;
 pub mod util;
 
 pub use util::{out_path, run_and_save, set_out_dir, BenchArgs, Report};

@@ -1,0 +1,106 @@
+//! Level-gated stderr logging for the campaign binaries.
+//!
+//! Replaces the scattered bare `eprintln!` status lines: every message goes
+//! through the [`log!`](crate::log) macro with a level, and the `EBM_LOG`
+//! environment variable (`off` | `info` | `debug`, default `info`) decides
+//! what reaches stderr.  Quiet CI runs (`EBM_LOG=off`) and verbose
+//! debugging (`EBM_LOG=debug`) are both one env var away.
+//!
+//! Fatal usage/I/O errors keep using `eprintln!` directly — they must be
+//! visible even under `EBM_LOG=off`.
+
+use std::sync::OnceLock;
+
+/// Verbosity of a log message (and of the `EBM_LOG` threshold).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Nothing is printed.
+    Off = 0,
+    /// Campaign progress lines (the default).
+    Info = 1,
+    /// Per-sweep/per-run detail.
+    Debug = 2,
+}
+
+impl LogLevel {
+    fn parse(s: &str) -> Option<LogLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" | "quiet" => Some(LogLevel::Off),
+            "info" | "1" => Some(LogLevel::Info),
+            "debug" | "2" | "verbose" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// The process-wide threshold, parsed from `EBM_LOG` once on first use.
+/// Unknown values fall back to `info` (never silently to `off`: losing
+/// progress output is worse than seeing it).
+pub fn level() -> LogLevel {
+    static LEVEL: OnceLock<LogLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        std::env::var("EBM_LOG")
+            .ok()
+            .and_then(|v| LogLevel::parse(&v))
+            .unwrap_or(LogLevel::Info)
+    })
+}
+
+/// Whether messages at `lvl` should be printed.
+pub fn enabled(lvl: LogLevel) -> bool {
+    lvl <= level() && level() != LogLevel::Off && lvl != LogLevel::Off
+}
+
+/// Prints one progress dot (no newline) at `info` level — the campaign
+/// sweep loops' heartbeat.
+pub fn progress_dot() {
+    if enabled(LogLevel::Info) {
+        eprint!(".");
+    }
+}
+
+/// Ends a progress-dot line at `info` level.
+pub fn progress_end() {
+    if enabled(LogLevel::Info) {
+        eprintln!();
+    }
+}
+
+/// Logs a formatted message to stderr, gated on `EBM_LOG`.
+///
+/// ```
+/// ebm_bench::log!(info, "campaign completed in {:.1}s", 12.5);
+/// ebm_bench::log!(debug, "sweep point {}", 3);
+/// ```
+#[macro_export]
+macro_rules! log {
+    (info, $($arg:tt)*) => {
+        if $crate::logging::enabled($crate::logging::LogLevel::Info) {
+            eprintln!($($arg)*);
+        }
+    };
+    (debug, $($arg:tt)*) => {
+        if $crate::logging::enabled($crate::logging::LogLevel::Debug) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_documented_values() {
+        assert_eq!(LogLevel::parse("off"), Some(LogLevel::Off));
+        assert_eq!(LogLevel::parse("INFO"), Some(LogLevel::Info));
+        assert_eq!(LogLevel::parse(" debug "), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("nope"), None);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(LogLevel::Off < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+    }
+}

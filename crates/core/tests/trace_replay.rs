@@ -57,13 +57,67 @@ fn capture_contains_all_event_kinds() {
         kinds,
         vec![
             "core_window",
+            "metrics_window",
             "partition_window",
             "search_phase",
             "tlp_decision",
             "window_sample"
         ],
-        "a PBS run must exercise every schema event kind"
+        "a PBS run must exercise every simulation-emitted event kind"
     );
+}
+
+#[test]
+fn metrics_windows_attribute_per_app_and_aggregate() {
+    let mut ring = RingSink::new(1 << 16);
+    let run = traced_pbs_run(&mut ring);
+    let windows: Vec<_> = ring
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::MetricsWindow {
+                app,
+                stalls,
+                dram_lat,
+                mshr_occ,
+                queue_depth,
+                ..
+            } => Some((app, stalls, dram_lat, mshr_occ, queue_depth)),
+            _ => None,
+        })
+        .collect();
+    // One record per app plus one machine-wide aggregate, every window.
+    assert_eq!(windows.len() as u64, run.n_windows * 3);
+    let mut stall_sum = 0u64;
+    let mut agg_sum = 0u64;
+    let mut lat_count = 0u64;
+    let mut agg_lat_count = 0u64;
+    for (app, stalls, dram_lat, mshr_occ, queue_depth) in windows {
+        match app {
+            Some(_) => {
+                stall_sum += stalls.total();
+                lat_count += dram_lat.count();
+                assert!(
+                    mshr_occ.is_empty() && queue_depth.is_empty(),
+                    "occupancy gauges are machine-wide only"
+                );
+            }
+            None => {
+                agg_sum += stalls.total();
+                agg_lat_count += dram_lat.count();
+                assert!(!mshr_occ.is_empty(), "aggregate must carry MSHR samples");
+                assert!(
+                    !queue_depth.is_empty(),
+                    "aggregate must carry queue samples"
+                );
+            }
+        }
+        assert_eq!(stalls.barrier, 0, "no barrier instruction in the ISA");
+    }
+    assert!(stall_sum > 0, "a memory-bound run must record stalls");
+    assert_eq!(stall_sum, agg_sum, "aggregate = sum of per-app stalls");
+    assert!(lat_count > 0, "DRAM latency must be recorded");
+    assert_eq!(lat_count, agg_lat_count);
 }
 
 #[test]

@@ -247,6 +247,11 @@ impl Cache {
         self.mshr.len()
     }
 
+    /// MSHR occupancy as a `(used, capacity)` pair, for the metrics layer.
+    pub fn mshr_occupancy(&self) -> (usize, usize) {
+        self.mshr.occupancy()
+    }
+
     /// Per-application counters (zero for apps never seen).
     pub fn counters(&self, app: AppId) -> CacheCounters {
         self.counters.get(app.index()).copied().unwrap_or_default()

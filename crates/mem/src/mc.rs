@@ -13,7 +13,7 @@
 
 use crate::dram::DramChannel;
 use crate::req::{AccessKind, MemRequest};
-use gpu_types::{AppId, LINE_SIZE};
+use gpu_types::{AppId, Histogram, LINE_SIZE};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
@@ -58,6 +58,9 @@ struct Queued {
     req: MemRequest,
     bank: usize,
     row: u64,
+    /// Arrival cycle, recorded so the metrics layer can attribute the full
+    /// queue-to-data latency (`done_at - at`) when the request is issued.
+    at: u64,
 }
 
 /// An FR-FCFS controller fronting one [`DramChannel`].
@@ -68,6 +71,10 @@ pub struct MemoryController {
     in_flight: BinaryHeap<Reverse<InFlight>>,
     seq: u64,
     counters: Vec<McCounters>,
+    /// When true, per-app request-latency histograms are recorded at issue
+    /// time; off by default so the hot path stays within noise.
+    metrics: bool,
+    latency: Vec<Histogram>,
 }
 
 impl MemoryController {
@@ -84,7 +91,16 @@ impl MemoryController {
             in_flight: BinaryHeap::new(),
             seq: 0,
             counters: Vec::new(),
+            metrics: false,
+            latency: Vec::new(),
         }
+    }
+
+    /// Enables or disables request-latency recording.  Gated exactly like
+    /// `TraceSink::enabled()`: when off (the default), the only cost on
+    /// the hot path is one untaken branch per issue.
+    pub fn set_metrics_enabled(&mut self, on: bool) {
+        self.metrics = on;
     }
 
     /// True when another request can be enqueued.
@@ -92,13 +108,18 @@ impl MemoryController {
         self.queue.len() < self.capacity
     }
 
-    /// Enqueues a request. The bank/row decode happens once here so the
-    /// per-cycle FR-FCFS scan is division-free.
+    /// Enqueues a request arriving at cycle `now`. The bank/row decode
+    /// happens once here so the per-cycle FR-FCFS scan is division-free.
     ///
     /// # Errors
     ///
     /// Returns the request back when the queue is full.
-    pub fn push_with(&mut self, req: MemRequest, dram: &DramChannel) -> Result<(), MemRequest> {
+    pub fn push_with(
+        &mut self,
+        req: MemRequest,
+        dram: &DramChannel,
+        now: u64,
+    ) -> Result<(), MemRequest> {
         if !self.can_accept() {
             return Err(req);
         }
@@ -106,6 +127,7 @@ impl MemoryController {
             req,
             bank: dram.bank_of(req.addr),
             row: dram.row_of(req.addr),
+            at: now,
         });
         Ok(())
     }
@@ -139,6 +161,13 @@ impl MemoryController {
             let q = self.queue.remove(i).expect("index from position");
             let req = q.req;
             let svc = dram.service_at(q.bank, q.row, now);
+            if self.metrics {
+                let app = req.app.index();
+                if self.latency.len() <= app {
+                    self.latency.resize(app + 1, Histogram::new());
+                }
+                self.latency[app].record(svc.done_at.saturating_sub(q.at));
+            }
             let c = self.counters_mut(req.app);
             c.dram_bytes += LINE_SIZE;
             if svc.row_hit {
@@ -186,6 +215,16 @@ impl MemoryController {
     /// Per-application counters (zero for apps never seen).
     pub fn counters(&self, app: AppId) -> McCounters {
         self.counters.get(app.index()).copied().unwrap_or_default()
+    }
+
+    /// Returns and resets the queue-to-data latency histogram accumulated
+    /// for `app` since the last take (empty unless metrics recording is
+    /// enabled via [`MemoryController::set_metrics_enabled`]).
+    pub fn take_latency(&mut self, app: AppId) -> Histogram {
+        self.latency
+            .get_mut(app.index())
+            .map(Histogram::take)
+            .unwrap_or_default()
     }
 
     /// Requests waiting to be issued.
@@ -259,7 +298,7 @@ mod tests {
     fn single_load_round_trips() {
         let mut mc = MemoryController::new(8);
         let mut ch = dram();
-        mc.push_with(load(1, 0), &ch).unwrap();
+        mc.push_with(load(1, 0), &ch, 0).unwrap();
         let done = run_until_idle(&mut mc, &mut ch);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].1.id, ReqId(1));
@@ -274,7 +313,7 @@ mod tests {
         let mut ch = dram();
         let mut st = load(1, 0);
         st.kind = AccessKind::Store;
-        mc.push_with(st, &ch).unwrap();
+        mc.push_with(st, &ch, 0).unwrap();
         let done = run_until_idle(&mut mc, &mut ch);
         assert!(done.is_empty());
         assert_eq!(mc.counters(AppId::new(0)).dram_bytes, LINE_SIZE);
@@ -286,7 +325,7 @@ mod tests {
         let mut ch = dram();
         // Open bank 0 row 0 (chunks 0..4 are row 0 of bank 0; with 8 banks
         // and 4 chunks per row, chunk 32 is bank 0 row 1).
-        mc.push_with(load(1, 0), &ch).unwrap();
+        mc.push_with(load(1, 0), &ch, 0).unwrap();
         let mut now = 0;
         let mut done = Vec::new();
         while done.is_empty() {
@@ -296,8 +335,8 @@ mod tests {
         }
         // Enqueue an older row-conflict (bank 0 row 1) and a younger row-hit
         // (bank 0 row 0) on the same, now-free bank.
-        mc.push_with(load(2, 32), &ch).unwrap();
-        mc.push_with(load(3, 1), &ch).unwrap();
+        mc.push_with(load(2, 32), &ch, now).unwrap();
+        mc.push_with(load(3, 1), &ch, now).unwrap();
         let mut order = Vec::new();
         while !mc.is_idle() {
             order.extend(mc.step(now, &mut ch).into_iter().map(|r| r.id));
@@ -318,20 +357,20 @@ mod tests {
     fn queue_capacity_backpressures() {
         let mut mc = MemoryController::new(2);
         let ch = dram();
-        mc.push_with(load(1, 0), &ch).unwrap();
-        mc.push_with(load(2, 1), &ch).unwrap();
+        mc.push_with(load(1, 0), &ch, 0).unwrap();
+        mc.push_with(load(2, 1), &ch, 0).unwrap();
         assert!(!mc.can_accept());
-        assert!(mc.push_with(load(3, 2), &ch).is_err());
+        assert!(mc.push_with(load(3, 2), &ch, 0).is_err());
     }
 
     #[test]
     fn per_app_bandwidth_attribution() {
         let mut mc = MemoryController::new(8);
         let mut ch = dram();
-        mc.push_with(load(1, 0), &ch).unwrap();
+        mc.push_with(load(1, 0), &ch, 0).unwrap();
         let mut r2 = load(2, 100);
         r2.app = AppId::new(1);
-        mc.push_with(r2, &ch).unwrap();
+        mc.push_with(r2, &ch, 0).unwrap();
         run_until_idle(&mut mc, &mut ch);
         assert_eq!(mc.counters(AppId::new(0)).dram_bytes, LINE_SIZE);
         assert_eq!(mc.counters(AppId::new(1)).dram_bytes, LINE_SIZE);
@@ -342,12 +381,33 @@ mod tests {
         let mut mc = MemoryController::new(16);
         let mut ch = dram();
         for i in 0..8 {
-            mc.push_with(load(i, i / 2), &ch).unwrap(); // 2 lines per chunk; one row
+            mc.push_with(load(i, i / 2), &ch, 0).unwrap(); // 2 lines per chunk; one row
         }
         let done = run_until_idle(&mut mc, &mut ch);
         assert_eq!(done.len(), 8);
         // Same row, same bank: FR-FCFS serves them oldest-first.
         let ids: Vec<u64> = done.iter().map(|(_, r)| r.id.0).collect();
         assert_eq!(ids, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn latency_histogram_gated_and_taken() {
+        let mut mc = MemoryController::new(8);
+        let mut ch = dram();
+        // Disabled (default): nothing recorded.
+        mc.push_with(load(1, 0), &ch, 0).unwrap();
+        run_until_idle(&mut mc, &mut ch);
+        assert!(mc.take_latency(AppId::new(0)).is_empty());
+        // Enabled: both loads and stores are attributed, and take() resets.
+        mc.set_metrics_enabled(true);
+        mc.push_with(load(2, 0), &ch, 0).unwrap();
+        let mut st = load(3, 1);
+        st.kind = AccessKind::Store;
+        mc.push_with(st, &ch, 0).unwrap();
+        run_until_idle(&mut mc, &mut ch);
+        let h = mc.take_latency(AppId::new(0));
+        assert_eq!(h.count(), 2);
+        assert!(h.min() > 0, "queue-to-data latency must be positive");
+        assert!(mc.take_latency(AppId::new(0)).is_empty());
     }
 }

@@ -123,6 +123,13 @@ impl MshrTable {
     pub fn free_entries(&self) -> usize {
         self.max_entries - self.entries.len()
     }
+
+    /// Occupied entries out of total capacity, as a `(used, capacity)`
+    /// pair — what the observability layer samples into its MSHR-occupancy
+    /// histogram at window rollover.
+    pub fn occupancy(&self) -> (usize, usize) {
+        (self.entries.len(), self.max_entries)
+    }
 }
 
 #[cfg(test)]

@@ -180,7 +180,7 @@ impl MemoryPartition {
                     if self.mc.can_accept() {
                         self.ingress.pop_front();
                         self.mc
-                            .push_with(req, &self.dram)
+                            .push_with(req, &self.dram, now)
                             .expect("can_accept checked");
                     }
                 }
@@ -199,7 +199,7 @@ impl MemoryPartition {
                             }));
                         } else {
                             self.mc
-                                .push_with(req, &self.dram)
+                                .push_with(req, &self.dram, now)
                                 .expect("can_accept checked");
                         }
                     }
@@ -221,7 +221,7 @@ impl MemoryPartition {
                             Lookup::MissToLower => {
                                 self.missed.insert(req.id, req);
                                 self.mc
-                                    .push_with(req, &self.dram)
+                                    .push_with(req, &self.dram, now)
                                     .expect("can_accept checked");
                             }
                             Lookup::MissMerged => {
@@ -257,6 +257,24 @@ impl MemoryPartition {
         } else {
             Some(next)
         }
+    }
+
+    /// Enables or disables metrics recording in the memory controller
+    /// (request-latency histograms); off by default.
+    pub fn set_metrics_enabled(&mut self, on: bool) {
+        self.mc.set_metrics_enabled(on);
+    }
+
+    /// Returns and resets the DRAM queue-to-data latency histogram for
+    /// `app` (empty unless metrics recording is enabled).
+    pub fn take_dram_latency(&mut self, app: AppId) -> gpu_types::Histogram {
+        self.mc.take_latency(app)
+    }
+
+    /// L2 MSHR occupancy as a `(used, capacity)` pair, sampled by the
+    /// metrics layer at window rollover.
+    pub fn l2_mshr_occupancy(&self) -> (usize, usize) {
+        self.l2.mshr_occupancy()
     }
 
     /// Per-application counters (L2 + DRAM side).

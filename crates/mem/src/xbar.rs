@@ -29,6 +29,10 @@ pub struct Crossbar<T> {
     /// [`Crossbar::is_empty`] and the engine's idle-skip check are O(1)
     /// instead of an O(n_inputs) scan.
     buffered: usize,
+    /// High-water mark of `buffered` since the last
+    /// [`Crossbar::take_peak_in_flight`] — one compare per push, cheap
+    /// enough to track unconditionally.
+    peak_buffered: usize,
     /// Arbitration scratch ("this input already sent a flit this cycle"),
     /// kept as a member so [`Crossbar::step_with`] allocates nothing.
     input_used: Vec<bool>,
@@ -62,6 +66,7 @@ impl<T> Crossbar<T> {
             queue_capacity,
             rr: vec![0; n_outputs],
             buffered: 0,
+            peak_buffered: 0,
             input_used: vec![false; n_inputs],
         }
     }
@@ -92,6 +97,9 @@ impl<T> Crossbar<T> {
             payload,
         });
         self.buffered += 1;
+        if self.buffered > self.peak_buffered {
+            self.peak_buffered = self.buffered;
+        }
         Ok(())
     }
 
@@ -230,6 +238,13 @@ impl<T> Crossbar<T> {
         );
         self.buffered == 0
     }
+
+    /// Returns the high-water mark of buffered flits since the last call
+    /// and re-arms it at the current depth — the metrics layer reads this
+    /// once per sampling window as a queue-depth sample.
+    pub fn take_peak_in_flight(&mut self) -> usize {
+        std::mem::replace(&mut self.peak_buffered, self.buffered)
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +266,18 @@ mod tests {
         let mut x: Crossbar<u32> = Crossbar::new(1, 1, 0, 1, 4);
         x.push(0, 0, 7, 5).unwrap();
         assert_eq!(x.step(5), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn peak_in_flight_tracks_high_water_mark() {
+        let mut x: Crossbar<u32> = Crossbar::new(2, 2, 3, 1, 4);
+        x.push(0, 0, 1, 0).unwrap();
+        x.push(1, 1, 2, 0).unwrap();
+        x.step(3); // drains both
+        assert!(x.is_empty());
+        assert_eq!(x.take_peak_in_flight(), 2);
+        // Re-armed at the current (empty) depth.
+        assert_eq!(x.take_peak_in_flight(), 0);
     }
 
     #[test]

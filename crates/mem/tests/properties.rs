@@ -229,7 +229,7 @@ fn controller_conserves_loads() {
         let mut now = 0u64;
         while done.len() < total {
             if let Some(req) = pending.first().copied() {
-                if mc.push_with(req, &ch).is_ok() {
+                if mc.push_with(req, &ch, now).is_ok() {
                     pending.remove(0);
                 }
             }

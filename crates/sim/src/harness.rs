@@ -2,6 +2,7 @@
 
 use crate::control::{AppObservation, Controller, Decision, Observation};
 use crate::machine::{Gpu, PartitionTelemetry};
+use crate::metrics::MetricsRegistry;
 use crate::trace::{NullSink, StallBreakdown, TraceEvent, TraceSink};
 use gpu_simt::CoreStats;
 use gpu_types::canon::{Canon, CanonBuf, CanonReader};
@@ -361,7 +362,16 @@ pub fn run_controlled_traced<S: TraceSink + ?Sized>(
     let mut n_windows = 0;
     let mut window_series = Vec::new();
     // Telemetry baselines exist only when tracing is on; with a `NullSink`
-    // the whole tracing path is dead code.
+    // the whole tracing path is dead code.  The metrics registry rides the
+    // same gate: an enabled sink turns on machine-wide metrics recording
+    // (stall breakdowns, latency histograms) for the duration of the run.
+    let metrics_before = gpu.metrics_enabled();
+    let mut registry = if sink.enabled() {
+        gpu.set_metrics_enabled(true);
+        Some(MetricsRegistry::new())
+    } else {
+        None
+    };
     let mut trace_state = if sink.enabled() {
         Some(TraceState::capture(gpu))
     } else {
@@ -402,6 +412,9 @@ pub fn run_controlled_traced<S: TraceSink + ?Sized>(
                     });
                 }
                 ts.emit_window(gpu, sink);
+            }
+            if let Some(reg) = registry.as_mut() {
+                reg.rollover(gpu, sink);
             }
             let obs_core: Vec<CoreStats> = win_core
                 .iter()
@@ -483,6 +496,7 @@ pub fn run_controlled_traced<S: TraceSink + ?Sized>(
 
     if trace_state.is_some() {
         sink.flush();
+        gpu.set_metrics_enabled(metrics_before);
     }
     let start = measure_start.unwrap_or_else(|| snapshot_all(gpu));
     let final_counters = snapshot_all(gpu);

@@ -44,5 +44,5 @@ pub use harness::{
     FixedRunInputs, RunSpec,
 };
 pub use machine::Gpu;
-pub use metrics::{fi_of, hs_of, ws_of, SystemMetrics};
+pub use metrics::{fi_of, hs_of, ws_of, MetricsRegistry, SystemMetrics};
 pub use trace::{JsonlSink, NullSink, RingSink, TraceEvent, TraceSink};

@@ -2,8 +2,10 @@
 
 use gpu_mem::req::MemRequest;
 use gpu_mem::{Crossbar, MemoryPartition};
-use gpu_simt::{CoreStats, SimtCore};
-use gpu_types::{AppId, CoreId, GpuConfig, MemCounters, PartitionId, TlpCombo, TlpLevel};
+use gpu_simt::{CoreStats, SimtCore, WarpStalls};
+use gpu_types::{
+    AppId, CoreId, GpuConfig, Histogram, MemCounters, PartitionId, TlpCombo, TlpLevel,
+};
 use gpu_workloads::AppProfile;
 use std::collections::VecDeque;
 
@@ -44,6 +46,9 @@ pub struct Gpu {
     stepped_cycles: u64,
     /// Cycles advanced by quiescence fast-forwarding.
     skipped_cycles: u64,
+    /// Whether metrics recording is enabled machine-wide (mirrors the
+    /// per-component flags; see [`Gpu::set_metrics_enabled`]).
+    metrics: bool,
 }
 
 /// Cycle-advance accounting of the engine, exported for the `perf_smoke`
@@ -161,6 +166,7 @@ impl Gpu {
             reference_mode: false,
             stepped_cycles: 0,
             skipped_cycles: 0,
+            metrics: false,
         }
     }
 
@@ -486,6 +492,7 @@ impl Gpu {
     /// fast-forwarded to the next event time; `now`, statistics and traced
     /// output advance exactly as if every cycle had been stepped.
     pub fn run(&mut self, cycles: u64) {
+        crate::metrics::add_cycles_simulated(cycles);
         if self.reference_mode {
             for _ in 0..cycles {
                 self.step_reference();
@@ -511,6 +518,64 @@ impl Gpu {
     /// every cycle.
     pub fn set_reference_engine(&mut self, on: bool) {
         self.reference_mode = on;
+    }
+
+    /// Enables or disables metrics recording machine-wide (per-warp stall
+    /// breakdowns in every core, DRAM request-latency histograms in every
+    /// memory controller).  Purely an accounting switch, gated exactly
+    /// like `TraceSink::enabled()`: toggling it never changes simulation
+    /// results, and when off (the default) the hot path pays only one
+    /// untaken branch per step.
+    pub fn set_metrics_enabled(&mut self, on: bool) {
+        self.metrics = on;
+        for core in &mut self.cores {
+            core.set_metrics_enabled(on);
+        }
+        for p in &mut self.partitions {
+            p.set_metrics_enabled(on);
+        }
+    }
+
+    /// Whether metrics recording is currently enabled.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics
+    }
+
+    /// Returns and resets `app`'s per-warp stall breakdown, merged over
+    /// its cores (all zero unless metrics recording is enabled).
+    pub fn take_warp_stalls(&mut self, app: AppId) -> WarpStalls {
+        let mut total = WarpStalls::default();
+        for &ci in &self.app_cores[app.index()] {
+            total.merge(&self.cores[ci].take_warp_stalls());
+        }
+        total
+    }
+
+    /// Returns and resets `app`'s DRAM queue-to-data latency histogram,
+    /// merged over every memory partition (empty unless metrics recording
+    /// is enabled).
+    pub fn take_dram_latency(&mut self, app: AppId) -> Histogram {
+        let mut total = Histogram::new();
+        for p in &mut self.partitions {
+            total.merge(&p.take_dram_latency(app));
+        }
+        total
+    }
+
+    /// Samples machine-wide occupancy gauges into the given histograms:
+    /// one L2-MSHR occupancy sample per partition, one queue-depth sample
+    /// per partition (L2 ingress + controller queue), and the since-last-
+    /// sample peak in-flight depth of each crossbar.  Called by the
+    /// metrics registry at window rollover; the crossbar peaks are
+    /// re-armed as a side effect (invisible to the simulation).
+    pub fn sample_occupancy(&mut self, mshr_occ: &mut Histogram, queue_depth: &mut Histogram) {
+        for p in &self.partitions {
+            let (used, _cap) = p.l2_mshr_occupancy();
+            mshr_occ.record(used as u64);
+            queue_depth.record(p.queue_depth() as u64);
+        }
+        queue_depth.record(self.req_net.take_peak_in_flight() as u64);
+        queue_depth.record(self.resp_net.take_peak_in_flight() as u64);
     }
 
     /// Cycle-advance accounting: how many cycles were stepped versus

@@ -129,6 +129,89 @@ pub fn gmean(values: &[f64]) -> f64 {
     (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
 }
 
+// ---------------------------------------------------------------------------
+// Machine-wide metrics registry (observability layer)
+// ---------------------------------------------------------------------------
+
+pub use gpu_simt::WarpStalls;
+pub use gpu_types::{Histogram, HIST_BUCKETS};
+
+use crate::machine::Gpu;
+use crate::trace::{TraceEvent, TraceSink};
+use gpu_types::AppId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of simulated cycles, across every [`Gpu`] instance
+/// and worker thread.  The bench self-profiler diffs this around each
+/// span to attribute simulation work to campaign phases.
+static CYCLES_SIMULATED: AtomicU64 = AtomicU64::new(0);
+
+/// Adds `n` to the process-wide simulated-cycle counter (called by
+/// [`Gpu::run`]; standalone `Gpu::step` loops are not counted).
+pub fn add_cycles_simulated(n: u64) {
+    CYCLES_SIMULATED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total cycles simulated by this process so far.
+pub fn cycles_simulated() -> u64 {
+    CYCLES_SIMULATED.load(Ordering::Relaxed)
+}
+
+/// Collects the machine-wide metrics recorded by an instrumented [`Gpu`]
+/// (per-warp stall breakdowns, DRAM request-latency histograms, MSHR /
+/// queue-depth occupancy gauges) and snapshots them into
+/// [`TraceEvent::MetricsWindow`] events at every sampling-window rollover.
+///
+/// Created by `run_controlled_traced` only when the sink is enabled, so a
+/// disabled trace pays nothing.  Counters use take-and-reset semantics:
+/// every window's events carry only that window's samples.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    mshr_occ: Histogram,
+    queue_depth: Histogram,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshots one sampling window: takes every app's stall breakdown
+    /// and DRAM latency histogram, samples the machine-wide occupancy
+    /// gauges, and emits one per-app [`TraceEvent::MetricsWindow`] per
+    /// application plus one machine-wide aggregate event (`app: None`).
+    pub fn rollover<S: TraceSink + ?Sized>(&mut self, gpu: &mut Gpu, sink: &mut S) {
+        let cycle = gpu.now();
+        gpu.sample_occupancy(&mut self.mshr_occ, &mut self.queue_depth);
+        let mut all_stalls = WarpStalls::default();
+        let mut all_lat = Histogram::new();
+        for a in 0..gpu.n_apps() {
+            let app = AppId::new(a as u8);
+            let stalls = gpu.take_warp_stalls(app);
+            let dram_lat = gpu.take_dram_latency(app);
+            all_stalls.merge(&stalls);
+            all_lat.merge(&dram_lat);
+            sink.emit(TraceEvent::MetricsWindow {
+                cycle,
+                app: Some(a as u8),
+                stalls,
+                dram_lat,
+                mshr_occ: Histogram::new(),
+                queue_depth: Histogram::new(),
+            });
+        }
+        sink.emit(TraceEvent::MetricsWindow {
+            cycle,
+            app: None,
+            stalls: all_stalls,
+            dram_lat: all_lat,
+            mshr_occ: self.mshr_occ.take(),
+            queue_depth: self.queue_depth.take(),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

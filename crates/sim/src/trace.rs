@@ -43,6 +43,8 @@
 //! assert_eq!(series.len() as u64, run.n_windows);
 //! ```
 
+use gpu_simt::WarpStalls;
+use gpu_types::Histogram;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -54,8 +56,10 @@ use std::path::{Path, PathBuf};
 /// `docs/TRACE_SCHEMA.md` — the schema document is the contract consumers
 /// parse against.
 ///
-/// History: v2 added the `cache_stats` event (result-cache counters).
-pub const TRACE_SCHEMA_VERSION: u32 = 2;
+/// History: v2 added the `cache_stats` event (result-cache counters);
+/// v3 added the `metrics_window` (metrics-registry snapshots) and
+/// `profile_span` (bench self-profiler) events.
+pub const TRACE_SCHEMA_VERSION: u32 = 3;
 
 /// Per-core stall breakdown of one sampling window (fractions of the
 /// window's cycles; the remainder is issue cycles).
@@ -74,6 +78,12 @@ pub struct StallBreakdown {
 /// Every variant carries the cycle at which it was recorded; the remaining
 /// fields are documented in `docs/TRACE_SCHEMA.md` (the serialization
 /// contract).
+// `MetricsWindow` carries three fixed-size histograms (~300 B each), which
+// dwarfs the other variants. Events are transient — constructed only when a
+// sink is enabled, serialized or ring-buffered in the thousands — so the
+// per-event footprint is irrelevant and boxing would only add indirection
+// to every emit site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
     /// One application's sampling-window observation — the quantities the
@@ -168,6 +178,51 @@ pub enum TraceEvent {
         /// Hits re-simulated and checked bit-identical by verify mode.
         verified: u64,
     },
+    /// One sampling window's metrics-registry snapshot (`gpu_sim::metrics`):
+    /// per-warp stall breakdown, DRAM request-latency histogram, and — on
+    /// the machine-wide aggregate record only — the MSHR-occupancy and
+    /// queue-depth gauges sampled at rollover.
+    MetricsWindow {
+        /// Window-end cycle.
+        cycle: u64,
+        /// Application index, or `None` for the machine-wide aggregate
+        /// record (serialized as JSON `null`).
+        app: Option<u8>,
+        /// Per-warp stall-reason breakdown over the window (warp-cycles).
+        stalls: WarpStalls,
+        /// DRAM queue-to-data request latency over the window (cycles).
+        dram_lat: Histogram,
+        /// L2-MSHR occupancy samples (one per partition per window; empty
+        /// on per-app records — occupancy is not app-attributable).
+        mshr_occ: Histogram,
+        /// Queue-depth samples (partition queues and crossbar peaks; empty
+        /// on per-app records).
+        queue_depth: Histogram,
+    },
+    /// One bench self-profiler span (campaign → figure → sweep → run),
+    /// emitted when a traced campaign finishes so the trace records where
+    /// wall time and simulated cycles went.
+    ProfileSpan {
+        /// Always 0: profiling spans live outside simulated time.
+        cycle: u64,
+        /// Span level: `"campaign"`, `"figure"`, `"sweep"` or `"run"`.
+        level: String,
+        /// Human-readable span name (e.g. `"fig09"`).
+        name: String,
+        /// Nesting depth (campaign = 0).
+        depth: u32,
+        /// Wall-clock seconds spent in the span.
+        wall_s: f64,
+        /// Simulated cycles attributed to the span (process-wide counter
+        /// delta, so parallel sweeps attribute work from every thread).
+        cycles: u64,
+        /// Result-cache hits during the span.
+        cache_hits: u64,
+        /// Result-cache misses (simulations executed) during the span.
+        cache_misses: u64,
+        /// Worker threads available to the span (`gpu_sim::exec`).
+        workers: u32,
+    },
 }
 
 /// Formats a float as a JSON number (`null` for non-finite values, which
@@ -178,6 +233,29 @@ fn push_f64(out: &mut String, v: f64) {
     } else {
         out.push_str("null");
     }
+}
+
+/// Serializes a [`Histogram`] as the schema's histogram object:
+/// `{"count":..,"sum":..,"min":..,"max":..,"buckets":[..]}` with trailing
+/// zero buckets trimmed (an empty histogram has `"buckets":[]`).
+fn push_hist(out: &mut String, h: &Histogram) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+        h.count(),
+        h.sum(),
+        h.min(),
+        h.max()
+    );
+    let buckets = h.buckets();
+    let last = buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+    for (i, b) in buckets[..last].iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{b}");
+    }
+    out.push_str("]}");
 }
 
 /// Minimal JSON string escaping (controller names are ASCII, but the schema
@@ -207,6 +285,8 @@ impl TraceEvent {
             TraceEvent::PartitionWindow { .. } => "partition_window",
             TraceEvent::CoreWindow { .. } => "core_window",
             TraceEvent::CacheStats { .. } => "cache_stats",
+            TraceEvent::MetricsWindow { .. } => "metrics_window",
+            TraceEvent::ProfileSpan { .. } => "profile_span",
         }
     }
 
@@ -218,7 +298,9 @@ impl TraceEvent {
             | TraceEvent::SearchPhase { cycle, .. }
             | TraceEvent::PartitionWindow { cycle, .. }
             | TraceEvent::CoreWindow { cycle, .. }
-            | TraceEvent::CacheStats { cycle, .. } => *cycle,
+            | TraceEvent::CacheStats { cycle, .. }
+            | TraceEvent::MetricsWindow { cycle, .. }
+            | TraceEvent::ProfileSpan { cycle, .. } => *cycle,
         }
     }
 
@@ -323,6 +405,57 @@ impl TraceEvent {
                     s,
                     ",\"hits\":{hits},\"disk_hits\":{disk_hits},\"misses\":{misses},\
                      \"bypasses\":{bypasses},\"stores\":{stores},\"verified\":{verified}"
+                );
+            }
+            TraceEvent::MetricsWindow {
+                app,
+                stalls,
+                dram_lat,
+                mshr_occ,
+                queue_depth,
+                ..
+            } => {
+                match app {
+                    Some(a) => {
+                        let _ = write!(s, ",\"app\":{a}");
+                    }
+                    None => s.push_str(",\"app\":null"),
+                }
+                let _ = write!(
+                    s,
+                    ",\"stalls\":{{\"mem\":{},\"exec\":{},\"barrier\":{},\"tlp_capped\":{}}}",
+                    stalls.mem, stalls.exec, stalls.barrier, stalls.tlp_capped
+                );
+                for (name, h) in [
+                    ("dram_lat", dram_lat),
+                    ("mshr_occ", mshr_occ),
+                    ("queue_depth", queue_depth),
+                ] {
+                    let _ = write!(s, ",\"{name}\":");
+                    push_hist(&mut s, h);
+                }
+            }
+            TraceEvent::ProfileSpan {
+                level,
+                name,
+                depth,
+                wall_s,
+                cycles,
+                cache_hits,
+                cache_misses,
+                workers,
+                ..
+            } => {
+                s.push_str(",\"level\":");
+                push_str(&mut s, level);
+                s.push_str(",\"name\":");
+                push_str(&mut s, name);
+                let _ = write!(s, ",\"depth\":{depth},\"wall_s\":");
+                push_f64(&mut s, *wall_s);
+                let _ = write!(
+                    s,
+                    ",\"cycles\":{cycles},\"cache_hits\":{cache_hits},\
+                     \"cache_misses\":{cache_misses},\"workers\":{workers}"
                 );
             }
         }
@@ -544,6 +677,63 @@ mod tests {
         }
     }
 
+    fn metrics_window_fixture() -> TraceEvent {
+        let mut dram_lat = Histogram::new();
+        dram_lat.record(100);
+        dram_lat.record(260);
+        TraceEvent::MetricsWindow {
+            cycle: 15,
+            app: Some(1),
+            stalls: WarpStalls {
+                mem: 40,
+                exec: 10,
+                barrier: 0,
+                tlp_capped: 8,
+            },
+            dram_lat,
+            mshr_occ: Histogram::new(),
+            queue_depth: Histogram::new(),
+        }
+    }
+
+    /// Golden fixture pinning the schema-v3 `metrics_window` field names
+    /// and histogram encoding byte-for-byte; any change here must bump
+    /// [`TRACE_SCHEMA_VERSION`] and update `docs/TRACE_SCHEMA.md`.
+    #[test]
+    fn metrics_window_golden_v3() {
+        assert_eq!(
+            metrics_window_fixture().to_json(),
+            "{\"v\":3,\"kind\":\"metrics_window\",\"cycle\":15,\"app\":1,\
+             \"stalls\":{\"mem\":40,\"exec\":10,\"barrier\":0,\"tlp_capped\":8},\
+             \"dram_lat\":{\"count\":2,\"sum\":360,\"min\":100,\"max\":260,\
+             \"buckets\":[0,0,0,0,0,0,0,1,0,1]},\
+             \"mshr_occ\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]},\
+             \"queue_depth\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]}}"
+        );
+    }
+
+    /// Golden fixture pinning the schema-v3 `profile_span` field names.
+    #[test]
+    fn profile_span_golden_v3() {
+        let e = TraceEvent::ProfileSpan {
+            cycle: 0,
+            level: "sweep".into(),
+            name: "BLK_BFS".into(),
+            depth: 2,
+            wall_s: 0.5,
+            cycles: 200,
+            cache_hits: 1,
+            cache_misses: 2,
+            workers: 8,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"v\":3,\"kind\":\"profile_span\",\"cycle\":0,\"level\":\"sweep\",\
+             \"name\":\"BLK_BFS\",\"depth\":2,\"wall_s\":0.500000,\"cycles\":200,\
+             \"cache_hits\":1,\"cache_misses\":2,\"workers\":8}"
+        );
+    }
+
     #[test]
     fn null_sink_is_disabled() {
         assert!(!NullSink.enabled());
@@ -606,6 +796,26 @@ mod tests {
                 bypasses: 0,
                 stores: 2,
                 verified: 1,
+            },
+            metrics_window_fixture(),
+            TraceEvent::MetricsWindow {
+                cycle: 16,
+                app: None,
+                stalls: WarpStalls::default(),
+                dram_lat: Histogram::new(),
+                mshr_occ: Histogram::new(),
+                queue_depth: Histogram::new(),
+            },
+            TraceEvent::ProfileSpan {
+                cycle: 0,
+                level: "figure".into(),
+                name: "fig09".into(),
+                depth: 1,
+                wall_s: 1.25,
+                cycles: 1_000_000,
+                cache_hits: 3,
+                cache_misses: 7,
+                workers: 4,
             },
         ];
         for e in &events {

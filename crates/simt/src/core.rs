@@ -70,6 +70,50 @@ impl CoreStats {
     }
 }
 
+/// Per-warp stall-reason breakdown, in warp-cycles: each cycle, every warp
+/// slot of the core is charged to exactly one bucket.  Recorded only while
+/// metrics are enabled ([`SimtCore::set_metrics_enabled`]) and snapshotted
+/// per sampling window by the `gpu_sim::metrics` registry.
+///
+/// Invariant: `mem + exec + barrier + tlp_capped + <issued insts>` equals
+/// `warps × cycles` over any recorded stretch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarpStalls {
+    /// Warp-cycles of SWL-active warps blocked on outstanding memory.
+    pub mem: u64,
+    /// Warp-cycles of SWL-active warps not blocked on memory and not
+    /// issuing (ALU latency, scheduler lost arbitration, or finished).
+    pub exec: u64,
+    /// Warp-cycles blocked at a barrier.  Reserved: the synthetic ISA
+    /// ([`Inst`]) has no barrier instruction, so this is always zero —
+    /// kept so the trace schema does not change when barriers land.
+    pub barrier: u64,
+    /// Warp-cycles of slots deactivated by the SWL/TLP limit (the paper's
+    /// throttling knob) or CCWS.
+    pub tlp_capped: u64,
+}
+
+impl WarpStalls {
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &WarpStalls) {
+        self.mem += other.mem;
+        self.exec += other.exec;
+        self.barrier += other.barrier;
+        self.tlp_capped += other.tlp_capped;
+    }
+
+    /// Returns the accumulated counters and resets `self` — the per-window
+    /// snapshot operation.
+    pub fn take(&mut self) -> WarpStalls {
+        std::mem::take(self)
+    }
+
+    /// Total warp-cycles across all buckets.
+    pub fn total(&self) -> u64 {
+        self.mem + self.exec + self.barrier + self.tlp_capped
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct PendingLoad {
     warp_slot: usize,
@@ -133,6 +177,10 @@ pub struct SimtCore {
     /// allocation per response on the hot path).
     waiter_scratch: Vec<ReqId>,
     stats: CoreStats,
+    /// When true, the per-warp stall breakdown below is recorded each
+    /// cycle; off by default (gated like `TraceSink::enabled()`).
+    metrics: bool,
+    warp_stalls: WarpStalls,
 }
 
 impl std::fmt::Debug for SimtCore {
@@ -204,7 +252,47 @@ impl SimtCore {
             sleep: None,
             waiter_scratch: Vec::new(),
             stats: CoreStats::default(),
+            metrics: false,
+            warp_stalls: WarpStalls::default(),
         }
+    }
+
+    /// Enables or disables per-warp stall-reason recording.  Purely an
+    /// accounting switch: it never perturbs scheduling or sleep state, so
+    /// toggling it cannot change simulation results.
+    pub fn set_metrics_enabled(&mut self, on: bool) {
+        self.metrics = on;
+    }
+
+    /// Charges `k` cycles' worth of warp slots to stall buckets, given
+    /// that `issued` warps issued an instruction this cycle.  Called from
+    /// all four step paths (full, reference, sleep fast path, batch idle
+    /// credit) with identical arithmetic, so the engine-equivalence
+    /// invariant (optimized == reference, bit for bit) extends to these
+    /// counters.
+    #[inline]
+    fn record_warp_stalls(&mut self, issued: u64, k: u64) {
+        if !self.metrics {
+            return;
+        }
+        let total = self.warps.len() as u64;
+        let active = self.active_slots_total;
+        let waiting = self.waiting_now as u64;
+        self.warp_stalls.mem += waiting * k;
+        self.warp_stalls.tlp_capped += total.saturating_sub(active) * k;
+        self.warp_stalls.exec += active.saturating_sub(waiting + issued) * k;
+    }
+
+    /// The stall breakdown accumulated since the last take (all zero
+    /// unless metrics recording is enabled).
+    pub fn warp_stalls(&self) -> WarpStalls {
+        self.warp_stalls
+    }
+
+    /// Returns and resets the accumulated stall breakdown — the
+    /// per-window snapshot operation.
+    pub fn take_warp_stalls(&mut self) -> WarpStalls {
+        self.warp_stalls.take()
     }
 
     /// Applies a TLP level to every scheduler (the SWL knob). When CCWS is
@@ -433,6 +521,7 @@ impl SimtCore {
                     SleepKind::Mem => self.stats.mem_stall_cycles += 1,
                     SleepKind::Idle => self.stats.idle_cycles += 1,
                 }
+                self.record_warp_stalls(0, 1);
                 return;
             }
             self.sleep = None;
@@ -585,6 +674,7 @@ impl SimtCore {
                 }
             }
         }
+        self.record_warp_stalls(issued_total, 1);
     }
 
     /// Reference implementation of [`Self::step`]: the original per-cycle
@@ -662,6 +752,7 @@ impl SimtCore {
                 }
             }
         }
+        self.record_warp_stalls(issued_total, 1);
     }
 
     /// The cycle (exclusive) until which stepping this core is provably a
@@ -690,6 +781,7 @@ impl SimtCore {
             SleepKind::Mem => self.stats.mem_stall_cycles += k,
             SleepKind::Idle => self.stats.idle_cycles += k,
         }
+        self.record_warp_stalls(0, k);
     }
 
     /// True when outbound memory requests are queued for the interconnect.
@@ -1152,9 +1244,36 @@ mod tests {
         };
         let mut fast = make();
         let mut slow = make();
+        fast.set_metrics_enabled(true);
+        slow.set_metrics_enabled(true);
         run(&mut fast, false);
         run(&mut slow, true);
         assert_eq!(fast.stats(), slow.stats());
+        // The metrics-layer stall breakdown obeys the same fast == reference
+        // invariant, and every warp-cycle is accounted for exactly once.
+        assert_eq!(fast.warp_stalls(), slow.warp_stalls());
+        let ws = fast.warp_stalls();
+        assert!(ws.total() > 0);
+        assert_eq!(ws.barrier, 0, "no barrier instruction in the ISA");
+        // Per cycle the buckets cover every warp slot except the issuing
+        // ones, so buckets + issues is (warp slots) x cycles.
+        assert_eq!(
+            (ws.total() + fast.stats().insts) % fast.stats().cycles,
+            0,
+            "stall buckets + issues must cover a whole number of slots per cycle"
+        );
+    }
+
+    #[test]
+    fn warp_stalls_zero_when_metrics_disabled() {
+        let mut core = core_with_one_stream(
+            Box::new(Scripted::new(vec![Inst::alu1(), Inst::alu1()])),
+            CoreParams::default(),
+        );
+        for now in 0..50 {
+            core.step(now);
+        }
+        assert_eq!(core.warp_stalls(), WarpStalls::default());
     }
 
     #[test]
@@ -1169,6 +1288,8 @@ mod tests {
         };
         let mut batched = make();
         let mut stepped = make();
+        batched.set_metrics_enabled(true);
+        stepped.set_metrics_enabled(true);
         for now in 0..3u64 {
             batched.step(now);
             stepped.step(now);
@@ -1179,6 +1300,7 @@ mod tests {
             stepped.step(now);
         }
         assert_eq!(batched.stats(), stepped.stats());
+        assert_eq!(batched.warp_stalls(), stepped.warp_stalls());
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod streams;
 pub mod warp;
 
 pub use crate::ccws::{CcwsParams, CcwsThrottle};
-pub use crate::core::{CoreParams, CoreStats, SimtCore};
+pub use crate::core::{CoreParams, CoreStats, SimtCore, WarpStalls};
 pub use inst::{Inst, InstStream};
 pub use scheduler::GtoScheduler;
 pub use warp::Warp;

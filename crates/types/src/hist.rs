@@ -1,0 +1,285 @@
+//! Fixed-size, allocation-free log-bucketed histograms.
+//!
+//! [`Histogram`] is the primitive underneath the `gpu_sim::metrics`
+//! registry: every latency/occupancy distribution sampled by the
+//! simulator (DRAM request latency, MSHR occupancy, queue depths) is
+//! recorded into one of these.  Design constraints, in order:
+//!
+//! * **zero heap allocation** — the whole struct is a flat array plus
+//!   four scalars, so recording on the hot path costs a handful of
+//!   integer ops and never touches the allocator (the PR 3 engine
+//!   invariant);
+//! * **mergeable** — per-component histograms are combined into per-app
+//!   and machine-wide views with [`Histogram::merge`];
+//! * **windowed** — [`Histogram::take`] returns the accumulated window
+//!   and resets in place, because window-local `min`/`max` cannot be
+//!   recovered by diffing cumulative snapshots.
+//!
+//! Buckets are powers of two: bucket 0 holds the value `0`, bucket
+//! `i >= 1` holds `[2^(i-1), 2^i - 1]`, and the last bucket is
+//! unbounded above.  Exact `count`/`sum`/`min`/`max` are kept alongside
+//! so means are exact and percentile estimates can be clamped into the
+//! observed range.
+
+/// Number of buckets in a [`Histogram`] (covers `0..2^30` exactly; the
+/// final bucket absorbs everything larger).
+pub const HIST_BUCKETS: usize = 32;
+
+/// A log-bucketed histogram of `u64` samples.  See the module docs for
+/// the bucketing scheme and design constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+
+    /// The bucket index `v` falls into: 0 for the value `0`, otherwise
+    /// the number of significant bits (clamped to the last bucket).
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive `[lo, hi]` value range of bucket `i`.
+    ///
+    /// # Panics
+    /// If `i >= HIST_BUCKETS`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < HIST_BUCKETS);
+        if i == 0 {
+            (0, 0)
+        } else if i == HIST_BUCKETS - 1 {
+            (1 << (i - 1), u64::MAX)
+        } else {
+            (1 << (i - 1), (1 << i) - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Folds `other` into `self` (as if every sample of `other` had been
+    /// recorded here too).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Returns the accumulated histogram and resets `self` to empty —
+    /// the per-window snapshot operation.
+    pub fn take(&mut self) -> Histogram {
+        std::mem::take(self)
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Estimated `p`-th percentile (`p` in `[0, 1]`): the upper bound of
+    /// the bucket containing the `ceil(p * count)`-th sample, clamped
+    /// into the observed `[min, max]` range.  Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target {
+                let (_, hi) = Self::bucket_bounds(i);
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Rebuilds a histogram from its serialized parts (what a trace
+    /// consumer like `trace-tools` reads back from a `metrics_window`
+    /// event).  `buckets` may be shorter than [`HIST_BUCKETS`] (trailing
+    /// zero buckets are trimmed on the wire); longer inputs or parts
+    /// that violate count conservation are rejected.
+    pub fn from_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        buckets: &[u64],
+    ) -> Result<Histogram, String> {
+        if buckets.len() > HIST_BUCKETS {
+            return Err(format!(
+                "histogram has {} buckets, max {HIST_BUCKETS}",
+                buckets.len()
+            ));
+        }
+        let mut h = Histogram::new();
+        h.count = count;
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        h.buckets[..buckets.len()].copy_from_slice(buckets);
+        if h.buckets.iter().sum::<u64>() != count {
+            return Err(format!("bucket counts do not sum to count={count}"));
+        }
+        if count > 0 && min > max {
+            return Err(format!("min {min} > max {max}"));
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn bucket_of_matches_bounds() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 100, 1 << 20, u64::MAX] {
+            let i = Histogram::bucket_of(v);
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} bucket={i} range=[{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn record_take_resets() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(100);
+        let snap = h.take();
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.min(), 5);
+        assert_eq!(snap.max(), 100);
+        assert_eq!(snap.sum(), 105);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_equals_interleaved_records() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [3u64, 17, 0, 9000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 1 << 25] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 1000] {
+            h.record(v);
+        }
+        let trimmed: Vec<u64> = {
+            let b = h.buckets();
+            let last = b.iter().rposition(|&x| x != 0).map_or(0, |i| i + 1);
+            b[..last].to_vec()
+        };
+        let back = Histogram::from_parts(h.count(), h.sum(), h.min(), h.max(), &trimmed).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_counts() {
+        assert!(Histogram::from_parts(3, 0, 0, 0, &[1, 1]).is_err());
+        assert!(Histogram::from_parts(2, 0, 5, 1, &[2]).is_err());
+        assert!(Histogram::from_parts(0, 0, 0, 0, &vec![0u64; HIST_BUCKETS + 1]).is_err());
+    }
+}

@@ -25,6 +25,7 @@ pub mod addr;
 pub mod canon;
 pub mod config;
 pub mod fxmap;
+pub mod hist;
 pub mod ids;
 pub mod rng;
 pub mod stats;
@@ -36,6 +37,7 @@ pub use config::{
     CacheConfig, ConfigError, DramConfig, GpuConfig, PagePolicy, SamplingConfig, WarpSchedPolicy,
 };
 pub use fxmap::{FxHashMap, FxHashSet};
+pub use hist::{Histogram, HIST_BUCKETS};
 pub use ids::{AppId, CoreId, PartitionId, WarpId};
 pub use rng::SplitMix64;
 pub use stats::{AppWindow, MemCounters};

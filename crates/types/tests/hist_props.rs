@@ -1,0 +1,144 @@
+//! Property-based tests for the log-bucketed [`Histogram`].
+//!
+//! Cases are generated with the in-repo [`SplitMix64`] generator (fixed
+//! seeds, so failures reproduce exactly) — the build must work fully
+//! offline, so no external property-testing crate is used.
+
+use gpu_types::{Histogram, SplitMix64, HIST_BUCKETS};
+
+const CASES: usize = 128;
+
+/// Draws a sample spread over many orders of magnitude (uniform draws
+/// alone would almost never hit the small buckets).
+fn arb_sample(rng: &mut SplitMix64) -> u64 {
+    let bits = rng.next_below(40) as u32;
+    rng.next_u64() >> (63 - bits.min(63))
+}
+
+/// Bucket bounds are monotone, contiguous, and cover all of `u64`.
+#[test]
+fn bucket_bounds_monotone_and_contiguous() {
+    let (lo0, hi0) = Histogram::bucket_bounds(0);
+    assert_eq!((lo0, hi0), (0, 0));
+    for i in 1..HIST_BUCKETS {
+        let (_, prev_hi) = Histogram::bucket_bounds(i - 1);
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        assert_eq!(lo, prev_hi + 1, "bucket {i} not contiguous");
+        assert!(lo <= hi, "bucket {i} bounds inverted");
+    }
+    let (_, last_hi) = Histogram::bucket_bounds(HIST_BUCKETS - 1);
+    assert_eq!(last_hi, u64::MAX);
+}
+
+/// Every value lands in the bucket whose bounds contain it.
+#[test]
+fn bucket_of_respects_bounds() {
+    let mut rng = SplitMix64::new(0x4157_0001);
+    for _ in 0..CASES * 8 {
+        let v = arb_sample(&mut rng);
+        let i = Histogram::bucket_of(v);
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        assert!(lo <= v && v <= hi, "v={v} misfiled into bucket {i}");
+    }
+}
+
+/// Count conservation: the bucket counts always sum to the total count,
+/// through records, merges, and takes.
+#[test]
+fn count_conservation() {
+    let mut rng = SplitMix64::new(0x4157_0002);
+    for _ in 0..CASES {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let n = rng.next_below(200) as usize;
+        for _ in 0..n {
+            let v = arb_sample(&mut rng);
+            if rng.next_below(2) == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let (ca, cb) = (a.count(), b.count());
+        assert_eq!(ca + cb, n as u64);
+        assert_eq!(a.buckets().iter().sum::<u64>(), ca);
+        a.merge(&b);
+        assert_eq!(a.count(), n as u64);
+        assert_eq!(a.buckets().iter().sum::<u64>(), n as u64);
+        let snap = a.take();
+        assert_eq!(snap.count(), n as u64);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.buckets().iter().sum::<u64>(), 0);
+    }
+}
+
+/// Percentile estimates stay inside the recorded `[min, max]` range and
+/// are monotone in `p`.
+#[test]
+fn percentiles_within_min_max() {
+    let mut rng = SplitMix64::new(0x4157_0003);
+    for _ in 0..CASES {
+        let mut h = Histogram::new();
+        let n = 1 + rng.next_below(500) as usize;
+        for _ in 0..n {
+            h.record(arb_sample(&mut rng));
+        }
+        let mut prev = h.min();
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let q = h.percentile(p);
+            assert!(
+                h.min() <= q && q <= h.max(),
+                "p{p}: {q} outside [{}, {}]",
+                h.min(),
+                h.max()
+            );
+            assert!(q >= prev, "percentile not monotone at p={p}");
+            prev = q;
+        }
+    }
+}
+
+/// Mean is exact: `sum / count` for any mix of samples.
+#[test]
+fn mean_is_exact() {
+    let mut rng = SplitMix64::new(0x4157_0004);
+    for _ in 0..CASES {
+        let mut h = Histogram::new();
+        let mut total: u128 = 0;
+        let n = 1 + rng.next_below(100) as usize;
+        for _ in 0..n {
+            let v = rng.next_below(1 << 30);
+            total += v as u128;
+            h.record(v);
+        }
+        let expect = total as f64 / n as f64;
+        assert!((h.mean() - expect).abs() < 1e-9 * expect.max(1.0));
+    }
+}
+
+/// `from_parts` accepts exactly what `record` produced (with trailing
+/// zeros trimmed, the on-wire form).
+#[test]
+fn from_parts_round_trips_random_histograms() {
+    let mut rng = SplitMix64::new(0x4157_0005);
+    for _ in 0..CASES {
+        let mut h = Histogram::new();
+        for _ in 0..rng.next_below(50) {
+            h.record(arb_sample(&mut rng));
+        }
+        let trimmed_len = h
+            .buckets()
+            .iter()
+            .rposition(|&b| b != 0)
+            .map_or(0, |i| i + 1);
+        let back = Histogram::from_parts(
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+            &h.buckets()[..trimmed_len],
+        )
+        .expect("round trip");
+        assert_eq!(back, h);
+    }
+}

@@ -26,16 +26,21 @@ cargo test --workspace --release -q --doc
 echo "== cargo doc (rustdoc warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "== perf_smoke (smoke mode: verifies parallel == serial, cache warm == cold) =="
-cargo run -p ebm-bench --release --bin perf_smoke -- --smoke
+echo "== perf_smoke (smoke mode: verifies parallel == serial, cache warm == cold, obs overhead) =="
+# Smoke-mode numbers must not clobber the committed full-machine BENCH_obs.json.
+OBS_JSON="$(mktemp)"
+trap 'rm -f "$OBS_JSON"' EXIT
+cargo run -p ebm-bench --release --bin perf_smoke -- --smoke --obs-out "$OBS_JSON"
+grep overhead_pct "$OBS_JSON"
 
 echo "== result cache round trip (experiments --quick twice, one cache dir) =="
 CACHE_DIR="$(mktemp -d)"
 COLD_OUT="$(mktemp -d)"
 WARM_OUT="$(mktemp -d)"
-trap 'rm -rf "$CACHE_DIR" "$COLD_OUT" "$WARM_OUT"' EXIT
+TRACE_FILE="$(mktemp -u).jsonl"
+trap 'rm -rf "$CACHE_DIR" "$COLD_OUT" "$WARM_OUT" "$TRACE_FILE" "$OBS_JSON"' EXIT
 EBM_CACHE_DIR="$CACHE_DIR" cargo run -p ebm-bench --release --bin experiments -- \
-  --quick --out "$COLD_OUT" 2> "$COLD_OUT/stderr.log"
+  --quick --trace "$TRACE_FILE" --out "$COLD_OUT" 2> "$COLD_OUT/stderr.log"
 EBM_CACHE_DIR="$CACHE_DIR" cargo run -p ebm-bench --release --bin experiments -- \
   --quick --out "$WARM_OUT" 2> "$WARM_OUT/stderr.log"
 grep '^cache:' "$WARM_OUT/stderr.log"
@@ -44,9 +49,13 @@ if grep -q '^cache: .*hit rate 0\.000' "$WARM_OUT/stderr.log"; then
   echo "FAIL: warm experiments run reported a zero cache hit rate" >&2
   exit 1
 fi
-# ...and must reproduce the cold run's reports byte for byte.
+# ...and must reproduce the cold run's reports byte for byte. PROFILE.json
+# records wall-clock timings, which legitimately differ between runs.
 rm -f "$COLD_OUT/stderr.log" "$WARM_OUT/stderr.log"
-diff -r "$COLD_OUT" "$WARM_OUT"
+diff -r --exclude=PROFILE.json "$COLD_OUT" "$WARM_OUT"
 echo "cache round trip OK: warm run hit the cache and reproduced every report"
+
+echo "== trace schema gate (trace-tools validate on the --quick campaign trace) =="
+cargo run -p ebm-bench --release --bin trace-tools -- validate "$TRACE_FILE"
 
 echo "CI OK"
