@@ -31,7 +31,7 @@ use ebm_bench::log;
 use ebm_core::sweep::ComboSweep;
 use gpu_sim::exec;
 use gpu_sim::harness::RunSpec;
-use gpu_sim::machine::Gpu;
+use gpu_sim::machine::{EngineStats, Gpu};
 use gpu_types::{AppId, GpuConfig, TlpCombo, TlpLevel};
 use gpu_workloads::Workload;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -73,18 +73,50 @@ struct SweepTiming {
     seconds: f64,
 }
 
-/// One timed engine run: `GpuConfig::small()` + BLK_BFS at uniform TLP 8,
-/// 1 000 warm-up cycles outside the timed region (primes caches, row
-/// buffers and every reused scratch buffer's high-water mark).
+/// One timed engine run: `GpuConfig::small()` + the named pairing at
+/// uniform TLP 8, 1 000 warm-up cycles outside the timed region (primes
+/// caches, row buffers and every reused scratch buffer's high-water mark).
+/// `stats` holds the [`EngineStats`] delta over the timed region only.
 struct EngineRun {
     cycles_per_sec: f64,
     allocs_per_cycle: f64,
-    skipped_fraction: f64,
+    stats: EngineStats,
 }
 
-fn engine_run(cycles: u64, reference: bool) -> EngineRun {
+impl EngineRun {
+    /// Fraction of timed cycles the whole machine fast-forwarded over
+    /// (no component had any event scheduled).
+    fn machine_fast_forward_fraction(&self) -> f64 {
+        let total = self.stats.stepped + self.stats.fast_forwarded;
+        self.stats.fast_forwarded as f64 / total.max(1) as f64
+    }
+
+    /// Fraction of component-step slots (component × cycle) the engine
+    /// skipped, counting fast-forwarded cycles' slots as skipped too.
+    fn component_idle_skip_fraction(&self) -> f64 {
+        let s = &self.stats;
+        let stepped = s.core_steps + s.partition_steps + s.xbar_steps;
+        let skipped = s.core_steps_skipped + s.partition_steps_skipped + s.xbar_steps_skipped;
+        skipped as f64 / (stepped + skipped).max(1) as f64
+    }
+}
+
+fn stats_delta(after: EngineStats, before: EngineStats) -> EngineStats {
+    EngineStats {
+        stepped: after.stepped - before.stepped,
+        fast_forwarded: after.fast_forwarded - before.fast_forwarded,
+        core_steps: after.core_steps - before.core_steps,
+        core_steps_skipped: after.core_steps_skipped - before.core_steps_skipped,
+        partition_steps: after.partition_steps - before.partition_steps,
+        partition_steps_skipped: after.partition_steps_skipped - before.partition_steps_skipped,
+        xbar_steps: after.xbar_steps - before.xbar_steps,
+        xbar_steps_skipped: after.xbar_steps_skipped - before.xbar_steps_skipped,
+    }
+}
+
+fn engine_run(pair: (&str, &str), cycles: u64, reference: bool) -> EngineRun {
     let cfg = GpuConfig::small();
-    let w = Workload::pair("BLK", "BFS");
+    let w = Workload::pair(pair.0, pair.1);
     let mut gpu = Gpu::new(&cfg, w.apps(), 42);
     gpu.set_reference_engine(reference);
     gpu.set_combo(&TlpCombo::uniform(TlpLevel::new(8).unwrap(), 2));
@@ -95,12 +127,24 @@ fn engine_run(cycles: u64, reference: bool) -> EngineRun {
     gpu.run(cycles);
     let secs = t.elapsed().as_secs_f64();
     let allocs = heap_ops() - allocs_before;
-    let stats = gpu.engine_stats();
-    let skipped = stats.fast_forwarded - stats_before.fast_forwarded;
+    let stats = stats_delta(gpu.engine_stats(), stats_before);
     EngineRun {
         cycles_per_sec: cycles as f64 / secs,
         allocs_per_cycle: allocs as f64 / cycles as f64,
-        skipped_fraction: skipped as f64 / cycles as f64,
+        stats,
+    }
+}
+
+/// Reference-vs-event measurement of one co-run pairing.
+struct WorkloadBench {
+    name: &'static str,
+    before: EngineRun,
+    after: EngineRun,
+}
+
+impl WorkloadBench {
+    fn speedup(&self) -> f64 {
+        self.after.cycles_per_sec / self.before.cycles_per_sec
     }
 }
 
@@ -128,7 +172,7 @@ fn obs_run(cycles: u64, metrics: bool) -> (EngineRun, u64, u64) {
     let run = EngineRun {
         cycles_per_sec: cycles as f64 / secs,
         allocs_per_cycle: allocs as f64 / cycles as f64,
-        skipped_fraction: 0.0,
+        stats: EngineStats::default(),
     };
     (run, stall_cycles, lat_samples)
 }
@@ -216,7 +260,7 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn render_engine_json(smoke: bool, cycles: u64, before: &EngineRun, after: &EngineRun) -> String {
+fn render_engine_json(smoke: bool, cycles: u64, benches: &[WorkloadBench]) -> String {
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -225,33 +269,69 @@ fn render_engine_json(smoke: bool, cycles: u64, before: &EngineRun, after: &Engi
     out.push_str(&format!("  \"smoke_mode\": {smoke},\n"));
     out.push_str(&format!("  \"host_parallelism\": {host},\n"));
     out.push_str("  \"machine\": \"GpuConfig::small\",\n");
-    out.push_str("  \"workload\": \"BLK_BFS\",\n");
     out.push_str(&format!("  \"timed_cycles\": {cycles},\n"));
     out.push_str("  \"warmup_cycles\": 1000,\n");
-    out.push_str(&format!(
-        "  \"engine_cycles_per_sec_before\": {:.1},\n",
-        before.cycles_per_sec
-    ));
-    out.push_str(&format!(
-        "  \"engine_cycles_per_sec\": {:.1},\n",
-        after.cycles_per_sec
-    ));
-    out.push_str(&format!(
-        "  \"speedup\": {:.2},\n",
-        after.cycles_per_sec / before.cycles_per_sec
-    ));
-    out.push_str(&format!(
-        "  \"quiescent_cycles_skipped_fraction\": {:.6},\n",
-        after.skipped_fraction
-    ));
-    out.push_str(&format!(
-        "  \"allocations_per_cycle\": {:.6},\n",
-        after.allocs_per_cycle
-    ));
-    out.push_str(&format!(
-        "  \"allocations_per_cycle_before\": {:.3}\n",
-        before.allocs_per_cycle
-    ));
+    out.push_str("  \"workloads\": [\n");
+    for (i, b) in benches.iter().enumerate() {
+        let s = &b.after.stats;
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"workload\": \"{}\",\n",
+            json_escape(b.name)
+        ));
+        out.push_str(&format!(
+            "      \"engine_cycles_per_sec_before\": {:.1},\n",
+            b.before.cycles_per_sec
+        ));
+        out.push_str(&format!(
+            "      \"engine_cycles_per_sec\": {:.1},\n",
+            b.after.cycles_per_sec
+        ));
+        out.push_str(&format!("      \"speedup\": {:.2},\n", b.speedup()));
+        out.push_str(&format!(
+            "      \"machine_fast_forward_fraction\": {:.6},\n",
+            b.after.machine_fast_forward_fraction()
+        ));
+        out.push_str(&format!(
+            "      \"component_idle_skip_fraction\": {:.6},\n",
+            b.after.component_idle_skip_fraction()
+        ));
+        out.push_str(&format!("      \"core_steps\": {},\n", s.core_steps));
+        out.push_str(&format!(
+            "      \"core_steps_skipped\": {},\n",
+            s.core_steps_skipped
+        ));
+        out.push_str(&format!(
+            "      \"partition_steps\": {},\n",
+            s.partition_steps
+        ));
+        out.push_str(&format!(
+            "      \"partition_steps_skipped\": {},\n",
+            s.partition_steps_skipped
+        ));
+        out.push_str(&format!("      \"xbar_steps\": {},\n", s.xbar_steps));
+        out.push_str(&format!(
+            "      \"xbar_steps_skipped\": {},\n",
+            s.xbar_steps_skipped
+        ));
+        out.push_str(&format!(
+            "      \"allocations_per_cycle\": {:.6},\n",
+            b.after.allocs_per_cycle
+        ));
+        out.push_str(&format!(
+            "      \"allocations_per_cycle_before\": {:.3}\n",
+            b.before.allocs_per_cycle
+        ));
+        let comma = if i + 1 < benches.len() { "," } else { "" };
+        out.push_str(&format!("    }}{comma}\n"));
+    }
+    out.push_str("  ],\n");
+    let mem_bound = benches
+        .iter()
+        .find(|b| b.name == "BLK_TRD")
+        .map(|b| b.speedup())
+        .unwrap_or(f64::NAN);
+    out.push_str(&format!("  \"memory_bound_speedup\": {mem_bound:.2}\n"));
     out.push_str("}\n");
     out
 }
@@ -432,30 +512,35 @@ fn main() {
 
     log!(
         info,
-        "perf_smoke: engine throughput, reference vs optimized ({engine_cycles} cycles)..."
+        "perf_smoke: engine throughput, reference vs event-driven ({engine_cycles} cycles)..."
     );
-    let before = engine_run(engine_cycles, true);
-    let after = engine_run(engine_cycles, false);
-    let engine_cps = after.cycles_per_sec;
-    log!(
-        info,
-        "  reference: {:.0} cycles/sec ({:.1} allocs/cycle)",
-        before.cycles_per_sec,
-        before.allocs_per_cycle
-    );
-    log!(
-        info,
-        "  optimized: {:.0} cycles/sec ({:.4} allocs/cycle, {:.4} skipped fraction)",
-        after.cycles_per_sec,
-        after.allocs_per_cycle,
-        after.skipped_fraction
-    );
-    log!(
-        info,
-        "  speedup: {:.2}x",
-        after.cycles_per_sec / before.cycles_per_sec
-    );
-    let engine_json = render_engine_json(smoke, engine_cycles, &before, &after);
+    // BLK_BFS is the historical compute-leaning pairing; BLK_TRD is the
+    // flagship memory-bound co-run the ≥5x event-engine target is scored on.
+    let pairs: [(&'static str, (&str, &str)); 2] =
+        [("BLK_BFS", ("BLK", "BFS")), ("BLK_TRD", ("BLK", "TRD"))];
+    let mut benches = Vec::new();
+    for (name, pair) in pairs {
+        let before = engine_run(pair, engine_cycles, true);
+        let after = engine_run(pair, engine_cycles, false);
+        log!(
+            info,
+            "  {name}: reference {:.0} cycles/sec, event {:.0} cycles/sec \
+             ({:.2}x, ff {:.4}, idle-skip {:.4}, {:.4} allocs/cycle)",
+            before.cycles_per_sec,
+            after.cycles_per_sec,
+            after.cycles_per_sec / before.cycles_per_sec,
+            after.machine_fast_forward_fraction(),
+            after.component_idle_skip_fraction(),
+            after.allocs_per_cycle
+        );
+        benches.push(WorkloadBench {
+            name,
+            before,
+            after,
+        });
+    }
+    let engine_cps = benches[0].after.cycles_per_sec;
+    let engine_json = render_engine_json(smoke, engine_cycles, &benches);
     if let Some(path) = &engine_out_path {
         std::fs::write(path, &engine_json).expect("write engine benchmark JSON");
         log!(info, "perf_smoke: wrote {path}");
@@ -569,7 +654,8 @@ fn main() {
         for slot in 0..3 {
             match (rep + slot) % 3 {
                 0 => {
-                    baseline_cps = baseline_cps.max(engine_run(obs_cycles, false).cycles_per_sec);
+                    baseline_cps = baseline_cps
+                        .max(engine_run(("BLK", "BFS"), obs_cycles, false).cycles_per_sec);
                 }
                 1 => {
                     let (off_run, off_stalls, off_lat) = obs_run(obs_cycles, false);
@@ -620,13 +706,14 @@ fn main() {
     // Merged one-line summary of all three benchmark sections.
     log!(
         info,
-        "perf_smoke summary: engine {:.2}x vs reference ({:.0} cycles/s, \
-         {:.4} allocs/cycle) | parallel sweep {speedup:.2}x vs 1 thread \
-         (identical: {identical}) | cache warm {:.2}x vs cold \
-         (hit rate {:.3}, identical: {})",
-        after.cycles_per_sec / before.cycles_per_sec,
-        after.cycles_per_sec,
-        after.allocs_per_cycle,
+        "perf_smoke summary: engine {:.2}x (BLK_BFS) / {:.2}x (BLK_TRD) vs \
+         reference ({:.0} cycles/s, {:.4} allocs/cycle) | parallel sweep \
+         {speedup:.2}x vs 1 thread (identical: {identical}) | cache warm \
+         {:.2}x vs cold (hit rate {:.3}, identical: {})",
+        benches[0].speedup(),
+        benches[1].speedup(),
+        benches[0].after.cycles_per_sec,
+        benches[0].after.allocs_per_cycle,
         cache.speedup(),
         cache.warm_hit_rate,
         cache.identical

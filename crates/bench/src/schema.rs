@@ -8,14 +8,16 @@
 //! tolerated — so a schema drift in the emitter fails `trace-tools
 //! validate` (and the CI gate built on it) instead of silently producing
 //! wrong analyses.  Per-version rules: `cache_stats` needs v ≥ 2,
-//! `metrics_window` / `profile_span` need v ≥ 3.
+//! `metrics_window` / `profile_span` need v ≥ 3, and the engine skip
+//! fractions on `metrics_window` appear from v ≥ 4 (older records with
+//! the shorter field list still validate).
 
 use crate::json::{parse, Json};
 use gpu_types::Histogram;
 
 /// Newest schema version this validator understands (kept in lock-step
 /// with `gpu_sim::trace::TRACE_SCHEMA_VERSION` by a test).
-pub const MAX_SCHEMA_VERSION: u64 = 3;
+pub const MAX_SCHEMA_VERSION: u64 = 4;
 
 /// What a field's value must look like.
 #[derive(Debug, Clone, Copy)]
@@ -38,8 +40,10 @@ enum Ty {
     Hist,
 }
 
-/// One field of an event record: name and value shape.
-type FieldSpec = (&'static str, Ty);
+/// One field of an event record: name, value shape, and the schema
+/// version that introduced it (a record only carries the fields its
+/// claimed version knows, still in serialization order).
+type FieldSpec = (&'static str, Ty, u64);
 
 /// Kind tag, minimum schema version, and the fields after
 /// `v`/`kind`/`cycle` in exact serialization order.
@@ -50,86 +54,88 @@ const KINDS: &[KindSpec] = &[
         "window_sample",
         1,
         &[
-            ("app", Ty::U64),
-            ("eb", Ty::NumOrNull),
-            ("bw", Ty::NumOrNull),
-            ("cmr", Ty::NumOrNull),
-            ("l1mr", Ty::NumOrNull),
-            ("l2mr", Ty::NumOrNull),
-            ("ipc", Ty::NumOrNull),
+            ("app", Ty::U64, 1),
+            ("eb", Ty::NumOrNull, 1),
+            ("bw", Ty::NumOrNull, 1),
+            ("cmr", Ty::NumOrNull, 1),
+            ("l1mr", Ty::NumOrNull, 1),
+            ("l2mr", Ty::NumOrNull, 1),
+            ("ipc", Ty::NumOrNull, 1),
         ],
     ),
     (
         "tlp_decision",
         1,
         &[
-            ("app", Ty::U64),
-            ("old", Ty::U64),
-            ("new", Ty::U64),
-            ("reason", Ty::Str),
+            ("app", Ty::U64, 1),
+            ("old", Ty::U64, 1),
+            ("new", Ty::U64, 1),
+            ("reason", Ty::Str, 1),
         ],
     ),
     (
         "search_phase",
         1,
-        &[("scheme", Ty::Str), ("phase", Ty::Str)],
+        &[("scheme", Ty::Str, 1), ("phase", Ty::Str, 1)],
     ),
     (
         "partition_window",
         1,
         &[
-            ("partition", Ty::U64),
-            ("per_app_bw", Ty::NumArr),
-            ("rowbuf_hit_rate", Ty::NumOrNull),
-            ("queue_depth", Ty::U64),
+            ("partition", Ty::U64, 1),
+            ("per_app_bw", Ty::NumArr, 1),
+            ("rowbuf_hit_rate", Ty::NumOrNull, 1),
+            ("queue_depth", Ty::U64, 1),
         ],
     ),
     (
         "core_window",
         1,
         &[
-            ("core", Ty::U64),
-            ("app", Ty::U64),
-            ("ipc", Ty::NumOrNull),
-            ("active_warps", Ty::NumOrNull),
-            ("stall", Ty::StallFracObj),
+            ("core", Ty::U64, 1),
+            ("app", Ty::U64, 1),
+            ("ipc", Ty::NumOrNull, 1),
+            ("active_warps", Ty::NumOrNull, 1),
+            ("stall", Ty::StallFracObj, 1),
         ],
     ),
     (
         "cache_stats",
         2,
         &[
-            ("hits", Ty::U64),
-            ("disk_hits", Ty::U64),
-            ("misses", Ty::U64),
-            ("bypasses", Ty::U64),
-            ("stores", Ty::U64),
-            ("verified", Ty::U64),
+            ("hits", Ty::U64, 2),
+            ("disk_hits", Ty::U64, 2),
+            ("misses", Ty::U64, 2),
+            ("bypasses", Ty::U64, 2),
+            ("stores", Ty::U64, 2),
+            ("verified", Ty::U64, 2),
         ],
     ),
     (
         "metrics_window",
         3,
         &[
-            ("app", Ty::U64OrNull),
-            ("stalls", Ty::StallCountObj),
-            ("dram_lat", Ty::Hist),
-            ("mshr_occ", Ty::Hist),
-            ("queue_depth", Ty::Hist),
+            ("app", Ty::U64OrNull, 3),
+            ("stalls", Ty::StallCountObj, 3),
+            ("dram_lat", Ty::Hist, 3),
+            ("mshr_occ", Ty::Hist, 3),
+            ("queue_depth", Ty::Hist, 3),
+            ("machine_fast_forward_fraction", Ty::NumOrNull, 4),
+            ("component_idle_skip_fraction", Ty::NumOrNull, 4),
         ],
     ),
     (
         "profile_span",
         3,
         &[
-            ("level", Ty::Str),
-            ("name", Ty::Str),
-            ("depth", Ty::U64),
-            ("wall_s", Ty::NumOrNull),
-            ("cycles", Ty::U64),
-            ("cache_hits", Ty::U64),
-            ("cache_misses", Ty::U64),
-            ("workers", Ty::U64),
+            ("level", Ty::Str, 3),
+            ("name", Ty::Str, 3),
+            ("depth", Ty::U64, 3),
+            ("wall_s", Ty::NumOrNull, 3),
+            ("cycles", Ty::U64, 3),
+            ("cache_hits", Ty::U64, 3),
+            ("cache_misses", Ty::U64, 3),
+            ("workers", Ty::U64, 3),
         ],
     ),
 ];
@@ -280,15 +286,22 @@ pub fn validate_line(line: &str) -> Result<&'static str, String> {
             "kind \"{kind}\" requires schema version >= {min_v}, record claims v{version}"
         ));
     }
+    // A record carries exactly the fields its claimed version defines:
+    // later additions are invisible to older records, and an older record
+    // must not smuggle them in.
+    let fields: Vec<&FieldSpec> = fields
+        .iter()
+        .filter(|(_, _, since)| version >= *since)
+        .collect();
     let rest = &obj[3..];
     if rest.len() != fields.len() {
         let got: Vec<&str> = rest.iter().map(|(k, _)| k.as_str()).collect();
-        let want: Vec<&str> = fields.iter().map(|(k, _)| *k).collect();
+        let want: Vec<&str> = fields.iter().map(|(k, _, _)| *k).collect();
         return Err(format!(
-            "kind \"{kind}\": fields {got:?} do not match schema {want:?}"
+            "kind \"{kind}\": fields {got:?} do not match schema {want:?} for v{version}"
         ));
     }
-    for ((key, val), (want_key, ty)) in rest.iter().zip(*fields) {
+    for ((key, val), (want_key, ty, _)) in rest.iter().zip(fields) {
         if key != want_key {
             return Err(format!(
                 "kind \"{kind}\": field '{key}' where schema expects '{want_key}' (order is part of the contract)"
@@ -418,6 +431,8 @@ mod tests {
                 dram_lat: h,
                 mshr_occ: Histogram::new(),
                 queue_depth: Histogram::new(),
+                machine_fast_forward_fraction: Some(0.125),
+                component_idle_skip_fraction: Some(0.75),
             },
             TraceEvent::ProfileSpan {
                 cycle: 0,
@@ -475,6 +490,28 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("order"), "{err}");
+    }
+
+    #[test]
+    fn metrics_window_fields_are_gated_by_record_version() {
+        // A v3 record predates the engine skip fractions: the shorter
+        // field list validates...
+        let v3 = "{\"v\":3,\"kind\":\"metrics_window\",\"cycle\":0,\"app\":null,\
+             \"stalls\":{\"mem\":0,\"exec\":0,\"barrier\":0,\"tlp_capped\":0},\
+             \"dram_lat\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]},\
+             \"mshr_occ\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]},\
+             \"queue_depth\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]}";
+        assert_eq!(validate_line(&format!("{v3}}}")), Ok("metrics_window"));
+        // ...and a v3 record must not carry the v4-only fields.
+        let smuggled = format!(
+            "{v3},\"machine_fast_forward_fraction\":0.5,\
+             \"component_idle_skip_fraction\":0.5}}"
+        );
+        assert!(validate_line(&smuggled).is_err());
+        // A v4 record without them is missing fields.
+        let truncated = format!("{}}}", v3.replacen("\"v\":3", "\"v\":4", 1));
+        let err = validate_line(&truncated).unwrap_err();
+        assert!(err.contains("do not match schema"), "{err}");
     }
 
     #[test]

@@ -88,6 +88,8 @@ fn one_of_each_kind() -> Vec<TraceEvent> {
             dram_lat: h,
             mshr_occ: Histogram::new(),
             queue_depth: Histogram::new(),
+            machine_fast_forward_fraction: Some(0.5),
+            component_idle_skip_fraction: None,
         },
         TraceEvent::ProfileSpan {
             cycle: 0,

@@ -123,6 +123,16 @@ impl DramChannel {
         self.banks[bank].busy_until <= now
     }
 
+    /// The cycle at which `bank` finishes its current operation (0 when it
+    /// has never been used): `bank_free_idx(bank, t)` holds exactly for
+    /// `t >= bank_busy_until(bank)`. Bank state mutates only on
+    /// [`Self::service_at`], so between controller issues this horizon is
+    /// exact — the event engine builds the controller's next-issue time
+    /// from it.
+    pub fn bank_busy_until(&self, bank: usize) -> u64 {
+        self.banks[bank].busy_until
+    }
+
     /// Services one line-sized access starting no earlier than `now`,
     /// updating bank and bus state, and returns its completion time.
     ///

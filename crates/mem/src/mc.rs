@@ -212,6 +212,24 @@ impl MemoryController {
         self.in_flight.peek().map(|Reverse(f)| f.done_at)
     }
 
+    /// The earliest cycle `>= from` at which a queued request could issue:
+    /// the minimum `busy_until` over the banks the queued requests target,
+    /// clamped to `from` (`u64::MAX` when the queue is empty). Banks only
+    /// change state when this controller issues to them, so the horizon is
+    /// exact between steps — this is the controller's "next event at"
+    /// contract for the event engine.
+    pub fn next_issue_at(&self, dram: &DramChannel, from: u64) -> u64 {
+        let mut next = u64::MAX;
+        for q in &self.queue {
+            let t = dram.bank_busy_until(q.bank);
+            if t <= from {
+                return from;
+            }
+            next = next.min(t);
+        }
+        next
+    }
+
     /// Per-application counters (zero for apps never seen).
     pub fn counters(&self, app: AppId) -> McCounters {
         self.counters.get(app.index()).copied().unwrap_or_default()

@@ -238,20 +238,39 @@ impl MemoryPartition {
         }
     }
 
-    /// The cycle (exclusive) until which stepping this partition is provably
-    /// a no-op, or `None` when it must be stepped at `now`. Quiescent means:
-    /// nothing queued at the L2 port or in the controller (so no issue can
-    /// happen — DRAM bank state only changes on issue), and the earliest
-    /// pending event (DRAM data completion or L2 hit return) lies strictly
-    /// in the future. `u64::MAX` signals a fully drained partition.
-    pub fn quiescent_until(&self, now: u64) -> Option<u64> {
-        if !self.ingress.is_empty() || self.mc.queued() > 0 {
-            return None;
+    /// The earliest cycle `>= from` at which stepping this partition can
+    /// have any observable effect — its "next event at" contract for the
+    /// event engine. Until then, [`MemoryPartition::step_into`] is provably
+    /// a strict no-op: no DRAM completion is due, no L2 hit return is due,
+    /// the L2 port cannot service ingress (empty, or the controller is
+    /// full), and the controller cannot issue (empty, or every targeted
+    /// bank is busy — bank state only changes when *this* partition
+    /// issues, so the horizon stays exact between steps). `u64::MAX`
+    /// signals a fully drained partition that only an ingress push can
+    /// reawaken.
+    pub fn next_event(&self, from: u64) -> u64 {
+        if !self.ingress.is_empty() && self.mc.can_accept() {
+            return from; // the L2 port can service a request now
         }
-        let mut next = self.mc.next_completion().unwrap_or(u64::MAX);
+        let mut next = u64::MAX;
+        if let Some(t) = self.mc.next_completion() {
+            next = next.min(t.max(from));
+        }
         if let Some(Reverse(t)) = self.hit_returns.peek() {
-            next = next.min(t.at);
+            next = next.min(t.at.max(from));
         }
+        if self.mc.queued() > 0 {
+            next = next.min(self.mc.next_issue_at(&self.dram, from));
+        }
+        next
+    }
+
+    /// The cycle (exclusive) until which stepping this partition is provably
+    /// a no-op, or `None` when it must be stepped at `now`. Thin adapter
+    /// over [`MemoryPartition::next_event`]; `Some(u64::MAX)` signals a
+    /// fully drained partition.
+    pub fn quiescent_until(&self, now: u64) -> Option<u64> {
+        let next = self.next_event(now);
         if next <= now {
             None
         } else {

@@ -219,6 +219,24 @@ impl<T> Crossbar<T> {
         Some(next)
     }
 
+    /// The earliest head-of-line `ready_at`, or `None` when the crossbar
+    /// is empty — its "next event at" contract for the event engine:
+    /// nothing can be delivered before the returned cycle. Head-of-line
+    /// flits suffice because only they can be granted and latency is
+    /// constant, so each FIFO's head carries its queue's minimum.
+    pub fn earliest_head_ready(&self) -> Option<u64> {
+        if self.buffered == 0 {
+            return None;
+        }
+        let mut next = u64::MAX;
+        for q in &self.inputs {
+            if let Some(f) = q.front() {
+                next = next.min(f.ready_at);
+            }
+        }
+        Some(next)
+    }
+
     /// Total flits currently buffered (O(1): a running count).
     pub fn in_flight(&self) -> usize {
         debug_assert_eq!(

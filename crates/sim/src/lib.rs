@@ -19,6 +19,8 @@
 //!   in-process registry plus a persistent on-disk store
 //!   (`EBM_CACHE_DIR`), with versioned invalidation ([`cache::ENGINE_VERSION`])
 //!   and a verify mode that re-simulates sampled hits;
+//! * [`timeq`] — the hierarchical timing wheel the event-driven engine
+//!   schedules per-component wake times into ([`timeq::TimeQ`]);
 //! * [`trace`] — the structured, zero-cost-when-disabled observability
 //!   layer: typed events ([`trace::TraceEvent`]) emitted at every sampling
 //!   window, received by pluggable [`trace::TraceSink`]s (in-memory ring,
@@ -33,6 +35,7 @@ pub mod exec;
 pub mod harness;
 pub mod machine;
 pub mod metrics;
+pub mod timeq;
 pub mod trace;
 
 pub use alone::{profile_alone, profile_alone_with_threads, AloneProfile, AloneSample};

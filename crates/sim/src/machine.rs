@@ -1,5 +1,6 @@
 //! The multi-application GPU machine.
 
+use crate::timeq::{TimeQ, NEVER};
 use gpu_mem::req::MemRequest;
 use gpu_mem::{Crossbar, MemoryPartition};
 use gpu_simt::{CoreStats, SimtCore, WarpStalls};
@@ -42,23 +43,71 @@ pub struct Gpu {
     /// reference engine (allocating APIs, no quiescence skipping); see
     /// [`Gpu::set_reference_engine`].
     reference_mode: bool,
-    /// Cycles advanced by stepping every component.
+    /// Cycles advanced by stepping at least one component.
     stepped_cycles: u64,
-    /// Cycles advanced by quiescence fast-forwarding.
+    /// Cycles advanced by jumping over event-free stretches.
     skipped_cycles: u64,
     /// Whether metrics recording is enabled machine-wide (mirrors the
     /// per-component flags; see [`Gpu::set_metrics_enabled`]).
     metrics: bool,
+    /// The event engine's timing wheel: one scheduled wake time per
+    /// component (cores, partitions, request/response crossbars).
+    timeq: TimeQ,
+    /// Per core: the cycle up to which its per-cycle counters have been
+    /// charged. Lazy idle crediting: a sleeping, skipped core is credited
+    /// in one batch when it is next stepped or when a run ends.
+    credited_to: Vec<u64>,
+    /// Per-cycle scratch: which cores must be stepped this cycle.
+    core_due: Vec<bool>,
+    /// Per-cycle scratch: which partitions must be stepped this cycle.
+    part_due: Vec<bool>,
+    /// False when scheduled wake times may be stale (knob change, manual
+    /// step, reference run); [`Gpu::run`] rebuilds the wheel before use.
+    event_state_valid: bool,
+    /// Per core: whether its egress queue is non-empty. A sleeping core's
+    /// egress still drains at the machine's pace, so the event engine
+    /// iterates this set (not the due set) when offering requests to the
+    /// crossbar, and cannot fast-forward while any entry is set.
+    egress_pending: Vec<bool>,
+    /// Number of `true` entries in `egress_pending`.
+    egress_pending_count: usize,
+    /// Individual core step calls (fast path or full).
+    core_steps: u64,
+    /// Individual partition step calls.
+    partition_steps: u64,
+    /// Individual crossbar step calls (request + response networks).
+    xbar_steps: u64,
 }
 
-/// Cycle-advance accounting of the engine, exported for the `perf_smoke`
-/// benchmark's quiescent-skip fraction.
+/// Cycle- and component-step accounting of the engine, exported for the
+/// `perf_smoke` benchmark and BENCH_engine.json.
+///
+/// The cycle counters split total simulated time into cycles where at
+/// least one component was stepped (`stepped`) and whole-machine jumps
+/// over event-free stretches (`fast_forwarded`). The per-class step
+/// counters record how many *individual component steps* actually ran;
+/// comparing them against `class size × total cycles` (the per-cycle
+/// engines always step everything) gives the per-component idle-skip
+/// fractions — the quantity that stays visible even when some component
+/// is always busy and whole-machine fast-forward never engages.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Cycles advanced by stepping every component.
+    /// Cycles advanced by stepping at least one component.
     pub stepped: u64,
-    /// Cycles advanced by quiescence fast-forwarding (no component work).
+    /// Cycles advanced by whole-machine jumps (no component work at all).
     pub fast_forwarded: u64,
+    /// SIMT core step calls executed.
+    pub core_steps: u64,
+    /// Core step calls skipped relative to stepping every core every cycle.
+    pub core_steps_skipped: u64,
+    /// Memory partition step calls executed.
+    pub partition_steps: u64,
+    /// Partition step calls skipped relative to every-cycle stepping.
+    pub partition_steps_skipped: u64,
+    /// Crossbar step calls executed (request + response networks).
+    pub xbar_steps: u64,
+    /// Crossbar step calls skipped relative to every-cycle stepping.
+    pub xbar_steps_skipped: u64,
 }
 
 impl std::fmt::Debug for Gpu {
@@ -167,7 +216,32 @@ impl Gpu {
             stepped_cycles: 0,
             skipped_cycles: 0,
             metrics: false,
+            timeq: TimeQ::new(total + cfg.n_partitions + 2),
+            credited_to: vec![0; total],
+            core_due: vec![false; total],
+            part_due: vec![false; cfg.n_partitions],
+            event_state_valid: false,
+            egress_pending: vec![false; total],
+            egress_pending_count: 0,
+            core_steps: 0,
+            partition_steps: 0,
+            xbar_steps: 0,
         }
+    }
+
+    /// Timing-wheel component id of partition `p` (cores occupy `0..C`).
+    fn comp_part(&self, p: usize) -> usize {
+        self.cores.len() + p
+    }
+
+    /// Timing-wheel component id of the request crossbar.
+    fn comp_req_net(&self) -> usize {
+        self.cores.len() + self.partitions.len()
+    }
+
+    /// Timing-wheel component id of the response crossbar.
+    fn comp_resp_net(&self) -> usize {
+        self.cores.len() + self.partitions.len() + 1
     }
 
     /// The machine configuration.
@@ -197,6 +271,9 @@ impl Gpu {
         for &c in &self.app_cores[app.index()] {
             self.cores[c].set_tlp(level);
         }
+        // The knob clears the affected cores' sleep states, so every wake
+        // time scheduled from them is stale; rebuild before the next run.
+        self.event_state_valid = false;
     }
 
     /// Applies a full TLP combination (one level per application).
@@ -223,6 +300,7 @@ impl Gpu {
         for &c in &self.app_cores[app.index()] {
             self.cores[c].set_bypass_l1(bypass);
         }
+        self.event_state_valid = false;
     }
 
     /// True when `app`'s cores currently bypass their L1s.
@@ -236,15 +314,24 @@ impl Gpu {
         for &c in &self.app_cores[app.index()] {
             self.cores[c].set_ccws(enabled);
         }
+        self.event_state_valid = false;
     }
 
-    /// Advances the machine one cycle.
+    /// Advances the machine one cycle (stepping every component, like the
+    /// per-cycle engines — single external steps bypass the timing wheel).
     pub fn step(&mut self) {
         if self.reference_mode {
             self.step_reference();
         } else {
             self.step_optimized();
         }
+        // A per-cycle step credits every core by actually stepping it; move
+        // the lazy-credit watermark along or a later event-engine run would
+        // credit (and double-count) this cycle again.
+        for c in &mut self.credited_to {
+            *c = self.now;
+        }
+        self.event_state_valid = false;
     }
 
     /// One cycle of the optimized engine: drain-into/callback APIs, with
@@ -312,74 +399,9 @@ impl Gpu {
 
         self.now += 1;
         self.stepped_cycles += 1;
-    }
-
-    /// TEMP: per-phase wall-clock over `cycles` optimized steps.
-    pub fn profile_phases(&mut self, cycles: u64) -> [f64; 5] {
-        let mut acc = [0.0f64; 5];
-        for _ in 0..cycles {
-            let now = self.now;
-            let t0 = std::time::Instant::now();
-            for (p, part) in self.partitions.iter_mut().enumerate() {
-                part.step_into(now, &mut self.resp_backlog[p]);
-                while let Some(resp) = self.resp_backlog[p].front() {
-                    if !self.resp_net.can_accept(p) {
-                        break;
-                    }
-                    let dest = resp.core.index();
-                    let resp = self.resp_backlog[p].pop_front().expect("front checked");
-                    self.resp_net
-                        .push(p, dest, resp, now)
-                        .expect("can_accept checked");
-                }
-            }
-            let t1 = std::time::Instant::now();
-            let cores = &mut self.cores;
-            self.resp_net
-                .step_with(now, |core_idx, resp| cores[core_idx].receive(resp));
-            let t2 = std::time::Instant::now();
-            for core in &mut self.cores {
-                core.step(now);
-            }
-            let t3 = std::time::Instant::now();
-            let n_partitions = self.cfg.n_partitions;
-            for (ci, core) in self.cores.iter_mut().enumerate() {
-                for _ in 0..self.cfg.xbar_requests_per_cycle {
-                    let Some(req) = core.peek_request() else {
-                        break;
-                    };
-                    if !self.req_net.can_accept(ci) {
-                        break;
-                    }
-                    let dest = req.addr.partition(n_partitions);
-                    let req = core.pop_request().expect("peeked");
-                    self.req_net
-                        .push(ci, dest, req, now)
-                        .expect("can_accept checked");
-                }
-            }
-            let t4 = std::time::Instant::now();
-            let backlog = &mut self.ingress_backlog;
-            self.req_net
-                .step_with(now, |p, req| backlog[p].push_back(req));
-            for (p, part) in self.partitions.iter_mut().enumerate() {
-                while let Some(req) = self.ingress_backlog[p].front().copied() {
-                    if part.push(req).is_err() {
-                        break;
-                    }
-                    self.ingress_backlog[p].pop_front();
-                }
-            }
-            self.now += 1;
-            self.stepped_cycles += 1;
-            let t5 = std::time::Instant::now();
-            acc[0] += (t1 - t0).as_secs_f64();
-            acc[1] += (t2 - t1).as_secs_f64();
-            acc[2] += (t3 - t2).as_secs_f64();
-            acc[3] += (t4 - t3).as_secs_f64();
-            acc[4] += (t5 - t4).as_secs_f64();
-        }
-        acc
+        self.core_steps += self.cores.len() as u64;
+        self.partition_steps += self.partitions.len() as u64;
+        self.xbar_steps += 2;
     }
 
     /// One cycle of the naive reference engine: the original per-cycle
@@ -443,72 +465,328 @@ impl Gpu {
 
         self.now += 1;
         self.stepped_cycles += 1;
+        self.core_steps += self.cores.len() as u64;
+        self.partition_steps += self.partitions.len() as u64;
+        self.xbar_steps += 2;
     }
 
-    /// The cycle (exclusive) up to which every component is provably
-    /// quiescent, or `None` when something must be stepped at `now`.
-    ///
-    /// Quiescent means: no staged responses or refused ingress requests, no
-    /// core egress, both crossbars without a deliverable flit, every
-    /// partition event-free and every core asleep. Stepping any cycle in
-    /// the returned span would change nothing but the per-cycle counters
-    /// that [`Gpu::advance_idle`] credits in batch. `u64::MAX` means the
-    /// machine is fully drained.
-    fn quiescent_until(&self) -> Option<u64> {
+    /// Rebuilds every timing-wheel entry from current component state.
+    /// Called when scheduled wake times may be stale: after construction,
+    /// a knob change (TLP/bypass/CCWS clear core sleep states), a manual
+    /// [`Gpu::step`], or a reference-engine stretch.
+    fn rebuild_event_state(&mut self) {
         let now = self.now;
-        if self.resp_backlog.iter().any(|b| !b.is_empty())
-            || self.ingress_backlog.iter().any(|b| !b.is_empty())
-        {
-            return None;
-        }
-        let mut next = self.req_net.quiescent_until(now)?;
-        next = next.min(self.resp_net.quiescent_until(now)?);
-        for part in &self.partitions {
-            next = next.min(part.quiescent_until(now)?);
-        }
-        for core in &self.cores {
-            if core.has_egress() {
-                return None;
+        self.timeq.reset(now);
+        self.egress_pending_count = 0;
+        for (c, core) in self.cores.iter().enumerate() {
+            debug_assert_eq!(
+                self.credited_to[c], now,
+                "rebuild requires flushed core credits"
+            );
+            self.egress_pending[c] = core.has_egress();
+            if self.egress_pending[c] {
+                self.egress_pending_count += 1;
             }
-            next = next.min(core.quiescent_until(now)?);
+            let t = core.next_event(now);
+            if t != NEVER {
+                self.timeq.schedule(c, t);
+            }
         }
-        Some(next)
+        for p in 0..self.partitions.len() {
+            let mut t = self.partitions[p].next_event(now);
+            if !self.resp_backlog[p].is_empty() || !self.ingress_backlog[p].is_empty() {
+                t = now;
+            }
+            if t != NEVER {
+                self.timeq.schedule(self.comp_part(p), t);
+            }
+        }
+        if let Some(t) = self.req_net.earliest_head_ready() {
+            self.timeq.schedule(self.comp_req_net(), t.max(now));
+        }
+        if let Some(t) = self.resp_net.earliest_head_ready() {
+            self.timeq.schedule(self.comp_resp_net(), t.max(now));
+        }
+        self.event_state_valid = true;
     }
 
-    /// Fast-forwards `k` quiescent cycles: credits every core's per-cycle
-    /// counters in batch and advances `now`. Only called for spans proven
-    /// inert by [`Gpu::quiescent_until`].
-    fn advance_idle(&mut self, k: u64) {
-        debug_assert!(k > 0, "zero-length fast-forward");
-        for core in &mut self.cores {
-            core.credit_idle_cycles(k);
+    /// Batch-credits every core's per-cycle counters up to `now`. Cores
+    /// with uncredited cycles are necessarily sleeping (awake cores are
+    /// stepped — and credited — every cycle), so the batch credit is valid.
+    fn flush_core_credits(&mut self) {
+        let now = self.now;
+        for (c, core) in self.cores.iter_mut().enumerate() {
+            if self.credited_to[c] < now {
+                core.credit_idle_cycles(now - self.credited_to[c]);
+                self.credited_to[c] = now;
+            }
         }
-        self.now += k;
-        self.skipped_cycles += k;
     }
 
-    /// Runs the machine for `cycles` cycles. On the optimized engine,
-    /// stretches where every component is provably quiescent are
-    /// fast-forwarded to the next event time; `now`, statistics and traced
-    /// output advance exactly as if every cycle had been stepped.
+    /// One cycle of the event engine: fires due timing-wheel entries into
+    /// per-component due flags, runs the same five phases as
+    /// [`Gpu::step_optimized`] restricted to due components, then
+    /// reschedules everything that was touched. Bit-identical to stepping
+    /// every component: a partition or crossbar is only skipped while its
+    /// step would be a strict no-op (its "next event at" contract), and a
+    /// skipped core's counters-only fast path is credited in batch before
+    /// its next full step.
+    fn step_event(&mut self) {
+        let now = self.now;
+        let n_cores = self.cores.len();
+        let n_parts = self.partitions.len();
+        let zero_lat = self.cfg.xbar_latency == 0;
+        let mut req_due = false;
+        let mut resp_due = false;
+        {
+            let core_due = &mut self.core_due;
+            let part_due = &mut self.part_due;
+            self.timeq.advance(now, |comp| {
+                let comp = comp as usize;
+                if comp < n_cores {
+                    core_due[comp] = true;
+                } else if comp < n_cores + n_parts {
+                    part_due[comp - n_cores] = true;
+                } else if comp == n_cores + n_parts {
+                    req_due = true;
+                } else {
+                    resp_due = true;
+                }
+            });
+        }
+        let resp_was_empty = self.resp_net.is_empty();
+        let req_was_empty = self.req_net.is_empty();
+        let mut resp_pushed = false;
+        let mut req_pushed = false;
+
+        // 1. Due partitions produce responses; stage them toward the
+        //    response network (the backlog retry makes a partition due, so
+        //    non-due partitions have nothing staged).
+        for p in 0..n_parts {
+            if !self.part_due[p] {
+                continue;
+            }
+            self.partition_steps += 1;
+            self.partitions[p].step_into(now, &mut self.resp_backlog[p]);
+            while let Some(resp) = self.resp_backlog[p].front() {
+                if !self.resp_net.can_accept(p) {
+                    break;
+                }
+                let dest = resp.core.index();
+                let resp = self.resp_backlog[p].pop_front().expect("front checked");
+                self.resp_net
+                    .push(p, dest, resp, now)
+                    .expect("can_accept checked");
+                resp_pushed = true;
+                if zero_lat {
+                    resp_due = true; // deliverable this very cycle
+                }
+            }
+        }
+
+        // 2. Deliver responses to cores (crediting a woken core's skipped
+        //    cycles before `receive` clears its sleep state).
+        if resp_due {
+            self.xbar_steps += 1;
+            let cores = &mut self.cores;
+            let credited = &mut self.credited_to;
+            let core_due = &mut self.core_due;
+            self.resp_net.step_with(now, |core_idx, resp| {
+                credit_core(&mut cores[core_idx], &mut credited[core_idx], now);
+                cores[core_idx].receive(resp);
+                core_due[core_idx] = true;
+            });
+        }
+
+        // 3. Due cores execute (skipped-cycle credit first, so the step
+        //    observes exactly the state the per-cycle engine would). A step
+        //    can enqueue egress, so the egress-pending set is refreshed.
+        for c in 0..n_cores {
+            if !self.core_due[c] {
+                continue;
+            }
+            self.core_steps += 1;
+            credit_core(&mut self.cores[c], &mut self.credited_to[c], now);
+            self.cores[c].step(now);
+            self.credited_to[c] = now + 1;
+            let has = self.cores[c].has_egress();
+            if has != self.egress_pending[c] {
+                self.egress_pending[c] = has;
+                if has {
+                    self.egress_pending_count += 1;
+                } else {
+                    self.egress_pending_count -= 1;
+                }
+            }
+        }
+
+        // 4. Core egress into the request network — every core with queued
+        //    requests, due or not: a struct-stalled core sleeps while its
+        //    queue drains at the machine's pace, and the pop wakes it.
+        //    Skipped cycles are credited before the pop can clear the
+        //    sleep, keeping the lazy-credit bookkeeping exact.
+        let n_partitions = self.cfg.n_partitions;
+        if self.egress_pending_count > 0 {
+            for ci in 0..n_cores {
+                if !self.egress_pending[ci] {
+                    continue;
+                }
+                let mut popped = false;
+                for _ in 0..self.cfg.xbar_requests_per_cycle {
+                    let Some(req) = self.cores[ci].peek_request().copied() else {
+                        break;
+                    };
+                    if !self.req_net.can_accept(ci) {
+                        break;
+                    }
+                    credit_core(&mut self.cores[ci], &mut self.credited_to[ci], now + 1);
+                    let dest = req.addr.partition(n_partitions);
+                    let req = self.cores[ci].pop_request().expect("peeked");
+                    self.req_net
+                        .push(ci, dest, req, now)
+                        .expect("can_accept checked");
+                    popped = true;
+                    req_pushed = true;
+                    if zero_lat {
+                        req_due = true;
+                    }
+                }
+                if popped {
+                    if !self.cores[ci].has_egress() {
+                        self.egress_pending[ci] = false;
+                        self.egress_pending_count -= 1;
+                    }
+                    // A pop may have woken a struct-stalled sleeper; a
+                    // non-due core is not rescheduled below, so do it here
+                    // (due cores are covered by the epilogue either way).
+                    if !self.core_due[ci] {
+                        match self.cores[ci].next_event(now + 1) {
+                            NEVER => self.timeq.cancel(ci),
+                            t => self.timeq.schedule(ci, t),
+                        }
+                    }
+                }
+            }
+        }
+
+        // 5. Eject requests into partitions (retrying refused ones first).
+        if req_due {
+            self.xbar_steps += 1;
+            let backlog = &mut self.ingress_backlog;
+            self.req_net
+                .step_with(now, |p, req| backlog[p].push_back(req));
+        }
+        for p in 0..n_parts {
+            if self.ingress_backlog[p].is_empty() {
+                continue;
+            }
+            let part = &mut self.partitions[p];
+            while let Some(req) = self.ingress_backlog[p].front().copied() {
+                if part.push(req).is_err() {
+                    break;
+                }
+                self.ingress_backlog[p].pop_front();
+            }
+            // The partition has fresh ingress (or a backlog retry) — it
+            // must step next cycle. Due partitions are rescheduled below.
+            if !self.part_due[p] {
+                self.timeq.schedule_min(self.comp_part(p), now + 1);
+            }
+        }
+
+        // Reschedule everything stepped this cycle and clear the flags.
+        for c in 0..n_cores {
+            if !self.core_due[c] {
+                continue;
+            }
+            self.core_due[c] = false;
+            match self.cores[c].next_event(now + 1) {
+                NEVER => self.timeq.cancel(c),
+                t => self.timeq.schedule(c, t),
+            }
+        }
+        for p in 0..n_parts {
+            if !self.part_due[p] {
+                continue;
+            }
+            self.part_due[p] = false;
+            let mut t = self.partitions[p].next_event(now + 1);
+            if !self.resp_backlog[p].is_empty() || !self.ingress_backlog[p].is_empty() {
+                t = now + 1; // staging/ingress retries happen every cycle
+            }
+            match t {
+                NEVER => self.timeq.cancel(self.comp_part(p)),
+                t => self.timeq.schedule(self.comp_part(p), t),
+            }
+        }
+        if req_due {
+            match self.req_net.earliest_head_ready() {
+                Some(t) => self.timeq.schedule(self.comp_req_net(), t.max(now + 1)),
+                None => self.timeq.cancel(self.comp_req_net()),
+            }
+        } else if req_pushed && req_was_empty {
+            // First flits into an empty network: all ready after the wire
+            // latency (an already-populated network's earlier wake stands).
+            self.timeq
+                .schedule(self.comp_req_net(), now + self.cfg.xbar_latency as u64);
+        }
+        if resp_due {
+            match self.resp_net.earliest_head_ready() {
+                Some(t) => self.timeq.schedule(self.comp_resp_net(), t.max(now + 1)),
+                None => self.timeq.cancel(self.comp_resp_net()),
+            }
+        } else if resp_pushed && resp_was_empty {
+            self.timeq
+                .schedule(self.comp_resp_net(), now + self.cfg.xbar_latency as u64);
+        }
+
+        self.now += 1;
+        self.stepped_cycles += 1;
+    }
+
+    /// Runs the machine for `cycles` cycles. The event engine jumps from
+    /// event to event: each iteration either steps the due components of
+    /// one cycle or fast-forwards `now` to the next scheduled wake, with
+    /// skipped cores' per-cycle counters credited lazily in batch. `now`,
+    /// statistics and traced output advance exactly as if every component
+    /// had been stepped every cycle (the reference engine checks this
+    /// bit-for-bit in `engine_equivalence`).
     pub fn run(&mut self, cycles: u64) {
         crate::metrics::add_cycles_simulated(cycles);
         if self.reference_mode {
+            self.event_state_valid = false;
             for _ in 0..cycles {
                 self.step_reference();
             }
             return;
         }
+        if !self.event_state_valid {
+            self.rebuild_event_state();
+        }
         let end = self.now + cycles;
         while self.now < end {
-            match self.quiescent_until() {
-                Some(next) => {
-                    let k = next.min(end) - self.now;
-                    self.advance_idle(k);
+            // Queued egress drains once per cycle (phase 4), so the machine
+            // cannot jump while any core holds it, even though the holders
+            // themselves may be asleep and skipped.
+            if self.egress_pending_count == 0 {
+                let next = self.timeq.next_at();
+                if next > self.now {
+                    // Nothing is due before `next`: jump (clamped to the span).
+                    let to = next.min(end);
+                    self.skipped_cycles += to - self.now;
+                    self.now = to;
+                    if to == end {
+                        // The cycle at `end` belongs to the next run span.
+                        break;
+                    }
                 }
-                None => self.step_optimized(),
             }
+            self.step_event();
         }
+        // Credit sleeping, skipped cores up to the span end so every
+        // external read between runs (counters, snapshots, knob logic)
+        // sees exactly the per-cycle engine's state.
+        self.flush_core_credits();
     }
 
     /// Switches between the optimized engine and the naive cycle-by-cycle
@@ -518,6 +796,7 @@ impl Gpu {
     /// every cycle.
     pub fn set_reference_engine(&mut self, on: bool) {
         self.reference_mode = on;
+        self.event_state_valid = false;
     }
 
     /// Enables or disables metrics recording machine-wide (per-warp stall
@@ -578,12 +857,21 @@ impl Gpu {
         queue_depth.record(self.resp_net.take_peak_in_flight() as u64);
     }
 
-    /// Cycle-advance accounting: how many cycles were stepped versus
-    /// fast-forwarded through quiescent stretches.
+    /// Cycle-advance and per-component-class step accounting. Skipped
+    /// counts are relative to the per-cycle engines, which step every
+    /// component every cycle (`class size × total cycles`); the reference
+    /// engine therefore always reports zero skips.
     pub fn engine_stats(&self) -> EngineStats {
+        let total = self.stepped_cycles + self.skipped_cycles;
         EngineStats {
             stepped: self.stepped_cycles,
             fast_forwarded: self.skipped_cycles,
+            core_steps: self.core_steps,
+            core_steps_skipped: total * self.cores.len() as u64 - self.core_steps,
+            partition_steps: self.partition_steps,
+            partition_steps_skipped: total * self.partitions.len() as u64 - self.partition_steps,
+            xbar_steps: self.xbar_steps,
+            xbar_steps_skipped: total * 2 - self.xbar_steps,
         }
     }
 
@@ -703,6 +991,17 @@ impl Gpu {
     pub fn core_telemetry(&self, core: usize) -> (AppId, CoreStats) {
         let c = &self.cores[core];
         (c.app, c.stats())
+    }
+}
+
+/// Batch-credits `core`'s skipped fast-path cycles up to (excluding)
+/// `now`. Free function (not a method) so the response-delivery closure
+/// can call it while the crossbar is mutably borrowed. Must run *before*
+/// `receive`: the credit reads the sleep kind that `receive` clears.
+fn credit_core(core: &mut SimtCore, credited: &mut u64, now: u64) {
+    if *credited < now {
+        core.credit_idle_cycles(now - *credited);
+        *credited = now;
     }
 }
 

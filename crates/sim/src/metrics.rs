@@ -136,7 +136,7 @@ pub fn gmean(values: &[f64]) -> f64 {
 pub use gpu_simt::WarpStalls;
 pub use gpu_types::{Histogram, HIST_BUCKETS};
 
-use crate::machine::Gpu;
+use crate::machine::{EngineStats, Gpu};
 use crate::trace::{TraceEvent, TraceSink};
 use gpu_types::AppId;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -169,6 +169,11 @@ pub fn cycles_simulated() -> u64 {
 pub struct MetricsRegistry {
     mshr_occ: Histogram,
     queue_depth: Histogram,
+    /// Engine accounting at the previous rollover, so each window's
+    /// aggregate record carries window-local skip fractions rather than
+    /// run-cumulative ones. The first window measures from [`Gpu`]
+    /// creation (the counters start at zero with the registry).
+    last_engine: EngineStats,
 }
 
 impl MetricsRegistry {
@@ -199,8 +204,11 @@ impl MetricsRegistry {
                 dram_lat,
                 mshr_occ: Histogram::new(),
                 queue_depth: Histogram::new(),
+                machine_fast_forward_fraction: None,
+                component_idle_skip_fraction: None,
             });
         }
+        let (machine_ff, comp_skip) = self.engine_fractions(gpu.engine_stats());
         sink.emit(TraceEvent::MetricsWindow {
             cycle,
             app: None,
@@ -208,7 +216,30 @@ impl MetricsRegistry {
             dram_lat: all_lat,
             mshr_occ: self.mshr_occ.take(),
             queue_depth: self.queue_depth.take(),
+            machine_fast_forward_fraction: Some(machine_ff),
+            component_idle_skip_fraction: Some(comp_skip),
         });
+    }
+
+    /// Window-local engine skip fractions: diffs the cumulative
+    /// [`EngineStats`] against the previous rollover's snapshot and
+    /// reduces the delta to the two distinct quantities of the engine's
+    /// skip accounting — whole-machine fast-forwarded cycles over total
+    /// cycles, and skipped component steps over total component steps.
+    fn engine_fractions(&mut self, eng: EngineStats) -> (f64, f64) {
+        let prev = self.last_engine;
+        self.last_engine = eng;
+        let cycles = (eng.stepped + eng.fast_forwarded) - (prev.stepped + prev.fast_forwarded);
+        let ff = eng.fast_forwarded - prev.fast_forwarded;
+        let steps = (eng.core_steps + eng.partition_steps + eng.xbar_steps)
+            - (prev.core_steps + prev.partition_steps + prev.xbar_steps);
+        let skipped = (eng.core_steps_skipped
+            + eng.partition_steps_skipped
+            + eng.xbar_steps_skipped)
+            - (prev.core_steps_skipped + prev.partition_steps_skipped + prev.xbar_steps_skipped);
+        let machine_ff = ff as f64 / cycles.max(1) as f64;
+        let comp_skip = skipped as f64 / (steps + skipped).max(1) as f64;
+        (machine_ff, comp_skip)
     }
 }
 

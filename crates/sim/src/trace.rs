@@ -58,8 +58,10 @@ use std::path::{Path, PathBuf};
 ///
 /// History: v2 added the `cache_stats` event (result-cache counters);
 /// v3 added the `metrics_window` (metrics-registry snapshots) and
-/// `profile_span` (bench self-profiler) events.
-pub const TRACE_SCHEMA_VERSION: u32 = 3;
+/// `profile_span` (bench self-profiler) events; v4 added the engine
+/// skip diagnostics (`machine_fast_forward_fraction`,
+/// `component_idle_skip_fraction`) to `metrics_window`.
+pub const TRACE_SCHEMA_VERSION: u32 = 4;
 
 /// Per-core stall breakdown of one sampling window (fractions of the
 /// window's cycles; the remainder is issue cycles).
@@ -198,6 +200,17 @@ pub enum TraceEvent {
         /// Queue-depth samples (partition queues and crossbar peaks; empty
         /// on per-app records).
         queue_depth: Histogram,
+        /// Fraction of the window's cycles the engine advanced by
+        /// whole-machine fast-forward jumps (no component work at all).
+        /// `None` (JSON `null`) on per-app records — this is an engine
+        /// diagnostic, not simulation state, so the per-cycle reference
+        /// engine reports 0 where the event engine reports > 0.
+        machine_fast_forward_fraction: Option<f64>,
+        /// Fraction of individual component steps the engine skipped over
+        /// the window, relative to stepping every component every cycle.
+        /// `None` on per-app records; an engine diagnostic like
+        /// `machine_fast_forward_fraction`.
+        component_idle_skip_fraction: Option<f64>,
     },
     /// One bench self-profiler span (campaign → figure → sweep → run),
     /// emitted when a traced campaign finishes so the trace records where
@@ -413,6 +426,8 @@ impl TraceEvent {
                 dram_lat,
                 mshr_occ,
                 queue_depth,
+                machine_fast_forward_fraction,
+                component_idle_skip_fraction,
                 ..
             } => {
                 match app {
@@ -433,6 +448,19 @@ impl TraceEvent {
                 ] {
                     let _ = write!(s, ",\"{name}\":");
                     push_hist(&mut s, h);
+                }
+                for (name, frac) in [
+                    (
+                        "machine_fast_forward_fraction",
+                        machine_fast_forward_fraction,
+                    ),
+                    ("component_idle_skip_fraction", component_idle_skip_fraction),
+                ] {
+                    let _ = write!(s, ",\"{name}\":");
+                    match frac {
+                        Some(f) => push_f64(&mut s, *f),
+                        None => s.push_str("null"),
+                    }
                 }
             }
             TraceEvent::ProfileSpan {
@@ -693,28 +721,55 @@ mod tests {
             dram_lat,
             mshr_occ: Histogram::new(),
             queue_depth: Histogram::new(),
+            machine_fast_forward_fraction: None,
+            component_idle_skip_fraction: None,
         }
     }
 
-    /// Golden fixture pinning the schema-v3 `metrics_window` field names
+    /// Golden fixture pinning the schema-v4 `metrics_window` field names
     /// and histogram encoding byte-for-byte; any change here must bump
     /// [`TRACE_SCHEMA_VERSION`] and update `docs/TRACE_SCHEMA.md`.
     #[test]
-    fn metrics_window_golden_v3() {
+    fn metrics_window_golden_v4() {
         assert_eq!(
             metrics_window_fixture().to_json(),
-            "{\"v\":3,\"kind\":\"metrics_window\",\"cycle\":15,\"app\":1,\
+            "{\"v\":4,\"kind\":\"metrics_window\",\"cycle\":15,\"app\":1,\
              \"stalls\":{\"mem\":40,\"exec\":10,\"barrier\":0,\"tlp_capped\":8},\
              \"dram_lat\":{\"count\":2,\"sum\":360,\"min\":100,\"max\":260,\
              \"buckets\":[0,0,0,0,0,0,0,1,0,1]},\
              \"mshr_occ\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]},\
-             \"queue_depth\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]}}"
+             \"queue_depth\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]},\
+             \"machine_fast_forward_fraction\":null,\
+             \"component_idle_skip_fraction\":null}"
         );
     }
 
-    /// Golden fixture pinning the schema-v3 `profile_span` field names.
+    /// Aggregate records carry the engine skip fractions as numbers.
     #[test]
-    fn profile_span_golden_v3() {
+    fn metrics_window_aggregate_serializes_engine_fractions() {
+        let e = TraceEvent::MetricsWindow {
+            cycle: 20,
+            app: None,
+            stalls: WarpStalls::default(),
+            dram_lat: Histogram::new(),
+            mshr_occ: Histogram::new(),
+            queue_depth: Histogram::new(),
+            machine_fast_forward_fraction: Some(0.25),
+            component_idle_skip_fraction: Some(0.5),
+        };
+        let json = e.to_json();
+        assert!(
+            json.ends_with(
+                "\"machine_fast_forward_fraction\":0.250000,\
+                 \"component_idle_skip_fraction\":0.500000}"
+            ),
+            "{json}"
+        );
+    }
+
+    /// Golden fixture pinning the schema-v4 `profile_span` field names.
+    #[test]
+    fn profile_span_golden_v4() {
         let e = TraceEvent::ProfileSpan {
             cycle: 0,
             level: "sweep".into(),
@@ -728,7 +783,7 @@ mod tests {
         };
         assert_eq!(
             e.to_json(),
-            "{\"v\":3,\"kind\":\"profile_span\",\"cycle\":0,\"level\":\"sweep\",\
+            "{\"v\":4,\"kind\":\"profile_span\",\"cycle\":0,\"level\":\"sweep\",\
              \"name\":\"BLK_BFS\",\"depth\":2,\"wall_s\":0.500000,\"cycles\":200,\
              \"cache_hits\":1,\"cache_misses\":2,\"workers\":8}"
         );
@@ -805,6 +860,8 @@ mod tests {
                 dram_lat: Histogram::new(),
                 mshr_occ: Histogram::new(),
                 queue_depth: Histogram::new(),
+                machine_fast_forward_fraction: Some(0.0),
+                component_idle_skip_fraction: Some(0.125),
             },
             TraceEvent::ProfileSpan {
                 cycle: 0,

@@ -133,6 +133,11 @@ enum SleepKind {
     /// No active warp can issue for any other reason (ALU latency or all
     /// warps finished).
     Idle,
+    /// A ready warp exists but every one is structurally blocked (egress
+    /// queue or L1 MSHRs full). Cleared by [`SimtCore::pop_request`] — the
+    /// only way egress space frees — as well as the usual response/knob
+    /// wakes (MSHRs free only via [`SimtCore::receive`]).
+    Struct,
 }
 
 /// One SIMT core running a single application's warps.
@@ -406,8 +411,16 @@ impl SimtCore {
     }
 
     /// Next outbound memory request, if the interconnect can take one.
+    ///
+    /// Popping frees egress space, which is one of the two conditions a
+    /// struct-stalled sleep waits on — so it wakes that sleep (Mem/Idle
+    /// sleeps don't care about egress space and stay put).
     pub fn pop_request(&mut self) -> Option<MemRequest> {
-        self.egress.pop_front()
+        let r = self.egress.pop_front();
+        if r.is_some() && matches!(self.sleep, Some((_, SleepKind::Struct))) {
+            self.sleep = None;
+        }
+        r
     }
 
     /// Peeks the next outbound request without removing it.
@@ -520,6 +533,7 @@ impl SimtCore {
                 match kind {
                     SleepKind::Mem => self.stats.mem_stall_cycles += 1,
                     SleepKind::Idle => self.stats.idle_cycles += 1,
+                    SleepKind::Struct => self.stats.struct_stall_cycles += 1,
                 }
                 self.record_warp_stalls(0, 1);
                 return;
@@ -636,6 +650,28 @@ impl SimtCore {
         if issued_total == 0 {
             if saw_struct_block {
                 self.stats.struct_stall_cycles += 1;
+                // Every ready warp was offered and structurally blocked.
+                // Egress and MSHR space free only via pop_request / receive,
+                // which clear the sleep, so until then the only internal
+                // events are pending hit returns and ALU-latency warps
+                // becoming ready.
+                if self.ccws.is_none() {
+                    let mut wake = u64::MAX;
+                    if let Some(Reverse((t, _, _))) = self.hit_returns.peek() {
+                        wake = *t;
+                    }
+                    for s in &self.schedulers {
+                        for &slot in s.active_slots() {
+                            let w = &self.warps[slot];
+                            if w.finished() || w.waiting_mem() || w.ready(now) {
+                                continue;
+                            }
+                            wake = wake.min(w.next_ready_at());
+                        }
+                    }
+                    debug_assert!(wake > now, "pending wakes must lie in the future");
+                    self.sleep = Some((wake, SleepKind::Struct));
+                }
             } else {
                 let mut any_waiting = false;
                 let mut wake = u64::MAX;
@@ -765,6 +801,24 @@ impl SimtCore {
         }
     }
 
+    /// The earliest cycle `>= from` at which this core must be stepped —
+    /// its "next event at" contract for the event engine. Returns `from`
+    /// while the core is awake (it issues or classifies a stall every
+    /// cycle); the sleep horizon otherwise. `u64::MAX` means no
+    /// self-scheduled wake exists: only an external event — a response
+    /// delivery, an egress pop, a knob change — can create work, and the
+    /// engine credits the skipped cycles in one batch via
+    /// [`Self::credit_idle_cycles`] when that happens. Queued egress does
+    /// NOT force per-cycle stepping: the machine drains a sleeping core's
+    /// egress on its own (tracking it in an egress-pending set) and the
+    /// pop wakes the core if that could change issue eligibility.
+    pub fn next_event(&self, from: u64) -> u64 {
+        match self.sleep {
+            Some((until, _)) => until.max(from),
+            None => from,
+        }
+    }
+
     /// Charges `k` cycles of quiescent time in one batch — exactly what `k`
     /// consecutive fast-path [`Self::step`] calls would have recorded. Only
     /// valid while the core is sleeping (all charged cycles must lie before
@@ -780,6 +834,7 @@ impl SimtCore {
         match kind {
             SleepKind::Mem => self.stats.mem_stall_cycles += k,
             SleepKind::Idle => self.stats.idle_cycles += k,
+            SleepKind::Struct => self.stats.struct_stall_cycles += k,
         }
         self.record_warp_stalls(0, k);
     }

@@ -27,18 +27,26 @@ echo "== cargo doc (rustdoc warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "== perf_smoke (smoke mode: verifies parallel == serial, cache warm == cold, obs overhead) =="
-# Smoke-mode numbers must not clobber the committed full-machine BENCH_obs.json.
+# Smoke-mode numbers must not clobber the committed full-machine
+# BENCH_obs.json / BENCH_engine.json.
 OBS_JSON="$(mktemp)"
-trap 'rm -f "$OBS_JSON"' EXIT
-cargo run -p ebm-bench --release --bin perf_smoke -- --smoke --obs-out "$OBS_JSON"
+ENG_JSON="$(mktemp)"
+trap 'rm -f "$OBS_JSON" "$ENG_JSON"' EXIT
+cargo run -p ebm-bench --release --bin perf_smoke -- --smoke --obs-out "$OBS_JSON" --engine-out "$ENG_JSON"
 grep overhead_pct "$OBS_JSON"
+
+echo "== engine speedup gate (memory-bound co-run must beat the reference engine >= 3x) =="
+grep memory_bound_speedup "$ENG_JSON"
+awk -F': ' '/"memory_bound_speedup"/ {
+  if ($2 + 0 < 3.0) { print "FAIL: memory_bound_speedup " $2 " < 3.0"; exit 1 }
+}' "$ENG_JSON"
 
 echo "== result cache round trip (experiments --quick twice, one cache dir) =="
 CACHE_DIR="$(mktemp -d)"
 COLD_OUT="$(mktemp -d)"
 WARM_OUT="$(mktemp -d)"
 TRACE_FILE="$(mktemp -u).jsonl"
-trap 'rm -rf "$CACHE_DIR" "$COLD_OUT" "$WARM_OUT" "$TRACE_FILE" "$OBS_JSON"' EXIT
+trap 'rm -rf "$CACHE_DIR" "$COLD_OUT" "$WARM_OUT" "$TRACE_FILE" "$OBS_JSON" "$ENG_JSON"' EXIT
 EBM_CACHE_DIR="$CACHE_DIR" cargo run -p ebm-bench --release --bin experiments -- \
   --quick --trace "$TRACE_FILE" --out "$COLD_OUT" 2> "$COLD_OUT/stderr.log"
 EBM_CACHE_DIR="$CACHE_DIR" cargo run -p ebm-bench --release --bin experiments -- \
