@@ -6,15 +6,20 @@
 //! no per-cycle heap allocation, and (b) the wall-clock of the
 //! `GpuConfig::small()` 25-combination sweep at 1 thread versus N threads,
 //! verifying along the way that the parallel sweep is bit-for-bit
-//! identical to the sequential one, and (c) the result cache: the same
-//! sweep cold (empty cache directory) versus warm (disk hits only),
-//! asserting the warm rerun is bit-for-bit identical, and (d) the
-//! observability layer: the optimized engine with the metrics registry
+//! identical to the sequential one, plus the *intra*-simulation scaling
+//! curve: one `GpuConfig::volta()` big-machine co-run timed at 1/2/4/8
+//! domain workers (`Gpu::set_sim_threads`), with every run's end state
+//! fingerprinted and compared against the serial run, and (c) the result
+//! cache: the same sweep cold (empty cache directory) versus warm (disk
+//! hits only), asserting the warm rerun is bit-for-bit identical, and (d)
+//! the observability layer: the optimized engine with the metrics registry
 //! disabled (must sit within noise of the plain engine — the gated
 //! recording sites cost one untaken branch) and enabled (recorded
 //! alongside). Results are written as hand-rolled JSON to
 //! `BENCH_engine.json`, `BENCH_parallel.json`, `BENCH_cache.json` and
-//! `BENCH_obs.json`, and a one-line merged summary closes the run.
+//! `BENCH_obs.json` — each stamped with `schema_version`
+//! ([`ebm_bench::BENCH_SCHEMA_VERSION`], documented field by field in
+//! `docs/BENCH_SCHEMA.md`) — and a one-line merged summary closes the run.
 //!
 //! Usage:
 //!
@@ -27,7 +32,7 @@
 //! the JSON writes unless `--out` / `--engine-out` / `--cache-out` /
 //! `--obs-out` are given explicitly.
 
-use ebm_bench::log;
+use ebm_bench::{log, BENCH_SCHEMA_VERSION};
 use ebm_core::sweep::ComboSweep;
 use gpu_sim::exec;
 use gpu_sim::harness::RunSpec;
@@ -185,6 +190,90 @@ fn time_sweep(threads: usize, spec: RunSpec) -> (ComboSweep, f64) {
     (sweep, t.elapsed().as_secs_f64())
 }
 
+/// One point on the intra-simulation scaling curve: the same machine run
+/// with `threads` domain workers.
+struct IntraSimPoint {
+    threads: usize,
+    cycles_per_sec: f64,
+}
+
+/// Intra-simulation scaling of the domain-parallel engine on the
+/// Volta-scale big machine (see `GpuConfig::volta`).
+struct IntraSimBench {
+    timed_cycles: u64,
+    points: Vec<IntraSimPoint>,
+    identical: bool,
+}
+
+impl IntraSimBench {
+    /// Best multi-worker throughput relative to the 1-worker run.
+    fn speedup_vs_1_thread(&self) -> f64 {
+        let base = self
+            .points
+            .first()
+            .map(|p| p.cycles_per_sec)
+            .unwrap_or(f64::NAN);
+        self.points
+            .iter()
+            .skip(1)
+            .map(|p| p.cycles_per_sec)
+            .fold(f64::MIN, f64::max)
+            / base
+    }
+}
+
+/// Times the memory-bound BLK+TRD co-run on `GpuConfig::volta()` at 1, 2, 4
+/// and 8 intra-simulation domain workers. Every run's end state — per-app
+/// memory counters, core stats and the engine's own step/skip accounting —
+/// is fingerprinted and compared to the 1-worker run: the scaling numbers
+/// are only meaningful if the parallel engine is bit-identical to serial.
+fn intra_sim_bench(cycles: u64, warmup: u64) -> IntraSimBench {
+    let cfg = GpuConfig::volta();
+    let w = Workload::pair("BLK", "TRD");
+    let mut points = Vec::new();
+    let mut baseline: Option<String> = None;
+    let mut identical = true;
+    for threads in [1usize, 2, 4, 8] {
+        let mut gpu = Gpu::new(&cfg, w.apps(), 42);
+        gpu.set_sim_threads(threads);
+        gpu.set_combo(&TlpCombo::uniform(TlpLevel::new(8).unwrap(), 2));
+        gpu.run(warmup);
+        let t = Instant::now();
+        gpu.run(cycles);
+        let secs = t.elapsed().as_secs_f64();
+        let fingerprint = format!(
+            "{:?} {:?} {:?} {:?} {:?}",
+            gpu.counters(AppId::new(0)),
+            gpu.counters(AppId::new(1)),
+            gpu.core_stats(AppId::new(0)),
+            gpu.core_stats(AppId::new(1)),
+            gpu.engine_stats()
+        );
+        match &baseline {
+            None => baseline = Some(fingerprint),
+            Some(b) if *b != fingerprint => {
+                identical = false;
+                log!(
+                    info,
+                    "  !! end state at {threads} sim threads diverges from serial"
+                );
+            }
+            _ => {}
+        }
+        let cps = cycles as f64 / secs;
+        log!(info, "  {threads} sim thread(s): {cps:.0} cycles/sec");
+        points.push(IntraSimPoint {
+            threads,
+            cycles_per_sec: cps,
+        });
+    }
+    IntraSimBench {
+        timed_cycles: cycles,
+        points,
+        identical,
+    }
+}
+
 struct CacheBench {
     cold_seconds: f64,
     warm_seconds: f64,
@@ -266,6 +355,7 @@ fn render_engine_json(smoke: bool, cycles: u64, benches: &[WorkloadBench]) -> St
         .unwrap_or(1);
     let mut out = String::from("{\n");
     out.push_str("  \"benchmark\": \"engine\",\n");
+    out.push_str(&format!("  \"schema_version\": {BENCH_SCHEMA_VERSION},\n"));
     out.push_str(&format!("  \"smoke_mode\": {smoke},\n"));
     out.push_str(&format!("  \"host_parallelism\": {host},\n"));
     out.push_str("  \"machine\": \"GpuConfig::small\",\n");
@@ -342,12 +432,14 @@ fn render_json(
     timings: &[SweepTiming],
     identical: bool,
     speedup: f64,
+    intra: &IntraSimBench,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"benchmark\": \"{}\",\n",
         json_escape("perf_smoke")
     ));
+    out.push_str(&format!("  \"schema_version\": {BENCH_SCHEMA_VERSION},\n"));
     out.push_str(&format!("  \"smoke_mode\": {smoke},\n"));
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -369,7 +461,29 @@ fn render_json(
     out.push_str(&format!(
         "  \"parallel_identical_to_serial\": {identical},\n"
     ));
-    out.push_str(&format!("  \"speedup_vs_1_thread\": {speedup:.2}\n"));
+    out.push_str(&format!("  \"speedup_vs_1_thread\": {speedup:.2},\n"));
+    out.push_str("  \"intra_sim\": {\n");
+    out.push_str("    \"machine\": \"GpuConfig::volta\",\n");
+    out.push_str("    \"workload\": \"BLK_TRD\",\n");
+    out.push_str(&format!("    \"timed_cycles\": {},\n", intra.timed_cycles));
+    out.push_str("    \"scaling\": [\n");
+    for (i, p) in intra.points.iter().enumerate() {
+        let comma = if i + 1 < intra.points.len() { "," } else { "" };
+        out.push_str(&format!(
+            "      {{ \"sim_threads\": {}, \"cycles_per_sec\": {:.1} }}{comma}\n",
+            p.threads, p.cycles_per_sec
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!(
+        "    \"identical_across_sim_threads\": {},\n",
+        intra.identical
+    ));
+    out.push_str(&format!(
+        "    \"speedup_vs_1_thread\": {:.2}\n",
+        intra.speedup_vs_1_thread()
+    ));
+    out.push_str("  }\n");
     out.push_str("}\n");
     out
 }
@@ -377,6 +491,7 @@ fn render_json(
 fn render_cache_json(smoke: bool, bench: &CacheBench) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"benchmark\": \"cache\",\n");
+    out.push_str(&format!("  \"schema_version\": {BENCH_SCHEMA_VERSION},\n"));
     out.push_str(&format!("  \"smoke_mode\": {smoke},\n"));
     out.push_str("  \"machine\": \"GpuConfig::small\",\n");
     out.push_str("  \"workload\": \"BLK_BFS\",\n");
@@ -415,6 +530,7 @@ impl ObsBench {
 fn render_obs_json(smoke: bool, cycles: u64, bench: &ObsBench) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"benchmark\": \"obs\",\n");
+    out.push_str(&format!("  \"schema_version\": {BENCH_SCHEMA_VERSION},\n"));
     out.push_str(&format!("  \"smoke_mode\": {smoke},\n"));
     out.push_str("  \"machine\": \"GpuConfig::small\",\n");
     out.push_str("  \"workload\": \"BLK_BFS\",\n");
@@ -596,7 +712,21 @@ fn main() {
         "perf_smoke: speedup vs 1 thread: {speedup:.2}x (identical: {identical})"
     );
 
-    let json = render_json(smoke, engine_cps, &timings, identical, speedup);
+    let (intra_cycles, intra_warmup) = if smoke { (2_000, 500) } else { (20_000, 2_000) };
+    log!(
+        info,
+        "perf_smoke: intra-sim scaling on GpuConfig::volta, BLK_TRD \
+         ({intra_cycles} cycles at 1/2/4/8 sim threads)..."
+    );
+    let intra = intra_sim_bench(intra_cycles, intra_warmup);
+    log!(
+        info,
+        "perf_smoke: intra-sim speedup vs 1 sim thread: {:.2}x (identical: {})",
+        intra.speedup_vs_1_thread(),
+        intra.identical
+    );
+
+    let json = render_json(smoke, engine_cps, &timings, identical, speedup, &intra);
     if let Some(path) = out_path {
         std::fs::write(&path, &json).expect("write benchmark JSON");
         log!(info, "perf_smoke: wrote {path}");
@@ -703,23 +833,26 @@ fn main() {
         print!("{obs_json}");
     }
 
-    // Merged one-line summary of all three benchmark sections.
+    // Merged one-line summary of all benchmark sections.
     log!(
         info,
         "perf_smoke summary: engine {:.2}x (BLK_BFS) / {:.2}x (BLK_TRD) vs \
          reference ({:.0} cycles/s, {:.4} allocs/cycle) | parallel sweep \
-         {speedup:.2}x vs 1 thread (identical: {identical}) | cache warm \
+         {speedup:.2}x vs 1 thread (identical: {identical}) | intra-sim \
+         {:.2}x vs 1 sim thread (identical: {}) | cache warm \
          {:.2}x vs cold (hit rate {:.3}, identical: {})",
         benches[0].speedup(),
         benches[1].speedup(),
         benches[0].after.cycles_per_sec,
         benches[0].after.allocs_per_cycle,
+        intra.speedup_vs_1_thread(),
+        intra.identical,
         cache.speedup(),
         cache.warm_hit_rate,
         cache.identical
     );
 
-    if !identical || !cache.identical {
+    if !identical || !cache.identical || !intra.identical {
         eprintln!("perf_smoke: FAILED determinism check");
         std::process::exit(1);
     }

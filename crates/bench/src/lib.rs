@@ -33,3 +33,13 @@ pub mod schema;
 pub mod util;
 
 pub use util::{out_path, run_and_save, set_out_dir, BenchArgs, Report};
+
+/// Version of the field layout the `perf_smoke` binary writes to
+/// `BENCH_engine.json`, `BENCH_parallel.json`, `BENCH_cache.json` and
+/// `BENCH_obs.json` (each file carries it as `schema_version`).
+///
+/// `docs/BENCH_SCHEMA.md` documents exactly this version, the same way
+/// `docs/TRACE_SCHEMA.md` is pinned to the trace emitter's
+/// `TRACE_SCHEMA_VERSION`: bump the constant and the doc together whenever a
+/// field is added, removed or changes meaning.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;

@@ -76,6 +76,17 @@ impl<T> Crossbar<T> {
         self.inputs[input].len() < self.queue_capacity
     }
 
+    /// Number of flits input port `input` can still accept this cycle.
+    ///
+    /// Because each input FIFO is filled only by its owning component and
+    /// drained only by [`Crossbar::step_with`], a snapshot taken before the
+    /// cycle's push phase is an exact admission budget for that phase — the
+    /// parallel engine (docs/PARALLELISM.md) uses this to let domains stage
+    /// pushes without consulting the shared crossbar mid-cycle.
+    pub fn free_slots(&self, input: usize) -> usize {
+        self.queue_capacity - self.inputs[input].len()
+    }
+
     /// Enqueues `payload` at `input` destined for `dest`, becoming
     /// deliverable at `now + latency`.
     ///
@@ -305,6 +316,21 @@ mod tests {
         x.push(0, 0, 2, 0).unwrap();
         assert!(!x.can_accept(0));
         assert_eq!(x.push(0, 0, 3, 0), Err(3));
+    }
+
+    #[test]
+    fn free_slots_counts_down_to_zero() {
+        let mut x: Crossbar<u32> = Crossbar::new(2, 1, 0, 1, 3);
+        assert_eq!(x.free_slots(0), 3);
+        x.push(0, 0, 1, 0).unwrap();
+        x.push(0, 0, 2, 0).unwrap();
+        assert_eq!(x.free_slots(0), 1);
+        assert_eq!(x.free_slots(1), 3, "ports are independent");
+        x.push(0, 0, 3, 0).unwrap();
+        assert_eq!(x.free_slots(0), 0);
+        assert!(!x.can_accept(0));
+        x.step(0);
+        assert_eq!(x.free_slots(0), 1, "a grant frees exactly one slot");
     }
 
     #[test]

@@ -1,0 +1,517 @@
+//! Intra-simulation domain workers (docs/PARALLELISM.md).
+//!
+//! One machine is partitioned into `EBM_SIM_THREADS` *domains*: contiguous
+//! chunks of SIMT cores (with their lazy-credit watermarks and egress
+//! flags) and memory partitions (with their staging backlogs). Each domain
+//! is owned by one worker thread for the duration of a [`crate::machine::Gpu::run`]
+//! span; the coordinator (the calling thread) keeps the timing wheel, both
+//! crossbars and all scalar counters, and is the only code that ever moves
+//! data *between* domains.
+//!
+//! A stepped cycle is three lock-step phases, each released by the
+//! coordinator through a [`Gate`] broadcast and collected through a
+//! [`Latch`] countdown:
+//!
+//! 1. **Produce** — due partitions step and stage responses toward the
+//!    response network, bounded by a per-port free-slot budget the
+//!    coordinator snapshot before the phase.
+//! 2. **Cores** — response grants are drained into cores, due cores step,
+//!    and egress queues stage requests toward the request network under the
+//!    same budget discipline.
+//! 3. **Ingress** — ejected requests append to partition ingress backlogs
+//!    and drain-retry into the partitions.
+//!
+//! Between phases the coordinator merges every domain's staged flits into
+//! the crossbars **in ascending domain index order** (so ascending global
+//! component order — the exact order the serial engine pushes in) and runs
+//! the crossbars' round-robin arbitration itself. All cross-domain data
+//! flows through those merges, which is why results are bit-identical to
+//! the serial engine for every worker count; see docs/PARALLELISM.md for
+//! the full invariant.
+//!
+//! Everything here is `pub(crate)`: the only public surface of intra-sim
+//! parallelism is `Gpu::set_sim_threads` and the `EBM_SIM_THREADS`
+//! environment variable (`crate::exec::sim_worker_count`).
+
+use crate::machine::credit_core;
+use gpu_mem::req::MemRequest;
+use gpu_mem::MemoryPartition;
+use gpu_simt::SimtCore;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Phase byte: shut the worker down (end of the run span).
+pub(crate) const PHASE_EXIT: u8 = 0;
+/// Phase byte: due partitions produce and stage responses.
+pub(crate) const PHASE_PRODUCE: u8 = 1;
+/// Phase byte: grants drain into cores, due cores step, egress stages.
+pub(crate) const PHASE_CORES: u8 = 2;
+/// Phase byte: ejected requests append and drain into partitions.
+pub(crate) const PHASE_INGRESS: u8 = 3;
+
+/// Brief spin before blocking: phases are microseconds apart when the host
+/// has spare cores, but the suite must also behave on single-core
+/// containers, so the spin is short and falls back to a condvar.
+const SPIN: u32 = 128;
+
+/// Coordinator-to-workers phase broadcast.
+///
+/// `release` publishes a `(phase, now)` pair by bumping `epoch` under the
+/// mutex; `wait` spins briefly on the epoch then blocks on the condvar.
+/// The epoch bump inside the mutex is what makes the sleep race-free: a
+/// waiter re-checks the epoch under the same mutex before sleeping, so a
+/// release cannot slip between its check and its wait.
+pub(crate) struct Gate {
+    epoch: AtomicU64,
+    phase: AtomicU8,
+    now: AtomicU64,
+    failed: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Gate {
+    pub(crate) fn new() -> Self {
+        Gate {
+            epoch: AtomicU64::new(0),
+            phase: AtomicU8::new(PHASE_EXIT),
+            now: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Publishes the next phase to every worker. Must only be called while
+    /// all workers are parked in [`Gate::wait`] (the coordinator guarantees
+    /// this by waiting on the [`Latch`] between releases).
+    pub(crate) fn release(&self, phase: u8, now: u64) {
+        self.phase.store(phase, Ordering::Relaxed);
+        self.now.store(now, Ordering::Relaxed);
+        let _guard = self.lock.lock().expect("gate lock poisoned");
+        // Release-ordered so the phase/now stores above (and all mailbox
+        // writes before them) are visible to the acquire load in `wait`.
+        self.epoch.fetch_add(1, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the epoch moves past `seen`; returns the new epoch and
+    /// the published `(phase, now)` pair.
+    pub(crate) fn wait(&self, seen: u64) -> (u64, u8, u64) {
+        for _ in 0..SPIN {
+            let e = self.epoch.load(Ordering::Acquire);
+            if e != seen {
+                return (
+                    e,
+                    self.phase.load(Ordering::Relaxed),
+                    self.now.load(Ordering::Relaxed),
+                );
+            }
+            std::hint::spin_loop();
+        }
+        let mut guard = self.lock.lock().expect("gate lock poisoned");
+        loop {
+            let e = self.epoch.load(Ordering::Acquire);
+            if e != seen {
+                return (
+                    e,
+                    self.phase.load(Ordering::Relaxed),
+                    self.now.load(Ordering::Relaxed),
+                );
+            }
+            guard = self.cv.wait(guard).expect("gate lock poisoned");
+        }
+    }
+
+    /// Marks the run as failed (a worker's phase body panicked). The
+    /// coordinator checks this after every phase and shuts the remaining
+    /// workers down instead of deadlocking on a latch that will never fill.
+    pub(crate) fn fail(&self) {
+        self.failed.store(true, Ordering::Release);
+    }
+
+    /// True when some worker's phase body panicked.
+    pub(crate) fn has_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+}
+
+/// Workers-to-coordinator completion countdown, reset before each release.
+pub(crate) struct Latch {
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Self {
+        Latch {
+            remaining: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Arms the latch for `n` arrivals. Must only be called while no worker
+    /// is mid-phase (the coordinator resets immediately before a release).
+    pub(crate) fn reset(&self, n: usize) {
+        self.remaining.store(n, Ordering::Release);
+    }
+
+    /// Records one worker's phase completion; wakes the coordinator on the
+    /// last arrival.
+    pub(crate) fn arrive(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Taking the lock before notifying closes the race against a
+            // coordinator that checked `remaining` and is about to sleep.
+            let _guard = self.lock.lock().expect("latch lock poisoned");
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks until every armed arrival has happened.
+    pub(crate) fn wait(&self) {
+        for _ in 0..SPIN {
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut guard = self.lock.lock().expect("latch lock poisoned");
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            guard = self.cv.wait(guard).expect("latch lock poisoned");
+        }
+    }
+}
+
+/// Per-worker exchange buffer. Only ever touched by its worker while a
+/// phase is in flight and by the coordinator while the worker is parked,
+/// so the mutex is uncontended by protocol; it exists to carry the
+/// happens-before edges in safe code. All vectors are reused across
+/// cycles (drained, never dropped), so the steady state allocates nothing.
+pub(crate) struct Mailbox {
+    /// Due flags for this domain's cores (local index), copied in by the
+    /// coordinator from the timing wheel, extended by grant deliveries,
+    /// cleared by the worker in the cores phase.
+    pub(crate) core_due: Vec<bool>,
+    /// Due flags for this domain's partitions, coordinator-copied before
+    /// the produce phase, cleared by the worker in the ingress phase.
+    pub(crate) part_due: Vec<bool>,
+    /// Response-network free-slot budget per local partition (valid for due
+    /// partitions), snapshot by the coordinator before the produce phase.
+    pub(crate) resp_free: Vec<usize>,
+    /// Request-network free-slot budget per local core, snapshot by the
+    /// coordinator before the cores phase.
+    pub(crate) req_free: Vec<usize>,
+    /// Response grants `(local core, response)` in arbitration order.
+    pub(crate) grants: Vec<(usize, MemRequest)>,
+    /// Request ejections `(local partition, request)` in arbitration order.
+    pub(crate) ejects: Vec<(usize, MemRequest)>,
+    /// Responses staged toward the response network:
+    /// `(global partition port, destination core, response)` in partition
+    /// order, backlog order within a partition.
+    pub(crate) staged_resps: Vec<(usize, usize, MemRequest)>,
+    /// Requests staged toward the request network:
+    /// `(global core port, destination partition, request)` in core order.
+    pub(crate) staged_reqs: Vec<(usize, usize, MemRequest)>,
+    /// Timing-wheel updates for cores: `(global core, wake | NEVER)`.
+    pub(crate) core_resched: Vec<(usize, u64)>,
+    /// Timing-wheel updates for partitions:
+    /// `(global partition, wake | NEVER, is schedule_min)`.
+    pub(crate) part_resched: Vec<(usize, u64, bool)>,
+    /// Core step calls executed this cycle (coordinator drains into the
+    /// machine-wide counter).
+    pub(crate) core_steps: u64,
+    /// Net change to the machine-wide egress-pending count this cycle.
+    pub(crate) egress_delta: i64,
+}
+
+impl Mailbox {
+    pub(crate) fn new(n_local_cores: usize, n_local_parts: usize) -> Self {
+        Mailbox {
+            core_due: vec![false; n_local_cores],
+            part_due: vec![false; n_local_parts],
+            resp_free: vec![0; n_local_parts],
+            req_free: vec![0; n_local_cores],
+            grants: Vec::new(),
+            ejects: Vec::new(),
+            staged_resps: Vec::new(),
+            staged_reqs: Vec::new(),
+            core_resched: Vec::new(),
+            part_resched: Vec::new(),
+            core_steps: 0,
+            egress_delta: 0,
+        }
+    }
+}
+
+/// One domain: the contiguous machine slices a worker owns for a run span,
+/// plus the immutable geometry it needs to stage flits.
+pub(crate) struct DomainWorker<'a> {
+    /// This domain's cores.
+    pub(crate) cores: &'a mut [SimtCore],
+    /// Lazy-credit watermarks, aligned with `cores`.
+    pub(crate) credited: &'a mut [u64],
+    /// Egress-pending flags, aligned with `cores`.
+    pub(crate) egress: &'a mut [bool],
+    /// This domain's memory partitions.
+    pub(crate) partitions: &'a mut [MemoryPartition],
+    /// Response staging backlogs, aligned with `partitions`.
+    pub(crate) resp_backlog: &'a mut [VecDeque<MemRequest>],
+    /// Ingress retry backlogs, aligned with `partitions`.
+    pub(crate) ingress_backlog: &'a mut [VecDeque<MemRequest>],
+    /// Global index of `cores[0]` (also the request-network port base).
+    pub(crate) core_base: usize,
+    /// Global index of `partitions[0]` (also the response-network port base).
+    pub(crate) part_base: usize,
+    /// Crossbar admissions per core per cycle (`xbar_requests_per_cycle`).
+    pub(crate) rate: usize,
+    /// Machine-wide partition count (for request address interleaving).
+    pub(crate) n_partitions: usize,
+    /// Reused swap buffer for draining `grants`/`ejects` while the mailbox
+    /// stays mutable.
+    pub(crate) scratch: Vec<(usize, MemRequest)>,
+}
+
+impl DomainWorker<'_> {
+    /// Phase 1 — mirrors the serial engine's "due partitions produce"
+    /// phase: `step_into` the due partitions, then stage up to the
+    /// coordinator's free-slot budget of backlog responses toward the
+    /// response network. The budget snapshot is exact because each
+    /// response-network input port is filled only by its own partition and
+    /// drained only by the coordinator's later arbitration step.
+    fn produce(&mut self, mb: &mut Mailbox, now: u64) {
+        for lp in 0..self.partitions.len() {
+            if !mb.part_due[lp] {
+                continue;
+            }
+            self.partitions[lp].step_into(now, &mut self.resp_backlog[lp]);
+            let mut budget = mb.resp_free[lp];
+            while budget > 0 {
+                let Some(resp) = self.resp_backlog[lp].pop_front() else {
+                    break;
+                };
+                mb.staged_resps
+                    .push((self.part_base + lp, resp.core.index(), resp));
+                budget -= 1;
+            }
+        }
+    }
+
+    /// Phase 2 — mirrors the serial engine's response-delivery, core-step
+    /// and egress-drain phases for this domain's cores, in the serial
+    /// engine's exact per-core order: grants (credit, receive, mark due),
+    /// then due cores step, then egress queues stage requests under the
+    /// free-slot budget, then due cores report their next wake time.
+    fn cores(&mut self, mb: &mut Mailbox, now: u64) {
+        // Grants first: crediting a woken core's skipped cycles must
+        // precede `receive`, which clears the sleep state the credit reads.
+        std::mem::swap(&mut self.scratch, &mut mb.grants);
+        for &(lc, resp) in &self.scratch {
+            credit_core(&mut self.cores[lc], &mut self.credited[lc], now);
+            self.cores[lc].receive(resp);
+            mb.core_due[lc] = true;
+        }
+        self.scratch.clear();
+
+        for lc in 0..self.cores.len() {
+            if !mb.core_due[lc] {
+                continue;
+            }
+            mb.core_steps += 1;
+            credit_core(&mut self.cores[lc], &mut self.credited[lc], now);
+            self.cores[lc].step(now);
+            self.credited[lc] = now + 1;
+            let has = self.cores[lc].has_egress();
+            if has != self.egress[lc] {
+                self.egress[lc] = has;
+                mb.egress_delta += if has { 1 } else { -1 };
+            }
+        }
+
+        // Egress drain: every core with queued requests, due or not — a
+        // struct-stalled core sleeps while its queue drains at the
+        // machine's pace, and the pop wakes it.
+        for lc in 0..self.cores.len() {
+            if !self.egress[lc] {
+                continue;
+            }
+            let budget = mb.req_free[lc].min(self.rate);
+            let mut pushed = 0usize;
+            let mut popped = false;
+            while pushed < budget {
+                let Some(req) = self.cores[lc].peek_request().copied() else {
+                    break;
+                };
+                credit_core(&mut self.cores[lc], &mut self.credited[lc], now + 1);
+                let dest = req.addr.partition(self.n_partitions);
+                let req = self.cores[lc].pop_request().expect("peeked");
+                mb.staged_reqs.push((self.core_base + lc, dest, req));
+                pushed += 1;
+                popped = true;
+            }
+            if popped {
+                if !self.cores[lc].has_egress() {
+                    self.egress[lc] = false;
+                    mb.egress_delta -= 1;
+                }
+                // A pop may have woken a struct-stalled sleeper; a non-due
+                // core is not rescheduled below, so report it here.
+                if !mb.core_due[lc] {
+                    mb.core_resched
+                        .push((self.core_base + lc, self.cores[lc].next_event(now + 1)));
+                }
+            }
+        }
+
+        for lc in 0..self.cores.len() {
+            if !mb.core_due[lc] {
+                continue;
+            }
+            mb.core_due[lc] = false;
+            mb.core_resched
+                .push((self.core_base + lc, self.cores[lc].next_event(now + 1)));
+        }
+    }
+
+    /// Phase 3 — mirrors the serial engine's ingress phase: append the
+    /// coordinator's ejections to the retry backlogs in grant order,
+    /// drain-retry into the partitions, and report timing-wheel updates
+    /// (a partition left with a non-empty backlog must step next cycle).
+    fn ingress(&mut self, mb: &mut Mailbox, now: u64) {
+        std::mem::swap(&mut self.scratch, &mut mb.ejects);
+        for &(lp, req) in &self.scratch {
+            self.ingress_backlog[lp].push_back(req);
+        }
+        self.scratch.clear();
+
+        for lp in 0..self.partitions.len() {
+            if !self.ingress_backlog[lp].is_empty() {
+                while let Some(req) = self.ingress_backlog[lp].front().copied() {
+                    if self.partitions[lp].push(req).is_err() {
+                        break;
+                    }
+                    self.ingress_backlog[lp].pop_front();
+                }
+                if !mb.part_due[lp] {
+                    mb.part_resched.push((self.part_base + lp, now + 1, true));
+                }
+            }
+            if mb.part_due[lp] {
+                mb.part_due[lp] = false;
+                let mut t = self.partitions[lp].next_event(now + 1);
+                if !self.resp_backlog[lp].is_empty() || !self.ingress_backlog[lp].is_empty() {
+                    t = now + 1; // staging/ingress retries happen every cycle
+                }
+                mb.part_resched.push((self.part_base + lp, t, false));
+            }
+        }
+    }
+
+    fn run_phase(&mut self, phase: u8, mb: &mut Mailbox, now: u64) {
+        match phase {
+            PHASE_PRODUCE => self.produce(mb, now),
+            PHASE_CORES => self.cores(mb, now),
+            PHASE_INGRESS => self.ingress(mb, now),
+            _ => unreachable!("unknown phase {phase}"),
+        }
+    }
+}
+
+/// Worker thread body: park on the gate, run the released phase against
+/// the domain, arrive at the latch, repeat until `PHASE_EXIT`.
+///
+/// A panic inside a phase body marks the gate as failed *before* arriving,
+/// so the coordinator (which checks after every latch wait) shuts the
+/// other workers down instead of deadlocking; the payload is then
+/// re-raised so it propagates through the thread scope's join.
+pub(crate) fn worker_loop(
+    mut worker: DomainWorker<'_>,
+    gate: &Gate,
+    latch: &Latch,
+    mailbox: &Mutex<Mailbox>,
+) {
+    let mut epoch = 0u64;
+    loop {
+        let (e, phase, now) = gate.wait(epoch);
+        epoch = e;
+        if phase == PHASE_EXIT {
+            break;
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut mb = mailbox.lock().expect("mailbox poisoned");
+            worker.run_phase(phase, &mut mb, now);
+        }));
+        if let Err(payload) = result {
+            gate.fail();
+            latch.arrive();
+            resume_unwind(payload);
+        }
+        latch.arrive();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_latch_round_trip() {
+        let gate = Gate::new();
+        let latch = Latch::new();
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let mut epoch = 0u64;
+                    loop {
+                        let (e, phase, now) = gate.wait(epoch);
+                        epoch = e;
+                        if phase == PHASE_EXIT {
+                            break;
+                        }
+                        hits.fetch_add(now as usize, Ordering::Relaxed);
+                        latch.arrive();
+                    }
+                });
+            }
+            for cycle in 1..=10u64 {
+                latch.reset(3);
+                gate.release(PHASE_CORES, cycle);
+                latch.wait();
+                assert_eq!(
+                    hits.load(Ordering::Relaxed),
+                    3 * (1..=cycle).sum::<u64>() as usize,
+                    "every worker must run exactly once per release"
+                );
+            }
+            gate.release(PHASE_EXIT, 0);
+        });
+    }
+
+    #[test]
+    fn latch_wait_returns_immediately_when_empty() {
+        let latch = Latch::new();
+        latch.reset(0);
+        latch.wait(); // must not block
+    }
+
+    #[test]
+    fn gate_reports_failure() {
+        let gate = Gate::new();
+        assert!(!gate.has_failed());
+        gate.fail();
+        assert!(gate.has_failed());
+    }
+
+    #[test]
+    fn mailbox_sized_to_domain() {
+        let mb = Mailbox::new(3, 1);
+        assert_eq!(mb.core_due.len(), 3);
+        assert_eq!(mb.req_free.len(), 3);
+        assert_eq!(mb.part_due.len(), 1);
+        assert_eq!(mb.resp_free.len(), 1);
+    }
+}

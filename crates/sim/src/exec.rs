@@ -22,9 +22,55 @@
 //! `EBM_THREADS=1` disables fan-out entirely (useful for profiling and for
 //! the determinism regression tests, although parallel results are identical
 //! by construction).
+//!
+//! A second, independent knob — `EBM_SIM_THREADS`, resolved by
+//! [`sim_worker_count`] — controls *intra-simulation* parallelism: how many
+//! domain workers a single machine's event loop fans out over
+//! (docs/PARALLELISM.md). The two never multiply: [`par_map_with`] workers
+//! run with an [`in_sweep_fanout`] marker set, and `sim_worker_count`
+//! returns 1 inside them, so a sweep of N simulations uses N-way across-sim
+//! parallelism and each simulation steps serially.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+thread_local! {
+    /// True on threads spawned by [`par_map_with`] — see [`in_sweep_fanout`].
+    static IN_SWEEP_FANOUT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread is a [`par_map`]/[`par_map_with`] worker.
+///
+/// Used by [`sim_worker_count`] to suppress nested parallelism: inside a
+/// sweep fan-out every CPU is already busy with an independent simulation,
+/// so splitting each one across further intra-sim workers would only add
+/// barrier overhead and oversubscription.
+pub fn in_sweep_fanout() -> bool {
+    IN_SWEEP_FANOUT.with(Cell::get)
+}
+
+/// Number of intra-simulation domain workers a single machine's event loop
+/// uses: the `EBM_SIM_THREADS` environment variable when set to a positive
+/// integer, otherwise 1 (serial — intra-sim parallelism is opt-in).
+///
+/// Always 1 on [`par_map`]/[`par_map_with`] worker threads, whatever the
+/// environment says: across-sim fan-out already saturates the host
+/// ([`in_sweep_fanout`]). An explicit per-machine override
+/// (`Gpu::set_sim_threads`) bypasses this function entirely.
+pub fn sim_worker_count() -> usize {
+    if in_sweep_fanout() {
+        return 1;
+    }
+    if let Ok(v) = std::env::var("EBM_SIM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    1
+}
 
 /// Number of worker threads fan-outs use by default: the `EBM_THREADS`
 /// environment variable when set to a positive integer, otherwise the
@@ -108,18 +154,23 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    // Mark the worker so nested intra-sim parallelism is
+                    // suppressed ([`sim_worker_count`] returns 1 here).
+                    IN_SWEEP_FANOUT.with(|flag| flag.set(true));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = inputs[i]
+                            .lock()
+                            .expect("input slot poisoned")
+                            .take()
+                            .expect("ticket counter hands out each index once");
+                        let result = f(item);
+                        *outputs[i].lock().expect("output slot poisoned") = Some(result);
                     }
-                    let item = inputs[i]
-                        .lock()
-                        .expect("input slot poisoned")
-                        .take()
-                        .expect("ticket counter hands out each index once");
-                    let result = f(item);
-                    *outputs[i].lock().expect("output slot poisoned") = Some(result);
                 })
             })
             .collect();
@@ -183,6 +234,21 @@ mod tests {
     #[test]
     fn worker_count_is_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn sim_worker_count_suppressed_inside_fanout() {
+        // Whatever EBM_SIM_THREADS says, a par_map worker must report 1:
+        // nested intra-sim parallelism is disabled inside a sweep fan-out.
+        assert!(!in_sweep_fanout(), "caller thread is not a fan-out worker");
+        let counts = par_map_with(3, (0..8).collect::<Vec<u32>>(), |_| {
+            (in_sweep_fanout(), sim_worker_count())
+        });
+        for (inside, n) in counts {
+            assert!(inside, "worker threads must carry the fan-out marker");
+            assert_eq!(n, 1, "intra-sim workers must be suppressed in fan-out");
+        }
+        assert!(!in_sweep_fanout(), "marker must not leak to the caller");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The multi-application GPU machine.
 
+use crate::domain;
 use crate::timeq::{TimeQ, NEVER};
 use gpu_mem::req::MemRequest;
 use gpu_mem::{Crossbar, MemoryPartition};
@@ -77,6 +78,10 @@ pub struct Gpu {
     partition_steps: u64,
     /// Individual crossbar step calls (request + response networks).
     xbar_steps: u64,
+    /// Explicit intra-simulation worker-count override; when `None`,
+    /// [`Gpu::run`] resolves `EBM_SIM_THREADS` via
+    /// [`crate::exec::sim_worker_count`]. See [`Gpu::set_sim_threads`].
+    sim_threads: Option<usize>,
 }
 
 /// Cycle- and component-step accounting of the engine, exported for the
@@ -226,6 +231,7 @@ impl Gpu {
             core_steps: 0,
             partition_steps: 0,
             xbar_steps: 0,
+            sim_threads: None,
         }
     }
 
@@ -751,6 +757,11 @@ impl Gpu {
     /// statistics and traced output advance exactly as if every component
     /// had been stepped every cycle (the reference engine checks this
     /// bit-for-bit in `engine_equivalence`).
+    ///
+    /// When more than one intra-simulation worker is configured
+    /// ([`Gpu::set_sim_threads`] or `EBM_SIM_THREADS`), the stepped cycles
+    /// run on the domain-parallel engine instead — bit-identical to the
+    /// serial engine for every worker count (docs/PARALLELISM.md).
     pub fn run(&mut self, cycles: u64) {
         crate::metrics::add_cycles_simulated(cycles);
         if self.reference_mode {
@@ -758,6 +769,14 @@ impl Gpu {
             for _ in 0..cycles {
                 self.step_reference();
             }
+            return;
+        }
+        let workers = self
+            .sim_threads
+            .unwrap_or_else(crate::exec::sim_worker_count)
+            .min(self.cores.len());
+        if workers > 1 {
+            self.run_parallel(cycles, workers);
             return;
         }
         if !self.event_state_valid {
@@ -789,14 +808,330 @@ impl Gpu {
         self.flush_core_credits();
     }
 
+    /// The domain-parallel event engine: the machine is split into
+    /// `workers` contiguous domains (cores with their credit/egress state,
+    /// partitions with their backlogs), each owned by one scoped thread for
+    /// the whole run span; the coordinator keeps the timing wheel, both
+    /// crossbars and every scalar counter. Each stepped cycle runs the
+    /// serial engine's five phases as three worker phases with coordinator
+    /// merges between them; all cross-domain data moves through those
+    /// merges in ascending component order, which is what keeps results
+    /// bit-identical to [`Gpu::run`]'s serial path for every worker count
+    /// (docs/PARALLELISM.md). Fast-forward over event-free stretches
+    /// happens on the coordinator alone, exactly as in the serial engine.
+    fn run_parallel(&mut self, cycles: u64, workers: usize) {
+        if !self.event_state_valid {
+            self.rebuild_event_state();
+        }
+        let end = self.now + cycles;
+        let n_cores = self.cores.len();
+        let n_parts = self.partitions.len();
+        let core_chunk = n_cores.div_ceil(workers.min(n_cores));
+        let d = n_cores.div_ceil(core_chunk);
+        let part_chunk = n_parts.div_ceil(d);
+        let zero_lat = self.cfg.xbar_latency == 0;
+        let xbar_lat = self.cfg.xbar_latency as u64;
+        let comp_req = n_cores + n_parts;
+        let comp_resp = comp_req + 1;
+
+        let mailboxes: Vec<std::sync::Mutex<domain::Mailbox>> = (0..d)
+            .map(|w| {
+                let cl = core_chunk.min(n_cores - w * core_chunk);
+                let pl = part_chunk.min(n_parts.saturating_sub(w * part_chunk));
+                std::sync::Mutex::new(domain::Mailbox::new(cl, pl))
+            })
+            .collect();
+        let gate = domain::Gate::new();
+        let latch = domain::Latch::new();
+
+        // Disjoint mutable borrows of the machine: the chunked state the
+        // workers own, and everything the coordinator keeps.
+        let Gpu {
+            cores,
+            partitions,
+            resp_backlog,
+            ingress_backlog,
+            credited_to,
+            egress_pending,
+            core_due,
+            part_due,
+            timeq,
+            req_net,
+            resp_net,
+            cfg,
+            now,
+            stepped_cycles,
+            skipped_cycles,
+            egress_pending_count,
+            core_steps,
+            partition_steps,
+            xbar_steps,
+            ..
+        } = self;
+
+        let mut worker_state: Vec<domain::DomainWorker<'_>> = Vec::with_capacity(d);
+        {
+            let mut part_sl: Vec<&mut [MemoryPartition]> =
+                partitions.chunks_mut(part_chunk).collect();
+            let mut rb_sl: Vec<&mut [VecDeque<MemRequest>]> =
+                resp_backlog.chunks_mut(part_chunk).collect();
+            let mut ib_sl: Vec<&mut [VecDeque<MemRequest>]> =
+                ingress_backlog.chunks_mut(part_chunk).collect();
+            // Workers outnumbering the partition chunks own empty slices.
+            part_sl.resize_with(d, Default::default);
+            rb_sl.resize_with(d, Default::default);
+            ib_sl.resize_with(d, Default::default);
+            let core_sl = cores
+                .chunks_mut(core_chunk)
+                .zip(credited_to.chunks_mut(core_chunk))
+                .zip(egress_pending.chunks_mut(core_chunk));
+            let parts = part_sl.into_iter().zip(rb_sl).zip(ib_sl);
+            for (w, (((cores, credited), egress), ((partitions, rb), ib))) in
+                core_sl.zip(parts).enumerate()
+            {
+                worker_state.push(domain::DomainWorker {
+                    cores,
+                    credited,
+                    egress,
+                    partitions,
+                    resp_backlog: rb,
+                    ingress_backlog: ib,
+                    core_base: w * core_chunk,
+                    part_base: w * part_chunk,
+                    rate: cfg.xbar_requests_per_cycle,
+                    n_partitions: cfg.n_partitions,
+                    scratch: Vec::new(),
+                });
+            }
+        }
+
+        std::thread::scope(|scope| {
+            for (w, state) in worker_state.into_iter().enumerate() {
+                let (gate, latch, mailbox) = (&gate, &latch, &mailboxes[w]);
+                scope.spawn(move || domain::worker_loop(state, gate, latch, mailbox));
+            }
+
+            let mut grants: Vec<(usize, MemRequest)> = Vec::new();
+            let mut ejects: Vec<(usize, MemRequest)> = Vec::new();
+            let lock = |w: usize| mailboxes[w].lock().expect("mailbox poisoned");
+            let check = || {
+                if gate.has_failed() {
+                    gate.release(domain::PHASE_EXIT, 0);
+                    panic!("an intra-sim domain worker panicked (see above)");
+                }
+            };
+
+            while *now < end {
+                if *egress_pending_count == 0 {
+                    let next = timeq.next_at();
+                    if next > *now {
+                        let to = next.min(end);
+                        *skipped_cycles += to - *now;
+                        *now = to;
+                        if to == end {
+                            break;
+                        }
+                    }
+                }
+                let t = *now;
+                let mut due_cores = 0usize;
+                let mut due_parts = 0usize;
+                let mut req_due = false;
+                let mut resp_due = false;
+                timeq.advance(t, |comp| {
+                    let comp = comp as usize;
+                    if comp < n_cores {
+                        core_due[comp] = true;
+                        due_cores += 1;
+                    } else if comp < n_cores + n_parts {
+                        part_due[comp - n_cores] = true;
+                        due_parts += 1;
+                    } else if comp == comp_req {
+                        req_due = true;
+                    } else {
+                        resp_due = true;
+                    }
+                });
+                let resp_was_empty = resp_net.is_empty();
+                let req_was_empty = req_net.is_empty();
+                let mut resp_pushed = false;
+                let mut req_pushed = false;
+
+                // Phase 1: due partitions produce and stage responses.
+                if due_parts > 0 {
+                    *partition_steps += due_parts as u64;
+                    for w in 0..d {
+                        let base = w * part_chunk;
+                        if base >= n_parts {
+                            break;
+                        }
+                        let len = part_chunk.min(n_parts - base);
+                        let mut mb = lock(w);
+                        mb.part_due.copy_from_slice(&part_due[base..base + len]);
+                        for lp in 0..len {
+                            if mb.part_due[lp] {
+                                mb.resp_free[lp] = resp_net.free_slots(base + lp);
+                            }
+                        }
+                    }
+                    part_due.fill(false);
+                    latch.reset(d);
+                    gate.release(domain::PHASE_PRODUCE, t);
+                    latch.wait();
+                    check();
+                    // Merge in ascending domain order = ascending partition
+                    // order, exactly the serial engine's push order.
+                    for w in 0..d {
+                        let mut mb = lock(w);
+                        for (p, dest, resp) in mb.staged_resps.drain(..) {
+                            resp_net
+                                .push(p, dest, resp, t)
+                                .expect("staged within the free-slot budget");
+                            resp_pushed = true;
+                        }
+                    }
+                    if zero_lat && resp_pushed {
+                        resp_due = true; // deliverable this very cycle
+                    }
+                }
+
+                // Phase 2: deliver responses (coordinator arbitration),
+                // then cores execute and stage egress.
+                if resp_due {
+                    *xbar_steps += 1;
+                    resp_net.step_with(t, |core_idx, resp| grants.push((core_idx, resp)));
+                }
+                if due_cores > 0 || !grants.is_empty() || *egress_pending_count > 0 {
+                    for w in 0..d {
+                        let base = w * core_chunk;
+                        let len = core_chunk.min(n_cores - base);
+                        let mut mb = lock(w);
+                        if due_cores > 0 {
+                            mb.core_due.copy_from_slice(&core_due[base..base + len]);
+                        }
+                        for lc in 0..len {
+                            mb.req_free[lc] = req_net.free_slots(base + lc);
+                        }
+                    }
+                    if due_cores > 0 {
+                        core_due.fill(false);
+                    }
+                    for (ci, resp) in grants.drain(..) {
+                        let w = ci / core_chunk;
+                        lock(w).grants.push((ci - w * core_chunk, resp));
+                    }
+                    latch.reset(d);
+                    gate.release(domain::PHASE_CORES, t);
+                    latch.wait();
+                    check();
+                    let mut egress_delta = 0i64;
+                    for w in 0..d {
+                        let mut mb = lock(w);
+                        for (ci, dest, req) in mb.staged_reqs.drain(..) {
+                            req_net
+                                .push(ci, dest, req, t)
+                                .expect("staged within the free-slot budget");
+                            req_pushed = true;
+                        }
+                        for (c, at) in mb.core_resched.drain(..) {
+                            match at {
+                                NEVER => timeq.cancel(c),
+                                at => timeq.schedule(c, at),
+                            }
+                        }
+                        *core_steps += mb.core_steps;
+                        mb.core_steps = 0;
+                        egress_delta += mb.egress_delta;
+                        mb.egress_delta = 0;
+                    }
+                    *egress_pending_count =
+                        usize::try_from(*egress_pending_count as i64 + egress_delta)
+                            .expect("egress count never goes negative");
+                    if zero_lat && req_pushed {
+                        req_due = true;
+                    }
+                }
+
+                // Phase 3: eject requests (coordinator arbitration) and
+                // drain partition ingress.
+                if req_due {
+                    *xbar_steps += 1;
+                    req_net.step_with(t, |p, req| ejects.push((p, req)));
+                }
+                if due_parts > 0 || !ejects.is_empty() {
+                    for (p, req) in ejects.drain(..) {
+                        let w = p / part_chunk;
+                        lock(w).ejects.push((p - w * part_chunk, req));
+                    }
+                    latch.reset(d);
+                    gate.release(domain::PHASE_INGRESS, t);
+                    latch.wait();
+                    check();
+                    for w in 0..d {
+                        let mut mb = lock(w);
+                        for (p, at, is_min) in mb.part_resched.drain(..) {
+                            let comp = n_cores + p;
+                            if is_min {
+                                timeq.schedule_min(comp, at);
+                            } else {
+                                match at {
+                                    NEVER => timeq.cancel(comp),
+                                    at => timeq.schedule(comp, at),
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Crossbar epilogue, identical to the serial engine.
+                if req_due {
+                    match req_net.earliest_head_ready() {
+                        Some(at) => timeq.schedule(comp_req, at.max(t + 1)),
+                        None => timeq.cancel(comp_req),
+                    }
+                } else if req_pushed && req_was_empty {
+                    timeq.schedule(comp_req, t + xbar_lat);
+                }
+                if resp_due {
+                    match resp_net.earliest_head_ready() {
+                        Some(at) => timeq.schedule(comp_resp, at.max(t + 1)),
+                        None => timeq.cancel(comp_resp),
+                    }
+                } else if resp_pushed && resp_was_empty {
+                    timeq.schedule(comp_resp, t + xbar_lat);
+                }
+
+                *now = t + 1;
+                *stepped_cycles += 1;
+            }
+
+            gate.release(domain::PHASE_EXIT, 0);
+        });
+        self.flush_core_credits();
+    }
+
     /// Switches between the optimized engine and the naive cycle-by-cycle
     /// reference. The two are bit-for-bit equivalent (asserted by the
     /// `engine_equivalence` differential suite, the only intended user of
     /// the reference mode) — the reference is simply slower and allocates
-    /// every cycle.
+    /// every cycle. The reference engine is also the debugging escape
+    /// hatch: it ignores the timing wheel, idle skipping and intra-sim
+    /// domain workers entirely, so a divergence between it and the default
+    /// engine isolates a bug to the event/parallel machinery.
     pub fn set_reference_engine(&mut self, on: bool) {
         self.reference_mode = on;
         self.event_state_valid = false;
+    }
+
+    /// Pins the number of intra-simulation domain workers for this machine,
+    /// overriding the `EBM_SIM_THREADS` environment variable (clamped to at
+    /// least 1; the core count caps it at run time). Results are
+    /// bit-identical for every value — the knob trades wall-clock for
+    /// barrier overhead only (docs/PARALLELISM.md). Tests use this setter
+    /// instead of the environment variable because environment mutation is
+    /// racy under the multi-threaded test harness.
+    pub fn set_sim_threads(&mut self, threads: usize) {
+        self.sim_threads = Some(threads.max(1));
     }
 
     /// Enables or disables metrics recording machine-wide (per-warp stall
@@ -996,9 +1331,11 @@ impl Gpu {
 
 /// Batch-credits `core`'s skipped fast-path cycles up to (excluding)
 /// `now`. Free function (not a method) so the response-delivery closure
-/// can call it while the crossbar is mutably borrowed. Must run *before*
-/// `receive`: the credit reads the sleep kind that `receive` clears.
-fn credit_core(core: &mut SimtCore, credited: &mut u64, now: u64) {
+/// can call it while the crossbar is mutably borrowed, and `pub(crate)`
+/// so the domain workers ([`crate::domain`]) apply the identical credit
+/// discipline. Must run *before* `receive`: the credit reads the sleep
+/// kind that `receive` clears.
+pub(crate) fn credit_core(core: &mut SimtCore, credited: &mut u64, now: u64) {
     if *credited < now {
         core.credit_idle_cycles(now - *credited);
         *credited = now;
@@ -1203,5 +1540,58 @@ mod tests {
         let mut gpu = Gpu::with_core_split(&cfg, &[by_name("SCP").unwrap()], &[2], 3);
         gpu.run(3_000);
         assert!(gpu.counters(AppId::new(0)).warp_insts > 100);
+    }
+
+    #[test]
+    fn domain_parallel_run_matches_serial_exactly() {
+        let mut serial = small_two_app();
+        serial.set_sim_threads(1);
+        serial.run(4_000);
+        for threads in [2, 3, 4, 7] {
+            let mut parallel = small_two_app();
+            parallel.set_sim_threads(threads);
+            parallel.run(4_000);
+            for a in 0..2u8 {
+                assert_eq!(
+                    serial.counters(AppId::new(a)),
+                    parallel.counters(AppId::new(a)),
+                    "counters diverged at {threads} sim threads"
+                );
+                assert_eq!(
+                    serial.core_stats(AppId::new(a)),
+                    parallel.core_stats(AppId::new(a)),
+                    "core stats diverged at {threads} sim threads"
+                );
+            }
+            assert_eq!(
+                serial.engine_stats(),
+                parallel.engine_stats(),
+                "engine accounting diverged at {threads} sim threads"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_parallel_survives_multiple_run_spans_and_knobs() {
+        // Knob changes invalidate the wheel between spans; both engines
+        // must rebuild identically and stay in lock-step.
+        let mut serial = small_two_app();
+        let mut parallel = small_two_app();
+        parallel.set_sim_threads(4);
+        for (i, span) in [700u64, 1, 1300, 250].iter().enumerate() {
+            let level = TlpLevel::new(1 + (i as u32 * 3) % 8).unwrap();
+            serial.set_tlp(AppId::new(0), level);
+            parallel.set_tlp(AppId::new(0), level);
+            serial.run(*span);
+            parallel.run(*span);
+            assert_eq!(serial.now(), parallel.now());
+            for a in 0..2u8 {
+                assert_eq!(
+                    serial.counters(AppId::new(a)),
+                    parallel.counters(AppId::new(a)),
+                    "span {i} diverged"
+                );
+            }
+        }
     }
 }

@@ -320,6 +320,112 @@ fn event_engine_skips_majority_of_component_steps_when_dram_stalled() {
     );
 }
 
+/// The domain-parallel engine (`Gpu::set_sim_threads` > 1) against the
+/// naive reference, over randomized machines, worker counts and ragged
+/// spans: intra-simulation parallelism must be invisible in every
+/// observable output, whatever the domain decomposition.
+#[test]
+fn random_machines_agree_for_every_sim_thread_count() {
+    let mut rng = SplitMix64::new(0xE961_7E5D);
+    for trial in 0..6 {
+        let (mut par, mut reference) = random_pair(&mut rng);
+        let threads = [2, 4, 7][rng.next_below(3) as usize];
+        par.set_sim_threads(threads);
+        reference.set_reference_engine(true);
+        for leg in 0..4 {
+            let span = 1 + rng.next_below(600);
+            par.run(span);
+            reference.run(span);
+            assert_machines_equal(
+                &par,
+                &reference,
+                &format!("trial {trial} leg {leg} at {threads} sim threads"),
+            );
+        }
+    }
+}
+
+/// The flagship memory-bound co-run at every interesting intra-sim worker
+/// count at once: the serial event engine and 2/4/7-worker machines must
+/// stay byte-identical leg for leg — including the engine's own step/skip
+/// accounting — across ragged spans and mid-run TLP throttles.
+#[test]
+fn memory_bound_corun_is_byte_identical_across_sim_thread_counts() {
+    let mut rng = SplitMix64::new(0xE961_7E5E);
+    let cfg = GpuConfig::small();
+    let w = Workload::pair("BLK", "TRD");
+    let build = |threads: usize| {
+        let mut g = Gpu::new(&cfg, w.apps(), 42);
+        g.set_sim_threads(threads);
+        g.set_tlp(AppId::new(0), TlpLevel::new(8).unwrap());
+        g.set_tlp(AppId::new(1), TlpLevel::new(8).unwrap());
+        g
+    };
+    let mut serial = build(1);
+    let mut parallel: Vec<Gpu> = [2, 4, 7].iter().map(|&t| build(t)).collect();
+    for leg in 0..6 {
+        let span = 1 + rng.next_below(1_000);
+        serial.run(span);
+        for m in &mut parallel {
+            m.run(span);
+        }
+        for (i, m) in parallel.iter().enumerate() {
+            assert_machines_equal(m, &serial, &format!("mem-bound leg {leg} machine {i}"));
+            assert_eq!(
+                m.engine_stats(),
+                serial.engine_stats(),
+                "leg {leg} machine {i}: engine accounting diverged"
+            );
+        }
+        if leg % 3 == 2 {
+            let lvl = TlpLevel::new(1 + rng.next_below(8) as u32).unwrap();
+            serial.set_tlp(AppId::new(1), lvl);
+            for m in &mut parallel {
+                m.set_tlp(AppId::new(1), lvl);
+            }
+        }
+    }
+}
+
+/// Traced controlled runs — the controller changing knobs at every window
+/// boundary — must be *fully* byte-identical between the serial and
+/// domain-parallel engines, with no diagnostic scrubbing: unlike the
+/// reference comparison above, both sides are the same event engine, so
+/// even the fast-forward / idle-skip fractions must match exactly.
+#[test]
+fn traced_controlled_runs_identical_serial_vs_domain_parallel() {
+    let mut rng = SplitMix64::new(0xE961_7E5F);
+    for trial in 0..3 {
+        let (mut par, mut serial) = random_pair(&mut rng);
+        let threads = [2, 4, 7][rng.next_below(3) as usize];
+        par.set_sim_threads(threads);
+        serial.set_sim_threads(1);
+        let window = serial.config().sampling.window_cycles;
+        let total = window * 3 + 89;
+        let mut sink_par = RingSink::new(1 << 14);
+        let mut sink_ser = RingSink::new(1 << 14);
+        let run_par =
+            run_controlled_traced(&mut par, &mut FlipFlop(false), total, 0, &mut sink_par);
+        let run_ser =
+            run_controlled_traced(&mut serial, &mut FlipFlop(false), total, 0, &mut sink_ser);
+        assert_eq!(
+            run_par.tlp_trace, run_ser.tlp_trace,
+            "trial {trial}: TLP traces differ at {threads} sim threads"
+        );
+        for (a, b) in run_par.overall.iter().zip(&run_ser.overall) {
+            assert_eq!(a.counters, b.counters, "trial {trial}: overall differs");
+            assert_eq!(a.cycles, b.cycles, "trial {trial}: spans differ");
+        }
+        assert_eq!(sink_par.dropped(), 0, "ring sink overflowed");
+        assert_eq!(
+            sink_par.events(),
+            sink_ser.events(),
+            "trial {trial}: traced event streams differ at {threads} sim threads"
+        );
+        assert_machines_equal(&par, &serial, &format!("trial {trial} post-run"));
+    }
+}
+
 /// The fast-forward path actually engages — otherwise the equivalence
 /// above would be vacuous. Whole-machine quiescence needs every core
 /// asleep *and* the memory system event-free at once, so the test uses the

@@ -3,11 +3,13 @@
 //! [`GpuConfig`] captures the baseline architecture of §II-A / Table I of the
 //! paper: SIMT cores with private L1 data caches, a crossbar to memory
 //! partitions each holding an L2 slice and a GDDR5 channel behind an FR-FCFS
-//! controller. Two presets are provided:
+//! controller. Three presets are provided:
 //!
 //! * [`GpuConfig::paper`] — the evaluation configuration (reconstructed from
 //!   the garbled OCR against GPGPU-Sim v3.x / MAFIA defaults, see DESIGN.md).
 //! * [`GpuConfig::small`] — a scaled-down machine for fast unit tests.
+//! * [`GpuConfig::volta`] — an 80-SM Volta-scale machine for intra-simulation
+//!   parallelism scaling runs (docs/PARALLELISM.md).
 
 use crate::tlp::{TlpLevel, MAX_TLP};
 use std::fmt;
@@ -311,6 +313,58 @@ impl GpuConfig {
         }
     }
 
+    /// A Volta-scale machine (80 SMs × 64 warps, 4 schedulers per SM,
+    /// 32 KB 4-way L1s, sixteen memory partitions with 256 KB 16-way L2
+    /// slices — 4 MB aggregate — over the paper's GDDR5 channel model).
+    ///
+    /// This is the big-machine preset for intra-simulation parallelism
+    /// scaling runs (`perf_smoke`, BENCH_parallel.json): large enough that
+    /// per-cycle work dominates barrier overhead when the machine is split
+    /// across `EBM_SIM_THREADS` domains. The SM/warp geometry follows the
+    /// Volta Titan V constants (80 SMs, 64 warp slots per SM); the memory
+    /// side keeps the paper's DRAM timings so behavior stays comparable.
+    pub fn volta() -> Self {
+        GpuConfig {
+            n_cores: 80,
+            warps_per_core: 64,
+            threads_per_warp: 32,
+            schedulers_per_core: 4,
+            l1: CacheConfig {
+                capacity_bytes: 32 * 1024,
+                associativity: 4,
+                mshr_entries: 128,
+                mshr_merge: 8,
+                hit_latency: 1,
+            },
+            l2: CacheConfig {
+                capacity_bytes: 256 * 1024,
+                associativity: 16,
+                mshr_entries: 128,
+                mshr_merge: 8,
+                hit_latency: 8,
+            },
+            n_partitions: 16,
+            dram: DramConfig {
+                n_banks: 16,
+                n_bank_groups: 4,
+                row_bytes: 2048,
+                t_cl: 12,
+                t_rp: 12,
+                t_rcd: 12,
+                t_ras: 28,
+                t_ccd_l: 4,
+                t_ccd_s: 2,
+                t_rrd: 6,
+                burst_cycles: 4,
+                page_policy: PagePolicy::Open,
+            },
+            xbar_requests_per_cycle: 1,
+            xbar_latency: 8,
+            sampling: SamplingConfig::default(),
+            scheduler: WarpSchedPolicy::Gto,
+        }
+    }
+
     /// Warp slots owned by each scheduler.
     pub fn warps_per_scheduler(&self) -> usize {
         self.warps_per_core / self.schedulers_per_core
@@ -411,6 +465,19 @@ mod tests {
     fn presets_validate() {
         GpuConfig::paper().validate().unwrap();
         GpuConfig::small().validate().unwrap();
+        GpuConfig::volta().validate().unwrap();
+    }
+
+    #[test]
+    fn volta_geometry() {
+        let cfg = GpuConfig::volta();
+        assert_eq!(cfg.n_cores, 80);
+        assert_eq!(cfg.warps_per_core, 64);
+        // Two-app workloads must split the cores evenly.
+        assert!(cfg.n_cores.is_multiple_of(2));
+        assert_eq!(cfg.max_tlp().get(), 16);
+        // 16 × 256 KB slices = 4 MB of L2.
+        assert_eq!(cfg.l2.capacity_bytes * cfg.n_partitions as u64, 4 << 20);
     }
 
     #[test]

@@ -28,11 +28,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "== perf_smoke (smoke mode: verifies parallel == serial, cache warm == cold, obs overhead) =="
 # Smoke-mode numbers must not clobber the committed full-machine
-# BENCH_obs.json / BENCH_engine.json.
+# BENCH_*.json files.
 OBS_JSON="$(mktemp)"
 ENG_JSON="$(mktemp)"
-trap 'rm -f "$OBS_JSON" "$ENG_JSON"' EXIT
-cargo run -p ebm-bench --release --bin perf_smoke -- --smoke --obs-out "$OBS_JSON" --engine-out "$ENG_JSON"
+PAR_JSON="$(mktemp)"
+trap 'rm -f "$OBS_JSON" "$ENG_JSON" "$PAR_JSON"' EXIT
+cargo run -p ebm-bench --release --bin perf_smoke -- --smoke \
+  --obs-out "$OBS_JSON" --engine-out "$ENG_JSON" --out "$PAR_JSON"
 grep overhead_pct "$OBS_JSON"
 
 echo "== engine speedup gate (memory-bound co-run must beat the reference engine >= 3x) =="
@@ -41,12 +43,40 @@ awk -F': ' '/"memory_bound_speedup"/ {
   if ($2 + 0 < 3.0) { print "FAIL: memory_bound_speedup " $2 " < 3.0"; exit 1 }
 }' "$ENG_JSON"
 
+echo "== intra-sim scaling gate (domain-parallel engine must not lose to serial on multi-core hosts) =="
+# The intra_sim block is the last "speedup_vs_1_thread" in BENCH_parallel;
+# a 1-core host cannot speed up (barrier overhead with nothing to overlap),
+# so the floor only applies when host_parallelism > 1.
+awk -F': ' '
+  /"host_parallelism"/ { host = $2 + 0 }
+  /"identical_across_sim_threads"/ { if ($2 !~ /true/) bad = 1 }
+  /"speedup_vs_1_thread"/ { intra = $2 + 0 }
+  END {
+    if (bad) { print "FAIL: intra-sim parallel run diverged from serial"; exit 1 }
+    if (host > 1 && intra < 1.0) {
+      print "FAIL: intra-sim speedup " intra " < 1.0 on a " host "-core host"; exit 1
+    }
+    print "intra-sim gate OK: speedup " intra "x (host parallelism " host ")"
+  }
+' "$PAR_JSON"
+
+echo "== docs gates (PARALLELISM/BENCH_SCHEMA/TRACE_SCHEMA exist and pin their versions) =="
+grep -q 'EBM_SIM_THREADS' docs/PARALLELISM.md
+grep -q 'EBM_THREADS' docs/PARALLELISM.md
+BENCH_VER="$(sed -n 's/^pub const BENCH_SCHEMA_VERSION: u32 = \([0-9]*\);$/\1/p' crates/bench/src/lib.rs)"
+grep -q "BENCH schema (v$BENCH_VER)" docs/BENCH_SCHEMA.md
+TRACE_VER="$(sed -n 's/^pub const TRACE_SCHEMA_VERSION: u32 = \([0-9]*\);$/\1/p' crates/sim/src/trace.rs)"
+grep -q "Trace schema (v$TRACE_VER)" docs/TRACE_SCHEMA.md
+echo "docs gates OK: BENCH schema v$BENCH_VER, trace schema v$TRACE_VER"
+
 echo "== result cache round trip (experiments --quick twice, one cache dir) =="
 CACHE_DIR="$(mktemp -d)"
 COLD_OUT="$(mktemp -d)"
 WARM_OUT="$(mktemp -d)"
 TRACE_FILE="$(mktemp -u).jsonl"
-trap 'rm -rf "$CACHE_DIR" "$COLD_OUT" "$WARM_OUT" "$TRACE_FILE" "$OBS_JSON" "$ENG_JSON"' EXIT
+SER_OUT="$(mktemp -d)"
+PARSIM_OUT="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR" "$COLD_OUT" "$WARM_OUT" "$TRACE_FILE" "$OBS_JSON" "$ENG_JSON" "$PAR_JSON" "$SER_OUT" "$PARSIM_OUT"' EXIT
 EBM_CACHE_DIR="$CACHE_DIR" cargo run -p ebm-bench --release --bin experiments -- \
   --quick --trace "$TRACE_FILE" --out "$COLD_OUT" 2> "$COLD_OUT/stderr.log"
 EBM_CACHE_DIR="$CACHE_DIR" cargo run -p ebm-bench --release --bin experiments -- \
@@ -65,5 +95,22 @@ echo "cache round trip OK: warm run hit the cache and reproduced every report"
 
 echo "== trace schema gate (trace-tools validate on the --quick campaign trace) =="
 cargo run -p ebm-bench --release --bin trace-tools -- validate "$TRACE_FILE"
+
+echo "== intra-sim determinism gate (experiments --quick at 1 vs 4 sim threads, byte-compared) =="
+# No EBM_CACHE_DIR: each process starts with an empty in-process registry,
+# so both runs genuinely simulate. The two artifact trees must be
+# byte-identical regardless of the domain-worker count (PROFILE.json holds
+# wall-clock timings and legitimately differs). Scoped to the trace-enabled
+# fig11 artifact: on a 1-core host EBM_THREADS resolves to 1, sweeps run
+# inline rather than in fan-out workers, and the whole campaign would pay
+# 4-worker barrier overhead per simulation — fig11 keeps the gate an
+# end-to-end release-mode byte-compare at tolerable cost.
+EBM_SIM_THREADS=1 cargo run -p ebm-bench --release --bin experiments -- \
+  --quick --only fig11 --out "$SER_OUT" 2> "$SER_OUT/stderr.log"
+EBM_SIM_THREADS=4 cargo run -p ebm-bench --release --bin experiments -- \
+  --quick --only fig11 --out "$PARSIM_OUT" 2> "$PARSIM_OUT/stderr.log"
+rm -f "$SER_OUT/stderr.log" "$PARSIM_OUT/stderr.log"
+diff -r --exclude=PROFILE.json "$SER_OUT" "$PARSIM_OUT"
+echo "intra-sim determinism OK: 1-thread and 4-thread artifacts are byte-identical"
 
 echo "CI OK"
