@@ -116,6 +116,10 @@ fn stats_delta(after: EngineStats, before: EngineStats) -> EngineStats {
         partition_steps_skipped: after.partition_steps_skipped - before.partition_steps_skipped,
         xbar_steps: after.xbar_steps - before.xbar_steps,
         xbar_steps_skipped: after.xbar_steps_skipped - before.xbar_steps_skipped,
+        sync_points: after.sync_points - before.sync_points,
+        barrier_waits: after.barrier_waits - before.barrier_waits,
+        windows: after.windows - before.windows,
+        window_cycles: after.window_cycles - before.window_cycles,
     }
 }
 
@@ -203,6 +207,15 @@ struct IntraSimBench {
     timed_cycles: u64,
     points: Vec<IntraSimPoint>,
     identical: bool,
+    /// Gate/Latch broadcasts per thousand simulated cycles on the
+    /// multi-worker runs (the per-cycle 3-phase design paid ~3000).
+    sync_points_per_kcycle: f64,
+    /// Simulated cycles covered by an average lookahead window.
+    mean_window_cycles: f64,
+    /// True when `host_parallelism == 1`: every scaling point then runs
+    /// its workers time-sliced on one core, so `speedup_vs_1_thread`
+    /// measures synchronization *overhead*, not parallel speedup.
+    contended: bool,
 }
 
 impl IntraSimBench {
@@ -233,21 +246,26 @@ fn intra_sim_bench(cycles: u64, warmup: u64) -> IntraSimBench {
     let mut points = Vec::new();
     let mut baseline: Option<String> = None;
     let mut identical = true;
+    let mut sync_points_per_kcycle = 0.0;
+    let mut mean_window_cycles = 0.0;
     for threads in [1usize, 2, 4, 8] {
         let mut gpu = Gpu::new(&cfg, w.apps(), 42);
         gpu.set_sim_threads(threads);
         gpu.set_combo(&TlpCombo::uniform(TlpLevel::new(8).unwrap(), 2));
         gpu.run(warmup);
+        let stats_before = gpu.engine_stats();
         let t = Instant::now();
         gpu.run(cycles);
         let secs = t.elapsed().as_secs_f64();
+        // Sync counters are zero on the serial run by design, so the
+        // byte-identity fingerprint compares everything but them.
         let fingerprint = format!(
             "{:?} {:?} {:?} {:?} {:?}",
             gpu.counters(AppId::new(0)),
             gpu.counters(AppId::new(1)),
             gpu.core_stats(AppId::new(0)),
             gpu.core_stats(AppId::new(1)),
-            gpu.engine_stats()
+            gpu.engine_stats().sans_sync()
         );
         match &baseline {
             None => baseline = Some(fingerprint),
@@ -260,6 +278,13 @@ fn intra_sim_bench(cycles: u64, warmup: u64) -> IntraSimBench {
             }
             _ => {}
         }
+        if threads > 1 && sync_points_per_kcycle == 0.0 {
+            // The window schedule is worker-count-independent, so the
+            // first multi-worker run characterizes them all.
+            let d = stats_delta(gpu.engine_stats(), stats_before);
+            sync_points_per_kcycle = d.sync_points as f64 / (cycles as f64 / 1_000.0);
+            mean_window_cycles = d.mean_window_cycles();
+        }
         let cps = cycles as f64 / secs;
         log!(info, "  {threads} sim thread(s): {cps:.0} cycles/sec");
         points.push(IntraSimPoint {
@@ -271,6 +296,9 @@ fn intra_sim_bench(cycles: u64, warmup: u64) -> IntraSimBench {
         timed_cycles: cycles,
         points,
         identical,
+        sync_points_per_kcycle,
+        mean_window_cycles,
+        contended: std::thread::available_parallelism().map_or(1, |n| n.get()) == 1,
     }
 }
 
@@ -479,6 +507,15 @@ fn render_json(
         "    \"identical_across_sim_threads\": {},\n",
         intra.identical
     ));
+    out.push_str(&format!(
+        "    \"sync_points_per_kcycle\": {:.1},\n",
+        intra.sync_points_per_kcycle
+    ));
+    out.push_str(&format!(
+        "    \"mean_window_cycles\": {:.2},\n",
+        intra.mean_window_cycles
+    ));
+    out.push_str(&format!("    \"contended\": {},\n", intra.contended));
     out.push_str(&format!(
         "    \"speedup_vs_1_thread\": {:.2}\n",
         intra.speedup_vs_1_thread()
@@ -721,9 +758,13 @@ fn main() {
     let intra = intra_sim_bench(intra_cycles, intra_warmup);
     log!(
         info,
-        "perf_smoke: intra-sim speedup vs 1 sim thread: {:.2}x (identical: {})",
+        "perf_smoke: intra-sim speedup vs 1 sim thread: {:.2}x (identical: {}, \
+         {:.1} sync points/kcycle, mean window {:.2} cycles, contended: {})",
         intra.speedup_vs_1_thread(),
-        intra.identical
+        intra.identical,
+        intra.sync_points_per_kcycle,
+        intra.mean_window_cycles,
+        intra.contended
     );
 
     let json = render_json(smoke, engine_cps, &timings, identical, speedup, &intra);

@@ -42,4 +42,4 @@ pub use util::{out_path, run_and_save, set_out_dir, BenchArgs, Report};
 /// `docs/TRACE_SCHEMA.md` is pinned to the trace emitter's
 /// `TRACE_SCHEMA_VERSION`: bump the constant and the doc together whenever a
 /// field is added, removed or changes meaning.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+pub const BENCH_SCHEMA_VERSION: u32 = 2;

@@ -188,6 +188,42 @@ fn intra_sim_workers_compose_with_sweep_fanout() {
 }
 
 #[test]
+fn windowed_sim_threads_compose_with_sweep_fanout() {
+    no_cache();
+    // The lookahead-windowed intra-sim engine under an across-sim fan-out:
+    // each fan-out worker runs a full harness measurement — three
+    // controller-style legs whose knob changes force window flushes — with
+    // an *explicit* `set_sim_threads` override (which bypasses the fan-out
+    // suppression by design, so the windowed engine really runs inside
+    // `par_map_with` workers). Every (worker count × fan-out lane) result
+    // must be byte-identical to the inline serial run.
+    let cfg = GpuConfig::small();
+    let w = Workload::pair("BLK", "TRD");
+    let spec = RunSpec::new(400, 1_400);
+    let measure = |threads: usize| {
+        let mut g = Gpu::new(&cfg, w.apps(), 42);
+        g.set_sim_threads(threads);
+        let mut windows = Vec::new();
+        for leg in 0..3u32 {
+            let combo = TlpCombo::pair(
+                TlpLevel::new(8).unwrap(),
+                TlpLevel::new(1 + leg * 2).unwrap(),
+            );
+            windows.extend(measure_fixed(&mut g, &combo, spec));
+        }
+        windows
+    };
+    let serial = measure(1);
+    let fanned = gpu_sim::exec::par_map_with(3, vec![2usize, 4, 7, 2, 4, 7], measure);
+    for (i, windows) in fanned.iter().enumerate() {
+        assert_eq!(
+            &serial, windows,
+            "lane {i}: windowed engine diverged inside the sweep fan-out"
+        );
+    }
+}
+
+#[test]
 fn sweep_levels_cover_all_apps_axes() {
     no_cache();
     // levels() must report the union over every application's axis, not

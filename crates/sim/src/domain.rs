@@ -1,62 +1,83 @@
-//! Intra-simulation domain workers (docs/PARALLELISM.md).
+//! Intra-simulation domain workers: lookahead-windowed synchronization
+//! (docs/PARALLELISM.md).
 //!
 //! One machine is partitioned into `EBM_SIM_THREADS` *domains*: contiguous
 //! chunks of SIMT cores (with their lazy-credit watermarks and egress
 //! flags) and memory partitions (with their staging backlogs). Each domain
-//! is owned by one worker thread for the duration of a [`crate::machine::Gpu::run`]
-//! span; the coordinator (the calling thread) keeps the timing wheel, both
-//! crossbars and all scalar counters, and is the only code that ever moves
-//! data *between* domains.
+//! is owned by one worker thread for the duration of a
+//! [`crate::machine::Gpu::run`] span; the coordinator (the calling thread)
+//! keeps both crossbars and all scalar counters, and is the only code that
+//! ever moves data *between* domains.
 //!
-//! A stepped cycle is three lock-step phases, each released by the
-//! coordinator through a [`Gate`] broadcast and collected through a
-//! [`Latch`] countdown:
+//! The crossbars' fixed traversal latency is **conservative lookahead**: a
+//! flit pushed at cycle `t` is deliverable no earlier than `t + latency`,
+//! so no domain can observe another domain's actions for `latency` cycles.
+//! The coordinator therefore releases all workers for an `L`-cycle
+//! *window* per [`Gate`] broadcast (one barrier pair per window instead of
+//! three per cycle):
 //!
-//! 1. **Produce** — due partitions step and stage responses toward the
-//!    response network, bounded by a per-port free-slot budget the
-//!    coordinator snapshot before the phase.
-//! 2. **Cores** — response grants are drained into cores, due cores step,
-//!    and egress queues stage requests toward the request network under the
-//!    same budget discipline.
-//! 3. **Ingress** — ejected requests append to partition ingress backlogs
-//!    and drain-retry into the partitions.
+//! * Before the release it **forward-simulates** both crossbars for every
+//!   cycle of the window — exact, because an in-window push is ready no
+//!   earlier than the window end, so it can neither be granted in-window
+//!   nor become an eligible head-of-line flit; grants depend only on the
+//!   state at the window start. The resulting deliveries (cycle-tagged
+//!   response grants and request ejections) and per-port admission budgets
+//!   (free slots at the window start plus one refund per forward-simulated
+//!   grant at a strictly earlier cycle) go into each domain's [`Mailbox`].
+//! * Each worker then steps its domain through the whole window with no
+//!   further synchronization, consuming the tagged deliveries at their
+//!   cycles and staging its own crossbar pushes with origin-cycle tags,
+//!   each push pre-approved against the exact budget the serial engine
+//!   would have seen at that cycle.
+//! * At the window boundary the coordinator replays the staged flits into
+//!   the crossbars with their origin-cycle `ready_at` semantics, restoring
+//!   a state byte-identical to the serial engine's.
 //!
-//! Between phases the coordinator merges every domain's staged flits into
-//! the crossbars **in ascending domain index order** (so ascending global
-//! component order — the exact order the serial engine pushes in) and runs
-//! the crossbars' round-robin arbitration itself. All cross-domain data
-//! flows through those merges, which is why results are bit-identical to
-//! the serial engine for every worker count; see docs/PARALLELISM.md for
-//! the full invariant.
+//! Workers own their components' wake times for the span (derived from
+//! component state, which is dueness-equivalent to the serial timing
+//! wheel's entries — every wheel entry is a state-derived snapshot), and
+//! report a per-window `stepped_mask` of cycles their domain did work in,
+//! so the machine-level stepped/fast-forwarded accounting stays exact.
 //!
 //! Everything here is `pub(crate)`: the only public surface of intra-sim
 //! parallelism is `Gpu::set_sim_threads` and the `EBM_SIM_THREADS`
 //! environment variable (`crate::exec::sim_worker_count`).
 
 use crate::machine::credit_core;
+use crate::timeq::NEVER;
 use gpu_mem::req::MemRequest;
 use gpu_mem::MemoryPartition;
 use gpu_simt::SimtCore;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Phase byte: shut the worker down (end of the run span).
 pub(crate) const PHASE_EXIT: u8 = 0;
-/// Phase byte: due partitions produce and stage responses.
-pub(crate) const PHASE_PRODUCE: u8 = 1;
-/// Phase byte: grants drain into cores, due cores step, egress stages.
-pub(crate) const PHASE_CORES: u8 = 2;
-/// Phase byte: ejected requests append and drain into partitions.
-pub(crate) const PHASE_INGRESS: u8 = 3;
+/// Phase byte: step the domain through one lookahead window.
+pub(crate) const PHASE_WINDOW: u8 = 1;
 
-/// Brief spin before blocking: phases are microseconds apart when the host
-/// has spare cores, but the suite must also behave on single-core
-/// containers, so the spin is short and falls back to a condvar.
-const SPIN: u32 = 128;
+/// Longest lookahead window in cycles: admission budgets, grant refunds
+/// and the stepped-cycle report are `u64` bitmasks indexed by window
+/// offset, so a window never exceeds 64 cycles even on configurations
+/// with a larger crossbar latency.
+pub(crate) const MAX_WINDOW: u64 = 64;
 
-/// Coordinator-to-workers phase broadcast.
+/// Bounded spin before blocking on a condvar. Windows are microseconds
+/// apart when the host has spare cores, so a short spin usually avoids
+/// the syscall; on a single-core host any spinning burns the timeslice of
+/// the very thread being waited on, so the limit drops to zero and both
+/// [`Gate::wait`] and [`Latch::wait`] block immediately.
+fn spin_limit() -> u32 {
+    static LIMIT: OnceLock<u32> = OnceLock::new();
+    *LIMIT.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => 128,
+        _ => 0,
+    })
+}
+
+/// Coordinator-to-workers window broadcast.
 ///
 /// `release` publishes a `(phase, now)` pair by bumping `epoch` under the
 /// mutex; `wait` spins briefly on the epoch then blocks on the condvar.
@@ -84,9 +105,9 @@ impl Gate {
         }
     }
 
-    /// Publishes the next phase to every worker. Must only be called while
-    /// all workers are parked in [`Gate::wait`] (the coordinator guarantees
-    /// this by waiting on the [`Latch`] between releases).
+    /// Publishes the next window to every worker. Must only be called
+    /// while all workers are parked in [`Gate::wait`] (the coordinator
+    /// guarantees this by waiting on the [`Latch`] between releases).
     pub(crate) fn release(&self, phase: u8, now: u64) {
         self.phase.store(phase, Ordering::Relaxed);
         self.now.store(now, Ordering::Relaxed);
@@ -100,7 +121,7 @@ impl Gate {
     /// Blocks until the epoch moves past `seen`; returns the new epoch and
     /// the published `(phase, now)` pair.
     pub(crate) fn wait(&self, seen: u64) -> (u64, u8, u64) {
-        for _ in 0..SPIN {
+        for _ in 0..spin_limit() {
             let e = self.epoch.load(Ordering::Acquire);
             if e != seen {
                 return (
@@ -125,14 +146,14 @@ impl Gate {
         }
     }
 
-    /// Marks the run as failed (a worker's phase body panicked). The
-    /// coordinator checks this after every phase and shuts the remaining
+    /// Marks the run as failed (a worker's window body panicked). The
+    /// coordinator checks this after every window and shuts the remaining
     /// workers down instead of deadlocking on a latch that will never fill.
     pub(crate) fn fail(&self) {
         self.failed.store(true, Ordering::Release);
     }
 
-    /// True when some worker's phase body panicked.
+    /// True when some worker's window body panicked.
     pub(crate) fn has_failed(&self) -> bool {
         self.failed.load(Ordering::Acquire)
     }
@@ -155,13 +176,13 @@ impl Latch {
     }
 
     /// Arms the latch for `n` arrivals. Must only be called while no worker
-    /// is mid-phase (the coordinator resets immediately before a release).
+    /// is mid-window (the coordinator resets immediately before a release).
     pub(crate) fn reset(&self, n: usize) {
         self.remaining.store(n, Ordering::Release);
     }
 
-    /// Records one worker's phase completion; wakes the coordinator on the
-    /// last arrival.
+    /// Records one worker's window completion; wakes the coordinator on
+    /// the last arrival.
     pub(crate) fn arrive(&self) {
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Taking the lock before notifying closes the race against a
@@ -173,7 +194,7 @@ impl Latch {
 
     /// Blocks until every armed arrival has happened.
     pub(crate) fn wait(&self) {
-        for _ in 0..SPIN {
+        for _ in 0..spin_limit() {
             if self.remaining.load(Ordering::Acquire) == 0 {
                 return;
             }
@@ -187,68 +208,81 @@ impl Latch {
 }
 
 /// Per-worker exchange buffer. Only ever touched by its worker while a
-/// phase is in flight and by the coordinator while the worker is parked,
+/// window is in flight and by the coordinator while the worker is parked,
 /// so the mutex is uncontended by protocol; it exists to carry the
 /// happens-before edges in safe code. All vectors are reused across
-/// cycles (drained, never dropped), so the steady state allocates nothing.
+/// windows (drained, never dropped), so the steady state allocates nothing.
 pub(crate) struct Mailbox {
-    /// Due flags for this domain's cores (local index), copied in by the
-    /// coordinator from the timing wheel, extended by grant deliveries,
-    /// cleared by the worker in the cores phase.
-    pub(crate) core_due: Vec<bool>,
-    /// Due flags for this domain's partitions, coordinator-copied before
-    /// the produce phase, cleared by the worker in the ingress phase.
-    pub(crate) part_due: Vec<bool>,
-    /// Response-network free-slot budget per local partition (valid for due
-    /// partitions), snapshot by the coordinator before the produce phase.
-    pub(crate) resp_free: Vec<usize>,
-    /// Request-network free-slot budget per local core, snapshot by the
-    /// coordinator before the cores phase.
-    pub(crate) req_free: Vec<usize>,
-    /// Response grants `(local core, response)` in arbitration order.
-    pub(crate) grants: Vec<(usize, MemRequest)>,
-    /// Request ejections `(local partition, request)` in arbitration order.
-    pub(crate) ejects: Vec<(usize, MemRequest)>,
+    // Coordinator → worker, filled before each release.
+    /// Window length in cycles (1 ..= [`MAX_WINDOW`]).
+    pub(crate) win_len: u64,
+    /// Forward-simulated response grants
+    /// `(window offset, local core, response)`, ascending offset,
+    /// arbitration order within a cycle.
+    pub(crate) grants: Vec<(u64, usize, MemRequest)>,
+    /// Forward-simulated request ejections
+    /// `(window offset, local partition, request)`, same ordering.
+    pub(crate) ejects: Vec<(u64, usize, MemRequest)>,
+    /// Request-network admission budget per local core: free slots of the
+    /// core's input port at the window start.
+    pub(crate) req_free: Vec<u32>,
+    /// Request-network refunds per local core: bit `k` set means a
+    /// forward-simulated grant left this core's input port at window
+    /// offset `k`, so the slot is reusable from offset `k + 1` on.
+    pub(crate) req_refund: Vec<u64>,
+    /// Response-network admission budget per local partition.
+    pub(crate) resp_free: Vec<u32>,
+    /// Response-network refunds per local partition.
+    pub(crate) resp_refund: Vec<u64>,
+
+    // Worker → coordinator, filled during the window.
     /// Responses staged toward the response network:
-    /// `(global partition port, destination core, response)` in partition
-    /// order, backlog order within a partition.
-    pub(crate) staged_resps: Vec<(usize, usize, MemRequest)>,
+    /// `(window offset, global partition port, destination core,
+    /// response)`, ascending offset, backlog order within a cycle.
+    pub(crate) staged_resps: Vec<(u64, usize, usize, MemRequest)>,
     /// Requests staged toward the request network:
-    /// `(global core port, destination partition, request)` in core order.
-    pub(crate) staged_reqs: Vec<(usize, usize, MemRequest)>,
-    /// Timing-wheel updates for cores: `(global core, wake | NEVER)`.
-    pub(crate) core_resched: Vec<(usize, u64)>,
-    /// Timing-wheel updates for partitions:
-    /// `(global partition, wake | NEVER, is schedule_min)`.
-    pub(crate) part_resched: Vec<(usize, u64, bool)>,
-    /// Core step calls executed this cycle (coordinator drains into the
-    /// machine-wide counter).
+    /// `(window offset, global core port, destination partition, request)`.
+    pub(crate) staged_reqs: Vec<(u64, usize, usize, MemRequest)>,
+    /// Bit `k` set: this domain stepped a component (or drained egress) at
+    /// window offset `k`. The coordinator ORs all domains' masks with its
+    /// own crossbar-due bits to reconstruct the serial engine's exact
+    /// stepped/fast-forwarded cycle split.
+    pub(crate) stepped_mask: u64,
+    /// The domain's earliest future event at the window end (the window
+    /// end itself while egress is pending, [`NEVER`] when fully asleep) —
+    /// the coordinator's input for jumping over machine-wide idle
+    /// stretches between windows.
+    pub(crate) next_event: u64,
+    /// Core step calls executed this window.
     pub(crate) core_steps: u64,
-    /// Net change to the machine-wide egress-pending count this cycle.
-    pub(crate) egress_delta: i64,
+    /// Partition step calls executed this window.
+    pub(crate) partition_steps: u64,
 }
 
 impl Mailbox {
     pub(crate) fn new(n_local_cores: usize, n_local_parts: usize) -> Self {
         Mailbox {
-            core_due: vec![false; n_local_cores],
-            part_due: vec![false; n_local_parts],
-            resp_free: vec![0; n_local_parts],
-            req_free: vec![0; n_local_cores],
+            win_len: 0,
             grants: Vec::new(),
             ejects: Vec::new(),
+            req_free: vec![0; n_local_cores],
+            req_refund: vec![0; n_local_cores],
+            resp_free: vec![0; n_local_parts],
+            resp_refund: vec![0; n_local_parts],
             staged_resps: Vec::new(),
             staged_reqs: Vec::new(),
-            core_resched: Vec::new(),
-            part_resched: Vec::new(),
+            stepped_mask: 0,
+            next_event: NEVER,
             core_steps: 0,
-            egress_delta: 0,
+            partition_steps: 0,
         }
     }
 }
 
 /// One domain: the contiguous machine slices a worker owns for a run span,
-/// plus the immutable geometry it needs to stage flits.
+/// the immutable geometry it needs to stage flits, and the worker-local
+/// wake state that replaces the serial engine's timing-wheel entries for
+/// these components.
 pub(crate) struct DomainWorker<'a> {
     /// This domain's cores.
     pub(crate) cores: &'a mut [SimtCore],
@@ -270,169 +304,271 @@ pub(crate) struct DomainWorker<'a> {
     pub(crate) rate: usize,
     /// Machine-wide partition count (for request address interleaving).
     pub(crate) n_partitions: usize,
-    /// Reused swap buffer for draining `grants`/`ejects` while the mailbox
-    /// stays mutable.
-    pub(crate) scratch: Vec<(usize, MemRequest)>,
+    /// Per-core wake times (a core is due at `t` when `wake <= t`);
+    /// grant deliveries pull a wake forward to the delivery cycle.
+    pub(crate) core_wake: Vec<u64>,
+    /// Per-partition wake times.
+    pub(crate) part_wake: Vec<u64>,
+    /// Number of `true` entries in `egress`.
+    pub(crate) egress_count: usize,
+    /// Request-network pushes staged so far this window, per local core.
+    pub(crate) req_used: Vec<u32>,
+    /// Response-network pushes staged so far this window, per partition.
+    pub(crate) resp_used: Vec<u32>,
 }
 
 impl DomainWorker<'_> {
-    /// Phase 1 — mirrors the serial engine's "due partitions produce"
-    /// phase: `step_into` the due partitions, then stage up to the
-    /// coordinator's free-slot budget of backlog responses toward the
-    /// response network. The budget snapshot is exact because each
-    /// response-network input port is filled only by its own partition and
-    /// drained only by the coordinator's later arbitration step.
-    fn produce(&mut self, mb: &mut Mailbox, now: u64) {
-        for lp in 0..self.partitions.len() {
-            if !mb.part_due[lp] {
-                continue;
+    /// Derives the domain's wake state from component state at span start.
+    /// Dueness-equivalent to the serial engine's persisted timing wheel:
+    /// every wheel entry is a state-derived snapshot (`next_event`, backlog
+    /// emptiness, egress flags), so re-deriving at a later cycle fires the
+    /// same components at the same cycles.
+    fn init(&mut self, t0: u64) {
+        self.core_wake.clear();
+        self.egress_count = 0;
+        for (lc, core) in self.cores.iter().enumerate() {
+            self.egress[lc] = core.has_egress();
+            if self.egress[lc] {
+                self.egress_count += 1;
             }
-            self.partitions[lp].step_into(now, &mut self.resp_backlog[lp]);
-            let mut budget = mb.resp_free[lp];
-            while budget > 0 {
-                let Some(resp) = self.resp_backlog[lp].pop_front() else {
-                    break;
-                };
-                mb.staged_resps
-                    .push((self.part_base + lp, resp.core.index(), resp));
-                budget -= 1;
-            }
+            self.core_wake.push(core.next_event(t0));
         }
+        self.part_wake.clear();
+        for (lp, part) in self.partitions.iter().enumerate() {
+            let mut t = part.next_event(t0);
+            if !self.resp_backlog[lp].is_empty() || !self.ingress_backlog[lp].is_empty() {
+                t = t0;
+            }
+            self.part_wake.push(t);
+        }
+        self.req_used = vec![0; self.cores.len()];
+        self.resp_used = vec![0; self.partitions.len()];
     }
 
-    /// Phase 2 — mirrors the serial engine's response-delivery, core-step
-    /// and egress-drain phases for this domain's cores, in the serial
-    /// engine's exact per-core order: grants (credit, receive, mark due),
-    /// then due cores step, then egress queues stage requests under the
-    /// free-slot budget, then due cores report their next wake time.
-    fn cores(&mut self, mb: &mut Mailbox, now: u64) {
-        // Grants first: crediting a woken core's skipped cycles must
-        // precede `receive`, which clears the sleep state the credit reads.
-        std::mem::swap(&mut self.scratch, &mut mb.grants);
-        for &(lc, resp) in &self.scratch {
-            credit_core(&mut self.cores[lc], &mut self.credited[lc], now);
-            self.cores[lc].receive(resp);
-            mb.core_due[lc] = true;
-        }
-        self.scratch.clear();
-
-        for lc in 0..self.cores.len() {
-            if !mb.core_due[lc] {
-                continue;
+    /// Steps the domain through one lookahead window `[t0, t0 + win_len)`,
+    /// running the serial engine's five phases per processed cycle
+    /// restricted to this domain: due partitions produce and stage
+    /// responses (budget-bounded), tagged response grants drain into
+    /// cores, due cores step, egress queues stage requests
+    /// (budget-bounded), and tagged request ejections append to the
+    /// ingress backlogs and drain-retry into the partitions. Cycles where
+    /// the domain has nothing due are skipped in O(domain size).
+    fn run_window(&mut self, mb: &mut Mailbox, t0: u64) {
+        let end = t0 + mb.win_len;
+        let n_lc = self.cores.len();
+        let n_lp = self.partitions.len();
+        let mut gi = 0usize;
+        let mut ei = 0usize;
+        self.req_used.fill(0);
+        self.resp_used.fill(0);
+        let mut mask = 0u64;
+        let mut t = t0;
+        while t < end {
+            // The next cycle this domain must touch: its earliest
+            // component wake, a pending egress drain (every cycle), or a
+            // tagged crossbar delivery.
+            let mut due = if self.egress_count > 0 { t } else { NEVER };
+            if due > t {
+                for &w in &self.core_wake {
+                    due = due.min(w);
+                }
+                for &w in &self.part_wake {
+                    due = due.min(w);
+                }
+                if let Some(g) = mb.grants.get(gi) {
+                    due = due.min(t0 + g.0);
+                }
+                if let Some(e) = mb.ejects.get(ei) {
+                    due = due.min(t0 + e.0);
+                }
             }
-            mb.core_steps += 1;
-            credit_core(&mut self.cores[lc], &mut self.credited[lc], now);
-            self.cores[lc].step(now);
-            self.credited[lc] = now + 1;
-            let has = self.cores[lc].has_egress();
-            if has != self.egress[lc] {
-                self.egress[lc] = has;
-                mb.egress_delta += if has { 1 } else { -1 };
-            }
-        }
-
-        // Egress drain: every core with queued requests, due or not — a
-        // struct-stalled core sleeps while its queue drains at the
-        // machine's pace, and the pop wakes it.
-        for lc in 0..self.cores.len() {
-            if !self.egress[lc] {
-                continue;
-            }
-            let budget = mb.req_free[lc].min(self.rate);
-            let mut pushed = 0usize;
-            let mut popped = false;
-            while pushed < budget {
-                let Some(req) = self.cores[lc].peek_request().copied() else {
+            if due > t {
+                if due >= end {
                     break;
-                };
-                credit_core(&mut self.cores[lc], &mut self.credited[lc], now + 1);
-                let dest = req.addr.partition(self.n_partitions);
-                let req = self.cores[lc].pop_request().expect("peeked");
-                mb.staged_reqs.push((self.core_base + lc, dest, req));
-                pushed += 1;
-                popped = true;
-            }
-            if popped {
-                if !self.cores[lc].has_egress() {
-                    self.egress[lc] = false;
-                    mb.egress_delta -= 1;
                 }
-                // A pop may have woken a struct-stalled sleeper; a non-due
-                // core is not rescheduled below, so report it here.
-                if !mb.core_due[lc] {
-                    mb.core_resched
-                        .push((self.core_base + lc, self.cores[lc].next_event(now + 1)));
-                }
-            }
-        }
-
-        for lc in 0..self.cores.len() {
-            if !mb.core_due[lc] {
+                t = due;
                 continue;
             }
-            mb.core_due[lc] = false;
-            mb.core_resched
-                .push((self.core_base + lc, self.cores[lc].next_event(now + 1)));
-        }
-    }
+            let off = (t - t0) as u32;
+            mask |= 1u64 << off;
+            // Refunds at strictly earlier offsets only: within a cycle the
+            // serial engine pushes before the crossbar grants, so a
+            // same-cycle grant cannot free a slot for a same-cycle push.
+            let below = (1u64 << off) - 1;
 
-    /// Phase 3 — mirrors the serial engine's ingress phase: append the
-    /// coordinator's ejections to the retry backlogs in grant order,
-    /// drain-retry into the partitions, and report timing-wheel updates
-    /// (a partition left with a non-empty backlog must step next cycle).
-    fn ingress(&mut self, mb: &mut Mailbox, now: u64) {
-        std::mem::swap(&mut self.scratch, &mut mb.ejects);
-        for &(lp, req) in &self.scratch {
-            self.ingress_backlog[lp].push_back(req);
-        }
-        self.scratch.clear();
-
-        for lp in 0..self.partitions.len() {
-            if !self.ingress_backlog[lp].is_empty() {
-                while let Some(req) = self.ingress_backlog[lp].front().copied() {
-                    if self.partitions[lp].push(req).is_err() {
+            // 1. Due partitions produce responses; stage them toward the
+            //    response network under the exact admission budget.
+            for lp in 0..n_lp {
+                if self.part_wake[lp] > t {
+                    continue;
+                }
+                mb.partition_steps += 1;
+                self.partitions[lp].step_into(t, &mut self.resp_backlog[lp]);
+                let budget = mb.resp_free[lp] + (mb.resp_refund[lp] & below).count_ones()
+                    - self.resp_used[lp];
+                for _ in 0..budget {
+                    let Some(resp) = self.resp_backlog[lp].pop_front() else {
                         break;
-                    }
-                    self.ingress_backlog[lp].pop_front();
-                }
-                if !mb.part_due[lp] {
-                    mb.part_resched.push((self.part_base + lp, now + 1, true));
+                    };
+                    let dest = resp.core.index();
+                    mb.staged_resps
+                        .push((off as u64, self.part_base + lp, dest, resp));
+                    self.resp_used[lp] += 1;
                 }
             }
-            if mb.part_due[lp] {
-                mb.part_due[lp] = false;
-                let mut t = self.partitions[lp].next_event(now + 1);
-                if !self.resp_backlog[lp].is_empty() || !self.ingress_backlog[lp].is_empty() {
-                    t = now + 1; // staging/ingress retries happen every cycle
-                }
-                mb.part_resched.push((self.part_base + lp, t, false));
-            }
-        }
-    }
 
-    fn run_phase(&mut self, phase: u8, mb: &mut Mailbox, now: u64) {
-        match phase {
-            PHASE_PRODUCE => self.produce(mb, now),
-            PHASE_CORES => self.cores(mb, now),
-            PHASE_INGRESS => self.ingress(mb, now),
-            _ => unreachable!("unknown phase {phase}"),
+            // 2. Deliver this cycle's response grants (crediting a woken
+            //    core's skipped cycles before `receive` clears its sleep
+            //    state) and mark the receivers due.
+            while let Some(&(goff, lc, resp)) = mb.grants.get(gi) {
+                debug_assert!(goff >= off as u64, "grants are consumed in order");
+                if goff != off as u64 {
+                    break;
+                }
+                gi += 1;
+                credit_core(&mut self.cores[lc], &mut self.credited[lc], t);
+                self.cores[lc].receive(resp);
+                self.core_wake[lc] = t;
+            }
+
+            // 3. Due cores execute; a step can enqueue egress.
+            for lc in 0..n_lc {
+                if self.core_wake[lc] > t {
+                    continue;
+                }
+                mb.core_steps += 1;
+                credit_core(&mut self.cores[lc], &mut self.credited[lc], t);
+                self.cores[lc].step(t);
+                self.credited[lc] = t + 1;
+                let has = self.cores[lc].has_egress();
+                if has != self.egress[lc] {
+                    self.egress[lc] = has;
+                    if has {
+                        self.egress_count += 1;
+                    } else {
+                        self.egress_count -= 1;
+                    }
+                }
+            }
+
+            // 4. Egress drain toward the request network — every core with
+            //    queued requests, due or not: a struct-stalled core sleeps
+            //    while its queue drains at the machine's pace, and the pop
+            //    wakes it.
+            if self.egress_count > 0 {
+                for lc in 0..n_lc {
+                    if !self.egress[lc] {
+                        continue;
+                    }
+                    let avail = mb.req_free[lc] + (mb.req_refund[lc] & below).count_ones()
+                        - self.req_used[lc];
+                    let budget = (avail as usize).min(self.rate);
+                    let mut popped = false;
+                    for _ in 0..budget {
+                        let Some(req) = self.cores[lc].peek_request().copied() else {
+                            break;
+                        };
+                        credit_core(&mut self.cores[lc], &mut self.credited[lc], t + 1);
+                        let dest = req.addr.partition(self.n_partitions);
+                        let req = self.cores[lc].pop_request().expect("peeked");
+                        mb.staged_reqs
+                            .push((off as u64, self.core_base + lc, dest, req));
+                        self.req_used[lc] += 1;
+                        popped = true;
+                    }
+                    if popped {
+                        if !self.cores[lc].has_egress() {
+                            self.egress[lc] = false;
+                            self.egress_count -= 1;
+                        }
+                        // A pop may have woken a struct-stalled sleeper; a
+                        // non-due core is not re-woken by the epilogue, so
+                        // refresh it here.
+                        if self.core_wake[lc] > t {
+                            self.core_wake[lc] = self.cores[lc].next_event(t + 1);
+                        }
+                    }
+                }
+            }
+
+            // 5. This cycle's request ejections append to the ingress
+            //    backlogs (grant order), then every backlog drain-retries.
+            while let Some(&(eoff, lp, req)) = mb.ejects.get(ei) {
+                debug_assert!(eoff >= off as u64, "ejects are consumed in order");
+                if eoff != off as u64 {
+                    break;
+                }
+                ei += 1;
+                self.ingress_backlog[lp].push_back(req);
+            }
+            for lp in 0..n_lp {
+                if !self.ingress_backlog[lp].is_empty() {
+                    while let Some(req) = self.ingress_backlog[lp].front().copied() {
+                        if self.partitions[lp].push(req).is_err() {
+                            break;
+                        }
+                        self.ingress_backlog[lp].pop_front();
+                    }
+                    // Fresh ingress (or a retry) makes the partition due
+                    // next cycle even when it was not due now.
+                    if self.part_wake[lp] > t {
+                        self.part_wake[lp] = t + 1;
+                    }
+                }
+                if self.part_wake[lp] <= t {
+                    let mut w = self.partitions[lp].next_event(t + 1);
+                    if !self.resp_backlog[lp].is_empty() || !self.ingress_backlog[lp].is_empty() {
+                        w = t + 1; // staging/ingress retries happen every cycle
+                    }
+                    self.part_wake[lp] = w;
+                }
+            }
+
+            // Epilogue: every due core reports its next wake.
+            for lc in 0..n_lc {
+                if self.core_wake[lc] <= t {
+                    self.core_wake[lc] = self.cores[lc].next_event(t + 1);
+                }
+            }
+            t += 1;
         }
+
+        debug_assert_eq!(gi, mb.grants.len(), "all grants must be consumed");
+        debug_assert_eq!(ei, mb.ejects.len(), "all ejects must be consumed");
+        mb.grants.clear();
+        mb.ejects.clear();
+        mb.stepped_mask = mask;
+        mb.next_event = if self.egress_count > 0 {
+            end
+        } else {
+            let mut m = NEVER;
+            for &w in &self.core_wake {
+                m = m.min(w);
+            }
+            for &w in &self.part_wake {
+                m = m.min(w);
+            }
+            m
+        };
     }
 }
 
-/// Worker thread body: park on the gate, run the released phase against
-/// the domain, arrive at the latch, repeat until `PHASE_EXIT`.
+/// Worker thread body: derive the domain's wake state, then park on the
+/// gate, run each released window against the domain, arrive at the
+/// latch, repeat until `PHASE_EXIT`.
 ///
-/// A panic inside a phase body marks the gate as failed *before* arriving,
-/// so the coordinator (which checks after every latch wait) shuts the
-/// other workers down instead of deadlocking; the payload is then
-/// re-raised so it propagates through the thread scope's join.
+/// A panic inside a window body marks the gate as failed *before*
+/// arriving, so the coordinator (which checks after every latch wait)
+/// shuts the other workers down instead of deadlocking; the payload is
+/// then re-raised so it propagates through the thread scope's join.
 pub(crate) fn worker_loop(
     mut worker: DomainWorker<'_>,
     gate: &Gate,
     latch: &Latch,
     mailbox: &Mutex<Mailbox>,
+    span_start: u64,
 ) {
+    worker.init(span_start);
     let mut epoch = 0u64;
     loop {
         let (e, phase, now) = gate.wait(epoch);
@@ -442,7 +578,7 @@ pub(crate) fn worker_loop(
         }
         let result = catch_unwind(AssertUnwindSafe(|| {
             let mut mb = mailbox.lock().expect("mailbox poisoned");
-            worker.run_phase(phase, &mut mb, now);
+            worker.run_window(&mut mb, now);
         }));
         if let Err(payload) = result {
             gate.fail();
@@ -479,7 +615,7 @@ mod tests {
             }
             for cycle in 1..=10u64 {
                 latch.reset(3);
-                gate.release(PHASE_CORES, cycle);
+                gate.release(PHASE_WINDOW, cycle);
                 latch.wait();
                 assert_eq!(
                     hits.load(Ordering::Relaxed),
@@ -509,9 +645,19 @@ mod tests {
     #[test]
     fn mailbox_sized_to_domain() {
         let mb = Mailbox::new(3, 1);
-        assert_eq!(mb.core_due.len(), 3);
         assert_eq!(mb.req_free.len(), 3);
-        assert_eq!(mb.part_due.len(), 1);
+        assert_eq!(mb.req_refund.len(), 3);
         assert_eq!(mb.resp_free.len(), 1);
+        assert_eq!(mb.resp_refund.len(), 1);
+        assert_eq!(mb.next_event, NEVER);
+    }
+
+    #[test]
+    fn spin_limit_is_zero_on_single_core_hosts() {
+        let limit = spin_limit();
+        match std::thread::available_parallelism() {
+            Ok(n) if n.get() > 1 => assert!(limit > 0),
+            _ => assert_eq!(limit, 0, "single-core hosts must not spin"),
+        }
     }
 }

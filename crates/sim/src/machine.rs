@@ -82,6 +82,15 @@ pub struct Gpu {
     /// [`Gpu::run`] resolves `EBM_SIM_THREADS` via
     /// [`crate::exec::sim_worker_count`]. See [`Gpu::set_sim_threads`].
     sim_threads: Option<usize>,
+    /// Gate broadcasts issued by the windowed parallel engine (one per
+    /// lookahead window, plus one exit broadcast per run span).
+    sync_points: u64,
+    /// Latch collections by the windowed parallel engine (one per window).
+    barrier_waits: u64,
+    /// Lookahead windows executed by the parallel engine.
+    windows: u64,
+    /// Total cycles covered by those windows (stepped or skipped).
+    window_cycles: u64,
 }
 
 /// Cycle- and component-step accounting of the engine, exported for the
@@ -113,6 +122,48 @@ pub struct EngineStats {
     pub xbar_steps: u64,
     /// Crossbar step calls skipped relative to every-cycle stepping.
     pub xbar_steps_skipped: u64,
+    /// Coordinator-to-worker gate broadcasts by the windowed parallel
+    /// engine: one per lookahead window plus one exit broadcast per run
+    /// span. Zero on serial runs. Deterministic for any worker count > 1
+    /// (window boundaries depend only on machine state and the crossbar
+    /// latency, never on thread scheduling).
+    pub sync_points: u64,
+    /// Worker-to-coordinator latch collections (one per window). Zero on
+    /// serial runs.
+    pub barrier_waits: u64,
+    /// Lookahead windows executed by the parallel engine. Zero on serial
+    /// runs.
+    pub windows: u64,
+    /// Total cycles covered by those windows; `window_cycles / windows`
+    /// is the mean window length ([`EngineStats::mean_window_cycles`]).
+    pub window_cycles: u64,
+}
+
+impl EngineStats {
+    /// Mean lookahead-window length in cycles (0 when no window ran —
+    /// serial and reference runs).
+    pub fn mean_window_cycles(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.window_cycles as f64 / self.windows as f64
+        }
+    }
+
+    /// This accounting with the parallel-engine synchronization counters
+    /// zeroed. The simulated machine — and every other field here — is
+    /// bit-identical across engines and worker counts, but only the
+    /// parallel engine crosses barriers; differential tests compare
+    /// serial and parallel runs through this view.
+    pub fn sans_sync(&self) -> EngineStats {
+        EngineStats {
+            sync_points: 0,
+            barrier_waits: 0,
+            windows: 0,
+            window_cycles: 0,
+            ..*self
+        }
+    }
 }
 
 impl std::fmt::Debug for Gpu {
@@ -232,6 +283,10 @@ impl Gpu {
             partition_steps: 0,
             xbar_steps: 0,
             sim_threads: None,
+            sync_points: 0,
+            barrier_waits: 0,
+            windows: 0,
+            window_cycles: 0,
         }
     }
 
@@ -775,7 +830,10 @@ impl Gpu {
             .sim_threads
             .unwrap_or_else(crate::exec::sim_worker_count)
             .min(self.cores.len());
-        if workers > 1 {
+        // The windowed parallel engine's lookahead is the crossbar
+        // traversal latency; a zero-latency configuration has no lookahead
+        // to exploit, so it runs serial regardless of the worker count.
+        if workers > 1 && self.cfg.xbar_latency > 0 {
             self.run_parallel(cycles, workers);
             return;
         }
@@ -808,31 +866,36 @@ impl Gpu {
         self.flush_core_credits();
     }
 
-    /// The domain-parallel event engine: the machine is split into
-    /// `workers` contiguous domains (cores with their credit/egress state,
-    /// partitions with their backlogs), each owned by one scoped thread for
-    /// the whole run span; the coordinator keeps the timing wheel, both
-    /// crossbars and every scalar counter. Each stepped cycle runs the
-    /// serial engine's five phases as three worker phases with coordinator
-    /// merges between them; all cross-domain data moves through those
-    /// merges in ascending component order, which is what keeps results
-    /// bit-identical to [`Gpu::run`]'s serial path for every worker count
-    /// (docs/PARALLELISM.md). Fast-forward over event-free stretches
-    /// happens on the coordinator alone, exactly as in the serial engine.
+    /// The lookahead-windowed domain-parallel engine: the machine is split
+    /// into `workers` contiguous domains (cores with their credit/egress
+    /// state, partitions with their backlogs), each owned by one scoped
+    /// thread for the whole run span; the coordinator keeps both crossbars
+    /// and every scalar counter. The crossbars' traversal latency `L` is
+    /// conservative lookahead — a flit pushed at `t` is deliverable no
+    /// earlier than `t + L` — so each gate broadcast releases the workers
+    /// for an `L`-cycle window instead of one barriered cycle: the
+    /// coordinator forward-simulates all in-window crossbar arbitration at
+    /// the window start (exact, since in-window pushes cannot be granted
+    /// in-window), hands each domain its cycle-tagged deliveries and exact
+    /// per-port admission budgets, and replays the workers' origin-tagged
+    /// pushes into the crossbars at the boundary — restoring a machine
+    /// byte-identical to [`Gpu::run`]'s serial path for every worker count
+    /// (docs/PARALLELISM.md). Machine-wide fast-forward happens between
+    /// windows from the workers' reported next-event times; the timing
+    /// wheel is neither read nor maintained here (workers own their
+    /// components' wake state, which is dueness-equivalent), so the span
+    /// ends with `event_state_valid = false` and the next serial span
+    /// rebuilds. Zero-latency crossbars have no lookahead; [`Gpu::run`]
+    /// keeps those configurations on the serial engine.
     fn run_parallel(&mut self, cycles: u64, workers: usize) {
-        if !self.event_state_valid {
-            self.rebuild_event_state();
-        }
         let end = self.now + cycles;
         let n_cores = self.cores.len();
         let n_parts = self.partitions.len();
         let core_chunk = n_cores.div_ceil(workers.min(n_cores));
         let d = n_cores.div_ceil(core_chunk);
         let part_chunk = n_parts.div_ceil(d);
-        let zero_lat = self.cfg.xbar_latency == 0;
-        let xbar_lat = self.cfg.xbar_latency as u64;
-        let comp_req = n_cores + n_parts;
-        let comp_resp = comp_req + 1;
+        let lookahead = (self.cfg.xbar_latency as u64).min(domain::MAX_WINDOW);
+        debug_assert!(lookahead >= 1, "zero-latency machines run serial");
 
         let mailboxes: Vec<std::sync::Mutex<domain::Mailbox>> = (0..d)
             .map(|w| {
@@ -853,19 +916,19 @@ impl Gpu {
             ingress_backlog,
             credited_to,
             egress_pending,
-            core_due,
-            part_due,
-            timeq,
             req_net,
             resp_net,
             cfg,
             now,
             stepped_cycles,
             skipped_cycles,
-            egress_pending_count,
             core_steps,
             partition_steps,
             xbar_steps,
+            sync_points,
+            barrier_waits,
+            windows,
+            window_cycles,
             ..
         } = self;
 
@@ -900,20 +963,22 @@ impl Gpu {
                     part_base: w * part_chunk,
                     rate: cfg.xbar_requests_per_cycle,
                     n_partitions: cfg.n_partitions,
-                    scratch: Vec::new(),
+                    core_wake: Vec::new(),
+                    part_wake: Vec::new(),
+                    egress_count: 0,
+                    req_used: Vec::new(),
+                    resp_used: Vec::new(),
                 });
             }
         }
 
+        let span_start = *now;
         std::thread::scope(|scope| {
             for (w, state) in worker_state.into_iter().enumerate() {
                 let (gate, latch, mailbox) = (&gate, &latch, &mailboxes[w]);
-                scope.spawn(move || domain::worker_loop(state, gate, latch, mailbox));
+                scope.spawn(move || domain::worker_loop(state, gate, latch, mailbox, span_start));
             }
 
-            let mut grants: Vec<(usize, MemRequest)> = Vec::new();
-            let mut ejects: Vec<(usize, MemRequest)> = Vec::new();
-            let lock = |w: usize| mailboxes[w].lock().expect("mailbox poisoned");
             let check = || {
                 if gate.has_failed() {
                     gate.release(domain::PHASE_EXIT, 0);
@@ -921,193 +986,228 @@ impl Gpu {
                 }
             };
 
+            // Crossbar dueness carried between windows. At every window
+            // boundary these are recomputed from the physical nets —
+            // earliest head-ready clamped to the boundary, [`NEVER`] when
+            // empty — which is exactly the serial wheel's entry there.
+            let mut next_due_req = req_net.earliest_head_ready().map_or(NEVER, |x| x.max(*now));
+            let mut next_due_resp = resp_net
+                .earliest_head_ready()
+                .map_or(NEVER, |x| x.max(*now));
+            // Per-domain next-event reports; `span_start` until each
+            // domain's first report, which forbids jumping before it.
+            let mut domain_next: Vec<u64> = vec![span_start; d];
+            // Coordinator scratch, reused across windows (refunds indexed
+            // by global port, counters by window offset).
+            let mut req_refund: Vec<u64> = vec![0; n_cores];
+            let mut resp_refund: Vec<u64> = vec![0; n_parts];
+            let mut req_grant_cnt = [0u32; domain::MAX_WINDOW as usize];
+            let mut resp_grant_cnt = [0u32; domain::MAX_WINDOW as usize];
+            let mut req_push_cnt = [0u32; domain::MAX_WINDOW as usize];
+            let mut resp_push_cnt = [0u32; domain::MAX_WINDOW as usize];
+
             while *now < end {
-                if *egress_pending_count == 0 {
-                    let next = timeq.next_at();
-                    if next > *now {
-                        let to = next.min(end);
-                        *skipped_cycles += to - *now;
-                        *now = to;
-                        if to == end {
-                            break;
-                        }
-                    }
+                // Machine-wide fast-forward between windows: every domain
+                // reported its earliest future event at its last window
+                // end, the crossbars contribute theirs, and the span jumps
+                // over the gap — idle domains never shrink a window, they
+                // just don't bound the jump.
+                let mut global_next = next_due_req.min(next_due_resp);
+                for &dn in &domain_next {
+                    global_next = global_next.min(dn);
                 }
-                let t = *now;
-                let mut due_cores = 0usize;
-                let mut due_parts = 0usize;
-                let mut req_due = false;
-                let mut resp_due = false;
-                timeq.advance(t, |comp| {
-                    let comp = comp as usize;
-                    if comp < n_cores {
-                        core_due[comp] = true;
-                        due_cores += 1;
-                    } else if comp < n_cores + n_parts {
-                        part_due[comp - n_cores] = true;
-                        due_parts += 1;
-                    } else if comp == comp_req {
-                        req_due = true;
-                    } else {
-                        resp_due = true;
-                    }
-                });
-                let resp_was_empty = resp_net.is_empty();
-                let req_was_empty = req_net.is_empty();
-                let mut resp_pushed = false;
-                let mut req_pushed = false;
-
-                // Phase 1: due partitions produce and stage responses.
-                if due_parts > 0 {
-                    *partition_steps += due_parts as u64;
-                    for w in 0..d {
-                        let base = w * part_chunk;
-                        if base >= n_parts {
-                            break;
-                        }
-                        let len = part_chunk.min(n_parts - base);
-                        let mut mb = lock(w);
-                        mb.part_due.copy_from_slice(&part_due[base..base + len]);
-                        for lp in 0..len {
-                            if mb.part_due[lp] {
-                                mb.resp_free[lp] = resp_net.free_slots(base + lp);
-                            }
-                        }
-                    }
-                    part_due.fill(false);
-                    latch.reset(d);
-                    gate.release(domain::PHASE_PRODUCE, t);
-                    latch.wait();
-                    check();
-                    // Merge in ascending domain order = ascending partition
-                    // order, exactly the serial engine's push order.
-                    for w in 0..d {
-                        let mut mb = lock(w);
-                        for (p, dest, resp) in mb.staged_resps.drain(..) {
-                            resp_net
-                                .push(p, dest, resp, t)
-                                .expect("staged within the free-slot budget");
-                            resp_pushed = true;
-                        }
-                    }
-                    if zero_lat && resp_pushed {
-                        resp_due = true; // deliverable this very cycle
+                if global_next > *now {
+                    let to = global_next.min(end);
+                    *skipped_cycles += to - *now;
+                    *now = to;
+                    if to == end {
+                        break;
                     }
                 }
 
-                // Phase 2: deliver responses (coordinator arbitration),
-                // then cores execute and stage egress.
-                if resp_due {
-                    *xbar_steps += 1;
-                    resp_net.step_with(t, |core_idx, resp| grants.push((core_idx, resp)));
-                }
-                if due_cores > 0 || !grants.is_empty() || *egress_pending_count > 0 {
-                    for w in 0..d {
-                        let base = w * core_chunk;
-                        let len = core_chunk.min(n_cores - base);
-                        let mut mb = lock(w);
-                        if due_cores > 0 {
-                            mb.core_due.copy_from_slice(&core_due[base..base + len]);
+                let t0 = *now;
+                let win = lookahead.min(end - t0);
+                // Occupancy snapshots for the peak-buffered
+                // reconstruction, taken before forward simulation pops.
+                let b0_req = req_net.in_flight();
+                let b0_resp = resp_net.in_flight();
+                let mut xbar_mask = 0u64;
+
+                {
+                    // Fill every mailbox: window length, exact per-port
+                    // admission budgets (free slots now, plus refunds from
+                    // forward-simulated grants), and the window's tagged
+                    // crossbar deliveries.
+                    let mut guards: Vec<_> = mailboxes
+                        .iter()
+                        .map(|m| m.lock().expect("mailbox poisoned"))
+                        .collect();
+                    for (w, mb) in guards.iter_mut().enumerate() {
+                        mb.win_len = win;
+                        let cb = w * core_chunk;
+                        for lc in 0..mb.req_free.len() {
+                            mb.req_free[lc] = req_net.free_slots(cb + lc) as u32;
                         }
-                        for lc in 0..len {
-                            mb.req_free[lc] = req_net.free_slots(base + lc);
+                        let pb = w * part_chunk;
+                        for lp in 0..mb.resp_free.len() {
+                            mb.resp_free[lp] = resp_net.free_slots(pb + lp) as u32;
                         }
                     }
-                    if due_cores > 0 {
-                        core_due.fill(false);
-                    }
-                    for (ci, resp) in grants.drain(..) {
-                        let w = ci / core_chunk;
-                        lock(w).grants.push((ci - w * core_chunk, resp));
-                    }
-                    latch.reset(d);
-                    gate.release(domain::PHASE_CORES, t);
-                    latch.wait();
-                    check();
-                    let mut egress_delta = 0i64;
-                    for w in 0..d {
-                        let mut mb = lock(w);
-                        for (ci, dest, req) in mb.staged_reqs.drain(..) {
-                            req_net
-                                .push(ci, dest, req, t)
-                                .expect("staged within the free-slot budget");
-                            req_pushed = true;
+                    // Forward-simulate both crossbars across the whole
+                    // window. Exact: an in-window push is ready no earlier
+                    // than the window end (ready = origin + latency ≥ t0 +
+                    // win), so it can neither be granted here nor change
+                    // which head-of-line flits the round-robin sees.
+                    for t in t0..t0 + win {
+                        let off = (t - t0) as usize;
+                        if next_due_resp <= t {
+                            *xbar_steps += 1;
+                            xbar_mask |= 1u64 << off;
+                            resp_net.step_routed(t, |inp, core_idx, resp| {
+                                resp_refund[inp] |= 1u64 << off;
+                                resp_grant_cnt[off] += 1;
+                                let w = core_idx / core_chunk;
+                                guards[w].grants.push((
+                                    off as u64,
+                                    core_idx - w * core_chunk,
+                                    resp,
+                                ));
+                            });
+                            next_due_resp = resp_net
+                                .earliest_head_ready()
+                                .map_or(NEVER, |x| x.max(t + 1));
                         }
-                        for (c, at) in mb.core_resched.drain(..) {
-                            match at {
-                                NEVER => timeq.cancel(c),
-                                at => timeq.schedule(c, at),
-                            }
+                        if next_due_req <= t {
+                            *xbar_steps += 1;
+                            xbar_mask |= 1u64 << off;
+                            req_net.step_routed(t, |inp, part_idx, req| {
+                                req_refund[inp] |= 1u64 << off;
+                                req_grant_cnt[off] += 1;
+                                let w = part_idx / part_chunk;
+                                guards[w]
+                                    .ejects
+                                    .push((off as u64, part_idx - w * part_chunk, req));
+                            });
+                            next_due_req = req_net
+                                .earliest_head_ready()
+                                .map_or(NEVER, |x| x.max(t + 1));
                         }
+                    }
+                    for (w, mb) in guards.iter_mut().enumerate() {
+                        let cb = w * core_chunk;
+                        for lc in 0..mb.req_refund.len() {
+                            mb.req_refund[lc] = std::mem::take(&mut req_refund[cb + lc]);
+                        }
+                        let pb = w * part_chunk;
+                        for lp in 0..mb.resp_refund.len() {
+                            mb.resp_refund[lp] = std::mem::take(&mut resp_refund[pb + lp]);
+                        }
+                    }
+                } // guards dropped before the release
+
+                latch.reset(d);
+                gate.release(domain::PHASE_WINDOW, t0);
+                *sync_points += 1;
+                latch.wait();
+                *barrier_waits += 1;
+                check();
+                *windows += 1;
+                *window_cycles += win;
+
+                // Collect: replay staged flits into the crossbars with
+                // their origin-cycle semantics. Ascending domain order and
+                // ascending offset within a domain preserve per-input-port
+                // FIFO order — ports are single-writer, so that is the
+                // only order the crossbars can observe.
+                let mut stepped_bits = xbar_mask;
+                {
+                    let mut guards: Vec<_> = mailboxes
+                        .iter()
+                        .map(|m| m.lock().expect("mailbox poisoned"))
+                        .collect();
+                    for (w, mb) in guards.iter_mut().enumerate() {
+                        stepped_bits |= mb.stepped_mask;
+                        mb.stepped_mask = 0;
+                        domain_next[w] = mb.next_event;
                         *core_steps += mb.core_steps;
                         mb.core_steps = 0;
-                        egress_delta += mb.egress_delta;
-                        mb.egress_delta = 0;
-                    }
-                    *egress_pending_count =
-                        usize::try_from(*egress_pending_count as i64 + egress_delta)
-                            .expect("egress count never goes negative");
-                    if zero_lat && req_pushed {
-                        req_due = true;
-                    }
-                }
-
-                // Phase 3: eject requests (coordinator arbitration) and
-                // drain partition ingress.
-                if req_due {
-                    *xbar_steps += 1;
-                    req_net.step_with(t, |p, req| ejects.push((p, req)));
-                }
-                if due_parts > 0 || !ejects.is_empty() {
-                    for (p, req) in ejects.drain(..) {
-                        let w = p / part_chunk;
-                        lock(w).ejects.push((p - w * part_chunk, req));
-                    }
-                    latch.reset(d);
-                    gate.release(domain::PHASE_INGRESS, t);
-                    latch.wait();
-                    check();
-                    for w in 0..d {
-                        let mut mb = lock(w);
-                        for (p, at, is_min) in mb.part_resched.drain(..) {
-                            let comp = n_cores + p;
-                            if is_min {
-                                timeq.schedule_min(comp, at);
-                            } else {
-                                match at {
-                                    NEVER => timeq.cancel(comp),
-                                    at => timeq.schedule(comp, at),
-                                }
-                            }
+                        *partition_steps += mb.partition_steps;
+                        mb.partition_steps = 0;
+                        for (off, port, dest, resp) in mb.staged_resps.drain(..) {
+                            resp_push_cnt[off as usize] += 1;
+                            resp_net
+                                .push(port, dest, resp, t0 + off)
+                                .expect("staged within the admission budget");
+                        }
+                        for (off, port, dest, req) in mb.staged_reqs.drain(..) {
+                            req_push_cnt[off as usize] += 1;
+                            req_net
+                                .push(port, dest, req, t0 + off)
+                                .expect("staged within the admission budget");
                         }
                     }
                 }
 
-                // Crossbar epilogue, identical to the serial engine.
-                if req_due {
-                    match req_net.earliest_head_ready() {
-                        Some(at) => timeq.schedule(comp_req, at.max(t + 1)),
-                        None => timeq.cancel(comp_req),
+                let win_mask = if win >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << win) - 1
+                };
+                let stepped = u64::from((stepped_bits & win_mask).count_ones());
+                *stepped_cycles += stepped;
+                *skipped_cycles += win - stepped;
+
+                // Reconstruct the serial running peak of buffered flits:
+                // the serial candidate at a cycle with pushes is the
+                // window-start occupancy plus pushes so far minus grants
+                // at strictly earlier cycles (within a cycle pushes
+                // precede grants on both nets). The replay above never
+                // exceeds the maximum candidate — grants were popped
+                // before any push went back in — so raising to it
+                // restores the serial peak exactly.
+                for (net, b0, push_cnt, grant_cnt) in [
+                    (&mut *req_net, b0_req, &mut req_push_cnt, &mut req_grant_cnt),
+                    (
+                        &mut *resp_net,
+                        b0_resp,
+                        &mut resp_push_cnt,
+                        &mut resp_grant_cnt,
+                    ),
+                ] {
+                    let (mut cum_p, mut cum_g, mut peak) = (0usize, 0usize, 0usize);
+                    for off in 0..win as usize {
+                        cum_p += push_cnt[off] as usize;
+                        if push_cnt[off] > 0 {
+                            peak = peak.max(b0 + cum_p - cum_g);
+                        }
+                        cum_g += grant_cnt[off] as usize;
+                        push_cnt[off] = 0;
+                        grant_cnt[off] = 0;
                     }
-                } else if req_pushed && req_was_empty {
-                    timeq.schedule(comp_req, t + xbar_lat);
-                }
-                if resp_due {
-                    match resp_net.earliest_head_ready() {
-                        Some(at) => timeq.schedule(comp_resp, at.max(t + 1)),
-                        None => timeq.cancel(comp_resp),
+                    if peak > 0 {
+                        net.raise_peak(peak);
                     }
-                } else if resp_pushed && resp_was_empty {
-                    timeq.schedule(comp_resp, t + xbar_lat);
                 }
 
-                *now = t + 1;
-                *stepped_cycles += 1;
+                // Boundary dueness, recomputed from the physical nets.
+                let boundary = t0 + win;
+                next_due_req = req_net
+                    .earliest_head_ready()
+                    .map_or(NEVER, |x| x.max(boundary));
+                next_due_resp = resp_net
+                    .earliest_head_ready()
+                    .map_or(NEVER, |x| x.max(boundary));
+                *now = boundary;
             }
 
             gate.release(domain::PHASE_EXIT, 0);
+            *sync_points += 1;
         });
         self.flush_core_credits();
+        // Workers owned their components' wake state for the span; the
+        // timing wheel was neither read nor maintained, so the next serial
+        // span must rebuild the event state.
+        self.event_state_valid = false;
     }
 
     /// Switches between the optimized engine and the naive cycle-by-cycle
@@ -1207,6 +1307,10 @@ impl Gpu {
             partition_steps_skipped: total * self.partitions.len() as u64 - self.partition_steps,
             xbar_steps: self.xbar_steps,
             xbar_steps_skipped: total * 2 - self.xbar_steps,
+            sync_points: self.sync_points,
+            barrier_waits: self.barrier_waits,
+            windows: self.windows,
+            window_cycles: self.window_cycles,
         }
     }
 
@@ -1563,10 +1667,26 @@ mod tests {
                     "core stats diverged at {threads} sim threads"
                 );
             }
+            let stats = parallel.engine_stats();
             assert_eq!(
-                serial.engine_stats(),
-                parallel.engine_stats(),
+                serial.engine_stats().sans_sync(),
+                stats.sans_sync(),
                 "engine accounting diverged at {threads} sim threads"
+            );
+            assert!(
+                stats.windows > 0
+                    && stats.barrier_waits == stats.windows
+                    && stats.sync_points > stats.windows,
+                "windowed run must record its synchronization: {stats:?}"
+            );
+            assert!(
+                stats.mean_window_cycles() >= 1.0,
+                "windows are at least one cycle: {stats:?}"
+            );
+            assert_eq!(
+                serial.engine_stats().sync_points,
+                0,
+                "serial runs never synchronize"
             );
         }
     }

@@ -372,17 +372,130 @@ fn memory_bound_corun_is_byte_identical_across_sim_thread_counts() {
         for (i, m) in parallel.iter().enumerate() {
             assert_machines_equal(m, &serial, &format!("mem-bound leg {leg} machine {i}"));
             assert_eq!(
-                m.engine_stats(),
-                serial.engine_stats(),
+                m.engine_stats().sans_sync(),
+                serial.engine_stats().sans_sync(),
                 "leg {leg} machine {i}: engine accounting diverged"
             );
         }
+        // The synchronization schedule itself is deterministic: the window
+        // sequence depends only on machine-wide next-event times, which are
+        // partition-independent, so every worker count must report the
+        // same sync_points / windows / window_cycles.
+        let sync = parallel[0].engine_stats();
+        for (i, m) in parallel.iter().enumerate().skip(1) {
+            assert_eq!(
+                m.engine_stats(),
+                sync,
+                "leg {leg} machine {i}: sync accounting diverged across worker counts"
+            );
+        }
+        // Mid-run TLP throttles and L1-bypass flips end the run span —
+        // each is a forced window flush the engines must agree across.
         if leg % 3 == 2 {
             let lvl = TlpLevel::new(1 + rng.next_below(8) as u32).unwrap();
             serial.set_tlp(AppId::new(1), lvl);
             for m in &mut parallel {
                 m.set_tlp(AppId::new(1), lvl);
             }
+        }
+        if leg % 2 == 1 {
+            let bypass = rng.next_below(2) == 0;
+            serial.set_bypass_l1(AppId::new(0), bypass);
+            for m in &mut parallel {
+                m.set_bypass_l1(AppId::new(0), bypass);
+            }
+        }
+    }
+    // The whole point of windowed synchronization on a memory-bound co-run:
+    // each barrier crossing covers more than one simulated cycle.
+    let sync = parallel[0].engine_stats();
+    assert!(
+        sync.windows > 0 && sync.mean_window_cycles() > 1.0,
+        "memory-bound co-run must amortize barriers across windows: {sync:?}"
+    );
+    assert_eq!(
+        serial.engine_stats().sync_points,
+        0,
+        "the serial engine never synchronizes"
+    );
+}
+
+/// Heavy congestion at the minimum crossbar latency: lookahead 1 pins
+/// every window to a single cycle (the windowed engine's degenerate
+/// worst case), and the results must still be byte-identical to serial.
+#[test]
+fn unit_latency_congestion_drives_windows_to_one_cycle() {
+    let mut rng = SplitMix64::new(0xE961_7E60);
+    let mut cfg = GpuConfig::small();
+    cfg.xbar_latency = 1;
+    let w = Workload::pair("BLK", "TRD");
+    let build = |threads: usize| {
+        let mut g = Gpu::new(&cfg, w.apps(), 42);
+        g.set_sim_threads(threads);
+        g.set_tlp(AppId::new(0), TlpLevel::new(8).unwrap());
+        g.set_tlp(AppId::new(1), TlpLevel::new(8).unwrap());
+        g
+    };
+    let mut serial = build(1);
+    let mut parallel: Vec<Gpu> = [2, 4, 7].iter().map(|&t| build(t)).collect();
+    for leg in 0..4 {
+        let span = 1 + rng.next_below(1_200);
+        serial.run(span);
+        for (i, m) in parallel.iter_mut().enumerate() {
+            m.run(span);
+            assert_machines_equal(m, &serial, &format!("congested leg {leg} machine {i}"));
+        }
+    }
+    let s = parallel[0].engine_stats();
+    assert_eq!(s.sans_sync(), serial.engine_stats().sans_sync());
+    assert_eq!(
+        s.windows, s.window_cycles,
+        "a 1-cycle lookahead pins every window to one cycle: {s:?}"
+    );
+    assert!(s.windows > 0 && s.mean_window_cycles() == 1.0);
+}
+
+/// The lookahead window tracks the crossbar latency: every latency from 1
+/// to 8 must agree with serial at multiple worker counts, with mean window
+/// length never exceeding the lookahead.
+#[test]
+fn every_crossbar_latency_agrees_across_sim_thread_counts() {
+    let mut rng = SplitMix64::new(0xE961_7E61);
+    for lat in 1..=8u32 {
+        let mut cfg = GpuConfig::small();
+        cfg.xbar_latency = lat;
+        let w = Workload::pair("BLK", "TRD");
+        let build = |threads: usize| {
+            let mut g = Gpu::new(&cfg, w.apps(), 7 + lat as u64);
+            g.set_sim_threads(threads);
+            g
+        };
+        let mut serial = build(1);
+        let mut parallel: Vec<Gpu> = [2, 7].iter().map(|&t| build(t)).collect();
+        for leg in 0..3 {
+            if leg == 1 {
+                let lvl = TlpLevel::new(1 + rng.next_below(8) as u32).unwrap();
+                serial.set_tlp(AppId::new(0), lvl);
+                serial.set_bypass_l1(AppId::new(1), true);
+                for m in &mut parallel {
+                    m.set_tlp(AppId::new(0), lvl);
+                    m.set_bypass_l1(AppId::new(1), true);
+                }
+            }
+            let span = 1 + rng.next_below(900);
+            serial.run(span);
+            for (i, m) in parallel.iter_mut().enumerate() {
+                m.run(span);
+                assert_machines_equal(m, &serial, &format!("latency {lat} leg {leg} machine {i}"));
+            }
+        }
+        for m in &parallel {
+            let s = m.engine_stats();
+            assert_eq!(s.sans_sync(), serial.engine_stats().sans_sync());
+            assert!(
+                s.mean_window_cycles() <= f64::from(lat),
+                "latency {lat}: windows cannot exceed the lookahead: {s:?}"
+            );
         }
     }
 }

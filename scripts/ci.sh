@@ -43,20 +43,39 @@ awk -F': ' '/"memory_bound_speedup"/ {
   if ($2 + 0 < 3.0) { print "FAIL: memory_bound_speedup " $2 " < 3.0"; exit 1 }
 }' "$ENG_JSON"
 
-echo "== intra-sim scaling gate (domain-parallel engine must not lose to serial on multi-core hosts) =="
-# The intra_sim block is the last "speedup_vs_1_thread" in BENCH_parallel;
-# a 1-core host cannot speed up (barrier overhead with nothing to overlap),
-# so the floor only applies when host_parallelism > 1.
+echo "== intra-sim scaling gate (lookahead windows must amortize barriers; divergence is always fatal) =="
+# The intra_sim block is the last "speedup_vs_1_thread" in BENCH_parallel.
+# Gates, in order:
+#   * divergence across sim-thread counts is always fatal;
+#   * the memory-bound smoke co-run must average more than one simulated
+#     cycle per lookahead window (the windowed engine's whole point);
+#   * sync points per kcycle must sit well under the retired per-cycle
+#     3-phase design's ~3000 barrier crossings per stepped kcycle;
+#   * on a multi-core host the best multi-worker run must beat serial;
+#     on a 1-core host (`contended: true`) there is nothing to overlap,
+#     so the gate instead bounds the time-slicing overhead: >= 0.5x.
 awk -F': ' '
   /"host_parallelism"/ { host = $2 + 0 }
   /"identical_across_sim_threads"/ { if ($2 !~ /true/) bad = 1 }
+  /"sync_points_per_kcycle"/ { sync = $2 + 0 }
+  /"mean_window_cycles"/ { win = $2 + 0 }
+  /"contended"/ { contended = ($2 ~ /true/) }
   /"speedup_vs_1_thread"/ { intra = $2 + 0 }
   END {
     if (bad) { print "FAIL: intra-sim parallel run diverged from serial"; exit 1 }
-    if (host > 1 && intra < 1.0) {
+    if (win <= 1.0) {
+      print "FAIL: mean_window_cycles " win " <= 1.0 on the memory-bound co-run"; exit 1
+    }
+    if (sync <= 0 || sync >= 3000) {
+      print "FAIL: sync_points_per_kcycle " sync " not improved vs the ~3000/kcycle per-cycle-barrier baseline"; exit 1
+    }
+    if (!contended && host > 1 && intra < 1.0) {
       print "FAIL: intra-sim speedup " intra " < 1.0 on a " host "-core host"; exit 1
     }
-    print "intra-sim gate OK: speedup " intra "x (host parallelism " host ")"
+    if (contended && intra < 0.5) {
+      print "FAIL: intra-sim overhead on the contended 1-core host exceeds 2x (speedup " intra ")"; exit 1
+    }
+    print "intra-sim gate OK: speedup " intra "x, " sync " sync points/kcycle, mean window " win " cycles (host parallelism " host ", contended " (contended ? "true" : "false") ")"
   }
 ' "$PAR_JSON"
 
