@@ -15,6 +15,6 @@ fn main() {
             .filter(|w| args.contains(&w.name()))
             .collect()
     };
-    let mut ev = Evaluator::new(EvaluatorConfig::paper());
-    run_and_save(&figures::fig09(&mut ev, &workloads));
+    let ev = Evaluator::new(EvaluatorConfig::paper());
+    run_and_save(&figures::fig09(&ev, &workloads));
 }

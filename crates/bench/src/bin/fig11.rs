@@ -9,7 +9,7 @@ use ebm_core::eval::Evaluator;
 fn main() {
     let args = BenchArgs::parse();
     args.apply_settings();
-    let mut ev = Evaluator::new(args.evaluator_config());
+    let ev = Evaluator::new(args.evaluator_config());
     let mut trace = args.open_trace();
-    run_and_save(&figures::fig11_traced(&mut ev, &mut *trace));
+    run_and_save(&figures::fig11_traced(&ev, &mut *trace));
 }

@@ -15,24 +15,31 @@
 //! the observability layer: the optimized engine with the metrics registry
 //! disabled (must sit within noise of the plain engine — the gated
 //! recording sites cost one untaken branch) and enabled (recorded
-//! alongside). Results are written as hand-rolled JSON to
-//! `BENCH_engine.json`, `BENCH_parallel.json`, `BENCH_cache.json` and
-//! `BENCH_obs.json` — each stamped with `schema_version`
-//! ([`ebm_bench::BENCH_SCHEMA_VERSION`], documented field by field in
-//! `docs/BENCH_SCHEMA.md`) — and a one-line merged summary closes the run.
+//! alongside), and (e) the campaign scheduler: a five-artifact quick
+//! sub-campaign timed serial versus scheduled (cold, in-memory cache
+//! only) and scheduled again warm, asserting the scheduled renders
+//! byte-identical to the serial ones. Results are written as hand-rolled
+//! JSON to `BENCH_engine.json`, `BENCH_parallel.json`,
+//! `BENCH_cache.json`, `BENCH_obs.json` and `BENCH_campaign.json` — each
+//! stamped with `schema_version` ([`ebm_bench::BENCH_SCHEMA_VERSION`],
+//! documented field by field in `docs/BENCH_SCHEMA.md`) — and a one-line
+//! merged summary closes the run.
 //!
 //! Usage:
 //!
 //! ```text
 //! perf_smoke [--smoke] [--out PATH] [--engine-out PATH] [--cache-out PATH]
-//!            [--obs-out PATH]
+//!            [--obs-out PATH] [--campaign-out PATH]
 //! ```
 //!
 //! `--smoke` shrinks the workload for CI (seconds, not minutes) and skips
 //! the JSON writes unless `--out` / `--engine-out` / `--cache-out` /
-//! `--obs-out` are given explicitly.
+//! `--obs-out` / `--campaign-out` are given explicitly.
 
-use ebm_bench::{log, BENCH_SCHEMA_VERSION};
+use ebm_bench::campaign::{self, CostModel};
+use ebm_bench::util::BenchArgs;
+use ebm_bench::{figures, log, BENCH_SCHEMA_VERSION};
+use ebm_core::eval::{Evaluator, EvaluatorConfig};
 use ebm_core::sweep::ComboSweep;
 use gpu_sim::exec;
 use gpu_sim::harness::RunSpec;
@@ -373,6 +380,151 @@ fn sweeps_identical(a: &ComboSweep, b: &ComboSweep) -> bool {
     })
 }
 
+/// Campaign-scheduler measurement: a small `--quick` sub-campaign run
+/// three ways over the in-memory cache tier only.
+struct CampaignBench {
+    artifacts: &'static [&'static str],
+    requested: usize,
+    planned: usize,
+    workers: usize,
+    peak_ready: usize,
+    utilization: f64,
+    cold_serial_s: f64,
+    cold_sched_s: f64,
+    warm_sched_s: f64,
+    /// True when `host_parallelism == 1`: the scheduled run then
+    /// time-slices its workers on one core, so `speedup_cold` measures
+    /// scheduling overhead, not parallel speedup.
+    contended: bool,
+    identical: bool,
+}
+
+impl CampaignBench {
+    fn dedup_ratio(&self) -> f64 {
+        1.0 - self.planned as f64 / self.requested.max(1) as f64
+    }
+
+    /// Cold serial wall-clock over cold scheduled wall-clock.
+    fn speedup_cold(&self) -> f64 {
+        self.cold_serial_s / self.cold_sched_s.max(1e-9)
+    }
+}
+
+/// Times a five-artifact quick sub-campaign (deep scheme chains via
+/// fig01, shared alone profiles across fig02/fig03, a shared sweep across
+/// fig06/fig07) serial, scheduled cold, and scheduled warm — each phase
+/// from an empty evaluator store, the warm phase keeping the in-memory
+/// result cache. Renders are compared byte-for-byte against serial.
+fn campaign_bench() -> CampaignBench {
+    const IDS: &[&str] = &["fig01", "fig02", "fig03", "fig06", "fig07"];
+    let args = BenchArgs {
+        quick: true,
+        only: Some(IDS.iter().map(|s| s.to_string()).collect()),
+        ..BenchArgs::default()
+    };
+    gpu_sim::cache::set_enabled(true);
+    gpu_sim::cache::set_dir(None);
+
+    gpu_sim::cache::clear_memory();
+    let ev = Evaluator::new(EvaluatorConfig::quick());
+    let t = Instant::now();
+    let serial: Vec<String> = [
+        figures::fig01(&ev),
+        figures::fig02(&ev),
+        figures::fig03(&ev),
+        figures::fig06(&ev),
+        figures::fig07(&ev),
+    ]
+    .iter()
+    .map(ebm_bench::Report::render)
+    .collect();
+    let cold_serial_s = t.elapsed().as_secs_f64();
+
+    gpu_sim::cache::clear_memory();
+    let ev = Evaluator::new(EvaluatorConfig::quick());
+    let plan = campaign::plan_with_costs(&args, &ev, CostModel::empty());
+    let (requested, planned) = (plan.requested(), plan.planned());
+    let mut scheduled = Vec::new();
+    let t = Instant::now();
+    let stats = campaign::run(plan, &ev, &mut gpu_sim::trace::NullSink, &mut |r| {
+        scheduled.push(r.render())
+    });
+    let cold_sched_s = t.elapsed().as_secs_f64();
+
+    // Warm rerun: same memory cache, fresh evaluator store — every unit
+    // resolves to a cache hit, timing pure scheduling overhead.
+    let ev = Evaluator::new(EvaluatorConfig::quick());
+    let plan = campaign::plan_with_costs(&args, &ev, CostModel::empty());
+    let t = Instant::now();
+    campaign::run(plan, &ev, &mut gpu_sim::trace::NullSink, &mut |_| {});
+    let warm_sched_s = t.elapsed().as_secs_f64();
+
+    gpu_sim::cache::clear_memory();
+    CampaignBench {
+        artifacts: IDS,
+        requested,
+        planned,
+        workers: stats.workers,
+        peak_ready: stats.peak_ready,
+        utilization: stats.utilization(),
+        cold_serial_s,
+        cold_sched_s,
+        warm_sched_s,
+        contended: std::thread::available_parallelism().map_or(1, |n| n.get()) == 1,
+        identical: serial == scheduled,
+    }
+}
+
+fn render_campaign_json(smoke: bool, bench: &CampaignBench) -> String {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"campaign\",\n");
+    out.push_str(&format!("  \"schema_version\": {BENCH_SCHEMA_VERSION},\n"));
+    out.push_str(&format!("  \"smoke_mode\": {smoke},\n"));
+    out.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    out.push_str(&format!("  \"contended\": {},\n", bench.contended));
+    out.push_str("  \"machine\": \"EvaluatorConfig::quick\",\n");
+    out.push_str(&format!(
+        "  \"artifacts\": [{}],\n",
+        bench
+            .artifacts
+            .iter()
+            .map(|id| format!("\"{}\"", json_escape(id)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!("  \"units_requested\": {},\n", bench.requested));
+    out.push_str(&format!("  \"units_planned\": {},\n", bench.planned));
+    out.push_str(&format!("  \"dedup_ratio\": {:.4},\n", bench.dedup_ratio()));
+    out.push_str(&format!("  \"workers\": {},\n", bench.workers));
+    out.push_str(&format!("  \"peak_ready\": {},\n", bench.peak_ready));
+    out.push_str(&format!("  \"utilization\": {:.4},\n", bench.utilization));
+    out.push_str(&format!(
+        "  \"cold_serial_seconds\": {:.4},\n",
+        bench.cold_serial_s
+    ));
+    out.push_str(&format!(
+        "  \"cold_scheduled_seconds\": {:.4},\n",
+        bench.cold_sched_s
+    ));
+    out.push_str(&format!(
+        "  \"warm_scheduled_seconds\": {:.4},\n",
+        bench.warm_sched_s
+    ));
+    out.push_str(&format!(
+        "  \"speedup_cold\": {:.2},\n",
+        bench.speedup_cold()
+    ));
+    out.push_str(&format!(
+        "  \"scheduled_identical_to_serial\": {}\n",
+        bench.identical
+    ));
+    out.push_str("}\n");
+    out
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -651,6 +803,15 @@ fn main() {
         } else {
             Some("BENCH_obs.json".to_string())
         });
+    let campaign_out_path = args
+        .iter()
+        .position(|a| a == "--campaign-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or(if smoke {
+            None
+        } else {
+            Some("BENCH_campaign.json".to_string())
+        });
 
     // The engine and thread-scaling sections time *simulation*; a cache hit
     // would replace the second and later sweeps with a lookup and falsify
@@ -874,6 +1035,36 @@ fn main() {
         print!("{obs_json}");
     }
 
+    log!(
+        info,
+        "perf_smoke: campaign scheduler, serial vs scheduled quick sub-campaign..."
+    );
+    let camp = campaign_bench();
+    log!(
+        info,
+        "  serial: {:.3}s, scheduled cold: {:.3}s ({:.2}x), warm: {:.3}s \
+         ({} units from {} demands, {:.0}% deduped, {} workers, \
+         utilization {:.2}, contended: {}, identical: {})",
+        camp.cold_serial_s,
+        camp.cold_sched_s,
+        camp.speedup_cold(),
+        camp.warm_sched_s,
+        camp.planned,
+        camp.requested,
+        100.0 * camp.dedup_ratio(),
+        camp.workers,
+        camp.utilization,
+        camp.contended,
+        camp.identical
+    );
+    let campaign_json = render_campaign_json(smoke, &camp);
+    if let Some(path) = campaign_out_path {
+        std::fs::write(&path, &campaign_json).expect("write campaign benchmark JSON");
+        log!(info, "perf_smoke: wrote {path}");
+    } else {
+        print!("{campaign_json}");
+    }
+
     // Merged one-line summary of all benchmark sections.
     log!(
         info,
@@ -881,7 +1072,8 @@ fn main() {
          reference ({:.0} cycles/s, {:.4} allocs/cycle) | parallel sweep \
          {speedup:.2}x vs 1 thread (identical: {identical}) | intra-sim \
          {:.2}x vs 1 sim thread (identical: {}) | cache warm \
-         {:.2}x vs cold (hit rate {:.3}, identical: {})",
+         {:.2}x vs cold (hit rate {:.3}, identical: {}) | campaign sched \
+         {:.2}x vs serial cold ({:.0}% deduped, identical: {})",
         benches[0].speedup(),
         benches[1].speedup(),
         benches[0].after.cycles_per_sec,
@@ -890,10 +1082,13 @@ fn main() {
         intra.identical,
         cache.speedup(),
         cache.warm_hit_rate,
-        cache.identical
+        cache.identical,
+        camp.speedup_cold(),
+        100.0 * camp.dedup_ratio(),
+        camp.identical
     );
 
-    if !identical || !cache.identical || !intra.identical {
+    if !identical || !cache.identical || !intra.identical || !camp.identical {
         eprintln!("perf_smoke: FAILED determinism check");
         std::process::exit(1);
     }

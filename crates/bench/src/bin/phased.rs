@@ -4,6 +4,6 @@ use ebm_bench::{figures, run_and_save};
 use ebm_core::eval::{Evaluator, EvaluatorConfig};
 
 fn main() {
-    let mut ev = Evaluator::new(EvaluatorConfig::paper());
-    run_and_save(&figures::phased(&mut ev));
+    let ev = Evaluator::new(EvaluatorConfig::paper());
+    run_and_save(&figures::phased(&ev));
 }

@@ -6,6 +6,7 @@
 //! trace-tools stalls   <trace>         stall breakdown + latency percentiles
 //! trace-tools cache    <trace>         result-cache counter summary
 //! trace-tools diff     <a> <b>         compare two traces
+//! trace-tools profile  <PROFILE.json>  top spans by wall time
 //! ```
 //!
 //! `validate` exits non-zero on the first schema violation class (all
@@ -41,7 +42,8 @@ fn usage() -> ExitCode {
          \x20 timeline <trace>      per-app EB/BW/CMR/IPC timeline as CSV (stdout)\n\
          \x20 stalls <trace>        warp-stall breakdown and latency percentile tables\n\
          \x20 cache <trace>         result-cache counter summary\n\
-         \x20 diff <a> <b>          compare two traces (kinds, windows, per-app means)"
+         \x20 diff <a> <b>          compare two traces (kinds, windows, per-app means)\n\
+         \x20 profile <PROFILE.json> [N]  top N spans by wall time (default 20)"
     );
     ExitCode::from(2)
 }
@@ -54,6 +56,11 @@ fn main() -> ExitCode {
         Some("stalls") if args.len() == 2 => stalls_cmd(&args[1]),
         Some("cache") if args.len() == 2 => cache_cmd(&args[1]),
         Some("diff") if args.len() == 3 => diff_cmd(&args[1], &args[2]),
+        Some("profile") if args.len() == 2 => profile_cmd(&args[1], 20),
+        Some("profile") if args.len() == 3 => match args[2].parse() {
+            Ok(n) => profile_cmd(&args[1], n),
+            Err(_) => usage(),
+        },
         _ => usage(),
     }
 }
@@ -350,6 +357,104 @@ fn cache_cmd(path: &str) -> ExitCode {
     outln!("  verified   {}", int(rec, "verified"));
     if lookups > 0 {
         outln!("  hit rate   {:.1}%", 100.0 * hits as f64 / lookups as f64);
+    }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// profile
+// ---------------------------------------------------------------------------
+
+/// Renders the top-`top_n` spans of a `results/PROFILE.json` by wall
+/// time: where a campaign actually spent its time, at what simulation
+/// rate, and how often the result cache served it. In a scheduled
+/// campaign this file holds one `unit` span per work unit — the same
+/// labels the scheduler's cost model reads back.
+fn profile_cmd(path: &str, top_n: usize) -> ExitCode {
+    let text = match read_trace(path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let doc = match parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: {path} is not valid JSON: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(spans) = doc.get("spans").and_then(Json::as_arr) else {
+        eprintln!("error: {path} has no `spans` array (not a PROFILE.json?)");
+        return ExitCode::FAILURE;
+    };
+    let mut rows: Vec<&Json> = spans.iter().collect();
+    rows.sort_by(|a, b| {
+        num(b, "wall_s")
+            .partial_cmp(&num(a, "wall_s"))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let total_wall: f64 = spans
+        .iter()
+        .filter(|s| s.get("level").and_then(Json::as_str) == Some("campaign"))
+        .map(|s| num(s, "wall_s"))
+        .sum();
+    outln!(
+        "top {} of {} spans by wall time{}",
+        top_n.min(rows.len()),
+        rows.len(),
+        doc.get("workers")
+            .and_then(Json::as_u64)
+            .map_or(String::new(), |w| format!(" ({w} workers)"))
+    );
+    outln!(
+        "{:<10} {:<40} {:>9} {:>6} {:>13} {:>11} {:>8}",
+        "level",
+        "name",
+        "wall_s",
+        "%",
+        "cycles",
+        "cycles/s",
+        "hit%"
+    );
+    for rec in rows.iter().take(top_n) {
+        let wall = num(rec, "wall_s");
+        let cycles = int(rec, "cycles");
+        let hits = int(rec, "cache_hits");
+        let misses = int(rec, "cache_misses");
+        let lookups = hits + misses;
+        let pct = if total_wall > 0.0 {
+            format!("{:.1}", 100.0 * wall / total_wall)
+        } else {
+            "-".to_string()
+        };
+        let rate = if wall > 0.0 && cycles > 0 {
+            format!("{:.0}", cycles as f64 / wall)
+        } else {
+            "-".to_string()
+        };
+        let hit_rate = if lookups > 0 {
+            format!("{:.1}", 100.0 * hits as f64 / lookups as f64)
+        } else {
+            "-".to_string()
+        };
+        let mut name = rec
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        if name.len() > 40 {
+            name.truncate(37);
+            name.push_str("...");
+        }
+        outln!(
+            "{:<10} {:<40} {:>9.3} {:>6} {:>13} {:>11} {:>8}",
+            rec.get("level").and_then(Json::as_str).unwrap_or("?"),
+            name,
+            wall,
+            pct,
+            cycles,
+            rate,
+            hit_rate
+        );
     }
     ExitCode::SUCCESS
 }

@@ -10,14 +10,13 @@ use ebm_core::eval::{Evaluator, Scheme};
 use ebm_core::hw::OverheadReport;
 use ebm_core::metrics::{alone_ratio, EbObjective};
 use ebm_core::pattern::{pbs_offline_search, SweepCurve};
+use ebm_core::pbsrun::{run_pbs_cached, PbsRunSpec};
 use ebm_core::scaling::ScalingFactors;
 use ebm_core::search::{best_combo_by_eb, best_combo_by_sd};
 use ebm_core::sweep::ComboSweep;
 use gpu_sim::alone::profile_alone;
 use gpu_sim::control::Controller;
-use gpu_sim::harness::{
-    measure_fixed_cached, run_controlled, run_controlled_traced, FixedRunInputs, RunSpec,
-};
+use gpu_sim::harness::{measure_fixed_cached, run_controlled_traced, FixedRunInputs, RunSpec};
 use gpu_sim::machine::Gpu;
 use gpu_sim::metrics::{fi_of, gmean, hs_of, ws_of};
 use gpu_sim::trace::{NullSink, RingSink, TraceSink};
@@ -30,7 +29,7 @@ fn pair(a: &str, b: &str) -> Workload {
 
 /// Fig. 1: WS and FI of BFS_FFT under ++bestTLP, ++maxTLP and the oracle
 /// combinations, normalized to ++bestTLP.
-pub fn fig01(ev: &mut Evaluator) -> Report {
+pub fn fig01(ev: &Evaluator) -> Report {
     let mut r = Report::new("fig01", "WS and FI for BFS_FFT (normalized to ++bestTLP)");
     let w = pair("BFS", "FFT");
     let base = ev.evaluate(&w, Scheme::BestTlp);
@@ -59,7 +58,7 @@ pub fn fig01(ev: &mut Evaluator) -> Report {
 
 /// Fig. 2: effect of TLP on IPC, BW, CMR and EB for BFS running alone
 /// (all normalized to the bestTLP values, as in the paper).
-pub fn fig02(ev: &mut Evaluator) -> Report {
+pub fn fig02(ev: &Evaluator) -> Report {
     let mut r = Report::new("fig02", "TLP sweep for BFS alone (normalized to bestTLP)");
     let n = ev.config().gpu.n_cores / 2;
     let p = ev
@@ -87,7 +86,7 @@ pub fn fig02(ev: &mut Evaluator) -> Report {
 /// Fig. 3: effective bandwidth observed at the DRAM (A), at the L2 (B) and
 /// at the core (C) for a cache-sensitive (BFS) and a cache-insensitive
 /// (BLK) application.
-pub fn fig03(ev: &mut Evaluator) -> Report {
+pub fn fig03(ev: &Evaluator) -> Report {
     let mut r = Report::new("fig03", "EB at hierarchy levels A (DRAM), B (L2), C (core)");
     let n = ev.config().gpu.n_cores / 2;
     r.header("app", &["A=BW", "B", "C=EB", "L1MR", "L2MR"]);
@@ -105,7 +104,7 @@ pub fn fig03(ev: &mut Evaluator) -> Report {
 
 /// Fig. 4: per-application slowdown and EB stacks under ++bestTLP versus
 /// the optimal combinations, for the ten representative workloads.
-pub fn fig04(ev: &mut Evaluator) -> Report {
+pub fn fig04(ev: &Evaluator) -> Report {
     let mut r = Report::new(
         "fig04",
         "per-app SD (++bestTLP vs optWS) and EB (++bestTLP vs BF-WS) stacks",
@@ -146,7 +145,7 @@ pub fn fig04(ev: &mut Evaluator) -> Report {
 
 /// Fig. 5: `IPC_AR` versus `EB_AR` over all two-application pairings of the
 /// 26 applications.
-pub fn fig05(ev: &mut Evaluator) -> Report {
+pub fn fig05(ev: &Evaluator) -> Report {
     let mut r = Report::new(
         "fig05",
         "alone-ratio bias: IPC_AR vs EB_AR over all pairings",
@@ -215,7 +214,7 @@ fn grid_section(r: &mut Report, sweep: &ComboSweep, title: &str, value: impl Fn(
 /// Fig. 6: the EB-WS pattern surfaces of BLK_TRD — the inflection point of
 /// the critical application stays at the same TLP level regardless of the
 /// co-runner's TLP.
-pub fn fig06(ev: &mut Evaluator) -> Report {
+pub fn fig06(ev: &Evaluator) -> Report {
     let mut r = Report::new("fig06", "EB-WS patterns for BLK_TRD");
     let w = pair("BLK", "TRD");
     let sweep = ev.sweep(&w).clone();
@@ -252,7 +251,7 @@ pub fn fig06(ev: &mut Evaluator) -> Report {
 
 /// Fig. 7: the PBS-FI view (scaled EB-difference) and PBS-HS view (EB-HS)
 /// of BLK_TRD, with sampled and exact scaling factors.
-pub fn fig07(ev: &mut Evaluator) -> Report {
+pub fn fig07(ev: &Evaluator) -> Report {
     let mut r = Report::new("fig07", "PBS-FI and PBS-HS views of BLK_TRD");
     let w = pair("BLK", "TRD");
     let sampled = ev.sampled_factors(&w);
@@ -309,7 +308,7 @@ pub fn fig08() -> Report {
 }
 
 fn scheme_figure(
-    ev: &mut Evaluator,
+    ev: &Evaluator,
     id: &str,
     objective: EbObjective,
     metric: impl Fn(&gpu_sim::metrics::SystemMetrics) -> f64,
@@ -365,7 +364,7 @@ fn scheme_figure(
 
 /// Fig. 9: weighted speedup of every scheme across the evaluated workloads,
 /// normalized to ++bestTLP (representative rows plus the Gmean over all).
-pub fn fig09(ev: &mut Evaluator, workloads: &[Workload]) -> Report {
+pub fn fig09(ev: &Evaluator, workloads: &[Workload]) -> Report {
     let mut r = scheme_figure(ev, "fig09", EbObjective::Ws, |m| m.ws, workloads);
     r.line("shape goals: PBS-WS and its offline variant above ++DynCTA and");
     r.line("Mod+Bypass; BF-WS within a few % of optWS; all above the 1.0 baseline.");
@@ -373,7 +372,7 @@ pub fn fig09(ev: &mut Evaluator, workloads: &[Workload]) -> Report {
 }
 
 /// Fig. 10: fairness index, same schemes (FI variants).
-pub fn fig10(ev: &mut Evaluator, workloads: &[Workload]) -> Report {
+pub fn fig10(ev: &Evaluator, workloads: &[Workload]) -> Report {
     let mut r = scheme_figure(ev, "fig10", EbObjective::Fi, |m| m.fi, workloads);
     r.line("shape goals: PBS-FI improves fairness severalfold over ++bestTLP on");
     r.line("unfair workloads; BF-FI/optFI bound it from above.");
@@ -381,7 +380,7 @@ pub fn fig10(ev: &mut Evaluator, workloads: &[Workload]) -> Report {
 }
 
 /// §VI-C: harmonic weighted speedup, same schemes (HS variants).
-pub fn hs_results(ev: &mut Evaluator, workloads: &[Workload]) -> Report {
+pub fn hs_results(ev: &Evaluator, workloads: &[Workload]) -> Report {
     let mut r = scheme_figure(ev, "hs", EbObjective::Hs, |m| m.hs, workloads);
     r.line("shape goal: PBS-HS lands between PBS-WS (throughput-leaning) and");
     r.line("PBS-FI (fairness-leaning) on both WS and FI — HS balances the two.");
@@ -392,7 +391,7 @@ pub fn hs_results(ev: &mut Evaluator, workloads: &[Workload]) -> Report {
 /// Also exports the per-window metric series to `results/fig11_<obj>.csv`.
 ///
 /// Equivalent to [`fig11_traced`] with a [`NullSink`] (no trace persisted).
-pub fn fig11(ev: &mut Evaluator) -> Report {
+pub fn fig11(ev: &Evaluator) -> Report {
     fig11_traced(ev, &mut NullSink)
 }
 
@@ -403,7 +402,7 @@ pub fn fig11(ev: &mut Evaluator) -> Report {
 /// captured event is then replayed into `sink` — pass a
 /// [`gpu_sim::JsonlSink`] to persist the raw trace (the `--trace <path>`
 /// flag of the `experiments`/`fig11` binaries).
-pub fn fig11_traced(ev: &mut Evaluator, sink: &mut dyn TraceSink) -> Report {
+pub fn fig11_traced(ev: &Evaluator, sink: &mut dyn TraceSink) -> Report {
     let mut r = Report::new("fig11", "TLP over time for BLK_BFS under PBS");
     let cfg = ev.config().gpu.clone();
     let seed = ev.config().seed;
@@ -467,7 +466,7 @@ pub fn fig11_traced(ev: &mut Evaluator, sink: &mut dyn TraceSink) -> Report {
 }
 
 /// Table IV: alone-run characteristics of all 26 applications.
-pub fn tab04(ev: &mut Evaluator) -> Report {
+pub fn tab04(ev: &Evaluator) -> Report {
     let mut r = Report::new("tab04", "Table IV: IPC@bestTLP, EB@bestTLP, groups");
     let n = ev.config().gpu.n_cores / 2;
     r.header("app", &["IPC", "EB", "BW", "CMR", "bestTLP"]);
@@ -508,7 +507,7 @@ pub fn tab04(ev: &mut Evaluator) -> Report {
 }
 
 /// §VI-D sensitivity: core-partition splits and L2 capacity.
-pub fn sens_part(ev: &mut Evaluator) -> Report {
+pub fn sens_part(ev: &Evaluator) -> Report {
     let mut r = Report::new("sens_part", "sensitivity: core split and L2 capacity");
     let seed = ev.config().seed;
     let sweep_spec = RunSpec::new(10_000, 25_000);
@@ -618,7 +617,7 @@ pub fn sens_part(ev: &mut Evaluator) -> Report {
 }
 
 /// §VI-D: PBS extends to three co-scheduled applications.
-pub fn threeapp(ev: &mut Evaluator) -> Report {
+pub fn threeapp(ev: &Evaluator) -> Report {
     let mut r = Report::new("threeapp", "three-application workloads under PBS");
     let cfg = ev.config().gpu.clone();
     let seed = ev.config().seed;
@@ -667,15 +666,19 @@ pub fn threeapp(ev: &mut Evaluator) -> Report {
         let sd_best = run_static(&best);
         let sd_max = run_static(&max);
 
-        let mut pbs = ebm_core::Pbs::new(
-            EbObjective::Ws,
-            cfg.max_tlp(),
-            ebm_core::policy::pbs::PbsScaling::None,
-        )
-        .with_hold_windows(150);
-        let mut gpu = Gpu::with_core_split(&cfg, &apps, &[per_app; 3], seed);
-        gpu.set_combo(&max);
-        let run = run_controlled(&mut gpu, &mut pbs as &mut dyn Controller, 300_000, 3_000);
+        let run = run_pbs_cached(
+            &FixedRunInputs {
+                cfg: &cfg,
+                apps: &apps,
+                core_split: Some(&split),
+                seed,
+                ccws: false,
+            },
+            &max,
+            300_000,
+            3_000,
+            &PbsRunSpec::paper(EbObjective::Ws, 150),
+        );
         let sd_pbs: Vec<f64> = run
             .overall
             .iter()
@@ -706,7 +709,7 @@ pub fn threeapp(ev: &mut Evaluator) -> Report {
 /// DRAM page-policy ablation: the evaluation's row-locality behaviour
 /// under open-page (the paper's FR-FCFS baseline) versus closed-page
 /// (auto-precharge) row management.
-pub fn dram_policy(ev: &mut Evaluator) -> Report {
+pub fn dram_policy(ev: &Evaluator) -> Report {
     let mut r = Report::new("dram_policy", "DRAM page-policy ablation: open vs closed");
     let seed = ev.config().seed;
 
@@ -781,7 +784,7 @@ pub fn dram_policy(ev: &mut Evaluator) -> Report {
 /// baselines: ++CCWS alongside ++DynCTA and ++bestTLP (plus PBS-WS for
 /// reference). Also verifies CCWS's premise: running alone, it converges
 /// near the bestTLP performance of a cache-sensitive application.
-pub fn ccws(ev: &mut Evaluator) -> Report {
+pub fn ccws(ev: &Evaluator) -> Report {
     let mut r = Report::new("ccws", "++CCWS baseline (and its alone-run premise)");
     let cfg = ev.config().gpu.clone();
     let seed = ev.config().seed;
@@ -838,7 +841,7 @@ pub fn ccws(ev: &mut Evaluator) -> Report {
 
 /// Warp-scheduler sensitivity: GTO (the paper's baseline) versus loose
 /// round-robin, for the alone TLP hill and for the bestTLP-vs-opt gap.
-pub fn sched(ev: &mut Evaluator) -> Report {
+pub fn sched(ev: &Evaluator) -> Report {
     let mut r = Report::new("sched", "warp-scheduler sensitivity: GTO vs LRR");
     let seed = ev.config().seed;
     let mixes = [("BLK", "BFS"), ("BFS", "FFT")];
@@ -905,7 +908,7 @@ pub fn sched(ev: &mut Evaluator) -> Report {
 /// Validates the Fig. 8 designated-sampling hardware: per-window EB
 /// estimates from one core + one partition versus exact aggregation, and
 /// the effect on PBS-WS end results (§V-E's uniformity claim).
-pub fn sampling(ev: &mut Evaluator) -> Report {
+pub fn sampling(ev: &Evaluator) -> Report {
     let mut r = Report::new("sampling", "designated (Fig. 8) vs exact sampling");
     let base_cfg = ev.config().gpu.clone();
     let seed = ev.config().seed;
@@ -985,19 +988,18 @@ pub fn sampling(ev: &mut Evaluator) -> Report {
         for designated in [false, true] {
             let mut cfg = base_cfg.clone();
             cfg.sampling.designated = designated;
-            let mut pbs = ebm_core::Pbs::new(
-                EbObjective::Ws,
-                cfg.max_tlp(),
-                ebm_core::policy::pbs::PbsScaling::None,
-            )
-            .with_hold_windows(ev.config().pbs_hold_windows);
-            let mut gpu = Gpu::new(&cfg, w.apps(), seed);
-            gpu.set_combo(&TlpCombo::uniform(cfg.max_tlp(), 2));
-            let run = run_controlled(
-                &mut gpu,
-                &mut pbs as &mut dyn Controller,
+            let run = run_pbs_cached(
+                &FixedRunInputs {
+                    cfg: &cfg,
+                    apps: w.apps(),
+                    core_split: None,
+                    seed,
+                    ccws: false,
+                },
+                &TlpCombo::uniform(cfg.max_tlp(), 2),
                 run_cycles,
                 measure_from,
+                &PbsRunSpec::paper(EbObjective::Ws, ev.config().pbs_hold_windows),
             );
             let ws = ws_of(
                 &run.overall
@@ -1022,7 +1024,7 @@ pub fn sampling(ev: &mut Evaluator) -> Report {
 /// online search "can adapt to different runtime interference patterns …
 /// within the same workload execution", which a one-shot offline table
 /// cannot).
-pub fn phased(ev: &mut Evaluator) -> Report {
+pub fn phased(ev: &Evaluator) -> Report {
     let mut r = Report::new(
         "phased",
         "online vs offline PBS on phase-changing workloads",
@@ -1081,19 +1083,12 @@ pub fn phased(ev: &mut Evaluator) -> Report {
             RunSpec::new(measure_from, run_cycles - measure_from),
         ));
         // Online PBS with a short hold, so it re-searches within each phase.
-        let mut pbs = ebm_core::Pbs::new(
-            EbObjective::Ws,
-            cfg.max_tlp(),
-            ebm_core::policy::pbs::PbsScaling::None,
-        )
-        .with_hold_windows(60);
-        let mut gpu = Gpu::new(&cfg, w.apps(), seed);
-        gpu.set_combo(&TlpCombo::uniform(cfg.max_tlp(), 2));
-        let run = run_controlled(
-            &mut gpu,
-            &mut pbs as &mut dyn Controller,
+        let run = run_pbs_cached(
+            &inputs,
+            &TlpCombo::uniform(cfg.max_tlp(), 2),
             run_cycles,
             measure_from,
+            &PbsRunSpec::paper(EbObjective::Ws, 60),
         );
         let online = ws_of_windows(&run.overall);
         r.row(
@@ -1118,7 +1113,7 @@ pub fn phased(ev: &mut Evaluator) -> Report {
 /// Ablation study of the PBS design choices DESIGN.md calls out: the probe
 /// level (4 vs maxTLP), the settle window after each TLP change, and the
 /// final pick from the Fig. 8 sampling table versus trusting knee+tune.
-pub fn ablation(ev: &mut Evaluator) -> Report {
+pub fn ablation(ev: &Evaluator) -> Report {
     let mut r = Report::new("ablation", "PBS design-choice ablations (WS vs ++bestTLP)");
     let cfg = ev.config().gpu.clone();
     let seed = ev.config().seed;
@@ -1132,27 +1127,45 @@ pub fn ablation(ev: &mut Evaluator) -> Report {
         ("JPEG", "LIB"),
     ];
 
-    type Variant = (&'static str, fn(ebm_core::Pbs) -> ebm_core::Pbs);
-    let variants: [Variant; 4] = [
-        ("PBS (paper)", |p| p),
-        ("probe=maxTLP", |p| p.with_probe(TlpLevel::MAX)),
-        ("no settle win", |p| p.without_settle()),
-        ("no table pick", |p| p.without_table_pick()),
+    let paper = PbsRunSpec::paper(EbObjective::Ws, hold);
+    let variants: [(&'static str, PbsRunSpec); 4] = [
+        ("PBS (paper)", paper),
+        (
+            "probe=maxTLP",
+            PbsRunSpec {
+                probe: Some(TlpLevel::MAX),
+                ..paper
+            },
+        ),
+        (
+            "no settle win",
+            PbsRunSpec {
+                settle: false,
+                ..paper
+            },
+        ),
+        (
+            "no table pick",
+            PbsRunSpec {
+                table_pick: false,
+                ..paper
+            },
+        ),
     ];
     let cols: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
     r.header("workload", &cols);
     for (a, b) in mixes {
         let w = pair(a, b);
         let alone = ev.alone_ipcs(&w);
+        let inputs = FixedRunInputs {
+            cfg: &cfg,
+            apps: w.apps(),
+            core_split: None,
+            seed,
+            ccws: false,
+        };
         let base = {
             let combo = ev.best_tlp_combo(&w);
-            let inputs = FixedRunInputs {
-                cfg: &cfg,
-                apps: w.apps(),
-                core_split: None,
-                seed,
-                ccws: false,
-            };
             let wins = measure_fixed_cached(
                 &inputs,
                 &combo,
@@ -1167,22 +1180,13 @@ pub fn ablation(ev: &mut Evaluator) -> Report {
             )
         };
         let mut row = Vec::new();
-        for (_, make) in &variants {
-            let mut pbs = make(
-                ebm_core::Pbs::new(
-                    EbObjective::Ws,
-                    cfg.max_tlp(),
-                    ebm_core::policy::pbs::PbsScaling::None,
-                )
-                .with_hold_windows(hold),
-            );
-            let mut gpu = Gpu::new(&cfg, w.apps(), seed);
-            gpu.set_combo(&TlpCombo::uniform(cfg.max_tlp(), 2));
-            let run = run_controlled(
-                &mut gpu,
-                &mut pbs as &mut dyn Controller,
+        for (_, spec) in &variants {
+            let run = run_pbs_cached(
+                &inputs,
+                &TlpCombo::uniform(cfg.max_tlp(), 2),
                 run_cycles,
                 measure_from,
+                spec,
             );
             let ws = ws_of(
                 &run.overall
@@ -1220,16 +1224,16 @@ mod tests {
 
     #[test]
     fn fig01_renders_on_small_machine() {
-        let mut ev = quick_eval();
-        let text = fig01(&mut ev).render();
+        let ev = quick_eval();
+        let text = fig01(&ev).render();
         assert!(text.contains("++bestTLP"));
         assert!(text.contains("optWS"));
     }
 
     #[test]
     fn fig02_rows_cover_clamped_ladder() {
-        let mut ev = quick_eval();
-        let text = fig02(&mut ev).render();
+        let ev = quick_eval();
+        let text = fig02(&ev).render();
         // small machine ladder: 1,2,4,6,8
         for l in ["1", "2", "4", "6", "8"] {
             assert!(text.lines().any(|ln| ln.starts_with(l)), "missing TLP {l}");
@@ -1238,8 +1242,8 @@ mod tests {
 
     #[test]
     fn fig03_orders_hierarchy_levels_for_bfs() {
-        let mut ev = quick_eval();
-        let r = fig03(&mut ev).render();
+        let ev = quick_eval();
+        let r = fig03(&ev).render();
         assert!(r.contains("BFS"));
         assert!(r.contains("BLK"));
     }
@@ -1257,8 +1261,8 @@ mod tests {
 
     #[test]
     fn extension_figures_render_on_small_machine() {
-        let mut ev = quick_eval();
-        for text in [sampling(&mut ev).render(), dram_policy(&mut ev).render()] {
+        let ev = quick_eval();
+        for text in [sampling(&ev).render(), dram_policy(&ev).render()] {
             assert!(
                 text.contains("shape goal"),
                 "report lacks shape goals:\n{text}"
@@ -1268,9 +1272,9 @@ mod tests {
 
     #[test]
     fn scheme_figure_computes_gmean_row() {
-        let mut ev = quick_eval();
+        let ev = quick_eval();
         let w = vec![Workload::pair("BLK", "BFS")];
-        let text = fig09(&mut ev, &w).render();
+        let text = fig09(&ev, &w).render();
         assert!(text.contains("Gmean"));
     }
 }

@@ -12,6 +12,12 @@
 //! `cargo run -p ebm-bench --release --bin experiments`.
 
 //!
+//! The `experiments` campaign runs, by default, through the [`campaign`]
+//! work-graph scheduler: the artifact list is compiled into a
+//! fingerprint-deduplicated DAG of measurement units executed across the
+//! worker pool, with figures rendered — byte-identically to the serial
+//! path — as consumer nodes (`--serial` keeps the old loop).
+//!
 //! The crate also carries the campaign observability layer:
 //!
 //! * [`logging`] — the level-gated [`log!`](crate::log) macro behind the
@@ -25,6 +31,7 @@
 
 #![deny(missing_docs)]
 
+pub mod campaign;
 pub mod figures;
 pub mod json;
 pub mod logging;
@@ -35,8 +42,9 @@ pub mod util;
 pub use util::{out_path, run_and_save, set_out_dir, BenchArgs, Report};
 
 /// Version of the field layout the `perf_smoke` binary writes to
-/// `BENCH_engine.json`, `BENCH_parallel.json`, `BENCH_cache.json` and
-/// `BENCH_obs.json` (each file carries it as `schema_version`).
+/// `BENCH_engine.json`, `BENCH_parallel.json`, `BENCH_cache.json`,
+/// `BENCH_obs.json` and `BENCH_campaign.json` (each file carries it as
+/// `schema_version`).
 ///
 /// `docs/BENCH_SCHEMA.md` documents exactly this version, the same way
 /// `docs/TRACE_SCHEMA.md` is pinned to the trace emitter's

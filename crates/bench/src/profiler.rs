@@ -11,15 +11,19 @@
 //! same `trace-tools` pipeline that analyzes simulator metrics can also
 //! answer "where did the campaign's time go?".
 //!
-//! Spans nest on the thread that creates them (figure generators run on
-//! the campaign thread; parallelism lives *inside* the evaluator), so a
-//! single process-wide stack is enough.  Guards must be dropped in LIFO
-//! order; the drop handler tolerates out-of-order drops by removing its
-//! own entry wherever it sits.
+//! Spans nest **per thread**: the depth recorded at creation counts only
+//! the open spans of the creating thread, so campaign-scheduler workers
+//! (which open `unit` spans concurrently with the coordinator's open
+//! `campaign`/`figure` spans) attribute correctly instead of inheriting
+//! whatever happened to be open elsewhere.  The record list itself stays
+//! process-wide and ordered by span *start*.  Guards should be dropped in
+//! per-thread LIFO order; the drop handler tolerates out-of-order drops by
+//! removing its own entry wherever it sits.
 
 use gpu_sim::trace::{TraceEvent, TraceSink};
 use std::path::Path;
 use std::sync::Mutex;
+use std::thread::ThreadId;
 use std::time::Instant;
 
 /// One finished (or in-flight) profiling span.
@@ -54,8 +58,10 @@ struct OpenSpan {
 struct ProfilerState {
     /// Finished spans, in order of span *start*.
     spans: Vec<SpanRecord>,
-    /// Indices into `spans` of the currently open spans (innermost last).
-    open: Vec<(usize, OpenSpan)>,
+    /// Currently open spans: `(index into spans, creating thread, deltas)`.
+    /// Depth is computed per creating thread, so concurrent spans on
+    /// different threads do not nest under each other.
+    open: Vec<(usize, ThreadId, OpenSpan)>,
 }
 
 static STATE: Mutex<Option<ProfilerState>> = Mutex::new(None);
@@ -76,8 +82,9 @@ fn with_state<R>(f: impl FnOnce(&mut ProfilerState) -> R) -> R {
 /// accepted (the profiler imposes no vocabulary).
 pub fn span(level: &str, name: &str) -> SpanGuard {
     let stats = gpu_sim::cache::stats();
+    let thread = std::thread::current().id();
     let idx = with_state(|s| {
-        let depth = s.open.len() as u32;
+        let depth = s.open.iter().filter(|(_, t, _)| *t == thread).count() as u32;
         let idx = s.spans.len();
         s.spans.push(SpanRecord {
             level: level.to_string(),
@@ -91,6 +98,7 @@ pub fn span(level: &str, name: &str) -> SpanGuard {
         });
         s.open.push((
             idx,
+            thread,
             OpenSpan {
                 start: Instant::now(),
                 cycles0: gpu_sim::metrics::cycles_simulated(),
@@ -114,10 +122,10 @@ impl Drop for SpanGuard {
         let stats = gpu_sim::cache::stats();
         let cycles_now = gpu_sim::metrics::cycles_simulated();
         with_state(|s| {
-            let Some(pos) = s.open.iter().position(|(i, _)| *i == self.idx) else {
+            let Some(pos) = s.open.iter().position(|(i, _, _)| *i == self.idx) else {
                 return; // already closed (double drop cannot happen, but stay safe)
             };
-            let (_, open) = s.open.remove(pos);
+            let (_, _, open) = s.open.remove(pos);
             let rec = &mut s.spans[self.idx];
             rec.wall_s = open.start.elapsed().as_secs_f64();
             rec.cycles = cycles_now.saturating_sub(open.cycles0);
@@ -135,7 +143,7 @@ pub fn take_spans() -> Vec<SpanRecord> {
         }
         // Keep open spans in place: extract only the closed ones, then
         // remap the open indices onto the compacted vector.
-        let open_idx: Vec<usize> = s.open.iter().map(|(i, _)| *i).collect();
+        let open_idx: Vec<usize> = s.open.iter().map(|(i, _, _)| *i).collect();
         let mut closed = Vec::new();
         let mut kept = Vec::new();
         let mut remap = vec![usize::MAX; s.spans.len()];
@@ -148,7 +156,7 @@ pub fn take_spans() -> Vec<SpanRecord> {
             }
         }
         s.spans = kept;
-        for (i, _) in s.open.iter_mut() {
+        for (i, _, _) in s.open.iter_mut() {
             *i = remap[*i];
         }
         closed
@@ -280,6 +288,45 @@ mod tests {
         drop(outer);
         let rest = take_spans();
         assert!(rest.iter().any(|s| s.name == "k-open"));
+    }
+
+    #[test]
+    fn spans_attribute_depth_per_thread() {
+        let _serial = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _flush = take_spans();
+        // A coordinator span stays open while two worker threads open and
+        // close their own spans concurrently. Worker spans must sit at
+        // their *own* thread's depth (0, and 1 when nested), not under the
+        // coordinator's open span or each other's.
+        let outer = span("campaign", "m-root");
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            for w in 0..2 {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait(); // both workers hold spans open at once
+                    let _u = span("unit", &format!("m-unit-{w}"));
+                    let _n = span("run", &format!("m-nested-{w}"));
+                    barrier.wait(); // ...until both have opened their pair
+                });
+            }
+        });
+        drop(outer);
+        let spans = take_spans();
+        for w in 0..2 {
+            let unit = spans
+                .iter()
+                .find(|s| s.name == format!("m-unit-{w}"))
+                .expect("worker span recorded");
+            assert_eq!(unit.depth, 0, "worker root span is its thread's root");
+            let nested = spans
+                .iter()
+                .find(|s| s.name == format!("m-nested-{w}"))
+                .expect("nested worker span recorded");
+            assert_eq!(nested.depth, 1, "nesting counts only the own thread");
+        }
+        let root = spans.iter().find(|s| s.name == "m-root").unwrap();
+        assert_eq!(root.depth, 0);
     }
 
     #[test]

@@ -114,6 +114,10 @@ pub fn run_and_save(report: &Report) {
 /// * `--cache-verify <fraction>` — re-simulate that fraction of cache hits
 ///   and assert bit-identical results (`EBM_CACHE_VERIFY`);
 /// * `--no-cache` — disable result memoization entirely (`EBM_CACHE=0`);
+///   this also forces `--serial` in `experiments`, since the campaign
+///   scheduler hands results to the renders through the cache tiers;
+/// * `--serial` — run the `experiments` campaign artifact-by-artifact
+///   instead of through the [`crate::campaign`] work-graph scheduler;
 /// * `--out <dir>` — save artifacts under `<dir>` instead of `results/`.
 #[derive(Debug, Clone, Default)]
 pub struct BenchArgs {
@@ -132,6 +136,9 @@ pub struct BenchArgs {
     pub cache_verify: Option<f64>,
     /// Disable the result cache (both tiers) for this run.
     pub no_cache: bool,
+    /// Run the campaign serially instead of through the work-graph
+    /// scheduler (`experiments` only; per-figure binaries ignore it).
+    pub serial: bool,
 }
 
 impl BenchArgs {
@@ -143,7 +150,7 @@ impl BenchArgs {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: [--quick] [--only <ids>] [--trace <path>] [--out <dir>] \
-                     [--cache-dir <path>] [--cache-verify <fraction>] [--no-cache]"
+                     [--cache-dir <path>] [--cache-verify <fraction>] [--no-cache] [--serial]"
                 );
                 std::process::exit(2);
             }
@@ -183,6 +190,7 @@ impl BenchArgs {
                     out.cache_verify = Some(f);
                 }
                 "--no-cache" => out.no_cache = true,
+                "--serial" => out.serial = true,
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }

@@ -6,7 +6,7 @@ use ebm_core::{EbObjective, Evaluator, EvaluatorConfig, Scheme};
 use gpu_workloads::Workload;
 
 fn main() {
-    let mut e = Evaluator::new(EvaluatorConfig::paper());
+    let e = Evaluator::new(EvaluatorConfig::paper());
     for wname in [("BFS", "FFT"), ("BLK", "TRD"), ("BLK", "BFS")] {
         let w = Workload::pair(wname.0, wname.1);
         println!("== {}", w.name());

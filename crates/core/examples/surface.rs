@@ -18,7 +18,7 @@ fn main() {
     };
     let w = Workload::pair(a, b);
     let cfg = GpuConfig::paper();
-    let mut ev = Evaluator::new(EvaluatorConfig::paper());
+    let ev = Evaluator::new(EvaluatorConfig::paper());
     let alone = ev.alone_ipcs(&w);
     let best = ev.best_tlp_combo(&w);
     println!("workload {w}: alone ipcs {alone:?}, ++bestTLP = {best}");

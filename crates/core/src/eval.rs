@@ -13,6 +13,7 @@ use crate::policy::pbs::PbsScaling;
 use crate::policy::{DynCta, ModBypass, Pbs};
 use crate::scaling::ScalingFactors;
 use crate::search::{best_combo_by_eb, best_combo_by_sd};
+use crate::store::ResultStore;
 use crate::sweep::ComboSweep;
 use gpu_sim::alone::{profile_alone, AloneProfile};
 use gpu_sim::control::Controller;
@@ -25,6 +26,7 @@ use gpu_types::canon::{Canon, CanonBuf, CanonReader, Fingerprint};
 use gpu_types::{AppWindow, FxHashMap, GpuConfig, TlpCombo, TlpLevel};
 use gpu_workloads::{all_apps, AppProfile, EbGroup, Workload};
 use std::fmt;
+use std::sync::Arc;
 
 /// All evaluated TLP-management schemes (the bar groups of Figs. 9/10).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -172,7 +174,14 @@ pub struct SchemeResult {
     pub windows: Vec<AppWindow>,
 }
 
-/// The memoizing evaluation driver.
+/// The memoizing evaluation driver: a thin, cheaply clonable **view** over
+/// a shared [`ResultStore`].
+///
+/// Every method takes `&self`; all memo state lives in the store behind
+/// sharded interior mutability, so any number of views — one per figure
+/// generator, one per campaign-scheduler worker — fill and read the same
+/// tables concurrently. Cloning an evaluator clones an `Arc`, nothing
+/// else.
 ///
 /// # Examples
 ///
@@ -180,19 +189,13 @@ pub struct SchemeResult {
 /// use ebm_core::eval::{Evaluator, EvaluatorConfig, Scheme};
 /// use gpu_workloads::Workload;
 ///
-/// let mut ev = Evaluator::new(EvaluatorConfig::quick());
+/// let ev = Evaluator::new(EvaluatorConfig::quick());
 /// let result = ev.evaluate(&Workload::pair("BLK", "BFS"), Scheme::BestTlp);
 /// assert!(result.metrics.ws > 0.0);
 /// ```
+#[derive(Clone)]
 pub struct Evaluator {
-    cfg: EvaluatorConfig,
-    alone_cache: FxHashMap<&'static str, AloneProfile>,
-    sweep_cache: FxHashMap<String, ComboSweep>,
-    /// Scheme runs are deterministic, so repeat evaluations (e.g. the
-    /// ++bestTLP baseline shared by every figure, or ++DynCTA appearing in
-    /// Figs. 9, 10 and the HS study) are served from cache.
-    result_cache: FxHashMap<(String, Scheme), SchemeResult>,
-    group_avg: Option<FxHashMap<EbGroup, f64>>,
+    store: Arc<ResultStore>,
 }
 
 /// Everything a scheme run reads, warmed up front so the run itself is a
@@ -203,7 +206,7 @@ pub struct Evaluator {
 struct SchemeCtx<'a> {
     cfg: &'a EvaluatorConfig,
     /// Sweep table, present iff some requested scheme is offline.
-    sweep: Option<&'a ComboSweep>,
+    sweep: Option<ComboSweep>,
     /// Per-application alone `IPC@bestTLP` (the SD denominators).
     alone_ipcs: Vec<f64>,
     /// The ++bestTLP combination.
@@ -226,16 +229,6 @@ impl SchemeCtx<'_> {
             ScalingFactors::none(n_apps)
         }
     }
-}
-
-/// Owned warm-up artifacts; [`SchemeCtx`] is assembled from these plus
-/// borrows of the evaluator's caches once the mutable warm-up phase ends.
-struct Warm {
-    alone_ipcs: Vec<f64>,
-    best_combo: TlpCombo,
-    needs_sweep: bool,
-    sampled: Option<ScalingFactors>,
-    baseline: Option<SchemeResult>,
 }
 
 fn metrics_for(alone_ipcs: &[f64], windows: &[AppWindow]) -> SystemMetrics {
@@ -391,19 +384,28 @@ fn run_scheme(
             )
         }
         Scheme::PbsOffline(objective) => {
-            let sweep = ctx.sweep.expect("sweep warmed for offline schemes");
+            let sweep = ctx
+                .sweep
+                .as_ref()
+                .expect("sweep warmed for offline schemes");
             let scaling = ctx.scaling_for(objective, n);
             let (combo, _) = pbs_offline_search(sweep, objective, &scaling);
             static_run(ctx, workload, combo, scheme, sink)
         }
         Scheme::BruteForce(objective) => {
-            let sweep = ctx.sweep.expect("sweep warmed for offline schemes");
+            let sweep = ctx
+                .sweep
+                .as_ref()
+                .expect("sweep warmed for offline schemes");
             let scaling = ctx.scaling_for(objective, n);
             let (combo, _) = best_combo_by_eb(sweep, objective, &scaling);
             static_run(ctx, workload, combo, scheme, sink)
         }
         Scheme::Opt(objective) => {
-            let sweep = ctx.sweep.expect("sweep warmed for offline schemes");
+            let sweep = ctx
+                .sweep
+                .as_ref()
+                .expect("sweep warmed for offline schemes");
             let (combo, _) = best_combo_by_sd(sweep, objective, &ctx.alone_ipcs);
             let candidate = static_run(ctx, workload, combo, scheme, sink);
             // The exhaustive search space contains the ++bestTLP
@@ -429,7 +431,10 @@ fn run_scheme(
             }
         }
         Scheme::OptIt => {
-            let sweep = ctx.sweep.expect("sweep warmed for offline schemes");
+            let sweep = ctx
+                .sweep
+                .as_ref()
+                .expect("sweep warmed for offline schemes");
             let (combo, _) = crate::search::best_combo_by_it(sweep);
             static_run(ctx, workload, combo, scheme, sink)
         }
@@ -441,7 +446,14 @@ fn run_scheme(
 /// scheme's canonical tag. All of a run's other inputs (alone IPCs, the
 /// sweep table, scaling factors, the ++bestTLP baseline) are deterministic
 /// functions of these, so they stay out of the key.
-fn scheme_fingerprint(cfg: &EvaluatorConfig, workload: &Workload, scheme: Scheme) -> Fingerprint {
+///
+/// Public so the campaign scheduler (`ebm_bench::campaign`) can identify a
+/// planned scheme evaluation by the same content address the cache uses.
+pub fn scheme_fingerprint(
+    cfg: &EvaluatorConfig,
+    workload: &Workload,
+    scheme: Scheme,
+) -> Fingerprint {
     let mut key = gpu_sim::cache::KeyBuilder::new("scheme");
     key.push(&cfg.gpu)
         .push_u64(cfg.seed)
@@ -534,68 +546,73 @@ fn decode_result(bytes: &[u8], scheme: Scheme) -> Option<SchemeResult> {
 impl fmt::Debug for Evaluator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Evaluator")
-            .field("cached_alone", &self.alone_cache.len())
-            .field("cached_sweeps", &self.sweep_cache.len())
+            .field("cached_alone", &self.store.cached_alone())
+            .field("cached_sweeps", &self.store.cached_sweeps())
             .finish()
     }
 }
 
 impl Evaluator {
-    /// Creates a driver for the given campaign.
+    /// Creates a driver (and a fresh shared [`ResultStore`]) for the given
+    /// campaign.
     pub fn new(cfg: EvaluatorConfig) -> Self {
-        cfg.gpu.validate().expect("invalid machine configuration");
         Evaluator {
-            cfg,
-            alone_cache: FxHashMap::default(),
-            sweep_cache: FxHashMap::default(),
-            result_cache: FxHashMap::default(),
-            group_avg: None,
+            store: Arc::new(ResultStore::new(cfg)),
         }
+    }
+
+    /// A view over an existing shared store: evaluations through this view
+    /// read and fill the same memo tables as every other view of `store`.
+    pub fn from_store(store: Arc<ResultStore>) -> Self {
+        Evaluator { store }
+    }
+
+    /// The shared store behind this view.
+    pub fn store(&self) -> &Arc<ResultStore> {
+        &self.store
     }
 
     /// The campaign configuration.
     pub fn config(&self) -> &EvaluatorConfig {
-        &self.cfg
+        &self.store.cfg
     }
 
     fn cores_per_app(&self, workload: &Workload) -> usize {
-        self.cfg.gpu.n_cores / workload.n_apps()
+        self.config().gpu.n_cores / workload.n_apps()
     }
 
     /// The (cached) alone profile of `app` on `n_cores` cores.
-    pub fn alone(&mut self, app: &'static AppProfile, n_cores: usize) -> &AloneProfile {
-        let cfg = &self.cfg;
-        self.alone_cache
-            .entry(app.name)
-            .or_insert_with(|| profile_alone(&cfg.gpu, app, n_cores, cfg.seed, cfg.alone_spec))
+    pub fn alone(&self, app: &'static AppProfile, n_cores: usize) -> AloneProfile {
+        let cfg = self.config();
+        self.store.alone.get_or_insert_with(app.name, || {
+            profile_alone(&cfg.gpu, app, n_cores, cfg.seed, cfg.alone_spec)
+        })
     }
 
     /// The (cached) 64-combination sweep of `workload`.
-    pub fn sweep(&mut self, workload: &Workload) -> &ComboSweep {
-        let cfg = &self.cfg;
-        self.sweep_cache
-            .entry(workload.name())
-            .or_insert_with(|| ComboSweep::measure(&cfg.gpu, workload, cfg.seed, cfg.sweep_spec))
+    pub fn sweep(&self, workload: &Workload) -> ComboSweep {
+        let cfg = self.config();
+        self.store.sweeps.get_or_insert_with(workload.name(), || {
+            ComboSweep::measure(&cfg.gpu, workload, cfg.seed, cfg.sweep_spec)
+        })
     }
 
     /// Per-application alone `IPC@bestTLP` (the SD denominators).
-    pub fn alone_ipcs(&mut self, workload: &Workload) -> Vec<f64> {
+    pub fn alone_ipcs(&self, workload: &Workload) -> Vec<f64> {
         let n = self.cores_per_app(workload);
         workload
             .apps()
-            .to_vec()
             .iter()
             .map(|a| self.alone(a, n).ipc_at_best())
             .collect()
     }
 
     /// Per-application alone `bestTLP` (the ++bestTLP combination).
-    pub fn best_tlp_combo(&mut self, workload: &Workload) -> TlpCombo {
+    pub fn best_tlp_combo(&self, workload: &Workload) -> TlpCombo {
         let n = self.cores_per_app(workload);
         TlpCombo::new(
             workload
                 .apps()
-                .to_vec()
                 .iter()
                 .map(|a| self.alone(a, n).best_tlp())
                 .collect(),
@@ -605,29 +622,42 @@ impl Evaluator {
     /// Table IV's group-average alone EBs, over all 26 applications
     /// (the user-supplied scaling-factor source). Expensive on first call;
     /// cached.
-    pub fn group_averages(&mut self) -> FxHashMap<EbGroup, f64> {
-        if self.group_avg.is_none() {
-            let n = self.cfg.gpu.n_cores / 2; // groups are defined on the 2-app partition size
-            let mut sums: FxHashMap<EbGroup, (f64, usize)> = FxHashMap::default();
-            for app in all_apps() {
-                let eb = self.alone(app, n).eb_at_best();
-                let e = sums.entry(app.group).or_insert((0.0, 0));
-                e.0 += eb;
-                e.1 += 1;
-            }
-            self.group_avg = Some(
-                sums.into_iter()
-                    .map(|(g, (s, c))| (g, s / c as f64))
-                    .collect(),
-            );
+    pub fn group_averages(&self) -> FxHashMap<EbGroup, f64> {
+        if let Some(cached) = self
+            .store
+            .group_avg
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+        {
+            return cached;
         }
-        self.group_avg.clone().expect("just filled")
+        // Computed outside the lock: the profiles may simulate (or fan
+        // out), and concurrent computes agree bit for bit.
+        let n = self.config().gpu.n_cores / 2; // groups are defined on the 2-app partition size
+        let mut sums: FxHashMap<EbGroup, (f64, usize)> = FxHashMap::default();
+        for app in all_apps() {
+            let eb = self.alone(app, n).eb_at_best();
+            let e = sums.entry(app.group).or_insert((0.0, 0));
+            e.0 += eb;
+            e.1 += 1;
+        }
+        let table: FxHashMap<EbGroup, f64> = sums
+            .into_iter()
+            .map(|(g, (s, c))| (g, s / c as f64))
+            .collect();
+        self.store
+            .group_avg
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get_or_insert_with(|| table.clone())
+            .clone()
     }
 
     /// Scaling factors approximating each application's alone EB from the
     /// sweep table: its EB with every co-runner throttled to TLP = 1
     /// (the "sampled" source of §IV, used by BF-FI/HS and offline PBS).
-    pub fn sampled_factors(&mut self, workload: &Workload) -> ScalingFactors {
+    pub fn sampled_factors(&self, workload: &Workload) -> ScalingFactors {
         let sweep = self.sweep(workload);
         let levels = sweep.levels();
         let top = *levels.last().expect("non-empty ladder");
@@ -643,21 +673,21 @@ impl Evaluator {
 
     /// Exact scaling factors: measured alone `EB@bestTLP` (Fig. 7's dashed
     /// curve).
-    pub fn exact_factors(&mut self, workload: &Workload) -> ScalingFactors {
+    pub fn exact_factors(&self, workload: &Workload) -> ScalingFactors {
         let n = self.cores_per_app(workload);
         ScalingFactors::from_alone_ebs(
             workload
                 .apps()
-                .to_vec()
                 .iter()
                 .map(|a| self.alone(a, n).eb_at_best().max(1e-6))
                 .collect(),
         )
     }
 
-    /// Warms every cache the given schemes read (mutable phase), returning
-    /// the owned artifacts a [`SchemeCtx`] is assembled from.
-    fn warm_for(&mut self, workload: &Workload, schemes: &[Scheme]) -> Warm {
+    /// Warms every cache the given schemes read and assembles the immutable
+    /// run context. All fills go through the shared store, so concurrent
+    /// warm-ups of one workload share (rather than repeat) the work.
+    fn warm_ctx(&self, workload: &Workload, schemes: &[Scheme]) -> SchemeCtx<'_> {
         let needs_sweep = schemes.iter().any(|s| {
             matches!(
                 s,
@@ -670,9 +700,11 @@ impl Evaluator {
         let needs_baseline = schemes.iter().any(|s| matches!(s, Scheme::Opt(_)));
         let alone_ipcs = self.alone_ipcs(workload);
         let best_combo = self.best_tlp_combo(workload);
-        if needs_sweep {
-            self.sweep(workload);
-        }
+        let sweep = if needs_sweep {
+            Some(self.sweep(workload))
+        } else {
+            None
+        };
         let sampled = if needs_sampled {
             Some(self.sampled_factors(workload))
         } else {
@@ -683,46 +715,25 @@ impl Evaluator {
         } else {
             None
         };
-        Warm {
+        SchemeCtx {
+            cfg: self.config(),
+            sweep,
             alone_ipcs,
             best_combo,
-            needs_sweep,
             sampled,
             baseline,
         }
     }
 
-    /// Assembles the immutable run context from warm artifacts. Call only
-    /// after [`Evaluator::warm_for`] for the same workload/schemes.
-    fn ctx_from<'a>(&'a self, workload: &Workload, warm: Warm) -> SchemeCtx<'a> {
-        let sweep = if warm.needs_sweep {
-            Some(
-                self.sweep_cache
-                    .get(&workload.name())
-                    .expect("sweep just warmed"),
-            )
-        } else {
-            None
-        };
-        SchemeCtx {
-            cfg: &self.cfg,
-            sweep,
-            alone_ipcs: warm.alone_ipcs,
-            best_combo: warm.best_combo,
-            sampled: warm.sampled,
-            baseline: warm.baseline,
-        }
-    }
-
     /// Runs `scheme` on `workload` and reports its SD-based metrics.
     /// Results are memoized (runs are deterministic).
-    pub fn evaluate(&mut self, workload: &Workload, scheme: Scheme) -> SchemeResult {
+    pub fn evaluate(&self, workload: &Workload, scheme: Scheme) -> SchemeResult {
         let key = (workload.name(), scheme);
-        if let Some(hit) = self.result_cache.get(&key) {
-            return hit.clone();
+        if let Some(hit) = self.store.results.get(&key) {
+            return hit;
         }
         let result = self.evaluate_uncached(workload, scheme);
-        self.result_cache.insert(key, result.clone());
+        self.store.results.insert(key, result.clone());
         result
     }
 
@@ -731,15 +742,14 @@ impl Evaluator {
     /// only on a full miss. A persistent hit skips the warm-up phase too —
     /// the alone profiles and sweep the run would have warmed are
     /// themselves cached and will be decoded if some later call needs them.
-    fn evaluate_uncached(&mut self, workload: &Workload, scheme: Scheme) -> SchemeResult {
-        let fp = scheme_fingerprint(&self.cfg, workload, scheme);
+    fn evaluate_uncached(&self, workload: &Workload, scheme: Scheme) -> SchemeResult {
+        let fp = scheme_fingerprint(self.config(), workload, scheme);
         gpu_sim::cache::memoize(
             fp,
             encode_result,
             |bytes| decode_result(bytes, scheme),
             || {
-                let warm = self.warm_for(workload, &[scheme]);
-                let ctx = self.ctx_from(workload, warm);
+                let ctx = self.warm_ctx(workload, &[scheme]);
                 run_scheme(&ctx, workload, scheme, &mut NullSink)
             },
         )
@@ -753,17 +763,15 @@ impl Evaluator {
     /// returned metrics are identical to the cached ones; the fresh result
     /// is (re-)inserted so later untraced calls still hit.
     pub fn evaluate_traced(
-        &mut self,
+        &self,
         workload: &Workload,
         scheme: Scheme,
         sink: &mut dyn TraceSink,
     ) -> SchemeResult {
-        let warm = self.warm_for(workload, &[scheme]);
-        let result = {
-            let ctx = self.ctx_from(workload, warm);
-            run_scheme(&ctx, workload, scheme, sink)
-        };
-        self.result_cache
+        let ctx = self.warm_ctx(workload, &[scheme]);
+        let result = run_scheme(&ctx, workload, scheme, sink);
+        self.store
+            .results
             .insert((workload.name(), scheme), result.clone());
         result
     }
@@ -784,62 +792,59 @@ impl Evaluator {
     /// use ebm_core::eval::{Evaluator, EvaluatorConfig, Scheme};
     /// use gpu_workloads::Workload;
     ///
-    /// let mut ev = Evaluator::new(EvaluatorConfig::quick());
+    /// let ev = Evaluator::new(EvaluatorConfig::quick());
     /// let wl = Workload::pair("BLK", "BFS");
     /// let results = ev.evaluate_batch(&wl, &[Scheme::BestTlp, Scheme::MaxTlp]);
     /// assert_eq!(results.len(), 2);
     /// // Results come back in input order, identical to serial evaluation.
     /// assert_eq!(results[0].scheme, Scheme::BestTlp);
     /// ```
-    pub fn evaluate_batch(&mut self, workload: &Workload, schemes: &[Scheme]) -> Vec<SchemeResult> {
+    pub fn evaluate_batch(&self, workload: &Workload, schemes: &[Scheme]) -> Vec<SchemeResult> {
         self.evaluate_batch_with_threads(workload, schemes, exec::worker_count())
     }
 
     /// [`Evaluator::evaluate_batch`] with an explicit thread count
     /// (1 = fully sequential).
     pub fn evaluate_batch_with_threads(
-        &mut self,
+        &self,
         workload: &Workload,
         schemes: &[Scheme],
         threads: usize,
     ) -> Vec<SchemeResult> {
         let mut missing: Vec<Scheme> = Vec::new();
         for &s in schemes {
-            if !self.result_cache.contains_key(&(workload.name(), s)) && !missing.contains(&s) {
+            if !self.store.results.contains(&(workload.name(), s)) && !missing.contains(&s) {
                 missing.push(s);
             }
         }
         if !missing.is_empty() {
-            let warm = self.warm_for(workload, &missing);
+            let ctx = self.warm_ctx(workload, &missing);
             // Warming the ++bestTLP baseline may have filled some of the
             // requested entries via the memo cache; drop those before the
             // fan-out.
-            missing.retain(|s| !self.result_cache.contains_key(&(workload.name(), *s)));
-            let results = {
-                let ctx = self.ctx_from(workload, warm);
-                let cfg = &self.cfg;
-                // Each fanned-out scheme still consults the persistent
-                // cache tier, exactly like the serial path.
-                exec::par_map_with(threads, missing.clone(), |s| {
-                    gpu_sim::cache::memoize(
-                        scheme_fingerprint(cfg, workload, s),
-                        encode_result,
-                        |bytes| decode_result(bytes, s),
-                        || run_scheme(&ctx, workload, s, &mut NullSink),
-                    )
-                })
-            };
+            missing.retain(|s| !self.store.results.contains(&(workload.name(), *s)));
+            let cfg = self.config();
+            // Each fanned-out scheme still consults the persistent
+            // cache tier, exactly like the serial path.
+            let results = exec::par_map_with(threads, missing.clone(), |s| {
+                gpu_sim::cache::memoize(
+                    scheme_fingerprint(cfg, workload, s),
+                    encode_result,
+                    |bytes| decode_result(bytes, s),
+                    || run_scheme(&ctx, workload, s, &mut NullSink),
+                )
+            });
             for (s, r) in missing.iter().zip(results) {
-                self.result_cache.insert((workload.name(), *s), r);
+                self.store.results.insert((workload.name(), *s), r);
             }
         }
         schemes
             .iter()
             .map(|s| {
-                self.result_cache
+                self.store
+                    .results
                     .get(&(workload.name(), *s))
                     .expect("every requested scheme was just evaluated")
-                    .clone()
             })
             .collect()
     }
@@ -859,7 +864,7 @@ mod tests {
 
     #[test]
     fn best_tlp_baseline_produces_metrics() {
-        let mut e = evaluator();
+        let e = evaluator();
         let r = e.evaluate(&workload(), Scheme::BestTlp);
         assert_eq!(r.metrics.sds.len(), 2);
         assert!(r.metrics.ws > 0.0);
@@ -869,7 +874,7 @@ mod tests {
 
     #[test]
     fn opt_ws_at_least_matches_best_tlp() {
-        let mut e = evaluator();
+        let e = evaluator();
         let base = e.evaluate(&workload(), Scheme::BestTlp);
         let opt = e.evaluate(&workload(), Scheme::Opt(EbObjective::Ws));
         // The oracle picked the best combo on the sweep; the full-length
@@ -884,7 +889,7 @@ mod tests {
 
     #[test]
     fn dynamic_schemes_produce_traces() {
-        let mut e = evaluator();
+        let e = evaluator();
         let r = e.evaluate(&workload(), Scheme::Pbs(EbObjective::Ws));
         assert!(r.tlp_trace.len() > 1, "PBS must explore combinations");
         assert!(r.metrics.ws > 0.0);
@@ -892,27 +897,34 @@ mod tests {
 
     #[test]
     fn caches_are_reused() {
-        let mut e = evaluator();
+        let e = evaluator();
         // Warm the evaluator-local memo caches explicitly: scheme runs may
         // be served whole from the process-global result cache, in which
         // case they (correctly) never touch these.
         e.alone_ipcs(&workload());
         e.sweep(&workload());
-        let n_alone = e.alone_cache.len();
+        let n_alone = e.store().cached_alone();
         e.evaluate(&workload(), Scheme::BestTlp);
         e.evaluate(&workload(), Scheme::Opt(EbObjective::Fi));
         assert_eq!(
-            e.alone_cache.len(),
+            e.store().cached_alone(),
             n_alone,
             "alone profiles must be cached"
         );
-        assert_eq!(e.sweep_cache.len(), 1);
-        assert_eq!(e.result_cache.len(), 2);
+        assert_eq!(e.store().cached_sweeps(), 1);
+        assert_eq!(e.store().cached_results(), 2);
         // A repeat evaluation is served from cache (identical result).
         let a = e.evaluate(&workload(), Scheme::BestTlp);
         let b = e.evaluate(&workload(), Scheme::BestTlp);
         assert_eq!(a.metrics.ws, b.metrics.ws);
-        assert_eq!(e.result_cache.len(), 2);
+        assert_eq!(e.store().cached_results(), 2);
+
+        // Views share the store: a clone sees the same caches, and a view
+        // created from the store explicitly does too.
+        let view = e.clone();
+        assert_eq!(view.store().cached_results(), 2);
+        let other = Evaluator::from_store(e.store().clone());
+        assert_eq!(other.store().cached_sweeps(), 1);
     }
 
     #[test]
@@ -930,7 +942,7 @@ mod tests {
 
     #[test]
     fn ccws_scheme_runs() {
-        let mut e = evaluator();
+        let e = evaluator();
         let r = e.evaluate(&workload(), Scheme::Ccws);
         assert!(r.metrics.ws > 0.0);
         assert_eq!(Scheme::Ccws.to_string(), "++CCWS");
@@ -938,7 +950,7 @@ mod tests {
 
     #[test]
     fn opt_it_runs_and_reports() {
-        let mut e = evaluator();
+        let e = evaluator();
         let r = e.evaluate(&workload(), Scheme::OptIt);
         assert!(r.metrics.ws > 0.0);
         assert!(r.combo.is_some());
@@ -946,7 +958,7 @@ mod tests {
 
     #[test]
     fn hs_and_offline_variants_run() {
-        let mut e = evaluator();
+        let e = evaluator();
         let w = workload();
         for s in [
             Scheme::PbsOffline(EbObjective::Hs),
@@ -961,7 +973,7 @@ mod tests {
 
     #[test]
     fn exact_factors_use_alone_ebs() {
-        let mut e = evaluator();
+        let e = evaluator();
         let f = e.exact_factors(&workload());
         assert_eq!(f.len(), 2);
         assert!(f.factors().iter().all(|&x| x > 0.0));
@@ -969,7 +981,7 @@ mod tests {
 
     #[test]
     fn best_tlp_combo_is_on_the_clamped_ladder() {
-        let mut e = evaluator();
+        let e = evaluator();
         let combo = e.best_tlp_combo(&workload());
         let max = e.config().gpu.max_tlp();
         assert!(combo.levels().iter().all(|&l| l <= max));
@@ -977,7 +989,7 @@ mod tests {
 
     #[test]
     fn sampled_factors_are_positive() {
-        let mut e = evaluator();
+        let e = evaluator();
         let f = e.sampled_factors(&workload());
         assert_eq!(f.len(), 2);
         assert!(f.factors().iter().all(|&x| x > 0.0));

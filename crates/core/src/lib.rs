@@ -16,6 +16,9 @@
 //!   pattern-based search rules of §V applied to an offline table;
 //! * [`policy`] — runtime controllers: **PBS-WS / PBS-FI / PBS-HS** (§V),
 //!   plus the DynCTA and Mod+Bypass prior-art baselines;
+//! * [`pbsrun`] — memoized end-to-end PBS runs (the ablation, phased,
+//!   sampling-mode and three-application experiments), fingerprinted for
+//!   the campaign scheduler;
 //! * [`search`] — the opt/BF offline searches;
 //! * [`eval`] — a memoizing evaluation driver that runs any [`eval::Scheme`]
 //!   on any workload and reports SD-based system metrics (the engine behind
@@ -28,14 +31,18 @@ pub mod eval;
 pub mod hw;
 pub mod metrics;
 pub mod pattern;
+pub mod pbsrun;
 pub mod policy;
 pub mod scaling;
 pub mod search;
+pub mod store;
 pub mod sweep;
 
 pub use eval::{Evaluator, EvaluatorConfig, Scheme, SchemeResult};
 pub use metrics::{alone_ratio, EbObjective};
 pub use pattern::{critical_app, knee_of, pbs_offline_search, probe_level, SweepCurve};
+pub use pbsrun::{run_pbs_cached, PbsRun, PbsRunSpec};
 pub use policy::{DynCta, ModBypass, Pbs};
 pub use scaling::ScalingFactors;
+pub use store::ResultStore;
 pub use sweep::{ComboSample, ComboSweep};

@@ -1,0 +1,276 @@
+//! Memoized PBS controller runs.
+//!
+//! Several figures end in the same shape of experiment: build a machine,
+//! install a [`Pbs`] controller with some knob settings, run it for a fixed
+//! span, and read the overall windows. [`run_pbs_cached`] memoizes that
+//! whole experiment through [`gpu_sim::cache`] under a `"pbsrun"`
+//! fingerprint of the machine inputs, the starting combination, the run
+//! span, and a declarative [`PbsRunSpec`] of the controller knobs — so the
+//! ablation grid, the phased online runs, the sampling-mode comparison and
+//! the three-application workloads each re-simulate once per cache
+//! lifetime, and the campaign planner can name every one of these units up
+//! front.
+//!
+//! Fig. 11 keeps its inline [`run_controlled_traced`] call: a traced run
+//! streams events to a sink and is not a pure function of the inputs above.
+//!
+//! [`run_controlled_traced`]: gpu_sim::harness::run_controlled_traced
+
+use crate::metrics::EbObjective;
+use crate::policy::pbs::{Pbs, PbsScaling};
+use gpu_sim::cache;
+use gpu_sim::control::Controller;
+use gpu_sim::harness::{run_controlled, FixedRunInputs};
+use gpu_types::canon::{Canon, CanonBuf, CanonReader};
+use gpu_types::{AppWindow, Fingerprint, TlpCombo, TlpLevel};
+
+/// Declarative description of a [`Pbs`] controller build: everything the
+/// builder chain can set, as data, so it can feed a cache fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PbsRunSpec {
+    /// Objective the search optimizes.
+    pub objective: EbObjective,
+    /// `true` selects [`PbsScaling::Sampled`], `false` raw EBs
+    /// ([`PbsScaling::None`]). Fixed factors are not cacheable here — they
+    /// depend on a campaign-global table, not on the run inputs.
+    pub scaling_sampled: bool,
+    /// Windows to hold a committed combination before re-searching.
+    pub hold_windows: u64,
+    /// Ablation override of the probe level (`None` = the paper's 4).
+    pub probe: Option<TlpLevel>,
+    /// Keep the settle window after each TLP change (paper: `true`).
+    pub settle: bool,
+    /// Pick the final combination from the sampling table (paper: `true`).
+    pub table_pick: bool,
+}
+
+impl PbsRunSpec {
+    /// The paper configuration: raw EBs, all design choices on.
+    pub fn paper(objective: EbObjective, hold_windows: u64) -> Self {
+        PbsRunSpec {
+            objective,
+            scaling_sampled: false,
+            hold_windows,
+            probe: None,
+            settle: true,
+            table_pick: true,
+        }
+    }
+
+    /// Builds the controller this spec describes for a machine whose
+    /// realizable maximum TLP is `max_level`.
+    pub fn build(&self, max_level: TlpLevel) -> Pbs {
+        let scaling = if self.scaling_sampled {
+            PbsScaling::Sampled
+        } else {
+            PbsScaling::None
+        };
+        let mut pbs =
+            Pbs::new(self.objective, max_level, scaling).with_hold_windows(self.hold_windows);
+        if let Some(level) = self.probe {
+            pbs = pbs.with_probe(level);
+        }
+        if !self.settle {
+            pbs = pbs.without_settle();
+        }
+        if !self.table_pick {
+            pbs = pbs.without_table_pick();
+        }
+        pbs
+    }
+}
+
+impl Canon for PbsRunSpec {
+    fn canon(&self, buf: &mut CanonBuf) {
+        buf.push(&self.objective);
+        buf.push_bool(self.scaling_sampled);
+        buf.push_u64(self.hold_windows);
+        match self.probe {
+            None => buf.push_bool(false),
+            Some(level) => {
+                buf.push_bool(true);
+                buf.push(&level);
+            }
+        }
+        buf.push_bool(self.settle);
+        buf.push_bool(self.table_pick);
+    }
+}
+
+/// The cacheable slice of a [`gpu_sim::harness::ControlledRun`]: the
+/// per-window series is dropped (it is large and only traced figures read
+/// it; those stay uncached).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PbsRun {
+    /// One overall window per application over the measured region.
+    pub overall: Vec<AppWindow>,
+    /// Every TLP change the controller made, including the initial setting.
+    pub tlp_trace: Vec<(u64, Vec<TlpLevel>)>,
+    /// Number of sampling windows the controller observed.
+    pub n_windows: u64,
+}
+
+/// Cache key of [`run_pbs_cached`] — public so a campaign planner can name
+/// the unit without running it.
+pub fn pbsrun_fingerprint(
+    inputs: &FixedRunInputs<'_>,
+    start: &TlpCombo,
+    run_cycles: u64,
+    measure_from: u64,
+    spec: &PbsRunSpec,
+) -> Fingerprint {
+    let mut key = cache::KeyBuilder::new("pbsrun");
+    inputs.push_key(&mut key);
+    key.push(start);
+    key.push_u64(run_cycles);
+    key.push_u64(measure_from);
+    key.push(spec);
+    key.finish()
+}
+
+fn encode_run(run: &PbsRun) -> Vec<u8> {
+    let mut buf = CanonBuf::new();
+    buf.push_usize(run.overall.len());
+    for w in &run.overall {
+        cache::push_window(&mut buf, w);
+    }
+    buf.push_usize(run.tlp_trace.len());
+    for (cycle, levels) in &run.tlp_trace {
+        buf.push_u64(*cycle);
+        buf.push_usize(levels.len());
+        for l in levels {
+            buf.push_u32(l.get());
+        }
+    }
+    buf.push_u64(run.n_windows);
+    buf.into_bytes()
+}
+
+fn decode_run(bytes: &[u8]) -> Option<PbsRun> {
+    let mut r = CanonReader::new(bytes);
+    let n = r.read_usize()?;
+    let mut overall = Vec::with_capacity(n);
+    for _ in 0..n {
+        overall.push(cache::read_window(&mut r)?);
+    }
+    let n = r.read_usize()?;
+    let mut tlp_trace = Vec::with_capacity(n);
+    for _ in 0..n {
+        let cycle = r.read_u64()?;
+        let k = r.read_usize()?;
+        let mut levels = Vec::with_capacity(k);
+        for _ in 0..k {
+            levels.push(TlpLevel::new(r.read_u32()?)?);
+        }
+        tlp_trace.push((cycle, levels));
+    }
+    let n_windows = r.read_u64()?;
+    r.is_empty().then_some(PbsRun {
+        overall,
+        tlp_trace,
+        n_windows,
+    })
+}
+
+/// Builds the machine described by `inputs`, applies `start`, and runs the
+/// [`Pbs`] controller described by `spec` for `run_cycles` (measuring from
+/// `measure_from`). Memoized under [`pbsrun_fingerprint`]; bit-identical to
+/// the equivalent inline [`run_controlled`] call.
+pub fn run_pbs_cached(
+    inputs: &FixedRunInputs<'_>,
+    start: &TlpCombo,
+    run_cycles: u64,
+    measure_from: u64,
+    spec: &PbsRunSpec,
+) -> PbsRun {
+    let fp = pbsrun_fingerprint(inputs, start, run_cycles, measure_from, spec);
+    cache::memoize(fp, encode_run, decode_run, || {
+        let mut pbs = spec.build(inputs.cfg.max_tlp());
+        let mut gpu = inputs.build();
+        gpu.set_combo(start);
+        let run = run_controlled(
+            &mut gpu,
+            &mut pbs as &mut dyn Controller,
+            run_cycles,
+            measure_from,
+        );
+        PbsRun {
+            overall: run.overall,
+            tlp_trace: run.tlp_trace,
+            n_windows: run.n_windows,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_types::GpuConfig;
+    use gpu_workloads::by_name;
+
+    #[test]
+    fn spec_round_trips_through_canon_distinctly() {
+        let paper = PbsRunSpec::paper(EbObjective::Ws, 8);
+        let variants = [
+            paper,
+            PbsRunSpec {
+                probe: Some(TlpLevel::MAX),
+                ..paper
+            },
+            PbsRunSpec {
+                settle: false,
+                ..paper
+            },
+            PbsRunSpec {
+                table_pick: false,
+                ..paper
+            },
+            PbsRunSpec {
+                scaling_sampled: true,
+                ..paper
+            },
+            PbsRunSpec {
+                hold_windows: 9,
+                ..paper
+            },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for v in &variants {
+            let mut buf = CanonBuf::new();
+            buf.push(v);
+            assert!(seen.insert(buf.into_bytes()), "canon collision for {v:?}");
+        }
+    }
+
+    #[test]
+    fn cached_run_matches_inline_run() {
+        let cfg = GpuConfig::small();
+        let apps = [by_name("BLK").unwrap(), by_name("BFS").unwrap()];
+        let inputs = FixedRunInputs {
+            cfg: &cfg,
+            apps: &apps,
+            core_split: None,
+            seed: 7,
+            ccws: false,
+        };
+        let start = TlpCombo::uniform(cfg.max_tlp(), 2);
+        let spec = PbsRunSpec::paper(EbObjective::Ws, 4);
+        let cached = run_pbs_cached(&inputs, &start, 20_000, 1_000, &spec);
+
+        let mut pbs = spec.build(cfg.max_tlp());
+        let mut gpu = inputs.build();
+        gpu.set_combo(&start);
+        let inline = run_controlled(&mut gpu, &mut pbs as &mut dyn Controller, 20_000, 1_000);
+        assert_eq!(cached.overall.len(), inline.overall.len());
+        for (c, i) in cached.overall.iter().zip(&inline.overall) {
+            assert_eq!(c.counters, i.counters);
+            assert_eq!(c.cycles, i.cycles);
+        }
+        assert_eq!(cached.tlp_trace, inline.tlp_trace);
+        assert_eq!(cached.n_windows, inline.n_windows);
+
+        // And the encode/decode pair is lossless.
+        let decoded = decode_run(&encode_run(&cached)).expect("round trip");
+        assert_eq!(decoded, cached);
+    }
+}

@@ -13,6 +13,23 @@ use gpu_types::{Canon, FxHashMap, FxHashSet, GpuConfig, TlpCombo, TlpLevel};
 use gpu_workloads::Workload;
 use std::collections::BTreeSet;
 
+/// Cache key of [`ComboSweep::measure`] — public so a campaign planner can
+/// name the unit without running it.
+pub fn sweep_fingerprint(
+    cfg: &GpuConfig,
+    workload: &Workload,
+    seed: u64,
+    spec: RunSpec,
+) -> gpu_types::Fingerprint {
+    let mut key = gpu_sim::cache::KeyBuilder::new("sweep");
+    key.push(cfg).push_usize(workload.n_apps());
+    for app in workload.apps() {
+        key.push(*app);
+    }
+    key.push_u64(seed).push(&spec);
+    key.finish()
+}
+
 /// One application's measurements at one TLP combination.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComboSample {
@@ -81,15 +98,7 @@ impl ComboSweep {
         spec: RunSpec,
         threads: usize,
     ) -> Self {
-        let fp = {
-            let mut key = gpu_sim::cache::KeyBuilder::new("sweep");
-            key.push(cfg).push_usize(workload.n_apps());
-            for app in workload.apps() {
-                key.push(*app);
-            }
-            key.push_u64(seed).push(&spec);
-            key.finish()
-        };
+        let fp = sweep_fingerprint(cfg, workload, seed, spec);
         let combos = Self::combos(cfg, workload.n_apps());
         gpu_sim::cache::memoize(
             fp,

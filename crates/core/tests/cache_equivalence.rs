@@ -101,18 +101,18 @@ fn cached_scheme_results_are_bit_identical_to_fresh() {
     let schemes = [Scheme::BestTlp, Scheme::Pbs(EbObjective::Ws), Scheme::OptIt];
 
     gpu_sim::cache::set_enabled(false);
-    let mut fresh_ev = Evaluator::new(EvaluatorConfig::quick());
+    let fresh_ev = Evaluator::new(EvaluatorConfig::quick());
     let fresh: Vec<_> = schemes.iter().map(|s| fresh_ev.evaluate(&w, *s)).collect();
 
     with_cache_dir("scheme", |_dir| {
-        let mut cold_ev = Evaluator::new(EvaluatorConfig::quick());
+        let cold_ev = Evaluator::new(EvaluatorConfig::quick());
         let cold: Vec<_> = schemes.iter().map(|s| cold_ev.evaluate(&w, *s)).collect();
 
         // Disk-tier round trip in a brand-new evaluator: both the
         // evaluator-local memo and the global memory tier are empty, so
         // each result is decoded from its on-disk record.
         gpu_sim::cache::clear_memory();
-        let mut disk_ev = Evaluator::new(EvaluatorConfig::quick());
+        let disk_ev = Evaluator::new(EvaluatorConfig::quick());
         let disk: Vec<_> = schemes.iter().map(|s| disk_ev.evaluate(&w, *s)).collect();
 
         for ((f, c), d) in fresh.iter().zip(&cold).zip(&disk) {

@@ -73,10 +73,10 @@ fn batch_evaluation_equals_serial_exactly() {
     ];
     let w = Workload::pair("BLK", "BFS");
 
-    let mut serial_ev = Evaluator::new(EvaluatorConfig::quick());
+    let serial_ev = Evaluator::new(EvaluatorConfig::quick());
     let serial: Vec<_> = schemes.iter().map(|s| serial_ev.evaluate(&w, *s)).collect();
 
-    let mut batch_ev = Evaluator::new(EvaluatorConfig::quick());
+    let batch_ev = Evaluator::new(EvaluatorConfig::quick());
     let batch = batch_ev.evaluate_batch_with_threads(&w, &schemes, 4);
 
     assert_eq!(batch.len(), serial.len());
@@ -99,7 +99,7 @@ fn batch_evaluation_equals_serial_exactly() {
 fn batch_results_enter_the_memo_cache() {
     no_cache();
     let w = Workload::pair("BLK", "BFS");
-    let mut ev = Evaluator::new(EvaluatorConfig::quick());
+    let ev = Evaluator::new(EvaluatorConfig::quick());
     let batch =
         ev.evaluate_batch_with_threads(&w, &[Scheme::BestTlp, Scheme::MaxTlp, Scheme::OptIt], 2);
     // A follow-up serial evaluate must be a cache hit with identical data.
@@ -112,7 +112,7 @@ fn batch_results_enter_the_memo_cache() {
 fn batch_handles_duplicates_and_cached_entries() {
     no_cache();
     let w = Workload::pair("BLK", "BFS");
-    let mut ev = Evaluator::new(EvaluatorConfig::quick());
+    let ev = Evaluator::new(EvaluatorConfig::quick());
     let first = ev.evaluate(&w, Scheme::BestTlp); // pre-populate the cache
     let batch =
         ev.evaluate_batch_with_threads(&w, &[Scheme::BestTlp, Scheme::BestTlp, Scheme::MaxTlp], 2);

@@ -137,7 +137,7 @@ fn tracing_is_off_the_decision_path() {
 #[test]
 fn evaluate_traced_matches_cached_metrics() {
     let w = Workload::pair("BLK", "BFS");
-    let mut ev = Evaluator::new(EvaluatorConfig::quick());
+    let ev = Evaluator::new(EvaluatorConfig::quick());
     let plain = ev.evaluate(&w, Scheme::Pbs(EbObjective::Ws));
     let mut ring = RingSink::new(1 << 16);
     let traced = ev.evaluate_traced(&w, Scheme::Pbs(EbObjective::Ws), &mut ring);
@@ -149,7 +149,7 @@ fn evaluate_traced_matches_cached_metrics() {
 #[test]
 fn static_schemes_emit_overall_windows() {
     let w = Workload::pair("BLK", "BFS");
-    let mut ev = Evaluator::new(EvaluatorConfig::quick());
+    let ev = Evaluator::new(EvaluatorConfig::quick());
     let mut ring = RingSink::new(1 << 16);
     let r = ev.evaluate_traced(&w, Scheme::BestTlp, &mut ring);
     let samples: Vec<_> = ring

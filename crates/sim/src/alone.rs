@@ -112,6 +112,24 @@ pub fn profile_alone(
     profile_alone_with_threads(cfg, app, n_cores, seed, spec, crate::exec::worker_count())
 }
 
+/// Cache key of [`profile_alone`] — public so a campaign planner can name
+/// the unit without running it.
+pub fn alone_fingerprint(
+    cfg: &GpuConfig,
+    app: &AppProfile,
+    n_cores: usize,
+    seed: u64,
+    spec: RunSpec,
+) -> gpu_types::Fingerprint {
+    let mut key = crate::cache::KeyBuilder::new("alone");
+    key.push(cfg)
+        .push(app)
+        .push_usize(n_cores)
+        .push_u64(seed)
+        .push(&spec);
+    key.finish()
+}
+
 /// [`profile_alone`] with an explicit thread count (1 = fully sequential).
 ///
 /// The whole profile is memoized through [`crate::cache`] under a
@@ -125,15 +143,7 @@ pub fn profile_alone_with_threads(
     spec: RunSpec,
     threads: usize,
 ) -> AloneProfile {
-    let fp = {
-        let mut key = crate::cache::KeyBuilder::new("alone");
-        key.push(cfg)
-            .push(app)
-            .push_usize(n_cores)
-            .push_u64(seed)
-            .push(&spec);
-        key.finish()
-    };
+    let fp = alone_fingerprint(cfg, app, n_cores, seed, spec);
     crate::cache::memoize(
         fp,
         encode_profile,

@@ -14,6 +14,11 @@
 //! * a **persistent on-disk store** under a cache directory (`--cache-dir`
 //!   or `EBM_CACHE_DIR`), so repeated invocations skip simulation entirely.
 //!
+//! The memory tier is **single-flight**: concurrent lookups of the same
+//! fingerprint elect one leader to simulate while the others block and
+//! share its bytes (see [`get_or_compute`]). Campaign-level parallelism can
+//! therefore never duplicate a simulation, no matter how requests race.
+//!
 //! # Invalidation
 //!
 //! [`ENGINE_VERSION`] is folded into every fingerprint. **Any change to
@@ -60,7 +65,7 @@ use gpu_types::canon::{fingerprint, CanonBuf, Fingerprint};
 use gpu_types::{FxHashMap, SplitMix64};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Version of the simulation engine's observable semantics.
 ///
@@ -153,6 +158,9 @@ pub struct CacheStats {
     pub stores: u64,
     /// Hits re-simulated and checked bit-identical by verify mode.
     pub verified: u64,
+    /// Hits served by waiting on another thread's in-flight compute of the
+    /// same fingerprint (single-flight joins; subset of `hits`).
+    pub inflight_joined: u64,
 }
 
 impl CacheStats {
@@ -173,6 +181,7 @@ static MISSES: AtomicU64 = AtomicU64::new(0);
 static BYPASSES: AtomicU64 = AtomicU64::new(0);
 static STORES: AtomicU64 = AtomicU64::new(0);
 static VERIFIED: AtomicU64 = AtomicU64::new(0);
+static INFLIGHT_JOINED: AtomicU64 = AtomicU64::new(0);
 
 /// Runtime configuration of the process-wide cache.
 #[derive(Debug, Clone)]
@@ -204,6 +213,78 @@ fn config() -> &'static Mutex<Config> {
 fn memory() -> &'static Mutex<FxHashMap<Fingerprint, Arc<[u8]>>> {
     static MEM: OnceLock<Mutex<FxHashMap<Fingerprint, Arc<[u8]>>>> = OnceLock::new();
     MEM.get_or_init(|| Mutex::new(FxHashMap::default()))
+}
+
+/// State of one in-flight computation (single-flight batching).
+enum FlightState {
+    /// The leader is still computing; joiners wait on the condvar.
+    Pending,
+    /// The leader finished; joiners take the shared bytes.
+    Done(Arc<[u8]>),
+    /// The leader panicked; joiners retry the whole lookup (one of them
+    /// becomes the next leader).
+    Failed,
+}
+
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, outcome: FlightState) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = outcome;
+        self.cv.notify_all();
+    }
+}
+
+/// Registry of fingerprints currently being computed. An entry exists only
+/// while a leader is between "memory miss" and "result published"; it is
+/// removed (and waiters notified) before the leader returns.
+fn inflight() -> &'static Mutex<FxHashMap<Fingerprint, Arc<Flight>>> {
+    static INFLIGHT: OnceLock<Mutex<FxHashMap<Fingerprint, Arc<Flight>>>> = OnceLock::new();
+    INFLIGHT.get_or_init(|| Mutex::new(FxHashMap::default()))
+}
+
+/// Removes the leader's registry entry on every exit path and marks the
+/// flight failed if the leader never completed it — a panicking compute
+/// must wake its joiners (they retry and re-raise the same panic themselves
+/// rather than deadlocking on the condvar).
+struct FlightGuard {
+    fp: Fingerprint,
+    flight: Arc<Flight>,
+    completed: bool,
+}
+
+impl FlightGuard {
+    /// Publishes `bytes` to every joiner and retires the flight.
+    fn finish(mut self, bytes: Arc<[u8]>) {
+        self.completed = true;
+        inflight()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&self.fp);
+        self.flight.complete(FlightState::Done(bytes));
+    }
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.flight.complete(FlightState::Failed);
+            inflight()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&self.fp);
+        }
+    }
 }
 
 /// Enables or disables the whole cache (both tiers). Disabled lookups call
@@ -239,12 +320,21 @@ pub fn stats() -> CacheStats {
         bypasses: BYPASSES.load(Ordering::Relaxed),
         stores: STORES.load(Ordering::Relaxed),
         verified: VERIFIED.load(Ordering::Relaxed),
+        inflight_joined: INFLIGHT_JOINED.load(Ordering::Relaxed),
     }
 }
 
 /// Zeroes every counter.
 pub fn reset_stats() {
-    for c in [&HITS, &DISK_HITS, &MISSES, &BYPASSES, &STORES, &VERIFIED] {
+    for c in [
+        &HITS,
+        &DISK_HITS,
+        &MISSES,
+        &BYPASSES,
+        &STORES,
+        &VERIFIED,
+        &INFLIGHT_JOINED,
+    ] {
         c.store(0, Ordering::Relaxed);
     }
 }
@@ -305,8 +395,15 @@ fn verify_hit(fp: Fingerprint, cached: &[u8], compute: impl FnOnce() -> Vec<u8>)
 ///
 /// The compute closure runs with no cache lock held, so it may fan out
 /// across threads (and those threads may themselves call into the cache).
-/// Two threads missing on the same key concurrently both compute; the
-/// determinism invariant makes the race benign.
+/// Concurrent lookups of the same fingerprint are **single-flight**: the
+/// first thread to miss becomes the leader and computes; every other thread
+/// arriving before the result is published blocks and shares the leader's
+/// bytes (counted as a hit and as `inflight_joined`). Exactly one
+/// simulation runs per distinct in-flight key — the request-batching
+/// primitive the campaign scheduler and ROADMAP item 5's daemon rely on.
+/// If the leader panics, waiters wake, retry the lookup, and one of them
+/// recomputes (deterministic inputs mean they re-raise the same panic
+/// rather than deadlock).
 ///
 /// # Panics
 ///
@@ -322,13 +419,57 @@ pub fn get_or_compute(fp: Fingerprint, compute: impl FnOnce() -> Vec<u8>) -> Arc
         return compute().into();
     }
 
-    if let Some(hit) = memory().lock().unwrap().get(&fp).cloned() {
-        HITS.fetch_add(1, Ordering::Relaxed);
-        if should_verify(fp, verify_fraction) {
-            verify_hit(fp, &hit, compute);
+    // Re-checked after every failed join: by then the memory tier may have
+    // been filled, or the failed leader's registry entry removed.
+    let guard = loop {
+        if let Some(hit) = memory().lock().unwrap().get(&fp).cloned() {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            if should_verify(fp, verify_fraction) {
+                verify_hit(fp, &hit, compute);
+            }
+            return hit;
         }
-        return hit;
-    }
+
+        // `Err(flight)` means this thread registered the flight and leads;
+        // `Ok(flight)` means another thread leads and this one joins.
+        let role = {
+            let mut inf = inflight().lock().unwrap_or_else(|e| e.into_inner());
+            match inf.get(&fp) {
+                Some(flight) => Ok(flight.clone()),
+                None => {
+                    let flight = Arc::new(Flight::new());
+                    inf.insert(fp, flight.clone());
+                    Err(flight)
+                }
+            }
+        };
+        match role {
+            Err(flight) => {
+                // This thread is the leader; the guard retires the registry
+                // entry on every exit path, including a compute panic.
+                break FlightGuard {
+                    fp,
+                    flight,
+                    completed: false,
+                };
+            }
+            Ok(flight) => {
+                let mut state = flight.state.lock().unwrap_or_else(|e| e.into_inner());
+                while matches!(*state, FlightState::Pending) {
+                    state = flight.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+                match &*state {
+                    FlightState::Done(bytes) => {
+                        HITS.fetch_add(1, Ordering::Relaxed);
+                        INFLIGHT_JOINED.fetch_add(1, Ordering::Relaxed);
+                        return bytes.clone();
+                    }
+                    // Leader panicked: retry from the top.
+                    FlightState::Failed | FlightState::Pending => continue,
+                }
+            }
+        }
+    };
 
     if let Some(dir) = dir.as_deref() {
         if let Some(bytes) = DiskStore::new(dir).load(fp) {
@@ -339,6 +480,7 @@ pub fn get_or_compute(fp: Fingerprint, compute: impl FnOnce() -> Vec<u8>) -> Arc
             }
             let arc: Arc<[u8]> = bytes.into();
             memory().lock().unwrap().insert(fp, arc.clone());
+            guard.finish(arc.clone());
             return arc;
         }
     }
@@ -352,6 +494,7 @@ pub fn get_or_compute(fp: Fingerprint, compute: impl FnOnce() -> Vec<u8>) -> Arc
     }
     let arc: Arc<[u8]> = bytes.into();
     memory().lock().unwrap().insert(fp, arc.clone());
+    guard.finish(arc.clone());
     arc
 }
 

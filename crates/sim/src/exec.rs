@@ -75,7 +75,15 @@ pub fn sim_worker_count() -> usize {
 /// Number of worker threads fan-outs use by default: the `EBM_THREADS`
 /// environment variable when set to a positive integer, otherwise the
 /// host's available parallelism (1 if that cannot be determined).
+///
+/// Always 1 on fan-out worker threads (both [`par_map_with`] workers and
+/// [`with_workers`] pool threads): a worker that fans out again would
+/// oversubscribe the host with `N × N` threads, so nested [`par_map`]
+/// calls run inline instead.
 pub fn worker_count() -> usize {
+    if in_sweep_fanout() {
+        return 1;
+    }
     if let Ok(v) = std::env::var("EBM_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n > 0 {
@@ -193,6 +201,46 @@ where
         .collect()
 }
 
+/// Runs `coordinator` on the calling thread while `threads` pool workers
+/// run `worker(i)` (one call per worker, `i` in `0..threads`), then joins
+/// the workers and returns the coordinator's result.
+///
+/// This is the long-lived sibling of [`par_map_with`]: instead of mapping a
+/// closed item list, each worker runs a caller-supplied loop (typically
+/// pulling work units off a shared queue until it drains). Worker threads
+/// carry the [`in_sweep_fanout`] marker, so nested [`par_map`] calls and
+/// intra-sim domain workers both collapse to serial inside them — a pool of
+/// N workers uses exactly N threads, however deep the work nests.
+///
+/// A worker panic propagates to the caller with its original payload, after
+/// the coordinator has returned (the caller's queue protocol must therefore
+/// not let the coordinator block forever on a dead worker — see
+/// `ebm_bench::campaign` for the catch-and-flag pattern).
+pub fn with_workers<R>(
+    threads: usize,
+    worker: impl Fn(usize) + Sync,
+    coordinator: impl FnOnce() -> R,
+) -> R {
+    std::thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                scope.spawn(move || {
+                    IN_SWEEP_FANOUT.with(|flag| flag.set(true));
+                    worker(i)
+                })
+            })
+            .collect();
+        let result = coordinator();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        result
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +297,54 @@ mod tests {
             assert_eq!(n, 1, "intra-sim workers must be suppressed in fan-out");
         }
         assert!(!in_sweep_fanout(), "marker must not leak to the caller");
+    }
+
+    #[test]
+    fn worker_count_suppressed_inside_fanout() {
+        // A fan-out worker that fans out again must run inline: nested
+        // par_map calls on worker threads report a width of 1.
+        let widths = par_map_with(3, (0..6).collect::<Vec<u32>>(), |_| worker_count());
+        for w in widths {
+            assert_eq!(w, 1, "worker_count must be 1 on fan-out workers");
+        }
+    }
+
+    #[test]
+    fn with_workers_runs_pool_and_coordinator() {
+        use std::sync::atomic::AtomicU64;
+        let ran = AtomicU64::new(0);
+        let marked = AtomicU64::new(0);
+        let out = with_workers(
+            3,
+            |_i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if in_sweep_fanout() && worker_count() == 1 {
+                    marked.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            || 42u32,
+        );
+        assert_eq!(out, 42, "coordinator result is returned");
+        assert_eq!(ran.load(Ordering::Relaxed), 3, "each worker ran once");
+        assert_eq!(
+            marked.load(Ordering::Relaxed),
+            3,
+            "pool workers carry the fan-out marker and report width 1"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pool boom")]
+    fn with_workers_propagates_worker_panics() {
+        with_workers(
+            2,
+            |i| {
+                if i == 1 {
+                    panic!("pool boom");
+                }
+            },
+            || (),
+        );
     }
 
     #[test]

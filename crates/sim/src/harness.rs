@@ -114,7 +114,8 @@ pub struct FixedRunInputs<'a> {
 }
 
 impl FixedRunInputs<'_> {
-    fn build(&self) -> Gpu {
+    /// Builds the machine these inputs describe.
+    pub fn build(&self) -> Gpu {
         let mut gpu = match self.core_split {
             Some(split) => Gpu::with_core_split(self.cfg, self.apps, split, self.seed),
             None => Gpu::new(self.cfg, self.apps, self.seed),
@@ -127,8 +128,10 @@ impl FixedRunInputs<'_> {
         gpu
     }
 
-    fn fingerprint(&self, combo: &TlpCombo, spec: RunSpec) -> gpu_types::Fingerprint {
-        let mut key = crate::cache::KeyBuilder::new("fixed");
+    /// Appends the machine-construction inputs to a cache key. Shared by
+    /// [`FixedRunInputs::fingerprint`] and by controller-run fingerprints
+    /// one crate up (which add their own knobs on top).
+    pub fn push_key(&self, key: &mut crate::cache::KeyBuilder) {
         key.push(self.cfg);
         key.push_usize(self.apps.len());
         for app in self.apps {
@@ -148,6 +151,13 @@ impl FixedRunInputs<'_> {
         }
         key.push_u64(self.seed);
         key.push_bool(self.ccws);
+    }
+
+    /// Cache key of [`measure_fixed_cached`] for these inputs — public so a
+    /// campaign planner can name the unit without running it.
+    pub fn fingerprint(&self, combo: &TlpCombo, spec: RunSpec) -> gpu_types::Fingerprint {
+        let mut key = crate::cache::KeyBuilder::new("fixed");
+        self.push_key(&mut key);
         key.push(combo);
         key.push(&spec);
         key.finish()

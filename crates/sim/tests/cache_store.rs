@@ -1,11 +1,14 @@
 //! Cache-layer regression tests: golden-fingerprint stability, on-disk
-//! store corruption recovery and concurrent writers.
+//! store corruption recovery, concurrent writers, and single-flight
+//! semantics of the in-memory tier.
 //!
 //! These tests drive [`gpu_sim::cache::DiskStore`] and the fingerprint
-//! primitives directly; none of them touch the process-global cache
-//! configuration, so they can share a binary with anything.
+//! primitives directly; none of them mutate the process-global cache
+//! configuration (the single-flight tests use the global memory tier, but
+//! only under fingerprints private to this file), so they can share a
+//! binary with anything.
 
-use gpu_sim::cache::{DiskStore, KeyBuilder, ENGINE_VERSION};
+use gpu_sim::cache::{get_or_compute, DiskStore, KeyBuilder, ENGINE_VERSION};
 use gpu_sim::harness::RunSpec;
 use gpu_types::canon::{fingerprint, Fingerprint};
 use gpu_types::GpuConfig;
@@ -149,4 +152,122 @@ fn concurrent_writers_never_produce_torn_reads() {
         .collect();
     assert!(leftovers.is_empty(), "leaked temp files: {leftovers:?}");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Single-flight: N threads requesting the same fingerprint while the
+/// leader is mid-compute must all block, share the leader's bytes, and run
+/// the compute closure exactly once.
+#[test]
+fn concurrent_requesters_share_one_execution() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    // Private to this test; no other get_or_compute caller in the workspace
+    // uses a literal fingerprint in this range.
+    let fp = Fingerprint(0x5F5F_0000_0000_0001);
+    const JOINERS: usize = 3;
+    let executions = AtomicUsize::new(0);
+    let arrived = AtomicUsize::new(0);
+
+    let results: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let leader = scope.spawn(|| {
+            get_or_compute(fp, || {
+                executions.fetch_add(1, Ordering::SeqCst);
+                // Hold the flight open until every joiner has announced
+                // itself, plus a grace period for them to reach the
+                // condvar, so the joins genuinely overlap the compute.
+                while arrived.load(Ordering::SeqCst) < JOINERS {
+                    std::thread::yield_now();
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                b"single-flight payload".to_vec()
+            })
+            .to_vec()
+        });
+        let joiners: Vec<_> = (0..JOINERS)
+            .map(|_| {
+                scope.spawn(|| {
+                    // Wait until the leader is provably inside its compute
+                    // closure before looking up the same key.
+                    while executions.load(Ordering::SeqCst) == 0 {
+                        std::thread::yield_now();
+                    }
+                    arrived.fetch_add(1, Ordering::SeqCst);
+                    get_or_compute(fp, || {
+                        executions.fetch_add(1, Ordering::SeqCst);
+                        b"single-flight payload".to_vec()
+                    })
+                    .to_vec()
+                })
+            })
+            .collect();
+        let mut out = vec![leader.join().expect("leader must not panic")];
+        out.extend(
+            joiners
+                .into_iter()
+                .map(|j| j.join().expect("joiner must not panic")),
+        );
+        out
+    });
+
+    assert_eq!(
+        executions.load(Ordering::SeqCst),
+        1,
+        "exactly one simulation must run for one in-flight fingerprint"
+    );
+    for r in &results {
+        assert_eq!(
+            r.as_slice(),
+            b"single-flight payload",
+            "result must be shared"
+        );
+    }
+    let joined = gpu_sim::cache::stats().inflight_joined;
+    assert!(
+        joined >= JOINERS as u64,
+        "joiners must be counted as in-flight joins (saw {joined})"
+    );
+}
+
+/// A panicking leader must not strand its joiners: they wake, retry, and
+/// one of them recomputes the entry.
+#[test]
+fn failed_leader_lets_joiners_retry() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let fp = Fingerprint(0x5F5F_0000_0000_0002);
+    let attempts = AtomicUsize::new(0);
+    let joiner_waiting = AtomicUsize::new(0);
+
+    let joined_value = std::thread::scope(|scope| {
+        let leader = scope.spawn(|| {
+            get_or_compute(fp, || {
+                attempts.fetch_add(1, Ordering::SeqCst);
+                while joiner_waiting.load(Ordering::SeqCst) == 0 {
+                    std::thread::yield_now();
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                panic!("leader dies mid-flight");
+            })
+        });
+        let joiner = scope.spawn(|| {
+            while attempts.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+            joiner_waiting.store(1, Ordering::SeqCst);
+            get_or_compute(fp, || {
+                attempts.fetch_add(1, Ordering::SeqCst);
+                b"recovered".to_vec()
+            })
+            .to_vec()
+        });
+        assert!(leader.join().is_err(), "leader must propagate its panic");
+        joiner.join().expect("joiner must recover, not deadlock")
+    });
+
+    assert_eq!(joined_value.as_slice(), b"recovered");
+    assert_eq!(
+        attempts.load(Ordering::SeqCst),
+        2,
+        "the joiner must have recomputed after the leader failed"
+    );
 }

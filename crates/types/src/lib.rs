@@ -36,7 +36,7 @@ pub use canon::{fingerprint, Canon, CanonBuf, CanonReader, Fingerprint};
 pub use config::{
     CacheConfig, ConfigError, DramConfig, GpuConfig, PagePolicy, SamplingConfig, WarpSchedPolicy,
 };
-pub use fxmap::{FxHashMap, FxHashSet};
+pub use fxmap::{FxHashMap, FxHashSet, FxHasher};
 pub use hist::{Histogram, HIST_BUCKETS};
 pub use ids::{AppId, CoreId, PartitionId, WarpId};
 pub use rng::SplitMix64;

@@ -23,7 +23,7 @@ fn main() {
         }
     };
     let workload = Workload::pair(&a, &b);
-    let mut ev = Evaluator::new(EvaluatorConfig::paper());
+    let ev = Evaluator::new(EvaluatorConfig::paper());
     let alone = ev.alone_ipcs(&workload);
     let sweep: ComboSweep = ev.sweep(&workload).clone();
 

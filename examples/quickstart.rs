@@ -12,7 +12,7 @@ fn main() {
     // The paper machine: 16 cores (8 per application), six memory
     // partitions, GDDR5 channels. `EvaluatorConfig::quick()` is a
     // scaled-down alternative for experimentation.
-    let mut ev = Evaluator::new(EvaluatorConfig::paper());
+    let ev = Evaluator::new(EvaluatorConfig::paper());
     let workload = Workload::pair("BLK", "BFS");
     println!("workload: {workload} (a streaming bandwidth hog + a cache-sensitive app)\n");
 

@@ -19,7 +19,7 @@ fn main() {
         }
     };
     let workload = Workload::pair(&a, &b);
-    let mut ev = Evaluator::new(EvaluatorConfig::paper());
+    let ev = Evaluator::new(EvaluatorConfig::paper());
 
     let schemes = [
         Scheme::BestTlp,

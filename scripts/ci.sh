@@ -32,9 +32,11 @@ echo "== perf_smoke (smoke mode: verifies parallel == serial, cache warm == cold
 OBS_JSON="$(mktemp)"
 ENG_JSON="$(mktemp)"
 PAR_JSON="$(mktemp)"
-trap 'rm -f "$OBS_JSON" "$ENG_JSON" "$PAR_JSON"' EXIT
+CAMP_JSON="$(mktemp)"
+trap 'rm -f "$OBS_JSON" "$ENG_JSON" "$PAR_JSON" "$CAMP_JSON"' EXIT
 cargo run -p ebm-bench --release --bin perf_smoke -- --smoke \
-  --obs-out "$OBS_JSON" --engine-out "$ENG_JSON" --out "$PAR_JSON"
+  --obs-out "$OBS_JSON" --engine-out "$ENG_JSON" --out "$PAR_JSON" \
+  --campaign-out "$CAMP_JSON"
 grep overhead_pct "$OBS_JSON"
 
 echo "== engine speedup gate (memory-bound co-run must beat the reference engine >= 3x) =="
@@ -79,6 +81,24 @@ awk -F': ' '
   }
 ' "$PAR_JSON"
 
+echo "== campaign scheduler bench gate (dedup > 0; scheduled not slower than serial on multi-core hosts) =="
+grep -E 'dedup_ratio|speedup_cold|scheduled_identical' "$CAMP_JSON"
+awk -F': ' '
+  /"host_parallelism"/ { host = $2 + 0 }
+  /"contended"/ { contended = ($2 ~ /true/) }
+  /"dedup_ratio"/ { dedup = $2 + 0 }
+  /"speedup_cold"/ { sp = $2 + 0 }
+  /"scheduled_identical_to_serial"/ { ident = ($2 ~ /true/) }
+  END {
+    if (!ident) { print "FAIL: scheduled campaign renders diverged from serial"; exit 1 }
+    if (dedup <= 0) { print "FAIL: campaign dedup_ratio " dedup " is not > 0"; exit 1 }
+    if (!contended && host > 1 && sp < 1.0) {
+      print "FAIL: scheduled campaign slower than serial (speedup_cold " sp ") on a " host "-core host"; exit 1
+    }
+    print "campaign bench gate OK: dedup " dedup ", cold speedup " sp "x (host parallelism " host ", contended " (contended ? "true" : "false") ")"
+  }
+' "$CAMP_JSON"
+
 echo "== docs gates (PARALLELISM/BENCH_SCHEMA/TRACE_SCHEMA exist and pin their versions) =="
 grep -q 'EBM_SIM_THREADS' docs/PARALLELISM.md
 grep -q 'EBM_THREADS' docs/PARALLELISM.md
@@ -95,7 +115,9 @@ WARM_OUT="$(mktemp -d)"
 TRACE_FILE="$(mktemp -u).jsonl"
 SER_OUT="$(mktemp -d)"
 PARSIM_OUT="$(mktemp -d)"
-trap 'rm -rf "$CACHE_DIR" "$COLD_OUT" "$WARM_OUT" "$TRACE_FILE" "$OBS_JSON" "$ENG_JSON" "$PAR_JSON" "$SER_OUT" "$PARSIM_OUT"' EXIT
+SCHED_REF="$(mktemp -d)"
+SCHED_OUT="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR" "$COLD_OUT" "$WARM_OUT" "$TRACE_FILE" "$OBS_JSON" "$ENG_JSON" "$PAR_JSON" "$CAMP_JSON" "$SER_OUT" "$PARSIM_OUT" "$SCHED_REF" "$SCHED_OUT"' EXIT
 EBM_CACHE_DIR="$CACHE_DIR" cargo run -p ebm-bench --release --bin experiments -- \
   --quick --trace "$TRACE_FILE" --out "$COLD_OUT" 2> "$COLD_OUT/stderr.log"
 EBM_CACHE_DIR="$CACHE_DIR" cargo run -p ebm-bench --release --bin experiments -- \
@@ -131,5 +153,28 @@ EBM_SIM_THREADS=4 cargo run -p ebm-bench --release --bin experiments -- \
 rm -f "$SER_OUT/stderr.log" "$PARSIM_OUT/stderr.log"
 diff -r --exclude=PROFILE.json "$SER_OUT" "$PARSIM_OUT"
 echo "intra-sim determinism OK: 1-thread and 4-thread artifacts are byte-identical"
+
+echo "== campaign scheduler gate (experiments --quick serial vs scheduled, byte-compared at 1/2/4 workers) =="
+# No EBM_CACHE_DIR: each process starts cold, so the scheduled runs
+# genuinely execute the work graph. The serial loop is the reference the
+# scheduler is held to, byte for byte, at every pool width (PROFILE.json
+# holds wall-clock timings and legitimately differs).
+cargo run -p ebm-bench --release --bin experiments -- \
+  --quick --serial --out "$SCHED_REF" 2> "$SCHED_REF/stderr.log"
+rm -f "$SCHED_REF/stderr.log"
+for T in 1 2 4; do
+  rm -rf "$SCHED_OUT"; mkdir -p "$SCHED_OUT"
+  EBM_THREADS=$T EBM_LOG=info cargo run -p ebm-bench --release --bin experiments -- \
+    --quick --out "$SCHED_OUT" 2> "$SCHED_OUT/stderr.log"
+  grep '^sched:' "$SCHED_OUT/stderr.log"
+  DEDUP="$(sed -n 's/^sched:.*[( ]\([0-9][0-9]*\)% deduped.*/\1/p' "$SCHED_OUT/stderr.log")"
+  if [ -z "$DEDUP" ] || [ "$DEDUP" -le 0 ]; then
+    echo "FAIL: scheduled campaign at $T worker(s) reported no deduplication" >&2
+    exit 1
+  fi
+  rm -f "$SCHED_OUT/stderr.log"
+  diff -r --exclude=PROFILE.json "$SCHED_REF" "$SCHED_OUT"
+  echo "campaign scheduler OK at $T worker(s): ${DEDUP}% deduped, artifacts byte-identical to serial"
+done
 
 echo "CI OK"

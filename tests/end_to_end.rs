@@ -17,7 +17,7 @@ fn quick() -> Evaluator {
 #[test]
 fn whole_stack_is_deterministic() {
     let run = || {
-        let mut ev = quick();
+        let ev = quick();
         let r = ev.evaluate(&Workload::pair("BLK", "BFS"), Scheme::BestTlp);
         (r.metrics.ws, r.metrics.fi, r.combo)
     };
@@ -40,7 +40,7 @@ fn every_workload_runs_on_the_small_machine() {
 
 #[test]
 fn all_schemes_produce_valid_metrics() {
-    let mut ev = quick();
+    let ev = quick();
     let w = Workload::pair("BLK", "BFS");
     for scheme in [
         Scheme::BestTlp,
@@ -67,7 +67,7 @@ fn all_schemes_produce_valid_metrics() {
 fn oracle_never_falls_far_below_the_baseline() {
     // The oracle picks its combination from a shorter profiling sweep, so a
     // full-length re-run may deviate slightly — but it must stay close.
-    let mut ev = quick();
+    let ev = quick();
     for w in [Workload::pair("BLK", "BFS"), Workload::pair("BFS", "FFT")] {
         let base = ev.evaluate(&w, Scheme::BestTlp).metrics.ws;
         let opt = ev.evaluate(&w, Scheme::Opt(EbObjective::Ws)).metrics.ws;
@@ -116,7 +116,7 @@ fn bypass_flag_travels_through_the_whole_memory_system() {
 
 #[test]
 fn dynamic_policies_actually_move_the_knobs() {
-    let mut ev = quick();
+    let ev = quick();
     let w = Workload::pair("BLK", "BFS");
     let r = ev.evaluate(&w, Scheme::Pbs(EbObjective::Ws));
     assert!(
@@ -133,7 +133,7 @@ fn dynamic_policies_actually_move_the_knobs() {
 
 #[test]
 fn evaluator_caches_survive_many_schemes() {
-    let mut ev = quick();
+    let ev = quick();
     let w = Workload::pair("BLK", "BFS");
     for s in [
         Scheme::BestTlp,
