@@ -41,6 +41,13 @@ fn main() {
     let root = profiler::span("campaign", "experiments");
     if args.serial || args.no_cache {
         run_serial(&args, &ev, &mut *trace);
+        // A serial trace still carries the plan's sched_unit records
+        // (runtime fields zeroed), so `trace-tools report` renders the
+        // same deterministic scheduler sections as a scheduled run.
+        if trace.enabled() {
+            let plan = campaign::plan(&args, &ev);
+            campaign::emit_plan(&plan, &mut *trace);
+        }
     } else {
         let plan = campaign::plan(&args, &ev);
         campaign::run(plan, &ev, &mut *trace, &mut |report| run_and_save(report));

@@ -29,12 +29,16 @@
 //!
 //! ```text
 //! perf_smoke [--smoke] [--out PATH] [--engine-out PATH] [--cache-out PATH]
-//!            [--obs-out PATH] [--campaign-out PATH]
+//!            [--obs-out PATH] [--campaign-out PATH] [--history PATH]
 //! ```
 //!
 //! `--smoke` shrinks the workload for CI (seconds, not minutes) and skips
 //! the JSON writes unless `--out` / `--engine-out` / `--cache-out` /
-//! `--obs-out` / `--campaign-out` are given explicitly.
+//! `--obs-out` / `--campaign-out` are given explicitly. Every section's
+//! snapshot is additionally appended, flattened, to the bench-history file
+//! (`--history PATH`; default `results/BENCH_HISTORY.jsonl`, none in
+//! `--smoke` mode, `--history ""` disables) for `trace-tools bench-trend`
+//! regression tracking.
 
 use ebm_bench::campaign::{self, CostModel};
 use ebm_bench::util::BenchArgs;
@@ -704,6 +708,11 @@ struct ObsBench {
     baseline_cps: f64,
     off: EngineRun,
     on: EngineRun,
+    counters_off: EngineRun,
+    counters_on: EngineRun,
+    /// Best-vs-worst spread of the baseline repetitions, percent — the
+    /// measured noise floor every overhead claim is judged against.
+    noise_floor_pct: f64,
     stall_cycles: u64,
     lat_samples: u64,
 }
@@ -757,8 +766,28 @@ fn render_obs_json(smoke: bool, cycles: u64, bench: &ObsBench) -> String {
         bench.stall_cycles
     ));
     out.push_str(&format!(
-        "  \"metrics_on_dram_lat_samples\": {}\n",
+        "  \"metrics_on_dram_lat_samples\": {},\n",
         bench.lat_samples
+    ));
+    out.push_str(&format!(
+        "  \"counters_off_cycles_per_sec\": {:.1},\n",
+        bench.counters_off.cycles_per_sec
+    ));
+    out.push_str(&format!(
+        "  \"counters_off_overhead_pct\": {:.2},\n",
+        bench.overhead_pct(bench.counters_off.cycles_per_sec)
+    ));
+    out.push_str(&format!(
+        "  \"counters_on_cycles_per_sec\": {:.1},\n",
+        bench.counters_on.cycles_per_sec
+    ));
+    out.push_str(&format!(
+        "  \"counters_on_overhead_pct\": {:.2},\n",
+        bench.overhead_pct(bench.counters_on.cycles_per_sec)
+    ));
+    out.push_str(&format!(
+        "  \"noise_floor_pct\": {:.2}\n",
+        bench.noise_floor_pct
     ));
     out.push_str("}\n");
     out
@@ -812,6 +841,26 @@ fn main() {
         } else {
             Some("BENCH_campaign.json".to_string())
         });
+    let history_path = args
+        .iter()
+        .position(|a| a == "--history")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or(if smoke {
+            None
+        } else {
+            Some("results/BENCH_HISTORY.jsonl".to_string())
+        })
+        .filter(|p| !p.is_empty()); // `--history ""` disables the append
+                                    // Every benchmark section is also appended, flattened, to the history
+                                    // file (`trace-tools bench-trend` compares consecutive snapshots).
+    let append_history = |json_text: &str| {
+        if let Some(path) = &history_path {
+            match ebm_bench::history::append_snapshot(std::path::Path::new(path), json_text) {
+                Ok(()) => log!(debug, "perf_smoke: appended history to {path}"),
+                Err(e) => eprintln!("error: cannot append bench history to {path}: {e}"),
+            }
+        }
+    };
 
     // The engine and thread-scaling sections time *simulation*; a cache hit
     // would replace the second and later sweeps with a lookup and falsify
@@ -861,6 +910,7 @@ fn main() {
     } else {
         print!("{engine_json}");
     }
+    append_history(&engine_json);
 
     let max_threads = exec::worker_count().max(4);
     let thread_points: Vec<usize> = {
@@ -935,6 +985,7 @@ fn main() {
     } else {
         print!("{json}");
     }
+    append_history(&json);
 
     log!(info, "perf_smoke: result cache, cold vs disk-warm sweep...");
     let cache = cache_bench(spec);
@@ -954,6 +1005,7 @@ fn main() {
     } else {
         print!("{cache_json}");
     }
+    append_history(&cache_json);
 
     // Overhead comparison needs a longer timed region than the throughput
     // section even in smoke mode: at 20 000 cycles the ~2% effect under
@@ -964,14 +1016,17 @@ fn main() {
         "perf_smoke: metrics-registry overhead, disabled vs enabled ({obs_cycles} cycles)..."
     );
     gpu_sim::cache::set_enabled(false);
-    // Interleave repetitions of the three configurations, rotating which
+    // Interleave repetitions of the five configurations, rotating which
     // one goes first each rep, and keep each one's best throughput: short
     // timed regions are noisy, a fixed order lets frequency ramp and cache
-    // warmup bias one slot systematically, and the claim under test (the
-    // disabled registry costs one untaken branch) is about the code path,
-    // not about scheduler jitter.
+    // warmup bias one slot systematically, and the claims under test (the
+    // disabled metrics registry and the disabled counter bus each cost one
+    // untaken branch) are about the code path, not scheduler jitter. Every
+    // baseline repetition is kept: the best-vs-worst spread is the run's
+    // measured noise floor, reported alongside the overheads so the CI
+    // gate can compare against it instead of a zero nobody can hit.
     const OBS_REPS: usize = 5;
-    let mut baseline_cps = f64::MIN;
+    let mut baseline_runs: Vec<f64> = Vec::new();
     let best = |slot: &mut Option<EngineRun>, run: EngineRun| {
         if slot
             .as_ref()
@@ -981,13 +1036,16 @@ fn main() {
         }
     };
     let (mut obs_off, mut obs_on) = (None, None);
+    let (mut ctr_off, mut ctr_on) = (None, None);
     let (mut on_stalls, mut on_lat) = (0u64, 0u64);
     for rep in 0..OBS_REPS {
-        for slot in 0..3 {
-            match (rep + slot) % 3 {
+        for slot in 0..5 {
+            match (rep + slot) % 5 {
                 0 => {
-                    baseline_cps = baseline_cps
-                        .max(engine_run(("BLK", "BFS"), obs_cycles, false).cycles_per_sec);
+                    gpu_sim::counters::set_enabled(false);
+                    let run = engine_run(("BLK", "BFS"), obs_cycles, false);
+                    gpu_sim::counters::set_enabled(true);
+                    baseline_runs.push(run.cycles_per_sec);
                 }
                 1 => {
                     let (off_run, off_stalls, off_lat) = obs_run(obs_cycles, false);
@@ -998,34 +1056,64 @@ fn main() {
                     );
                     best(&mut obs_off, off_run);
                 }
-                _ => {
+                2 => {
                     let (on_run, stalls, lat) = obs_run(obs_cycles, true);
                     (on_stalls, on_lat) = (stalls, lat);
                     best(&mut obs_on, on_run);
                 }
+                3 => {
+                    gpu_sim::counters::set_enabled(false);
+                    let run = engine_run(("BLK", "BFS"), obs_cycles, false);
+                    gpu_sim::counters::set_enabled(true);
+                    best(&mut ctr_off, run);
+                }
+                _ => {
+                    best(&mut ctr_on, engine_run(("BLK", "BFS"), obs_cycles, false));
+                }
             }
         }
     }
+    // The campaign section (and the cache stats it logs) rides on the
+    // counter bus — make sure the obs experiment leaves it enabled.
+    gpu_sim::counters::set_enabled(true);
+    let baseline_cps = baseline_runs.iter().copied().fold(f64::MIN, f64::max);
+    let worst_baseline = baseline_runs.iter().copied().fold(f64::MAX, f64::min);
     let obs = ObsBench {
         baseline_cps,
         off: obs_off.unwrap(),
         on: obs_on.unwrap(),
+        counters_off: ctr_off.unwrap(),
+        counters_on: ctr_on.unwrap(),
+        noise_floor_pct: 100.0 * (baseline_cps - worst_baseline) / baseline_cps,
         stall_cycles: on_stalls,
         lat_samples: on_lat,
     };
     log!(
         info,
-        "  disabled: {:.0} cycles/sec ({:+.2}% vs baseline)",
+        "  metrics off:  {:.0} cycles/sec ({:+.2}% vs baseline)",
         obs.off.cycles_per_sec,
         obs.overhead_pct(obs.off.cycles_per_sec)
     );
     log!(
         info,
-        "  enabled:  {:.0} cycles/sec ({:+.2}% vs baseline, {} stall warp-cycles, {} latency samples)",
+        "  metrics on:   {:.0} cycles/sec ({:+.2}% vs baseline, {} stall warp-cycles, {} latency samples)",
         obs.on.cycles_per_sec,
         obs.overhead_pct(obs.on.cycles_per_sec),
         obs.stall_cycles,
         obs.lat_samples
+    );
+    log!(
+        info,
+        "  counters off: {:.0} cycles/sec ({:+.2}% vs baseline)",
+        obs.counters_off.cycles_per_sec,
+        obs.overhead_pct(obs.counters_off.cycles_per_sec)
+    );
+    log!(
+        info,
+        "  counters on:  {:.0} cycles/sec ({:+.2}% vs baseline); noise floor {:.2}%",
+        obs.counters_on.cycles_per_sec,
+        obs.overhead_pct(obs.counters_on.cycles_per_sec),
+        obs.noise_floor_pct
     );
     let obs_json = render_obs_json(smoke, obs_cycles, &obs);
     if let Some(path) = obs_out_path {
@@ -1034,6 +1122,7 @@ fn main() {
     } else {
         print!("{obs_json}");
     }
+    append_history(&obs_json);
 
     log!(
         info,
@@ -1064,6 +1153,7 @@ fn main() {
     } else {
         print!("{campaign_json}");
     }
+    append_history(&campaign_json);
 
     // Merged one-line summary of all benchmark sections.
     log!(

@@ -7,11 +7,27 @@
 //! trace-tools cache    <trace>         result-cache counter summary
 //! trace-tools diff     <a> <b>         compare two traces
 //! trace-tools profile  <PROFILE.json>  top spans by wall time
+//! trace-tools report   <trace> [--profile P] [--timings] [--html PATH] [--lanes N]
+//! trace-tools bench-trend <BENCH_HISTORY.jsonl>  flag metric regressions
 //! ```
 //!
 //! `validate` exits non-zero on the first schema violation class (all
 //! offending lines are listed, capped); the analysis modes skip and count
 //! unparsable lines so a partially-damaged trace still renders.
+//!
+//! `report` merges one trace (and optionally its `PROFILE.json`) into a
+//! single self-contained run report. Its default output contains only
+//! deterministic data — plan-order scheduler units, a virtual LPT
+//! schedule over estimated costs, domain-sync and stall summaries — so
+//! serial and scheduled traces of the same campaign render byte-identical
+//! reports (a CI gate). `--timings` adds the nondeterministic wall-clock
+//! sections (per-worker schedule, cost-model calibration, cache funnel);
+//! `--html` additionally writes the report as a self-contained HTML page.
+//!
+//! `bench-trend` walks `results/BENCH_HISTORY.jsonl` (appended by
+//! `perf_smoke`, see `ebm_bench::history`) and compares each benchmark's
+//! latest snapshot against its previous one, exiting non-zero when a
+//! metric regressed beyond its per-field threshold.
 
 use ebm_bench::json::{parse, Json};
 use ebm_bench::schema::{validate_trace, MAX_SCHEMA_VERSION};
@@ -43,7 +59,10 @@ fn usage() -> ExitCode {
          \x20 stalls <trace>        warp-stall breakdown and latency percentile tables\n\
          \x20 cache <trace>         result-cache counter summary\n\
          \x20 diff <a> <b>          compare two traces (kinds, windows, per-app means)\n\
-         \x20 profile <PROFILE.json> [N]  top N spans by wall time (default 20)"
+         \x20 profile <PROFILE.json> [N]  top N spans by wall time (default 20)\n\
+         \x20 report <trace> [--profile PROFILE.json] [--timings] [--html PATH] [--lanes N]\n\
+         \x20                       self-contained run report (deterministic by default)\n\
+         \x20 bench-trend <BENCH_HISTORY.jsonl>  compare latest vs previous snapshots"
     );
     ExitCode::from(2)
 }
@@ -61,6 +80,11 @@ fn main() -> ExitCode {
             Ok(n) => profile_cmd(&args[1], n),
             Err(_) => usage(),
         },
+        Some("report") if args.len() >= 2 => match ReportOpts::parse(&args[1..]) {
+            Some(opts) => report_cmd(&opts),
+            None => usage(),
+        },
+        Some("bench-trend") if args.len() == 2 => bench_trend_cmd(&args[1]),
         _ => usage(),
     }
 }
@@ -585,4 +609,676 @@ fn diff_cmd(path_a: &str, path_b: &str) -> ExitCode {
         outln!("traces differ");
     }
     ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// report
+// ---------------------------------------------------------------------------
+
+/// Parsed `report` command line.
+struct ReportOpts {
+    trace: String,
+    profile: Option<String>,
+    timings: bool,
+    html: Option<String>,
+    lanes: usize,
+}
+
+impl ReportOpts {
+    fn parse(args: &[String]) -> Option<ReportOpts> {
+        let mut trace = None;
+        let mut profile = None;
+        let mut timings = false;
+        let mut html = None;
+        let mut lanes = 4usize;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--timings" => timings = true,
+                "--profile" => {
+                    profile = Some(args.get(i + 1)?.clone());
+                    i += 1;
+                }
+                "--html" => {
+                    html = Some(args.get(i + 1)?.clone());
+                    i += 1;
+                }
+                "--lanes" => {
+                    lanes = args.get(i + 1)?.parse().ok().filter(|&n| n >= 1)?;
+                    i += 1;
+                }
+                a if !a.starts_with("--") && trace.is_none() => trace = Some(a.to_string()),
+                _ => return None,
+            }
+            i += 1;
+        }
+        Some(ReportOpts {
+            trace: trace?,
+            profile,
+            timings,
+            html,
+            lanes,
+        })
+    }
+}
+
+/// One `sched_unit` record, decoded.
+struct UnitRec {
+    unit: u64,
+    label: String,
+    fp: String,
+    deps: u64,
+    est: u64,
+    worker: u64,
+    start_ms: f64,
+    wall_ms: f64,
+    cycles: u64,
+}
+
+/// One bar of the virtual (or per-worker) schedule.
+struct Seg {
+    unit: usize,
+    start: u64,
+    finish: u64,
+}
+
+/// Everything a report renders, derived once from the parsed records so
+/// the text and HTML outputs cannot drift apart.
+struct ReportData {
+    /// Record counts of the deterministic event kinds only (the
+    /// nondeterministic `profile_span` / `cache_stats` / `cache_tier`
+    /// counts are excluded so serial and scheduled reports stay
+    /// byte-identical).
+    kind_counts: BTreeMap<String, u64>,
+    units: Vec<UnitRec>,
+    lanes: Vec<Vec<Seg>>,
+    makespan: u64,
+    /// Per-domain `[windows, window_cycles, core_steps, partition_steps]`.
+    domains: BTreeMap<u64, [u64; 4]>,
+    stalls: BTreeMap<Option<u64>, StallAccum>,
+    /// Per-tier `[hits, misses, stores]`, last snapshot per tier.
+    tiers: BTreeMap<String, [u64; 3]>,
+}
+
+/// Event kinds whose count (or content) varies run to run; excluded from
+/// the deterministic report header.
+const NONDETERMINISTIC_KINDS: [&str; 3] = ["profile_span", "cache_stats", "cache_tier"];
+
+/// Deterministic LPT list schedule of the plan over `lanes` virtual
+/// lanes: units in estimated-cost order (ties toward the lower unit
+/// index, mirroring the real scheduler's ready queue), each placed on the
+/// earliest-free lane. Pure function of the plan — serial and scheduled
+/// traces of the same campaign produce the identical schedule.
+fn virtual_schedule(units: &[UnitRec], lanes: usize) -> (Vec<Vec<Seg>>, u64) {
+    let mut order: Vec<usize> = (0..units.len()).collect();
+    order.sort_by(|&a, &b| {
+        units[b]
+            .est
+            .cmp(&units[a].est)
+            .then(units[a].unit.cmp(&units[b].unit))
+    });
+    let mut lane_segs: Vec<Vec<Seg>> = (0..lanes).map(|_| Vec::new()).collect();
+    let mut free = vec![0u64; lanes];
+    for i in order {
+        let lane = (0..lanes)
+            .min_by_key(|&l| (free[l], l))
+            .expect("lanes >= 1");
+        let start = free[lane];
+        let finish = start + units[i].est;
+        free[lane] = finish;
+        lane_segs[lane].push(Seg {
+            unit: i,
+            start,
+            finish,
+        });
+    }
+    (lane_segs, free.into_iter().max().unwrap_or(0))
+}
+
+fn collect_report_data(records: &[Json], lanes: usize) -> ReportData {
+    let mut kind_counts: BTreeMap<String, u64> = BTreeMap::new();
+    for rec in records {
+        let kind = kind_of(rec);
+        if !kind.is_empty() && !NONDETERMINISTIC_KINDS.contains(&kind) {
+            *kind_counts.entry(kind.to_string()).or_insert(0) += 1;
+        }
+    }
+    let mut units: Vec<UnitRec> = records
+        .iter()
+        .filter(|r| kind_of(r) == "sched_unit")
+        .map(|r| UnitRec {
+            unit: int(r, "unit"),
+            label: r
+                .get("label")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            fp: r.get("fp").and_then(Json::as_str).unwrap_or("").to_string(),
+            deps: int(r, "deps"),
+            est: int(r, "est"),
+            worker: int(r, "worker"),
+            start_ms: num(r, "start_ms"),
+            wall_ms: num(r, "wall_ms"),
+            cycles: int(r, "cycles"),
+        })
+        .collect();
+    units.sort_by_key(|u| u.unit);
+    let (lane_segs, makespan) = virtual_schedule(&units, lanes);
+    let mut domains: BTreeMap<u64, [u64; 4]> = BTreeMap::new();
+    for rec in records.iter().filter(|r| kind_of(r) == "domain_window") {
+        let d = domains.entry(int(rec, "domain")).or_insert([0; 4]);
+        d[0] += int(rec, "windows");
+        d[1] += int(rec, "window_cycles");
+        d[2] += int(rec, "core_steps");
+        d[3] += int(rec, "partition_steps");
+    }
+    let mut stalls: BTreeMap<Option<u64>, StallAccum> = BTreeMap::new();
+    for rec in records.iter().filter(|r| kind_of(r) == "metrics_window") {
+        let a = stalls
+            .entry(rec.get("app").and_then(Json::as_u64))
+            .or_default();
+        if let Some(s) = rec.get("stalls") {
+            a.mem += int(s, "mem");
+            a.exec += int(s, "exec");
+            a.barrier += int(s, "barrier");
+            a.tlp_capped += int(s, "tlp_capped");
+        }
+        if let Some(h) = hist_of(rec, "dram_lat") {
+            a.dram_lat.merge(&h);
+        }
+        a.windows += 1;
+    }
+    // Tier counters are cumulative at emission, so the last snapshot per
+    // tier wins (mirrors `cache_cmd`).
+    let mut tiers: BTreeMap<String, [u64; 3]> = BTreeMap::new();
+    for rec in records.iter().filter(|r| kind_of(r) == "cache_tier") {
+        if let Some(tier) = rec.get("tier").and_then(Json::as_str) {
+            tiers.insert(
+                tier.to_string(),
+                [int(rec, "hits"), int(rec, "misses"), int(rec, "stores")],
+            );
+        }
+    }
+    ReportData {
+        kind_counts,
+        units,
+        lanes: lane_segs,
+        makespan,
+        domains,
+        stalls,
+        tiers,
+    }
+}
+
+/// Renders the deterministic body of the report (every default section).
+/// Contains no file paths, timestamps or wall-clock numbers.
+fn render_report_text(d: &ReportData) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w, "== run report ==");
+    let _ = writeln!(w, "records by kind (deterministic kinds only):");
+    if d.kind_counts.is_empty() {
+        let _ = writeln!(w, "  none");
+    }
+    for (kind, n) in &d.kind_counts {
+        let _ = writeln!(w, "  {kind:<18} {n}");
+    }
+
+    let _ = writeln!(w);
+    let _ = writeln!(w, "== campaign plan ==");
+    if d.units.is_empty() {
+        let _ = writeln!(w, "no sched_unit records (untraced or pre-v5 run)");
+    } else {
+        let total_est: u64 = d.units.iter().map(|u| u.est).sum();
+        let with_deps = d.units.iter().filter(|u| u.deps > 0).count();
+        let _ = writeln!(
+            w,
+            "{} units, {} with dependencies, total estimated cost {} cycles",
+            d.units.len(),
+            with_deps,
+            total_est
+        );
+        const TOP: usize = 40;
+        let mut by_est: Vec<&UnitRec> = d.units.iter().collect();
+        by_est.sort_by(|a, b| b.est.cmp(&a.est).then(a.unit.cmp(&b.unit)));
+        let _ = writeln!(
+            w,
+            "top {} of {} units by estimated cost:",
+            TOP.min(by_est.len()),
+            by_est.len()
+        );
+        let _ = writeln!(
+            w,
+            "  {:>5} {:>12} {:>5}  {:<10} label",
+            "unit", "est", "deps", "fp"
+        );
+        for u in by_est.iter().take(TOP) {
+            let fp8 = u.fp.get(..8).unwrap_or(&u.fp);
+            let _ = writeln!(
+                w,
+                "  {:>5} {:>12} {:>5}  {:<10} {}",
+                u.unit, u.est, u.deps, fp8, u.label
+            );
+        }
+    }
+
+    let _ = writeln!(w);
+    let _ = writeln!(
+        w,
+        "== virtual schedule ({} lanes, LPT by estimated cost) ==",
+        d.lanes.len()
+    );
+    if d.units.is_empty() {
+        let _ = writeln!(w, "nothing to schedule");
+    } else {
+        let total_est: u64 = d.units.iter().map(|u| u.est).sum();
+        let parallelism = total_est as f64 / d.makespan.max(1) as f64;
+        let _ = writeln!(
+            w,
+            "makespan {} virtual cycles, parallelism {:.2} (sum of estimates / makespan)",
+            d.makespan, parallelism
+        );
+        for (lane, segs) in d.lanes.iter().enumerate() {
+            let busy: u64 = segs.iter().map(|s| s.finish - s.start).sum();
+            let pct = 100.0 * busy as f64 / d.makespan.max(1) as f64;
+            let _ = write!(w, "lane {lane}: {} units, busy {pct:.1}% |", segs.len());
+            const SEGS: usize = 6;
+            for s in segs.iter().take(SEGS) {
+                let _ = write!(w, " {}@{}", d.units[s.unit].unit, s.start);
+            }
+            if segs.len() > SEGS {
+                let _ = write!(w, " (+{} more)", segs.len() - SEGS);
+            }
+            let _ = writeln!(w);
+        }
+    }
+
+    let _ = writeln!(w);
+    let _ = writeln!(w, "== domain synchronization ==");
+    if d.domains.is_empty() {
+        let _ = writeln!(w, "none recorded (serial engine or untraced run)");
+    } else {
+        let _ = writeln!(
+            w,
+            "{:<8} {:>10} {:>14} {:>14} {:>16}",
+            "domain", "windows", "window_cycles", "core_steps", "partition_steps"
+        );
+        for (dom, v) in &d.domains {
+            let _ = writeln!(
+                w,
+                "{dom:<8} {:>10} {:>14} {:>14} {:>16}",
+                v[0], v[1], v[2], v[3]
+            );
+        }
+    }
+
+    let _ = writeln!(w);
+    let _ = writeln!(w, "== per-app stalls and DRAM latency ==");
+    if d.stalls.is_empty() {
+        let _ = writeln!(w, "no metrics_window records");
+    } else {
+        let _ = writeln!(
+            w,
+            "{:<6} {:>8} {:>12} {:>12} {:>12} {:>12} {:>10} {:>9} {:>8}",
+            "app", "windows", "mem", "exec", "barrier", "tlp_capped", "dram_reqs", "mean", "p95"
+        );
+        for (app, a) in &d.stalls {
+            let label = app.map_or("all".to_string(), |x| x.to_string());
+            let h = &a.dram_lat;
+            let _ = writeln!(
+                w,
+                "{label:<6} {:>8} {:>12} {:>12} {:>12} {:>12} {:>10} {:>9.1} {:>8}",
+                a.windows,
+                a.mem,
+                a.exec,
+                a.barrier,
+                a.tlp_capped,
+                h.count(),
+                h.mean(),
+                h.percentile(0.95)
+            );
+        }
+    }
+    out
+}
+
+/// Renders the `--timings` sections: real execution data that varies run
+/// to run (never part of the byte-compare gate).
+fn render_timings_text(d: &ReportData) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w);
+    let _ = writeln!(w, "== scheduler timings (nondeterministic) ==");
+    let executed: Vec<&UnitRec> = d.units.iter().filter(|u| u.wall_ms > 0.0).collect();
+    if executed.is_empty() {
+        let _ = writeln!(
+            w,
+            "no recorded unit timings (serial plan-only emission, or cache-warm run)"
+        );
+    } else {
+        let mut workers: BTreeMap<u64, (usize, f64)> = BTreeMap::new();
+        for u in &executed {
+            let e = workers.entry(u.worker).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += u.wall_ms;
+        }
+        let _ = writeln!(w, "{:<8} {:>6} {:>12}", "worker", "units", "busy_ms");
+        for (worker, (n, busy)) in &workers {
+            let _ = writeln!(w, "{worker:<8} {n:>6} {busy:>12.2}");
+        }
+        const TOP: usize = 20;
+        let mut by_wall: Vec<&&UnitRec> = executed.iter().collect();
+        by_wall.sort_by(|a, b| {
+            b.wall_ms
+                .partial_cmp(&a.wall_ms)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.unit.cmp(&b.unit))
+        });
+        let _ = writeln!(
+            w,
+            "top {} of {} executed units by wall time:",
+            TOP.min(by_wall.len()),
+            by_wall.len()
+        );
+        let _ = writeln!(
+            w,
+            "  {:>5} {:>6} {:>11} {:>10} {:>13} label",
+            "unit", "worker", "start_ms", "wall_ms", "cycles"
+        );
+        for u in by_wall.iter().take(TOP) {
+            let _ = writeln!(
+                w,
+                "  {:>5} {:>6} {:>11.2} {:>10.2} {:>13} {}",
+                u.unit, u.worker, u.start_ms, u.wall_ms, u.cycles, u.label
+            );
+        }
+
+        let _ = writeln!(w);
+        let _ = writeln!(w, "== cost-model calibration ==");
+        let mut simulated: Vec<&&UnitRec> = executed.iter().filter(|u| u.cycles > 0).collect();
+        if simulated.is_empty() {
+            let _ = writeln!(w, "no units simulated cycles (fully cache-served run)");
+        } else {
+            simulated.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.unit.cmp(&b.unit)));
+            let _ = writeln!(
+                w,
+                "top {} of {} simulated units, estimate vs actual:",
+                TOP.min(simulated.len()),
+                simulated.len()
+            );
+            let _ = writeln!(w, "  {:>12} {:>13} {:>7}  label", "est", "actual", "ratio");
+            for u in simulated.iter().take(TOP) {
+                let ratio = u.cycles as f64 / u.est.max(1) as f64;
+                let _ = writeln!(
+                    w,
+                    "  {:>12} {:>13} {:>7.2}  {}",
+                    u.est, u.cycles, ratio, u.label
+                );
+            }
+        }
+    }
+
+    let _ = writeln!(w);
+    let _ = writeln!(w, "== result-cache hit funnel ==");
+    if d.tiers.is_empty() {
+        let _ = writeln!(w, "no cache_tier records (untraced or pre-v5 run)");
+    } else {
+        let _ = writeln!(
+            w,
+            "{:<8} {:>10} {:>10} {:>10}",
+            "tier", "hits", "misses", "stores"
+        );
+        for (tier, v) in &d.tiers {
+            let _ = writeln!(w, "{tier:<8} {:>10} {:>10} {:>10}", v[0], v[1], v[2]);
+        }
+    }
+    out
+}
+
+/// Renders the `--profile` section from a `PROFILE.json` document: top
+/// spans by wall time (nondeterministic; opt-in via the flag).
+fn render_profile_text(doc: &Json) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w);
+    let _ = writeln!(w, "== profile spans (nondeterministic) ==");
+    let Some(spans) = doc.get("spans").and_then(Json::as_arr) else {
+        let _ = writeln!(w, "no `spans` array (not a PROFILE.json?)");
+        return out;
+    };
+    let mut rows: Vec<&Json> = spans.iter().collect();
+    rows.sort_by(|a, b| {
+        num(b, "wall_s")
+            .partial_cmp(&num(a, "wall_s"))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    const TOP: usize = 10;
+    let _ = writeln!(
+        w,
+        "top {} of {} spans by wall time:",
+        TOP.min(rows.len()),
+        rows.len()
+    );
+    let _ = writeln!(
+        w,
+        "  {:<10} {:>9} {:>13}  name",
+        "level", "wall_s", "cycles"
+    );
+    for rec in rows.iter().take(TOP) {
+        let _ = writeln!(
+            w,
+            "  {:<10} {:>9.3} {:>13}  {}",
+            rec.get("level").and_then(Json::as_str).unwrap_or("?"),
+            num(rec, "wall_s"),
+            int(rec, "cycles"),
+            rec.get("name").and_then(Json::as_str).unwrap_or("?")
+        );
+    }
+    out
+}
+
+fn html_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Renders the report as one self-contained HTML page (inline CSS, no
+/// scripts, no external references): the same data as the text report,
+/// with the virtual schedule drawn as proportional div bars.
+fn render_report_html(d: &ReportData, text_sections: &str) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w, "<!DOCTYPE html>");
+    let _ = writeln!(
+        w,
+        "<html><head><meta charset=\"utf-8\"><title>run report</title>"
+    );
+    let _ = writeln!(
+        w,
+        "<style>body{{font-family:monospace;margin:1em}}\
+         .lane{{position:relative;height:22px;background:#eee;margin:2px 0}}\
+         .seg{{position:absolute;top:1px;height:20px;background:#4a90d9;\
+         color:#fff;overflow:hidden;font-size:11px;border-right:1px solid #fff}}\
+         pre{{background:#f7f7f7;padding:8px}}</style></head><body>"
+    );
+    let _ = writeln!(w, "<h1>run report</h1>");
+    let _ = writeln!(
+        w,
+        "<h2>virtual schedule ({} lanes, LPT by estimated cost)</h2>",
+        d.lanes.len()
+    );
+    if d.makespan > 0 {
+        for segs in &d.lanes {
+            let _ = writeln!(w, "<div class=\"lane\">");
+            for s in segs {
+                let left = 100.0 * s.start as f64 / d.makespan as f64;
+                let width = 100.0 * (s.finish - s.start) as f64 / d.makespan as f64;
+                let u = &d.units[s.unit];
+                let _ = writeln!(
+                    w,
+                    "<div class=\"seg\" style=\"left:{left:.4}%;width:{width:.4}%\" \
+                     title=\"{}\">{}</div>",
+                    html_escape(&u.label),
+                    u.unit
+                );
+            }
+            let _ = writeln!(w, "</div>");
+        }
+    } else {
+        let _ = writeln!(w, "<p>nothing to schedule</p>");
+    }
+    let _ = writeln!(w, "<h2>full report</h2>");
+    let _ = writeln!(w, "<pre>{}</pre>", html_escape(text_sections));
+    let _ = writeln!(w, "</body></html>");
+    out
+}
+
+fn report_cmd(opts: &ReportOpts) -> ExitCode {
+    let text = match read_trace(&opts.trace) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let (records, skipped) = parse_records(&text);
+    warn_skipped(skipped);
+    let d = collect_report_data(&records, opts.lanes);
+    let mut report = render_report_text(&d);
+    if opts.timings {
+        report.push_str(&render_timings_text(&d));
+    }
+    if let Some(profile_path) = &opts.profile {
+        match read_trace(profile_path) {
+            Ok(ptext) => match parse(&ptext) {
+                Ok(doc) => report.push_str(&render_profile_text(&doc)),
+                Err(e) => {
+                    eprintln!("error: {profile_path} is not valid JSON: {e:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(code) => return code,
+        }
+    }
+    outln!("{report}");
+    if let Some(html_path) = &opts.html {
+        let html = render_report_html(&d, &report);
+        if let Err(e) = std::fs::write(html_path, html) {
+            eprintln!("error: cannot write {html_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report: wrote {html_path}");
+    }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// bench-trend
+// ---------------------------------------------------------------------------
+
+/// Whether a history field is a throughput-like metric where bigger is
+/// better (gated by the ratio threshold).
+fn higher_better(key: &str) -> bool {
+    key.contains("cycles_per_sec")
+        || key.contains("speedup")
+        || key.contains("hit_rate")
+        || key.contains("dedup_ratio")
+        || key.contains("utilization")
+}
+
+/// Compares each benchmark's latest history snapshot against its previous
+/// one. Thresholds per field class:
+///
+/// * higher-better metrics (`*cycles_per_sec*`, `*speedup*`, `*hit_rate*`,
+///   `*dedup_ratio*`, `*utilization*`): regression when the new value
+///   falls below 85 % of the old (old values of 0 are skipped);
+/// * `*overhead_pct`: regression when the new value exceeds
+///   `max(old, 0) + 2.0` percentage points;
+/// * `*identical*` booleans: regression on any `true -> false` flip;
+/// * `*seconds` and `*noise_floor*` fields are never gated (wall-clock
+///   and noise-floor numbers vary with the host).
+///
+/// Exits non-zero when any field regressed.
+fn bench_trend_cmd(path: &str) -> ExitCode {
+    let text = match read_trace(path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let (records, skipped) = parse_records(&text);
+    warn_skipped(skipped);
+    let mut groups: BTreeMap<String, Vec<&Json>> = BTreeMap::new();
+    for rec in &records {
+        if let Some(b) = rec.get("benchmark").and_then(Json::as_str) {
+            groups.entry(b.to_string()).or_default().push(rec);
+        }
+    }
+    if groups.is_empty() {
+        eprintln!("warning: no history snapshots in {path}");
+        return ExitCode::SUCCESS;
+    }
+    let mut regressions = 0u64;
+    for (bench, snaps) in &groups {
+        if snaps.len() < 2 {
+            outln!(
+                "{bench}: only {} snapshot(s), nothing to compare",
+                snaps.len()
+            );
+            continue;
+        }
+        let prev = snaps[snaps.len() - 2];
+        let latest = snaps[snaps.len() - 1];
+        let mut compared = 0u64;
+        let mut flagged = 0u64;
+        let Some(fields) = latest.as_obj() else {
+            continue;
+        };
+        for (key, val) in fields {
+            if key == "benchmark" || key == "ts" {
+                continue;
+            }
+            if key.ends_with("seconds") || key.contains("noise_floor") {
+                continue;
+            }
+            let Some(old) = prev.get(key) else { continue };
+            match (old, val) {
+                (Json::Bool(o), Json::Bool(n)) if key.contains("identical") => {
+                    compared += 1;
+                    if *o && !*n {
+                        flagged += 1;
+                        regressions += 1;
+                        outln!("REGRESSION {bench}.{key}: true -> false");
+                    }
+                }
+                (Json::Num(o), Json::Num(n)) if key.ends_with("overhead_pct") => {
+                    compared += 1;
+                    let limit = o.max(0.0) + 2.0;
+                    if *n > limit {
+                        flagged += 1;
+                        regressions += 1;
+                        outln!("REGRESSION {bench}.{key}: {o:.2} -> {n:.2} (limit <= {limit:.2})");
+                    }
+                }
+                (Json::Num(o), Json::Num(n)) if higher_better(key) && *o > 0.0 => {
+                    compared += 1;
+                    let limit = o * 0.85;
+                    if *n < limit {
+                        flagged += 1;
+                        regressions += 1;
+                        outln!("REGRESSION {bench}.{key}: {o:.3} -> {n:.3} (limit >= {limit:.3})");
+                    }
+                }
+                _ => {}
+            }
+        }
+        outln!("{bench}: {compared} gated field(s), {flagged} regression(s)");
+    }
+    if regressions > 0 {
+        eprintln!("bench-trend: {regressions} regression(s) beyond thresholds");
+        ExitCode::FAILURE
+    } else {
+        outln!("OK: no regressions beyond thresholds");
+        ExitCode::SUCCESS
+    }
 }

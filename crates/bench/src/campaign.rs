@@ -57,7 +57,7 @@ use ebm_core::scaling::ScalingFactors;
 use ebm_core::sweep::{sweep_fingerprint, ComboSweep};
 use gpu_sim::alone::{alone_fingerprint, profile_alone};
 use gpu_sim::harness::{measure_fixed_cached, FixedRunInputs, RunSpec};
-use gpu_sim::trace::TraceSink;
+use gpu_sim::trace::{TraceEvent, TraceSink};
 use gpu_sim::{cache, exec};
 use gpu_types::{Fingerprint, FxHashMap, GpuConfig, TlpCombo, TlpLevel};
 use gpu_workloads::{all_apps, by_name, representative_workloads, AppProfile, Workload};
@@ -108,6 +108,9 @@ type RenderFn = Box<dyn FnOnce(&Evaluator, &mut dyn TraceSink) -> Report>;
 struct Unit {
     /// Stable human-readable label (also the cost-model history key).
     label: String,
+    /// Content-address of the computation (the dedup key), kept for the
+    /// `sched_unit` trace event.
+    fp: Fingerprint,
     /// Estimated cost in simulated cycles (higher runs earlier).
     cost: u64,
     /// Indices of units that must finish before this one starts.
@@ -230,6 +233,16 @@ impl CostModel {
     pub fn cost(&self, label: &str, fallback: u64) -> u64 {
         self.history.get(label).copied().unwrap_or(fallback).max(1)
     }
+
+    /// Records an observed cost for `label` (zero observations are
+    /// ignored — a cache-served unit teaches the model nothing). This is
+    /// how `sched_unit` trace events round-trip into the next run's model:
+    /// feed each event's `label` and actual `cycles` back in.
+    pub fn observe(&mut self, label: &str, cycles: u64) {
+        if cycles > 0 {
+            self.history.insert(label.to_owned(), cycles);
+        }
+    }
 }
 
 fn num_field(obj: &crate::json::Json, key: &str) -> f64 {
@@ -300,6 +313,7 @@ impl Planner {
         let cost = self.costs.cost(&label, fallback_cost);
         self.units.push(Unit {
             label,
+            fp,
             cost,
             deps,
             run: Mutex::new(Some(run)),
@@ -1083,6 +1097,20 @@ impl CampaignStats {
     }
 }
 
+/// Runtime record of one executed unit, captured by the worker that ran
+/// it and folded into the `sched_unit` trace events after the pool drains.
+#[derive(Clone, Copy, Default)]
+struct UnitRuntime {
+    /// Pool worker index that claimed the unit.
+    worker: u64,
+    /// Milliseconds from campaign start to unit start.
+    start_ms: f64,
+    /// Wall-clock milliseconds the unit ran for.
+    wall_ms: f64,
+    /// Simulated cycles the worker thread attributed to the unit.
+    cycles: u64,
+}
+
 struct SchedState {
     ready: BinaryHeap<Ready>,
     blocked: Vec<usize>,
@@ -1155,13 +1183,16 @@ pub fn run(
     }
     let cvar = Condvar::new();
     let busy_ns = AtomicU64::new(0);
+    let runtimes: Vec<Mutex<Option<UnitRuntime>>> =
+        (0..planned).map(|_| Mutex::new(None)).collect();
     let units = &units;
     let dependents = &dependents;
     let state = &state;
     let cvar = &cvar;
     let busy_ns = &busy_ns;
+    let runtimes = &runtimes;
 
-    let worker = |_w: usize| loop {
+    let worker = |w: usize| loop {
         let idx = {
             let mut s = lock(state);
             loop {
@@ -1180,6 +1211,7 @@ pub fn run(
             .unwrap_or_else(|e| e.into_inner())
             .take();
         let started = Instant::now();
+        let cycles0 = gpu_sim::metrics::thread_cycles_simulated();
         // Catch the panic instead of dying: a dead worker would leave the
         // coordinator (and its siblings) blocked on the condvar forever.
         // The payload is stored first-wins and re-raised by the caller.
@@ -1189,7 +1221,14 @@ pub fn run(
                 job(ev);
             }
         }));
-        busy_ns.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let wall = started.elapsed();
+        busy_ns.fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+        *runtimes[idx].lock().unwrap_or_else(|e| e.into_inner()) = Some(UnitRuntime {
+            worker: w as u64,
+            start_ms: started.duration_since(t0).as_secs_f64() * 1e3,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            cycles: gpu_sim::metrics::thread_cycles_simulated().saturating_sub(cycles0),
+        });
         let mut s = lock(state);
         if let Err(payload) = outcome {
             if s.panic.is_none() {
@@ -1217,7 +1256,11 @@ pub fn run(
         cvar.notify_all();
     };
 
+    // Reborrow the sink for the coordinator so it is available again for
+    // the sched_unit emission after the pool drains.
+    let sink2: &mut dyn TraceSink = &mut *sink;
     let coordinator = move || {
+        let sink = sink2;
         for fig in figure_nodes {
             {
                 let mut s = lock(state);
@@ -1245,6 +1288,30 @@ pub fn run(
         let s = lock(state);
         (s.executed, s.peak_ready)
     };
+    // One sched_unit event per unit, in plan order. The identity fields
+    // are deterministic; the runtime fields describe this execution and
+    // feed the next run's cost model (`CostModel::observe`).
+    if sink.enabled() {
+        for (i, u) in units.iter().enumerate() {
+            let rt = runtimes[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .unwrap_or_default();
+            sink.emit(TraceEvent::SchedUnit {
+                cycle: 0,
+                unit: i as u64,
+                label: u.label.clone(),
+                fp: u.fp.to_hex(),
+                deps: u.deps.len() as u64,
+                est: u.cost,
+                worker: rt.worker,
+                start_ms: rt.start_ms,
+                wall_ms: rt.wall_ms,
+                cycles: rt.cycles,
+            });
+        }
+    }
     let stats1 = cache::stats();
     let stats = CampaignStats {
         requested,
@@ -1272,7 +1339,69 @@ pub fn run(
         stats.workers,
         stats.utilization()
     );
+    publish_sched_counters(&stats);
     stats
+}
+
+/// Publishes one run's execution statistics onto the `sched.*` gauges of
+/// the [`gpu_sim::counters`] telemetry bus. Like the `engine.*` gauges,
+/// these are last-writer-wins snapshots of the most recent campaign.
+fn publish_sched_counters(stats: &CampaignStats) {
+    use gpu_sim::counters::{counter, Counter};
+    struct Gauges {
+        requested: &'static Counter,
+        planned: &'static Counter,
+        executed: &'static Counter,
+        workers: &'static Counter,
+        peak_ready: &'static Counter,
+        busy_ns: &'static Counter,
+        cache_hits: &'static Counter,
+        inflight_joined: &'static Counter,
+    }
+    static GAUGES: std::sync::OnceLock<Gauges> = std::sync::OnceLock::new();
+    let g = GAUGES.get_or_init(|| Gauges {
+        requested: counter("sched.requested"),
+        planned: counter("sched.planned"),
+        executed: counter("sched.executed"),
+        workers: counter("sched.workers"),
+        peak_ready: counter("sched.peak_ready"),
+        busy_ns: counter("sched.busy_ns"),
+        cache_hits: counter("sched.cache_hits"),
+        inflight_joined: counter("sched.inflight_joined"),
+    });
+    g.requested.set(stats.requested as u64);
+    g.planned.set(stats.planned as u64);
+    g.executed.set(stats.executed as u64);
+    g.workers.set(stats.workers as u64);
+    g.peak_ready.set(stats.peak_ready as u64);
+    g.busy_ns.set((stats.busy_s * 1e9) as u64);
+    g.cache_hits.set(stats.cache_hits);
+    g.inflight_joined.set(stats.inflight_joined);
+}
+
+/// Emits one `sched_unit` event per planned unit with the runtime fields
+/// zeroed. The serial campaign driver calls this so a serial trace carries
+/// the same deterministic plan records (`unit`, `label`, `fp`, `deps`,
+/// `est`) a scheduled run would — `trace-tools report` renders its
+/// default (deterministic) sections byte-identically from either.
+pub fn emit_plan(campaign: &Campaign, sink: &mut dyn TraceSink) {
+    if !sink.enabled() {
+        return;
+    }
+    for (i, u) in campaign.units.iter().enumerate() {
+        sink.emit(TraceEvent::SchedUnit {
+            cycle: 0,
+            unit: i as u64,
+            label: u.label.clone(),
+            fp: u.fp.to_hex(),
+            deps: u.deps.len() as u64,
+            est: u.cost,
+            worker: 0,
+            start_ms: 0.0,
+            wall_ms: 0.0,
+            cycles: 0,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -1416,6 +1545,7 @@ mod tests {
         let campaign = Campaign {
             units: vec![Unit {
                 label: "boom".into(),
+                fp: Fingerprint(0),
                 cost: 1,
                 deps: Vec::new(),
                 run: Mutex::new(Some(Box::new(|_| panic!("unit exploded")))),

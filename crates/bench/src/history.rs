@@ -1,0 +1,147 @@
+//! Bench-history tracking: flattened `BENCH_*.json` snapshots appended to
+//! `results/BENCH_HISTORY.jsonl`.
+//!
+//! Every benchmark section `perf_smoke` renders is also appended — as one
+//! self-contained JSON line — to a history file, so a run's numbers are
+//! never only a point-in-time artifact: `trace-tools bench-trend` walks
+//! the history and flags metrics that regressed beyond their per-field
+//! thresholds (see `docs/OBSERVABILITY.md`).
+//!
+//! A history line is the snapshot flattened to scalar fields:
+//!
+//! ```text
+//! {"benchmark":"engine","ts":1754550000,"schema_version":3,"cycles_per_sec":2.41e6,...}
+//! ```
+//!
+//! Top-level numeric and boolean fields keep their names; fields of
+//! one-level-nested objects get dotted keys (`serial.cycles_per_sec`);
+//! strings (other than the `benchmark` tag), arrays and deeper nesting are
+//! dropped — trend analysis only compares scalars.
+
+use crate::json::{self, Json};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders a scalar as its history-line JSON value.
+fn push_scalar(out: &mut Vec<(String, String)>, key: String, v: &Json) {
+    match v {
+        Json::Num(n) if n.is_finite() => out.push((key, format!("{n}"))),
+        Json::Bool(b) => out.push((key, b.to_string())),
+        _ => {}
+    }
+}
+
+/// Flattens a `BENCH_*.json` document into its benchmark tag plus dotted
+/// scalar key/value pairs (values pre-rendered as JSON text). Returns
+/// `None` when `text` is not a JSON object carrying a `benchmark` string.
+pub fn flatten(text: &str) -> Option<(String, Vec<(String, String)>)> {
+    let doc = json::parse(text).ok()?;
+    let fields = doc.as_obj()?;
+    let benchmark = doc.get("benchmark")?.as_str()?.to_owned();
+    let mut pairs = Vec::new();
+    for (k, v) in fields {
+        match v {
+            Json::Obj(inner) => {
+                for (k2, v2) in inner {
+                    push_scalar(&mut pairs, format!("{k}.{k2}"), v2);
+                }
+            }
+            _ => push_scalar(&mut pairs, k.clone(), v),
+        }
+    }
+    Some((benchmark, pairs))
+}
+
+/// Renders one history line (with trailing newline) from a flattened
+/// snapshot and a Unix timestamp.
+pub fn render_line(benchmark: &str, ts: u64, pairs: &[(String, String)]) -> String {
+    let mut line = format!("{{\"benchmark\":\"{benchmark}\",\"ts\":{ts}");
+    for (k, v) in pairs {
+        let _ = write!(line, ",\"{k}\":{v}");
+    }
+    line.push_str("}\n");
+    line
+}
+
+/// Appends the `BENCH_*.json` document `json_text` to the history file at
+/// `path` as one flattened line, stamped with the current Unix time.
+/// Creates the file (and its parent directory) on first use.
+pub fn append_snapshot(path: &Path, json_text: &str) -> io::Result<()> {
+    let Some((benchmark, pairs)) = flatten(json_text) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "snapshot is not a BENCH json document",
+        ));
+    };
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(render_line(&benchmark, ts, &pairs).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAPSHOT: &str = r#"{
+        "benchmark": "cache",
+        "schema_version": 3,
+        "smoke_mode": true,
+        "machine": "small",
+        "points": [1, 2, 3],
+        "cold": {"seconds": 1.5, "hit_rate": 0.0},
+        "warm": {"seconds": 0.25, "hit_rate": 0.875, "identical": true}
+    }"#;
+
+    #[test]
+    fn flatten_keeps_scalars_and_dots_nested_fields() {
+        let (bench, pairs) = flatten(SNAPSHOT).expect("valid snapshot");
+        assert_eq!(bench, "cache");
+        let get = |k: &str| {
+            pairs
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+        };
+        assert_eq!(get("schema_version"), Some("3"));
+        assert_eq!(get("smoke_mode"), Some("true"));
+        assert_eq!(get("cold.hit_rate"), Some("0"));
+        assert_eq!(get("warm.hit_rate"), Some("0.875"));
+        assert_eq!(get("warm.identical"), Some("true"));
+        // Strings, arrays and the benchmark tag itself are dropped.
+        assert_eq!(get("machine"), None);
+        assert_eq!(get("points"), None);
+        assert_eq!(get("benchmark"), None);
+    }
+
+    #[test]
+    fn flatten_rejects_non_bench_documents() {
+        assert!(flatten("not json").is_none());
+        assert!(flatten("{}").is_none());
+        assert!(flatten(r#"{"benchmark": 7}"#).is_none());
+        assert!(flatten("[1,2]").is_none());
+    }
+
+    #[test]
+    fn render_line_is_one_json_object_per_line() {
+        let (bench, pairs) = flatten(SNAPSHOT).expect("valid snapshot");
+        let line = render_line(&bench, 1754550000, &pairs);
+        assert!(line.ends_with("}\n"));
+        let doc = json::parse(line.trim_end()).expect("line parses back");
+        assert_eq!(doc.get("benchmark").and_then(Json::as_str), Some("cache"));
+        assert_eq!(doc.get("ts").and_then(Json::as_u64), Some(1754550000));
+        assert_eq!(doc.get("warm.hit_rate").and_then(Json::as_num), Some(0.875));
+    }
+}

@@ -27,12 +27,15 @@
 //!   `profile_span` trace events;
 //! * [`json`] / [`schema`] — a std-only JSON parser and the strict trace
 //!   validator behind the `trace-tools` binary
-//!   (`cargo run -p ebm-bench --release --bin trace-tools -- validate <trace>`).
+//!   (`cargo run -p ebm-bench --release --bin trace-tools -- validate <trace>`);
+//! * [`history`] — flattened `BENCH_*.json` snapshots appended to
+//!   `results/BENCH_HISTORY.jsonl`, compared by `trace-tools bench-trend`.
 
 #![deny(missing_docs)]
 
 pub mod campaign;
 pub mod figures;
+pub mod history;
 pub mod json;
 pub mod logging;
 pub mod profiler;
@@ -50,4 +53,9 @@ pub use util::{out_path, run_and_save, set_out_dir, BenchArgs, Report};
 /// `docs/TRACE_SCHEMA.md` is pinned to the trace emitter's
 /// `TRACE_SCHEMA_VERSION`: bump the constant and the doc together whenever a
 /// field is added, removed or changes meaning.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+///
+/// v3 added the counter-gating and noise-floor fields of `BENCH_obs.json`
+/// (`counters_off_*`, `counters_on_*`, `noise_floor_pct`); every snapshot
+/// is also appended, flattened, to `results/BENCH_HISTORY.jsonl` (see
+/// [`history`]).
+pub const BENCH_SCHEMA_VERSION: u32 = 3;

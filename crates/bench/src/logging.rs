@@ -10,6 +10,21 @@
 //! visible even under `EBM_LOG=off`.
 
 use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process-wide log epoch, pinned on first use (first log line or
+/// first `level()` query, whichever comes first).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Seconds elapsed since the first log call of the process — the
+/// monotonic timestamp every [`log!`](crate::log) line is prefixed with,
+/// so slow campaign phases are identifiable from the log alone.
+pub fn elapsed_s() -> f64 {
+    epoch().elapsed().as_secs_f64()
+}
 
 /// Verbosity of a log message (and of the `EBM_LOG` threshold).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -39,6 +54,9 @@ impl LogLevel {
 pub fn level() -> LogLevel {
     static LEVEL: OnceLock<LogLevel> = OnceLock::new();
     *LEVEL.get_or_init(|| {
+        // Pin the elapsed-time epoch no later than the first gate check,
+        // so the first line's timestamp is ~0 regardless of setup cost.
+        let _ = epoch();
         std::env::var("EBM_LOG")
             .ok()
             .and_then(|v| LogLevel::parse(&v))
@@ -66,7 +84,9 @@ pub fn progress_end() {
     }
 }
 
-/// Logs a formatted message to stderr, gated on `EBM_LOG`.
+/// Logs a formatted message to stderr, gated on `EBM_LOG`. Every line is
+/// prefixed with the monotonic seconds elapsed since the process's first
+/// log call, e.g. `[   1.204s] cache: 11 hits …`.
 ///
 /// ```
 /// ebm_bench::log!(info, "campaign completed in {:.1}s", 12.5);
@@ -76,12 +96,20 @@ pub fn progress_end() {
 macro_rules! log {
     (info, $($arg:tt)*) => {
         if $crate::logging::enabled($crate::logging::LogLevel::Info) {
-            eprintln!($($arg)*);
+            eprintln!(
+                "[{:8.3}s] {}",
+                $crate::logging::elapsed_s(),
+                format_args!($($arg)*)
+            );
         }
     };
     (debug, $($arg:tt)*) => {
         if $crate::logging::enabled($crate::logging::LogLevel::Debug) {
-            eprintln!($($arg)*);
+            eprintln!(
+                "[{:8.3}s] {}",
+                $crate::logging::elapsed_s(),
+                format_args!($($arg)*)
+            );
         }
     };
 }

@@ -8,16 +8,18 @@
 //! tolerated — so a schema drift in the emitter fails `trace-tools
 //! validate` (and the CI gate built on it) instead of silently producing
 //! wrong analyses.  Per-version rules: `cache_stats` needs v ≥ 2,
-//! `metrics_window` / `profile_span` need v ≥ 3, and the engine skip
+//! `metrics_window` / `profile_span` need v ≥ 3, the engine skip
 //! fractions on `metrics_window` appear from v ≥ 4 (older records with
-//! the shorter field list still validate).
+//! the shorter field list still validate), and the substrate telemetry
+//! kinds (`sched_unit`, `domain_window`, `cache_tier`) plus
+//! `cache_stats.inflight_joined` appear from v ≥ 5.
 
 use crate::json::{parse, Json};
 use gpu_types::Histogram;
 
 /// Newest schema version this validator understands (kept in lock-step
 /// with `gpu_sim::trace::TRACE_SCHEMA_VERSION` by a test).
-pub const MAX_SCHEMA_VERSION: u64 = 4;
+pub const MAX_SCHEMA_VERSION: u64 = 5;
 
 /// What a field's value must look like.
 #[derive(Debug, Clone, Copy)]
@@ -109,6 +111,7 @@ const KINDS: &[KindSpec] = &[
             ("bypasses", Ty::U64, 2),
             ("stores", Ty::U64, 2),
             ("verified", Ty::U64, 2),
+            ("inflight_joined", Ty::U64, 5),
         ],
     ),
     (
@@ -136,6 +139,42 @@ const KINDS: &[KindSpec] = &[
             ("cache_hits", Ty::U64, 3),
             ("cache_misses", Ty::U64, 3),
             ("workers", Ty::U64, 3),
+        ],
+    ),
+    (
+        "sched_unit",
+        5,
+        &[
+            ("unit", Ty::U64, 5),
+            ("label", Ty::Str, 5),
+            ("fp", Ty::Str, 5),
+            ("deps", Ty::U64, 5),
+            ("est", Ty::U64, 5),
+            ("worker", Ty::U64, 5),
+            ("start_ms", Ty::NumOrNull, 5),
+            ("wall_ms", Ty::NumOrNull, 5),
+            ("cycles", Ty::U64, 5),
+        ],
+    ),
+    (
+        "domain_window",
+        5,
+        &[
+            ("domain", Ty::U64, 5),
+            ("windows", Ty::U64, 5),
+            ("window_cycles", Ty::U64, 5),
+            ("core_steps", Ty::U64, 5),
+            ("partition_steps", Ty::U64, 5),
+        ],
+    ),
+    (
+        "cache_tier",
+        5,
+        &[
+            ("tier", Ty::Str, 5),
+            ("hits", Ty::U64, 5),
+            ("misses", Ty::U64, 5),
+            ("stores", Ty::U64, 5),
         ],
     ),
 ];
@@ -418,6 +457,7 @@ mod tests {
                 bypasses: 3,
                 stores: 2,
                 verified: 0,
+                inflight_joined: 1,
             },
             TraceEvent::MetricsWindow {
                 cycle: 6,
@@ -445,11 +485,56 @@ mod tests {
                 cache_misses: 1,
                 workers: 8,
             },
+            TraceEvent::SchedUnit {
+                cycle: 0,
+                unit: 4,
+                label: "scheme:BLK_BFS/pbs".into(),
+                fp: "00112233445566778899aabbccddeeff".into(),
+                deps: 3,
+                est: 120_000,
+                worker: 2,
+                start_ms: 0.5,
+                wall_ms: 7.75,
+                cycles: 110_000,
+            },
+            TraceEvent::DomainWindow {
+                cycle: 4096,
+                domain: 1,
+                windows: 64,
+                window_cycles: 4096,
+                core_steps: 32_768,
+                partition_steps: 8_192,
+            },
+            TraceEvent::CacheTier {
+                cycle: 0,
+                tier: "memory".into(),
+                hits: 1,
+                misses: 2,
+                stores: 2,
+            },
         ];
         for e in &events {
             let line = e.to_json();
             assert_eq!(validate_line(&line), Ok(e.kind()), "{line}");
         }
+    }
+
+    #[test]
+    fn v5_kinds_and_fields_are_gated_by_record_version() {
+        // A v4 cache_stats record predates inflight_joined: the shorter
+        // field list validates...
+        let v4 = "{\"v\":4,\"kind\":\"cache_stats\",\"cycle\":0,\"hits\":1,\"disk_hits\":0,\
+                  \"misses\":2,\"bypasses\":3,\"stores\":2,\"verified\":0";
+        assert_eq!(validate_line(&format!("{v4}}}")), Ok("cache_stats"));
+        // ...and must not smuggle the v5-only field in.
+        assert!(validate_line(&format!("{v4},\"inflight_joined\":1}}")).is_err());
+        // The v5 kinds must not claim an older version.
+        let err = validate_line(
+            "{\"v\":4,\"kind\":\"cache_tier\",\"cycle\":0,\"tier\":\"memory\",\
+             \"hits\":1,\"misses\":2,\"stores\":2}",
+        )
+        .unwrap_err();
+        assert!(err.contains("requires schema version >= 5"), "{err}");
     }
 
     #[test]

@@ -75,6 +75,34 @@ fn one_of_each_kind() -> Vec<TraceEvent> {
             bypasses: 0,
             stores: 1,
             verified: 0,
+            inflight_joined: 3,
+        },
+        TraceEvent::CacheTier {
+            cycle: 0,
+            tier: "memory".into(),
+            hits: 3,
+            misses: 3,
+            stores: 3,
+        },
+        TraceEvent::SchedUnit {
+            cycle: 0,
+            unit: 4,
+            label: "sweep:BLK_BFS".into(),
+            fp: "0123456789abcdef0123456789abcdef".into(),
+            deps: 2,
+            est: 450_000,
+            worker: 1,
+            start_ms: f64::NAN,
+            wall_ms: f64::INFINITY,
+            cycles: 7,
+        },
+        TraceEvent::DomainWindow {
+            cycle: 9,
+            domain: 1,
+            windows: 12,
+            window_cycles: 6_000,
+            core_steps: 24,
+            partition_steps: 12,
         },
         TraceEvent::MetricsWindow {
             cycle: 6,
@@ -113,7 +141,7 @@ fn every_event_kind_round_trips_through_the_validator() {
     kinds.sort_unstable();
     kinds.dedup();
     assert_eq!(kinds.len(), events.len(), "duplicate kind in fixture list");
-    assert_eq!(kinds.len(), 8, "new event kind? extend one_of_each_kind()");
+    assert_eq!(kinds.len(), 11, "new event kind? extend one_of_each_kind()");
     for e in &events {
         let line = e.to_json();
         assert_eq!(validate_line(&line), Ok(e.kind()), "{line}");
@@ -169,6 +197,10 @@ fn non_finite_floats_round_trip_as_null_in_every_float_field() {
             TraceEvent::ProfileSpan { .. } => {
                 assert_eq!(parsed.get("wall_s"), Some(&Json::Null));
             }
+            TraceEvent::SchedUnit { .. } => {
+                assert_eq!(parsed.get("start_ms"), Some(&Json::Null));
+                assert_eq!(parsed.get("wall_ms"), Some(&Json::Null));
+            }
             _ => {}
         }
     }
@@ -222,4 +254,6 @@ fn real_traced_run_validates_end_to_end() {
     assert!(kind("metrics_window") > 0);
     assert!(kind("profile_span") > 0);
     assert_eq!(kind("cache_stats"), 1);
+    // emit_stats also breaks the totals into per-tier funnel events.
+    assert_eq!(kind("cache_tier"), 2);
 }

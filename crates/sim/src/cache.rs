@@ -61,6 +61,7 @@
 //! [`Canon`]: gpu_types::canon::Canon
 //! [`TraceEvent::CacheStats`]: crate::trace::TraceEvent::CacheStats
 
+use crate::counters::Counter;
 use gpu_types::canon::{fingerprint, CanonBuf, Fingerprint};
 use gpu_types::{FxHashMap, SplitMix64};
 use std::path::{Path, PathBuf};
@@ -175,13 +176,30 @@ impl CacheStats {
     }
 }
 
-static HITS: AtomicU64 = AtomicU64::new(0);
-static DISK_HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
-static BYPASSES: AtomicU64 = AtomicU64::new(0);
-static STORES: AtomicU64 = AtomicU64::new(0);
-static VERIFIED: AtomicU64 = AtomicU64::new(0);
-static INFLIGHT_JOINED: AtomicU64 = AtomicU64::new(0);
+/// The cache's slice of the [`crate::counters`] telemetry bus, resolved
+/// once so the hot lookup path pays a pointer load per increment.
+struct Counters {
+    hits: &'static Counter,
+    disk_hits: &'static Counter,
+    misses: &'static Counter,
+    bypasses: &'static Counter,
+    stores: &'static Counter,
+    verified: &'static Counter,
+    inflight_joined: &'static Counter,
+}
+
+fn counters() -> &'static Counters {
+    static COUNTERS: OnceLock<Counters> = OnceLock::new();
+    COUNTERS.get_or_init(|| Counters {
+        hits: crate::counters::counter("cache.hits"),
+        disk_hits: crate::counters::counter("cache.disk_hits"),
+        misses: crate::counters::counter("cache.misses"),
+        bypasses: crate::counters::counter("cache.bypasses"),
+        stores: crate::counters::counter("cache.stores"),
+        verified: crate::counters::counter("cache.verified"),
+        inflight_joined: crate::counters::counter("cache.inflight_joined"),
+    })
+}
 
 /// Runtime configuration of the process-wide cache.
 #[derive(Debug, Clone)]
@@ -311,37 +329,42 @@ pub fn clear_memory() {
     memory().lock().unwrap().clear();
 }
 
-/// Current counter snapshot.
+/// Current counter snapshot (read off the `cache.*` telemetry counters).
 pub fn stats() -> CacheStats {
+    let c = counters();
     CacheStats {
-        hits: HITS.load(Ordering::Relaxed),
-        disk_hits: DISK_HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
-        bypasses: BYPASSES.load(Ordering::Relaxed),
-        stores: STORES.load(Ordering::Relaxed),
-        verified: VERIFIED.load(Ordering::Relaxed),
-        inflight_joined: INFLIGHT_JOINED.load(Ordering::Relaxed),
+        hits: c.hits.get(),
+        disk_hits: c.disk_hits.get(),
+        misses: c.misses.get(),
+        bypasses: c.bypasses.get(),
+        stores: c.stores.get(),
+        verified: c.verified.get(),
+        inflight_joined: c.inflight_joined.get(),
     }
 }
 
-/// Zeroes every counter.
+/// Zeroes every counter. Works whether or not the telemetry bus is
+/// recording ([`Counter::reset`] is ungated).
 pub fn reset_stats() {
+    let c = counters();
     for c in [
-        &HITS,
-        &DISK_HITS,
-        &MISSES,
-        &BYPASSES,
-        &STORES,
-        &VERIFIED,
-        &INFLIGHT_JOINED,
+        c.hits,
+        c.disk_hits,
+        c.misses,
+        c.bypasses,
+        c.stores,
+        c.verified,
+        c.inflight_joined,
     ] {
-        c.store(0, Ordering::Relaxed);
+        c.reset();
     }
 }
 
 /// Emits the current counters into `sink` as a
 /// [`TraceEvent::CacheStats`](crate::trace::TraceEvent::CacheStats) event
-/// (gated on the sink being enabled, like every emission site).
+/// plus one [`TraceEvent::CacheTier`](crate::trace::TraceEvent::CacheTier)
+/// event per tier — the memory/disk hit funnel — (gated on the sink being
+/// enabled, like every emission site).
 pub fn emit_stats<S: crate::trace::TraceSink + ?Sized>(sink: &mut S) {
     if !sink.enabled() {
         return;
@@ -355,6 +378,23 @@ pub fn emit_stats<S: crate::trace::TraceSink + ?Sized>(sink: &mut S) {
         bypasses: s.bypasses,
         stores: s.stores,
         verified: s.verified,
+        inflight_joined: s.inflight_joined,
+    });
+    // The funnel: a lookup that misses memory falls through to disk; a
+    // disk hit or a compute back-fills the memory tier.
+    sink.emit(crate::trace::TraceEvent::CacheTier {
+        cycle: 0,
+        tier: "memory".to_string(),
+        hits: s.hits - s.disk_hits,
+        misses: s.misses + s.disk_hits,
+        stores: s.misses + s.disk_hits,
+    });
+    sink.emit(crate::trace::TraceEvent::CacheTier {
+        cycle: 0,
+        tier: "disk".to_string(),
+        hits: s.disk_hits,
+        misses: s.misses,
+        stores: s.stores,
     });
 }
 
@@ -387,7 +427,7 @@ fn verify_hit(fp: Fingerprint, cached: &[u8], compute: impl FnOnce() -> Vec<u8>)
             ""
         }
     );
-    VERIFIED.fetch_add(1, Ordering::Relaxed);
+    counters().verified.incr();
 }
 
 /// Looks `fp` up in the memory tier, then the disk tier; on miss runs
@@ -415,7 +455,7 @@ pub fn get_or_compute(fp: Fingerprint, compute: impl FnOnce() -> Vec<u8>) -> Arc
         (c.enabled, c.dir.clone(), c.verify_fraction)
     };
     if !enabled {
-        BYPASSES.fetch_add(1, Ordering::Relaxed);
+        counters().bypasses.incr();
         return compute().into();
     }
 
@@ -423,7 +463,7 @@ pub fn get_or_compute(fp: Fingerprint, compute: impl FnOnce() -> Vec<u8>) -> Arc
     // been filled, or the failed leader's registry entry removed.
     let guard = loop {
         if let Some(hit) = memory().lock().unwrap().get(&fp).cloned() {
-            HITS.fetch_add(1, Ordering::Relaxed);
+            counters().hits.incr();
             if should_verify(fp, verify_fraction) {
                 verify_hit(fp, &hit, compute);
             }
@@ -460,8 +500,8 @@ pub fn get_or_compute(fp: Fingerprint, compute: impl FnOnce() -> Vec<u8>) -> Arc
                 }
                 match &*state {
                     FlightState::Done(bytes) => {
-                        HITS.fetch_add(1, Ordering::Relaxed);
-                        INFLIGHT_JOINED.fetch_add(1, Ordering::Relaxed);
+                        counters().hits.incr();
+                        counters().inflight_joined.incr();
                         return bytes.clone();
                     }
                     // Leader panicked: retry from the top.
@@ -473,8 +513,8 @@ pub fn get_or_compute(fp: Fingerprint, compute: impl FnOnce() -> Vec<u8>) -> Arc
 
     if let Some(dir) = dir.as_deref() {
         if let Some(bytes) = DiskStore::new(dir).load(fp) {
-            HITS.fetch_add(1, Ordering::Relaxed);
-            DISK_HITS.fetch_add(1, Ordering::Relaxed);
+            counters().hits.incr();
+            counters().disk_hits.incr();
             if should_verify(fp, verify_fraction) {
                 verify_hit(fp, &bytes, compute);
             }
@@ -485,11 +525,11 @@ pub fn get_or_compute(fp: Fingerprint, compute: impl FnOnce() -> Vec<u8>) -> Arc
         }
     }
 
-    MISSES.fetch_add(1, Ordering::Relaxed);
+    counters().misses.incr();
     let bytes = compute();
     if let Some(dir) = dir.as_deref() {
         if DiskStore::new(dir).store(fp, &bytes) {
-            STORES.fetch_add(1, Ordering::Relaxed);
+            counters().stores.incr();
         }
     }
     let arc: Arc<[u8]> = bytes.into();

@@ -1,0 +1,157 @@
+//! Process-global telemetry bus: named atomic counters and gauges.
+//!
+//! Every substrate layer — the event engine, the result cache, the domain
+//! workers, the campaign scheduler — publishes its statistics here under a
+//! dotted name (`cache.hits`, `engine.stepped`, `sched.peak_ready`), so
+//! one [`snapshot`] shows the whole machine instead of four ad-hoc
+//! channels. The design mirrors the `metrics` crate's zero-cost-when-off
+//! contract without the dependency:
+//!
+//! * [`counter`] interns a name once and hands back a `&'static Counter`;
+//!   call sites cache the handle in a `OnceLock` so the steady state is
+//!   one pointer load.
+//! * [`Counter::add`] / [`Counter::incr`] / [`Counter::set`] are gated on
+//!   a single process-global flag ([`set_enabled`]); when recording is
+//!   off they cost one relaxed load and an untaken branch.
+//! * Reads ([`Counter::get`], [`snapshot`]) and the administrative
+//!   [`Counter::reset`] are never gated — a disabled bus still reports
+//!   whatever was recorded while it was on.
+//!
+//! Counters record *events* (cache lookups, scheduler transitions, engine
+//! run boundaries), never per-simulated-cycle increments: the hot cycle
+//! loop keeps its plain `u64` fields and publishes them as gauges at run
+//! boundaries ([`crate::machine::Gpu::run`]).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Recording is on by default: the cache statistics that CI gates on and
+/// the campaign scheduler's own accounting ride on this bus.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// One named atomic cell. Monotonic counters use [`add`](Counter::add) /
+/// [`incr`](Counter::incr); gauges overwrite with [`set`](Counter::set).
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` when recording is enabled; a relaxed load and an untaken
+    /// branch otherwise.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if ENABLED.load(Ordering::Relaxed) {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments by one when recording is enabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites the value (gauge semantics) when recording is enabled.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if ENABLED.load(Ordering::Relaxed) {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value. Never gated: a disabled bus still reads back.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero. Deliberately ungated — resets are administrative
+    /// (e.g. [`crate::cache::reset_stats`]) and must work regardless of
+    /// the recording flag.
+    #[inline]
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, &'static Counter>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, &'static Counter>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Interns `name` and returns its counter, creating it (zeroed) on first
+/// use. The same name always maps to the same cell, so independent call
+/// sites share one counter. Cache the returned handle — the lookup takes
+/// the registry lock.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry().lock().unwrap();
+    reg.entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Counter::new())))
+}
+
+/// Turns recording on or off process-wide. Reads and resets stay live.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the bus is currently recording.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// All registered counters and their current values, sorted by name.
+pub fn snapshot() -> Vec<(&'static str, u64)> {
+    registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(name, c)| (*name, c.get()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: no test here toggles `set_enabled` — the process-global flag
+    // is shared with concurrently running cache tests. The gating
+    // behaviour is covered in the bench crate's `observability` test
+    // binary, which owns its process.
+
+    #[test]
+    fn same_name_interns_to_same_cell() {
+        let a = counter("test.intern");
+        let b = counter("test.intern");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn add_incr_set_and_reset_round_trip() {
+        let c = counter("test.roundtrip");
+        c.reset();
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), 6);
+        c.set(42);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_contains_registered_names() {
+        counter("test.snap.b").reset();
+        counter("test.snap.a").reset();
+        let snap = snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| *n).collect();
+        let a = names.iter().position(|n| *n == "test.snap.a").unwrap();
+        let b = names.iter().position(|n| *n == "test.snap.b").unwrap();
+        assert!(a < b, "snapshot must be name-sorted");
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+}

@@ -91,6 +91,26 @@ pub struct Gpu {
     windows: u64,
     /// Total cycles covered by those windows (stepped or skipped).
     window_cycles: u64,
+    /// Per-domain accounting of the parallel engine, indexed by domain
+    /// (empty until the first parallel run span; monotonic afterwards).
+    domain_stats: Vec<DomainWindowStats>,
+}
+
+/// One intra-simulation domain's share of the parallel engine's
+/// accounting: windows synchronized through and component steps executed
+/// by the domain's worker. Monotonic since machine construction; exported
+/// through [`Gpu::domain_window_stats`] and the `domain_window` trace
+/// event (docs/TRACE_SCHEMA.md).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DomainWindowStats {
+    /// Lookahead windows the domain synchronized through.
+    pub windows: u64,
+    /// Simulated cycles those windows covered.
+    pub window_cycles: u64,
+    /// Core steps the domain's worker executed.
+    pub core_steps: u64,
+    /// Partition steps the domain's worker executed.
+    pub partition_steps: u64,
 }
 
 /// Cycle- and component-step accounting of the engine, exported for the
@@ -287,6 +307,7 @@ impl Gpu {
             barrier_waits: 0,
             windows: 0,
             window_cycles: 0,
+            domain_stats: Vec::new(),
         }
     }
 
@@ -824,6 +845,7 @@ impl Gpu {
             for _ in 0..cycles {
                 self.step_reference();
             }
+            self.publish_engine_gauges();
             return;
         }
         let workers = self
@@ -835,6 +857,7 @@ impl Gpu {
         // to exploit, so it runs serial regardless of the worker count.
         if workers > 1 && self.cfg.xbar_latency > 0 {
             self.run_parallel(cycles, workers);
+            self.publish_engine_gauges();
             return;
         }
         if !self.event_state_valid {
@@ -864,6 +887,62 @@ impl Gpu {
         // external read between runs (counters, snapshots, knob logic)
         // sees exactly the per-cycle engine's state.
         self.flush_core_credits();
+        self.publish_engine_gauges();
+    }
+
+    /// Publishes the engine accounting onto the `engine.*` gauges of the
+    /// [`crate::counters`] telemetry bus. Called once per run span — gauge
+    /// granularity, never per cycle — so concurrently running machines
+    /// overwrite each other last-writer-wins, which is the documented
+    /// gauge semantics (docs/OBSERVABILITY.md).
+    fn publish_engine_gauges(&self) {
+        use crate::counters::{counter, Counter};
+        struct Gauges {
+            stepped: &'static Counter,
+            fast_forwarded: &'static Counter,
+            core_steps: &'static Counter,
+            core_steps_skipped: &'static Counter,
+            partition_steps: &'static Counter,
+            partition_steps_skipped: &'static Counter,
+            xbar_steps: &'static Counter,
+            xbar_steps_skipped: &'static Counter,
+            sync_points: &'static Counter,
+            barrier_waits: &'static Counter,
+            windows: &'static Counter,
+            window_cycles: &'static Counter,
+            mean_window_millicycles: &'static Counter,
+        }
+        static GAUGES: std::sync::OnceLock<Gauges> = std::sync::OnceLock::new();
+        let g = GAUGES.get_or_init(|| Gauges {
+            stepped: counter("engine.stepped"),
+            fast_forwarded: counter("engine.fast_forwarded"),
+            core_steps: counter("engine.core_steps"),
+            core_steps_skipped: counter("engine.core_steps_skipped"),
+            partition_steps: counter("engine.partition_steps"),
+            partition_steps_skipped: counter("engine.partition_steps_skipped"),
+            xbar_steps: counter("engine.xbar_steps"),
+            xbar_steps_skipped: counter("engine.xbar_steps_skipped"),
+            sync_points: counter("engine.sync_points"),
+            barrier_waits: counter("engine.barrier_waits"),
+            windows: counter("engine.windows"),
+            window_cycles: counter("engine.window_cycles"),
+            mean_window_millicycles: counter("engine.mean_window_millicycles"),
+        });
+        let s = self.engine_stats();
+        g.stepped.set(s.stepped);
+        g.fast_forwarded.set(s.fast_forwarded);
+        g.core_steps.set(s.core_steps);
+        g.core_steps_skipped.set(s.core_steps_skipped);
+        g.partition_steps.set(s.partition_steps);
+        g.partition_steps_skipped.set(s.partition_steps_skipped);
+        g.xbar_steps.set(s.xbar_steps);
+        g.xbar_steps_skipped.set(s.xbar_steps_skipped);
+        g.sync_points.set(s.sync_points);
+        g.barrier_waits.set(s.barrier_waits);
+        g.windows.set(s.windows);
+        g.window_cycles.set(s.window_cycles);
+        g.mean_window_millicycles
+            .set((s.mean_window_cycles() * 1000.0) as u64);
     }
 
     /// The lookahead-windowed domain-parallel engine: the machine is split
@@ -906,6 +985,11 @@ impl Gpu {
             .collect();
         let gate = domain::Gate::new();
         let latch = domain::Latch::new();
+        // The domain count depends on the worker count; grow (never
+        // shrink) so stats stay monotonic if the count changes mid-life.
+        if self.domain_stats.len() < d {
+            self.domain_stats.resize(d, DomainWindowStats::default());
+        }
 
         // Disjoint mutable borrows of the machine: the chunked state the
         // workers own, and everything the coordinator keeps.
@@ -929,6 +1013,7 @@ impl Gpu {
             barrier_waits,
             windows,
             window_cycles,
+            domain_stats,
             ..
         } = self;
 
@@ -1129,6 +1214,11 @@ impl Gpu {
                         stepped_bits |= mb.stepped_mask;
                         mb.stepped_mask = 0;
                         domain_next[w] = mb.next_event;
+                        let ds = &mut domain_stats[w];
+                        ds.windows += 1;
+                        ds.window_cycles += win;
+                        ds.core_steps += mb.core_steps;
+                        ds.partition_steps += mb.partition_steps;
                         *core_steps += mb.core_steps;
                         mb.core_steps = 0;
                         *partition_steps += mb.partition_steps;
@@ -1312,6 +1402,15 @@ impl Gpu {
             windows: self.windows,
             window_cycles: self.window_cycles,
         }
+    }
+
+    /// Per-domain accounting of the parallel engine, indexed by domain.
+    /// Empty until the machine has run a parallel span (serial and
+    /// reference runs never populate it); monotonic afterwards. The
+    /// domain count is derived from the worker count, so entries appear
+    /// when the first multi-worker span runs.
+    pub fn domain_window_stats(&self) -> &[DomainWindowStats] {
+        &self.domain_stats
     }
 
     /// Cumulative per-application counters, aggregated over the app's cores

@@ -136,7 +136,7 @@ pub fn gmean(values: &[f64]) -> f64 {
 pub use gpu_simt::WarpStalls;
 pub use gpu_types::{Histogram, HIST_BUCKETS};
 
-use crate::machine::{EngineStats, Gpu};
+use crate::machine::{DomainWindowStats, EngineStats, Gpu};
 use crate::trace::{TraceEvent, TraceSink};
 use gpu_types::AppId;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -146,15 +146,31 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// span to attribute simulation work to campaign phases.
 static CYCLES_SIMULATED: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// This thread's share of [`CYCLES_SIMULATED`]. The campaign
+    /// scheduler diffs it around each unit to attribute simulation work
+    /// exactly: pool workers carry the fan-out suppression flag
+    /// (`crate::exec`), so a unit's nested sweeps collapse to serial on
+    /// the worker's own thread and every cycle lands here.
+    static THREAD_CYCLES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
 /// Adds `n` to the process-wide simulated-cycle counter (called by
 /// [`Gpu::run`]; standalone `Gpu::step` loops are not counted).
 pub fn add_cycles_simulated(n: u64) {
     CYCLES_SIMULATED.fetch_add(n, Ordering::Relaxed);
+    THREAD_CYCLES.with(|c| c.set(c.get() + n));
 }
 
 /// Total cycles simulated by this process so far.
 pub fn cycles_simulated() -> u64 {
     CYCLES_SIMULATED.load(Ordering::Relaxed)
+}
+
+/// Cycles simulated *by the calling thread* so far (its share of
+/// [`cycles_simulated`]).
+pub fn thread_cycles_simulated() -> u64 {
+    THREAD_CYCLES.with(|c| c.get())
 }
 
 /// Collects the machine-wide metrics recorded by an instrumented [`Gpu`]
@@ -174,6 +190,9 @@ pub struct MetricsRegistry {
     /// run-cumulative ones. The first window measures from [`Gpu`]
     /// creation (the counters start at zero with the registry).
     last_engine: EngineStats,
+    /// Per-domain accounting at the previous rollover, for the same
+    /// window-local delta on [`TraceEvent::DomainWindow`] events.
+    last_domains: Vec<DomainWindowStats>,
 }
 
 impl MetricsRegistry {
@@ -219,6 +238,25 @@ impl MetricsRegistry {
             machine_fast_forward_fraction: Some(machine_ff),
             component_idle_skip_fraction: Some(comp_skip),
         });
+        // One window-local `domain_window` record per domain the parallel
+        // engine synchronized in this window; serial-engine runs (no
+        // domains, no new windows) emit none.
+        let domains = gpu.domain_window_stats();
+        self.last_domains
+            .resize(domains.len(), DomainWindowStats::default());
+        for (d, (cur, prev)) in domains.iter().zip(self.last_domains.iter_mut()).enumerate() {
+            if cur.windows > prev.windows {
+                sink.emit(TraceEvent::DomainWindow {
+                    cycle,
+                    domain: d as u32,
+                    windows: cur.windows - prev.windows,
+                    window_cycles: cur.window_cycles - prev.window_cycles,
+                    core_steps: cur.core_steps - prev.core_steps,
+                    partition_steps: cur.partition_steps - prev.partition_steps,
+                });
+            }
+            *prev = *cur;
+        }
     }
 
     /// Window-local engine skip fractions: diffs the cumulative

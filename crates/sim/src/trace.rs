@@ -60,8 +60,10 @@ use std::path::{Path, PathBuf};
 /// v3 added the `metrics_window` (metrics-registry snapshots) and
 /// `profile_span` (bench self-profiler) events; v4 added the engine
 /// skip diagnostics (`machine_fast_forward_fraction`,
-/// `component_idle_skip_fraction`) to `metrics_window`.
-pub const TRACE_SCHEMA_VERSION: u32 = 4;
+/// `component_idle_skip_fraction`) to `metrics_window`; v5 added the
+/// substrate telemetry events (`sched_unit`, `domain_window`,
+/// `cache_tier`) and the `inflight_joined` field of `cache_stats`.
+pub const TRACE_SCHEMA_VERSION: u32 = 5;
 
 /// Per-core stall breakdown of one sampling window (fractions of the
 /// window's cycles; the remainder is issue cycles).
@@ -179,6 +181,71 @@ pub enum TraceEvent {
         stores: u64,
         /// Hits re-simulated and checked bit-identical by verify mode.
         verified: u64,
+        /// Hits served by waiting on another thread's in-flight compute of
+        /// the same fingerprint (single-flight joins; subset of `hits`).
+        inflight_joined: u64,
+    },
+    /// One campaign work-graph unit, emitted when a scheduled or serial
+    /// campaign finishes. The identity fields (`unit` … `est`) come from
+    /// the deterministic plan; the runtime fields (`worker` … `cycles`)
+    /// describe the actual execution and are zero when the campaign ran
+    /// serially (plan-only emission).
+    SchedUnit {
+        /// Always 0: scheduling lives outside simulated time.
+        cycle: u64,
+        /// Unit index in plan order.
+        unit: u64,
+        /// The unit's label (e.g. `"alone:BLK@8"`, `"scheme:BLK_BFS/pbs"`).
+        label: String,
+        /// The unit's 128-bit cache fingerprint, as 32 hex digits.
+        fp: String,
+        /// Number of dependencies the unit waited on.
+        deps: u64,
+        /// Cost-model estimate the scheduler ordered the unit by
+        /// (simulated cycles, or the registration fallback).
+        est: u64,
+        /// Pool worker that executed the unit (0-based; 0 on serial runs).
+        worker: u64,
+        /// Milliseconds from campaign start to unit start (wall clock;
+        /// nondeterministic, 0 on serial runs).
+        start_ms: f64,
+        /// Wall-clock milliseconds the unit ran for (nondeterministic,
+        /// 0 on serial runs).
+        wall_ms: f64,
+        /// Simulated cycles the executing worker attributed to the unit
+        /// (0 on serial runs and on cache hits).
+        cycles: u64,
+    },
+    /// One intra-simulation domain's engine accounting over a metrics
+    /// window, emitted at registry rollover when the machine ran with
+    /// domain workers (`EBM_SIM_THREADS`); absent on serial-engine runs.
+    DomainWindow {
+        /// Window-end cycle.
+        cycle: u64,
+        /// Domain index (a contiguous chunk of cores + partitions).
+        domain: u32,
+        /// Lookahead windows the domain synchronized through.
+        windows: u64,
+        /// Simulated cycles those windows covered.
+        window_cycles: u64,
+        /// Core steps the domain's worker executed.
+        core_steps: u64,
+        /// Partition steps the domain's worker executed.
+        partition_steps: u64,
+    },
+    /// One result-cache tier's hit funnel at the moment of emission
+    /// (companion to `cache_stats`, split per tier).
+    CacheTier {
+        /// Always 0: the cache lives outside simulated time.
+        cycle: u64,
+        /// Tier name: `"memory"` or `"disk"`.
+        tier: String,
+        /// Lookups this tier served.
+        hits: u64,
+        /// Lookups that fell past this tier.
+        misses: u64,
+        /// Entries written into this tier.
+        stores: u64,
     },
     /// One sampling window's metrics-registry snapshot (`gpu_sim::metrics`):
     /// per-warp stall breakdown, DRAM request-latency histogram, and — on
@@ -300,6 +367,9 @@ impl TraceEvent {
             TraceEvent::CacheStats { .. } => "cache_stats",
             TraceEvent::MetricsWindow { .. } => "metrics_window",
             TraceEvent::ProfileSpan { .. } => "profile_span",
+            TraceEvent::SchedUnit { .. } => "sched_unit",
+            TraceEvent::DomainWindow { .. } => "domain_window",
+            TraceEvent::CacheTier { .. } => "cache_tier",
         }
     }
 
@@ -313,7 +383,10 @@ impl TraceEvent {
             | TraceEvent::CoreWindow { cycle, .. }
             | TraceEvent::CacheStats { cycle, .. }
             | TraceEvent::MetricsWindow { cycle, .. }
-            | TraceEvent::ProfileSpan { cycle, .. } => *cycle,
+            | TraceEvent::ProfileSpan { cycle, .. }
+            | TraceEvent::SchedUnit { cycle, .. }
+            | TraceEvent::DomainWindow { cycle, .. }
+            | TraceEvent::CacheTier { cycle, .. } => *cycle,
         }
     }
 
@@ -412,12 +485,14 @@ impl TraceEvent {
                 bypasses,
                 stores,
                 verified,
+                inflight_joined,
                 ..
             } => {
                 let _ = write!(
                     s,
                     ",\"hits\":{hits},\"disk_hits\":{disk_hits},\"misses\":{misses},\
-                     \"bypasses\":{bypasses},\"stores\":{stores},\"verified\":{verified}"
+                     \"bypasses\":{bypasses},\"stores\":{stores},\"verified\":{verified},\
+                     \"inflight_joined\":{inflight_joined}"
                 );
             }
             TraceEvent::MetricsWindow {
@@ -484,6 +559,58 @@ impl TraceEvent {
                     s,
                     ",\"cycles\":{cycles},\"cache_hits\":{cache_hits},\
                      \"cache_misses\":{cache_misses},\"workers\":{workers}"
+                );
+            }
+            TraceEvent::SchedUnit {
+                unit,
+                label,
+                fp,
+                deps,
+                est,
+                worker,
+                start_ms,
+                wall_ms,
+                cycles,
+                ..
+            } => {
+                let _ = write!(s, ",\"unit\":{unit},\"label\":");
+                push_str(&mut s, label);
+                s.push_str(",\"fp\":");
+                push_str(&mut s, fp);
+                let _ = write!(s, ",\"deps\":{deps},\"est\":{est},\"worker\":{worker}");
+                s.push_str(",\"start_ms\":");
+                push_f64(&mut s, *start_ms);
+                s.push_str(",\"wall_ms\":");
+                push_f64(&mut s, *wall_ms);
+                let _ = write!(s, ",\"cycles\":{cycles}");
+            }
+            TraceEvent::DomainWindow {
+                domain,
+                windows,
+                window_cycles,
+                core_steps,
+                partition_steps,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"domain\":{domain},\"windows\":{windows},\
+                     \"window_cycles\":{window_cycles},\"core_steps\":{core_steps},\
+                     \"partition_steps\":{partition_steps}"
+                );
+            }
+            TraceEvent::CacheTier {
+                tier,
+                hits,
+                misses,
+                stores,
+                ..
+            } => {
+                s.push_str(",\"tier\":");
+                push_str(&mut s, tier);
+                let _ = write!(
+                    s,
+                    ",\"hits\":{hits},\"misses\":{misses},\"stores\":{stores}"
                 );
             }
         }
@@ -726,14 +853,14 @@ mod tests {
         }
     }
 
-    /// Golden fixture pinning the schema-v4 `metrics_window` field names
+    /// Golden fixture pinning the schema-v5 `metrics_window` field names
     /// and histogram encoding byte-for-byte; any change here must bump
     /// [`TRACE_SCHEMA_VERSION`] and update `docs/TRACE_SCHEMA.md`.
     #[test]
-    fn metrics_window_golden_v4() {
+    fn metrics_window_golden_v5() {
         assert_eq!(
             metrics_window_fixture().to_json(),
-            "{\"v\":4,\"kind\":\"metrics_window\",\"cycle\":15,\"app\":1,\
+            "{\"v\":5,\"kind\":\"metrics_window\",\"cycle\":15,\"app\":1,\
              \"stalls\":{\"mem\":40,\"exec\":10,\"barrier\":0,\"tlp_capped\":8},\
              \"dram_lat\":{\"count\":2,\"sum\":360,\"min\":100,\"max\":260,\
              \"buckets\":[0,0,0,0,0,0,0,1,0,1]},\
@@ -767,9 +894,9 @@ mod tests {
         );
     }
 
-    /// Golden fixture pinning the schema-v4 `profile_span` field names.
+    /// Golden fixture pinning the schema-v5 `profile_span` field names.
     #[test]
-    fn profile_span_golden_v4() {
+    fn profile_span_golden_v5() {
         let e = TraceEvent::ProfileSpan {
             cycle: 0,
             level: "sweep".into(),
@@ -783,9 +910,69 @@ mod tests {
         };
         assert_eq!(
             e.to_json(),
-            "{\"v\":4,\"kind\":\"profile_span\",\"cycle\":0,\"level\":\"sweep\",\
+            "{\"v\":5,\"kind\":\"profile_span\",\"cycle\":0,\"level\":\"sweep\",\
              \"name\":\"BLK_BFS\",\"depth\":2,\"wall_s\":0.500000,\"cycles\":200,\
              \"cache_hits\":1,\"cache_misses\":2,\"workers\":8}"
+        );
+    }
+
+    /// Golden fixture pinning the schema-v5 `sched_unit` field names.
+    #[test]
+    fn sched_unit_golden_v5() {
+        let e = TraceEvent::SchedUnit {
+            cycle: 0,
+            unit: 3,
+            label: "alone:BLK@8".into(),
+            fp: "00112233445566778899aabbccddeeff".into(),
+            deps: 2,
+            est: 450_000,
+            worker: 1,
+            start_ms: 1.5,
+            wall_ms: 12.25,
+            cycles: 300_000,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"v\":5,\"kind\":\"sched_unit\",\"cycle\":0,\"unit\":3,\
+             \"label\":\"alone:BLK@8\",\"fp\":\"00112233445566778899aabbccddeeff\",\
+             \"deps\":2,\"est\":450000,\"worker\":1,\"start_ms\":1.500000,\
+             \"wall_ms\":12.250000,\"cycles\":300000}"
+        );
+    }
+
+    /// Golden fixture pinning the schema-v5 `domain_window` field names.
+    #[test]
+    fn domain_window_golden_v5() {
+        let e = TraceEvent::DomainWindow {
+            cycle: 5000,
+            domain: 2,
+            windows: 40,
+            window_cycles: 2500,
+            core_steps: 9000,
+            partition_steps: 1200,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"v\":5,\"kind\":\"domain_window\",\"cycle\":5000,\"domain\":2,\
+             \"windows\":40,\"window_cycles\":2500,\"core_steps\":9000,\
+             \"partition_steps\":1200}"
+        );
+    }
+
+    /// Golden fixture pinning the schema-v5 `cache_tier` field names.
+    #[test]
+    fn cache_tier_golden_v5() {
+        let e = TraceEvent::CacheTier {
+            cycle: 0,
+            tier: "memory".into(),
+            hits: 6,
+            misses: 4,
+            stores: 4,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"v\":5,\"kind\":\"cache_tier\",\"cycle\":0,\"tier\":\"memory\",\
+             \"hits\":6,\"misses\":4,\"stores\":4}"
         );
     }
 
@@ -851,6 +1038,7 @@ mod tests {
                 bypasses: 0,
                 stores: 2,
                 verified: 1,
+                inflight_joined: 3,
             },
             metrics_window_fixture(),
             TraceEvent::MetricsWindow {
@@ -873,6 +1061,33 @@ mod tests {
                 cache_hits: 3,
                 cache_misses: 7,
                 workers: 4,
+            },
+            TraceEvent::SchedUnit {
+                cycle: 0,
+                unit: 0,
+                label: "sweep:BLK_BFS".into(),
+                fp: "ffeeddccbbaa99887766554433221100".into(),
+                deps: 0,
+                est: 7,
+                worker: 0,
+                start_ms: 0.0,
+                wall_ms: 0.0,
+                cycles: 0,
+            },
+            TraceEvent::DomainWindow {
+                cycle: 17,
+                domain: 0,
+                windows: 1,
+                window_cycles: 8,
+                core_steps: 64,
+                partition_steps: 8,
+            },
+            TraceEvent::CacheTier {
+                cycle: 0,
+                tier: "disk".into(),
+                hits: 4,
+                misses: 2,
+                stores: 2,
             },
         ];
         for e in &events {

@@ -505,6 +505,11 @@ fn every_crossbar_latency_agrees_across_sim_thread_counts() {
 /// domain-parallel engines, with no diagnostic scrubbing: unlike the
 /// reference comparison above, both sides are the same event engine, so
 /// even the fast-forward / idle-skip fractions must match exactly.
+///
+/// The one exception is `domain_window`: it reports on the domain workers
+/// themselves (sync windows, per-domain step counts), which only exist on
+/// the parallel engine, so it is excluded from the comparison — and the
+/// serial stream must carry none at all.
 #[test]
 fn traced_controlled_runs_identical_serial_vs_domain_parallel() {
     let mut rng = SplitMix64::new(0xE961_7E5F);
@@ -530,9 +535,22 @@ fn traced_controlled_runs_identical_serial_vs_domain_parallel() {
             assert_eq!(a.cycles, b.cycles, "trial {trial}: spans differ");
         }
         assert_eq!(sink_par.dropped(), 0, "ring sink overflowed");
+        let not_domain = |e: &&TraceEvent| !matches!(e, TraceEvent::DomainWindow { .. });
+        assert!(
+            sink_ser.events().iter().all(|e| not_domain(&e)),
+            "trial {trial}: serial engine must not emit domain_window"
+        );
         assert_eq!(
-            sink_par.events(),
-            sink_ser.events(),
+            sink_par
+                .events()
+                .iter()
+                .filter(not_domain)
+                .collect::<Vec<_>>(),
+            sink_ser
+                .events()
+                .iter()
+                .filter(not_domain)
+                .collect::<Vec<_>>(),
             "trial {trial}: traced event streams differ at {threads} sim threads"
         );
         assert_machines_equal(&par, &serial, &format!("trial {trial} post-run"));

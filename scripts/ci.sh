@@ -33,11 +33,46 @@ OBS_JSON="$(mktemp)"
 ENG_JSON="$(mktemp)"
 PAR_JSON="$(mktemp)"
 CAMP_JSON="$(mktemp)"
-trap 'rm -f "$OBS_JSON" "$ENG_JSON" "$PAR_JSON" "$CAMP_JSON"' EXIT
+HIST="$(mktemp)"
+trap 'rm -f "$OBS_JSON" "$ENG_JSON" "$PAR_JSON" "$CAMP_JSON" "$HIST"' EXIT
 cargo run -p ebm-bench --release --bin perf_smoke -- --smoke \
   --obs-out "$OBS_JSON" --engine-out "$ENG_JSON" --out "$PAR_JSON" \
-  --campaign-out "$CAMP_JSON"
+  --campaign-out "$CAMP_JSON" --history "$HIST"
 grep overhead_pct "$OBS_JSON"
+
+echo "== obs overhead gate (disabled metrics/counters within max(1%, measured noise floor)) =="
+awk -F': ' '
+  /"metrics_off_overhead_pct"/ { moff = $2 + 0 }
+  /"counters_off_overhead_pct"/ { coff = $2 + 0 }
+  /"noise_floor_pct"/ { nf = $2 + 0 }
+  END {
+    lim = (nf > 1.0 ? nf : 1.0)
+    if (moff > lim) { print "FAIL: metrics_off overhead " moff "% > max(1%, noise floor " nf "%)"; exit 1 }
+    if (coff > lim) { print "FAIL: counters_off overhead " coff "% > max(1%, noise floor " nf "%)"; exit 1 }
+    print "obs gate OK: metrics_off " moff "%, counters_off " coff "%, noise floor " nf "% (limit " lim "%)"
+  }' "$OBS_JSON"
+
+echo "== bench history gate (every perf_smoke section appended; bench-trend flags injected regressions) =="
+HIST_LINES="$(wc -l < "$HIST")"
+if [ "$HIST_LINES" -lt 2 ]; then
+  echo "FAIL: bench history has $HIST_LINES snapshot line(s), expected one per section" >&2
+  exit 1
+fi
+# Two identical rounds must pass trend analysis cleanly...
+HIST2="$(mktemp)"
+HIST_BAD="$(mktemp)"
+trap 'rm -f "$OBS_JSON" "$ENG_JSON" "$PAR_JSON" "$CAMP_JSON" "$HIST" "$HIST2" "$HIST_BAD"' EXIT
+cat "$HIST" "$HIST" > "$HIST2"
+cargo run -p ebm-bench --release --bin trace-tools -- bench-trend "$HIST2"
+# ...and an injected throughput collapse must fail it (self-test of the gate).
+cp "$HIST2" "$HIST_BAD"
+grep '"benchmark":"engine"' "$HIST" | head -n 1 \
+  | sed 's/"memory_bound_speedup":[0-9.eE+-]*/"memory_bound_speedup":0.01/' >> "$HIST_BAD"
+if cargo run -p ebm-bench --release --bin trace-tools -- bench-trend "$HIST_BAD" > /dev/null; then
+  echo "FAIL: bench-trend did not flag the injected memory_bound_speedup regression" >&2
+  exit 1
+fi
+echo "bench history gate OK: $HIST_LINES sections appended, trend comparison and regression self-test pass"
 
 echo "== engine speedup gate (memory-bound co-run must beat the reference engine >= 3x) =="
 grep memory_bound_speedup "$ENG_JSON"
@@ -117,14 +152,18 @@ SER_OUT="$(mktemp -d)"
 PARSIM_OUT="$(mktemp -d)"
 SCHED_REF="$(mktemp -d)"
 SCHED_OUT="$(mktemp -d)"
-trap 'rm -rf "$CACHE_DIR" "$COLD_OUT" "$WARM_OUT" "$TRACE_FILE" "$OBS_JSON" "$ENG_JSON" "$PAR_JSON" "$CAMP_JSON" "$SER_OUT" "$PARSIM_OUT" "$SCHED_REF" "$SCHED_OUT"' EXIT
+SER_TRACE="$(mktemp -u).jsonl"
+SCHED_TRACE="$(mktemp -u).jsonl"
+REPORT_REF="$(mktemp)"
+REPORT_HTML="$(mktemp)"
+trap 'rm -rf "$CACHE_DIR" "$COLD_OUT" "$WARM_OUT" "$TRACE_FILE" "$OBS_JSON" "$ENG_JSON" "$PAR_JSON" "$CAMP_JSON" "$HIST" "$HIST2" "$HIST_BAD" "$SER_OUT" "$PARSIM_OUT" "$SCHED_REF" "$SCHED_OUT" "$SER_TRACE" "$SCHED_TRACE" "$REPORT_REF" "$REPORT_HTML"' EXIT
 EBM_CACHE_DIR="$CACHE_DIR" cargo run -p ebm-bench --release --bin experiments -- \
   --quick --trace "$TRACE_FILE" --out "$COLD_OUT" 2> "$COLD_OUT/stderr.log"
 EBM_CACHE_DIR="$CACHE_DIR" cargo run -p ebm-bench --release --bin experiments -- \
   --quick --out "$WARM_OUT" 2> "$WARM_OUT/stderr.log"
-grep '^cache:' "$WARM_OUT/stderr.log"
+grep '\] cache: ' "$WARM_OUT/stderr.log"
 # The warm run must be served by the cache...
-if grep -q '^cache: .*hit rate 0\.000' "$WARM_OUT/stderr.log"; then
+if grep -q '\] cache: .*hit rate 0\.000' "$WARM_OUT/stderr.log"; then
   echo "FAIL: warm experiments run reported a zero cache hit rate" >&2
   exit 1
 fi
@@ -160,21 +199,37 @@ echo "== campaign scheduler gate (experiments --quick serial vs scheduled, byte-
 # scheduler is held to, byte for byte, at every pool width (PROFILE.json
 # holds wall-clock timings and legitimately differs).
 cargo run -p ebm-bench --release --bin experiments -- \
-  --quick --serial --out "$SCHED_REF" 2> "$SCHED_REF/stderr.log"
+  --quick --serial --trace "$SER_TRACE" --out "$SCHED_REF" 2> "$SCHED_REF/stderr.log"
 rm -f "$SCHED_REF/stderr.log"
+# The default report sections are deterministic: the serial run's report
+# is the byte-exact reference every scheduled run below is held to.
+cargo run -p ebm-bench --release --bin trace-tools -- report "$SER_TRACE" > "$REPORT_REF"
 for T in 1 2 4; do
   rm -rf "$SCHED_OUT"; mkdir -p "$SCHED_OUT"
+  rm -f "$SCHED_TRACE"
   EBM_THREADS=$T EBM_LOG=info cargo run -p ebm-bench --release --bin experiments -- \
-    --quick --out "$SCHED_OUT" 2> "$SCHED_OUT/stderr.log"
-  grep '^sched:' "$SCHED_OUT/stderr.log"
-  DEDUP="$(sed -n 's/^sched:.*[( ]\([0-9][0-9]*\)% deduped.*/\1/p' "$SCHED_OUT/stderr.log")"
+    --quick --trace "$SCHED_TRACE" --out "$SCHED_OUT" 2> "$SCHED_OUT/stderr.log"
+  grep '\] sched: ' "$SCHED_OUT/stderr.log"
+  DEDUP="$(sed -n 's/.*\] sched:.*[( ]\([0-9][0-9]*\)% deduped.*/\1/p' "$SCHED_OUT/stderr.log")"
   if [ -z "$DEDUP" ] || [ "$DEDUP" -le 0 ]; then
     echo "FAIL: scheduled campaign at $T worker(s) reported no deduplication" >&2
     exit 1
   fi
   rm -f "$SCHED_OUT/stderr.log"
   diff -r --exclude=PROFILE.json "$SCHED_REF" "$SCHED_OUT"
-  echo "campaign scheduler OK at $T worker(s): ${DEDUP}% deduped, artifacts byte-identical to serial"
+  cargo run -p ebm-bench --release --bin trace-tools -- report "$SCHED_TRACE" \
+    | diff "$REPORT_REF" -
+  echo "campaign scheduler OK at $T worker(s): ${DEDUP}% deduped, artifacts and run report byte-identical to serial"
 done
+
+echo "== run report smoke (--timings/--profile/--html variants render and the page is self-contained) =="
+cargo run -p ebm-bench --release --bin trace-tools -- report "$SCHED_TRACE" \
+  --timings --profile "$SCHED_OUT/PROFILE.json" --html "$REPORT_HTML" > /dev/null
+grep -q '<html>' "$REPORT_HTML"
+if grep -qE 'src=|href=' "$REPORT_HTML"; then
+  echo "FAIL: HTML report references external resources" >&2
+  exit 1
+fi
+echo "run report smoke OK"
 
 echo "CI OK"
